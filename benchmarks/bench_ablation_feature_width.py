@@ -1,0 +1,43 @@
+"""Ablation — feature width and the size of the sparsity-aware win.
+
+Every bandwidth term in the paper's analysis carries a factor ``f`` (the
+feature-vector length): the oblivious algorithm moves ``n f`` elements per
+SpMM while the sparsity-aware one moves ``cut_P(G) f``.  Widening the
+features therefore scales both costs linearly but leaves their *ratio*
+(the speedup) roughly unchanged, while making communication an ever larger
+share of the epoch — which is why the paper's datasets with long feature
+vectors (Reddit f=602, Amazon/Protein f=300) are the ones where
+communication dominates.
+"""
+
+import math
+
+from repro.bench import bench_epochs, bench_scale, format_table, feature_width_sweep
+
+
+def test_ablation_feature_width(benchmark, save_report):
+    scale = min(bench_scale(), 0.3)
+    widths = (32, 128, 300)
+    rows = benchmark.pedantic(
+        lambda: feature_width_sweep(dataset_name="amazon", widths=widths,
+                                    p=16, scale=scale, epochs=bench_epochs()),
+        rounds=1, iterations=1)
+    ok = [r for r in rows if not math.isnan(r.get("epoch_time_s", float("nan")))]
+    text = format_table(
+        ok, columns=["f", "scheme", "epoch_time_s", "comm_total_MB_per_epoch",
+                     "time_alltoall_s", "time_bcast_s"],
+        title="Ablation — feature width vs epoch time (Amazon stand-in, p=16)")
+    save_report("ablation_feature_width", text)
+
+    index = {(r["f"], r["scheme"]): r for r in ok}
+    for f in widths:
+        # The sparsity-aware scheme wins at every feature width ...
+        assert index[(f, "SA+GVB")]["epoch_time_s"] <= \
+            index[(f, "CAGNET")]["epoch_time_s"]
+        # ... and it always moves less data.
+        assert index[(f, "SA+GVB")]["comm_total_MB_per_epoch"] <= \
+            index[(f, "CAGNET")]["comm_total_MB_per_epoch"]
+    # Communication volume grows monotonically with f for both schemes.
+    for scheme in ("CAGNET", "SA+GVB"):
+        volumes = [index[(f, scheme)]["comm_total_MB_per_epoch"] for f in widths]
+        assert volumes == sorted(volumes)

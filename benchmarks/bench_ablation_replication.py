@@ -1,0 +1,47 @@
+"""Ablation — 1.5D replication factor sweep at a fixed process count.
+
+Figure 7's qualitative story: replication shrinks the number of stages (and
+hence the point-to-point volume) by ``c`` but adds an all-reduce whose cost
+grows with ``c``; plain SA therefore does not necessarily benefit from
+replication, whereas SA+GVB (which already made the point-to-point part
+small) is dominated by the all-reduce.  This sweep fixes ``P = 16`` and
+walks ``c ∈ {1, 2, 4}`` for both the oblivious and the partitioned
+sparsity-aware scheme.
+"""
+
+import math
+
+from repro.bench import bench_epochs, bench_scale, format_table, replication_sweep
+
+
+def test_ablation_replication_factor(benchmark, save_report):
+    scale = min(bench_scale(), 0.3)
+    rows = benchmark.pedantic(
+        lambda: replication_sweep(dataset_name="protein", p=16,
+                                  replication_factors=(1, 2, 4), scale=scale,
+                                  epochs=bench_epochs()),
+        rounds=1, iterations=1)
+    ok = [r for r in rows if not math.isnan(r.get("epoch_time_s", float("nan")))]
+    text = format_table(
+        ok, columns=["scheme", "replication", "epoch_time_s",
+                     "time_alltoall_s", "time_bcast_s", "time_allreduce_s",
+                     "comm_total_MB_per_epoch"],
+        title="Ablation — 1.5D replication factor (Protein stand-in, P=16)")
+    save_report("ablation_replication", text)
+
+    assert len(ok) >= 4
+    sa_rows = {r["replication"]: r for r in ok if r["scheme"].startswith("SA")}
+    cagnet_rows = {r["replication"]: r for r in ok
+                   if r["scheme"].startswith("CAGNET")}
+    # The all-reduce share grows with the replication factor (the Figure-7
+    # tradeoff); c=1 has no row-group all-reduce for the SpMM at all.
+    if 1 in sa_rows and 4 in sa_rows:
+        assert sa_rows[4].get("time_allreduce_s", 0.0) >= \
+            sa_rows[1].get("time_allreduce_s", 0.0)
+    # At every replication factor the sparsity-aware scheme moves less data
+    # than the oblivious one (the all-reduce traffic is identical, the
+    # point-to-point part is what shrinks).
+    for c, sa in sa_rows.items():
+        if c in cagnet_rows:
+            assert sa["comm_total_MB_per_epoch"] <= \
+                cagnet_rows[c]["comm_total_MB_per_epoch"] + 1e-9

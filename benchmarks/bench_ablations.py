@@ -1,0 +1,51 @@
+"""Ablation benches for design choices called out in DESIGN.md.
+
+* Balance-constraint strictness of the GVB partitioner: the paper notes GVB
+  trades a looser computational balance for lower, better-balanced
+  communication; this sweep quantifies that trade-off.
+* Broadcast vs all-to-allv crossover: the paper observes that at small
+  process counts the sparsity-aware algorithm can lose to the oblivious
+  broadcasts (linear vs logarithmic scaling of the collective); this sweep
+  locates the crossover on the Protein stand-in.
+"""
+
+import math
+
+from repro.bench import (ablation_balance_constraint, ablation_crossover,
+                         format_table)
+
+
+def test_ablation_balance_constraint(benchmark, save_report):
+    rows = benchmark.pedantic(
+        lambda: ablation_balance_constraint(p=32, factors=(1.02, 1.10, 1.30)),
+        rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        columns=["dataset", "p", "balance_factor", "nnz_imbalance",
+                 "total_volume", "max_send_volume", "send_imbalance_pct"],
+        title="Ablation — GVB balance tolerance vs communication quality")
+    save_report("ablation_balance_constraint", text)
+
+    by_factor = {r["balance_factor"]: r for r in rows}
+    loosest = by_factor[max(by_factor)]
+    strictest = by_factor[min(by_factor)]
+    # Loosening the balance constraint should not increase the bottleneck
+    # send volume.
+    assert loosest["max_send_volume"] <= strictest["max_send_volume"] * 1.10
+
+
+def test_ablation_crossover(benchmark, save_report):
+    rows = benchmark.pedantic(
+        lambda: ablation_crossover(p_values=(2, 4, 8, 16, 32, 64)),
+        rounds=1, iterations=1)
+    ok_rows = [r for r in rows if not math.isnan(r.get("epoch_time_s", float("nan")))]
+    text = format_table(
+        ok_rows,
+        columns=["dataset", "scheme", "p", "epoch_time_s", "time_alltoall_s",
+                 "time_bcast_s"],
+        title="Ablation — oblivious broadcast vs sparsity-aware all-to-allv")
+    save_report("ablation_crossover", text)
+
+    index = {(r["scheme"], r["p"]): r["epoch_time_s"] for r in ok_rows}
+    # At the largest p the sparsity-aware exchange wins.
+    assert index[("SA", 64)] < index[("CAGNET", 64)]

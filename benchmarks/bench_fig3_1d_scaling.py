@@ -1,0 +1,58 @@
+"""Figure 3 — 1D per-epoch training time vs number of simulated GPUs.
+
+Three schemes on three datasets (Reddit, Amazon, Protein stand-ins):
+
+* ``CAGNET``  — sparsity-oblivious broadcasts (the baseline framework),
+* ``SA``      — sparsity-aware all-to-allv, no partitioner,
+* ``SA+GVB``  — sparsity-aware all-to-allv on a GVB-partitioned graph.
+
+Shapes to reproduce (not absolute numbers): the oblivious baseline does not
+get faster with more GPUs; SA matches or beats it, with the advantage
+growing with the process count; SA+GVB is the fastest, dramatically so on
+the regular Protein graph.
+"""
+
+import math
+
+from repro.bench import figure3_1d_scaling, format_series, format_table
+
+
+def test_fig3_1d_scaling(benchmark, save_report):
+    rows = benchmark.pedantic(
+        lambda: figure3_1d_scaling(p_values=(4, 16, 32, 64)),
+        rounds=1, iterations=1)
+
+    ok_rows = [r for r in rows if not math.isnan(r.get("epoch_time_s", float("nan")))]
+    text = "\n\n".join(
+        format_series([r for r in ok_rows if r["dataset"] == name],
+                      group_by="scheme", x="p", y="epoch_time_s",
+                      title=f"Figure 3 [{name}] — epoch time (s) vs #GPUs")
+        for name in ("reddit", "amazon", "protein"))
+    text += "\n\n" + format_table(
+        ok_rows,
+        columns=["dataset", "scheme", "p", "epoch_time_s",
+                 "comm_max_MB_per_rank_per_epoch", "test_accuracy"],
+        title="Figure 3 — full data")
+    save_report("fig3_1d_scaling", text)
+
+    index = {(r["dataset"], r["scheme"], r["p"]): r["epoch_time_s"]
+             for r in ok_rows}
+    largest_p = max(r["p"] for r in ok_rows)
+    for dataset in ("amazon", "protein"):
+        # Sparsity-awareness + partitioning beats the oblivious baseline at
+        # the largest process count.
+        assert index[(dataset, "SA+GVB", largest_p)] < \
+            index[(dataset, "CAGNET", largest_p)]
+        # And the full approach beats plain SA as well.
+        assert index[(dataset, "SA+GVB", largest_p)] <= \
+            index[(dataset, "SA", largest_p)] * 1.05
+    # The oblivious baseline does not scale: largest p is no faster than
+    # the smallest p (within 20% tolerance).
+    smallest_p = min(r["p"] for r in ok_rows)
+    for dataset in ("amazon", "protein"):
+        assert index[(dataset, "CAGNET", largest_p)] > \
+            0.8 * index[(dataset, "CAGNET", smallest_p)]
+
+    benchmark.extra_info["speedup_protein_at_max_p"] = \
+        index[("protein", "CAGNET", largest_p)] / \
+        index[("protein", "SA+GVB", largest_p)]

@@ -1,0 +1,31 @@
+"""Figure 5 — Papers dataset at p = 16: breakdown for all three schemes.
+
+The paper reports roughly a 2.3x end-to-end improvement of the
+sparsity-aware + partitioned scheme over the sparsity-oblivious baseline on
+its largest dataset at 16 GPUs, driven by the reduction of the all-to-all /
+broadcast time.
+"""
+
+from repro.bench import figure5_papers_breakdown, format_table
+
+
+def test_fig5_papers_breakdown(benchmark, save_report):
+    rows = benchmark.pedantic(lambda: figure5_papers_breakdown(p=16),
+                              rounds=1, iterations=1)
+    for r in rows:
+        r.setdefault("time_bcast_s", 0.0)
+        r.setdefault("time_alltoall_s", 0.0)
+
+    text = format_table(
+        rows,
+        columns=["dataset", "scheme", "p", "time_local_s", "time_alltoall_s",
+                 "time_bcast_s", "time_allreduce_s", "epoch_time_s"],
+        title="Figure 5 — Papers stand-in, p = 16 (seconds per epoch)")
+    save_report("fig5_papers_breakdown", text)
+
+    by_scheme = {r["scheme"]: r for r in rows}
+    improvement = by_scheme["CAGNET"]["epoch_time_s"] / \
+        by_scheme["SA+GVB"]["epoch_time_s"]
+    # Paper: ~2.3x; require a clear (>1.3x) win in the same direction.
+    assert improvement > 1.3
+    benchmark.extra_info["improvement_over_oblivious"] = improvement

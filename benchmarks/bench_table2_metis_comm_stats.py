@@ -1,0 +1,32 @@
+"""Table 2 — per-process communication of one SpMM under METIS partitioning.
+
+Paper: Amazon dataset, f = 300; columns are the average and maximum amount
+of data (MB) a process sends in a single sparsity-aware SpMM and the
+resulting communication load imbalance, for increasing process counts.
+The shape to reproduce: the imbalance percentage *grows* with p, reaching
+levels where the bottleneck process sends a large multiple of the average.
+"""
+
+from repro.bench import format_table, table2_metis_comm_stats
+
+
+def test_table2_metis_comm_stats(benchmark, save_report):
+    rows = benchmark.pedantic(
+        lambda: table2_metis_comm_stats(p_values=(4, 8, 16, 32, 64)),
+        rounds=1, iterations=1)
+
+    text = format_table(
+        rows,
+        columns=["dataset", "f", "p", "average_MB", "max_MB",
+                 "load_imbalance_pct", "total_MB"],
+        title="Table 2 — data communicated in a single SpMM "
+              "(METIS-like partitioner, Amazon stand-in)")
+    save_report("table2_metis_comm_stats", text)
+
+    # Shape assertions: imbalance grows with p, avg volume per process drops.
+    by_p = {int(r["p"]): r for r in rows}
+    ps = sorted(by_p)
+    assert by_p[ps[-1]]["load_imbalance_pct"] > by_p[ps[0]]["load_imbalance_pct"]
+    assert by_p[ps[-1]]["average_MB"] < by_p[ps[0]]["average_MB"]
+    benchmark.extra_info["imbalance_at_max_p"] = \
+        by_p[ps[-1]]["load_imbalance_pct"]

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  Because the
+interesting output is the *simulated* timing/volume table (not the wall
+time pytest-benchmark measures), each benchmark also writes its formatted
+table to ``benchmarks/results/<name>.txt`` and attaches headline numbers to
+``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir):
+    """Callable: save_report(name, text) — persist a formatted table and
+    echo it to stdout (visible with ``pytest -s``)."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print("\n" + text)
+        return path
+
+    return _save

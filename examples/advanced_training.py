@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Advanced training: optimisers, schedules, regularisation and GraphSAGE.
+
+The paper trains a 3-layer GCN with plain SGD for a fixed 100 epochs — the
+right choice for a communication study, but not how one would train for
+accuracy.  This example uses the library's training extensions on the
+Reddit stand-in:
+
+* the paper-style baseline (SGD, constant learning rate),
+* Adam with cosine annealing, input dropout, L2 and early stopping,
+* the same recipe on the GraphSAGE (mean aggregator) reference model,
+
+and reports epochs-to-stop, best validation accuracy and test accuracy.
+
+Run with::
+
+    python examples/advanced_training.py
+"""
+
+from repro.bench import format_table
+from repro.gcn import (AdvancedTrainConfig, ReferenceTrainConfig,
+                       train_advanced, train_reference)
+from repro.graphs import load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("reddit", scale=0.2, n_features=64, n_classes=8,
+                           seed=0)
+    adjacency, node_data = dataset.adjacency, dataset.node_data
+    print(f"dataset: {dataset.name}  vertices={dataset.n_vertices}  "
+          f"features={dataset.n_features}  classes={dataset.n_classes}\n")
+
+    rows = []
+
+    # Paper-style baseline.
+    baseline = train_reference(adjacency, node_data,
+                               ReferenceTrainConfig(epochs=100, seed=0))
+    rows.append({
+        "recipe": "GCN + SGD (paper setup)",
+        "epochs_run": len(baseline.history),
+        "best_val_acc": max(r.val_accuracy for r in baseline.history),
+        "test_acc": baseline.test_accuracy,
+    })
+
+    # Modern recipe on the GCN.
+    tuned = train_advanced(adjacency, node_data, AdvancedTrainConfig(
+        epochs=200, optimizer="adam", learning_rate=0.02,
+        schedule="cosine", schedule_kwargs=(("total_epochs", 200),),
+        dropout=0.2, l2=5e-4, early_stopping_patience=20, seed=0))
+    rows.append({
+        "recipe": "GCN + Adam/cosine/dropout/early-stop",
+        "epochs_run": tuned.epochs_run,
+        "best_val_acc": tuned.best_val_accuracy,
+        "test_acc": tuned.test_accuracy,
+    })
+
+    # Same recipe, GraphSAGE architecture.
+    sage = train_advanced(adjacency, node_data, AdvancedTrainConfig(
+        architecture="sage", n_layers=2, epochs=200, optimizer="adam",
+        learning_rate=0.02, schedule="cosine",
+        schedule_kwargs=(("total_epochs", 200),),
+        dropout=0.2, early_stopping_patience=20, seed=0))
+    rows.append({
+        "recipe": "GraphSAGE + Adam/cosine/dropout/early-stop",
+        "epochs_run": sage.epochs_run,
+        "best_val_acc": sage.best_val_accuracy,
+        "test_acc": sage.test_accuracy,
+    })
+
+    print(format_table(rows, title="training recipes on the Reddit stand-in"))
+    print("\nBoth architectures propagate with one SpMM per layer, so either")
+    print("distributes with the paper's sparsity-aware algorithms unchanged.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Full-graph node classification, distributed vs single-process.
+
+This example demonstrates the paper's correctness claim ("we observed no
+change in accuracy apart from floating-point rounding errors"): it trains
+the same 3-layer GCN on the Amazon stand-in three ways —
+
+* single-process reference implementation,
+* distributed 1D sparsity-aware + GVB partitioning,
+* distributed 1.5D sparsity-aware (replication factor 2) + GVB,
+
+and reports the loss curve and test accuracy of each, which agree to
+floating-point precision.
+
+Run with::
+
+    python examples/full_graph_node_classification.py
+"""
+
+from repro import DistTrainConfig, load_dataset, train_distributed
+from repro.bench import format_table
+from repro.gcn import ReferenceTrainConfig, train_reference
+
+EPOCHS = 40
+
+
+def main() -> None:
+    dataset = load_dataset("amazon", scale=0.15, seed=1)
+    print(f"dataset: {dataset.name}  vertices={dataset.n_vertices}  "
+          f"edges={dataset.n_edges}  classes={dataset.n_classes}\n")
+
+    reference = train_reference(
+        dataset.adjacency, dataset.node_data,
+        ReferenceTrainConfig(epochs=EPOCHS, seed=0))
+
+    dist_1d = train_distributed(dataset, DistTrainConfig(
+        n_ranks=8, algorithm="1d", sparsity_aware=True, partitioner="gvb",
+        epochs=EPOCHS, seed=0, machine="perlmutter-scaled"), eval_every=0)
+
+    dist_15d = train_distributed(dataset, DistTrainConfig(
+        n_ranks=8, algorithm="1.5d", replication_factor=2,
+        sparsity_aware=True, partitioner="gvb",
+        epochs=EPOCHS, seed=0, machine="perlmutter-scaled"), eval_every=0)
+
+    rows = [
+        {
+            "implementation": "reference (1 process)",
+            "final_loss": reference.history[-1].loss,
+            "test_accuracy": reference.test_accuracy,
+            "epoch_time_s": "-",
+        },
+        {
+            "implementation": "distributed 1D SA+GVB (8 ranks)",
+            "final_loss": dist_1d.final_loss,
+            "test_accuracy": dist_1d.test_accuracy,
+            "epoch_time_s": dist_1d.avg_epoch_time_s,
+        },
+        {
+            "implementation": "distributed 1.5D SA+GVB (8 ranks, c=2)",
+            "final_loss": dist_15d.final_loss,
+            "test_accuracy": dist_15d.test_accuracy,
+            "epoch_time_s": dist_15d.avg_epoch_time_s,
+        },
+    ]
+    print(format_table(rows, title="same model, three training backends"))
+    print()
+    drift_1d = abs(dist_1d.final_loss - reference.history[-1].loss)
+    drift_15d = abs(dist_15d.final_loss - reference.history[-1].loss)
+    print(f"loss drift vs reference: 1D = {drift_1d:.2e}, 1.5D = {drift_15d:.2e}")
+    print("(both should be at floating-point rounding level)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Partitioner zoo: every registered partitioner on the same graph.
+
+The paper compares METIS (total edgecut) with Graph-VB (total + maximum
+send volume).  The library additionally ships spectral bisection, a
+PuLP-style label-propagation partitioner and a column-net hypergraph
+partitioner.  This example partitions the Amazon stand-in with all of them
+and reports the metrics that matter for sparsity-aware training:
+
+* edgecut (what METIS minimises),
+* total send volume (what hypergraph models capture exactly),
+* maximum send volume and its imbalance (what GVB additionally balances),
+* the resulting simulated epoch time of sparsity-aware 1D training.
+
+Run with::
+
+    python examples/partitioner_zoo.py
+"""
+
+from repro import DistTrainConfig, load_dataset, train_distributed
+from repro.bench import format_table
+from repro.partition import PARTITIONERS, get_partitioner, partition_report
+
+
+def main() -> None:
+    dataset = load_dataset("amazon", scale=0.15, seed=0)
+    nparts = 16
+    print(f"dataset: {dataset.name}  vertices={dataset.n_vertices}  "
+          f"edges={dataset.n_edges}  parts={nparts}\n")
+
+    rows = []
+    for name in sorted(PARTITIONERS):
+        partitioner = get_partitioner(name, seed=0)
+        result = partitioner.partition(dataset.adjacency, nparts)
+        report = partition_report(dataset.adjacency, result.parts, nparts)
+
+        config = DistTrainConfig(n_ranks=nparts, sparsity_aware=True,
+                                 partitioner=name, epochs=2,
+                                 machine="perlmutter-scaled", seed=0)
+        trained = train_distributed(dataset, config, eval_every=0)
+
+        rows.append({
+            "partitioner": name,
+            "edgecut": int(report["edgecut"]),
+            "total_volume": int(report["total_volume"]),
+            "max_send_volume": int(report["max_send_volume"]),
+            "send_imbalance_pct": round(report["send_imbalance_pct"], 1),
+            "nnz_imbalance": round(report["nnz_imbalance"], 3),
+            "epoch_time_s": trained.avg_epoch_time_s,
+        })
+
+    rows.sort(key=lambda r: r["epoch_time_s"])
+    print(format_table(rows, title="partition quality and resulting "
+                                   "sparsity-aware epoch time"))
+    print("\nPartitioners that balance the *maximum* send volume (gvb, and the")
+    print("hypergraph partitioner with a bottleneck objective) sit at the top")
+    print("of the table on irregular graphs — the paper's Figure 6 conclusion.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Compare graph partitioners on the communication metrics that matter.
+
+The paper's Section 5 argues that a partitioner for sparsity-aware GNN
+training must minimise not only the *total* communication volume (METIS's
+objective) but also the *maximum* volume any process sends or receives —
+because the all-to-allv finishes only when the bottleneck process does.
+
+This example partitions the Amazon and Protein stand-ins with the random,
+METIS-like and GVB-like partitioners and prints, for each, the edgecut,
+total volume, bottleneck volume and imbalance — the data behind Table 2 and
+Figure 6.
+
+Run with::
+
+    python examples/partitioning_comparison.py
+"""
+
+from repro import load_dataset
+from repro.bench import format_table
+from repro.partition import communication_volumes_1d, get_partitioner
+
+PARTITIONERS = ("random", "metis_like", "gvb")
+DATASETS = ("amazon", "protein")
+NPARTS = 32
+
+
+def main() -> None:
+    rows = []
+    for name in DATASETS:
+        dataset = load_dataset(name, scale=0.3, seed=0)
+        for pname in PARTITIONERS:
+            partitioner = get_partitioner(pname, seed=0)
+            result = partitioner.partition(dataset.adjacency, NPARTS)
+            vol = communication_volumes_1d(dataset.adjacency, result.parts,
+                                           NPARTS)
+            rows.append({
+                "dataset": name,
+                "partitioner": pname,
+                "edgecut": int(result.stats["edgecut"]),
+                "total_volume": vol.total,
+                "max_send": vol.max_send,
+                "max_recv": vol.max_recv,
+                "send_imbalance_pct": round(vol.send_imbalance_pct, 1),
+                "nnz_imbalance": round(result.stats["nnz_imbalance"], 2),
+            })
+    print(format_table(
+        rows,
+        columns=["dataset", "partitioner", "edgecut", "total_volume",
+                 "max_send", "max_recv", "send_imbalance_pct", "nnz_imbalance"],
+        title=f"partition quality, {NPARTS} parts "
+              f"(volumes in rows of H per SpMM)"))
+    print()
+    print("Shapes to look for (cf. the paper):")
+    print(" * both partitioners cut total volume far below 'random';")
+    print(" * on the regular Protein graph both get the cut nearly to zero;")
+    print(" * on the irregular Amazon graph METIS leaves a much larger")
+    print("   bottleneck (max send/recv) than GVB, even when its total is "
+          "similar.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — reproduction of "Sparsity-Aware Communication for Distributed
+Graph Neural Network Training" (Mukhodopadhyay et al., ICPP 2024).
+
+The package is organised as:
+
+* :mod:`repro.core`      — sparsity-aware / oblivious 1D, 1.5D and 2D
+  distributed SpMM, the distributed GCN trainer built on them (the paper's
+  contribution), the closed-form alpha-beta cost model and the per-rank
+  memory/OOM model;
+* :mod:`repro.comm`      — the simulated multi-rank runtime (alpha-beta
+  machine model, network topologies, collectives, per-rank clocks, event
+  log, Chrome-trace export);
+* :mod:`repro.sparse`    — from-scratch COO/CSR kernels and blocked NnzCols
+  analysis (the cuSPARSE stand-in, independent of scipy);
+* :mod:`repro.partition` — random/block, METIS-like, GVB-like, spectral,
+  label-propagation and column-net hypergraph partitioners plus quality
+  metrics;
+* :mod:`repro.graphs`    — synthetic stand-ins for the paper's datasets,
+  adjacency utilities, features and I/O;
+* :mod:`repro.gcn`       — the single-process reference GCN / GraphSAGE,
+  optimisers, schedules and regularisation (the correctness baseline and
+  accuracy-side extensions);
+* :mod:`repro.bench`     — the experiment harness regenerating every table
+  and figure of the paper plus the ablation studies;
+* :mod:`repro.cli`       — the ``python -m repro`` command-line interface.
+
+Quickstart::
+
+    from repro import load_dataset, DistTrainConfig, train_distributed
+
+    dataset = load_dataset("reddit", scale=0.1)
+    config = DistTrainConfig(n_ranks=8, algorithm="1d", sparsity_aware=True,
+                             partitioner="gvb", epochs=20)
+    result = train_distributed(dataset, config)
+    print(result.avg_epoch_time_s, result.test_accuracy)
+"""
+
+from .comm import MachineModel, SimCommunicator, perlmutter
+from .core import (Algorithm, DistTrainConfig, DistTrainResult, DistributedGCN,
+                   ProcessGrid, setup_distributed, single_spmm_volume_table,
+                   spmm_1d_oblivious, spmm_1d_sparsity_aware,
+                   spmm_15d_oblivious, spmm_15d_sparsity_aware,
+                   train_distributed)
+from .gcn import GCNModel, ReferenceTrainConfig, train_reference
+from .graphs import GraphDataset, load_dataset
+from .partition import (BlockPartitioner, GVBPartitioner, MetisLikePartitioner,
+                        RandomPartitioner, get_partitioner, partition_report)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineModel", "SimCommunicator", "perlmutter",
+    "Algorithm", "DistTrainConfig", "DistTrainResult", "DistributedGCN",
+    "ProcessGrid", "setup_distributed", "single_spmm_volume_table",
+    "spmm_1d_oblivious", "spmm_1d_sparsity_aware",
+    "spmm_15d_oblivious", "spmm_15d_sparsity_aware", "train_distributed",
+    "GCNModel", "ReferenceTrainConfig", "train_reference",
+    "GraphDataset", "load_dataset",
+    "BlockPartitioner", "GVBPartitioner", "MetisLikePartitioner",
+    "RandomPartitioner", "get_partitioner", "partition_report",
+    "__version__",
+]

@@ -1,0 +1,157 @@
+"""Figure rendering and result persistence for the benchmark harness.
+
+The paper's evaluation is a set of log-log line plots and stacked-bar
+breakdowns.  Running offline and without a plotting dependency, the
+benchmarks render each figure in two forms:
+
+* an **ASCII line plot** (one character series per scheme) for the
+  terminal / the ``benchmarks/results/*.txt`` files,
+* a **CSV file** with the raw rows so users can re-plot with their own
+  tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import os
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["ascii_line_plot", "ascii_bar_chart", "write_csv", "save_results"]
+
+
+def _finite_float(value) -> Optional[float]:
+    try:
+        out = float(value)
+    except (TypeError, ValueError):
+        return None
+    if math.isnan(out) or math.isinf(out):
+        return None
+    return out
+
+
+def ascii_line_plot(rows: Sequence[Mapping[str, object]],
+                    group_by: str, x: str, y: str,
+                    width: int = 64, height: int = 16,
+                    log_x: bool = True, log_y: bool = True,
+                    title: Optional[str] = None) -> str:
+    """Render grouped ``(x, y)`` rows as an ASCII scatter/line plot.
+
+    Each group (scheme) gets one marker character; the axes default to log
+    scale to match the paper's log-log figures.  Rows with missing or
+    non-finite values (the out-of-memory points) are skipped, mirroring the
+    gaps in the paper's plots.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("plot must be at least 16x4 characters")
+    series: Dict[str, List[tuple]] = {}
+    for row in rows:
+        xv, yv = _finite_float(row.get(x)), _finite_float(row.get(y))
+        if xv is None or yv is None:
+            continue
+        if (log_x and xv <= 0) or (log_y and yv <= 0):
+            continue
+        series.setdefault(str(row.get(group_by)), []).append((xv, yv))
+    if not series:
+        return f"{title or 'plot'}: (no finite data points)"
+
+    def tx(v: float) -> float:
+        return math.log10(v) if log_x else v
+
+    def ty(v: float) -> float:
+        return math.log10(v) if log_y else v
+
+    xs = [tx(p[0]) for pts in series.values() for p in pts]
+    ys = [ty(p[1]) for pts in series.values() for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox*+#@%&"
+    legend = []
+    for idx, (name, pts) in enumerate(sorted(series.items())):
+        marker = markers[idx % len(markers)]
+        legend.append(f"{marker} = {name}")
+        for xv, yv in pts:
+            col = int(round((tx(xv) - x_lo) / x_span * (width - 1)))
+            row_idx = int(round((ty(yv) - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row_idx][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{10 ** y_hi:.3g}" if log_y else f"{y_hi:.3g}"
+    y_lo_label = f"{10 ** y_lo:.3g}" if log_y else f"{y_lo:.3g}"
+    label_width = max(len(y_hi_label), len(y_lo_label))
+    for i, grid_row in enumerate(grid):
+        if i == 0:
+            label = y_hi_label.rjust(label_width)
+        elif i == height - 1:
+            label = y_lo_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(grid_row)}")
+    x_lo_label = f"{10 ** x_lo:.3g}" if log_x else f"{x_lo:.3g}"
+    x_hi_label = f"{10 ** x_hi:.3g}" if log_x else f"{x_hi:.3g}"
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    lines.append(" " * (label_width + 2) + x_lo_label +
+                 x_hi_label.rjust(width - len(x_lo_label)))
+    lines.append(f"  {y} vs {x}   [{', '.join(legend)}]")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(values: Mapping[str, float], width: int = 50,
+                    title: Optional[str] = None) -> str:
+    """Render a mapping as horizontal ASCII bars (the breakdown figures)."""
+    if width < 10:
+        raise ValueError("bar chart width must be at least 10")
+    finite = {k: v for k, v in values.items()
+              if _finite_float(v) is not None and float(v) >= 0}
+    lines = []
+    if title:
+        lines.append(title)
+    if not finite:
+        lines.append("  (no data)")
+        return "\n".join(lines)
+    peak = max(finite.values()) or 1.0
+    label_width = max(len(str(k)) for k in finite)
+    for key, value in finite.items():
+        bar = "#" * int(round(width * float(value) / peak))
+        lines.append(f"  {str(key).ljust(label_width)} |{bar} {float(value):.4g}")
+    return "\n".join(lines)
+
+
+def write_csv(rows: Sequence[Mapping[str, object]], path: str) -> str:
+    """Write rows to ``path`` as CSV (the union of keys forms the header)."""
+    rows = list(rows)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in columns})
+    return path
+
+
+def save_results(rows: Sequence[Mapping[str, object]], directory: str,
+                 name: str, text: Optional[str] = None) -> Dict[str, str]:
+    """Persist one experiment's rows (CSV) and formatted text to a directory.
+
+    Returns the paths written, keyed by format.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths = {"csv": write_csv(rows, os.path.join(directory, f"{name}.csv"))}
+    if text is not None:
+        txt_path = os.path.join(directory, f"{name}.txt")
+        with open(txt_path, "w") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        paths["txt"] = txt_path
+    return paths

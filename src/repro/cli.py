@@ -1,0 +1,257 @@
+"""Command-line interface of the reproduction.
+
+``python -m repro <command>`` (or the ``repro`` console script when
+installed) exposes the library's main entry points without writing any
+Python:
+
+* ``repro datasets``   — Table-3 style statistics of the synthetic datasets,
+* ``repro partition``  — partition a dataset and print the quality report,
+* ``repro train``      — run simulated distributed training and print the
+  timing / accuracy summary,
+* ``repro bench``      — regenerate one of the paper's tables/figures,
+* ``repro cost``       — closed-form cost-model predictions,
+* ``repro memory``     — per-rank memory footprint / OOM check.
+
+Every command prints plain text (the same formatting the benchmark suite
+uses) and returns a process exit code, so the CLI is scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from . import bench
+from .bench.reporting import format_kv, format_series, format_table
+from .comm.machine import PRESETS
+from .core import (DistTrainConfig, estimate_rank_memory, fits_in_memory,
+                   spmm_cost_1d_oblivious, spmm_cost_1d_sparsity_aware,
+                   train_distributed)
+from .core.dist_matrix import BlockRowDistribution, DistSparseMatrix
+from .graphs.adjacency import (gcn_normalize, permutation_from_parts,
+                               symmetric_permutation)
+from .graphs.datasets import DATASET_NAMES, dataset_summary, load_dataset
+from .partition import PARTITIONERS, get_partitioner, partition_report
+
+__all__ = ["main", "build_parser"]
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sparsity-aware distributed GNN training — reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_dataset_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", choices=list(DATASET_NAMES),
+                       default="amazon", help="synthetic dataset stand-in")
+        p.add_argument("--scale", type=float, default=0.3,
+                       help="dataset scale factor")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_datasets = sub.add_parser("datasets", help="print dataset statistics")
+    p_datasets.add_argument("--scale", type=float, default=0.3)
+    p_datasets.add_argument("--seed", type=int, default=0)
+
+    p_partition = sub.add_parser("partition", help="partition a dataset")
+    add_dataset_args(p_partition)
+    p_partition.add_argument("--nparts", type=int, default=8)
+    p_partition.add_argument("--partitioner", choices=sorted(PARTITIONERS),
+                             default="gvb")
+
+    p_train = sub.add_parser("train", help="run simulated distributed training")
+    add_dataset_args(p_train)
+    p_train.add_argument("--ranks", type=int, default=8)
+    p_train.add_argument("--algorithm", choices=["1d", "1.5d"], default="1d")
+    p_train.add_argument("--replication", type=int, default=1)
+    p_train.add_argument("--oblivious", action="store_true",
+                         help="use the sparsity-oblivious (CAGNET) baseline")
+    p_train.add_argument("--partitioner",
+                         choices=sorted(PARTITIONERS) + ["none"],
+                         default="gvb")
+    p_train.add_argument("--epochs", type=int, default=5)
+    p_train.add_argument("--hidden", type=int, default=16)
+    p_train.add_argument("--layers", type=int, default=3)
+    p_train.add_argument("--machine", choices=sorted(PRESETS),
+                         default="perlmutter-scaled")
+
+    p_bench = sub.add_parser("bench", help="regenerate a paper table/figure")
+    p_bench.add_argument("experiment",
+                         choices=["table2", "table3", "fig3", "fig4", "fig5",
+                                  "fig6", "fig7"])
+    p_bench.add_argument("--scale", type=float, default=None)
+    p_bench.add_argument("--epochs", type=int, default=None)
+    p_bench.add_argument("--seed", type=int, default=0)
+
+    p_cost = sub.add_parser("cost", help="cost-model prediction for one SpMM")
+    add_dataset_args(p_cost)
+    p_cost.add_argument("--ranks", type=int, default=16)
+    p_cost.add_argument("--partitioner",
+                        choices=sorted(PARTITIONERS) + ["none"], default="gvb")
+    p_cost.add_argument("--machine", choices=sorted(PRESETS),
+                        default="perlmutter")
+
+    p_mem = sub.add_parser("memory", help="per-rank memory estimate")
+    p_mem.add_argument("--vertices", type=int, required=True)
+    p_mem.add_argument("--edges", type=int, required=True,
+                       help="number of undirected edges")
+    p_mem.add_argument("--features", type=int, default=300)
+    p_mem.add_argument("--classes", type=int, default=24)
+    p_mem.add_argument("--ranks", type=int, default=16)
+    p_mem.add_argument("--hidden", type=int, default=16)
+    p_mem.add_argument("--layers", type=int, default=3)
+    p_mem.add_argument("--machine", choices=sorted(PRESETS),
+                       default="perlmutter")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _cmd_datasets(args) -> int:
+    rows = [dataset_summary(load_dataset(name, scale=args.scale,
+                                         seed=args.seed))
+            for name in DATASET_NAMES]
+    print(format_table(rows, title="Datasets (scaled stand-ins vs paper scale)"))
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    partitioner = get_partitioner(args.partitioner, seed=args.seed)
+    result = partitioner.partition(dataset.adjacency, args.nparts)
+    report = partition_report(dataset.adjacency, result.parts, args.nparts)
+    print(format_kv(report,
+                    title=f"{args.partitioner} on {dataset.name} "
+                          f"(n={dataset.n_vertices}, nparts={args.nparts})"))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    config = DistTrainConfig(
+        n_ranks=args.ranks,
+        algorithm=args.algorithm,
+        sparsity_aware=not args.oblivious,
+        partitioner=None if args.partitioner == "none" else args.partitioner,
+        replication_factor=args.replication,
+        hidden=args.hidden,
+        n_layers=args.layers,
+        epochs=args.epochs,
+        machine=args.machine,
+        seed=args.seed,
+    )
+    result = train_distributed(dataset, config, eval_every=0)
+    summary = {
+        "dataset": dataset.name,
+        "scheme": config.scheme_label,
+        "algorithm": config.algorithm,
+        "ranks": config.n_ranks,
+        "epochs": config.epochs,
+        "avg_epoch_time_s": result.avg_epoch_time_s,
+        "total_time_s": result.total_time_s,
+        "final_loss": result.final_loss,
+        "test_accuracy": result.test_accuracy,
+    }
+    summary.update({f"time_{k}_s_per_epoch": v
+                    for k, v in result.breakdown.items()})
+    summary.update({f"comm_{k}": v for k, v in result.comm_summary.items()
+                    if k in ("total_MB", "max_MB_per_rank", "imbalance_pct")})
+    print(format_kv(summary, title="simulated distributed training"))
+    return 0
+
+
+_BENCH_DISPATCH = {
+    "table2": (bench.table2_metis_comm_stats, "Table 2 — METIS comm stats"),
+    "table3": (bench.table3_dataset_stats, "Table 3 — datasets"),
+    "fig3": (bench.figure3_1d_scaling, "Figure 3 — 1D scaling"),
+    "fig4": (bench.figure4_1d_breakdown, "Figure 4 — 1D breakdown"),
+    "fig5": (bench.figure5_papers_breakdown, "Figure 5 — Papers at p=16"),
+    "fig6": (bench.figure6_partitioner_comparison, "Figure 6 — GVB vs METIS"),
+    "fig7": (bench.figure7_15d_scaling, "Figure 7 — 1.5D"),
+}
+
+
+def _cmd_bench(args) -> int:
+    fn, title = _BENCH_DISPATCH[args.experiment]
+    kwargs = {"seed": args.seed}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.epochs is not None and args.experiment not in ("table2", "table3"):
+        kwargs["epochs"] = args.epochs
+    rows = fn(**kwargs)
+    print(format_table(rows, title=title))
+    if args.experiment in ("fig3", "fig6", "fig7"):
+        print()
+        print(format_series(rows, group_by="scheme", x="p", y="epoch_time_s",
+                            title="epoch time per scheme"))
+    return 0
+
+
+def _cmd_cost(args) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    adjacency = gcn_normalize(dataset.adjacency)
+    if args.partitioner != "none":
+        part = get_partitioner(args.partitioner, seed=args.seed).partition(
+            dataset.adjacency, args.ranks)
+        perm = permutation_from_parts(part.parts, args.ranks)
+        adjacency = symmetric_permutation(adjacency, perm)
+        dist = BlockRowDistribution.from_partition(part.part_sizes())
+    else:
+        dist = BlockRowDistribution.uniform(adjacency.shape[0], args.ranks)
+    matrix = DistSparseMatrix(adjacency, dist)
+    f = dataset.n_features
+    aware = spmm_cost_1d_sparsity_aware(matrix, f, args.machine)
+    oblivious = spmm_cost_1d_oblivious(matrix, f, args.machine)
+    print(format_kv(aware.as_dict(),
+                    title=f"sparsity-aware 1D SpMM cost ({dataset.name}, "
+                          f"p={args.ranks}, f={f})"))
+    print(format_kv(oblivious.as_dict(), title="sparsity-oblivious (CAGNET)"))
+    ratio = oblivious.communication_s / aware.communication_s \
+        if aware.communication_s > 0 else float("inf")
+    print(f"\npredicted communication speedup of sparsity-aware: {ratio:.2f}x")
+    return 0
+
+
+def _cmd_memory(args) -> int:
+    config = DistTrainConfig(n_ranks=args.ranks, hidden=args.hidden,
+                             n_layers=args.layers, epochs=1)
+    estimate = estimate_rank_memory(args.vertices, 2 * args.edges,
+                                    args.features, args.classes, config)
+    print(format_kv(estimate.as_dict(),
+                    title=f"per-rank memory estimate (p={args.ranks})"))
+    fits = fits_in_memory(estimate, args.machine)
+    print(f"\nfits in one {args.machine} rank's memory: {fits}")
+    return 0 if fits else 1
+
+
+_DISPATCH = {
+    "datasets": _cmd_datasets,
+    "partition": _cmd_partition,
+    "train": _cmd_train,
+    "bench": _cmd_bench,
+    "cost": _cmd_cost,
+    "memory": _cmd_memory,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return _DISPATCH[args.command](args)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Simulated distributed communication substrate.
+
+This package replaces the paper's PyTorch + NCCL + Perlmutter stack with a
+deterministic simulator:
+
+* :mod:`repro.comm.machine`     — alpha-beta machine models (Perlmutter preset),
+* :mod:`repro.comm.events`      — per-message event log,
+* :mod:`repro.comm.timeline`    — per-rank clocks and category attribution,
+* :mod:`repro.comm.collectives` — cost formulas for collectives,
+* :mod:`repro.comm.simulator`   — the :class:`SimCommunicator` used by all
+  distributed algorithms in :mod:`repro.core`,
+* :mod:`repro.comm.tracker`     — volume/timing statistics used by the
+  benchmark harness.
+"""
+
+from .events import CommEvent, EventLog
+from .machine import (MachineModel, PRESETS, get_machine, laptop, perlmutter,
+                      perlmutter_scaled)
+from .simulator import SimCommunicator
+from .timeline import Timeline, WAIT_CATEGORY
+from .topology import (DragonflyTopology, FatTreeTopology, FlatTopology,
+                       NetworkTopology, TOPOLOGIES, TopologyMachine,
+                       Torus2DTopology, get_topology, make_topology_machine)
+from .trace import (OverlapReport, chrome_trace, overlap_analysis,
+                    save_chrome_trace)
+from .tracker import CommStats, VolumeStats, volume_stats_from_send_bytes
+
+__all__ = [
+    "CommEvent",
+    "EventLog",
+    "MachineModel",
+    "PRESETS",
+    "get_machine",
+    "laptop",
+    "perlmutter",
+    "perlmutter_scaled",
+    "SimCommunicator",
+    "Timeline",
+    "WAIT_CATEGORY",
+    "NetworkTopology",
+    "FlatTopology",
+    "FatTreeTopology",
+    "Torus2DTopology",
+    "DragonflyTopology",
+    "TopologyMachine",
+    "TOPOLOGIES",
+    "get_topology",
+    "make_topology_machine",
+    "OverlapReport",
+    "chrome_trace",
+    "overlap_analysis",
+    "save_chrome_trace",
+    "CommStats",
+    "VolumeStats",
+    "volume_stats_from_send_bytes",
+]

@@ -1,0 +1,289 @@
+"""Inter-node network topology models.
+
+The base :class:`~repro.comm.machine.MachineModel` prices every inter-node
+message with a single ``(alpha_inter, beta_inter)`` pair — a flat network,
+which is a good first-order model of Perlmutter's Slingshot fabric at the
+scales the paper uses.  This module refines that model for studies of how
+the sparsity-aware algorithms behave on *other* interconnects:
+
+* :class:`FlatTopology`        — every node pair is one hop (the default),
+* :class:`FatTreeTopology`     — nodes grouped into switches arranged in a
+  tree; hop count grows with the first differing level and bandwidth can
+  taper towards the root,
+* :class:`Torus2DTopology`     — 2-D torus with shortest-path Manhattan hops,
+* :class:`DragonflyTopology`   — two-level groups (intra-group all-to-all,
+  one global hop between groups), the Slingshot/Cray topology family.
+
+:class:`TopologyMachine` is a drop-in :class:`MachineModel` whose per-pair
+link cost accounts for the hop count (latency) and the narrowest link on
+the path (bandwidth), so the existing simulator, collectives and trainers
+work unchanged on any topology.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .machine import MachineModel, perlmutter
+
+__all__ = [
+    "NetworkTopology",
+    "FlatTopology",
+    "FatTreeTopology",
+    "Torus2DTopology",
+    "DragonflyTopology",
+    "TopologyMachine",
+    "TOPOLOGIES",
+    "get_topology",
+    "make_topology_machine",
+]
+
+
+class NetworkTopology(abc.ABC):
+    """Abstract hop/bandwidth model between *nodes* (not ranks)."""
+
+    #: short identifier used in reports
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def hops(self, node_a: int, node_b: int) -> int:
+        """Number of network links on the route between two nodes."""
+
+    def bandwidth_taper(self, node_a: int, node_b: int) -> float:
+        """Multiplier (>= 1) on the per-byte cost of the narrowest link of
+        the route.  1.0 means full bisection bandwidth."""
+        return 1.0
+
+    # Convenience ------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Human-readable parameters (for reports and tests)."""
+        return {"name": self.name}
+
+
+@dataclass(frozen=True)
+class FlatTopology(NetworkTopology):
+    """Every pair of distinct nodes is exactly one hop apart."""
+
+    name: str = "flat"
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        return 0 if node_a == node_b else 1
+
+
+@dataclass(frozen=True)
+class FatTreeTopology(NetworkTopology):
+    """A k-ary fat tree described by its switch radix per level.
+
+    ``radix`` nodes share a leaf switch; ``radix`` leaf switches share a
+    level-2 switch, and so on.  Two nodes under the same leaf are 2 hops
+    apart (up, down); each additional level adds 2 hops.  ``taper`` > 1
+    models oversubscription: traffic that has to climb ``k`` levels pays
+    ``taper**k`` times the per-byte cost.
+    """
+
+    radix: int = 4
+    levels: int = 3
+    taper: float = 1.0
+    name: str = "fat-tree"
+
+    def __post_init__(self) -> None:
+        if self.radix < 2:
+            raise ValueError("fat-tree radix must be at least 2")
+        if self.levels < 1:
+            raise ValueError("fat-tree needs at least one level")
+        if self.taper < 1.0:
+            raise ValueError("taper must be >= 1 (1 = full bisection)")
+
+    def _levels_to_common_ancestor(self, node_a: int, node_b: int) -> int:
+        if node_a == node_b:
+            return 0
+        level = 0
+        a, b = node_a, node_b
+        while a != b:
+            a //= self.radix
+            b //= self.radix
+            level += 1
+            if level >= self.levels:
+                break
+        return level
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        k = self._levels_to_common_ancestor(node_a, node_b)
+        return 2 * k
+
+    def bandwidth_taper(self, node_a: int, node_b: int) -> float:
+        k = self._levels_to_common_ancestor(node_a, node_b)
+        if k <= 1:
+            return 1.0
+        return self.taper ** (k - 1)
+
+    def describe(self) -> Dict[str, object]:
+        return {"name": self.name, "radix": self.radix, "levels": self.levels,
+                "taper": self.taper}
+
+
+@dataclass(frozen=True)
+class Torus2DTopology(NetworkTopology):
+    """A ``rows x cols`` 2-D torus; hops are wrap-around Manhattan distance."""
+
+    rows: int = 4
+    cols: int = 4
+    name: str = "torus-2d"
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("torus dimensions must be positive")
+
+    @property
+    def n_nodes(self) -> int:
+        return self.rows * self.cols
+
+    def _coords(self, node: int) -> Tuple[int, int]:
+        node = node % self.n_nodes
+        return node // self.cols, node % self.cols
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        if node_a == node_b:
+            return 0
+        ra, ca = self._coords(node_a)
+        rb, cb = self._coords(node_b)
+        dr = abs(ra - rb)
+        dc = abs(ca - cb)
+        dr = min(dr, self.rows - dr)
+        dc = min(dc, self.cols - dc)
+        return max(1, dr + dc)
+
+    def describe(self) -> Dict[str, object]:
+        return {"name": self.name, "rows": self.rows, "cols": self.cols}
+
+
+@dataclass(frozen=True)
+class DragonflyTopology(NetworkTopology):
+    """Two-level dragonfly: all-to-all within a group, one global hop across.
+
+    Nodes ``[g * group_size, (g+1) * group_size)`` form group ``g``.
+    Intra-group messages take 1 hop; inter-group messages take 3 hops
+    (source switch -> global link -> destination switch) and may pay a
+    ``global_taper`` bandwidth penalty on the global link.
+    """
+
+    group_size: int = 8
+    global_taper: float = 1.0
+    name: str = "dragonfly"
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1:
+            raise ValueError("group_size must be positive")
+        if self.global_taper < 1.0:
+            raise ValueError("global_taper must be >= 1")
+
+    def group_of(self, node: int) -> int:
+        return node // self.group_size
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        if node_a == node_b:
+            return 0
+        if self.group_of(node_a) == self.group_of(node_b):
+            return 1
+        return 3
+
+    def bandwidth_taper(self, node_a: int, node_b: int) -> float:
+        if node_a == node_b or self.group_of(node_a) == self.group_of(node_b):
+            return 1.0
+        return self.global_taper
+
+    def describe(self) -> Dict[str, object]:
+        return {"name": self.name, "group_size": self.group_size,
+                "global_taper": self.global_taper}
+
+
+# ----------------------------------------------------------------------
+# Topology-aware machine model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TopologyMachine(MachineModel):
+    """A :class:`MachineModel` whose inter-node links follow a topology.
+
+    Intra-node messages are priced exactly as in the base model.  An
+    inter-node message between nodes ``u`` and ``v`` pays
+
+    * latency ``alpha_inter * hops(u, v)`` — one switch traversal per hop,
+    * per-byte cost ``beta_inter * bandwidth_taper(u, v)`` — the narrowest
+      link of the route.
+
+    Because this class *is* a ``MachineModel``, it can be passed anywhere a
+    machine preset is accepted (``SimCommunicator``, ``DistTrainConfig``,
+    the benchmark harness).
+    """
+
+    topology: NetworkTopology = field(default_factory=FlatTopology)
+
+    def link(self, src: int, dst: int) -> tuple[float, float]:
+        if src == dst:
+            return (0.0, 0.0)
+        if self.same_node(src, dst):
+            return (self.alpha_intra, self.beta_intra)
+        node_src = self.node_of(src)
+        node_dst = self.node_of(dst)
+        hops = max(1, self.topology.hops(node_src, node_dst))
+        taper = self.topology.bandwidth_taper(node_src, node_dst)
+        return (self.alpha_inter * hops, self.beta_inter * taper)
+
+
+#: Registry of topology factories keyed by name (all use default parameters).
+TOPOLOGIES: Dict[str, type] = {
+    "flat": FlatTopology,
+    "fat-tree": FatTreeTopology,
+    "torus-2d": Torus2DTopology,
+    "dragonfly": DragonflyTopology,
+}
+
+
+def get_topology(name: str, **kwargs) -> NetworkTopology:
+    """Instantiate a topology by registry name."""
+    try:
+        cls = TOPOLOGIES[name]
+    except KeyError:
+        raise KeyError(f"unknown topology {name!r}; "
+                       f"available: {sorted(TOPOLOGIES)}") from None
+    return cls(**kwargs)
+
+
+def make_topology_machine(topology: "str | NetworkTopology",
+                          base: MachineModel = None,
+                          **topology_kwargs) -> TopologyMachine:
+    """Build a :class:`TopologyMachine` from a base preset and a topology.
+
+    Parameters
+    ----------
+    topology:
+        A topology instance or a registry name (``"flat"``, ``"fat-tree"``,
+        ``"torus-2d"``, ``"dragonfly"``).
+    base:
+        Machine whose link/compute rates to inherit (default: the paper's
+        Perlmutter preset).
+    topology_kwargs:
+        Forwarded to the topology constructor when ``topology`` is a name.
+    """
+    if base is None:
+        base = perlmutter()
+    if isinstance(topology, str):
+        topology = get_topology(topology, **topology_kwargs)
+    elif topology_kwargs:
+        raise ValueError("topology_kwargs are only valid with a topology name")
+    return TopologyMachine(
+        name=f"{base.name}+{topology.name}",
+        gpus_per_node=base.gpus_per_node,
+        alpha_intra=base.alpha_intra,
+        alpha_inter=base.alpha_inter,
+        beta_intra=base.beta_intra,
+        beta_inter=base.beta_inter,
+        spmm_flop_rate=base.spmm_flop_rate,
+        gemm_flop_rate=base.gemm_flop_rate,
+        elementwise_rate=base.elementwise_rate,
+        memory_bytes=base.memory_bytes,
+        topology=topology,
+    )

@@ -1,0 +1,133 @@
+"""High-level communication statistics.
+
+:class:`CommStats` is a read-only facade over an :class:`~repro.comm.events.EventLog`
+and a :class:`~repro.comm.timeline.Timeline` that answers the questions the
+paper's tables and figures ask:
+
+* total / average / maximum bytes sent per process (Table 2),
+* communication load imbalance (max over average minus one, in percent),
+* per-category timing breakdown (Figures 4 and 5),
+* per-epoch elapsed time (Figures 3, 6, 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .events import EventLog
+from .timeline import Timeline
+
+__all__ = ["VolumeStats", "CommStats"]
+
+
+@dataclass(frozen=True)
+class VolumeStats:
+    """Summary of per-process communication volume (in bytes).
+
+    ``imbalance_pct`` follows the paper's definition for Table 2: how much
+    larger the bottleneck process's volume is relative to the average, in
+    percent (``(max/avg - 1) * 100``).
+    """
+
+    total_bytes: int
+    avg_bytes_per_rank: float
+    max_bytes_per_rank: int
+    min_bytes_per_rank: int
+    imbalance_pct: float
+
+    @property
+    def avg_megabytes(self) -> float:
+        return self.avg_bytes_per_rank / 1e6
+
+    @property
+    def max_megabytes(self) -> float:
+        return self.max_bytes_per_rank / 1e6
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "total_bytes": float(self.total_bytes),
+            "avg_bytes_per_rank": float(self.avg_bytes_per_rank),
+            "max_bytes_per_rank": float(self.max_bytes_per_rank),
+            "min_bytes_per_rank": float(self.min_bytes_per_rank),
+            "imbalance_pct": float(self.imbalance_pct),
+        }
+
+
+def volume_stats_from_send_bytes(send_bytes: np.ndarray) -> VolumeStats:
+    """Build :class:`VolumeStats` from a per-rank send-byte vector."""
+    send_bytes = np.asarray(send_bytes, dtype=np.int64)
+    total = int(send_bytes.sum())
+    avg = float(send_bytes.mean()) if send_bytes.size else 0.0
+    mx = int(send_bytes.max()) if send_bytes.size else 0
+    mn = int(send_bytes.min()) if send_bytes.size else 0
+    imb = ((mx / avg) - 1.0) * 100.0 if avg > 0 else 0.0
+    return VolumeStats(total_bytes=total, avg_bytes_per_rank=avg,
+                       max_bytes_per_rank=mx, min_bytes_per_rank=mn,
+                       imbalance_pct=imb)
+
+
+class CommStats:
+    """Aggregated communication/timing statistics for a simulated run."""
+
+    def __init__(self, nranks: int, events: EventLog, timeline: Timeline) -> None:
+        self.nranks = nranks
+        self.events = events
+        self.timeline = timeline
+
+    # -- volume ----------------------------------------------------------
+    def send_volume(self, category: Optional[str] = None) -> VolumeStats:
+        """Per-process *send* volume statistics (the paper's Table 2 metric)."""
+        sends = self.events.bytes_sent_by_rank(self.nranks, category=category)
+        return volume_stats_from_send_bytes(sends)
+
+    def recv_volume(self, category: Optional[str] = None) -> VolumeStats:
+        recvs = self.events.bytes_received_by_rank(self.nranks, category=category)
+        return volume_stats_from_send_bytes(recvs)
+
+    def total_bytes(self, category: Optional[str] = None) -> int:
+        return self.events.total_bytes(category=category)
+
+    def traffic_matrix(self, category: Optional[str] = None) -> np.ndarray:
+        return self.events.traffic_matrix(self.nranks, category=category)
+
+    def max_pairwise_bytes(self, category: Optional[str] = None) -> int:
+        """Largest single src->dst aggregate, the ``cut_P(G) * f`` bound of
+        the paper's communication model."""
+        mat = self.traffic_matrix(category=category)
+        np.fill_diagonal(mat, 0)
+        return int(mat.max()) if mat.size else 0
+
+    # -- time ------------------------------------------------------------
+    def elapsed(self) -> float:
+        return self.timeline.elapsed()
+
+    def breakdown(self, reduce: str = "max",
+                  include_wait: bool = False) -> Dict[str, float]:
+        return self.timeline.breakdown(reduce=reduce, include_wait=include_wait)
+
+    def communication_seconds(self, reduce: str = "max") -> float:
+        """Sum of all non-compute, non-wait categories."""
+        br = self.timeline.breakdown(reduce=reduce, include_wait=False)
+        return sum(v for k, v in br.items() if k not in ("local", "compute"))
+
+    def compute_seconds(self, reduce: str = "max") -> float:
+        br = self.timeline.breakdown(reduce=reduce, include_wait=False)
+        return sum(v for k, v in br.items() if k in ("local", "compute"))
+
+    # -- reporting ---------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        vol = self.send_volume()
+        out: Dict[str, float] = {
+            "elapsed_s": self.elapsed(),
+            "total_MB": vol.total_bytes / 1e6,
+            "avg_MB_per_rank": vol.avg_megabytes,
+            "max_MB_per_rank": vol.max_megabytes,
+            "imbalance_pct": vol.imbalance_pct,
+            "messages": float(self.events.message_count()),
+        }
+        for cat, sec in self.breakdown().items():
+            out[f"time_{cat}_s"] = sec
+        return out

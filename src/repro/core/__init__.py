@@ -1,0 +1,44 @@
+"""The paper's primary contribution: sparsity-aware distributed SpMM and
+distributed full-graph GCN training built on it."""
+
+from .analysis import (ELEMENT_BYTES, VolumeTableRow, predicted_bytes_per_spmm,
+                       predicted_rows_oblivious_1d,
+                       predicted_rows_sparsity_aware_1d,
+                       single_spmm_volume_table)
+from .config import Algorithm, DistTrainConfig
+from .costmodel import (CommCostBreakdown, best_replication_factor,
+                        crossover_process_count, epoch_cost,
+                        spmm_cost_15d_oblivious, spmm_cost_15d_sparsity_aware,
+                        spmm_cost_1d_oblivious, spmm_cost_1d_sparsity_aware)
+from .dist_gcn import DistLayerCache, DistributedGCN
+from .dist_matrix import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
+from .memory import (MemoryEstimate, estimate_rank_memory,
+                     feasible_process_counts, fits_in_memory)
+from .nnzcols import BlockColumnInfo, nnz_columns_per_block, split_block_row
+from .spmm_1d import spmm_1d_oblivious, spmm_1d_sparsity_aware
+from .spmm_15d import ProcessGrid, spmm_15d_oblivious, spmm_15d_sparsity_aware
+from .spmm_2d import (Dist2DSparseMatrix, Grid2D, spmm_2d_oblivious,
+                      spmm_2d_sparsity_aware)
+from .trainer import (DistEpochRecord, DistributedSetup, DistTrainResult,
+                      setup_distributed, train_distributed)
+
+__all__ = [
+    "ELEMENT_BYTES", "VolumeTableRow", "predicted_bytes_per_spmm",
+    "predicted_rows_oblivious_1d", "predicted_rows_sparsity_aware_1d",
+    "single_spmm_volume_table",
+    "Algorithm", "DistTrainConfig",
+    "CommCostBreakdown", "best_replication_factor", "crossover_process_count",
+    "epoch_cost", "spmm_cost_1d_oblivious", "spmm_cost_1d_sparsity_aware",
+    "spmm_cost_15d_oblivious", "spmm_cost_15d_sparsity_aware",
+    "DistLayerCache", "DistributedGCN",
+    "BlockRowDistribution", "DistDenseMatrix", "DistSparseMatrix",
+    "MemoryEstimate", "estimate_rank_memory", "feasible_process_counts",
+    "fits_in_memory",
+    "BlockColumnInfo", "nnz_columns_per_block", "split_block_row",
+    "spmm_1d_oblivious", "spmm_1d_sparsity_aware",
+    "ProcessGrid", "spmm_15d_oblivious", "spmm_15d_sparsity_aware",
+    "Grid2D", "Dist2DSparseMatrix", "spmm_2d_oblivious",
+    "spmm_2d_sparsity_aware",
+    "DistEpochRecord", "DistributedSetup", "DistTrainResult",
+    "setup_distributed", "train_distributed",
+]

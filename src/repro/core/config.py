@@ -1,0 +1,108 @@
+"""Configuration dataclasses for distributed GCN training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..comm.machine import MachineModel
+
+__all__ = ["Algorithm", "DistTrainConfig"]
+
+
+#: The two distributed SpMM families the paper evaluates.
+ALGORITHMS = ("1d", "1.5d")
+
+
+class Algorithm:
+    """String constants for the supported distributed SpMM algorithms."""
+
+    ONE_D = "1d"
+    ONE_POINT_FIVE_D = "1.5d"
+
+
+@dataclass(frozen=True)
+class DistTrainConfig:
+    """Configuration of a distributed training run.
+
+    Attributes
+    ----------
+    n_ranks:
+        Number of simulated processes (GPUs in the paper).
+    algorithm:
+        ``"1d"`` or ``"1.5d"``.
+    sparsity_aware:
+        ``False`` reproduces the CAGNET sparsity-oblivious baselines;
+        ``True`` enables the paper's sparsity-aware communication.
+    partitioner:
+        Registry name of the partitioner used to distribute the graph
+        (``"block"``, ``"random"``, ``"metis_like"``, ``"gvb"``).  ``None``
+        means the natural block distribution (no reordering).
+    replication_factor:
+        The 1.5D replication factor ``c`` (ignored for 1D; ``c = 1``
+        degenerates to the 1D layout).
+    hidden / n_layers:
+        GCN architecture (paper: 3 layers, 16 hidden units).
+    epochs / learning_rate:
+        Training loop hyper-parameters (paper: 100 epochs).
+    machine:
+        Machine preset name or a :class:`~repro.comm.MachineModel`.
+    seed:
+        Seed shared by weight init, partitioner tie-breaking and dataset
+        generation helpers.
+    normalize_adjacency:
+        Apply the symmetric GCN normalisation before training.
+    """
+
+    n_ranks: int = 4
+    algorithm: str = Algorithm.ONE_D
+    sparsity_aware: bool = True
+    partitioner: Optional[str] = "gvb"
+    replication_factor: int = 1
+    hidden: int = 16
+    n_layers: int = 3
+    epochs: int = 100
+    learning_rate: float = 0.05
+    machine: Union[str, MachineModel] = "perlmutter"
+    seed: int = 0
+    normalize_adjacency: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"algorithm must be one of {ALGORITHMS}, got {self.algorithm!r}")
+        if self.replication_factor <= 0:
+            raise ValueError("replication_factor must be positive")
+        if self.algorithm == Algorithm.ONE_POINT_FIVE_D:
+            c = self.replication_factor
+            if self.n_ranks % c != 0:
+                raise ValueError(
+                    f"replication factor {c} must divide n_ranks "
+                    f"{self.n_ranks}")
+            if (self.n_ranks // c) % c != 0:
+                raise ValueError(
+                    f"1.5D requires c | P/c (P={self.n_ranks}, c={c})")
+        if self.n_layers < 1:
+            raise ValueError("n_layers must be at least 1")
+        if self.epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+    @property
+    def n_block_rows(self) -> int:
+        """Number of block rows of the data distribution (P for 1D, P/c for 1.5D)."""
+        if self.algorithm == Algorithm.ONE_POINT_FIVE_D:
+            return self.n_ranks // self.replication_factor
+        return self.n_ranks
+
+    @property
+    def scheme_label(self) -> str:
+        """Short label used in benchmark tables (CAGNET / SA / SA+<part>)."""
+        if not self.sparsity_aware:
+            return "CAGNET"
+        if self.partitioner in (None, "block", "random"):
+            return "SA"
+        return f"SA+{self.partitioner.upper().replace('_LIKE', '')}"

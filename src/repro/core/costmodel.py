@@ -1,0 +1,318 @@
+"""Closed-form alpha-beta cost model of the paper's algorithms.
+
+Section 4 of the paper derives per-process communication costs under the
+alpha-beta model:
+
+* sparsity-aware 1D:      ``T = alpha (P-1) + (P-1) cut_P(G) f beta``
+* sparsity-aware 1.5D:    ``T = alpha (P/c^2) log(P/c^2) + (P/c^2) cut_P(G) f beta``
+  plus the all-reduce of the replicated partial sums,
+* sparsity-oblivious 1D (CAGNET): every block row of ``H`` is broadcast in
+  full, so the bandwidth term is ``n f beta`` regardless of ``P`` — the
+  reason the CAGNET curves in Figure 3 do not go down with more GPUs,
+* per-epoch totals multiply the per-SpMM terms by ``2 L`` (two SpMMs per
+  layer, forward and input-gradient).
+
+This module evaluates those formulas for a concrete distributed matrix and
+machine so that
+
+* the benchmarks can print predicted-vs-simulated columns,
+* :func:`crossover_process_count` can answer "from how many GPUs on does
+  the sparsity-aware algorithm win?" analytically, and
+* :func:`best_replication_factor` can pick the 1.5D ``c`` the way the
+  paper's Figure 7 discussion does.
+
+The *volume* quantities are exact (they come from the same ``NnzCols``
+analysis the algorithms use); the *time* quantities are model estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..comm.machine import MachineModel, get_machine
+from .analysis import ELEMENT_BYTES
+from .dist_matrix import DistSparseMatrix
+
+__all__ = [
+    "CommCostBreakdown",
+    "spmm_cost_1d_oblivious",
+    "spmm_cost_1d_sparsity_aware",
+    "spmm_cost_15d_oblivious",
+    "spmm_cost_15d_sparsity_aware",
+    "epoch_cost",
+    "crossover_process_count",
+    "best_replication_factor",
+]
+
+
+@dataclass(frozen=True)
+class CommCostBreakdown:
+    """Predicted per-process cost of one distributed SpMM (seconds)."""
+
+    latency_s: float
+    bandwidth_s: float
+    reduction_s: float = 0.0
+    compute_s: float = 0.0
+
+    @property
+    def communication_s(self) -> float:
+        return self.latency_s + self.bandwidth_s + self.reduction_s
+
+    @property
+    def total_s(self) -> float:
+        return self.communication_s + self.compute_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "latency_s": self.latency_s,
+            "bandwidth_s": self.bandwidth_s,
+            "reduction_s": self.reduction_s,
+            "compute_s": self.compute_s,
+            "communication_s": self.communication_s,
+            "total_s": self.total_s,
+        }
+
+
+# ----------------------------------------------------------------------
+# Volume helpers
+# ----------------------------------------------------------------------
+def _max_pairwise_rows(matrix: DistSparseMatrix) -> int:
+    """``cut_P(G)``: the largest |NnzCols(i, j)| over all process pairs."""
+    needed = matrix.needed_rows_matrix()
+    return int(needed.max()) if needed.size else 0
+
+
+def _avg_block_rows(matrix: DistSparseMatrix) -> float:
+    return float(matrix.dist.block_sizes.mean())
+
+
+def _local_spmm_flops(matrix: DistSparseMatrix, f: int) -> float:
+    """Bottleneck (max over ranks) local SpMM flops of one distributed SpMM."""
+    per_rank = np.array([block.nnz for block in matrix.block_rows], dtype=float)
+    return float(per_rank.max()) * 2.0 * f if per_rank.size else 0.0
+
+
+# ----------------------------------------------------------------------
+# Per-SpMM cost formulas
+# ----------------------------------------------------------------------
+def spmm_cost_1d_oblivious(matrix: DistSparseMatrix, f: int,
+                           machine: "str | MachineModel",
+                           element_bytes: int = ELEMENT_BYTES
+                           ) -> CommCostBreakdown:
+    """CAGNET 1D: ``P`` broadcasts of full block rows of ``H``."""
+    machine = get_machine(machine)
+    p = matrix.nblocks
+    if f <= 0:
+        raise ValueError("feature width must be positive")
+    alpha, beta = machine.worst_link(p)
+    if p <= 1:
+        return CommCostBreakdown(0.0, 0.0, 0.0,
+                                 machine.spmm_time(_local_spmm_flops(matrix, f)))
+    n = matrix.dist.n
+    latency = p * math.log2(p) * alpha
+    bandwidth = n * f * element_bytes * beta
+    compute = machine.spmm_time(_local_spmm_flops(matrix, f))
+    return CommCostBreakdown(latency, bandwidth, 0.0, compute)
+
+
+def spmm_cost_1d_sparsity_aware(matrix: DistSparseMatrix, f: int,
+                                machine: "str | MachineModel",
+                                element_bytes: int = ELEMENT_BYTES
+                                ) -> CommCostBreakdown:
+    """Paper Section 4.1: ``alpha (P-1) + (P-1) cut_P(G) f beta``."""
+    machine = get_machine(machine)
+    p = matrix.nblocks
+    if f <= 0:
+        raise ValueError("feature width must be positive")
+    alpha, beta = machine.worst_link(p)
+    if p <= 1:
+        return CommCostBreakdown(0.0, 0.0, 0.0,
+                                 machine.spmm_time(_local_spmm_flops(matrix, f)))
+    cut = _max_pairwise_rows(matrix)
+    latency = (p - 1) * alpha
+    bandwidth = (p - 1) * cut * f * element_bytes * beta
+    compute = machine.spmm_time(_local_spmm_flops(matrix, f))
+    return CommCostBreakdown(latency, bandwidth, 0.0, compute)
+
+
+def spmm_cost_15d_oblivious(matrix: DistSparseMatrix, f: int, nranks: int,
+                            replication: int,
+                            machine: "str | MachineModel",
+                            element_bytes: int = ELEMENT_BYTES
+                            ) -> CommCostBreakdown:
+    """1.5D oblivious: staged block-row broadcasts plus the row all-reduce."""
+    machine = get_machine(machine)
+    c = replication
+    _check_15d(matrix, nranks, c)
+    if f <= 0:
+        raise ValueError("feature width must be positive")
+    alpha, beta = machine.worst_link(nranks)
+    stages = nranks // (c * c)
+    avg_rows = _avg_block_rows(matrix)
+    latency = stages * math.log2(max(2, matrix.nblocks)) * alpha
+    bandwidth = stages * avg_rows * f * element_bytes * beta
+    reduction = _allreduce_cost(machine, nranks, c, avg_rows, f, element_bytes)
+    compute = machine.spmm_time(_local_spmm_flops(matrix, f) / c)
+    return CommCostBreakdown(latency, bandwidth, reduction, compute)
+
+
+def spmm_cost_15d_sparsity_aware(matrix: DistSparseMatrix, f: int, nranks: int,
+                                 replication: int,
+                                 machine: "str | MachineModel",
+                                 element_bytes: int = ELEMENT_BYTES
+                                 ) -> CommCostBreakdown:
+    """Paper Section 4.2: ``alpha (P/c^2) log(P/c^2) + (P/c^2) cut f beta``
+    plus the all-reduce of the replicated partial results."""
+    machine = get_machine(machine)
+    c = replication
+    _check_15d(matrix, nranks, c)
+    if f <= 0:
+        raise ValueError("feature width must be positive")
+    alpha, beta = machine.worst_link(nranks)
+    stages = nranks // (c * c)
+    cut = _max_pairwise_rows(matrix)
+    avg_rows = _avg_block_rows(matrix)
+    latency = stages * math.log2(max(2.0, stages)) * alpha
+    bandwidth = stages * cut * f * element_bytes * beta
+    reduction = _allreduce_cost(machine, nranks, c, avg_rows, f, element_bytes)
+    compute = machine.spmm_time(_local_spmm_flops(matrix, f) / c)
+    return CommCostBreakdown(latency, bandwidth, reduction, compute)
+
+
+def _check_15d(matrix: DistSparseMatrix, nranks: int, c: int) -> None:
+    if c <= 0 or nranks % c != 0 or (nranks // c) % c != 0:
+        raise ValueError(f"invalid 1.5D configuration P={nranks}, c={c}")
+    if matrix.nblocks != nranks // c:
+        raise ValueError(
+            f"matrix has {matrix.nblocks} block rows; 1.5D with P={nranks}, "
+            f"c={c} expects {nranks // c}")
+
+
+def _allreduce_cost(machine: MachineModel, nranks: int, c: int,
+                    avg_rows: float, f: int, element_bytes: int) -> float:
+    """Ring all-reduce of one replicated block row over ``c`` replicas."""
+    if c <= 1:
+        return 0.0
+    alpha, beta = machine.worst_link(nranks)
+    nbytes = avg_rows * f * element_bytes
+    return 2.0 * math.log2(c) * alpha + 2.0 * nbytes * beta * (c - 1) / c
+
+
+# ----------------------------------------------------------------------
+# Epoch / training predictions
+# ----------------------------------------------------------------------
+def epoch_cost(matrix: DistSparseMatrix, layer_dims: Sequence[int],
+               machine: "str | MachineModel",
+               algorithm: str = "1d", sparsity_aware: bool = True,
+               nranks: Optional[int] = None, replication: int = 1,
+               element_bytes: int = ELEMENT_BYTES) -> CommCostBreakdown:
+    """Predicted cost of one training epoch (2 distributed SpMMs per layer).
+
+    ``layer_dims`` is ``[f_0, ..., f_L]``; the forward SpMM of layer ``l``
+    moves ``f_{l-1}``-wide rows and the backward SpMM moves ``f_l``-wide
+    rows, matching the trainer's actual traffic.
+    """
+    if len(layer_dims) < 2:
+        raise ValueError("layer_dims needs at least [in_features, classes]")
+    totals = dict(latency_s=0.0, bandwidth_s=0.0, reduction_s=0.0, compute_s=0.0)
+    for l in range(1, len(layer_dims)):
+        for f in (int(layer_dims[l - 1]), int(layer_dims[l])):
+            if algorithm == "1d":
+                fn = spmm_cost_1d_sparsity_aware if sparsity_aware \
+                    else spmm_cost_1d_oblivious
+                cost = fn(matrix, f, machine, element_bytes)
+            elif algorithm == "1.5d":
+                if nranks is None:
+                    raise ValueError("the 1.5D model needs nranks")
+                fn = spmm_cost_15d_sparsity_aware if sparsity_aware \
+                    else spmm_cost_15d_oblivious
+                cost = fn(matrix, f, nranks, replication, machine,
+                          element_bytes)
+            else:
+                raise ValueError(f"unknown algorithm {algorithm!r}")
+            totals["latency_s"] += cost.latency_s
+            totals["bandwidth_s"] += cost.bandwidth_s
+            totals["reduction_s"] += cost.reduction_s
+            totals["compute_s"] += cost.compute_s
+    return CommCostBreakdown(**totals)
+
+
+def crossover_process_count(adjacency: sp.spmatrix, f: int,
+                            p_values: Sequence[int],
+                            machine: "str | MachineModel",
+                            partitioner_parts: Optional[dict] = None
+                            ) -> Optional[int]:
+    """Smallest process count at which the sparsity-aware 1D SpMM is
+    predicted to be faster than the oblivious one.
+
+    Parameters
+    ----------
+    partitioner_parts:
+        Optional mapping ``p -> partition vector``; when given, the matrix
+        is permuted accordingly before the analysis (i.e. the SA+partitioner
+        curve).  Without it the natural block distribution is used (the
+        plain SA curve).
+
+    Returns None when the sparsity-aware variant never wins in the range.
+    """
+    from ..graphs.adjacency import permutation_from_parts, symmetric_permutation
+    from .dist_matrix import BlockRowDistribution
+
+    adjacency = adjacency.tocsr()
+    for p in sorted(p_values):
+        if p > adjacency.shape[0]:
+            continue
+        matrix_csr = adjacency
+        if partitioner_parts and p in partitioner_parts:
+            parts = np.asarray(partitioner_parts[p])
+            perm = permutation_from_parts(parts, p)
+            matrix_csr = symmetric_permutation(adjacency, perm)
+            sizes = np.bincount(parts, minlength=p)
+            dist = BlockRowDistribution.from_partition(sizes)
+        else:
+            dist = BlockRowDistribution.uniform(adjacency.shape[0], p)
+        matrix = DistSparseMatrix(matrix_csr, dist)
+        aware = spmm_cost_1d_sparsity_aware(matrix, f, machine)
+        oblivious = spmm_cost_1d_oblivious(matrix, f, machine)
+        if aware.communication_s < oblivious.communication_s:
+            return p
+    return None
+
+
+def best_replication_factor(matrix_builder, f: int, nranks: int,
+                            machine: "str | MachineModel",
+                            candidates: Sequence[int] = (1, 2, 4),
+                            sparsity_aware: bool = True) -> int:
+    """Pick the 1.5D replication factor with the lowest predicted cost.
+
+    Parameters
+    ----------
+    matrix_builder:
+        Callable ``c -> DistSparseMatrix`` producing the matrix distributed
+        over ``nranks / c`` block rows (the caller decides how to partition
+        for each candidate).
+    """
+    best_c, best_time = None, float("inf")
+    for c in candidates:
+        if c <= 0 or nranks % c != 0 or (nranks // c) % c != 0:
+            continue
+        matrix = matrix_builder(c)
+        if c == 1:
+            fn = spmm_cost_1d_sparsity_aware if sparsity_aware \
+                else spmm_cost_1d_oblivious
+            cost = fn(matrix, f, machine)
+        else:
+            fn = spmm_cost_15d_sparsity_aware if sparsity_aware \
+                else spmm_cost_15d_oblivious
+            cost = fn(matrix, f, nranks, c, machine)
+        if cost.total_s < best_time:
+            best_time, best_c = cost.total_s, c
+    if best_c is None:
+        raise ValueError(f"no feasible replication factor among {candidates} "
+                         f"for P={nranks}")
+    return best_c

@@ -1,0 +1,318 @@
+"""Distributed full-graph GCN training on the simulated runtime.
+
+:class:`DistributedGCN` performs exactly the arithmetic of the reference
+model in :mod:`repro.gcn` with the two SpMMs per layer (forward propagation
+and input-gradient computation) replaced by the distributed 1D / 1.5D,
+sparsity-oblivious / sparsity-aware algorithms of the paper.  Activations,
+losses and weight updates are computed on the simulated ranks that own the
+corresponding block rows, with weight gradients combined by a small
+all-reduce (the lower-order term of the paper's analysis).
+
+Because every rank applies the same (all-reduced) weight gradient to the
+same (replicated, identically-initialised) weights, the distributed model
+stays numerically equivalent to the single-process reference — the
+integration tests assert this for every algorithm variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..comm.simulator import SimCommunicator
+from ..gcn.activations import get_activation
+from ..gcn.init import init_weights
+from ..gcn.loss import softmax
+from .config import Algorithm
+from .dist_matrix import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
+from .spmm_1d import spmm_1d_oblivious, spmm_1d_sparsity_aware
+from .spmm_15d import ProcessGrid, spmm_15d_oblivious, spmm_15d_sparsity_aware
+
+__all__ = ["DistLayerCache", "DistributedGCN"]
+
+
+@dataclass
+class DistLayerCache:
+    """Distributed analogue of :class:`repro.gcn.layers.LayerCache`."""
+
+    h_in: DistDenseMatrix
+    z: DistDenseMatrix
+    h_out: DistDenseMatrix
+
+
+class DistributedGCN:
+    """An L-layer GCN whose propagation runs on distributed SpMM.
+
+    Parameters
+    ----------
+    adjacency_dist:
+        The (already normalised, already permuted) adjacency distributed in
+        block rows — ``P`` blocks for 1D, ``P/c`` blocks for 1.5D.
+    features_dist:
+        Input features distributed over the same block rows.
+    labels / train_mask:
+        Global label vector and training mask, *in the permuted vertex
+        order* (each rank only reads its own slice).
+    layer_dims:
+        ``[f_0, ..., f_L]`` layer widths.
+    comm:
+        The simulated communicator (``P`` ranks).
+    algorithm / sparsity_aware / grid:
+        Which distributed SpMM variant to run.
+    seed:
+        Weight initialisation seed (must match the reference model's for
+        equivalence checks).
+    """
+
+    def __init__(self,
+                 adjacency_dist: DistSparseMatrix,
+                 features_dist: DistDenseMatrix,
+                 labels: np.ndarray,
+                 train_mask: np.ndarray,
+                 layer_dims: Sequence[int],
+                 comm: SimCommunicator,
+                 algorithm: str = Algorithm.ONE_D,
+                 sparsity_aware: bool = True,
+                 grid: Optional[ProcessGrid] = None,
+                 seed: int = 0) -> None:
+        if adjacency_dist.dist != features_dist.dist:
+            raise ValueError("adjacency and features use different distributions")
+        self.adjacency = adjacency_dist
+        self.features = features_dist
+        self.dist = adjacency_dist.dist
+        self.labels = np.asarray(labels)
+        self.train_mask = np.asarray(train_mask, dtype=bool)
+        if self.labels.shape[0] != self.dist.n or \
+                self.train_mask.shape[0] != self.dist.n:
+            raise ValueError("labels / mask length does not match the graph")
+        self.comm = comm
+        self.algorithm = algorithm
+        self.sparsity_aware = sparsity_aware
+
+        if algorithm == Algorithm.ONE_POINT_FIVE_D:
+            if grid is None:
+                raise ValueError("the 1.5D algorithm requires a ProcessGrid")
+            if grid.nrows != self.dist.nblocks:
+                raise ValueError("grid rows must match the block-row count")
+            if grid.nranks != comm.nranks:
+                raise ValueError("grid size must match the communicator size")
+        elif algorithm == Algorithm.ONE_D:
+            if self.dist.nblocks != comm.nranks:
+                raise ValueError("1D needs one block row per rank")
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        self.grid = grid
+
+        self.layer_dims = [int(d) for d in layer_dims]
+        if self.layer_dims[0] != features_dist.width:
+            raise ValueError(
+                f"layer_dims[0] = {self.layer_dims[0]} does not match the "
+                f"feature width {features_dist.width}")
+        # Weight matrices are fully replicated; we store one canonical copy
+        # and charge the replicated compute to every rank that owns it.
+        self.weights: List[np.ndarray] = [
+            w.astype(np.float64) for w in init_weights(self.layer_dims, seed=seed)]
+        self._activations = [
+            get_activation("identity" if l == len(self.weights) - 1 else "relu")
+            for l in range(len(self.weights))]
+
+        # Number of training vertices (global) — needed for the mean in the
+        # loss; known to every process after setup.
+        self.n_train = int(self.train_mask.sum())
+        if self.n_train == 0:
+            raise ValueError("the training mask selects no vertices")
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @property
+    def n_layers(self) -> int:
+        return len(self.weights)
+
+    def _owners_of_block(self, block: int) -> List[int]:
+        """Ranks that own (a replica of) block row ``block``."""
+        if self.algorithm == Algorithm.ONE_POINT_FIVE_D:
+            assert self.grid is not None
+            return self.grid.row_group(block)
+        return [block]
+
+    def _charge_blockwise_gemm(self, rows: int, f_in: int, f_out: int,
+                               block: int) -> None:
+        flops = 2.0 * rows * f_in * f_out
+        for rank in self._owners_of_block(block):
+            self.comm.charge_gemm(rank, flops, category="local")
+
+    def _charge_blockwise_elementwise(self, nelements: float, block: int) -> None:
+        for rank in self._owners_of_block(block):
+            self.comm.charge_elementwise(rank, nelements, category="local")
+
+    def _block_slice(self, block: int) -> slice:
+        lo, hi = self.dist.block_range(block)
+        return slice(lo, hi)
+
+    # ------------------------------------------------------------------
+    # distributed SpMM dispatch
+    # ------------------------------------------------------------------
+    def spmm(self, dense: DistDenseMatrix) -> DistDenseMatrix:
+        """``A^T @ dense`` with the configured distributed algorithm."""
+        if self.algorithm == Algorithm.ONE_D:
+            if self.sparsity_aware:
+                return spmm_1d_sparsity_aware(self.adjacency, dense, self.comm)
+            return spmm_1d_oblivious(self.adjacency, dense, self.comm)
+        assert self.grid is not None
+        if self.sparsity_aware:
+            return spmm_15d_sparsity_aware(self.adjacency, dense, self.grid,
+                                           self.comm)
+        return spmm_15d_oblivious(self.adjacency, dense, self.grid, self.comm)
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+    def forward(self) -> List[DistLayerCache]:
+        """Forward pass; returns the per-layer distributed caches."""
+        h = self.features
+        caches: List[DistLayerCache] = []
+        for l, weight in enumerate(self.weights):
+            act, _ = self._activations[l]
+            propagated = self.spmm(h)                       # A H^{l-1}
+            z_blocks = []
+            h_blocks = []
+            for block in range(self.dist.nblocks):
+                rows = self.dist.block_size(block)
+                z_b = propagated.block(block) @ weight      # (A H) W
+                self._charge_blockwise_gemm(rows, weight.shape[0],
+                                            weight.shape[1], block)
+                h_b = act(z_b)
+                self._charge_blockwise_elementwise(z_b.size, block)
+                z_blocks.append(z_b)
+                h_blocks.append(h_b)
+            z = DistDenseMatrix(z_blocks, self.dist)
+            h_out = DistDenseMatrix(h_blocks, self.dist)
+            caches.append(DistLayerCache(h_in=h, z=z, h_out=h_out))
+            h = h_out
+        return caches
+
+    def loss_and_logits_grad(self, logits: DistDenseMatrix
+                             ) -> tuple[float, DistDenseMatrix]:
+        """Masked softmax cross-entropy, computed block-locally.
+
+        The scalar loss is combined with a tiny all-reduce (a lower-order
+        term, as the paper notes for the ``f x f`` reductions).
+        """
+        local_losses = []
+        grad_blocks = []
+        for block in range(self.dist.nblocks):
+            sl = self._block_slice(block)
+            z = logits.block(block)
+            labels = self.labels[sl]
+            mask = self.train_mask[sl]
+            probs = softmax(z)
+            grad = probs.copy()
+            idx = np.flatnonzero(mask)
+            if idx.size:
+                picked = probs[idx, labels[idx]]
+                local = float(-np.log(np.clip(picked, 1e-12, None)).sum())
+                grad[idx, labels[idx]] -= 1.0
+            else:
+                local = 0.0
+            grad[~mask] = 0.0
+            grad /= self.n_train
+            local_losses.append(np.array([local]))
+            grad_blocks.append(grad)
+            self._charge_blockwise_elementwise(z.size * 2, block)
+
+        # Scalar loss reduction across the owning ranks (replicas contribute
+        # once by letting only the first owner of each block participate).
+        contributions = []
+        for rank in range(self.comm.nranks):
+            contributions.append(np.zeros(1))
+        for block in range(self.dist.nblocks):
+            owner = self._owners_of_block(block)[0]
+            contributions[owner] = local_losses[block]
+        reduced = self.comm.allreduce(contributions, category="allreduce")
+        loss = float(reduced[0][0]) / self.n_train
+        return loss, DistDenseMatrix(grad_blocks, self.dist)
+
+    def backward(self, caches: List[DistLayerCache], grad_logits: DistDenseMatrix
+                 ) -> List[np.ndarray]:
+        """Backward pass; returns the (already all-reduced) weight gradients."""
+        grads: List[Optional[np.ndarray]] = [None] * self.n_layers
+        grad_z = grad_logits
+        for l in range(self.n_layers - 1, -1, -1):
+            weight = self.weights[l]
+            cache = caches[l]
+            s = self.spmm(grad_z)                           # A G^l
+
+            # Local weight-gradient contributions: (H^{l-1}_b)^T S_b
+            local_contribs = []
+            for block in range(self.dist.nblocks):
+                rows = self.dist.block_size(block)
+                contrib = cache.h_in.block(block).T @ s.block(block)
+                self._charge_blockwise_gemm(rows, weight.shape[0],
+                                            weight.shape[1], block)
+                local_contribs.append(contrib)
+
+            # All-reduce of the f_in x f_out gradient (lower-order term).
+            contributions = [np.zeros_like(weight) for _ in range(self.comm.nranks)]
+            for block in range(self.dist.nblocks):
+                owner = self._owners_of_block(block)[0]
+                contributions[owner] = contributions[owner] + local_contribs[block]
+            reduced = self.comm.allreduce(contributions, category="allreduce")
+            grads[l] = reduced[0]
+
+            if l > 0:
+                _, act_grad = self._activations[l - 1]
+                prev_z = caches[l - 1].z
+                next_blocks = []
+                for block in range(self.dist.nblocks):
+                    rows = self.dist.block_size(block)
+                    input_grad = s.block(block) @ weight.T     # A G^l (W^l)^T
+                    self._charge_blockwise_gemm(rows, weight.shape[1],
+                                                weight.shape[0], block)
+                    gz = input_grad * act_grad(prev_z.block(block))
+                    self._charge_blockwise_elementwise(gz.size, block)
+                    next_blocks.append(gz)
+                grad_z = DistDenseMatrix(next_blocks, self.dist)
+        return grads  # type: ignore[return-value]
+
+    def apply_gradients(self, grads: Sequence[np.ndarray], lr: float) -> None:
+        """SGD step on the replicated weights (charged to every rank)."""
+        if len(grads) != self.n_layers:
+            raise ValueError("gradient count does not match the layer count")
+        for l, g in enumerate(grads):
+            if g.shape != self.weights[l].shape:
+                raise ValueError("gradient shape mismatch")
+            self.weights[l] = self.weights[l] - lr * g
+            for rank in range(self.comm.nranks):
+                self.comm.charge_elementwise(rank, g.size, category="local")
+
+    # ------------------------------------------------------------------
+    # training / evaluation entry points
+    # ------------------------------------------------------------------
+    def train_epoch(self, lr: float) -> float:
+        """One full-graph training epoch; returns the training loss."""
+        caches = self.forward()
+        loss, grad_logits = self.loss_and_logits_grad(caches[-1].h_out)
+        grads = self.backward(caches, grad_logits)
+        self.apply_gradients(grads, lr)
+        return loss
+
+    def global_logits(self) -> np.ndarray:
+        """Global logits, recomputed host-side with no simulated-time charges.
+
+        This is a diagnostic utility — the paper's timed training loop never
+        gathers activations, and neither does ours.
+        """
+        adj_full = sp.vstack(self.adjacency.block_rows).tocsr()
+        h = self.features.to_global()
+        for l, weight in enumerate(self.weights):
+            act, _ = self._activations[l]
+            h = act((adj_full @ h) @ weight)
+        return h
+
+    def predictions(self) -> np.ndarray:
+        """Predicted class per vertex (permuted vertex order)."""
+        return softmax(self.global_logits()).argmax(axis=1)

@@ -1,0 +1,187 @@
+"""Per-rank memory footprint model and out-of-memory emulation.
+
+The paper's figures have missing data points where a configuration ran out
+of the A100's 40 GB (Amazon and Protein at ``p = 4``; partitioning Papers
+into more than 16 parts).  This module models the per-rank footprint of a
+training configuration so that the benchmarks can mark the same points as
+infeasible, and so users can size runs before launching them:
+
+* the local block row of the (CSR) adjacency: ``12 bytes / nonzero`` plus
+  the row pointer,
+* the local block rows of the activations ``H^0 .. H^L`` and of one
+  gradient buffer of the same shape,
+* the replicated weight matrices,
+* for 1.5D, the replication of the block rows over ``c`` ranks (the block
+  rows get larger because there are only ``P/c`` of them) plus the partial
+  result buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..comm.machine import MachineModel, get_machine
+from .analysis import ELEMENT_BYTES
+from .config import Algorithm, DistTrainConfig
+
+__all__ = ["MemoryEstimate", "estimate_rank_memory", "fits_in_memory",
+           "feasible_process_counts", "CSR_INDEX_BYTES"]
+
+#: bytes per CSR stored nonzero: one float64 value plus one int32 column index.
+CSR_INDEX_BYTES = 4
+CSR_VALUE_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Per-rank memory footprint of one training configuration (bytes)."""
+
+    adjacency_bytes: float
+    activation_bytes: float
+    gradient_bytes: float
+    weight_bytes: float
+    buffer_bytes: float
+    framework_bytes: float
+    replication_overhead_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return (self.adjacency_bytes + self.activation_bytes +
+                self.gradient_bytes + self.weight_bytes + self.buffer_bytes +
+                self.framework_bytes + self.replication_overhead_bytes)
+
+    @property
+    def total_gigabytes(self) -> float:
+        return self.total_bytes / 1e9
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "adjacency_bytes": self.adjacency_bytes,
+            "activation_bytes": self.activation_bytes,
+            "gradient_bytes": self.gradient_bytes,
+            "weight_bytes": self.weight_bytes,
+            "buffer_bytes": self.buffer_bytes,
+            "framework_bytes": self.framework_bytes,
+            "replication_overhead_bytes": self.replication_overhead_bytes,
+            "total_bytes": self.total_bytes,
+            "total_GB": self.total_gigabytes,
+        }
+
+
+def _layer_dims(n_features: int, n_classes: int, hidden: int,
+                n_layers: int) -> List[int]:
+    if n_layers == 1:
+        return [n_features, n_classes]
+    return [n_features] + [hidden] * (n_layers - 1) + [n_classes]
+
+
+def estimate_rank_memory(n_vertices: int, n_edges_stored: int,
+                         n_features: int, n_classes: int,
+                         config: DistTrainConfig,
+                         element_bytes: int = ELEMENT_BYTES
+                         ) -> MemoryEstimate:
+    """Worst-rank memory footprint for training a graph of the given size.
+
+    Parameters
+    ----------
+    n_edges_stored:
+        Stored nonzeros of the adjacency (2x the undirected edge count for
+        symmetric graphs).
+    config:
+        The distributed training configuration (rank count, algorithm,
+        replication factor, architecture sizes).
+    """
+    if n_vertices <= 0 or n_edges_stored < 0:
+        raise ValueError("graph sizes must be positive")
+    nblocks = config.n_block_rows
+    c = config.replication_factor if \
+        config.algorithm == Algorithm.ONE_POINT_FIVE_D else 1
+
+    # Block rows are ~uniform after partitioning with a balance constraint;
+    # use a mild skew factor for the worst rank.
+    skew = 1.15
+    rows_per_rank = skew * n_vertices / nblocks
+    nnz_per_rank = skew * n_edges_stored / nblocks
+
+    adjacency = nnz_per_rank * (CSR_VALUE_BYTES + CSR_INDEX_BYTES) + \
+        (rows_per_rank + 1) * CSR_INDEX_BYTES
+
+    dims = _layer_dims(n_features, n_classes, config.hidden, config.n_layers)
+    # Forward caches: the input features plus pre-activation and activation
+    # of every layer (the trainer stores h_in, z, h_out per layer).
+    activation = rows_per_rank * dims[0] * element_bytes + \
+        sum(2.0 * rows_per_rank * f * element_bytes for f in dims[1:])
+    # One live gradient buffer of the widest layer output.
+    gradient = rows_per_rank * max(dims[1:]) * element_bytes
+
+    weights = sum(dims[l] * dims[l + 1] for l in range(len(dims) - 1)) * \
+        element_bytes
+
+    # Communication / workspace buffers: a received block row of H at the
+    # widest propagated width and the propagated product A @ H of the same
+    # width (both are live simultaneously during the first-layer SpMM).
+    widest_input = max(dims[:-1])
+    buffers = 2.0 * rows_per_rank * widest_input * element_bytes
+
+    # Resident framework overhead (CUDA context, NCCL buffers, allocator
+    # slack) — roughly 1 GB per process on the paper's system.
+    framework = 1.0e9
+
+    # In 1.5D each rank additionally keeps the partial-sum buffer of its
+    # (larger, because there are only P/c of them) block row.
+    replication_overhead = 0.0
+    if c > 1:
+        replication_overhead = rows_per_rank * max(dims[1:]) * element_bytes
+
+    return MemoryEstimate(
+        adjacency_bytes=float(adjacency),
+        activation_bytes=float(activation),
+        gradient_bytes=float(gradient),
+        weight_bytes=float(weights),
+        buffer_bytes=float(buffers),
+        framework_bytes=float(framework),
+        replication_overhead_bytes=float(replication_overhead),
+    )
+
+
+def fits_in_memory(estimate: MemoryEstimate,
+                   machine: "str | MachineModel",
+                   safety_factor: float = 0.9) -> bool:
+    """Whether the estimated footprint fits in one rank's device memory."""
+    if not (0.0 < safety_factor <= 1.0):
+        raise ValueError("safety_factor must lie in (0, 1]")
+    machine = get_machine(machine)
+    return estimate.total_bytes <= safety_factor * machine.memory_bytes
+
+
+def feasible_process_counts(n_vertices: int, n_edges_stored: int,
+                            n_features: int, n_classes: int,
+                            p_values: Sequence[int],
+                            machine: "str | MachineModel",
+                            algorithm: str = "1d",
+                            replication_factor: int = 1,
+                            hidden: int = 16, n_layers: int = 3,
+                            safety_factor: float = 0.9) -> List[int]:
+    """The subset of ``p_values`` whose per-rank footprint fits in memory.
+
+    This is how the benchmark harness reproduces the paper's missing data
+    points (the out-of-memory runs) without actually allocating anything.
+    """
+    feasible = []
+    for p in p_values:
+        try:
+            config = DistTrainConfig(n_ranks=p, algorithm=algorithm,
+                                     replication_factor=replication_factor,
+                                     hidden=hidden, n_layers=n_layers,
+                                     epochs=1)
+        except ValueError:
+            continue
+        estimate = estimate_rank_memory(n_vertices, n_edges_stored,
+                                        n_features, n_classes, config)
+        if fits_in_memory(estimate, machine, safety_factor=safety_factor):
+            feasible.append(p)
+    return feasible

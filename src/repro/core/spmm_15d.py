@@ -1,0 +1,208 @@
+"""1.5D distributed SpMM: sparsity-oblivious and sparsity-aware variants.
+
+In the 1.5D layout (Koanantakool et al.; CAGNET), the ``P`` processes form
+a ``P/c x c`` grid.  Both the sparse matrix and the dense matrix are split
+into ``P/c`` block rows, and every block row is replicated on the ``c``
+processes of its grid row.  The ``P/c`` partial products of a block row are
+divided among the ``c`` replicas (``s = P/c^2`` stages each); the replicas'
+partial results are then summed with an all-reduce over the grid row.
+
+The sparsity-oblivious variant moves entire ``H`` block rows between the
+processes of a grid *column* each stage (a column broadcast); the
+sparsity-aware variant (Algorithm 2 of the paper) sends only the rows
+selected by ``NnzCols`` with point-to-point messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..comm.simulator import SimCommunicator
+from .dist_matrix import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
+
+__all__ = ["ProcessGrid", "spmm_15d_oblivious", "spmm_15d_sparsity_aware"]
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A ``P/c x c`` process grid with rank ``(i, j) -> i * c + j``.
+
+    ``i`` indexes the grid row (equivalently, the block row of ``A^T`` and
+    ``H`` the rank holds); ``j`` indexes the replica column.
+    """
+
+    nranks: int
+    replication: int
+
+    def __post_init__(self) -> None:
+        c = self.replication
+        if c <= 0:
+            raise ValueError("replication factor must be positive")
+        if self.nranks % c != 0:
+            raise ValueError(
+                f"replication factor {c} does not divide {self.nranks} ranks")
+        rows = self.nranks // c
+        if rows % c != 0:
+            raise ValueError(
+                f"1.5D algorithm needs c | P/c; got P={self.nranks}, c={c}")
+
+    # ------------------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        """Number of grid rows (= number of block rows, P/c)."""
+        return self.nranks // self.replication
+
+    @property
+    def stages(self) -> int:
+        """Stages per replica: ``s = P / c^2``."""
+        return self.nrows // self.replication
+
+    def rank(self, row: int, col: int) -> int:
+        if not (0 <= row < self.nrows and 0 <= col < self.replication):
+            raise ValueError(f"grid coordinate ({row}, {col}) out of range")
+        return row * self.replication + col
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} out of range")
+        return rank // self.replication, rank % self.replication
+
+    def row_group(self, row: int) -> List[int]:
+        """All ranks replicating block row ``row``."""
+        return [self.rank(row, j) for j in range(self.replication)]
+
+    def col_group(self, col: int) -> List[int]:
+        """All ranks in replica column ``col``."""
+        return [self.rank(i, col) for i in range(self.nrows)]
+
+
+def _check_compatible(matrix: DistSparseMatrix, dense: DistDenseMatrix,
+                      grid: ProcessGrid, comm: SimCommunicator) -> None:
+    if matrix.dist != dense.dist:
+        raise ValueError("sparse and dense operands use different distributions")
+    if matrix.nblocks != grid.nrows:
+        raise ValueError(
+            f"matrix has {matrix.nblocks} block rows but the grid has "
+            f"{grid.nrows} rows")
+    if comm.nranks != grid.nranks:
+        raise ValueError(
+            f"communicator has {comm.nranks} ranks but the grid expects "
+            f"{grid.nranks}")
+
+
+def _stage_block(grid: ProcessGrid, col: int, stage: int) -> int:
+    """Block row consumed by column ``col`` at ``stage`` (q = j*s + k)."""
+    return col * grid.stages + stage
+
+
+def spmm_15d_oblivious(matrix: DistSparseMatrix, dense: DistDenseMatrix,
+                       grid: ProcessGrid, comm: SimCommunicator,
+                       compute_category: str = "local",
+                       comm_category: str = "bcast",
+                       reduce_category: str = "allreduce") -> DistDenseMatrix:
+    """Sparsity-oblivious 1.5D SpMM (CAGNET / Koanantakool baseline)."""
+    _check_compatible(matrix, dense, grid, comm)
+    f = dense.width
+    c = grid.replication
+    partial: List[List[np.ndarray]] = [
+        [np.zeros((matrix.dist.block_size(i), f)) for j in range(c)]
+        for i in range(grid.nrows)]
+
+    for stage in range(grid.stages):
+        for col in range(c):
+            q = _stage_block(grid, col, stage)
+            group = grid.col_group(col)
+            root = grid.rank(q, col)
+            copies = comm.broadcast(dense.block(q), root=root,
+                                    ranks=group, category=comm_category)
+            for pos, rank in enumerate(group):
+                i, j = grid.coords(rank)
+                info = matrix.block(i, q)
+                if info.full.nnz == 0:
+                    continue
+                partial[i][j] += info.full @ copies[pos]
+                comm.charge_spmm(rank, 2.0 * info.full.nnz * f,
+                                 category=compute_category)
+
+    return _reduce_partials(matrix, dense, grid, comm, partial,
+                            reduce_category)
+
+
+def spmm_15d_sparsity_aware(matrix: DistSparseMatrix, dense: DistDenseMatrix,
+                            grid: ProcessGrid, comm: SimCommunicator,
+                            compute_category: str = "local",
+                            comm_category: str = "alltoall",
+                            reduce_category: str = "allreduce"
+                            ) -> DistDenseMatrix:
+    """Sparsity-aware 1.5D SpMM (Algorithm 2 of the paper).
+
+    Per stage, the owner of the consumed block row sends each process of
+    its grid column only the rows that process's ``NnzCols`` selects
+    (non-blocking sends / blocking receives in the paper; a batched
+    point-to-point exchange here).
+    """
+    _check_compatible(matrix, dense, grid, comm)
+    f = dense.width
+    c = grid.replication
+    partial: List[List[np.ndarray]] = [
+        [np.zeros((matrix.dist.block_size(i), f)) for j in range(c)]
+        for i in range(grid.nrows)]
+
+    for stage in range(grid.stages):
+        messages = []
+        payload_index = {}
+        for col in range(c):
+            q = _stage_block(grid, col, stage)
+            src = grid.rank(q, col)
+            h_q = dense.block(q)
+            for i in range(grid.nrows):
+                dst = grid.rank(i, col)
+                idx = matrix.nnz_cols(i, q)
+                if i == q:
+                    continue  # the owner already holds its own rows
+                if idx.size == 0:
+                    continue
+                payload = h_q[idx]
+                comm.charge_elementwise(src, idx.size * f,
+                                        category=compute_category)
+                messages.append((src, dst, payload))
+                payload_index[(i, col)] = payload
+        comm.exchange(messages, category=comm_category,
+                      sync_ranks=range(comm.nranks))
+
+        for col in range(c):
+            q = _stage_block(grid, col, stage)
+            for i in range(grid.nrows):
+                rank = grid.rank(i, col)
+                info = matrix.block(i, q)
+                if info.compact.nnz == 0:
+                    continue
+                if i == q:
+                    rows = dense.block(q)[info.nnz_cols_local]
+                else:
+                    rows = payload_index[(i, col)]
+                partial[i][col] += info.compact @ rows
+                comm.charge_spmm(rank, 2.0 * info.compact.nnz * f,
+                                 category=compute_category)
+
+    return _reduce_partials(matrix, dense, grid, comm, partial,
+                            reduce_category)
+
+
+def _reduce_partials(matrix: DistSparseMatrix, dense: DistDenseMatrix,
+                     grid: ProcessGrid, comm: SimCommunicator,
+                     partial: List[List[np.ndarray]],
+                     reduce_category: str) -> DistDenseMatrix:
+    """All-reduce the per-replica partial sums over each grid row."""
+    out_blocks: List[np.ndarray] = []
+    for i in range(grid.nrows):
+        group = grid.row_group(i)
+        reduced = comm.allreduce(partial[i], ranks=group,
+                                 category=reduce_category)
+        # All replicas now hold the same block; keep one copy as the
+        # canonical block row of the result.
+        out_blocks.append(reduced[0])
+    return dense.like(out_blocks)

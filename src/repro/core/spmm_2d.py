@@ -1,0 +1,260 @@
+"""2D (SUMMA-style) distributed SpMM: oblivious and sparsity-aware variants.
+
+The paper's conclusion points out that sparsity-awareness "can be applied to
+other communication-avoiding partitioning schemes, such as 2D, 2.5D, or 3D";
+CAGNET evaluates 2D algorithms and finds them less performant than 1D/1.5D
+for full-batch GNN training.  This module implements both claims so the
+ablation benchmarks can reproduce that comparison:
+
+* the process grid is ``pr x pc``; ``A^T`` is split into ``pr x pc`` blocks
+  and process ``(i, j)`` owns ``A^T_{ij}``;
+* the dense matrix ``H`` is split into ``pc`` column-block-rows, and block
+  row ``H_j`` is itself split into ``pr`` chunks owned by the processes of
+  grid column ``j``;
+* **oblivious**: every grid column all-gathers its full ``H_j`` (each
+  process receives the chunks of its ``pr - 1`` column peers), multiplies
+  locally, and the row sums are combined with an all-reduce over each grid
+  row;
+* **sparsity-aware**: instead of the all-gather, each process receives from
+  its column peers only the ``H_j`` rows selected by the nonzero columns of
+  its local block (``NnzCols(i, j)`` restricted to the peer's chunk).
+
+Both variants return the result in the same ``pr``-block-row layout as
+1D/1.5D results so they can be checked against ``A @ H`` directly.  They are
+provided as standalone kernels (plus communication-volume accounting) rather
+than being wired into the GCN trainer, mirroring the paper which evaluates
+2D only at the SpMM level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..comm.simulator import SimCommunicator
+from .dist_matrix import BlockRowDistribution
+
+__all__ = ["Grid2D", "Dist2DSparseMatrix", "spmm_2d_oblivious",
+           "spmm_2d_sparsity_aware"]
+
+
+@dataclass(frozen=True)
+class Grid2D:
+    """A ``pr x pc`` process grid with rank ``(i, j) -> i * pc + j``."""
+
+    nrows: int
+    ncols: int
+
+    def __post_init__(self) -> None:
+        if self.nrows <= 0 or self.ncols <= 0:
+            raise ValueError("grid dimensions must be positive")
+
+    @property
+    def nranks(self) -> int:
+        return self.nrows * self.ncols
+
+    def rank(self, row: int, col: int) -> int:
+        if not (0 <= row < self.nrows and 0 <= col < self.ncols):
+            raise ValueError(f"grid coordinate ({row}, {col}) out of range")
+        return row * self.ncols + col
+
+    def coords(self, rank: int) -> Tuple[int, int]:
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} out of range")
+        return rank // self.ncols, rank % self.ncols
+
+    def row_group(self, row: int) -> List[int]:
+        return [self.rank(row, j) for j in range(self.ncols)]
+
+    def col_group(self, col: int) -> List[int]:
+        return [self.rank(i, col) for i in range(self.nrows)]
+
+
+class Dist2DSparseMatrix:
+    """``A^T`` split into a ``pr x pc`` grid of blocks with NnzCols analysis.
+
+    ``row_dist`` / ``col_dist`` give the block boundaries along the two
+    dimensions; ``block(i, j)`` is the CSR block owned by process ``(i, j)``
+    and ``nnz_cols(i, j)`` its nonzero columns *local to column block j* —
+    exactly the rows of ``H_j`` that process needs.
+    """
+
+    def __init__(self, matrix: sp.spmatrix, row_dist: BlockRowDistribution,
+                 col_dist: BlockRowDistribution) -> None:
+        matrix = matrix.tocsr()
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"expected a square matrix, got {matrix.shape}")
+        if row_dist.n != matrix.shape[0] or col_dist.n != matrix.shape[1]:
+            raise ValueError("distributions do not cover the matrix")
+        self.shape = matrix.shape
+        self.row_dist = row_dist
+        self.col_dist = col_dist
+        self._blocks: List[List[sp.csr_matrix]] = []
+        self._nnz_cols: List[List[np.ndarray]] = []
+        for i in range(row_dist.nblocks):
+            rlo, rhi = row_dist.block_range(i)
+            row_strip = matrix[rlo:rhi, :].tocsc()
+            blocks_row, cols_row = [], []
+            for j in range(col_dist.nblocks):
+                clo, chi = col_dist.block_range(j)
+                block = row_strip[:, clo:chi]
+                col_nnz = np.diff(block.indptr)
+                nnz_cols = np.flatnonzero(col_nnz > 0).astype(np.int64)
+                blocks_row.append(block.tocsr())
+                cols_row.append(nnz_cols)
+            self._blocks.append(blocks_row)
+            self._nnz_cols.append(cols_row)
+
+    @classmethod
+    def uniform(cls, matrix: sp.spmatrix, grid: Grid2D) -> "Dist2DSparseMatrix":
+        n = matrix.shape[0]
+        return cls(matrix, BlockRowDistribution.uniform(n, grid.nrows),
+                   BlockRowDistribution.uniform(n, grid.ncols))
+
+    def block(self, i: int, j: int) -> sp.csr_matrix:
+        return self._blocks[i][j]
+
+    def nnz_cols(self, i: int, j: int) -> np.ndarray:
+        return self._nnz_cols[i][j]
+
+    @property
+    def nnz(self) -> int:
+        return int(sum(b.nnz for row in self._blocks for b in row))
+
+
+def _split_dense(h: np.ndarray, col_dist: BlockRowDistribution,
+                 row_chunks: int) -> List[List[np.ndarray]]:
+    """``chunks[j][r]``: the ``r``-th chunk of block row ``H_j`` (owned by the
+    ``r``-th process of grid column ``j``)."""
+    chunks: List[List[np.ndarray]] = []
+    for j in range(col_dist.nblocks):
+        lo, hi = col_dist.block_range(j)
+        block = h[lo:hi]
+        bounds = BlockRowDistribution.uniform(block.shape[0], row_chunks).bounds
+        chunks.append([block[bounds[r]:bounds[r + 1]].copy()
+                       for r in range(row_chunks)])
+    return chunks
+
+
+def _chunk_bounds(block_rows: int, row_chunks: int) -> np.ndarray:
+    return BlockRowDistribution.uniform(block_rows, row_chunks).bounds
+
+
+def _check(matrix: Dist2DSparseMatrix, h: np.ndarray, grid: Grid2D,
+           comm: SimCommunicator) -> None:
+    if matrix.row_dist.nblocks != grid.nrows or \
+            matrix.col_dist.nblocks != grid.ncols:
+        raise ValueError("matrix block grid does not match the process grid")
+    if h.shape[0] != matrix.shape[1]:
+        raise ValueError(
+            f"dense operand has {h.shape[0]} rows, expected {matrix.shape[1]}")
+    if comm.nranks != grid.nranks:
+        raise ValueError(
+            f"communicator has {comm.nranks} ranks but the grid expects "
+            f"{grid.nranks}")
+
+
+def spmm_2d_oblivious(matrix: Dist2DSparseMatrix, h: np.ndarray, grid: Grid2D,
+                      comm: SimCommunicator,
+                      compute_category: str = "local",
+                      gather_category: str = "bcast",
+                      reduce_category: str = "allreduce") -> np.ndarray:
+    """Sparsity-oblivious 2D SpMM (column all-gather + row all-reduce)."""
+    h = np.asarray(h, dtype=np.float64)
+    _check(matrix, h, grid, comm)
+    f = h.shape[1]
+    chunks = _split_dense(h, matrix.col_dist, grid.nrows)
+
+    # Phase 1: all-gather H_j within every grid column.
+    gathered: Dict[int, np.ndarray] = {}
+    for j in range(grid.ncols):
+        group = grid.col_group(j)
+        parts = comm.allgather([chunks[j][r] for r in range(grid.nrows)],
+                               ranks=group, category=gather_category)
+        # Every member of the column now holds the full block row H_j.
+        gathered[j] = np.concatenate(parts[0], axis=0)
+
+    # Phase 2: local multiply and row-wise all-reduce.
+    out = np.zeros((matrix.shape[0], f))
+    for i in range(grid.nrows):
+        partials = []
+        for j in range(grid.ncols):
+            block = matrix.block(i, j)
+            partial = block @ gathered[j] if block.nnz else \
+                np.zeros((block.shape[0], f))
+            if block.nnz:
+                comm.charge_spmm(grid.rank(i, j), 2.0 * block.nnz * f,
+                                 category=compute_category)
+            partials.append(partial)
+        reduced = comm.allreduce(partials, ranks=grid.row_group(i),
+                                 category=reduce_category)
+        lo, hi = matrix.row_dist.block_range(i)
+        out[lo:hi] = reduced[0]
+    return out
+
+
+def spmm_2d_sparsity_aware(matrix: Dist2DSparseMatrix, h: np.ndarray,
+                           grid: Grid2D, comm: SimCommunicator,
+                           compute_category: str = "local",
+                           comm_category: str = "alltoall",
+                           reduce_category: str = "allreduce") -> np.ndarray:
+    """Sparsity-aware 2D SpMM: column peers exchange only needed rows."""
+    h = np.asarray(h, dtype=np.float64)
+    _check(matrix, h, grid, comm)
+    f = h.shape[1]
+    chunks = _split_dense(h, matrix.col_dist, grid.nrows)
+
+    # Phase 1: per grid column, each process receives from every column peer
+    # only the peer-chunk rows its NnzCols selects.
+    received: Dict[Tuple[int, int], Dict[int, np.ndarray]] = {}
+    messages = []
+    for j in range(grid.ncols):
+        clo, chi = matrix.col_dist.block_range(j)
+        bounds = _chunk_bounds(chi - clo, grid.nrows)
+        for i in range(grid.nrows):
+            dst = grid.rank(i, j)
+            needed = matrix.nnz_cols(i, j)
+            received[(i, j)] = {}
+            for r in range(grid.nrows):
+                lo, hi = int(bounds[r]), int(bounds[r + 1])
+                local = needed[(needed >= lo) & (needed < hi)] - lo
+                if local.size == 0:
+                    continue
+                payload = chunks[j][r][local]
+                src = grid.rank(r, j)
+                if src != dst:
+                    comm.charge_elementwise(src, local.size * f,
+                                            category=compute_category)
+                    messages.append((src, dst, payload))
+                received[(i, j)][r] = payload
+    comm.exchange(messages, category=comm_category,
+                  sync_ranks=range(comm.nranks))
+
+    # Phase 2: local multiply on compacted blocks, then row all-reduce.
+    out = np.zeros((matrix.shape[0], f))
+    for i in range(grid.nrows):
+        partials = []
+        for j in range(grid.ncols):
+            block = matrix.block(i, j)
+            needed = matrix.nnz_cols(i, j)
+            rows_i = block.shape[0]
+            if needed.size == 0 or block.nnz == 0:
+                partials.append(np.zeros((rows_i, f)))
+                continue
+            clo, chi = matrix.col_dist.block_range(j)
+            bounds = _chunk_bounds(chi - clo, grid.nrows)
+            packed = np.concatenate(
+                [received[(i, j)][r] for r in range(grid.nrows)
+                 if r in received[(i, j)]], axis=0)
+            compact = block[:, needed]
+            partials.append(compact @ packed)
+            comm.charge_spmm(grid.rank(i, j), 2.0 * compact.nnz * f,
+                             category=compute_category)
+        reduced = comm.allreduce(partials, ranks=grid.row_group(i),
+                                 category=reduce_category)
+        lo, hi = matrix.row_dist.block_range(i)
+        out[lo:hi] = reduced[0]
+    return out

@@ -1,0 +1,55 @@
+"""Deterministic weight initialisation.
+
+Weight matrices are fully replicated across processes in the paper's
+formulation, so the distributed trainer and the single-process reference
+must initialise them identically to compare activations bit-for-bit.  All
+initialisers here are functions of ``(shape, seed)`` only.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "glorot_normal", "layer_seeds", "init_weights"]
+
+
+def glorot_uniform(fan_in: int, fan_out: int, seed: int,
+                   dtype=np.float32) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation of a ``(fan_in, fan_out)`` matrix."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    rng = np.random.default_rng(seed)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out)).astype(dtype)
+
+
+def glorot_normal(fan_in: int, fan_out: int, seed: int,
+                  dtype=np.float32) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    rng = np.random.default_rng(seed)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.normal(0.0, std, size=(fan_in, fan_out))).astype(dtype)
+
+
+def layer_seeds(base_seed: int, n_layers: int) -> list[int]:
+    """Derive one deterministic seed per layer from a base seed."""
+    return [base_seed * 1_000_003 + 7919 * layer for layer in range(n_layers)]
+
+
+def init_weights(layer_dims: Sequence[int], seed: int = 0,
+                 scheme: str = "glorot_uniform",
+                 dtype=np.float32) -> list[np.ndarray]:
+    """Initialise one weight matrix per layer for dims ``[f0, f1, ..., fL]``."""
+    if len(layer_dims) < 2:
+        raise ValueError("need at least input and output dimensions")
+    init_fn = {"glorot_uniform": glorot_uniform,
+               "glorot_normal": glorot_normal}.get(scheme)
+    if init_fn is None:
+        raise KeyError(f"unknown init scheme {scheme!r}")
+    seeds = layer_seeds(seed, len(layer_dims) - 1)
+    return [init_fn(layer_dims[l], layer_dims[l + 1], seeds[l], dtype=dtype)
+            for l in range(len(layer_dims) - 1)]

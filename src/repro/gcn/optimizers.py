@@ -1,0 +1,249 @@
+"""First-order optimisers for (replicated) GCN weights.
+
+The paper trains with plain SGD; these optimisers are the natural
+extensions a user of the library reaches for next.  They all operate on a
+*list* of parameter arrays updated in place, which matches how both the
+reference :class:`~repro.gcn.model.GCNModel` and the distributed
+:class:`~repro.core.dist_gcn.DistributedGCN` store their (fully replicated)
+weights — an optimiser therefore works unchanged in either setting because
+every rank sees identical gradients after the weight-gradient all-reduce.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Type
+
+import numpy as np
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdaGrad",
+    "RMSProp",
+    "OPTIMIZERS",
+    "get_optimizer",
+]
+
+
+class Optimizer(abc.ABC):
+    """Base class: stateful, in-place updates of a list of parameters.
+
+    Parameters
+    ----------
+    learning_rate:
+        Base step size.  May be changed between steps (e.g. by a scheduler)
+        through the :attr:`learning_rate` attribute.
+    weight_decay:
+        L2 penalty coefficient added to every gradient (decoupled from the
+        loss so the loss value stays comparable across optimisers).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, learning_rate: float = 0.05,
+                 weight_decay: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.learning_rate = float(learning_rate)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def step_count(self) -> int:
+        """Number of :meth:`step` calls performed so far."""
+        return self._step_count
+
+    def _effective_grads(self, params: Sequence[np.ndarray],
+                         grads: Sequence[np.ndarray]) -> List[np.ndarray]:
+        if len(params) != len(grads):
+            raise ValueError(
+                f"{len(grads)} gradients for {len(params)} parameters")
+        out = []
+        for p, g in zip(params, grads):
+            g = np.asarray(g, dtype=np.float64)
+            if g.shape != p.shape:
+                raise ValueError(
+                    f"gradient shape {g.shape} does not match parameter "
+                    f"shape {p.shape}")
+            if self.weight_decay:
+                g = g + self.weight_decay * p
+            out.append(g)
+        return out
+
+    def step(self, params: Sequence[np.ndarray],
+             grads: Sequence[np.ndarray]) -> None:
+        """Update ``params`` in place from ``grads``."""
+        grads = self._effective_grads(params, grads)
+        self._step_count += 1
+        self._update(list(params), grads)
+
+    @abc.abstractmethod
+    def _update(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        """Optimiser-specific in-place update."""
+
+    def reset(self) -> None:
+        """Clear all accumulated state (moments, counters)."""
+        self._step_count = 0
+
+    def state_summary(self) -> Dict[str, float]:
+        """Diagnostic scalars (used by tests and examples)."""
+        return {"learning_rate": self.learning_rate,
+                "step_count": float(self._step_count),
+                "weight_decay": self.weight_decay}
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional (Nesterov) momentum.
+
+    With ``momentum=0`` this reproduces exactly the paper's update
+    ``W <- W - lr * grad``, bit for bit.
+    """
+
+    name = "sgd"
+
+    def __init__(self, learning_rate: float = 0.05, momentum: float = 0.0,
+                 nesterov: bool = False, weight_decay: float = 0.0) -> None:
+        super().__init__(learning_rate, weight_decay)
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError("momentum must lie in [0, 1)")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+        self._velocity: Optional[List[np.ndarray]] = None
+
+    def _update(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        if self.momentum == 0.0:
+            for p, g in zip(params, grads):
+                p -= self.learning_rate * g
+            return
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v += g
+            update = g + self.momentum * v if self.nesterov else v
+            p -= self.learning_rate * update
+
+    def reset(self) -> None:
+        super().reset()
+        self._velocity = None
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias-corrected first and second moments."""
+
+    name = "adam"
+
+    def __init__(self, learning_rate: float = 0.01, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(learning_rate, weight_decay)
+        if not (0.0 <= beta1 < 1.0) or not (0.0 <= beta2 < 1.0):
+            raise ValueError("beta1 and beta2 must lie in [0, 1)")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: Optional[List[np.ndarray]] = None
+        self._v: Optional[List[np.ndarray]] = None
+
+    def _update(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        if self._m is None or self._v is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        t = self._step_count
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        super().reset()
+        self._m = None
+        self._v = None
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad: per-parameter learning rates from accumulated squared grads."""
+
+    name = "adagrad"
+
+    def __init__(self, learning_rate: float = 0.05, eps: float = 1e-10,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(learning_rate, weight_decay)
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.eps = float(eps)
+        self._accum: Optional[List[np.ndarray]] = None
+
+    def _update(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        if self._accum is None:
+            self._accum = [np.zeros_like(p) for p in params]
+        for p, g, a in zip(params, grads, self._accum):
+            a += g * g
+            p -= self.learning_rate * g / (np.sqrt(a) + self.eps)
+
+    def reset(self) -> None:
+        super().reset()
+        self._accum = None
+
+
+class RMSProp(Optimizer):
+    """RMSProp: exponentially decayed squared-gradient normalisation."""
+
+    name = "rmsprop"
+
+    def __init__(self, learning_rate: float = 0.01, decay: float = 0.9,
+                 eps: float = 1e-8, weight_decay: float = 0.0) -> None:
+        super().__init__(learning_rate, weight_decay)
+        if not (0.0 <= decay < 1.0):
+            raise ValueError("decay must lie in [0, 1)")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.decay = float(decay)
+        self.eps = float(eps)
+        self._avg: Optional[List[np.ndarray]] = None
+
+    def _update(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        if self._avg is None:
+            self._avg = [np.zeros_like(p) for p in params]
+        for p, g, a in zip(params, grads, self._avg):
+            a *= self.decay
+            a += (1.0 - self.decay) * (g * g)
+            p -= self.learning_rate * g / (np.sqrt(a) + self.eps)
+
+    def reset(self) -> None:
+        super().reset()
+        self._avg = None
+
+
+#: Registry of optimiser classes by name.
+OPTIMIZERS: Dict[str, Type[Optimizer]] = {
+    "sgd": SGD,
+    "adam": Adam,
+    "adagrad": AdaGrad,
+    "rmsprop": RMSProp,
+}
+
+
+def get_optimizer(name: str, **kwargs) -> Optimizer:
+    """Instantiate an optimiser by registry name."""
+    try:
+        cls = OPTIMIZERS[name]
+    except KeyError:
+        raise KeyError(f"unknown optimizer {name!r}; "
+                       f"available: {sorted(OPTIMIZERS)}") from None
+    return cls(**kwargs)

@@ -1,0 +1,125 @@
+"""Regularisation utilities: dropout, L2 penalty and early stopping.
+
+These are the standard GCN training add-ons (Kipf & Welling train with
+dropout and L2 on the first layer); the paper's timing study trains without
+them, so they live in their own module and are only activated through the
+advanced trainer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Dropout", "l2_penalty", "l2_penalty_grads", "EarlyStopping"]
+
+
+class Dropout:
+    """Inverted dropout with a cached mask for the backward pass.
+
+    In training mode, each activation is zeroed with probability ``rate``
+    and the survivors are scaled by ``1 / (1 - rate)`` so the expected
+    activation is unchanged; in evaluation mode the layer is the identity.
+    """
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not (0.0 <= rate < 1.0):
+            raise ValueError("dropout rate must lie in [0, 1)")
+        self.rate = float(rate)
+        self._rng = np.random.default_rng(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Apply dropout; caches the mask when ``training`` is True."""
+        x = np.asarray(x, dtype=np.float64)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Propagate a gradient through the most recent forward call."""
+        grad = np.asarray(grad, dtype=np.float64)
+        if self._mask is None:
+            return grad
+        if grad.shape != self._mask.shape:
+            raise ValueError("gradient shape does not match the cached mask")
+        return grad * self._mask
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Clear the cached mask (and optionally reseed)."""
+        self._mask = None
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+
+
+def l2_penalty(weights: Sequence[np.ndarray], coefficient: float) -> float:
+    """``coefficient / 2 * sum ||W||_F^2`` over the given weights."""
+    if coefficient < 0:
+        raise ValueError("coefficient must be non-negative")
+    if coefficient == 0:
+        return 0.0
+    return 0.5 * coefficient * float(sum(np.square(w).sum() for w in weights))
+
+
+def l2_penalty_grads(weights: Sequence[np.ndarray], coefficient: float
+                     ) -> List[np.ndarray]:
+    """Gradient of :func:`l2_penalty` with respect to each weight."""
+    if coefficient < 0:
+        raise ValueError("coefficient must be non-negative")
+    return [coefficient * w for w in weights]
+
+
+@dataclass
+class EarlyStopping:
+    """Stop training when the monitored value stops improving.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive non-improving epochs tolerated.
+    min_delta:
+        Minimum improvement that counts.
+    mode:
+        ``"max"`` for accuracies, ``"min"`` for losses.
+    """
+
+    patience: int = 10
+    min_delta: float = 0.0
+    mode: str = "max"
+    best: float = field(default=float("nan"), init=False)
+    best_epoch: int = field(default=-1, init=False)
+    _bad_epochs: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.patience < 1:
+            raise ValueError("patience must be positive")
+        if self.min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        if self.mode not in ("max", "min"):
+            raise ValueError("mode must be 'max' or 'min'")
+
+    def _improved(self, value: float) -> bool:
+        if np.isnan(self.best):
+            return True
+        if self.mode == "max":
+            return value > self.best + self.min_delta
+        return value < self.best - self.min_delta
+
+    def update(self, epoch: int, value: float) -> bool:
+        """Record one epoch's monitored value; returns True to *stop*."""
+        if self._improved(value):
+            self.best = float(value)
+            self.best_epoch = int(epoch)
+            self._bad_epochs = 0
+            return False
+        self._bad_epochs += 1
+        return self._bad_epochs >= self.patience
+
+    @property
+    def stopped_early(self) -> bool:
+        return self._bad_epochs >= self.patience

@@ -1,0 +1,232 @@
+"""GraphSAGE (mean aggregator) reference implementation.
+
+The paper notes its sparsity-aware communication applies to GNNs beyond
+GCNs; GraphSAGE with the mean aggregator is the canonical second
+architecture because its propagation is *also* one SpMM per layer —
+``A_mean H`` with a row-normalised adjacency — so the same 1D/1.5D
+distributed algorithms (and the same ``NnzCols`` communication sets) apply
+unchanged.  This module provides the single-process reference:
+
+* :class:`SAGELayer` — ``H_out = sigma([H_in || A_mean H_in] W)`` with the
+  self/neighbour concatenation of Hamilton et al.,
+* :class:`SAGEModel` — an L-layer stack with the same loss as the GCN,
+* :func:`train_sage` — a reference training loop mirroring
+  :func:`repro.gcn.train.train_reference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs.features import NodeData
+from .activations import get_activation
+from .init import glorot_uniform, layer_seeds
+from .loss import loss_and_grad, softmax
+from .metrics import masked_accuracy
+
+__all__ = ["row_normalize_adjacency", "SAGELayerCache", "SAGELayer",
+           "SAGEModel", "SAGETrainConfig", "train_sage"]
+
+
+def row_normalize_adjacency(adj: sp.spmatrix, add_self_loops: bool = False
+                            ) -> sp.csr_matrix:
+    """Row-stochastic ``D^{-1} A`` — the mean aggregator's propagation matrix."""
+    adj = adj.tocsr().astype(np.float64)
+    if adj.shape[0] != adj.shape[1]:
+        raise ValueError(f"adjacency must be square, got {adj.shape}")
+    if add_self_loops:
+        adj = (adj + sp.eye(adj.shape[0], format="csr")).tocsr()
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    inv = np.zeros_like(deg)
+    inv[deg > 0] = 1.0 / deg[deg > 0]
+    return (sp.diags(inv) @ adj).tocsr()
+
+
+@dataclass
+class SAGELayerCache:
+    """Forward-pass intermediates of one SAGE layer."""
+
+    h_in: np.ndarray          # layer input
+    neigh: np.ndarray         # A_mean @ h_in
+    concat: np.ndarray        # [h_in || neigh]
+    z: np.ndarray             # concat @ W
+    h_out: np.ndarray         # sigma(z)
+
+
+@dataclass
+class SAGELayerGradients:
+    """Backward-pass outputs of one SAGE layer."""
+
+    weight_grad: np.ndarray
+    input_grad: np.ndarray    # dL/dH_in (before the previous layer's sigma')
+
+
+class SAGELayer:
+    """One GraphSAGE-mean layer ``H_out = sigma([H_in || A H_in] W)``.
+
+    Parameters
+    ----------
+    weight:
+        ``(2 * f_in, f_out)`` weight applied to the self/neighbour
+        concatenation.
+    activation:
+        ``"relu"`` for hidden layers, ``"identity"`` for the output layer.
+    """
+
+    def __init__(self, weight: np.ndarray, activation: str = "relu") -> None:
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.ndim != 2 or weight.shape[0] % 2 != 0:
+            raise ValueError(
+                f"SAGE weight must be (2 * f_in, f_out), got {weight.shape}")
+        self.weight = weight
+        self.activation_name = activation
+        self._act, self._act_grad = get_activation(activation)
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[0] // 2
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[1]
+
+    # ------------------------------------------------------------------
+    def forward(self, adj_mean: sp.spmatrix, h_in: np.ndarray) -> SAGELayerCache:
+        h_in = np.asarray(h_in, dtype=np.float64)
+        if h_in.shape[1] != self.in_features:
+            raise ValueError(
+                f"layer expects {self.in_features} input features, "
+                f"got {h_in.shape[1]}")
+        neigh = adj_mean @ h_in                   # SpMM (the distributed kernel)
+        concat = np.concatenate([h_in, neigh], axis=1)
+        z = concat @ self.weight
+        return SAGELayerCache(h_in=h_in, neigh=neigh, concat=concat, z=z,
+                              h_out=self._act(z))
+
+    def backward(self, adj_mean: sp.spmatrix, cache: SAGELayerCache,
+                 grad_z: np.ndarray) -> SAGELayerGradients:
+        grad_z = np.asarray(grad_z, dtype=np.float64)
+        if grad_z.shape != cache.z.shape:
+            raise ValueError("grad_z shape does not match the forward cache")
+        weight_grad = cache.concat.T @ grad_z
+        grad_concat = grad_z @ self.weight.T
+        f_in = self.in_features
+        grad_self = grad_concat[:, :f_in]
+        grad_neigh = grad_concat[:, f_in:]
+        # d(A h)/dh contributes A^T grad_neigh; A_mean is generally not
+        # symmetric (row normalisation), so the transpose matters.
+        input_grad = grad_self + adj_mean.T @ grad_neigh
+        return SAGELayerGradients(weight_grad=weight_grad, input_grad=input_grad)
+
+    def activation_grad(self, z: np.ndarray) -> np.ndarray:
+        return self._act_grad(np.asarray(z, dtype=np.float64))
+
+
+class SAGEModel:
+    """An L-layer GraphSAGE-mean network with the GCN's masked CE loss."""
+
+    def __init__(self, layer_dims: Sequence[int], seed: int = 0) -> None:
+        if len(layer_dims) < 2:
+            raise ValueError("layer_dims needs at least [in_features, classes]")
+        self.layer_dims = [int(d) for d in layer_dims]
+        self.layers: List[SAGELayer] = []
+        for l, s in enumerate(layer_seeds(seed, len(self.layer_dims) - 1)):
+            f_in, f_out = self.layer_dims[l], self.layer_dims[l + 1]
+            weight = glorot_uniform(2 * f_in, f_out, seed=s)
+            activation = "identity" if l == len(self.layer_dims) - 2 else "relu"
+            self.layers.append(SAGELayer(weight, activation=activation))
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def weights(self) -> List[np.ndarray]:
+        return [layer.weight for layer in self.layers]
+
+    # ------------------------------------------------------------------
+    def forward(self, adj_mean: sp.spmatrix, features: np.ndarray
+                ) -> List[SAGELayerCache]:
+        h = np.asarray(features, dtype=np.float64)
+        caches: List[SAGELayerCache] = []
+        for layer in self.layers:
+            cache = layer.forward(adj_mean, h)
+            caches.append(cache)
+            h = cache.h_out
+        return caches
+
+    def backward(self, adj_mean: sp.spmatrix, caches: List[SAGELayerCache],
+                 grad_logits: np.ndarray) -> List[np.ndarray]:
+        grads: List[Optional[np.ndarray]] = [None] * self.n_layers
+        grad_z = np.asarray(grad_logits, dtype=np.float64)
+        for l in range(self.n_layers - 1, -1, -1):
+            layer = self.layers[l]
+            lg = layer.backward(adj_mean, caches[l], grad_z)
+            grads[l] = lg.weight_grad
+            if l > 0:
+                prev = self.layers[l - 1]
+                grad_z = lg.input_grad * prev.activation_grad(caches[l - 1].z)
+        return grads  # type: ignore[return-value]
+
+    def apply_gradients(self, grads: Sequence[np.ndarray], lr: float) -> None:
+        if len(grads) != self.n_layers:
+            raise ValueError("gradient count does not match the layer count")
+        for layer, g in zip(self.layers, grads):
+            if g.shape != layer.weight.shape:
+                raise ValueError("gradient shape mismatch")
+            layer.weight -= lr * g
+
+    def predict(self, adj_mean: sp.spmatrix, features: np.ndarray) -> np.ndarray:
+        logits = self.forward(adj_mean, features)[-1].h_out
+        return softmax(logits).argmax(axis=1)
+
+
+@dataclass(frozen=True)
+class SAGETrainConfig:
+    """Hyper-parameters of the reference GraphSAGE trainer."""
+
+    hidden: int = 16
+    n_layers: int = 2
+    epochs: int = 100
+    learning_rate: float = 0.05
+    seed: int = 0
+    self_loops: bool = True
+
+
+def train_sage(adjacency: sp.spmatrix, node_data: NodeData,
+               config: Optional[SAGETrainConfig] = None):
+    """Train the reference GraphSAGE model; returns ``(model, history, test_acc)``.
+
+    ``history`` is a list of ``(epoch, loss, val_accuracy)`` tuples.
+    """
+    cfg = config or SAGETrainConfig()
+    node_data.validate()
+    adj_mean = row_normalize_adjacency(adjacency, add_self_loops=cfg.self_loops)
+
+    if cfg.n_layers == 1:
+        dims = [node_data.n_features, node_data.n_classes]
+    else:
+        dims = [node_data.n_features] + [cfg.hidden] * (cfg.n_layers - 1) + \
+            [node_data.n_classes]
+    model = SAGEModel(dims, seed=cfg.seed)
+
+    features = node_data.features.astype(np.float64)
+    labels = node_data.labels
+    history = []
+    for epoch in range(cfg.epochs):
+        caches = model.forward(adj_mean, features)
+        loss, grad_logits = loss_and_grad(caches[-1].h_out, labels,
+                                          node_data.train_mask)
+        grads = model.backward(adj_mean, caches, grad_logits)
+        model.apply_gradients(grads, cfg.learning_rate)
+        preds = softmax(caches[-1].h_out).argmax(axis=1)
+        history.append((epoch, loss,
+                        masked_accuracy(preds, labels, node_data.val_mask)))
+
+    test_acc = masked_accuracy(model.predict(adj_mean, features), labels,
+                               node_data.test_mask)
+    return model, history, test_acc

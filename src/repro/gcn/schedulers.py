@@ -1,0 +1,149 @@
+"""Learning-rate schedules.
+
+Full-graph GCN training runs for hundreds of epochs (the paper uses 100);
+a schedule often shaves a noticeable fraction of those.  A schedule here is
+a small object mapping an epoch index to a learning-rate value; the
+advanced trainer (:mod:`repro.gcn.advanced_train`) pushes that value into
+the optimiser before every epoch.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, Type
+
+__all__ = [
+    "LRSchedule",
+    "ConstantLR",
+    "StepDecay",
+    "ExponentialDecay",
+    "CosineAnnealing",
+    "WarmupWrapper",
+    "SCHEDULES",
+    "get_schedule",
+]
+
+
+class LRSchedule(abc.ABC):
+    """Base class: maps epoch index (0-based) to a learning rate."""
+
+    name: str = "abstract"
+
+    def __init__(self, base_lr: float) -> None:
+        if base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        self.base_lr = float(base_lr)
+
+    @abc.abstractmethod
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate to use for ``epoch``."""
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        lr = self.lr_at(epoch)
+        if lr <= 0:  # pragma: no cover - defensive
+            raise RuntimeError(f"schedule produced a non-positive rate {lr}")
+        return lr
+
+
+class ConstantLR(LRSchedule):
+    """The paper's setting: one fixed learning rate."""
+
+    name = "constant"
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepDecay(LRSchedule):
+    """Multiply the rate by ``factor`` every ``step_size`` epochs."""
+
+    name = "step"
+
+    def __init__(self, base_lr: float, step_size: int = 30,
+                 factor: float = 0.5) -> None:
+        super().__init__(base_lr)
+        if step_size < 1:
+            raise ValueError("step_size must be positive")
+        if not (0.0 < factor <= 1.0):
+            raise ValueError("factor must lie in (0, 1]")
+        self.step_size = int(step_size)
+        self.factor = float(factor)
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.factor ** (epoch // self.step_size)
+
+
+class ExponentialDecay(LRSchedule):
+    """``lr = base * gamma ** epoch``."""
+
+    name = "exponential"
+
+    def __init__(self, base_lr: float, gamma: float = 0.98) -> None:
+        super().__init__(base_lr)
+        if not (0.0 < gamma <= 1.0):
+            raise ValueError("gamma must lie in (0, 1]")
+        self.gamma = float(gamma)
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** epoch
+
+
+class CosineAnnealing(LRSchedule):
+    """Cosine annealing from ``base_lr`` down to ``min_lr`` over ``total_epochs``."""
+
+    name = "cosine"
+
+    def __init__(self, base_lr: float, total_epochs: int = 100,
+                 min_lr: float = 1e-4) -> None:
+        super().__init__(base_lr)
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be positive")
+        if min_lr <= 0 or min_lr > base_lr:
+            raise ValueError("min_lr must lie in (0, base_lr]")
+        self.total_epochs = int(total_epochs)
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, epoch: int) -> float:
+        progress = min(1.0, epoch / self.total_epochs)
+        cos = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cos
+
+
+class WarmupWrapper(LRSchedule):
+    """Linear warm-up for the first ``warmup_epochs``, then an inner schedule."""
+
+    name = "warmup"
+
+    def __init__(self, inner: LRSchedule, warmup_epochs: int = 5) -> None:
+        super().__init__(inner.base_lr)
+        if warmup_epochs < 0:
+            raise ValueError("warmup_epochs must be non-negative")
+        self.inner = inner
+        self.warmup_epochs = int(warmup_epochs)
+
+    def lr_at(self, epoch: int) -> float:
+        if self.warmup_epochs and epoch < self.warmup_epochs:
+            return self.base_lr * (epoch + 1) / self.warmup_epochs
+        return self.inner.lr_at(epoch)
+
+
+#: Registry of schedule classes by name (WarmupWrapper is composed manually).
+SCHEDULES: Dict[str, Type[LRSchedule]] = {
+    "constant": ConstantLR,
+    "step": StepDecay,
+    "exponential": ExponentialDecay,
+    "cosine": CosineAnnealing,
+}
+
+
+def get_schedule(name: str, base_lr: float, **kwargs) -> LRSchedule:
+    """Instantiate a schedule by registry name."""
+    try:
+        cls = SCHEDULES[name]
+    except KeyError:
+        raise KeyError(f"unknown schedule {name!r}; "
+                       f"available: {sorted(SCHEDULES)}") from None
+    return cls(base_lr, **kwargs)

@@ -1,0 +1,98 @@
+"""Saving and loading datasets to/from ``.npz`` archives.
+
+Real deployments partition once and reuse the result across many training
+runs (the paper amortises the partitioner this way); this module provides
+the on-disk format for graphs, node data and partition vectors so the same
+can be done with the reproduction.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from .datasets import DatasetSpec, GraphDataset, PAPER_SPECS
+from .features import NodeData
+
+__all__ = ["save_dataset", "load_dataset_file", "save_partition", "load_partition"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_dataset(dataset: GraphDataset, path: PathLike) -> Path:
+    """Serialise a :class:`GraphDataset` into a single ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    adj = dataset.adjacency.tocsr()
+    nd = dataset.node_data
+    np.savez_compressed(
+        path,
+        name=np.array(dataset.name),
+        shape=np.array(adj.shape, dtype=np.int64),
+        indptr=adj.indptr,
+        indices=adj.indices,
+        data=adj.data,
+        features=nd.features,
+        labels=nd.labels,
+        train_mask=nd.train_mask,
+        val_mask=nd.val_mask,
+        test_mask=nd.test_mask,
+    )
+    # ``np.savez`` appends .npz when missing; normalise the return value.
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def load_dataset_file(path: PathLike) -> GraphDataset:
+    """Load a :class:`GraphDataset` previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"dataset file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        name = str(archive["name"])
+        shape = tuple(int(x) for x in archive["shape"])
+        adj = sp.csr_matrix(
+            (archive["data"], archive["indices"], archive["indptr"]),
+            shape=shape)
+        node_data = NodeData(
+            features=archive["features"],
+            labels=archive["labels"],
+            train_mask=archive["train_mask"],
+            val_mask=archive["val_mask"],
+            test_mask=archive["test_mask"],
+        )
+    node_data.validate()
+    spec = PAPER_SPECS.get(name, DatasetSpec(name, shape[0], adj.nnz // 2,
+                                             node_data.n_features,
+                                             node_data.n_classes,
+                                             "custom"))
+    return GraphDataset(name=name, adjacency=adj, node_data=node_data, spec=spec)
+
+
+def save_partition(parts: np.ndarray, nparts: int, path: PathLike) -> Path:
+    """Persist a partition vector (one part id per vertex)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, parts=np.asarray(parts, dtype=np.int64),
+                        nparts=np.array(nparts, dtype=np.int64))
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def load_partition(path: PathLike) -> tuple[np.ndarray, int]:
+    """Load a partition vector written by :func:`save_partition`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"partition file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        parts = archive["parts"]
+        nparts = int(archive["nparts"])
+    if parts.size and (parts.min() < 0 or parts.max() >= nparts):
+        raise ValueError("partition file is inconsistent: part id out of range")
+    return parts, nparts

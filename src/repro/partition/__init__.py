@@ -1,0 +1,74 @@
+"""Graph partitioning substrate.
+
+Implements the three distribution strategies compared in the paper:
+
+* :class:`RandomPartitioner` / :class:`BlockPartitioner` — the
+  sparsity-oblivious default (1D blocks, optional random permutation);
+* :class:`MetisLikePartitioner` — multilevel k-way minimizing total
+  edgecut, the stand-in for METIS;
+* :class:`GVBPartitioner` — multilevel k-way minimizing total *and*
+  maximum send volume, the stand-in for Graph-VB.
+
+Quality metrics for all of them (edgecut, total/max send volume, imbalance)
+live in :mod:`repro.partition.metrics`.
+"""
+
+from .base import Partitioner, PartitionResult, validate_parts
+from .coarsen import CoarseLevel, coarsen_graph, contract_graph, heavy_edge_matching
+from .gvb import GVBPartitioner
+from .hypergraph import ColumnNetHypergraph, HypergraphPartitioner
+from .initial import fix_empty_parts, greedy_graph_growing
+from .label_propagation import (LabelPropagationPartitioner,
+                                label_propagation_sweep)
+from .metis_like import MetisLikePartitioner
+from .metrics import (CommVolume, boundary_vertices, communication_volumes_1d,
+                      edgecut, load_imbalance, part_nonzeros, part_sizes,
+                      partition_report)
+from .multilevel import MultilevelConfig, MultilevelPartitioner
+from .random_block import (BlockPartitioner, RandomPartitioner,
+                           balanced_block_bounds, contiguous_parts)
+from .refine import edgecut_refine, weighted_edgecut
+from .spectral import SpectralPartitioner, fiedler_vector
+from .volume_refine import VolumeState, volume_refine
+
+__all__ = [
+    "Partitioner", "PartitionResult", "validate_parts",
+    "CoarseLevel", "coarsen_graph", "contract_graph", "heavy_edge_matching",
+    "GVBPartitioner",
+    "ColumnNetHypergraph", "HypergraphPartitioner",
+    "fix_empty_parts", "greedy_graph_growing",
+    "LabelPropagationPartitioner", "label_propagation_sweep",
+    "MetisLikePartitioner",
+    "CommVolume", "boundary_vertices", "communication_volumes_1d",
+    "edgecut", "load_imbalance", "part_nonzeros", "part_sizes",
+    "partition_report",
+    "MultilevelConfig", "MultilevelPartitioner",
+    "BlockPartitioner", "RandomPartitioner", "balanced_block_bounds",
+    "contiguous_parts",
+    "edgecut_refine", "weighted_edgecut",
+    "SpectralPartitioner", "fiedler_vector",
+    "VolumeState", "volume_refine",
+    "get_partitioner", "PARTITIONERS",
+]
+
+
+#: Registry used by the benchmark harness and the examples.
+PARTITIONERS = {
+    "block": BlockPartitioner,
+    "random": RandomPartitioner,
+    "metis_like": MetisLikePartitioner,
+    "gvb": GVBPartitioner,
+    "spectral": SpectralPartitioner,
+    "label_prop": LabelPropagationPartitioner,
+    "hypergraph": HypergraphPartitioner,
+}
+
+
+def get_partitioner(name: str, **kwargs) -> Partitioner:
+    """Instantiate a partitioner by registry name."""
+    try:
+        cls = PARTITIONERS[name]
+    except KeyError:
+        raise KeyError(f"unknown partitioner {name!r}; "
+                       f"available: {sorted(PARTITIONERS)}") from None
+    return cls(**kwargs)

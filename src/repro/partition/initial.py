@@ -1,0 +1,119 @@
+"""Initial partitioning of the coarsest graph.
+
+After coarsening, the coarsest graph (a few hundred vertices) is split into
+``nparts`` parts by greedy graph growing: parts are grown one at a time
+from a seed vertex by BFS over the heaviest available edges until the part
+reaches its weight budget.  The result is then cleaned up so no part is
+empty and the balance constraint holds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .base import validate_parts
+
+__all__ = ["greedy_graph_growing", "fix_empty_parts"]
+
+
+def greedy_graph_growing(adj: sp.csr_matrix, nparts: int,
+                         vertex_weights: Optional[np.ndarray] = None,
+                         seed: int = 0) -> np.ndarray:
+    """Grow ``nparts`` parts by weighted BFS region growing.
+
+    Each part is grown from an unassigned seed vertex; the frontier is a
+    max-heap keyed by connectivity to the growing part, so strongly
+    connected vertices are absorbed first (which keeps the cut small).
+    """
+    adj = adj.tocsr()
+    n = adj.shape[0]
+    if nparts > n:
+        raise ValueError(f"cannot grow {nparts} parts from {n} vertices")
+    if vertex_weights is None:
+        vertex_weights = np.ones(n)
+    vertex_weights = np.asarray(vertex_weights, dtype=np.float64)
+    total_weight = vertex_weights.sum()
+    target = total_weight / nparts
+
+    rng = np.random.default_rng(seed)
+    parts = np.full(n, -1, dtype=np.int64)
+    indptr, indices, data = adj.indptr, adj.indices, adj.data
+    unassigned = n
+
+    for p in range(nparts - 1):
+        if unassigned <= nparts - 1 - p:
+            break  # leave at least one vertex per remaining part
+        # Seed: an unassigned vertex with small degree (periphery) chosen
+        # randomly among candidates for robustness.
+        candidates = np.flatnonzero(parts == -1)
+        degs = np.diff(indptr)[candidates]
+        order = np.argsort(degs, kind="stable")
+        pick = candidates[order[rng.integers(0, max(1, min(8, order.size)))]]
+
+        part_weight = 0.0
+        # Max-heap of (-connectivity, tie, vertex)
+        heap: list[tuple[float, int, int]] = [(-0.0, 0, int(pick))]
+        tie = 1
+        while part_weight < target and unassigned > nparts - 1 - p:
+            if not heap:
+                # The region ran out of frontier (disconnected graph or an
+                # exhausted component): restart growth of the *same* part
+                # from a fresh unassigned seed so every part still reaches
+                # its weight budget.
+                remaining = np.flatnonzero(parts == -1)
+                if remaining.size == 0:
+                    break
+                reseed = int(remaining[rng.integers(0, remaining.size)])
+                heapq.heappush(heap, (-0.0, tie, reseed))
+                tie += 1
+                continue
+            _, _, v = heapq.heappop(heap)
+            if parts[v] != -1:
+                continue
+            parts[v] = p
+            part_weight += vertex_weights[v]
+            unassigned -= 1
+            for idx in range(indptr[v], indptr[v + 1]):
+                u = indices[idx]
+                if parts[u] == -1:
+                    heapq.heappush(heap, (-float(data[idx]), tie, int(u)))
+                    tie += 1
+
+    # Everything still unassigned goes to the last part.
+    parts[parts == -1] = nparts - 1
+    return fix_empty_parts(adj, parts, nparts, vertex_weights)
+
+
+def fix_empty_parts(adj: sp.csr_matrix, parts: np.ndarray, nparts: int,
+                    vertex_weights: Optional[np.ndarray] = None) -> np.ndarray:
+    """Ensure every part has at least one vertex.
+
+    Empty parts are filled by stealing vertices from the heaviest parts
+    (preferring low-degree vertices, which disturb the cut least).
+    """
+    n = adj.shape[0]
+    parts = validate_parts(parts, nparts, n).copy()
+    if vertex_weights is None:
+        vertex_weights = np.ones(n)
+    sizes = np.bincount(parts, minlength=nparts)
+    empty = np.flatnonzero(sizes == 0)
+    if empty.size == 0:
+        return parts
+    degs = np.diff(adj.tocsr().indptr)
+    for p in empty:
+        weights = np.zeros(nparts)
+        np.add.at(weights, parts, vertex_weights)
+        donor = int(np.argmax(weights))
+        donor_vertices = np.flatnonzero(parts == donor)
+        if donor_vertices.size <= 1:
+            # Find any part with more than one vertex.
+            sizes = np.bincount(parts, minlength=nparts)
+            donor = int(np.argmax(sizes))
+            donor_vertices = np.flatnonzero(parts == donor)
+        v = donor_vertices[np.argmin(degs[donor_vertices])]
+        parts[v] = p
+    return parts

@@ -1,0 +1,89 @@
+"""Baseline partitioners: contiguous blocks and random permutation.
+
+These model what GNN frameworks do when no partitioner is used: the
+adjacency matrix is cut into ``P`` block rows of (roughly) equal vertex
+counts, optionally after a random vertex permutation to even out the
+computational load.  Section 5 of the paper explains why this is a poor
+starting point for sparsity-aware communication: random permutation
+*maximises* the number of non-empty column segments in off-diagonal blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .base import Partitioner, PartitionResult
+from . import metrics
+
+__all__ = ["BlockPartitioner", "RandomPartitioner", "contiguous_parts",
+           "balanced_block_bounds"]
+
+
+def balanced_block_bounds(n: int, nparts: int) -> np.ndarray:
+    """Boundaries of ``nparts`` contiguous blocks covering ``n`` items.
+
+    Returns an array of length ``nparts + 1``; block ``i`` is
+    ``[bounds[i], bounds[i+1])``.  Sizes differ by at most one.
+    """
+    if nparts <= 0:
+        raise ValueError("nparts must be positive")
+    base = n // nparts
+    extra = n % nparts
+    sizes = np.full(nparts, base, dtype=np.int64)
+    sizes[:extra] += 1
+    return np.concatenate([[0], np.cumsum(sizes)])
+
+
+def contiguous_parts(n: int, nparts: int) -> np.ndarray:
+    """Part vector assigning contiguous id ranges to parts."""
+    bounds = balanced_block_bounds(n, nparts)
+    parts = np.empty(n, dtype=np.int64)
+    for p in range(nparts):
+        parts[bounds[p]:bounds[p + 1]] = p
+    return parts
+
+
+class BlockPartitioner(Partitioner):
+    """Natural-order 1D block partitioning (no permutation at all).
+
+    Deterministic; the ``seed`` argument is accepted (and ignored) so the
+    partitioner registry can instantiate every entry uniformly.
+    """
+
+    name = "block"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def partition(self, adj: sp.spmatrix, nparts: int) -> PartitionResult:
+        adj = self._check_input(adj, nparts)
+        parts = contiguous_parts(adj.shape[0], nparts)
+        result = PartitionResult(parts=parts, nparts=nparts, method=self.name)
+        result.stats.update(metrics.partition_report(adj, parts, nparts))
+        return result
+
+
+class RandomPartitioner(Partitioner):
+    """Random vertex permutation followed by equal-size blocks.
+
+    This is the sparsity-oblivious default (good vertex balance, no
+    communication structure whatsoever).  Deterministic given ``seed``.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def partition(self, adj: sp.spmatrix, nparts: int) -> PartitionResult:
+        adj = self._check_input(adj, nparts)
+        n = adj.shape[0]
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n)
+        block_of_position = contiguous_parts(n, nparts)
+        parts = np.empty(n, dtype=np.int64)
+        parts[order] = block_of_position
+        result = PartitionResult(parts=parts, nparts=nparts, method=self.name)
+        result.stats.update(metrics.partition_report(adj, parts, nparts))
+        return result

@@ -1,0 +1,200 @@
+"""Boundary refinement minimizing total edgecut (METIS-style objective).
+
+A simplified k-way Fiduccia–Mattheyses pass: boundary vertices are examined
+repeatedly and moved to the neighbouring part with the highest connectivity
+whenever that reduces the cut (or keeps it equal while improving balance),
+subject to a vertex-weight balance constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .base import validate_parts
+
+__all__ = ["edgecut_refine", "rebalance", "weighted_edgecut",
+           "part_weight_vector"]
+
+
+def part_weight_vector(parts: np.ndarray, vertex_weights: np.ndarray,
+                       nparts: int) -> np.ndarray:
+    """Total vertex weight per part."""
+    weights = np.zeros(nparts)
+    np.add.at(weights, parts, vertex_weights)
+    return weights
+
+
+def weighted_edgecut(adj: sp.spmatrix, parts: np.ndarray) -> float:
+    """Sum of edge weights crossing the partition (undirected, counted once)."""
+    coo = adj.tocoo()
+    mask = parts[coo.row] != parts[coo.col]
+    return float(coo.data[mask].sum() / 2.0)
+
+
+def _connectivity(adj_indptr, adj_indices, adj_data, parts, v, nparts
+                  ) -> np.ndarray:
+    """Edge weight from ``v`` to each part."""
+    conn = np.zeros(nparts)
+    start, end = adj_indptr[v], adj_indptr[v + 1]
+    nbrs = adj_indices[start:end]
+    wts = adj_data[start:end]
+    np.add.at(conn, parts[nbrs], wts)
+    return conn
+
+
+def edgecut_refine(adj: sp.spmatrix, parts: np.ndarray, nparts: int,
+                   vertex_weights: Optional[np.ndarray] = None,
+                   balance_factor: float = 1.05,
+                   max_passes: int = 8,
+                   seed: int = 0) -> Tuple[np.ndarray, int]:
+    """Refine a partition in place-ish (returns a new vector).
+
+    Parameters
+    ----------
+    balance_factor:
+        Maximum allowed part weight as a multiple of the ideal
+        ``total_weight / nparts``.
+    max_passes:
+        Upper bound on full sweeps over the boundary.
+
+    Returns
+    -------
+    (parts, moves):
+        The refined partition vector and the number of vertex moves made.
+    """
+    adj = adj.tocsr()
+    n = adj.shape[0]
+    parts = validate_parts(parts, nparts, n).copy()
+    if vertex_weights is None:
+        vertex_weights = np.ones(n)
+    vertex_weights = np.asarray(vertex_weights, dtype=np.float64)
+    if balance_factor < 1.0:
+        raise ValueError("balance_factor must be >= 1.0")
+
+    indptr, indices, data = adj.indptr, adj.indices, adj.data
+    weights = part_weight_vector(parts, vertex_weights, nparts)
+    ideal = vertex_weights.sum() / nparts
+    max_weight = balance_factor * ideal
+
+    rng = np.random.default_rng(seed)
+    total_moves = 0
+
+    for _ in range(max_passes):
+        # Boundary vertices under the current assignment.
+        coo_row = None  # recomputed lazily below
+        boundary = _boundary(adj, parts)
+        if boundary.size == 0:
+            break
+        rng.shuffle(boundary)
+        moves_this_pass = 0
+        for v in boundary:
+            p = parts[v]
+            conn = _connectivity(indptr, indices, data, parts, v, nparts)
+            internal = conn[p]
+            # Candidate parts: the ones v is actually connected to.
+            candidates = np.flatnonzero(conn > 0)
+            best_q = -1
+            best_gain = 0.0
+            wv = vertex_weights[v]
+            for q in candidates:
+                if q == p:
+                    continue
+                if weights[q] + wv > max_weight:
+                    continue
+                gain = conn[q] - internal
+                better_balance = weights[p] > weights[q] + wv
+                if gain > best_gain or (gain == best_gain == 0.0 and
+                                        better_balance and best_q < 0):
+                    best_gain = gain
+                    best_q = int(q)
+            if best_q >= 0 and (best_gain > 0 or
+                                (best_gain == 0.0 and weights[parts[v]] >
+                                 weights[best_q] + wv)):
+                weights[p] -= wv
+                weights[best_q] += wv
+                parts[v] = best_q
+                moves_this_pass += 1
+        total_moves += moves_this_pass
+        if moves_this_pass == 0:
+            break
+    return parts, total_moves
+
+
+def rebalance(adj: sp.spmatrix, parts: np.ndarray, nparts: int,
+              vertex_weights: Optional[np.ndarray] = None,
+              balance_factor: float = 1.05,
+              seed: int = 0,
+              max_moves: Optional[int] = None) -> np.ndarray:
+    """Repair computational balance by draining overweight parts.
+
+    Greedy graph growing on awkward (disconnected, star-heavy) graphs can
+    leave some parts far above the balance tolerance.  This pass moves
+    vertices out of every overweight part — preferring vertices with the
+    highest connectivity to the receiving part, i.e. the smallest edgecut
+    damage — until all parts respect ``balance_factor`` times the ideal
+    weight (or the move budget runs out).
+    """
+    adj = adj.tocsr()
+    n = adj.shape[0]
+    parts = validate_parts(parts, nparts, n).copy()
+    if vertex_weights is None:
+        vertex_weights = np.ones(n)
+    vertex_weights = np.asarray(vertex_weights, dtype=np.float64)
+    indptr, indices, data = adj.indptr, adj.indices, adj.data
+
+    weights = part_weight_vector(parts, vertex_weights, nparts)
+    ideal = vertex_weights.sum() / nparts
+    max_weight = balance_factor * ideal
+    if max_moves is None:
+        max_moves = 4 * n
+    rng = np.random.default_rng(seed)
+
+    moves = 0
+    overweight = [p for p in range(nparts) if weights[p] > max_weight]
+    while overweight and moves < max_moves:
+        p = max(overweight, key=lambda q: weights[q])
+        members = np.flatnonzero(parts == p)
+        if members.size <= 1:
+            overweight = [q for q in overweight if q != p]
+            continue
+        # Candidate receivers: the lightest parts.
+        order = np.argsort(weights)
+        receivers = [int(q) for q in order if q != p and
+                     weights[q] < max_weight][:8]
+        if not receivers:
+            break
+        # Pick the member vertex whose move hurts the cut least: highest
+        # external connectivity to a receiver, lowest internal connectivity.
+        best = None
+        sample = members if members.size <= 256 else \
+            rng.choice(members, size=256, replace=False)
+        for v in sample:
+            conn = _connectivity(indptr, indices, data, parts, v, nparts)
+            internal = conn[p]
+            for q in receivers:
+                if weights[q] + vertex_weights[v] > max_weight:
+                    continue
+                score = conn[q] - internal
+                if best is None or score > best[0]:
+                    best = (score, int(v), int(q))
+        if best is None:
+            break
+        _, v, q = best
+        weights[p] -= vertex_weights[v]
+        weights[q] += vertex_weights[v]
+        parts[v] = q
+        moves += 1
+        overweight = [r for r in range(nparts) if weights[r] > max_weight]
+    return parts
+
+
+def _boundary(adj: sp.csr_matrix, parts: np.ndarray) -> np.ndarray:
+    """Vertex ids with at least one neighbour in a different part."""
+    coo = adj.tocoo()
+    mask = parts[coo.row] != parts[coo.col]
+    if not mask.any():
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate([coo.row[mask], coo.col[mask]]))

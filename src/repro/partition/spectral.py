@@ -1,0 +1,155 @@
+"""Spectral partitioning by recursive Fiedler bisection.
+
+A classical alternative to multilevel partitioning: the graph is split in
+two along the Fiedler vector (the eigenvector of the second-smallest
+eigenvalue of the graph Laplacian), and the halves are recursively split
+until the requested number of parts is reached.  Uneven part counts are
+handled by splitting each subgraph proportionally to how many final parts
+it must produce.
+
+Spectral bisection produces smooth, well-shaped cuts on regular graphs
+(mesh-like inputs such as the paper's Protein stand-in) but is slower and
+weaker than multilevel methods on irregular power-law graphs — including it
+makes the partitioner comparison benchmarks richer and gives the test suite
+an independently-derived partition to cross-check metrics against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from . import metrics
+from .base import Partitioner, PartitionResult
+from .initial import fix_empty_parts
+from .refine import edgecut_refine, rebalance
+
+__all__ = ["fiedler_vector", "SpectralPartitioner"]
+
+
+def _laplacian(adj: sp.csr_matrix) -> sp.csr_matrix:
+    """Combinatorial Laplacian ``D - A`` with non-negative weights."""
+    data = np.abs(adj.data) if adj.nnz else adj.data
+    adj = sp.csr_matrix((data, adj.indices, adj.indptr), shape=adj.shape)
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    return (sp.diags(deg) - adj).tocsr()
+
+
+def fiedler_vector(adj: sp.spmatrix, seed: int = 0,
+                   tol: float = 1e-6) -> np.ndarray:
+    """The Fiedler vector (second-smallest Laplacian eigenvector).
+
+    Small graphs (fewer than 64 vertices) use a dense eigendecomposition;
+    larger graphs use shift-invert Lanczos.  Falls back to the dense path
+    if the iterative solver fails to converge — robustness matters more
+    than speed for the coarse subproblems this is applied to.
+    """
+    adj = adj.tocsr()
+    n = adj.shape[0]
+    if n < 2:
+        return np.zeros(n)
+    lap = _laplacian(adj)
+    if n < 64:
+        eigvals, eigvecs = np.linalg.eigh(lap.toarray())
+        return eigvecs[:, 1].copy()
+    try:
+        # sigma=0 shift-invert targets the smallest eigenvalues; v0 makes
+        # the Lanczos iteration deterministic.
+        rng = np.random.default_rng(seed)
+        v0 = rng.normal(size=n)
+        eigvals, eigvecs = spla.eigsh(lap.asfptype(), k=2, sigma=-1e-3,
+                                      which="LM", v0=v0, tol=tol,
+                                      maxiter=5000)
+        order = np.argsort(eigvals)
+        return eigvecs[:, order[1]].copy()
+    except Exception:
+        eigvals, eigvecs = np.linalg.eigh(lap.toarray())
+        return eigvecs[:, 1].copy()
+
+
+class SpectralPartitioner(Partitioner):
+    """Recursive spectral bisection with a final edgecut polish.
+
+    Parameters
+    ----------
+    balance_factor:
+        Balance tolerance of the final edgecut refinement pass.
+    refine:
+        Whether to run boundary refinement after the recursive bisection
+        (recommended; raw spectral splits can be slightly unbalanced).
+    seed:
+        Seed for the Lanczos starting vector and refinement tie-breaking.
+    """
+
+    name = "spectral"
+
+    def __init__(self, balance_factor: float = 1.05, refine: bool = True,
+                 seed: int = 0) -> None:
+        if balance_factor < 1.0:
+            raise ValueError("balance_factor must be >= 1")
+        self.balance_factor = float(balance_factor)
+        self.refine = bool(refine)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    def _bisect(self, adj: sp.csr_matrix, vertices: np.ndarray,
+                nparts: int, parts: np.ndarray, next_part: int,
+                depth: int) -> int:
+        """Recursively split ``vertices`` into ``nparts`` parts.
+
+        Returns the next free part id after labelling this subtree.
+        """
+        if nparts == 1 or vertices.size <= 1:
+            parts[vertices] = next_part
+            return next_part + 1
+
+        sub = adj[vertices][:, vertices].tocsr()
+        left_parts = nparts // 2
+        right_parts = nparts - left_parts
+        # Split point proportional to how many parts each side must hold.
+        split_fraction = left_parts / nparts
+
+        fiedler = fiedler_vector(sub, seed=self.seed + depth)
+        if np.allclose(fiedler, fiedler[0]):
+            # Degenerate (disconnected or complete) subgraph: fall back to a
+            # balanced index split.
+            order = np.arange(vertices.size)
+        else:
+            order = np.argsort(fiedler, kind="stable")
+        cut_at = max(1, min(vertices.size - 1,
+                            int(round(split_fraction * vertices.size))))
+        left = vertices[order[:cut_at]]
+        right = vertices[order[cut_at:]]
+
+        next_part = self._bisect(adj, left, left_parts, parts, next_part,
+                                 depth + 1)
+        next_part = self._bisect(adj, right, right_parts, parts, next_part,
+                                 depth + 1)
+        return next_part
+
+    # ------------------------------------------------------------------
+    def partition(self, adj: sp.spmatrix, nparts: int) -> PartitionResult:
+        adj = self._check_input(adj, nparts)
+        n = adj.shape[0]
+        parts = np.zeros(n, dtype=np.int64)
+
+        if nparts > 1:
+            used = self._bisect(adj, np.arange(n), nparts, parts, 0, depth=0)
+            if used != nparts:  # pragma: no cover - defensive
+                parts = np.clip(parts, 0, nparts - 1)
+            parts = fix_empty_parts(adj, parts, nparts)
+            if self.refine:
+                parts = rebalance(adj, parts, nparts,
+                                  balance_factor=self.balance_factor,
+                                  seed=self.seed)
+                parts, _ = edgecut_refine(adj, parts, nparts,
+                                          balance_factor=self.balance_factor,
+                                          seed=self.seed)
+                parts = fix_empty_parts(adj, parts, nparts)
+
+        result = PartitionResult(parts=parts, nparts=nparts, method=self.name)
+        result.stats.update(metrics.partition_report(adj, parts, nparts))
+        return result

@@ -1,0 +1,34 @@
+"""From-scratch sparse matrix substrate.
+
+The distributed algorithms in :mod:`repro.core` use ``scipy.sparse`` for
+their local kernels (the paper uses cuSPARSE); this package provides an
+independent, pure-NumPy implementation of everything those algorithms
+actually need — COO/CSR containers, SpMM/SpMV, transposition, block
+splitting, column compaction and ``NnzCols`` analysis — so the reproduction
+does not *depend* on scipy for its core data structure, and so every kernel
+has a second implementation to property-test against.
+
+Layout:
+
+* :mod:`repro.sparse.kernels` — raw-array kernels (fully vectorised),
+* :mod:`repro.sparse.coo`     — :class:`COOMatrix` construction format,
+* :mod:`repro.sparse.csr`     — :class:`CSRMatrix` compute format,
+* :mod:`repro.sparse.blocked` — :class:`BlockedCSR` block-grid analysis
+  (the ``NnzCols`` structures of the paper),
+* :mod:`repro.sparse.ops`     — graph helpers (GCN normalisation,
+  Laplacian, degrees) on the from-scratch containers.
+"""
+
+from .blocked import BlockedCSR, SparseBlock, block_bounds
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .ops import (add_self_loops, degrees, gcn_normalize, is_symmetric,
+                  laplacian, row_normalize)
+
+__all__ = [
+    "BlockedCSR", "SparseBlock", "block_bounds",
+    "COOMatrix",
+    "CSRMatrix",
+    "add_self_loops", "degrees", "gcn_normalize", "is_symmetric",
+    "laplacian", "row_normalize",
+]

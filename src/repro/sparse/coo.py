@@ -1,0 +1,169 @@
+"""Coordinate-format sparse matrix container.
+
+:class:`COOMatrix` is the natural construction format for graphs: edge lists
+map directly onto ``(row, col, value)`` triplets.  The container is
+deliberately small — construction, cleanup (duplicate summing, self-loop
+removal, symmetrisation) and conversion to :class:`~repro.sparse.csr.CSRMatrix`
+or ``scipy.sparse`` — because all computational kernels live on the CSR side.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from . import kernels
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """A sparse matrix stored as ``(row, col, value)`` triplets.
+
+    Parameters
+    ----------
+    shape:
+        ``(n_rows, n_cols)``.
+    rows / cols / data:
+        Equal-length 1-D arrays of row indices, column indices and values.
+        ``data=None`` means every stored entry has value 1 (an unweighted
+        graph edge list).
+    """
+
+    def __init__(self, shape: Tuple[int, int], rows: np.ndarray,
+                 cols: np.ndarray, data: Optional[np.ndarray] = None) -> None:
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if n_rows < 0 or n_cols < 0:
+            raise ValueError(f"shape must be non-negative, got {shape}")
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if data is None:
+            data = np.ones(rows.shape, dtype=np.float64)
+        data = np.asarray(data, dtype=np.float64)
+        if not (rows.shape == cols.shape == data.shape) or rows.ndim != 1:
+            raise ValueError("rows, cols and data must be equal-length 1-D arrays")
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= n_rows:
+                raise ValueError(f"row indices must lie in [0, {n_rows})")
+            if cols.min() < 0 or cols.max() >= n_cols:
+                raise ValueError(f"column indices must lie in [0, {n_cols})")
+        self.shape: Tuple[int, int] = (n_rows, n_cols)
+        self.rows = rows
+        self.cols = cols
+        self.data = data
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, n: int, edges: np.ndarray,
+                   weights: Optional[np.ndarray] = None) -> "COOMatrix":
+        """Build a square matrix from an ``(m, 2)`` edge array."""
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.size == 0:
+            edges = edges.reshape(0, 2)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError("edges must be an (m, 2) array of vertex pairs")
+        return cls((n, n), edges[:, 0], edges[:, 1], weights)
+
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix) -> "COOMatrix":
+        """Convert any ``scipy.sparse`` matrix."""
+        coo = matrix.tocoo()
+        return cls(coo.shape, coo.row.astype(np.int64),
+                   coo.col.astype(np.int64), coo.data.astype(np.float64))
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, int]) -> "COOMatrix":
+        """A matrix with no stored entries."""
+        return cls(shape, np.empty(0, dtype=np.int64),
+                   np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of *stored* entries (duplicates count separately)."""
+        return int(self.rows.size)
+
+    @property
+    def is_square(self) -> bool:
+        return self.shape[0] == self.shape[1]
+
+    # ------------------------------------------------------------------
+    # Cleanup transformations (all return new matrices)
+    # ------------------------------------------------------------------
+    def sum_duplicates(self) -> "COOMatrix":
+        """Merge repeated ``(row, col)`` entries by summing their values."""
+        indptr, indices, data = kernels.coo_to_csr_arrays(
+            self.shape[0], self.shape[1], self.rows, self.cols, self.data,
+            sum_duplicates=True)
+        rows = kernels.expand_indptr(indptr)
+        return COOMatrix(self.shape, rows, indices, data)
+
+    def remove_self_loops(self) -> "COOMatrix":
+        """Drop entries on the main diagonal."""
+        if not self.is_square:
+            raise ValueError("self loops are only defined for square matrices")
+        keep = self.rows != self.cols
+        return COOMatrix(self.shape, self.rows[keep], self.cols[keep],
+                         self.data[keep])
+
+    def symmetrize(self) -> "COOMatrix":
+        """Return ``max``-symmetrised structure: every edge stored both ways.
+
+        Duplicate entries created by the union are merged by taking the
+        maximum value, so an unweighted graph stays 0/1.
+        """
+        if not self.is_square:
+            raise ValueError("only square matrices can be symmetrised")
+        rows = np.concatenate([self.rows, self.cols])
+        cols = np.concatenate([self.cols, self.rows])
+        data = np.concatenate([self.data, self.data])
+        if rows.size == 0:
+            return COOMatrix(self.shape, rows, cols, data)
+        # Deduplicate by (row, col), keeping the maximum value.
+        keys = rows * np.int64(self.shape[1]) + cols
+        order = np.argsort(keys, kind="stable")
+        keys, rows, cols, data = keys[order], rows[order], cols[order], data[order]
+        new_group = np.empty(keys.size, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = keys[1:] != keys[:-1]
+        group_ids = np.cumsum(new_group) - 1
+        merged = np.full(int(group_ids[-1]) + 1, -np.inf)
+        np.maximum.at(merged, group_ids, data)
+        return COOMatrix(self.shape, rows[new_group], cols[new_group], merged)
+
+    def transpose(self) -> "COOMatrix":
+        """The transpose (swap row and column indices)."""
+        return COOMatrix((self.shape[1], self.shape[0]),
+                         self.cols.copy(), self.rows.copy(), self.data.copy())
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_csr(self) -> "CSRMatrix":
+        """Convert to :class:`~repro.sparse.csr.CSRMatrix` (sums duplicates)."""
+        from .csr import CSRMatrix
+        indptr, indices, data = kernels.coo_to_csr_arrays(
+            self.shape[0], self.shape[1], self.rows, self.cols, self.data,
+            sum_duplicates=True)
+        return CSRMatrix(self.shape, indptr, indices, data, check=False)
+
+    def to_scipy(self) -> sp.coo_matrix:
+        """Convert to ``scipy.sparse.coo_matrix``."""
+        return sp.coo_matrix((self.data, (self.rows, self.cols)),
+                             shape=self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense ``(n_rows, n_cols)`` array (duplicates sum); tests only."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(out, (self.rows, self.cols), self.data)
+        return out
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"COOMatrix(shape={self.shape}, nnz={self.nnz})")

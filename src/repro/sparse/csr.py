@@ -1,0 +1,283 @@
+"""Compressed-sparse-row matrix container.
+
+:class:`CSRMatrix` wraps the raw-array kernels of
+:mod:`repro.sparse.kernels` in an object with the operations the
+sparsity-aware SpMM algorithms need:
+
+* ``spmm`` / ``spmv`` / ``@``      — the local multiply (cuSPARSE stand-in),
+* ``row_slice``                    — extract a block row,
+* ``column_select``                — compact a block to its nonzero columns,
+* ``nonzero_columns``              — the ``NnzCols`` index set,
+* ``permute_symmetric``            — apply a partitioner's relabelling,
+* ``transpose``, ``scale_rows/cols``, ``diagonal`` — utilities used by the
+  GCN normalisation.
+
+The container is validated on construction (monotone ``indptr``, in-range
+indices), is immutable by convention (every operation returns a new
+matrix), and converts losslessly to and from ``scipy.sparse``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from . import kernels
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """A sparse matrix in CSR format backed by plain NumPy arrays."""
+
+    def __init__(self, shape: Tuple[int, int], indptr: np.ndarray,
+                 indices: np.ndarray, data: np.ndarray,
+                 check: bool = True) -> None:
+        self.shape: Tuple[int, int] = (int(shape[0]), int(shape[1]))
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        if check:
+            self._validate()
+
+    def _validate(self) -> None:
+        n_rows, n_cols = self.shape
+        if n_rows < 0 or n_cols < 0:
+            raise ValueError(f"shape must be non-negative, got {self.shape}")
+        if self.indptr.ndim != 1 or self.indptr.size != n_rows + 1:
+            raise ValueError(
+                f"indptr must have length {n_rows + 1}, got {self.indptr.size}")
+        if self.indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape != (nnz,) or self.data.shape != (nnz,):
+            raise ValueError(
+                f"indices/data must have length indptr[-1] = {nnz}")
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= n_cols):
+            raise ValueError(f"column indices must lie in [0, {n_cols})")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix) -> "CSRMatrix":
+        csr = matrix.tocsr()
+        csr.sort_indices()
+        return cls(csr.shape, csr.indptr.astype(np.int64),
+                   csr.indices.astype(np.int64),
+                   csr.data.astype(np.float64), check=False)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        rows, cols = np.nonzero(dense)
+        indptr, indices, data = kernels.coo_to_csr_arrays(
+            dense.shape[0], dense.shape[1], rows, cols, dense[rows, cols],
+            sum_duplicates=False)
+        return cls(dense.shape, indptr, indices, data, check=False)
+
+    @classmethod
+    def from_coo_arrays(cls, shape: Tuple[int, int], rows: np.ndarray,
+                        cols: np.ndarray, data: Optional[np.ndarray] = None
+                        ) -> "CSRMatrix":
+        if data is None:
+            data = np.ones(np.asarray(rows).shape, dtype=np.float64)
+        indptr, indices, vals = kernels.coo_to_csr_arrays(
+            shape[0], shape[1], rows, cols, data, sum_duplicates=True)
+        return cls(shape, indptr, indices, vals, check=False)
+
+    @classmethod
+    def eye(cls, n: int, value: float = 1.0) -> "CSRMatrix":
+        indptr = np.arange(n + 1, dtype=np.int64)
+        indices = np.arange(n, dtype=np.int64)
+        data = np.full(n, float(value))
+        return cls((n, n), indptr, indices, data, check=False)
+
+    @classmethod
+    def zeros(cls, shape: Tuple[int, int]) -> "CSRMatrix":
+        return cls(shape, np.zeros(shape[0] + 1, dtype=np.int64),
+                   np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64),
+                   check=False)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def density(self) -> float:
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    def row_nnz(self) -> np.ndarray:
+        """Stored nonzeros per row."""
+        return kernels.csr_row_nnz(self.indptr)
+
+    def col_nnz(self) -> np.ndarray:
+        """Stored nonzeros per column."""
+        return kernels.csr_col_nnz(self.n_cols, self.indices)
+
+    def nonzero_columns(self) -> np.ndarray:
+        """Sorted column indices that hold at least one nonzero.
+
+        For an off-diagonal block ``A^T_{ij}`` this is exactly the paper's
+        ``NnzCols(i, j)`` — the rows of ``H_j`` the owner of block row ``i``
+        must receive.
+        """
+        return np.flatnonzero(self.col_nnz() > 0).astype(np.int64)
+
+    def diagonal(self) -> np.ndarray:
+        n = min(self.shape)
+        return kernels.csr_diagonal(self.indptr, self.indices, self.data,
+                                    self.n_rows)[:n] if self.n_rows >= n \
+            else kernels.csr_diagonal(self.indptr, self.indices, self.data, n)
+
+    # ------------------------------------------------------------------
+    # Multiplication
+    # ------------------------------------------------------------------
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` for a dense vector ``x`` of length ``n_cols``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ValueError(
+                f"vector has shape {x.shape}, expected ({self.n_cols},)")
+        return kernels.csr_spmv(self.indptr, self.indices, self.data, x)
+
+    def spmm(self, dense: np.ndarray) -> np.ndarray:
+        """``A @ H`` for a dense matrix ``H`` with ``n_cols`` rows."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2 or dense.shape[0] != self.n_cols:
+            raise ValueError(
+                f"dense operand has shape {dense.shape}, expected "
+                f"({self.n_cols}, f)")
+        return kernels.csr_spmm(self.indptr, self.indices, self.data, dense)
+
+    def __matmul__(self, other):
+        other = np.asarray(other, dtype=np.float64) if not isinstance(
+            other, CSRMatrix) else other
+        if isinstance(other, CSRMatrix):
+            raise TypeError("sparse-sparse products are not supported; "
+                            "convert one operand to dense")
+        if other.ndim == 1:
+            return self.spmv(other)
+        return self.spmm(other)
+
+    # ------------------------------------------------------------------
+    # Structural transformations
+    # ------------------------------------------------------------------
+    def transpose(self) -> "CSRMatrix":
+        indptr, indices, data = kernels.csr_transpose_arrays(
+            self.n_rows, self.n_cols, self.indptr, self.indices, self.data)
+        return CSRMatrix((self.n_cols, self.n_rows), indptr, indices, data,
+                         check=False)
+
+    @property
+    def T(self) -> "CSRMatrix":
+        return self.transpose()
+
+    def row_slice(self, start: int, stop: int) -> "CSRMatrix":
+        """Rows ``[start, stop)`` as a new matrix of full width."""
+        indptr, indices, data = kernels.csr_row_slice_arrays(
+            self.indptr, self.indices, self.data, start, stop)
+        return CSRMatrix((stop - start, self.n_cols), indptr, indices, data,
+                         check=False)
+
+    def column_select(self, columns: Sequence[int]) -> "CSRMatrix":
+        """Restrict to a sorted subset of columns, renumbered to 0..k-1."""
+        columns = np.asarray(columns, dtype=np.int64)
+        indptr, indices, data = kernels.csr_column_select_arrays(
+            self.n_cols, self.indptr, self.indices, self.data, columns)
+        return CSRMatrix((self.n_rows, int(columns.size)), indptr, indices,
+                         data, check=False)
+
+    def compact_columns(self) -> Tuple["CSRMatrix", np.ndarray]:
+        """Drop empty columns; returns ``(compacted, kept_column_indices)``."""
+        cols = self.nonzero_columns()
+        return self.column_select(cols), cols
+
+    def permute_symmetric(self, perm: np.ndarray) -> "CSRMatrix":
+        """``P A P^T`` for a square matrix, with ``perm[old] = new``."""
+        if self.n_rows != self.n_cols:
+            raise ValueError("symmetric permutation requires a square matrix")
+        indptr, indices, data = kernels.csr_permute_symmetric_arrays(
+            self.indptr, self.indices, self.data, perm)
+        return CSRMatrix(self.shape, indptr, indices, data, check=False)
+
+    def scale_rows(self, scale: np.ndarray) -> "CSRMatrix":
+        """``diag(scale) @ A``."""
+        scale = np.asarray(scale, dtype=np.float64)
+        if scale.shape != (self.n_rows,):
+            raise ValueError(f"scale must have length {self.n_rows}")
+        data = kernels.csr_scale_rows(self.indptr, self.data, scale)
+        return CSRMatrix(self.shape, self.indptr.copy(), self.indices.copy(),
+                         data, check=False)
+
+    def scale_cols(self, scale: np.ndarray) -> "CSRMatrix":
+        """``A @ diag(scale)``."""
+        scale = np.asarray(scale, dtype=np.float64)
+        if scale.shape != (self.n_cols,):
+            raise ValueError(f"scale must have length {self.n_cols}")
+        data = kernels.csr_scale_cols(self.indices, self.data, scale)
+        return CSRMatrix(self.shape, self.indptr.copy(), self.indices.copy(),
+                         data, check=False)
+
+    def prune(self, tol: float = 0.0) -> "CSRMatrix":
+        """Drop stored entries with magnitude ``<= tol``."""
+        indptr, indices, data = kernels.csr_prune_zeros(
+            self.indptr, self.indices, self.data, tol=tol)
+        return CSRMatrix(self.shape, indptr, indices, data, check=False)
+
+    def sorted_indices(self) -> "CSRMatrix":
+        """A copy with column indices sorted within every row."""
+        indptr, indices, data = kernels.sort_csr_indices(
+            self.indptr, self.indices, self.data)
+        return CSRMatrix(self.shape, indptr, indices, data, check=False)
+
+    # ------------------------------------------------------------------
+    # Conversions / comparisons
+    # ------------------------------------------------------------------
+    def to_scipy(self) -> sp.csr_matrix:
+        return sp.csr_matrix((self.data.copy(), self.indices.copy(),
+                              self.indptr.copy()), shape=self.shape)
+
+    def to_coo(self) -> "COOMatrix":
+        from .coo import COOMatrix
+        return COOMatrix(self.shape, kernels.expand_indptr(self.indptr),
+                         self.indices.copy(), self.data.copy())
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float64)
+        rows = kernels.expand_indptr(self.indptr)
+        np.add.at(out, (rows, self.indices), self.data)
+        return out
+
+    def allclose(self, other: "CSRMatrix", rtol: float = 1e-10,
+                 atol: float = 1e-12) -> bool:
+        """Numerical equality of the represented matrices (not the storage)."""
+        if self.shape != other.shape:
+            return False
+        return np.allclose(self.to_dense(), other.to_dense(),
+                           rtol=rtol, atol=atol)
+
+    def copy(self) -> "CSRMatrix":
+        return CSRMatrix(self.shape, self.indptr.copy(), self.indices.copy(),
+                         self.data.copy(), check=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite.
+
+Graphs used in tests are deliberately tiny (tens to a few hundred
+vertices) so the whole suite runs in seconds; the benchmark suite exercises
+the larger scaled datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.comm import SimCommunicator, laptop
+from repro.core import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
+from repro.graphs import (gcn_normalize, load_dataset, make_node_data,
+                          community_ring_graph, erdos_renyi_graph)
+
+
+# ----------------------------------------------------------------------
+# Graphs
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def small_graph() -> sp.csr_matrix:
+    """A 40-vertex random graph with a fixed seed (symmetric, no loops)."""
+    return erdos_renyi_graph(40, avg_degree=6, seed=7)
+
+
+@pytest.fixture(scope="session")
+def community_graph() -> sp.csr_matrix:
+    """A 96-vertex graph with clear community structure."""
+    return community_ring_graph(96, avg_degree=10, n_communities=8,
+                                p_external=0.05, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A tiny 'reddit' stand-in with few features/classes (fast training)."""
+    return load_dataset("reddit", scale=0.05, n_features=12, n_classes=4,
+                        seed=11)
+
+
+@pytest.fixture(scope="session")
+def medium_dataset():
+    """A slightly larger dataset for distributed-training tests."""
+    return load_dataset("amazon", scale=0.05, n_features=20, n_classes=5,
+                        seed=5)
+
+
+# ----------------------------------------------------------------------
+# Distributed containers
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def comm4() -> SimCommunicator:
+    return SimCommunicator(4, machine="perlmutter")
+
+
+@pytest.fixture()
+def comm8() -> SimCommunicator:
+    return SimCommunicator(8, machine="perlmutter")
+
+
+@pytest.fixture()
+def dist4(small_graph):
+    """(DistSparseMatrix, DistDenseMatrix, dense H) over 4 uniform blocks."""
+    matrix = gcn_normalize(small_graph)
+    dist = BlockRowDistribution.uniform(matrix.shape[0], 4)
+    rng = np.random.default_rng(0)
+    h = rng.normal(size=(matrix.shape[0], 6))
+    return (DistSparseMatrix(matrix, dist),
+            DistDenseMatrix.from_global(h, dist),
+            matrix, h)

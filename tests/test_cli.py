@@ -1,0 +1,127 @@
+"""Tests for the command-line interface (repro.cli / python -m repro)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.ranks == 8
+        assert args.algorithm == "1d"
+        assert not args.oblivious
+
+    def test_bench_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+
+class TestDatasetsCommand:
+    def test_prints_all_datasets(self, capsys):
+        assert main(["datasets", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        for name in ("reddit", "amazon", "protein", "papers"):
+            assert name in out
+        assert "paper_vertices" in out
+
+
+class TestPartitionCommand:
+    def test_prints_quality_report(self, capsys):
+        code = main(["partition", "--dataset", "reddit", "--scale", "0.05",
+                     "--nparts", "4", "--partitioner", "metis_like"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "edgecut" in out
+        assert "max_send_volume" in out
+
+    def test_new_partitioners_available(self, capsys):
+        code = main(["partition", "--dataset", "reddit", "--scale", "0.05",
+                     "--nparts", "4", "--partitioner", "hypergraph"])
+        assert code == 0
+
+
+class TestTrainCommand:
+    def test_sparsity_aware_run(self, capsys):
+        code = main(["train", "--dataset", "reddit", "--scale", "0.05",
+                     "--ranks", "4", "--epochs", "2", "--machine", "laptop"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg_epoch_time_s" in out
+        assert "test_accuracy" in out
+        assert "SA+GVB" in out
+
+    def test_oblivious_baseline_label(self, capsys):
+        code = main(["train", "--dataset", "reddit", "--scale", "0.05",
+                     "--ranks", "4", "--epochs", "1", "--oblivious",
+                     "--partitioner", "none", "--machine", "laptop"])
+        assert code == 0
+        assert "CAGNET" in capsys.readouterr().out
+
+    def test_infeasible_config_returns_error_code(self, capsys):
+        # 1.5D with a replication factor that does not divide the grid.
+        code = main(["train", "--dataset", "reddit", "--scale", "0.05",
+                     "--ranks", "6", "--algorithm", "1.5d",
+                     "--replication", "4", "--epochs", "1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_table3(self, capsys):
+        code = main(["bench", "table3", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "papers" in out
+
+    def test_table2(self, capsys):
+        code = main(["bench", "table2", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "load_imbalance_pct" in out
+
+    def test_fig3_prints_series(self, capsys):
+        code = main(["bench", "fig3", "--scale", "0.05", "--epochs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "epoch time per scheme" in out
+
+
+class TestCostCommand:
+    def test_reports_speedup(self, capsys):
+        code = main(["cost", "--dataset", "amazon", "--scale", "0.05",
+                     "--ranks", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sparsity-aware 1D SpMM cost" in out
+        assert "speedup" in out
+
+    def test_block_distribution_without_partitioner(self, capsys):
+        code = main(["cost", "--dataset", "reddit", "--scale", "0.05",
+                     "--ranks", "4", "--partitioner", "none"])
+        assert code == 0
+
+
+class TestMemoryCommand:
+    def test_small_graph_fits(self, capsys):
+        code = main(["memory", "--vertices", "100000", "--edges", "1000000",
+                     "--features", "64", "--classes", "10", "--ranks", "8"])
+        assert code == 0
+        assert "fits in one" in capsys.readouterr().out
+
+    def test_paper_scale_amazon_at_p4_does_not_fit(self, capsys):
+        code = main(["memory", "--vertices", "14249639",
+                     "--edges", "230788269", "--features", "300",
+                     "--classes", "24", "--ranks", "4"])
+        assert code == 1
+        assert "False" in capsys.readouterr().out

@@ -1,0 +1,109 @@
+"""Tests for the collective cost formulas (repro.comm.collectives)."""
+
+import math
+
+import pytest
+
+from repro.comm import collectives as coll
+from repro.comm.machine import perlmutter
+
+
+MACHINE = perlmutter()
+
+
+class TestBroadcast:
+    def test_zero_for_single_rank_or_empty_payload(self):
+        assert coll.broadcast_time(MACHINE, [0], 1e6) == 0.0
+        assert coll.broadcast_time(MACHINE, [0, 1], 0) == 0.0
+
+    def test_latency_grows_logarithmically(self):
+        t2 = coll.broadcast_time(MACHINE, [0, 1], 8)
+        t8 = coll.broadcast_time(MACHINE, [0, 1, 2, 3, 8, 9, 10, 11], 8)
+        # 8 ranks -> 3 latency terms vs 1; payload term negligible here.
+        assert t8 > t2
+
+    def test_bandwidth_term_linear_in_bytes(self):
+        small = coll.broadcast_time(MACHINE, [0, 1], 1e6)
+        large = coll.broadcast_time(MACHINE, [0, 1], 2e6)
+        assert large - small == pytest.approx(1e6 * MACHINE.beta_intra)
+
+    def test_intra_node_group_uses_fast_link(self):
+        intra = coll.broadcast_time(MACHINE, [0, 1, 2, 3], 1e6)
+        inter = coll.broadcast_time(MACHINE, [0, 4, 8, 12], 1e6)
+        assert inter >= intra
+
+
+class TestAllreduce:
+    def test_zero_cases(self):
+        assert coll.allreduce_time(MACHINE, [3], 100) == 0.0
+        assert coll.allreduce_time(MACHINE, [0, 1], 0) == 0.0
+
+    def test_bandwidth_term_approaches_2x_payload(self):
+        # For large P the ring all-reduce moves ~2x the payload.
+        payload = 1e8
+        t = coll.allreduce_time(MACHINE, list(range(64)), payload)
+        bandwidth_only = 2 * payload * MACHINE.beta_inter * 63 / 64
+        assert t == pytest.approx(bandwidth_only +
+                                  2 * math.log2(64) * MACHINE.alpha_inter)
+
+    def test_monotone_in_bytes(self):
+        t1 = coll.allreduce_time(MACHINE, [0, 1, 2, 3], 1e5)
+        t2 = coll.allreduce_time(MACHINE, [0, 1, 2, 3], 2e5)
+        assert t2 > t1
+
+
+class TestReduceAndAllgather:
+    def test_reduce_zero_cases(self):
+        assert coll.reduce_time(MACHINE, [0], 10) == 0.0
+        assert coll.reduce_time(MACHINE, [0, 1], 0) == 0.0
+
+    def test_reduce_smaller_than_allgather_for_same_payload(self):
+        ranks = list(range(8))
+        payload = 1e6
+        assert coll.reduce_time(MACHINE, ranks, payload) < \
+            coll.allgather_time(MACHINE, ranks, payload)
+
+    def test_allgather_scales_with_group_size(self):
+        t4 = coll.allgather_time(MACHINE, [0, 1, 2, 3], 1e5)
+        t8 = coll.allgather_time(MACHINE, list(range(8)), 1e5)
+        assert t8 > t4
+
+
+class TestAlltoallv:
+    def test_per_rank_times_shape(self):
+        ranks = [0, 1, 2]
+        sizes = [[0, 10, 10], [10, 0, 10], [10, 10, 0]]
+        times = coll.alltoallv_time_per_rank(MACHINE, ranks, sizes)
+        assert len(times) == 3
+        assert all(t > 0 for t in times)
+
+    def test_empty_exchange_costs_nothing(self):
+        sizes = [[0, 0], [0, 0]]
+        assert coll.alltoallv_time_per_rank(MACHINE, [0, 1], sizes) == [0.0, 0.0]
+
+    def test_bottleneck_rank_pays_most(self):
+        # Rank 0 sends a lot to everyone; it should be the slowest.
+        ranks = [0, 1, 2, 3]
+        sizes = [[0, 1e6, 1e6, 1e6],
+                 [10, 0, 10, 10],
+                 [10, 10, 0, 10],
+                 [10, 10, 10, 0]]
+        times = coll.alltoallv_time_per_rank(MACHINE, ranks, sizes)
+        assert times[0] == max(times)
+
+    def test_receive_side_counts_too(self):
+        # Rank 3 receives a lot even though it sends almost nothing.
+        ranks = [0, 1, 2, 3]
+        sizes = [[0, 0, 0, 1e6],
+                 [0, 0, 0, 1e6],
+                 [0, 0, 0, 1e6],
+                 [1, 1, 1, 0]]
+        times = coll.alltoallv_time_per_rank(MACHINE, ranks, sizes)
+        assert times[3] == max(times)
+
+    def test_diagonal_is_ignored(self):
+        ranks = [0, 1]
+        sizes = [[5e6, 10], [10, 5e6]]
+        times = coll.alltoallv_time_per_rank(MACHINE, ranks, sizes)
+        expected = MACHINE.alpha_intra + 10 * MACHINE.beta_intra
+        assert times[0] == pytest.approx(expected)

@@ -1,0 +1,97 @@
+"""Tests for repro.comm.machine."""
+
+import numpy as np
+import pytest
+
+from repro.comm.machine import (MachineModel, PRESETS, get_machine, laptop,
+                                perlmutter, perlmutter_scaled)
+
+
+class TestTopology:
+    def test_node_of_groups_by_gpus_per_node(self):
+        m = perlmutter()
+        assert m.gpus_per_node == 4
+        assert m.node_of(0) == 0
+        assert m.node_of(3) == 0
+        assert m.node_of(4) == 1
+        assert m.node_of(11) == 2
+
+    def test_node_of_rejects_negative_rank(self):
+        with pytest.raises(ValueError):
+            perlmutter().node_of(-1)
+
+    def test_same_node(self):
+        m = perlmutter()
+        assert m.same_node(0, 3)
+        assert not m.same_node(3, 4)
+
+    def test_link_intra_vs_inter(self):
+        m = perlmutter()
+        intra = m.link(0, 1)
+        inter = m.link(0, 4)
+        assert intra == (m.alpha_intra, m.beta_intra)
+        assert inter == (m.alpha_inter, m.beta_inter)
+        assert inter[0] > intra[0]
+
+    def test_link_self_is_free(self):
+        assert perlmutter().link(2, 2) == (0.0, 0.0)
+
+
+class TestCosts:
+    def test_p2p_time_scales_with_bytes(self):
+        m = perlmutter()
+        t1 = m.p2p_time(0, 4, 1e6)
+        t2 = m.p2p_time(0, 4, 2e6)
+        assert t2 > t1
+        assert t2 - t1 == pytest.approx(1e6 * m.beta_inter)
+
+    def test_p2p_time_has_latency_floor(self):
+        m = perlmutter()
+        assert m.p2p_time(0, 1, 0) == pytest.approx(m.alpha_intra)
+
+    def test_compute_times_positive_and_linear(self):
+        m = perlmutter()
+        assert m.spmm_time(2e11) == pytest.approx(1.0)
+        assert m.gemm_time(m.gemm_flop_rate) == pytest.approx(1.0)
+        assert m.elementwise_time(0) == 0.0
+
+    def test_worst_link_depends_on_job_size(self):
+        m = perlmutter()
+        assert m.worst_link(4) == (m.alpha_intra, m.beta_intra)
+        assert m.worst_link(8) == (m.alpha_inter, m.beta_inter)
+
+
+class TestPresets:
+    def test_presets_registry_contains_expected_names(self):
+        assert {"perlmutter", "perlmutter-scaled", "laptop"} <= set(PRESETS)
+
+    def test_get_machine_by_name_and_passthrough(self):
+        m = laptop()
+        assert get_machine("laptop").name == "laptop"
+        assert get_machine(m) is m
+
+    def test_get_machine_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_machine("summit")
+
+    def test_scaled_overrides_fields(self):
+        m = perlmutter().scaled(spmm_flop_rate=1.0)
+        assert m.spmm_flop_rate == 1.0
+        assert m.gpus_per_node == perlmutter().gpus_per_node
+
+    def test_perlmutter_scaled_reduces_latency_only(self):
+        base = perlmutter()
+        scaled = perlmutter_scaled(100.0)
+        assert scaled.alpha_intra == pytest.approx(base.alpha_intra / 100.0)
+        assert scaled.alpha_inter == pytest.approx(base.alpha_inter / 100.0)
+        assert scaled.beta_inter == base.beta_inter
+        assert scaled.spmm_flop_rate == base.spmm_flop_rate
+
+    def test_perlmutter_scaled_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            perlmutter_scaled(0.0)
+
+    def test_model_is_frozen(self):
+        m = perlmutter()
+        with pytest.raises(Exception):
+            m.alpha_intra = 1.0  # type: ignore[misc]

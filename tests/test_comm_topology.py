@@ -1,0 +1,183 @@
+"""Tests for the network topology models and the topology-aware machine."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (DragonflyTopology, FatTreeTopology, FlatTopology,
+                        SimCommunicator, TopologyMachine, Torus2DTopology,
+                        get_topology, make_topology_machine, perlmutter)
+from repro.core import (BlockRowDistribution, DistDenseMatrix, DistSparseMatrix,
+                        spmm_1d_sparsity_aware)
+from repro.graphs import erdos_renyi_graph, gcn_normalize
+
+
+# ----------------------------------------------------------------------
+# Topologies
+# ----------------------------------------------------------------------
+class TestFlatTopology:
+    def test_hops(self):
+        topo = FlatTopology()
+        assert topo.hops(3, 3) == 0
+        assert topo.hops(0, 7) == 1
+        assert topo.bandwidth_taper(0, 7) == 1.0
+
+
+class TestFatTreeTopology:
+    def test_same_leaf_is_two_hops(self):
+        topo = FatTreeTopology(radix=4)
+        assert topo.hops(0, 3) == 2       # same leaf switch
+        assert topo.hops(5, 5) == 0
+
+    def test_hops_grow_with_level_distance(self):
+        topo = FatTreeTopology(radix=2, levels=4)
+        assert topo.hops(0, 1) == 2       # same leaf
+        assert topo.hops(0, 2) == 4       # one level up
+        assert topo.hops(0, 4) == 6       # two levels up
+        assert topo.hops(0, 8) == 8       # three levels up
+
+    def test_hops_capped_at_levels(self):
+        topo = FatTreeTopology(radix=2, levels=2)
+        assert topo.hops(0, 1000) == 4
+
+    def test_taper_applies_above_leaf(self):
+        topo = FatTreeTopology(radix=2, levels=3, taper=2.0)
+        assert topo.bandwidth_taper(0, 1) == 1.0
+        assert topo.bandwidth_taper(0, 2) == 2.0
+        assert topo.bandwidth_taper(0, 4) == 4.0
+
+    def test_symmetry(self):
+        topo = FatTreeTopology(radix=3, levels=3)
+        for a, b in [(0, 5), (2, 17), (9, 9)]:
+            assert topo.hops(a, b) == topo.hops(b, a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FatTreeTopology(radix=1)
+        with pytest.raises(ValueError):
+            FatTreeTopology(levels=0)
+        with pytest.raises(ValueError):
+            FatTreeTopology(taper=0.5)
+
+
+class TestTorus2DTopology:
+    def test_manhattan_with_wraparound(self):
+        topo = Torus2DTopology(rows=4, cols=4)
+        assert topo.hops(0, 0) == 0
+        assert topo.hops(0, 1) == 1       # right neighbour
+        assert topo.hops(0, 3) == 1       # wraps around the row
+        assert topo.hops(0, 12) == 1      # wraps around the column
+        assert topo.hops(0, 5) == 2       # diagonal neighbour
+        assert topo.hops(0, 10) == 4      # opposite corner: 2 + 2
+
+    def test_symmetry(self):
+        topo = Torus2DTopology(rows=3, cols=5)
+        for a, b in [(0, 7), (4, 14), (2, 2)]:
+            assert topo.hops(a, b) == topo.hops(b, a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Torus2DTopology(rows=0, cols=2)
+
+
+class TestDragonflyTopology:
+    def test_intra_vs_inter_group(self):
+        topo = DragonflyTopology(group_size=4, global_taper=2.0)
+        assert topo.hops(0, 3) == 1
+        assert topo.hops(0, 4) == 3
+        assert topo.bandwidth_taper(0, 3) == 1.0
+        assert topo.bandwidth_taper(0, 4) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DragonflyTopology(group_size=0)
+        with pytest.raises(ValueError):
+            DragonflyTopology(global_taper=0.9)
+
+
+class TestRegistry:
+    def test_get_topology_by_name(self):
+        assert isinstance(get_topology("flat"), FlatTopology)
+        assert isinstance(get_topology("fat-tree", radix=8), FatTreeTopology)
+        assert isinstance(get_topology("torus-2d"), Torus2DTopology)
+        assert isinstance(get_topology("dragonfly"), DragonflyTopology)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_topology("hypercube")
+
+    def test_describe(self):
+        desc = get_topology("fat-tree", radix=8, levels=2).describe()
+        assert desc["radix"] == 8 and desc["levels"] == 2
+
+
+# ----------------------------------------------------------------------
+# Topology-aware machine
+# ----------------------------------------------------------------------
+class TestTopologyMachine:
+    def test_is_a_machine_model(self):
+        machine = make_topology_machine("flat")
+        assert isinstance(machine, TopologyMachine)
+        # Flat topology reproduces the base model's link costs exactly.
+        base = perlmutter()
+        assert machine.link(0, 1) == base.link(0, 1)          # intra-node
+        assert machine.link(0, 5) == base.link(0, 5)          # inter-node
+
+    def test_intra_node_unchanged_on_any_topology(self):
+        machine = make_topology_machine("fat-tree", radix=2, taper=4.0)
+        base = perlmutter()
+        assert machine.link(0, 1) == (base.alpha_intra, base.beta_intra)
+
+    def test_inter_node_latency_scales_with_hops(self):
+        machine = make_topology_machine("fat-tree", radix=2, levels=4)
+        base = perlmutter()
+        # Ranks 0 and 4 live on nodes 0 and 1 (4 GPUs per node) -> same leaf.
+        alpha_near, _ = machine.link(0, 4)
+        # Ranks 0 and 16 live on nodes 0 and 4 -> higher in the tree.
+        alpha_far, _ = machine.link(0, 16)
+        assert alpha_far > alpha_near >= base.alpha_inter
+
+    def test_bandwidth_taper_increases_beta(self):
+        machine = make_topology_machine("dragonfly", group_size=2,
+                                        global_taper=3.0)
+        base = perlmutter()
+        _, beta_local_group = machine.link(0, 4)    # nodes 0,1: same group
+        _, beta_remote_group = machine.link(0, 8)   # nodes 0,2: other group
+        assert beta_local_group == base.beta_inter
+        assert beta_remote_group == pytest.approx(3.0 * base.beta_inter)
+
+    def test_p2p_time_monotone_in_distance(self):
+        machine = make_topology_machine("torus-2d", rows=4, cols=4)
+        near = machine.p2p_time(0, 4, 1_000_000)     # adjacent nodes
+        far = machine.p2p_time(0, 4 * 10, 1_000_000)  # distant nodes
+        assert far >= near
+
+    def test_rejects_kwargs_with_instance(self):
+        with pytest.raises(ValueError):
+            make_topology_machine(FlatTopology(), radix=4)
+
+    def test_custom_base_machine(self):
+        base = perlmutter().scaled(gpus_per_node=2)
+        machine = make_topology_machine("flat", base=base)
+        assert machine.gpus_per_node == 2
+        assert machine.node_of(3) == 1
+
+    def test_simulator_accepts_topology_machine(self, small_graph=None):
+        """End-to-end: the sparsity-aware SpMM runs on a topology machine and
+        a richer topology never makes communication cheaper."""
+        graph = gcn_normalize(erdos_renyi_graph(32, avg_degree=6, seed=0))
+        dist = BlockRowDistribution.uniform(32, 8)
+        matrix = DistSparseMatrix(graph, dist)
+        h = np.random.default_rng(0).normal(size=(32, 4))
+        dense = DistDenseMatrix.from_global(h, dist)
+
+        results = {}
+        for name, machine in [
+            ("flat", make_topology_machine("flat")),
+            ("fat-tree", make_topology_machine("fat-tree", radix=2, levels=3,
+                                               taper=2.0)),
+        ]:
+            comm = SimCommunicator(8, machine=machine)
+            out = spmm_1d_sparsity_aware(matrix, dense, comm)
+            np.testing.assert_allclose(out.to_global(), graph @ h, atol=1e-8)
+            results[name] = comm.timeline.elapsed()
+        assert results["fat-tree"] >= results["flat"]

@@ -1,0 +1,77 @@
+"""Tests for repro.comm.tracker (CommStats / VolumeStats)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import SimCommunicator
+from repro.comm.tracker import VolumeStats, volume_stats_from_send_bytes
+
+
+class TestVolumeStats:
+    def test_from_send_bytes_basic(self):
+        stats = volume_stats_from_send_bytes(np.array([100, 300]))
+        assert stats.total_bytes == 400
+        assert stats.avg_bytes_per_rank == 200
+        assert stats.max_bytes_per_rank == 300
+        assert stats.min_bytes_per_rank == 100
+        assert stats.imbalance_pct == pytest.approx(50.0)
+
+    def test_zero_volume_has_zero_imbalance(self):
+        stats = volume_stats_from_send_bytes(np.zeros(4, dtype=np.int64))
+        assert stats.imbalance_pct == 0.0
+
+    def test_megabyte_helpers_and_dict(self):
+        stats = volume_stats_from_send_bytes(np.array([2_000_000, 2_000_000]))
+        assert stats.avg_megabytes == pytest.approx(2.0)
+        assert stats.max_megabytes == pytest.approx(2.0)
+        d = stats.as_dict()
+        assert set(d) == {"total_bytes", "avg_bytes_per_rank",
+                          "max_bytes_per_rank", "min_bytes_per_rank",
+                          "imbalance_pct"}
+
+
+class TestCommStats:
+    def _comm_with_traffic(self):
+        comm = SimCommunicator(3)
+        send = [[None if i == j else np.ones(4 * (i + 1)) for j in range(3)]
+                for i in range(3)]
+        comm.alltoallv(send, category="alltoall")
+        comm.broadcast(np.ones(10), root=0, category="bcast")
+        comm.charge_spmm(0, 1e9, category="local")
+        return comm
+
+    def test_send_and_recv_volumes(self):
+        comm = self._comm_with_traffic()
+        send = comm.stats.send_volume()
+        recv = comm.stats.recv_volume()
+        assert send.total_bytes == recv.total_bytes
+        assert send.max_bytes_per_rank >= send.avg_bytes_per_rank
+
+    def test_category_filtering(self):
+        comm = self._comm_with_traffic()
+        assert comm.stats.total_bytes("bcast") == 2 * 10 * 8
+        assert comm.stats.total_bytes("alltoall") > 0
+        assert comm.stats.total_bytes() == \
+            comm.stats.total_bytes("bcast") + comm.stats.total_bytes("alltoall")
+
+    def test_traffic_matrix_and_max_pairwise(self):
+        comm = self._comm_with_traffic()
+        mat = comm.stats.traffic_matrix()
+        assert mat.shape == (3, 3)
+        assert comm.stats.max_pairwise_bytes() == mat.max()
+
+    def test_breakdown_and_time_split(self):
+        comm = self._comm_with_traffic()
+        br = comm.stats.breakdown()
+        assert "local" in br and "alltoall" in br and "bcast" in br
+        assert comm.stats.compute_seconds() == pytest.approx(br["local"])
+        assert comm.stats.communication_seconds() == \
+            pytest.approx(br["alltoall"] + br["bcast"])
+
+    def test_summary_keys(self):
+        comm = self._comm_with_traffic()
+        summary = comm.stats.summary()
+        for key in ("elapsed_s", "total_MB", "avg_MB_per_rank",
+                    "max_MB_per_rank", "imbalance_pct", "messages"):
+            assert key in summary
+        assert summary["messages"] == len(comm.events)

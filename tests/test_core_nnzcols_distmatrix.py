@@ -1,0 +1,162 @@
+"""Tests for NnzCols analysis and the distributed matrix containers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (BlockRowDistribution, DistDenseMatrix, DistSparseMatrix,
+                        nnz_columns_per_block, split_block_row)
+from repro.graphs import gcn_normalize
+from repro.graphs.generators import erdos_renyi_graph
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return gcn_normalize(erdos_renyi_graph(48, avg_degree=5, seed=0))
+
+
+class TestBlockRowDistribution:
+    def test_uniform_sizes(self):
+        dist = BlockRowDistribution.uniform(10, 3)
+        assert dist.block_sizes.tolist() == [4, 3, 3]
+        assert dist.bounds.tolist() == [0, 4, 7, 10]
+        assert dist.n == 10 and dist.nblocks == 3
+
+    def test_from_partition_sizes(self):
+        dist = BlockRowDistribution.from_partition([2, 5, 3])
+        assert dist.block_range(1) == (2, 7)
+        assert dist.block_size(2) == 3
+
+    def test_owner_of(self):
+        dist = BlockRowDistribution([3, 3, 4])
+        assert dist.owner_of(0) == 0
+        assert dist.owner_of(2) == 0
+        assert dist.owner_of(3) == 1
+        assert dist.owner_of(9) == 2
+        with pytest.raises(ValueError):
+            dist.owner_of(10)
+
+    def test_equality(self):
+        assert BlockRowDistribution([2, 2]) == BlockRowDistribution([2, 2])
+        assert BlockRowDistribution([2, 2]) != BlockRowDistribution([1, 3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockRowDistribution([])
+        with pytest.raises(ValueError):
+            BlockRowDistribution([3, -1])
+        with pytest.raises(ValueError):
+            BlockRowDistribution.uniform(5, 3).block_range(3)
+
+
+class TestSplitBlockRow:
+    def test_nnz_cols_identify_needed_rows(self):
+        # Handcrafted 2x6 block row with nonzeros in columns 0, 3, 5.
+        block = sp.csr_matrix(np.array([[1.0, 0, 0, 2.0, 0, 0],
+                                        [0, 0, 0, 0, 0, 3.0]]))
+        infos = split_block_row(block, [0, 2, 4, 6])
+        assert infos[0].nnz_cols_global.tolist() == [0]
+        assert infos[1].nnz_cols_global.tolist() == [3]
+        assert infos[2].nnz_cols_global.tolist() == [5]
+        assert infos[1].nnz_cols_local.tolist() == [1]
+        assert infos[2].nnz_cols_local.tolist() == [1]
+
+    def test_compact_times_packed_equals_full_times_block(self, matrix):
+        dist = BlockRowDistribution.uniform(48, 4)
+        rng = np.random.default_rng(0)
+        h = rng.normal(size=(48, 5))
+        lo, hi = dist.block_range(1)
+        infos = split_block_row(matrix[lo:hi, :], dist.bounds)
+        for j, info in enumerate(infos):
+            jlo, jhi = dist.block_range(j)
+            h_j = h[jlo:jhi]
+            full_result = info.full @ h_j
+            compact_result = info.compact @ h_j[info.nnz_cols_local]
+            np.testing.assert_allclose(full_result, compact_result, atol=1e-12)
+
+    def test_needed_rows_counts(self, matrix):
+        dist = BlockRowDistribution.uniform(48, 4)
+        lo, hi = dist.block_range(0)
+        infos = split_block_row(matrix[lo:hi, :], dist.bounds)
+        for info in infos:
+            assert info.n_needed_rows == info.nnz_cols_global.size
+            assert info.nnz == info.compact.nnz == info.full.nnz
+
+    def test_bounds_validation(self, matrix):
+        block = matrix[:10, :]
+        with pytest.raises(ValueError):
+            split_block_row(block, [0, 10])       # does not end at n
+        with pytest.raises(ValueError):
+            split_block_row(block, [5, 48])       # does not start at 0
+        with pytest.raises(ValueError):
+            split_block_row(block, [0, 30, 20, 48])  # decreasing
+
+    def test_nnz_columns_per_block_helper(self, matrix):
+        dist = BlockRowDistribution.uniform(48, 3)
+        lo, hi = dist.block_range(2)
+        cols = nnz_columns_per_block(matrix[lo:hi, :], dist.bounds)
+        infos = split_block_row(matrix[lo:hi, :], dist.bounds)
+        for c, info in zip(cols, infos):
+            np.testing.assert_array_equal(c, info.nnz_cols_local)
+
+
+class TestDistSparseMatrix:
+    def test_construction_and_reassembly(self, matrix):
+        dist = BlockRowDistribution.uniform(48, 4)
+        dm = DistSparseMatrix(matrix, dist)
+        assert dm.nblocks == 4
+        assert dm.nnz == matrix.nnz
+        np.testing.assert_allclose(dm.to_dense_global(), matrix.toarray(),
+                                   atol=1e-12)
+
+    def test_block_access(self, matrix):
+        dist = BlockRowDistribution.uniform(48, 4)
+        dm = DistSparseMatrix(matrix, dist)
+        info = dm.block(1, 2)
+        assert info.block == 2
+        np.testing.assert_array_equal(dm.nnz_cols(1, 2), info.nnz_cols_local)
+
+    def test_needed_rows_matrix_zero_diagonal(self, matrix):
+        dm = DistSparseMatrix(matrix, BlockRowDistribution.uniform(48, 4))
+        needed = dm.needed_rows_matrix()
+        assert needed.shape == (4, 4)
+        assert np.all(np.diag(needed) == 0)
+        # Each off-diagonal count is bounded by the destination block size.
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    assert needed[i, j] <= dm.dist.block_size(j)
+
+    def test_shape_validation(self, matrix):
+        with pytest.raises(ValueError):
+            DistSparseMatrix(matrix[:10, :], BlockRowDistribution.uniform(10, 2))
+        with pytest.raises(ValueError):
+            DistSparseMatrix(matrix, BlockRowDistribution.uniform(40, 4))
+
+
+class TestDistDenseMatrix:
+    def test_from_global_roundtrip(self):
+        dist = BlockRowDistribution([3, 4, 5])
+        mat = np.arange(12 * 2, dtype=np.float64).reshape(12, 2)
+        dm = DistDenseMatrix.from_global(mat, dist)
+        assert dm.width == 2
+        np.testing.assert_array_equal(dm.to_global(), mat)
+        np.testing.assert_array_equal(dm.block(1), mat[3:7])
+
+    def test_block_shape_validation(self):
+        dist = BlockRowDistribution([2, 2])
+        with pytest.raises(ValueError):
+            DistDenseMatrix([np.zeros((2, 3)), np.zeros((1, 3))], dist)
+        with pytest.raises(ValueError):
+            DistDenseMatrix([np.zeros((2, 3)), np.zeros((2, 4))], dist)
+        with pytest.raises(ValueError):
+            DistDenseMatrix([np.zeros((2, 3))], dist)
+        with pytest.raises(ValueError):
+            DistDenseMatrix.from_global(np.zeros((5, 2)), dist)
+
+    def test_like_builds_over_same_distribution(self):
+        dist = BlockRowDistribution([2, 3])
+        dm = DistDenseMatrix.from_global(np.ones((5, 2)), dist)
+        other = dm.like([np.zeros((2, 4)), np.zeros((3, 4))])
+        assert other.dist == dist
+        assert other.width == 4

@@ -1,0 +1,148 @@
+"""Tests for the 1.5D distributed SpMM algorithms and the process grid."""
+
+import numpy as np
+import pytest
+
+from repro.comm import SimCommunicator
+from repro.core import (BlockRowDistribution, DistDenseMatrix, DistSparseMatrix,
+                        ProcessGrid, spmm_15d_oblivious, spmm_15d_sparsity_aware,
+                        spmm_1d_sparsity_aware)
+from repro.graphs import gcn_normalize
+from repro.graphs.generators import erdos_renyi_graph
+
+
+def make_problem(n, nblocks, f=5, seed=0):
+    adj = gcn_normalize(erdos_renyi_graph(n, avg_degree=6, seed=seed))
+    dist = BlockRowDistribution.uniform(n, nblocks)
+    rng = np.random.default_rng(seed)
+    h = rng.normal(size=(n, f))
+    return adj, DistSparseMatrix(adj, dist), \
+        DistDenseMatrix.from_global(h, dist), h
+
+
+class TestProcessGrid:
+    def test_valid_grid(self):
+        grid = ProcessGrid(nranks=8, replication=2)
+        assert grid.nrows == 4
+        assert grid.stages == 2
+
+    def test_rank_and_coords_roundtrip(self):
+        grid = ProcessGrid(nranks=8, replication=2)
+        for r in range(8):
+            i, j = grid.coords(r)
+            assert grid.rank(i, j) == r
+
+    def test_groups(self):
+        grid = ProcessGrid(nranks=8, replication=2)
+        assert grid.row_group(1) == [2, 3]
+        assert grid.col_group(0) == [0, 2, 4, 6]
+        assert grid.col_group(1) == [1, 3, 5, 7]
+
+    def test_invalid_replication(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(nranks=8, replication=3)    # does not divide
+        with pytest.raises(ValueError):
+            ProcessGrid(nranks=8, replication=4)    # c does not divide P/c
+        with pytest.raises(ValueError):
+            ProcessGrid(nranks=8, replication=0)
+
+    def test_out_of_range_access(self):
+        grid = ProcessGrid(nranks=4, replication=2)
+        with pytest.raises(ValueError):
+            grid.rank(5, 0)
+        with pytest.raises(ValueError):
+            grid.coords(4)
+
+    def test_c1_degenerates_to_1d_layout(self):
+        grid = ProcessGrid(nranks=4, replication=1)
+        assert grid.nrows == 4
+        assert grid.stages == 4
+        assert grid.row_group(2) == [2]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p,c", [(4, 1), (4, 2), (8, 2), (16, 2), (16, 4)])
+    def test_oblivious_matches_serial(self, p, c):
+        grid = ProcessGrid(nranks=p, replication=c)
+        adj, dm, dh, h = make_problem(n=64, nblocks=grid.nrows, seed=1)
+        comm = SimCommunicator(p)
+        result = spmm_15d_oblivious(dm, dh, grid, comm)
+        np.testing.assert_allclose(result.to_global(), adj @ h, atol=1e-10)
+
+    @pytest.mark.parametrize("p,c", [(4, 1), (4, 2), (8, 2), (16, 2), (16, 4)])
+    def test_sparsity_aware_matches_serial(self, p, c):
+        grid = ProcessGrid(nranks=p, replication=c)
+        adj, dm, dh, h = make_problem(n=64, nblocks=grid.nrows, seed=2)
+        comm = SimCommunicator(p)
+        result = spmm_15d_sparsity_aware(dm, dh, grid, comm)
+        np.testing.assert_allclose(result.to_global(), adj @ h, atol=1e-10)
+
+    def test_15d_c1_matches_1d(self):
+        """With replication factor 1 the 1.5D algorithm computes the same
+        result as the 1D algorithm (the paper notes they coincide)."""
+        p = 4
+        grid = ProcessGrid(nranks=p, replication=1)
+        adj, dm, dh, h = make_problem(n=48, nblocks=p, seed=3)
+        a = spmm_15d_sparsity_aware(dm, dh, grid, SimCommunicator(p))
+        b = spmm_1d_sparsity_aware(dm, dh, SimCommunicator(p))
+        np.testing.assert_allclose(a.to_global(), b.to_global(), atol=1e-10)
+
+    def test_grid_matrix_mismatch_rejected(self):
+        grid = ProcessGrid(nranks=8, replication=2)   # 4 block rows
+        adj, dm, dh, h = make_problem(n=64, nblocks=8, seed=0)
+        with pytest.raises(ValueError):
+            spmm_15d_oblivious(dm, dh, grid, SimCommunicator(8))
+
+    def test_comm_size_mismatch_rejected(self):
+        grid = ProcessGrid(nranks=8, replication=2)
+        adj, dm, dh, h = make_problem(n=64, nblocks=4, seed=0)
+        with pytest.raises(ValueError):
+            spmm_15d_sparsity_aware(dm, dh, grid, SimCommunicator(4))
+
+
+class TestCommunicationBehaviour:
+    def test_sparsity_aware_sends_fewer_bytes_for_h(self):
+        grid = ProcessGrid(nranks=8, replication=2)
+        adj, dm, dh, _ = make_problem(n=96, nblocks=4, seed=4)
+        comm_ob = SimCommunicator(8)
+        comm_sa = SimCommunicator(8)
+        spmm_15d_oblivious(dm, dh, grid, comm_ob)
+        spmm_15d_sparsity_aware(dm, dh, grid, comm_sa)
+        assert comm_sa.stats.total_bytes("alltoall") <= \
+            comm_ob.stats.total_bytes("bcast")
+
+    def test_allreduce_volume_identical_between_variants(self):
+        grid = ProcessGrid(nranks=8, replication=2)
+        adj, dm, dh, _ = make_problem(n=96, nblocks=4, seed=5)
+        comm_ob = SimCommunicator(8)
+        comm_sa = SimCommunicator(8)
+        spmm_15d_oblivious(dm, dh, grid, comm_ob)
+        spmm_15d_sparsity_aware(dm, dh, grid, comm_sa)
+        assert comm_ob.stats.total_bytes("allreduce") == \
+            comm_sa.stats.total_bytes("allreduce")
+        assert comm_ob.stats.total_bytes("allreduce") > 0
+
+    def test_no_allreduce_traffic_when_c_is_1(self):
+        grid = ProcessGrid(nranks=4, replication=1)
+        adj, dm, dh, _ = make_problem(n=48, nblocks=4, seed=6)
+        comm = SimCommunicator(4)
+        spmm_15d_sparsity_aware(dm, dh, grid, comm)
+        # A single-member group all-reduce moves no data.
+        assert comm.stats.total_bytes("allreduce") == 0
+
+    def test_replication_reduces_exchange_volume(self):
+        """Increasing c reduces the amount of H data moved between ranks
+        (each replica handles fewer stages) — the communication-avoiding
+        effect of the 1.5D algorithm."""
+        adj, _, _, h = make_problem(n=96, nblocks=1, seed=7)
+        volumes = {}
+        for c in (1, 2):
+            nranks = 8
+            grid = ProcessGrid(nranks=nranks, replication=c)
+            dist = BlockRowDistribution.uniform(96, grid.nrows)
+            dm = DistSparseMatrix(adj, dist)
+            dh = DistDenseMatrix.from_global(h, dist)
+            comm = SimCommunicator(nranks)
+            spmm_15d_oblivious(dm, dh, grid, comm)
+            volumes[c] = comm.stats.total_bytes("bcast")
+        assert volumes[2] < volumes[1]

@@ -1,0 +1,138 @@
+"""Tests for the high-level distributed training entry point."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistTrainConfig, setup_distributed, train_distributed
+from repro.graphs import load_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("amazon", scale=0.05, n_features=12, n_classes=4,
+                        seed=3)
+
+
+class TestSetup:
+    def test_setup_without_partitioner_uses_uniform_blocks(self, dataset):
+        cfg = DistTrainConfig(n_ranks=4, partitioner=None, epochs=1)
+        setup = setup_distributed(dataset, cfg)
+        assert setup.partition is None
+        sizes = setup.distribution.block_sizes
+        assert sizes.max() - sizes.min() <= 1
+        assert sizes.sum() == dataset.n_vertices
+
+    def test_setup_with_partitioner_permutes_consistently(self, dataset):
+        cfg = DistTrainConfig(n_ranks=4, partitioner="metis_like", epochs=1,
+                              seed=0)
+        setup = setup_distributed(dataset, cfg)
+        assert setup.partition is not None
+        # Block sizes equal the partition's part sizes.
+        np.testing.assert_array_equal(setup.distribution.block_sizes,
+                                      setup.partition.part_sizes())
+        # Node data was permuted alongside: label histogram unchanged.
+        np.testing.assert_array_equal(
+            np.bincount(setup.node_data.labels),
+            np.bincount(dataset.node_data.labels))
+
+    def test_setup_builds_grid_for_15d(self, dataset):
+        cfg = DistTrainConfig(n_ranks=8, algorithm="1.5d",
+                              replication_factor=2, partitioner=None, epochs=1)
+        setup = setup_distributed(dataset, cfg)
+        assert setup.grid is not None
+        assert setup.grid.nrows == 4
+        assert setup.model.adjacency.nblocks == 4
+
+    def test_setup_rejects_more_blocks_than_vertices(self):
+        tiny = load_dataset("reddit", scale=0.05, n_features=4, n_classes=2,
+                            seed=0)
+        cfg = DistTrainConfig(n_ranks=tiny.n_vertices + 1, partitioner=None,
+                              epochs=1)
+        with pytest.raises(ValueError):
+            setup_distributed(tiny, cfg)
+
+
+class TestTraining:
+    def test_loss_decreases_over_epochs(self, dataset):
+        cfg = DistTrainConfig(n_ranks=4, partitioner=None, epochs=15,
+                              learning_rate=0.1, seed=0)
+        result = train_distributed(dataset, cfg, eval_every=0)
+        losses = [h.loss for h in result.history]
+        assert losses[-1] < losses[0]
+
+    def test_history_and_timing_fields(self, dataset):
+        cfg = DistTrainConfig(n_ranks=4, partitioner="gvb", epochs=3, seed=0)
+        result = train_distributed(dataset, cfg, eval_every=2)
+        assert len(result.history) == 3
+        assert result.total_time_s > 0
+        assert result.avg_epoch_time_s == pytest.approx(
+            result.total_time_s / 3)
+        assert all(h.epoch_time_s > 0 for h in result.history)
+        # eval_every=2 evaluates epochs 0, 2 and the final epoch.
+        assert result.history[0].train_accuracy is not None
+        assert result.history[1].train_accuracy is None
+        assert 0.0 <= result.test_accuracy <= 1.0
+        assert result.partition_stats  # populated when a partitioner is used
+
+    def test_comm_summary_contents(self, dataset):
+        cfg = DistTrainConfig(n_ranks=4, partitioner=None, epochs=2, seed=0)
+        result = train_distributed(dataset, cfg, eval_every=0)
+        for key in ("elapsed_s", "total_MB", "max_MB_per_rank"):
+            assert key in result.comm_summary
+        assert "alltoall" in result.breakdown
+
+    def test_epoch_times_are_constant_across_epochs(self, dataset):
+        """The simulated epoch time is deterministic and identical from one
+        epoch to the next (the sparsity pattern never changes)."""
+        cfg = DistTrainConfig(n_ranks=4, partitioner=None, epochs=4, seed=0)
+        result = train_distributed(dataset, cfg, eval_every=0)
+        times = np.array([h.epoch_time_s for h in result.history])
+        np.testing.assert_allclose(times, times[0], rtol=1e-9)
+
+    def test_deterministic_given_seed(self, dataset):
+        cfg = DistTrainConfig(n_ranks=4, partitioner="gvb", epochs=2, seed=1)
+        a = train_distributed(dataset, cfg, eval_every=0)
+        b = train_distributed(dataset, cfg, eval_every=0)
+        assert a.final_loss == b.final_loss
+        assert a.avg_epoch_time_s == b.avg_epoch_time_s
+
+    def test_zero_epochs_gives_empty_history(self, dataset):
+        cfg = DistTrainConfig(n_ranks=2, partitioner=None, epochs=0, seed=0)
+        result = train_distributed(dataset, cfg, eval_every=0)
+        assert result.history == []
+        assert np.isnan(result.final_loss)
+
+
+class TestSchemeBehaviour:
+    def test_sparsity_aware_moves_fewer_bytes_than_oblivious(self, dataset):
+        base = dict(n_ranks=4, partitioner=None, epochs=2, seed=0)
+        sa = train_distributed(dataset, DistTrainConfig(sparsity_aware=True,
+                                                        **base), eval_every=0)
+        ob = train_distributed(dataset, DistTrainConfig(sparsity_aware=False,
+                                                        **base), eval_every=0)
+        assert sa.comm_summary["total_MB"] < ob.comm_summary["total_MB"]
+
+    def test_partitioner_reduces_communication(self, dataset):
+        base = dict(n_ranks=4, sparsity_aware=True, epochs=2, seed=0)
+        plain = train_distributed(dataset, DistTrainConfig(partitioner=None,
+                                                           **base),
+                                  eval_every=0)
+        gvb = train_distributed(dataset, DistTrainConfig(partitioner="gvb",
+                                                         **base),
+                                eval_every=0)
+        assert gvb.comm_summary["total_MB"] <= plain.comm_summary["total_MB"]
+
+    def test_partitioning_does_not_change_learning(self, dataset):
+        """Partitioning permutes the vertices but must not change what the
+        model learns (same loss up to floating-point rounding)."""
+        base = dict(n_ranks=4, sparsity_aware=True, epochs=5,
+                    learning_rate=0.05, seed=0)
+        plain = train_distributed(dataset, DistTrainConfig(partitioner=None,
+                                                           **base),
+                                  eval_every=0)
+        gvb = train_distributed(dataset, DistTrainConfig(partitioner="gvb",
+                                                         **base),
+                                eval_every=0)
+        assert gvb.final_loss == pytest.approx(plain.final_loss, rel=1e-6)
+        assert gvb.test_accuracy == pytest.approx(plain.test_accuracy,
+                                                  abs=0.02)

@@ -1,0 +1,273 @@
+"""Tests for optimisers, learning-rate schedules and regularisation."""
+
+import numpy as np
+import pytest
+
+from repro.gcn import (Adam, AdaGrad, ConstantLR, CosineAnnealing, Dropout,
+                       EarlyStopping, ExponentialDecay, OPTIMIZERS, RMSProp,
+                       SCHEDULES, SGD, StepDecay, WarmupWrapper, get_optimizer,
+                       get_schedule, l2_penalty, l2_penalty_grads)
+
+
+def quadratic_params(seed=0):
+    """Two parameter blocks for minimising sum ||p||^2 / 2 (grad = p)."""
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(3, 4)), rng.normal(size=(4, 2))]
+
+
+def run_quadratic(optimizer, steps=200, seed=0):
+    params = quadratic_params(seed)
+    for _ in range(steps):
+        optimizer.step(params, [p.copy() for p in params])
+    return params
+
+
+# ----------------------------------------------------------------------
+# Optimisers
+# ----------------------------------------------------------------------
+class TestSGD:
+    def test_plain_sgd_matches_manual_update(self):
+        params = [np.array([[1.0, 2.0]])]
+        SGD(learning_rate=0.1).step(params, [np.array([[0.5, -1.0]])])
+        np.testing.assert_allclose(params[0], [[0.95, 2.1]])
+
+    def test_momentum_accelerates_on_quadratic(self):
+        plain = run_quadratic(SGD(learning_rate=0.05), steps=50)
+        momentum = run_quadratic(SGD(learning_rate=0.05, momentum=0.9), steps=50)
+        assert sum(np.abs(p).sum() for p in momentum) < \
+            sum(np.abs(p).sum() for p in plain)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(momentum=0.0, nesterov=True)
+
+    def test_weight_decay_shrinks_weights(self):
+        params = [np.array([[10.0]])]
+        SGD(learning_rate=0.1, weight_decay=0.5).step(params, [np.zeros((1, 1))])
+        assert params[0][0, 0] < 10.0
+
+    def test_reset_clears_velocity(self):
+        opt = SGD(learning_rate=0.1, momentum=0.9)
+        params = quadratic_params()
+        opt.step(params, [p.copy() for p in params])
+        opt.reset()
+        assert opt.step_count == 0
+        assert opt._velocity is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD(weight_decay=-1.0)
+
+
+@pytest.mark.parametrize("cls,kwargs", [
+    (SGD, {"learning_rate": 0.1}),
+    (SGD, {"learning_rate": 0.05, "momentum": 0.9}),
+    (SGD, {"learning_rate": 0.05, "momentum": 0.9, "nesterov": True}),
+    (Adam, {"learning_rate": 0.1}),
+    (AdaGrad, {"learning_rate": 0.5}),
+    (RMSProp, {"learning_rate": 0.05}),
+])
+class TestConvergence:
+    def test_minimises_quadratic(self, cls, kwargs):
+        start = sum(np.abs(p).sum() for p in quadratic_params())
+        final = sum(np.abs(p).sum() for p in run_quadratic(cls(**kwargs)))
+        assert final < 0.1 * start
+
+
+class TestAdam:
+    def test_bias_correction_first_step(self):
+        """After one step with gradient g the Adam update is ~ -lr * sign(g)."""
+        params = [np.array([[2.0, -3.0]])]
+        opt = Adam(learning_rate=0.1)
+        opt.step(params, [np.array([[1.0, -1.0]])])
+        np.testing.assert_allclose(params[0], [[1.9, -2.9]], atol=1e-6)
+
+    def test_state_shapes(self):
+        opt = Adam()
+        params = quadratic_params()
+        opt.step(params, [p.copy() for p in params])
+        assert all(m.shape == p.shape for m, p in zip(opt._m, params))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=-0.1)
+        with pytest.raises(ValueError):
+            Adam(eps=0.0)
+
+
+class TestOptimizerBase:
+    def test_shape_mismatch_rejected(self):
+        opt = SGD()
+        with pytest.raises(ValueError):
+            opt.step([np.zeros((2, 2))], [np.zeros((3, 3))])
+
+    def test_count_mismatch_rejected(self):
+        opt = SGD()
+        with pytest.raises(ValueError):
+            opt.step([np.zeros((2, 2))], [np.zeros((2, 2)), np.zeros((2, 2))])
+
+    def test_registry(self):
+        for name in ("sgd", "adam", "adagrad", "rmsprop"):
+            assert name in OPTIMIZERS
+            assert get_optimizer(name).name == name
+        with pytest.raises(KeyError):
+            get_optimizer("lbfgs")
+
+    def test_state_summary(self):
+        opt = get_optimizer("adam", learning_rate=0.2)
+        summary = opt.state_summary()
+        assert summary["learning_rate"] == pytest.approx(0.2)
+        assert summary["step_count"] == 0
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+class TestSchedules:
+    def test_constant(self):
+        sched = ConstantLR(0.05)
+        assert sched(0) == sched(99) == 0.05
+
+    def test_step_decay(self):
+        sched = StepDecay(0.1, step_size=10, factor=0.5)
+        assert sched(0) == pytest.approx(0.1)
+        assert sched(10) == pytest.approx(0.05)
+        assert sched(25) == pytest.approx(0.025)
+
+    def test_exponential_decay_monotone(self):
+        sched = ExponentialDecay(0.1, gamma=0.9)
+        values = [sched(e) for e in range(20)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_cosine_annealing_endpoints(self):
+        sched = CosineAnnealing(0.1, total_epochs=50, min_lr=1e-3)
+        assert sched(0) == pytest.approx(0.1)
+        assert sched(50) == pytest.approx(1e-3)
+        assert sched(200) == pytest.approx(1e-3)
+
+    def test_warmup_then_inner(self):
+        sched = WarmupWrapper(ConstantLR(0.1), warmup_epochs=4)
+        assert sched(0) == pytest.approx(0.025)
+        assert sched(3) == pytest.approx(0.1)
+        assert sched(10) == pytest.approx(0.1)
+
+    def test_registry(self):
+        for name in ("constant", "step", "exponential", "cosine"):
+            assert name in SCHEDULES
+            assert get_schedule(name, 0.05)(0) > 0
+        with pytest.raises(KeyError):
+            get_schedule("cyclic", 0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.0)
+        with pytest.raises(ValueError):
+            StepDecay(0.1, step_size=0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(0.1, gamma=1.5)
+        with pytest.raises(ValueError):
+            CosineAnnealing(0.1, min_lr=0.5)
+        with pytest.raises(ValueError):
+            ConstantLR(0.1)(-1)
+
+
+# ----------------------------------------------------------------------
+# Regularisation
+# ----------------------------------------------------------------------
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = np.random.default_rng(0).normal(size=(10, 4))
+        drop = Dropout(0.5, seed=1)
+        np.testing.assert_array_equal(drop.forward(x, training=False), x)
+
+    def test_zero_rate_is_identity(self):
+        x = np.ones((5, 5))
+        np.testing.assert_array_equal(Dropout(0.0).forward(x), x)
+
+    def test_expected_value_preserved(self):
+        x = np.ones((2000, 10))
+        out = Dropout(0.3, seed=0).forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+        # Survivors are scaled up, the rest are exactly zero.
+        nonzero = out[out != 0]
+        np.testing.assert_allclose(nonzero, 1.0 / 0.7, rtol=1e-12)
+
+    def test_backward_uses_same_mask(self):
+        x = np.ones((50, 4))
+        drop = Dropout(0.4, seed=2)
+        out = drop.forward(x, training=True)
+        grad = drop.backward(np.ones_like(x))
+        np.testing.assert_array_equal((out == 0), (grad == 0))
+
+    def test_backward_shape_check(self):
+        drop = Dropout(0.4, seed=2)
+        drop.forward(np.ones((5, 5)), training=True)
+        with pytest.raises(ValueError):
+            drop.backward(np.ones((4, 4)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestL2:
+    def test_penalty_value_and_gradient(self):
+        weights = [np.array([[1.0, 2.0]]), np.array([[3.0]])]
+        assert l2_penalty(weights, 0.1) == pytest.approx(0.05 * (1 + 4 + 9))
+        grads = l2_penalty_grads(weights, 0.1)
+        np.testing.assert_allclose(grads[0], [[0.1, 0.2]])
+
+    def test_zero_coefficient(self):
+        assert l2_penalty([np.ones((2, 2))], 0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            l2_penalty([np.ones((1, 1))], -1.0)
+        with pytest.raises(ValueError):
+            l2_penalty_grads([np.ones((1, 1))], -1.0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=3, mode="max")
+        assert not stopper.update(0, 0.5)
+        assert not stopper.update(1, 0.4)
+        assert not stopper.update(2, 0.4)
+        assert stopper.update(3, 0.4)
+        assert stopper.stopped_early
+        assert stopper.best == pytest.approx(0.5)
+        assert stopper.best_epoch == 0
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2, mode="max")
+        stopper.update(0, 0.5)
+        stopper.update(1, 0.4)
+        assert not stopper.update(2, 0.6)
+        assert stopper.best_epoch == 2
+
+    def test_min_mode(self):
+        stopper = EarlyStopping(patience=2, mode="min")
+        stopper.update(0, 1.0)
+        assert not stopper.update(1, 0.5)
+        assert stopper.best == pytest.approx(0.5)
+
+    def test_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1, mode="max")
+        stopper.update(0, 0.5)
+        assert stopper.update(1, 0.55)  # not enough improvement
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(min_delta=-1.0)
+        with pytest.raises(ValueError):
+            EarlyStopping(mode="avg")

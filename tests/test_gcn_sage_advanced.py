@@ -1,0 +1,194 @@
+"""Tests for the GraphSAGE reference model and the advanced trainer."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.gcn import (AdvancedTrainConfig, ReferenceTrainConfig, SAGELayer,
+                       SAGEModel, SAGETrainConfig, row_normalize_adjacency,
+                       train_advanced, train_reference, train_sage)
+from repro.gcn.loss import loss_and_grad
+from repro.graphs import community_ring_graph, make_node_data
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    adj = community_ring_graph(60, avg_degree=8, n_communities=4,
+                               p_external=0.05, seed=0)
+    node_data = make_node_data(adj, n_features=10, n_classes=4, seed=0)
+    return adj, node_data
+
+
+# ----------------------------------------------------------------------
+# Row-normalised adjacency
+# ----------------------------------------------------------------------
+class TestRowNormalize:
+    def test_rows_sum_to_one(self, dataset):
+        adj, _ = dataset
+        mean = row_normalize_adjacency(adj)
+        sums = np.asarray(mean.sum(axis=1)).ravel()
+        deg = np.asarray(adj.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums[deg > 0], 1.0)
+
+    def test_self_loops_added(self, dataset):
+        adj, _ = dataset
+        mean = row_normalize_adjacency(adj, add_self_loops=True)
+        assert np.all(mean.diagonal() > 0)
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            row_normalize_adjacency(sp.csr_matrix((2, 3)))
+
+
+# ----------------------------------------------------------------------
+# SAGE layer / model
+# ----------------------------------------------------------------------
+class TestSAGELayer:
+    def test_forward_shapes(self, dataset):
+        adj, node_data = dataset
+        mean = row_normalize_adjacency(adj, add_self_loops=True)
+        rng = np.random.default_rng(0)
+        layer = SAGELayer(rng.normal(size=(20, 6)) * 0.1)
+        cache = layer.forward(mean, node_data.features)
+        assert cache.z.shape == (60, 6)
+        assert cache.concat.shape == (60, 20)
+
+    def test_weight_shape_validation(self):
+        with pytest.raises(ValueError):
+            SAGELayer(np.zeros((5, 3)))      # odd first dimension
+        with pytest.raises(ValueError):
+            SAGELayer(np.zeros(4))
+
+    def test_input_width_validation(self, dataset):
+        adj, node_data = dataset
+        mean = row_normalize_adjacency(adj)
+        layer = SAGELayer(np.zeros((8, 3)))
+        with pytest.raises(ValueError):
+            layer.forward(mean, node_data.features)
+
+    def test_gradients_match_finite_differences(self, dataset):
+        """The analytic weight gradient agrees with a numerical one."""
+        adj, node_data = dataset
+        mean = row_normalize_adjacency(adj, add_self_loops=True)
+        rng = np.random.default_rng(1)
+        f_in, f_out = node_data.n_features, 3
+        weight = rng.normal(size=(2 * f_in, f_out)) * 0.1
+        layer = SAGELayer(weight.copy(), activation="identity")
+        labels = node_data.labels
+        mask = node_data.train_mask
+
+        def loss_for(w):
+            cache = SAGELayer(w, activation="identity").forward(
+                mean, node_data.features)
+            loss, _ = loss_and_grad(cache.z[:, :f_out], labels % f_out, mask)
+            return loss
+
+        cache = layer.forward(mean, node_data.features)
+        loss, grad_logits = loss_and_grad(cache.z, labels % f_out, mask)
+        grads = layer.backward(mean, cache, grad_logits)
+
+        eps = 1e-6
+        for idx in [(0, 0), (3, 1), (2 * f_in - 1, f_out - 1)]:
+            w_plus = weight.copy()
+            w_plus[idx] += eps
+            w_minus = weight.copy()
+            w_minus[idx] -= eps
+            numeric = (loss_for(w_plus) - loss_for(w_minus)) / (2 * eps)
+            assert grads.weight_grad[idx] == pytest.approx(numeric, rel=1e-4,
+                                                           abs=1e-7)
+
+
+class TestSAGEModel:
+    def test_layer_dims_validation(self):
+        with pytest.raises(ValueError):
+            SAGEModel([5])
+
+    def test_weights_have_concat_width(self):
+        model = SAGEModel([10, 8, 4], seed=0)
+        assert model.weights[0].shape == (20, 8)
+        assert model.weights[1].shape == (16, 4)
+
+    def test_training_reduces_loss_and_learns(self, dataset):
+        adj, node_data = dataset
+        model, history, test_acc = train_sage(
+            adj, node_data, SAGETrainConfig(epochs=60, hidden=16,
+                                            learning_rate=0.1, seed=0))
+        losses = [h[1] for h in history]
+        assert losses[-1] < losses[0]
+        assert test_acc > 0.5          # planted communities are learnable
+
+    def test_gradient_count_validation(self, dataset):
+        model = SAGEModel([10, 4], seed=0)
+        with pytest.raises(ValueError):
+            model.apply_gradients([np.zeros((20, 4)), np.zeros((8, 4))], 0.1)
+
+
+# ----------------------------------------------------------------------
+# Advanced trainer
+# ----------------------------------------------------------------------
+class TestAdvancedTrainer:
+    def test_default_matches_reference_trainer(self, dataset):
+        """With SGD + constant LR + no regularisation, the advanced loop is
+        numerically identical to the paper-style reference loop."""
+        adj, node_data = dataset
+        ref = train_reference(adj, node_data,
+                              ReferenceTrainConfig(epochs=10, seed=3))
+        adv = train_advanced(adj, node_data,
+                             AdvancedTrainConfig(epochs=10, seed=3))
+        assert adv.final_loss == pytest.approx(ref.final_loss, rel=1e-12)
+        assert adv.test_accuracy == pytest.approx(ref.test_accuracy)
+
+    def test_adam_trains(self, dataset):
+        adj, node_data = dataset
+        result = train_advanced(adj, node_data, AdvancedTrainConfig(
+            epochs=30, optimizer="adam", learning_rate=0.02, seed=0))
+        assert result.history[-1].loss < result.history[0].loss
+        assert result.test_accuracy > 0.4
+
+    def test_sage_architecture(self, dataset):
+        adj, node_data = dataset
+        result = train_advanced(adj, node_data, AdvancedTrainConfig(
+            architecture="sage", n_layers=2, epochs=30, learning_rate=0.1,
+            seed=0))
+        assert result.test_accuracy > 0.4
+
+    def test_schedule_is_applied(self, dataset):
+        adj, node_data = dataset
+        result = train_advanced(adj, node_data, AdvancedTrainConfig(
+            epochs=20, schedule="exponential",
+            schedule_kwargs=(("gamma", 0.9),), seed=0))
+        lrs = [r.learning_rate for r in result.history]
+        assert lrs[0] > lrs[-1]
+
+    def test_dropout_and_l2_do_not_break_training(self, dataset):
+        adj, node_data = dataset
+        result = train_advanced(adj, node_data, AdvancedTrainConfig(
+            epochs=20, dropout=0.2, l2=1e-4, seed=0))
+        assert np.isfinite(result.final_loss)
+        assert result.epochs_run == 20
+
+    def test_early_stopping_triggers(self, dataset):
+        adj, node_data = dataset
+        result = train_advanced(adj, node_data, AdvancedTrainConfig(
+            epochs=200, early_stopping_patience=3, learning_rate=0.05, seed=0))
+        assert result.epochs_run < 200
+        assert result.stopped_early
+
+    def test_zero_epochs(self, dataset):
+        adj, node_data = dataset
+        result = train_advanced(adj, node_data,
+                                AdvancedTrainConfig(epochs=0, seed=0))
+        assert result.epochs_run == 0
+        assert np.isnan(result.final_loss)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AdvancedTrainConfig(architecture="gat")
+        with pytest.raises(ValueError):
+            AdvancedTrainConfig(dropout=1.5)
+        with pytest.raises(ValueError):
+            AdvancedTrainConfig(l2=-0.1)
+        with pytest.raises(ValueError):
+            AdvancedTrainConfig(n_layers=0)
+        with pytest.raises(ValueError):
+            AdvancedTrainConfig(early_stopping_patience=-1)

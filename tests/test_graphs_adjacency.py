@@ -1,0 +1,126 @@
+"""Tests for adjacency utilities (normalisation, permutation)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import adjacency as A
+from repro.graphs.generators import erdos_renyi_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_graph(30, avg_degree=4, seed=2)
+
+
+class TestValidation:
+    def test_rejects_dense_input(self):
+        with pytest.raises(TypeError):
+            A.validate_adjacency(np.eye(3))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            A.validate_adjacency(sp.csr_matrix(np.ones((2, 3))))
+
+    def test_rejects_negative_weights(self):
+        mat = sp.csr_matrix(np.array([[0, -1.0], [-1.0, 0]]))
+        with pytest.raises(ValueError):
+            A.validate_adjacency(mat)
+
+    def test_degrees(self, graph):
+        deg = A.degrees(graph)
+        assert deg.shape == (30,)
+        assert deg.sum() == graph.nnz
+
+    def test_is_symmetric(self, graph):
+        assert A.is_symmetric(graph)
+        asym = sp.csr_matrix(np.array([[0, 1.0], [0, 0]]))
+        assert not A.is_symmetric(asym)
+
+
+class TestNormalisation:
+    def test_add_self_loops(self, graph):
+        out = A.add_self_loops(graph)
+        assert np.all(out.diagonal() == 1.0)
+        assert out.nnz == graph.nnz + graph.shape[0]
+
+    def test_gcn_normalize_row_col_scaling(self, graph):
+        norm = A.gcn_normalize(graph)
+        # Symmetric normalisation keeps the matrix symmetric and bounded.
+        assert A.is_symmetric(norm, tol=1e-12)
+        assert norm.data.max() <= 1.0 + 1e-12
+        assert norm.data.min() > 0
+
+    def test_gcn_normalize_spectral_property(self):
+        # For a k-regular graph with self loops, D^{-1/2} (A+I) D^{-1/2} has
+        # constant row sums equal to 1.
+        from repro.graphs.generators import grid_graph
+        adj = grid_graph(5, periodic=True)
+        norm = A.gcn_normalize(adj)
+        row_sums = np.asarray(norm.sum(axis=1)).ravel()
+        np.testing.assert_allclose(row_sums, 1.0, rtol=1e-10)
+
+    def test_gcn_normalize_handles_isolated_vertices(self):
+        adj = sp.csr_matrix((3, 3))
+        norm = A.gcn_normalize(adj, add_loops=False)
+        assert norm.nnz == 0
+
+    def test_gcn_normalize_without_loops(self, graph):
+        norm = A.gcn_normalize(graph, add_loops=False)
+        assert norm.diagonal().sum() == 0
+
+
+class TestPermutation:
+    def test_permutation_from_parts_groups_contiguously(self):
+        parts = np.array([1, 0, 1, 0, 2])
+        perm = A.permutation_from_parts(parts, 3)
+        # part 0 members (old ids 1, 3) must map to new ids {0, 1}
+        assert sorted(perm[[1, 3]]) == [0, 1]
+        assert sorted(perm[[0, 2]]) == [2, 3]
+        assert perm[4] == 4
+
+    def test_permutation_from_parts_validates(self):
+        with pytest.raises(ValueError):
+            A.permutation_from_parts(np.array([[0, 1]]), 2)
+        with pytest.raises(ValueError):
+            A.permutation_from_parts(np.array([0, 3]), 2)
+
+    def test_symmetric_permutation_preserves_structure(self, graph):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(graph.shape[0])
+        out = A.symmetric_permutation(graph, perm)
+        assert out.nnz == graph.nnz
+        assert A.is_symmetric(out)
+        # Degrees are preserved up to reordering.
+        np.testing.assert_array_equal(np.sort(A.degrees(out)),
+                                      np.sort(A.degrees(graph)))
+
+    def test_symmetric_permutation_roundtrip(self, graph):
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(graph.shape[0])
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(perm.size)
+        back = A.symmetric_permutation(
+            A.symmetric_permutation(graph, perm), inv)
+        assert (back != graph).nnz == 0
+
+    def test_symmetric_permutation_validates_perm(self, graph):
+        with pytest.raises(ValueError):
+            A.symmetric_permutation(graph, np.zeros(graph.shape[0], dtype=int))
+        with pytest.raises(ValueError):
+            A.symmetric_permutation(graph, np.arange(graph.shape[0] - 1))
+
+    def test_permute_rows_matches_symmetric_permutation(self, graph):
+        rng = np.random.default_rng(3)
+        perm = rng.permutation(graph.shape[0])
+        h = rng.normal(size=(graph.shape[0], 3))
+        permuted_adj = A.symmetric_permutation(graph, perm)
+        permuted_h = A.permute_rows(h, perm)
+        # (P A P^T)(P H) == P (A H)
+        left = permuted_adj @ permuted_h
+        right = A.permute_rows(graph @ h, perm)
+        np.testing.assert_allclose(left, right, atol=1e-12)
+
+    def test_permute_rows_validates_length(self):
+        with pytest.raises(ValueError):
+            A.permute_rows(np.ones((3, 2)), np.array([0, 1]))

@@ -1,0 +1,135 @@
+"""Tests for the partition base classes and the block/random baselines."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.partition import (BlockPartitioner, RandomPartitioner,
+                             balanced_block_bounds, contiguous_parts,
+                             get_partitioner, validate_parts)
+from repro.partition.base import PartitionResult
+
+
+class TestValidateParts:
+    def test_accepts_valid(self):
+        parts = validate_parts(np.array([0, 1, 1]), 2)
+        assert parts.dtype == np.int64
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            validate_parts(np.array([0, 2]), 2)
+        with pytest.raises(ValueError):
+            validate_parts(np.array([-1, 0]), 2)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            validate_parts(np.array([0, 1]), 2, n_vertices=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            validate_parts(np.zeros((2, 2), dtype=int), 2)
+
+    def test_rejects_nonpositive_nparts(self):
+        with pytest.raises(ValueError):
+            validate_parts(np.array([0]), 0)
+
+
+class TestPartitionResult:
+    def test_part_sizes_and_members(self):
+        result = PartitionResult(parts=np.array([0, 1, 0, 2]), nparts=3)
+        assert result.part_sizes().tolist() == [2, 1, 1]
+        assert result.members(0).tolist() == [0, 2]
+        assert result.n_vertices == 4
+
+    def test_members_out_of_range(self):
+        result = PartitionResult(parts=np.array([0, 1]), nparts=2)
+        with pytest.raises(ValueError):
+            result.members(5)
+
+    def test_relabeling_groups_parts(self):
+        result = PartitionResult(parts=np.array([1, 0, 1, 0]), nparts=2)
+        perm = result.relabeling()
+        # Part-0 vertices (ids 1, 3) map to new ids 0, 1.
+        assert sorted(perm[[1, 3]].tolist()) == [0, 1]
+        assert sorted(perm[[0, 2]].tolist()) == [2, 3]
+
+    def test_block_sizes_alias(self):
+        result = PartitionResult(parts=np.array([0, 0, 1]), nparts=2)
+        assert result.block_sizes().tolist() == [2, 1]
+
+
+class TestBlockHelpers:
+    def test_balanced_block_bounds(self):
+        bounds = balanced_block_bounds(10, 3)
+        assert bounds.tolist() == [0, 4, 7, 10]
+
+    def test_contiguous_parts_cover_everything(self):
+        parts = contiguous_parts(11, 4)
+        assert parts.shape == (11,)
+        assert np.bincount(parts).tolist() == [3, 3, 3, 2]
+
+    def test_bounds_reject_nonpositive_parts(self):
+        with pytest.raises(ValueError):
+            balanced_block_bounds(5, 0)
+
+
+class TestBaselinePartitioners:
+    @pytest.fixture(scope="class")
+    def graph(self, small_graph=None):
+        from repro.graphs.generators import erdos_renyi_graph
+        return erdos_renyi_graph(50, avg_degree=4, seed=0)
+
+    def test_block_partitioner_contiguous(self, graph):
+        result = BlockPartitioner().partition(graph, 5)
+        assert result.method == "block"
+        # Contiguous: part id is non-decreasing in vertex id.
+        assert np.all(np.diff(result.parts) >= 0)
+        assert result.part_sizes().max() - result.part_sizes().min() <= 1
+
+    def test_random_partitioner_balanced(self, graph):
+        result = RandomPartitioner(seed=1).partition(graph, 5)
+        sizes = result.part_sizes()
+        assert sizes.max() - sizes.min() <= 1
+        assert sizes.sum() == graph.shape[0]
+
+    def test_random_partitioner_deterministic_per_seed(self, graph):
+        a = RandomPartitioner(seed=2).partition(graph, 4).parts
+        b = RandomPartitioner(seed=2).partition(graph, 4).parts
+        c = RandomPartitioner(seed=3).partition(graph, 4).parts
+        np.testing.assert_array_equal(a, b)
+        assert np.any(a != c)
+
+    def test_stats_populated(self, graph):
+        result = RandomPartitioner(seed=0).partition(graph, 4)
+        for key in ("edgecut", "total_volume", "max_send_volume",
+                    "nnz_imbalance"):
+            assert key in result.stats
+
+    def test_input_validation(self, graph):
+        with pytest.raises(ValueError):
+            BlockPartitioner().partition(graph, 0)
+        with pytest.raises(ValueError):
+            BlockPartitioner().partition(graph, graph.shape[0] + 1)
+        with pytest.raises(TypeError):
+            BlockPartitioner().partition(np.eye(4), 2)
+        with pytest.raises(ValueError):
+            BlockPartitioner().partition(sp.csr_matrix(np.ones((2, 3))), 2)
+
+    def test_callable_interface(self, graph):
+        partitioner = BlockPartitioner()
+        assert np.array_equal(partitioner(graph, 3).parts,
+                              partitioner.partition(graph, 3).parts)
+
+
+class TestRegistry:
+    def test_get_partitioner_names(self):
+        for name in ("block", "random", "metis_like", "gvb"):
+            assert get_partitioner(name) is not None
+
+    def test_get_partitioner_kwargs(self):
+        p = get_partitioner("random", seed=7)
+        assert p.seed == 7
+
+    def test_get_partitioner_unknown(self):
+        with pytest.raises(KeyError):
+            get_partitioner("patoh")

@@ -1,0 +1,279 @@
+"""Tests for the spectral, label-propagation and hypergraph partitioners."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import (community_ring_graph, erdos_renyi_graph, grid_graph,
+                          degrees)
+from repro.partition import (ColumnNetHypergraph, HypergraphPartitioner,
+                             LabelPropagationPartitioner, PARTITIONERS,
+                             SpectralPartitioner, communication_volumes_1d,
+                             edgecut, fiedler_vector, get_partitioner,
+                             label_propagation_sweep, load_imbalance,
+                             part_sizes)
+
+
+@pytest.fixture(scope="module")
+def community_graph():
+    return community_ring_graph(96, avg_degree=10, n_communities=8,
+                                p_external=0.05, seed=3)
+
+
+@pytest.fixture(scope="module")
+def irregular_graph():
+    return erdos_renyi_graph(80, avg_degree=6, seed=7)
+
+
+def _check_valid_partition(result, n, nparts):
+    assert result.parts.shape == (n,)
+    assert result.nparts == nparts
+    assert result.parts.min() >= 0 and result.parts.max() < nparts
+    assert np.all(result.part_sizes() > 0)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["spectral", "label_prop", "hypergraph"])
+    def test_new_partitioners_registered(self, name):
+        partitioner = get_partitioner(name, seed=1)
+        assert partitioner.name == name or name in ("label_prop",)
+
+    def test_registry_contains_all_schemes(self):
+        for name in ("block", "random", "metis_like", "gvb", "spectral",
+                     "label_prop", "hypergraph"):
+            assert name in PARTITIONERS
+
+
+# ----------------------------------------------------------------------
+# Spectral
+# ----------------------------------------------------------------------
+class TestFiedlerVector:
+    def test_sign_structure_on_two_cliques(self):
+        """On two cliques joined by one edge, the Fiedler vector separates
+        them by sign."""
+        n = 20
+        dense = np.zeros((n, n))
+        dense[:10, :10] = 1.0
+        dense[10:, 10:] = 1.0
+        np.fill_diagonal(dense, 0.0)
+        dense[9, 10] = dense[10, 9] = 1.0
+        vec = fiedler_vector(sp.csr_matrix(dense), seed=0)
+        signs_a = np.sign(vec[:10])
+        signs_b = np.sign(vec[10:])
+        assert len(set(signs_a[signs_a != 0])) == 1
+        assert len(set(signs_b[signs_b != 0])) == 1
+        assert signs_a[0] != signs_b[0]
+
+    def test_large_graph_uses_iterative_path(self):
+        graph = erdos_renyi_graph(150, avg_degree=6, seed=0)
+        vec = fiedler_vector(graph, seed=0)
+        assert vec.shape == (150,)
+        assert np.all(np.isfinite(vec))
+
+    def test_tiny_graph(self):
+        assert fiedler_vector(sp.csr_matrix((1, 1))).shape == (1,)
+
+
+class TestSpectralPartitioner:
+    @pytest.mark.parametrize("nparts", [2, 3, 4, 8])
+    def test_produces_valid_partitions(self, community_graph, nparts):
+        result = SpectralPartitioner(seed=0).partition(community_graph, nparts)
+        _check_valid_partition(result, community_graph.shape[0], nparts)
+
+    def test_balance_is_respected(self, community_graph):
+        result = SpectralPartitioner(balance_factor=1.1, seed=0).partition(
+            community_graph, 4)
+        sizes = result.part_sizes()
+        assert load_imbalance(sizes) <= 1.35  # small slack for fix-ups
+
+    def test_beats_random_on_community_graph(self, community_graph):
+        spectral = SpectralPartitioner(seed=0).partition(community_graph, 8)
+        random = get_partitioner("random", seed=0).partition(community_graph, 8)
+        assert spectral.stats["edgecut"] < random.stats["edgecut"]
+
+    def test_single_part(self, community_graph):
+        result = SpectralPartitioner(seed=0).partition(community_graph, 1)
+        assert np.all(result.parts == 0)
+
+    def test_refine_flag(self, irregular_graph):
+        raw = SpectralPartitioner(refine=False, seed=0).partition(
+            irregular_graph, 4)
+        refined = SpectralPartitioner(refine=True, seed=0).partition(
+            irregular_graph, 4)
+        assert refined.stats["edgecut"] <= raw.stats["edgecut"] * 1.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpectralPartitioner(balance_factor=0.9)
+
+    def test_stats_filled(self, community_graph):
+        result = SpectralPartitioner(seed=0).partition(community_graph, 4)
+        for key in ("edgecut", "total_volume", "max_send_volume"):
+            assert key in result.stats
+
+
+# ----------------------------------------------------------------------
+# Label propagation
+# ----------------------------------------------------------------------
+class TestLabelPropagation:
+    def test_sweep_respects_balance(self, community_graph):
+        n = community_graph.shape[0]
+        nparts = 6
+        rng = np.random.default_rng(0)
+        parts = rng.integers(0, nparts, size=n)
+        cap = 1.2 * n / nparts
+        label_propagation_sweep(community_graph.tocsr().astype(float), parts,
+                                nparts, np.ones(n), cap, rng)
+        assert part_sizes(parts, nparts).max() <= int(np.ceil(cap))
+
+    @pytest.mark.parametrize("init", ["block", "random"])
+    def test_produces_valid_partitions(self, community_graph, init):
+        partitioner = LabelPropagationPartitioner(init=init, seed=2)
+        result = partitioner.partition(community_graph, 8)
+        _check_valid_partition(result, community_graph.shape[0], 8)
+        assert result.stats["propagation_sweeps"] >= 1
+
+    def test_improves_over_random_start(self, community_graph):
+        random = get_partitioner("random", seed=2).partition(community_graph, 8)
+        lp = LabelPropagationPartitioner(init="random", seed=2).partition(
+            community_graph, 8)
+        assert lp.stats["edgecut"] <= random.stats["edgecut"]
+
+    def test_volume_objective_reduces_max_send(self, irregular_graph):
+        plain = LabelPropagationPartitioner(seed=3).partition(irregular_graph, 8)
+        vol = LabelPropagationPartitioner(volume_objective=True, seed=3
+                                          ).partition(irregular_graph, 8)
+        assert vol.stats["max_send_volume"] <= plain.stats["max_send_volume"]
+
+    def test_respects_balance_constraint(self, community_graph):
+        result = LabelPropagationPartitioner(balance_factor=1.1, seed=1
+                                             ).partition(community_graph, 6)
+        imbalance = load_imbalance(result.part_sizes())
+        assert imbalance <= 1.25
+
+    def test_single_part(self, community_graph):
+        result = LabelPropagationPartitioner(seed=0).partition(community_graph, 1)
+        assert np.all(result.parts == 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LabelPropagationPartitioner(balance_factor=0.5)
+        with pytest.raises(ValueError):
+            LabelPropagationPartitioner(max_iterations=0)
+        with pytest.raises(ValueError):
+            LabelPropagationPartitioner(init="bfs")
+
+
+# ----------------------------------------------------------------------
+# Column-net hypergraph model
+# ----------------------------------------------------------------------
+class TestColumnNetHypergraph:
+    def test_pins_include_owner(self, irregular_graph):
+        hg = ColumnNetHypergraph(irregular_graph)
+        for j in (0, 5, 17):
+            assert j in hg.pins(j)
+
+    def test_nets_of_vertex_includes_own_net(self, irregular_graph):
+        hg = ColumnNetHypergraph(irregular_graph)
+        assert 3 in hg.nets_of(3)
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            ColumnNetHypergraph(sp.csr_matrix((3, 4)))
+
+    def test_queries_require_reset(self, irregular_graph):
+        hg = ColumnNetHypergraph(irregular_graph)
+        with pytest.raises(RuntimeError):
+            hg.connectivity_cut()
+
+    def test_connectivity_cut_equals_graph_volume_metric(self, irregular_graph):
+        """connectivity-1 == the 1D communication volume computed from the
+        graph side — the core identity of the column-net model."""
+        n = irregular_graph.shape[0]
+        for nparts, seed in [(4, 0), (8, 1), (5, 2)]:
+            rng = np.random.default_rng(seed)
+            parts = rng.integers(0, nparts, size=n)
+            hg = ColumnNetHypergraph(irregular_graph)
+            hg.reset(parts, nparts)
+            vol = communication_volumes_1d(irregular_graph, parts, nparts)
+            assert hg.connectivity_cut() == vol.total
+            np.testing.assert_array_equal(hg.send_volumes(), vol.send_volume)
+
+    def test_move_gain_matches_recomputation(self, irregular_graph):
+        n = irregular_graph.shape[0]
+        nparts = 6
+        rng = np.random.default_rng(4)
+        parts = rng.integers(0, nparts, size=n)
+        hg = ColumnNetHypergraph(irregular_graph)
+        hg.reset(parts, nparts)
+        for _ in range(25):
+            v = int(rng.integers(0, n))
+            dest = int(rng.integers(0, nparts))
+            before = hg.connectivity_cut()
+            gain = hg.move_gain(v, dest)
+            hg.apply_move(v, dest)
+            after = hg.connectivity_cut()
+            assert before - after == gain
+
+    def test_apply_move_updates_parts(self, irregular_graph):
+        hg = ColumnNetHypergraph(irregular_graph)
+        hg.reset(np.zeros(irregular_graph.shape[0], dtype=np.int64), 2)
+        hg.apply_move(0, 1)
+        assert hg.parts[0] == 1
+        hg.apply_move(0, 1)  # no-op
+        assert hg.parts[0] == 1
+
+
+class TestHypergraphPartitioner:
+    def test_produces_valid_partitions(self, community_graph):
+        result = HypergraphPartitioner(seed=0).partition(community_graph, 8)
+        _check_valid_partition(result, community_graph.shape[0], 8)
+        assert result.stats["fm_passes"] >= 1
+
+    def test_reduces_volume_versus_block_start(self, irregular_graph):
+        block = get_partitioner("block").partition(irregular_graph, 8)
+        hyper = HypergraphPartitioner(seed=0).partition(irregular_graph, 8)
+        assert hyper.stats["total_volume"] <= block.stats["total_volume"]
+
+    def test_respects_balance(self, community_graph):
+        result = HypergraphPartitioner(balance_factor=1.1, seed=0).partition(
+            community_graph, 6)
+        assert load_imbalance(result.part_sizes()) <= 1.25
+
+    def test_bottleneck_weight_accepted(self, irregular_graph):
+        result = HypergraphPartitioner(bottleneck_weight=2.0, seed=0).partition(
+            irregular_graph, 6)
+        _check_valid_partition(result, irregular_graph.shape[0], 6)
+
+    def test_single_part(self, community_graph):
+        result = HypergraphPartitioner(seed=0).partition(community_graph, 1)
+        assert np.all(result.parts == 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HypergraphPartitioner(balance_factor=0.8)
+        with pytest.raises(ValueError):
+            HypergraphPartitioner(max_passes=0)
+        with pytest.raises(ValueError):
+            HypergraphPartitioner(bottleneck_weight=-1)
+        with pytest.raises(ValueError):
+            HypergraphPartitioner(init="greedy")
+
+
+# ----------------------------------------------------------------------
+# End-to-end: new partitioners drive distributed training
+# ----------------------------------------------------------------------
+class TestTrainingIntegration:
+    @pytest.mark.parametrize("name", ["spectral", "label_prop", "hypergraph"])
+    def test_train_distributed_accepts_new_partitioners(self, name):
+        from repro import DistTrainConfig, load_dataset, train_distributed
+        dataset = load_dataset("reddit", scale=0.05, n_features=8, n_classes=3,
+                               seed=0)
+        config = DistTrainConfig(n_ranks=4, partitioner=name, epochs=2,
+                                 machine="laptop", seed=0)
+        result = train_distributed(dataset, config, eval_every=0)
+        assert result.avg_epoch_time_s > 0
+        assert np.isfinite(result.final_loss)

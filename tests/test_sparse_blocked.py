@@ -1,0 +1,124 @@
+"""Tests for the BlockedCSR block-grid analysis (from-scratch NnzCols)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import BlockRowDistribution, DistSparseMatrix
+from repro.graphs import community_ring_graph, erdos_renyi_graph, gcn_normalize
+from repro.sparse import BlockedCSR, CSRMatrix, block_bounds
+
+
+@pytest.fixture()
+def graph():
+    return gcn_normalize(erdos_renyi_graph(36, avg_degree=6, seed=2))
+
+
+class TestBlockBounds:
+    def test_balanced_bounds(self):
+        bounds = block_bounds(10, 4)
+        assert bounds.tolist() == [0, 3, 6, 8, 10]
+
+    def test_exact_division(self):
+        assert block_bounds(8, 4).tolist() == [0, 2, 4, 6, 8]
+
+    def test_more_blocks_than_rows(self):
+        bounds = block_bounds(2, 4)
+        assert bounds[-1] == 2 and bounds.size == 5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            block_bounds(-1, 2)
+        with pytest.raises(ValueError):
+            block_bounds(4, 0)
+
+
+class TestBlockedCSR:
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            BlockedCSR.uniform(CSRMatrix.zeros((3, 4)), 2)
+
+    def test_bad_bounds_rejected(self, graph):
+        mat = CSRMatrix.from_scipy(graph)
+        with pytest.raises(ValueError):
+            BlockedCSR(mat, [0, 10, 5, 36])
+        with pytest.raises(ValueError):
+            BlockedCSR(mat, [1, 36])
+
+    def test_block_shapes_and_nnz(self, graph):
+        blocked = BlockedCSR.uniform(CSRMatrix.from_scipy(graph), 4)
+        total_nnz = 0
+        for i in range(4):
+            for j in range(4):
+                blk = blocked.block(i, j)
+                assert blk.full.shape == (blocked.block_size(i),
+                                          blocked.block_size(j))
+                assert blk.compact.shape[1] == blk.n_needed_rows
+                total_nnz += blk.nnz
+        assert total_nnz == graph.nnz
+
+    def test_block_out_of_range(self, graph):
+        blocked = BlockedCSR.uniform(CSRMatrix.from_scipy(graph), 3)
+        with pytest.raises(ValueError):
+            blocked.block(3, 0)
+
+    def test_nnz_cols_match_dist_sparse_matrix(self, graph):
+        """The from-scratch analysis agrees with the scipy-backed one."""
+        nblocks = 4
+        blocked = BlockedCSR.uniform(CSRMatrix.from_scipy(graph), nblocks)
+        dist = BlockRowDistribution.uniform(graph.shape[0], nblocks)
+        reference = DistSparseMatrix(graph, dist)
+        for i in range(nblocks):
+            for j in range(nblocks):
+                np.testing.assert_array_equal(
+                    blocked.nnz_cols(i, j), reference.nnz_cols(i, j))
+        np.testing.assert_array_equal(blocked.needed_rows_matrix(),
+                                      reference.needed_rows_matrix())
+
+    def test_global_column_indices(self, graph):
+        blocked = BlockedCSR.uniform(CSRMatrix.from_scipy(graph), 3)
+        blk = blocked.block(0, 1)
+        assert np.all(blk.nnz_cols_global >= blocked.bounds[1])
+        assert np.all(blk.nnz_cols_global < blocked.bounds[2])
+
+    @pytest.mark.parametrize("use_compact", [True, False])
+    def test_blockwise_spmm_matches_direct(self, graph, use_compact):
+        blocked = BlockedCSR.uniform(CSRMatrix.from_scipy(graph), 5)
+        h = np.random.default_rng(0).normal(size=(graph.shape[0], 4))
+        direct = graph @ h
+        np.testing.assert_allclose(blocked.spmm(h, use_compact=use_compact),
+                                   direct, atol=1e-10)
+
+    def test_spmm_shape_check(self, graph):
+        blocked = BlockedCSR.uniform(CSRMatrix.from_scipy(graph), 3)
+        with pytest.raises(ValueError):
+            blocked.spmm(np.ones((5, 2)))
+
+    def test_volume_accounting(self, graph):
+        blocked = BlockedCSR.uniform(CSRMatrix.from_scipy(graph), 4)
+        needed = blocked.needed_rows_matrix()
+        np.testing.assert_array_equal(blocked.send_volumes(), needed.sum(axis=0))
+        np.testing.assert_array_equal(blocked.recv_volumes(), needed.sum(axis=1))
+        assert blocked.total_volume() == int(needed.sum())
+        # The sparsity-aware exchange never moves more rows than the
+        # oblivious broadcast of entire block rows.
+        assert blocked.total_volume() <= blocked.oblivious_rows_matrix().sum()
+        assert blocked.savings_ratio() >= 1.0
+
+    def test_savings_ratio_on_block_diagonal_graph(self):
+        """A graph with no cross-block edges needs zero communication."""
+        graph = community_ring_graph(40, avg_degree=6, n_communities=4,
+                                     p_external=0.0, seed=1)
+        # 4 communities of equal size laid out contiguously -> 4 blocks
+        blocked = BlockedCSR.uniform(CSRMatrix.from_scipy(graph.tocsr()), 4)
+        if blocked.total_volume() == 0:
+            assert blocked.savings_ratio() == float("inf") or \
+                blocked.oblivious_rows_matrix().sum() == 0
+        else:
+            assert blocked.savings_ratio() > 1.0
+
+    def test_single_block_degenerate(self, graph):
+        blocked = BlockedCSR.uniform(CSRMatrix.from_scipy(graph), 1)
+        assert blocked.total_volume() == 0
+        h = np.random.default_rng(1).normal(size=(graph.shape[0], 3))
+        np.testing.assert_allclose(blocked.spmm(h), graph @ h, atol=1e-10)

@@ -1,0 +1,296 @@
+"""Unit tests for the COOMatrix / CSRMatrix containers and graph ops."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import erdos_renyi_graph
+from repro.graphs.adjacency import gcn_normalize as gcn_normalize_scipy
+from repro.sparse import (COOMatrix, CSRMatrix, add_self_loops, degrees,
+                          gcn_normalize, is_symmetric, laplacian,
+                          row_normalize)
+
+
+def random_scipy(n_rows, n_cols, density, seed):
+    rng = np.random.default_rng(seed)
+    mat = sp.random(n_rows, n_cols, density=density, random_state=rng,
+                    format="csr")
+    mat.sort_indices()
+    return mat
+
+
+# ----------------------------------------------------------------------
+# COOMatrix
+# ----------------------------------------------------------------------
+class TestCOOMatrix:
+    def test_from_edges_unweighted(self):
+        edges = np.array([[0, 1], [1, 2], [2, 0]])
+        coo = COOMatrix.from_edges(3, edges)
+        assert coo.nnz == 3
+        np.testing.assert_allclose(coo.data, np.ones(3))
+
+    def test_from_edges_empty(self):
+        coo = COOMatrix.from_edges(4, np.empty((0, 2)))
+        assert coo.nnz == 0
+        assert coo.to_dense().shape == (4, 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            COOMatrix((2, 2), np.array([0, 2]), np.array([0, 0]))
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            COOMatrix((3, 3), np.array([0]), np.array([0, 1]))
+
+    def test_round_trip_scipy(self):
+        mat = random_scipy(6, 9, 0.3, 0)
+        coo = COOMatrix.from_scipy(mat)
+        np.testing.assert_allclose(coo.to_scipy().toarray(), mat.toarray())
+
+    def test_sum_duplicates(self):
+        coo = COOMatrix((2, 2), np.array([0, 0, 1]), np.array([1, 1, 0]),
+                        np.array([1.0, 2.0, 5.0]))
+        merged = coo.sum_duplicates()
+        assert merged.nnz == 2
+        np.testing.assert_allclose(merged.to_dense(),
+                                   [[0.0, 3.0], [5.0, 0.0]])
+
+    def test_remove_self_loops(self):
+        coo = COOMatrix((3, 3), np.array([0, 1, 2]), np.array([0, 2, 2]))
+        out = coo.remove_self_loops()
+        assert out.nnz == 1
+        assert out.rows.tolist() == [1] and out.cols.tolist() == [2]
+
+    def test_remove_self_loops_requires_square(self):
+        with pytest.raises(ValueError):
+            COOMatrix((2, 3), np.array([0]), np.array([1])).remove_self_loops()
+
+    def test_symmetrize_is_symmetric_and_binary(self):
+        coo = COOMatrix((4, 4), np.array([0, 1, 2]), np.array([1, 2, 0]))
+        symm = coo.symmetrize()
+        dense = symm.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+        assert set(np.unique(dense)) <= {0.0, 1.0}
+
+    def test_symmetrize_empty(self):
+        symm = COOMatrix.empty((3, 3)).symmetrize()
+        assert symm.nnz == 0
+
+    def test_transpose(self):
+        mat = random_scipy(5, 8, 0.4, 3)
+        coo = COOMatrix.from_scipy(mat)
+        np.testing.assert_allclose(coo.transpose().to_dense(), mat.T.toarray())
+
+    def test_to_csr_matches_scipy(self):
+        mat = random_scipy(7, 7, 0.3, 5)
+        csr = COOMatrix.from_scipy(mat).to_csr()
+        np.testing.assert_allclose(csr.to_dense(), mat.toarray())
+
+
+# ----------------------------------------------------------------------
+# CSRMatrix
+# ----------------------------------------------------------------------
+class TestCSRMatrixConstruction:
+    def test_from_scipy_round_trip(self):
+        mat = random_scipy(8, 11, 0.3, 1)
+        ours = CSRMatrix.from_scipy(mat)
+        assert ours.nnz == mat.nnz
+        np.testing.assert_allclose(ours.to_scipy().toarray(), mat.toarray())
+
+    def test_from_dense(self):
+        dense = np.array([[1.0, 0.0], [0.0, 2.0], [3.0, 0.0]])
+        ours = CSRMatrix.from_dense(dense)
+        assert ours.nnz == 3
+        np.testing.assert_allclose(ours.to_dense(), dense)
+
+    def test_from_coo_arrays_sums_duplicates(self):
+        ours = CSRMatrix.from_coo_arrays((2, 2), np.array([0, 0]),
+                                         np.array([1, 1]), np.array([1.0, 2.0]))
+        np.testing.assert_allclose(ours.to_dense(), [[0.0, 3.0], [0.0, 0.0]])
+
+    def test_eye_and_zeros(self):
+        eye = CSRMatrix.eye(4, value=2.0)
+        np.testing.assert_allclose(eye.to_dense(), 2.0 * np.eye(4))
+        zeros = CSRMatrix.zeros((3, 5))
+        assert zeros.nnz == 0 and zeros.shape == (3, 5)
+
+    def test_validation_rejects_bad_indptr(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 2]), np.array([0, 1]),
+                      np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 2, 1]), np.array([0, 1]),
+                      np.array([1.0, 1.0]))
+
+    def test_validation_rejects_bad_indices(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1, 2]), np.array([0, 2]),
+                      np.array([1.0, 1.0]))
+
+
+class TestCSRMatrixCompute:
+    @pytest.fixture()
+    def mat(self):
+        return random_scipy(10, 7, 0.35, 9)
+
+    def test_spmm_matches_scipy(self, mat):
+        ours = CSRMatrix.from_scipy(mat)
+        h = np.random.default_rng(2).normal(size=(7, 5))
+        np.testing.assert_allclose(ours.spmm(h), mat @ h, atol=1e-12)
+        np.testing.assert_allclose(ours @ h, mat @ h, atol=1e-12)
+
+    def test_spmv_matches_scipy(self, mat):
+        ours = CSRMatrix.from_scipy(mat)
+        x = np.random.default_rng(2).normal(size=7)
+        np.testing.assert_allclose(ours.spmv(x), mat @ x, atol=1e-12)
+        np.testing.assert_allclose(ours @ x, mat @ x, atol=1e-12)
+
+    def test_spmm_shape_check(self, mat):
+        ours = CSRMatrix.from_scipy(mat)
+        with pytest.raises(ValueError):
+            ours.spmm(np.ones((6, 2)))
+        with pytest.raises(ValueError):
+            ours.spmv(np.ones(6))
+
+    def test_sparse_sparse_matmul_rejected(self, mat):
+        ours = CSRMatrix.from_scipy(mat)
+        with pytest.raises(TypeError):
+            ours @ ours
+
+    def test_transpose(self, mat):
+        ours = CSRMatrix.from_scipy(mat)
+        np.testing.assert_allclose(ours.T.to_dense(), mat.T.toarray())
+
+    def test_row_slice(self, mat):
+        ours = CSRMatrix.from_scipy(mat)
+        np.testing.assert_allclose(ours.row_slice(2, 7).to_dense(),
+                                   mat[2:7].toarray())
+
+    def test_column_select(self, mat):
+        ours = CSRMatrix.from_scipy(mat)
+        cols = np.array([0, 3, 6])
+        np.testing.assert_allclose(ours.column_select(cols).to_dense(),
+                                   mat[:, cols].toarray())
+
+    def test_nonzero_columns_and_compact(self, mat):
+        ours = CSRMatrix.from_scipy(mat)
+        nz = ours.nonzero_columns()
+        assert np.array_equal(
+            nz, np.flatnonzero(np.asarray((mat != 0).sum(axis=0)).ravel()))
+        compact, kept = ours.compact_columns()
+        np.testing.assert_array_equal(kept, nz)
+        np.testing.assert_allclose(compact.to_dense(), mat[:, nz].toarray())
+
+    def test_compact_multiplication_equivalence(self, mat):
+        """Multiplying the compacted block with the packed rows equals the
+        full multiply — the identity the sparsity-aware algorithm relies on."""
+        ours = CSRMatrix.from_scipy(mat)
+        h = np.random.default_rng(4).normal(size=(7, 3))
+        compact, kept = ours.compact_columns()
+        np.testing.assert_allclose(compact.spmm(h[kept]), ours.spmm(h),
+                                   atol=1e-12)
+
+    def test_permute_symmetric(self):
+        mat = random_scipy(6, 6, 0.4, 11)
+        perm = np.random.default_rng(0).permutation(6)
+        ours = CSRMatrix.from_scipy(mat).permute_symmetric(perm)
+        expected = np.zeros((6, 6))
+        dense = mat.toarray()
+        expected[np.ix_(perm, perm)] = dense
+        np.testing.assert_allclose(ours.to_dense(), expected)
+
+    def test_permute_requires_square(self):
+        ours = CSRMatrix.from_scipy(random_scipy(3, 4, 0.5, 0))
+        with pytest.raises(ValueError):
+            ours.permute_symmetric(np.arange(3))
+
+    def test_scaling(self, mat):
+        ours = CSRMatrix.from_scipy(mat)
+        r = np.arange(1.0, 11.0)
+        c = np.arange(1.0, 8.0)
+        np.testing.assert_allclose(ours.scale_rows(r).to_dense(),
+                                   sp.diags(r) @ mat.toarray())
+        np.testing.assert_allclose(ours.scale_cols(c).to_dense(),
+                                   mat.toarray() @ sp.diags(c))
+
+    def test_scaling_length_checks(self, mat):
+        ours = CSRMatrix.from_scipy(mat)
+        with pytest.raises(ValueError):
+            ours.scale_rows(np.ones(3))
+        with pytest.raises(ValueError):
+            ours.scale_cols(np.ones(3))
+
+    def test_prune(self):
+        dense = np.array([[1.0, 1e-14], [0.0, 2.0]])
+        ours = CSRMatrix.from_dense(dense).prune(tol=1e-10)
+        assert ours.nnz == 2
+
+    def test_diagnostics(self, mat):
+        ours = CSRMatrix.from_scipy(mat)
+        np.testing.assert_array_equal(ours.row_nnz(), np.diff(mat.indptr))
+        assert 0.0 < ours.density < 1.0
+        assert ours.allclose(ours.copy())
+        assert not ours.allclose(CSRMatrix.zeros(ours.shape))
+
+
+# ----------------------------------------------------------------------
+# Graph operations
+# ----------------------------------------------------------------------
+class TestSparseOps:
+    @pytest.fixture()
+    def graph(self):
+        return erdos_renyi_graph(30, avg_degree=5, seed=3)
+
+    def test_degrees(self, graph):
+        ours = CSRMatrix.from_scipy(graph)
+        np.testing.assert_allclose(degrees(ours),
+                                   np.asarray(graph.sum(axis=1)).ravel())
+
+    def test_is_symmetric(self, graph):
+        assert is_symmetric(CSRMatrix.from_scipy(graph))
+        asym = CSRMatrix.from_dense(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        assert not is_symmetric(asym)
+        assert not is_symmetric(CSRMatrix.zeros((2, 3)))
+
+    def test_add_self_loops(self, graph):
+        ours = add_self_loops(CSRMatrix.from_scipy(graph))
+        np.testing.assert_allclose(ours.diagonal(), np.ones(graph.shape[0]))
+
+    def test_gcn_normalize_matches_scipy_version(self, graph):
+        ours = gcn_normalize(CSRMatrix.from_scipy(graph))
+        ref = gcn_normalize_scipy(graph)
+        np.testing.assert_allclose(ours.to_dense(), ref.toarray(), atol=1e-12)
+
+    def test_gcn_normalize_handles_isolated_vertices(self):
+        dense = np.zeros((3, 3))
+        dense[0, 1] = dense[1, 0] = 1.0
+        ours = gcn_normalize(CSRMatrix.from_dense(dense), add_loops=False)
+        assert np.all(np.isfinite(ours.to_dense()))
+
+    def test_row_normalize_rows_sum_to_one(self, graph):
+        ours = row_normalize(CSRMatrix.from_scipy(graph))
+        sums = ours.to_dense().sum(axis=1)
+        deg = np.asarray(graph.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums[deg > 0], 1.0)
+
+    def test_laplacian_row_sums_are_zero(self, graph):
+        lap = laplacian(CSRMatrix.from_scipy(graph))
+        np.testing.assert_allclose(lap.to_dense().sum(axis=1),
+                                   np.zeros(graph.shape[0]), atol=1e-10)
+
+    def test_normalized_laplacian_eigenvalue_range(self, graph):
+        lap = laplacian(CSRMatrix.from_scipy(graph), normalized=True)
+        eigvals = np.linalg.eigvalsh(lap.to_dense())
+        assert eigvals.min() > -1e-8
+        assert eigvals.max() < 2.0 + 1e-8
+
+    def test_shape_checks(self):
+        rect = CSRMatrix.zeros((2, 3))
+        with pytest.raises(ValueError):
+            degrees(rect)
+        with pytest.raises(ValueError):
+            add_self_loops(rect)
+        with pytest.raises(ValueError):
+            row_normalize(rect)
+        with pytest.raises(ValueError):
+            laplacian(rect)

@@ -1,0 +1,290 @@
+"""Unit tests for the raw-array kernels in repro.sparse.kernels.
+
+Every kernel is checked against the corresponding scipy.sparse operation on
+small hand-built and random matrices.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import kernels
+
+
+def random_csr(n_rows, n_cols, density, seed):
+    rng = np.random.default_rng(seed)
+    mat = sp.random(n_rows, n_cols, density=density, random_state=rng,
+                    format="csr")
+    mat.sort_indices()
+    return mat
+
+
+# ----------------------------------------------------------------------
+# Structural helpers
+# ----------------------------------------------------------------------
+class TestExpandCompress:
+    def test_expand_simple(self):
+        indptr = np.array([0, 2, 2, 5])
+        np.testing.assert_array_equal(kernels.expand_indptr(indptr),
+                                      [0, 0, 2, 2, 2])
+
+    def test_expand_empty_matrix(self):
+        np.testing.assert_array_equal(kernels.expand_indptr([0, 0, 0]), [])
+
+    def test_expand_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            kernels.expand_indptr([0, 3, 1])
+
+    def test_compress_round_trip(self):
+        indptr = np.array([0, 1, 1, 4, 6])
+        rows = kernels.expand_indptr(indptr)
+        np.testing.assert_array_equal(kernels.compress_rows(rows, 4), indptr)
+
+    def test_compress_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            kernels.compress_rows(np.array([1, 0]), 2)
+
+    def test_compress_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            kernels.compress_rows(np.array([0, 5]), 3)
+
+
+class TestCooToCsr:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(3)
+        rows = rng.integers(0, 10, size=40)
+        cols = rng.integers(0, 8, size=40)
+        data = rng.normal(size=40)
+        indptr, indices, vals = kernels.coo_to_csr_arrays(10, 8, rows, cols, data)
+        ours = sp.csr_matrix((vals, indices, indptr), shape=(10, 8)).toarray()
+        ref = sp.coo_matrix((data, (rows, cols)), shape=(10, 8)).toarray()
+        np.testing.assert_allclose(ours, ref)
+
+    def test_duplicates_are_summed(self):
+        rows = np.array([0, 0, 1])
+        cols = np.array([1, 1, 0])
+        data = np.array([2.0, 3.0, 1.0])
+        indptr, indices, vals = kernels.coo_to_csr_arrays(2, 2, rows, cols, data)
+        assert indptr.tolist() == [0, 1, 2]
+        assert indices.tolist() == [1, 0]
+        np.testing.assert_allclose(vals, [5.0, 1.0])
+
+    def test_duplicates_kept_when_disabled(self):
+        rows = np.array([0, 0])
+        cols = np.array([1, 1])
+        data = np.array([2.0, 3.0])
+        indptr, indices, vals = kernels.coo_to_csr_arrays(
+            1, 2, rows, cols, data, sum_duplicates=False)
+        assert vals.size == 2
+
+    def test_empty_input(self):
+        indptr, indices, vals = kernels.coo_to_csr_arrays(
+            3, 3, np.array([]), np.array([]), np.array([]))
+        assert indptr.tolist() == [0, 0, 0, 0]
+        assert indices.size == 0 and vals.size == 0
+
+    def test_rejects_out_of_range_rows(self):
+        with pytest.raises(ValueError):
+            kernels.coo_to_csr_arrays(2, 2, np.array([2]), np.array([0]),
+                                      np.array([1.0]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            kernels.coo_to_csr_arrays(2, 2, np.array([0]), np.array([0, 1]),
+                                      np.array([1.0]))
+
+
+# ----------------------------------------------------------------------
+# Multiplication
+# ----------------------------------------------------------------------
+class TestSpMV:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scipy(self, seed):
+        mat = random_csr(12, 9, 0.3, seed)
+        x = np.random.default_rng(seed + 10).normal(size=9)
+        got = kernels.csr_spmv(mat.indptr, mat.indices, mat.data, x)
+        np.testing.assert_allclose(got, mat @ x, atol=1e-12)
+
+    def test_empty_rows_give_zero(self):
+        mat = sp.csr_matrix((3, 4))
+        got = kernels.csr_spmv(mat.indptr, mat.indices, mat.data, np.ones(4))
+        np.testing.assert_array_equal(got, np.zeros(3))
+
+    def test_rejects_matrix_operand(self):
+        mat = random_csr(3, 3, 0.5, 0)
+        with pytest.raises(ValueError):
+            kernels.csr_spmv(mat.indptr, mat.indices, mat.data, np.ones((3, 2)))
+
+
+class TestSpMM:
+    @pytest.mark.parametrize("shape,density,f", [
+        ((10, 10), 0.2, 4), ((15, 7), 0.4, 1), ((6, 20), 0.1, 8),
+    ])
+    def test_matches_scipy(self, shape, density, f):
+        mat = random_csr(shape[0], shape[1], density, 7)
+        h = np.random.default_rng(11).normal(size=(shape[1], f))
+        got = kernels.csr_spmm(mat.indptr, mat.indices, mat.data, h)
+        np.testing.assert_allclose(got, mat @ h, atol=1e-12)
+
+    def test_empty_matrix(self):
+        mat = sp.csr_matrix((4, 5))
+        got = kernels.csr_spmm(mat.indptr, mat.indices, mat.data,
+                               np.ones((5, 3)))
+        np.testing.assert_array_equal(got, np.zeros((4, 3)))
+
+    def test_rejects_vector_operand(self):
+        mat = random_csr(3, 3, 0.5, 0)
+        with pytest.raises(ValueError):
+            kernels.csr_spmm(mat.indptr, mat.indices, mat.data, np.ones(3))
+
+    def test_rejects_short_dense_operand(self):
+        mat = random_csr(4, 6, 0.5, 1)
+        with pytest.raises(ValueError):
+            kernels.csr_spmm(mat.indptr, mat.indices, mat.data,
+                             np.ones((3, 2)))
+
+
+# ----------------------------------------------------------------------
+# Structural transformations
+# ----------------------------------------------------------------------
+class TestTranspose:
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_matches_scipy(self, seed):
+        mat = random_csr(9, 13, 0.25, seed)
+        indptr, indices, data = kernels.csr_transpose_arrays(
+            9, 13, mat.indptr, mat.indices, mat.data)
+        ours = sp.csr_matrix((data, indices, indptr), shape=(13, 9)).toarray()
+        np.testing.assert_allclose(ours, mat.T.toarray())
+
+    def test_double_transpose_is_identity(self):
+        mat = random_csr(8, 8, 0.3, 2)
+        a = kernels.csr_transpose_arrays(8, 8, mat.indptr, mat.indices, mat.data)
+        b = kernels.csr_transpose_arrays(8, 8, *a)
+        ours = sp.csr_matrix((b[2], b[1], b[0]), shape=(8, 8)).toarray()
+        np.testing.assert_allclose(ours, mat.toarray())
+
+
+class TestRowSlice:
+    def test_matches_scipy(self):
+        mat = random_csr(10, 6, 0.4, 4)
+        indptr, indices, data = kernels.csr_row_slice_arrays(
+            mat.indptr, mat.indices, mat.data, 3, 8)
+        ours = sp.csr_matrix((data, indices, indptr), shape=(5, 6)).toarray()
+        np.testing.assert_allclose(ours, mat[3:8].toarray())
+
+    def test_empty_slice(self):
+        mat = random_csr(5, 5, 0.4, 4)
+        indptr, indices, data = kernels.csr_row_slice_arrays(
+            mat.indptr, mat.indices, mat.data, 2, 2)
+        assert indptr.tolist() == [0]
+        assert indices.size == 0
+
+    def test_rejects_bad_range(self):
+        mat = random_csr(5, 5, 0.4, 4)
+        with pytest.raises(ValueError):
+            kernels.csr_row_slice_arrays(mat.indptr, mat.indices, mat.data, 4, 6)
+
+
+class TestColumnSelect:
+    def test_matches_scipy(self):
+        mat = random_csr(8, 10, 0.35, 9)
+        columns = np.array([1, 4, 5, 9])
+        indptr, indices, data = kernels.csr_column_select_arrays(
+            10, mat.indptr, mat.indices, mat.data, columns)
+        ours = sp.csr_matrix((data, indices, indptr), shape=(8, 4)).toarray()
+        np.testing.assert_allclose(ours, mat[:, columns].toarray())
+
+    def test_empty_selection(self):
+        mat = random_csr(4, 6, 0.5, 3)
+        indptr, indices, data = kernels.csr_column_select_arrays(
+            6, mat.indptr, mat.indices, mat.data, np.array([], dtype=np.int64))
+        assert indices.size == 0
+        assert indptr.tolist() == [0, 0, 0, 0, 0]
+
+    def test_rejects_unsorted_columns(self):
+        mat = random_csr(4, 6, 0.5, 3)
+        with pytest.raises(ValueError):
+            kernels.csr_column_select_arrays(
+                6, mat.indptr, mat.indices, mat.data, np.array([3, 1]))
+
+    def test_rejects_out_of_range_columns(self):
+        mat = random_csr(4, 6, 0.5, 3)
+        with pytest.raises(ValueError):
+            kernels.csr_column_select_arrays(
+                6, mat.indptr, mat.indices, mat.data, np.array([6]))
+
+
+class TestSymmetricPermutation:
+    def test_matches_scipy(self):
+        mat = random_csr(7, 7, 0.4, 6)
+        perm = np.random.default_rng(1).permutation(7)
+        indptr, indices, data = kernels.csr_permute_symmetric_arrays(
+            mat.indptr, mat.indices, mat.data, perm)
+        ours = sp.csr_matrix((data, indices, indptr), shape=(7, 7)).toarray()
+        expected = np.zeros((7, 7))
+        dense = mat.toarray()
+        for i in range(7):
+            for j in range(7):
+                expected[perm[i], perm[j]] = dense[i, j]
+        np.testing.assert_allclose(ours, expected)
+
+    def test_identity_permutation(self):
+        mat = random_csr(6, 6, 0.4, 8)
+        out = kernels.csr_permute_symmetric_arrays(
+            mat.indptr, mat.indices, mat.data, np.arange(6))
+        ours = sp.csr_matrix((out[2], out[1], out[0]), shape=(6, 6)).toarray()
+        np.testing.assert_allclose(ours, mat.toarray())
+
+    def test_rejects_non_permutation(self):
+        mat = random_csr(4, 4, 0.4, 8)
+        with pytest.raises(ValueError):
+            kernels.csr_permute_symmetric_arrays(
+                mat.indptr, mat.indices, mat.data, np.array([0, 0, 1, 2]))
+
+
+# ----------------------------------------------------------------------
+# Element-wise / diagnostics
+# ----------------------------------------------------------------------
+class TestDiagnostics:
+    def test_row_and_col_nnz(self):
+        mat = random_csr(9, 5, 0.4, 2)
+        np.testing.assert_array_equal(kernels.csr_row_nnz(mat.indptr),
+                                      np.diff(mat.indptr))
+        np.testing.assert_array_equal(
+            kernels.csr_col_nnz(5, mat.indices),
+            np.asarray((mat != 0).sum(axis=0)).ravel())
+
+    def test_diagonal(self):
+        mat = random_csr(6, 6, 0.5, 5)
+        got = kernels.csr_diagonal(mat.indptr, mat.indices, mat.data, 6)
+        np.testing.assert_allclose(got, mat.diagonal())
+
+    def test_scale_rows_and_cols(self):
+        mat = random_csr(5, 7, 0.5, 5)
+        r = np.arange(1.0, 6.0)
+        c = np.arange(1.0, 8.0)
+        scaled_r = kernels.csr_scale_rows(mat.indptr, mat.data, r)
+        scaled_c = kernels.csr_scale_cols(mat.indices, mat.data, c)
+        np.testing.assert_allclose(
+            sp.csr_matrix((scaled_r, mat.indices, mat.indptr), mat.shape).toarray(),
+            sp.diags(r) @ mat.toarray())
+        np.testing.assert_allclose(
+            sp.csr_matrix((scaled_c, mat.indices, mat.indptr), mat.shape).toarray(),
+            mat.toarray() @ sp.diags(c))
+
+    def test_prune_zeros(self):
+        indptr = np.array([0, 2, 4])
+        indices = np.array([0, 1, 0, 1])
+        data = np.array([1.0, 0.0, 0.0, 2.0])
+        p_indptr, p_indices, p_data = kernels.csr_prune_zeros(indptr, indices, data)
+        assert p_indptr.tolist() == [0, 1, 2]
+        assert p_indices.tolist() == [0, 1]
+        np.testing.assert_allclose(p_data, [1.0, 2.0])
+
+    def test_sort_indices(self):
+        indptr = np.array([0, 3])
+        indices = np.array([2, 0, 1])
+        data = np.array([3.0, 1.0, 2.0])
+        _, s_idx, s_data = kernels.sort_csr_indices(indptr, indices, data)
+        assert s_idx.tolist() == [0, 1, 2]
+        np.testing.assert_allclose(s_data, [1.0, 2.0, 3.0])

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for the from-scratch sparse kernels.
+
+The central invariants:
+
+* every CSRMatrix operation agrees with the scipy.sparse reference on
+  arbitrary random matrices;
+* COO -> CSR -> COO round trips preserve the represented matrix;
+* column compaction followed by packed multiplication equals the full
+  multiplication (the identity sparsity-aware SpMM relies on);
+* the BlockedCSR volume accounting is consistent for arbitrary block
+  boundaries.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import BlockedCSR, COOMatrix, CSRMatrix, gcn_normalize
+from repro.graphs.adjacency import gcn_normalize as gcn_normalize_scipy
+
+SETTINGS = dict(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def random_sparse(draw, max_rows=30, max_cols=30, square=False):
+    n_rows = draw(st.integers(min_value=1, max_value=max_rows))
+    n_cols = n_rows if square else draw(st.integers(min_value=1,
+                                                    max_value=max_cols))
+    density = draw(st.floats(min_value=0.0, max_value=0.4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    mat = sp.random(n_rows, n_cols, density=density, random_state=rng,
+                    format="csr")
+    mat.sort_indices()
+    return mat
+
+
+@st.composite
+def symmetric_graph(draw, max_n=30):
+    mat = draw(random_sparse(max_rows=max_n, square=True))
+    mat = mat + mat.T
+    mat.setdiag(0)
+    mat.eliminate_zeros()
+    mat.sort_indices()
+    return mat.tocsr()
+
+
+# ----------------------------------------------------------------------
+# CSRMatrix vs scipy
+# ----------------------------------------------------------------------
+@settings(**SETTINGS)
+@given(random_sparse(), st.integers(min_value=1, max_value=6),
+       st.integers(min_value=0, max_value=10_000))
+def test_spmm_matches_scipy(mat, f, seed):
+    ours = CSRMatrix.from_scipy(mat)
+    h = np.random.default_rng(seed).normal(size=(mat.shape[1], f))
+    np.testing.assert_allclose(ours.spmm(h), mat @ h, atol=1e-10)
+
+
+@settings(**SETTINGS)
+@given(random_sparse())
+def test_transpose_matches_scipy(mat):
+    ours = CSRMatrix.from_scipy(mat)
+    np.testing.assert_allclose(ours.T.to_dense(), mat.T.toarray(), atol=1e-12)
+
+
+@settings(**SETTINGS)
+@given(random_sparse(), st.integers(min_value=0, max_value=10_000))
+def test_row_slice_matches_scipy(mat, seed):
+    rng = np.random.default_rng(seed)
+    start = int(rng.integers(0, mat.shape[0] + 1))
+    stop = int(rng.integers(start, mat.shape[0] + 1))
+    ours = CSRMatrix.from_scipy(mat).row_slice(start, stop)
+    np.testing.assert_allclose(ours.to_dense(), mat[start:stop].toarray(),
+                               atol=1e-12)
+
+
+@settings(**SETTINGS)
+@given(random_sparse())
+def test_compact_columns_identity(mat):
+    """compact(A) @ H[kept] == A @ H for any H."""
+    ours = CSRMatrix.from_scipy(mat)
+    compact, kept = ours.compact_columns()
+    h = np.random.default_rng(0).normal(size=(mat.shape[1], 3))
+    np.testing.assert_allclose(compact.spmm(h[kept]), mat @ h, atol=1e-10)
+    # Every kept column really has a nonzero; dropped columns are empty.
+    col_nnz = np.asarray((mat != 0).sum(axis=0)).ravel()
+    np.testing.assert_array_equal(kept, np.flatnonzero(col_nnz > 0))
+
+
+@settings(**SETTINGS)
+@given(symmetric_graph(), st.integers(min_value=0, max_value=10_000))
+def test_symmetric_permutation_preserves_spectrum_and_structure(mat, seed):
+    n = mat.shape[0]
+    perm = np.random.default_rng(seed).permutation(n)
+    ours = CSRMatrix.from_scipy(mat).permute_symmetric(perm)
+    assert ours.nnz == mat.nnz
+    # Permuting back recovers the original.
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[perm] = np.arange(n)
+    np.testing.assert_allclose(ours.permute_symmetric(inverse).to_dense(),
+                               mat.toarray(), atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# COO round trips
+# ----------------------------------------------------------------------
+@settings(**SETTINGS)
+@given(random_sparse())
+def test_coo_csr_round_trip(mat):
+    coo = COOMatrix.from_scipy(mat)
+    back = coo.to_csr().to_coo().to_csr()
+    np.testing.assert_allclose(back.to_dense(), mat.toarray(), atol=1e-12)
+
+
+@settings(**SETTINGS)
+@given(symmetric_graph())
+def test_symmetrize_idempotent(mat):
+    coo = COOMatrix.from_scipy(mat)
+    once = coo.symmetrize()
+    twice = once.symmetrize()
+    np.testing.assert_allclose(once.to_dense(), twice.to_dense(), atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# GCN normalisation equivalence
+# ----------------------------------------------------------------------
+@settings(**SETTINGS)
+@given(symmetric_graph())
+def test_gcn_normalize_matches_scipy_implementation(mat):
+    ours = gcn_normalize(CSRMatrix.from_scipy(mat))
+    ref = gcn_normalize_scipy(mat)
+    np.testing.assert_allclose(ours.to_dense(), ref.toarray(), atol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# BlockedCSR invariants
+# ----------------------------------------------------------------------
+@st.composite
+def graph_with_bounds(draw):
+    mat = draw(symmetric_graph())
+    n = mat.shape[0]
+    nblocks = draw(st.integers(min_value=1, max_value=min(5, n)))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    if nblocks > 1 and n > 1:
+        cuts = np.sort(rng.choice(np.arange(1, n), size=min(nblocks - 1, n - 1),
+                                  replace=False))
+    else:
+        cuts = np.array([], dtype=np.int64)
+    bounds = np.concatenate([[0], cuts, [n]]).astype(np.int64)
+    return mat, bounds
+
+
+@settings(**SETTINGS)
+@given(graph_with_bounds(), st.integers(min_value=1, max_value=4))
+def test_blocked_spmm_exact_for_arbitrary_bounds(args, f):
+    mat, bounds = args
+    blocked = BlockedCSR(CSRMatrix.from_scipy(mat), bounds)
+    h = np.random.default_rng(1).normal(size=(mat.shape[0], f))
+    np.testing.assert_allclose(blocked.spmm(h, use_compact=True), mat @ h,
+                               atol=1e-10)
+    np.testing.assert_allclose(blocked.spmm(h, use_compact=False), mat @ h,
+                               atol=1e-10)
+
+
+@settings(**SETTINGS)
+@given(graph_with_bounds())
+def test_blocked_volume_never_exceeds_oblivious(args):
+    mat, bounds = args
+    blocked = BlockedCSR(CSRMatrix.from_scipy(mat), bounds)
+    needed = blocked.needed_rows_matrix()
+    oblivious = blocked.oblivious_rows_matrix()
+    assert np.all(needed <= oblivious)
+    assert np.all(needed >= 0)
+    # Diagonal never counts as communication.
+    assert np.all(np.diag(needed) == 0)
