@@ -11,7 +11,7 @@ kernel time.
 import numpy as np
 
 from repro.bench import bench_scale, format_table
-from repro.comm import SimCommunicator
+from repro.comm import make_communicator
 from repro.core import (BlockRowDistribution, Dist2DSparseMatrix,
                         DistDenseMatrix, DistSparseMatrix, Grid2D, ProcessGrid,
                         spmm_15d_sparsity_aware, spmm_1d_sparsity_aware,
@@ -46,7 +46,7 @@ def run_layout_comparison(scale: float, seed: int = 0):
     permuted, dist = _partitioned(dataset.adjacency, P, seed)
     matrix = DistSparseMatrix(permuted, dist)
     dense = DistDenseMatrix.from_global(h, dist)
-    comm = SimCommunicator(P, machine=MACHINE)
+    comm = make_communicator(P, backend="sim", machine=MACHINE)
     out_1d = spmm_1d_sparsity_aware(matrix, dense, comm)
     np.testing.assert_allclose(out_1d.to_global(), permuted @ h, atol=1e-8)
     stats = comm.stats.summary()
@@ -60,7 +60,7 @@ def run_layout_comparison(scale: float, seed: int = 0):
     matrix15 = DistSparseMatrix(permuted15, dist15)
     dense15 = DistDenseMatrix.from_global(h, dist15)
     grid15 = ProcessGrid(nranks=P, replication=c)
-    comm15 = SimCommunicator(P, machine=MACHINE)
+    comm15 = make_communicator(P, backend="sim", machine=MACHINE)
     out_15d = spmm_15d_sparsity_aware(matrix15, dense15, grid15, comm15)
     np.testing.assert_allclose(out_15d.to_global(), permuted15 @ h, atol=1e-8)
     stats15 = comm15.stats.summary()
@@ -72,7 +72,7 @@ def run_layout_comparison(scale: float, seed: int = 0):
     grid2d = Grid2D(4, 4)
     permuted2d, _ = _partitioned(dataset.adjacency, 4, seed)
     matrix2d = Dist2DSparseMatrix.uniform(permuted2d, grid2d)
-    comm2d = SimCommunicator(P, machine=MACHINE)
+    comm2d = make_communicator(P, backend="sim", machine=MACHINE)
     out_2d = spmm_2d_sparsity_aware(matrix2d, h, grid2d, comm2d)
     np.testing.assert_allclose(out_2d, permuted2d @ h, atol=1e-8)
     stats2d = comm2d.stats.summary()

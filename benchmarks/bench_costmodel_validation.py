@@ -13,7 +13,7 @@ internal consistency the same way:
 import numpy as np
 
 from repro.bench import bench_scale, format_table
-from repro.comm import SimCommunicator
+from repro.comm import make_communicator
 from repro.core import (BlockRowDistribution, DistDenseMatrix, DistSparseMatrix,
                         predicted_bytes_per_spmm, spmm_1d_oblivious,
                         spmm_1d_sparsity_aware, spmm_cost_1d_oblivious,
@@ -41,7 +41,7 @@ def run_validation(scale: float, seed: int = 0):
 
         for label, aware, fn in (("SA", True, spmm_1d_sparsity_aware),
                                  ("CAGNET", False, spmm_1d_oblivious)):
-            comm = SimCommunicator(p, machine=MACHINE)
+            comm = make_communicator(p, backend="sim", machine=MACHINE)
             fn(matrix, dense, comm)
             predicted = predicted_bytes_per_spmm(matrix, F, sparsity_aware=aware)
             measured = comm.events.bytes_sent_by_rank(p)

@@ -7,23 +7,40 @@ trains the paper's 3-layer GCN on 8 simulated GPUs with the sparsity-aware
 sparsity-oblivious CAGNET baseline — the same comparison as Figure 3 of the
 paper, at toy scale.
 
+The distributed runtime is selected through the communicator backend
+factory (``repro.comm.make_communicator``): ``sim`` runs on the
+deterministic alpha-beta simulator, ``threaded`` on real shared-memory
+worker threads (one per rank).  See ``docs/backends.md``.
+
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [backend]     # default: sim
 """
+
+import sys
 
 from repro import DistTrainConfig, load_dataset, train_distributed
 from repro.bench import format_kv
+from repro.comm import available_backends, make_communicator
 
 
 def main() -> None:
+    backend = sys.argv[1] if len(sys.argv) > 1 else "sim"
+    print(f"communicator backends available: {available_backends()}")
+
+    # The factory is the seam every call site goes through; the trainer
+    # builds its communicator the same way from ``DistTrainConfig.backend``.
+    demo = make_communicator(2, backend=backend)
+    print(f"using backend {demo.backend_name!r} ({type(demo).__name__})\n")
+    demo.close()
+
     dataset = load_dataset("reddit", scale=0.2, seed=0)
     print(f"dataset: {dataset.name}  vertices={dataset.n_vertices}  "
           f"edges={dataset.n_edges}  features={dataset.n_features}  "
           f"classes={dataset.n_classes}\n")
 
     common = dict(n_ranks=8, algorithm="1d", epochs=30, learning_rate=0.05,
-                  machine="perlmutter-scaled", seed=0)
+                  machine="perlmutter-scaled", backend=backend, seed=0)
 
     # The paper's approach: sparsity-aware communication + GVB partitioning.
     sparsity_aware = DistTrainConfig(sparsity_aware=True, partitioner="gvb",
@@ -43,7 +60,7 @@ def main() -> None:
         "CAGNET  test accuracy": result_base.test_accuracy,
         "SA+GVB  final loss": result_sa.final_loss,
         "CAGNET  final loss": result_base.final_loss,
-    }, title="results (simulated Perlmutter, 8 GPUs)"))
+    }, title=f"results ({backend} backend, 8 ranks)"))
 
     print()
     print(format_kv(result_sa.breakdown,

@@ -7,15 +7,21 @@ the sparsity-aware algorithm on a GVB-partitioned graph (SA+GVB), swept
 over process counts on one dataset, with the per-epoch timing breakdown
 (local compute / all-to-all / broadcast / all-reduce) that Figure 4 plots.
 
+The sweep runs on any communicator backend from the factory
+(``repro.comm.make_communicator``): ``sim`` gives the paper's simulated
+Perlmutter timings, ``threaded`` measures wall time on real shared-memory
+workers.  See ``docs/backends.md``.
+
 Run with::
 
-    python examples/scaling_study.py [dataset]     # default: protein
+    python examples/scaling_study.py [dataset] [backend]   # default: protein sim
 """
 
 import sys
 
 from repro.bench import (STANDARD_SCHEMES, format_series, format_table,
                          run_scheme_grid, speedup_table)
+from repro.comm import available_backends
 from repro.graphs import load_dataset
 
 P_VALUES = (4, 16, 32)
@@ -25,18 +31,24 @@ SCHEMES = [STANDARD_SCHEMES["CAGNET"], STANDARD_SCHEMES["SA"],
 
 def main() -> None:
     name = sys.argv[1] if len(sys.argv) > 1 else "protein"
+    backend = sys.argv[2] if len(sys.argv) > 2 else "sim"
+    if backend not in available_backends():
+        raise SystemExit(f"unknown backend {backend!r}; "
+                         f"pick one of {available_backends()}")
     dataset = load_dataset(name, scale=0.3, seed=0)
     print(f"dataset: {dataset.name}  vertices={dataset.n_vertices}  "
-          f"edges={dataset.n_edges}  f={dataset.n_features}\n")
+          f"edges={dataset.n_edges}  f={dataset.n_features}  "
+          f"backend={backend}\n")
 
-    rows = run_scheme_grid(dataset, SCHEMES, P_VALUES, epochs=2, seed=0)
+    rows = run_scheme_grid(dataset, SCHEMES, P_VALUES, epochs=2,
+                           backend=backend, seed=0)
 
     print(format_series(rows, group_by="scheme", x="p", y="epoch_time_s",
-                        title="epoch time (s) vs number of simulated GPUs"))
+                        title="epoch time (s) vs number of ranks"))
     print()
     print(format_table(
         rows,
-        columns=["scheme", "p", "epoch_time_s", "time_local_s",
+        columns=["scheme", "backend", "p", "epoch_time_s", "time_local_s",
                  "time_alltoall_s", "time_bcast_s", "time_allreduce_s",
                  "comm_max_MB_per_rank_per_epoch"],
         title="per-epoch breakdown (the stacked bars of Figure 4)"))

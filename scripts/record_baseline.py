@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Record the BENCH_spmm.json performance baseline.
+
+Runs the Figure-3 1D scaling sweep (the same entry point
+``benchmarks/bench_fig3_1d_scaling.py`` benchmarks) on the deterministic
+``sim`` backend and writes the per-configuration simulated epoch times and
+communication volumes to ``BENCH_spmm.json`` at the repository root.
+Because the simulator is deterministic, future PRs can diff their sweep
+against this file to see exactly which (dataset, scheme, p) cells moved.
+
+Usage::
+
+    PYTHONPATH=src python scripts/record_baseline.py [output.json]
+
+Environment overrides (same as the bench suite): ``REPRO_BENCH_SCALE``,
+``REPRO_BENCH_EPOCHS``.
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import bench_epochs, bench_scale, figure3_1d_scaling  # noqa: E402
+
+P_VALUES = (4, 16, 32, 64)
+DATASETS = ("reddit", "amazon", "protein")
+KEEP_COLUMNS = (
+    "dataset", "scheme", "algorithm", "backend", "c", "p", "epoch_time_s",
+    "time_local_s", "time_alltoall_s", "time_bcast_s", "time_allreduce_s",
+    "comm_total_MB_per_epoch", "comm_max_MB_per_rank_per_epoch",
+    "comm_imbalance_pct", "final_loss", "test_accuracy", "skipped",
+)
+
+
+def main() -> int:
+    out_path = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 \
+        else REPO_ROOT / "BENCH_spmm.json"
+    scale, epochs = bench_scale(), bench_epochs()
+    start = time.time()
+    rows = figure3_1d_scaling(datasets=DATASETS, p_values=P_VALUES,
+                              scale=scale, epochs=epochs, backend="sim",
+                              seed=0)
+    wall_s = time.time() - start
+    payload = {
+        "benchmark": "fig3_1d_scaling",
+        "source": "benchmarks/bench_fig3_1d_scaling.py",
+        "backend": "sim",
+        "config": {"datasets": list(DATASETS), "p_values": list(P_VALUES),
+                   "scale": scale, "epochs": epochs, "seed": 0},
+        "recorder_wall_s": round(wall_s, 2),
+        "rows": [
+            {k: row[k] for k in KEEP_COLUMNS if k in row} for row in rows
+        ],
+    }
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    print(f"wrote {len(rows)} rows to {out_path} "
+          f"(scale={scale}, epochs={epochs}, {wall_s:.1f}s wall)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

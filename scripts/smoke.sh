@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# CI smoke target: exercise the end-to-end bench path (dataset generation,
+# partitioning, distributed training, reporting) on the sim backend at tiny
+# scale.  Hard 60 s budget — the run takes ~1 s; anything slower signals a
+# performance regression or a hang in the comm layer.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+timeout 60 python -m repro bench --quick --backend sim

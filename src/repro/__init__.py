@@ -7,9 +7,11 @@ The package is organised as:
   distributed SpMM, the distributed GCN trainer built on them (the paper's
   contribution), the closed-form alpha-beta cost model and the per-rank
   memory/OOM model;
-* :mod:`repro.comm`      — the simulated multi-rank runtime (alpha-beta
-  machine model, network topologies, collectives, per-rank clocks, event
-  log, Chrome-trace export);
+* :mod:`repro.comm`      — pluggable multi-rank communicator backends
+  behind one :class:`~repro.comm.Communicator` interface (deterministic
+  alpha-beta simulation, real shared-memory worker threads; network
+  topologies, collectives, per-rank clocks, event log, Chrome-trace
+  export) — see ``docs/backends.md``;
 * :mod:`repro.sparse`    — from-scratch COO/CSR kernels and blocked NnzCols
   analysis (the cuSPARSE stand-in, independent of scipy);
 * :mod:`repro.partition` — random/block, METIS-like, GVB-like, spectral,
@@ -35,9 +37,11 @@ Quickstart::
     print(result.avg_epoch_time_s, result.test_accuracy)
 """
 
-from .comm import MachineModel, SimCommunicator, perlmutter
+from .comm import (Communicator, MachineModel, available_backends,
+                   make_communicator, perlmutter)
 from .core import (Algorithm, DistTrainConfig, DistTrainResult, DistributedGCN,
-                   ProcessGrid, setup_distributed, single_spmm_volume_table,
+                   ProcessGrid, SpmmEngine, setup_distributed,
+                   single_spmm_volume_table, spmm,
                    spmm_1d_oblivious, spmm_1d_sparsity_aware,
                    spmm_15d_oblivious, spmm_15d_sparsity_aware,
                    train_distributed)
@@ -49,9 +53,11 @@ from .partition import (BlockPartitioner, GVBPartitioner, MetisLikePartitioner,
 __version__ = "1.0.0"
 
 __all__ = [
-    "MachineModel", "SimCommunicator", "perlmutter",
+    "Communicator", "MachineModel", "available_backends", "make_communicator",
+    "perlmutter",
     "Algorithm", "DistTrainConfig", "DistTrainResult", "DistributedGCN",
-    "ProcessGrid", "setup_distributed", "single_spmm_volume_table",
+    "ProcessGrid", "SpmmEngine", "setup_distributed",
+    "single_spmm_volume_table", "spmm",
     "spmm_1d_oblivious", "spmm_1d_sparsity_aware",
     "spmm_15d_oblivious", "spmm_15d_sparsity_aware", "train_distributed",
     "GCNModel", "ReferenceTrainConfig", "train_reference",

@@ -6,10 +6,13 @@ experiments run on scaled-down synthetic stand-ins of the paper's datasets
 (see DESIGN.md); process counts are scaled accordingly.  Two environment
 variables let users trade fidelity for runtime without editing code:
 
-* ``REPRO_BENCH_SCALE``  — dataset scale factor (default ``0.4``);
-* ``REPRO_BENCH_EPOCHS`` — epochs per timing run (default ``2``; the
+* ``REPRO_BENCH_SCALE``   — dataset scale factor (default ``0.4``);
+* ``REPRO_BENCH_EPOCHS``  — epochs per timing run (default ``2``; the
   simulated per-epoch time is deterministic, so a couple of epochs is
-  enough for the timing figures).
+  enough for the timing figures);
+* ``REPRO_BENCH_BACKEND`` — communicator backend (default ``"sim"``; any
+  name from :func:`repro.comm.available_backends`, e.g. ``"threaded"``
+  for real shared-memory workers timed by wall clock).
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ from ..graphs.datasets import dataset_summary, load_dataset
 from .harness import STANDARD_SCHEMES, Scheme, run_scheme_grid
 
 __all__ = [
-    "bench_scale", "bench_epochs",
+    "bench_scale", "bench_epochs", "bench_backend",
     "table2_metis_comm_stats", "table3_dataset_stats",
     "figure3_1d_scaling", "figure4_1d_breakdown", "figure5_papers_breakdown",
     "figure6_partitioner_comparison", "figure7_15d_scaling",
@@ -38,6 +41,11 @@ def bench_scale(default: float = 0.4) -> float:
 def bench_epochs(default: int = 2) -> int:
     """Epochs per timing run (env ``REPRO_BENCH_EPOCHS``)."""
     return int(os.environ.get("REPRO_BENCH_EPOCHS", default))
+
+
+def bench_backend(default: str = "sim") -> str:
+    """Communicator backend used by the benchmarks (env ``REPRO_BENCH_BACKEND``)."""
+    return os.environ.get("REPRO_BENCH_BACKEND", default)
 
 
 # ----------------------------------------------------------------------
@@ -89,17 +97,19 @@ def figure3_1d_scaling(datasets: Sequence[str] = ("reddit", "amazon", "protein")
                        p_values: Sequence[int] = (4, 16, 32, 64),
                        scale: Optional[float] = None,
                        epochs: Optional[int] = None,
+                       backend: Optional[str] = None,
                        seed: int = 0) -> List[Dict[str, object]]:
     """Figure 3: per-epoch time vs process count for CAGNET / SA / SA+GVB."""
     scale = bench_scale() if scale is None else scale
     epochs = bench_epochs() if epochs is None else epochs
+    backend = bench_backend() if backend is None else backend
     schemes = [STANDARD_SCHEMES["CAGNET"], STANDARD_SCHEMES["SA"],
                STANDARD_SCHEMES["SA+GVB"]]
     rows: List[Dict[str, object]] = []
     for name in datasets:
         dataset = load_dataset(name, scale=scale, seed=seed)
         rows.extend(run_scheme_grid(dataset, schemes, p_values,
-                                    epochs=epochs, seed=seed))
+                                    epochs=epochs, backend=backend, seed=seed))
     return rows
 
 
@@ -107,6 +117,7 @@ def figure4_1d_breakdown(datasets: Sequence[str] = ("reddit", "amazon", "protein
                          p_values: Sequence[int] = (16, 64),
                          scale: Optional[float] = None,
                          epochs: Optional[int] = None,
+                         backend: Optional[str] = None,
                          seed: int = 0) -> List[Dict[str, object]]:
     """Figure 4: per-epoch timing breakdown (local / alltoall / bcast).
 
@@ -115,7 +126,8 @@ def figure4_1d_breakdown(datasets: Sequence[str] = ("reddit", "amazon", "protein
     the figure.
     """
     return figure3_1d_scaling(datasets=datasets, p_values=p_values,
-                              scale=scale, epochs=epochs, seed=seed)
+                              scale=scale, epochs=epochs, backend=backend,
+                              seed=seed)
 
 
 # ----------------------------------------------------------------------
@@ -124,6 +136,7 @@ def figure4_1d_breakdown(datasets: Sequence[str] = ("reddit", "amazon", "protein
 def figure5_papers_breakdown(p: int = 16,
                              scale: Optional[float] = None,
                              epochs: Optional[int] = None,
+                             backend: Optional[str] = None,
                              seed: int = 0) -> List[Dict[str, object]]:
     """Figure 5: Papers dataset at p = 16, all three schemes with breakdown.
 
@@ -132,10 +145,12 @@ def figure5_papers_breakdown(p: int = 16,
     """
     scale = bench_scale() if scale is None else scale
     epochs = bench_epochs() if epochs is None else epochs
+    backend = bench_backend() if backend is None else backend
     dataset = load_dataset("papers", scale=scale, seed=seed)
     schemes = [STANDARD_SCHEMES["CAGNET"], STANDARD_SCHEMES["SA"],
                STANDARD_SCHEMES["SA+GVB"]]
-    return run_scheme_grid(dataset, schemes, [p], epochs=epochs, seed=seed)
+    return run_scheme_grid(dataset, schemes, [p], epochs=epochs,
+                           backend=backend, seed=seed)
 
 
 # ----------------------------------------------------------------------
@@ -145,6 +160,7 @@ def figure6_partitioner_comparison(datasets: Sequence[str] = ("amazon", "protein
                                    p_values: Sequence[int] = (4, 16, 32, 64),
                                    scale: Optional[float] = None,
                                    epochs: Optional[int] = None,
+                                   backend: Optional[str] = None,
                                    seed: int = 0) -> List[Dict[str, object]]:
     """Figure 6: SA+GVB vs SA+METIS per-epoch time.
 
@@ -154,12 +170,13 @@ def figure6_partitioner_comparison(datasets: Sequence[str] = ("amazon", "protein
     """
     scale = bench_scale() if scale is None else scale
     epochs = bench_epochs() if epochs is None else epochs
+    backend = bench_backend() if backend is None else backend
     schemes = [STANDARD_SCHEMES["SA+METIS"], STANDARD_SCHEMES["SA+GVB"]]
     rows: List[Dict[str, object]] = []
     for name in datasets:
         dataset = load_dataset(name, scale=scale, seed=seed)
         rows.extend(run_scheme_grid(dataset, schemes, p_values,
-                                    epochs=epochs, seed=seed))
+                                    epochs=epochs, backend=backend, seed=seed))
     return rows
 
 
@@ -171,6 +188,7 @@ def figure7_15d_scaling(datasets: Sequence[str] = ("amazon", "protein"),
                         replication_factors: Sequence[int] = (2, 4),
                         scale: Optional[float] = None,
                         epochs: Optional[int] = None,
+                        backend: Optional[str] = None,
                         seed: int = 0) -> List[Dict[str, object]]:
     """Figure 7: 1.5D per-epoch time for c in {2, 4}.
 
@@ -181,6 +199,7 @@ def figure7_15d_scaling(datasets: Sequence[str] = ("amazon", "protein"),
     """
     scale = bench_scale() if scale is None else scale
     epochs = bench_epochs() if epochs is None else epochs
+    backend = bench_backend() if backend is None else backend
     rows: List[Dict[str, object]] = []
     for name in datasets:
         dataset = load_dataset(name, scale=scale, seed=seed)
@@ -196,7 +215,8 @@ def figure7_15d_scaling(datasets: Sequence[str] = ("amazon", "protein"),
             valid_p = [p for p in p_values
                        if p % c == 0 and (p // c) % c == 0]
             rows.extend(run_scheme_grid(dataset, schemes, valid_p,
-                                        epochs=epochs, seed=seed))
+                                        epochs=epochs, backend=backend,
+                                        seed=seed))
     return rows
 
 
@@ -224,6 +244,7 @@ def ablation_balance_constraint(p: int = 32,
 def ablation_crossover(p_values: Sequence[int] = (2, 4, 8, 16, 32, 64),
                        scale: Optional[float] = None,
                        epochs: Optional[int] = None,
+                       backend: Optional[str] = None,
                        seed: int = 0) -> List[Dict[str, object]]:
     """Where the SA all-to-allv overtakes the oblivious broadcast.
 
@@ -234,6 +255,8 @@ def ablation_crossover(p_values: Sequence[int] = (2, 4, 8, 16, 32, 64),
     """
     scale = bench_scale() if scale is None else scale
     epochs = bench_epochs() if epochs is None else epochs
+    backend = bench_backend() if backend is None else backend
     dataset = load_dataset("protein", scale=scale, seed=seed)
     schemes = [STANDARD_SCHEMES["CAGNET"], STANDARD_SCHEMES["SA"]]
-    return run_scheme_grid(dataset, schemes, p_values, epochs=epochs, seed=seed)
+    return run_scheme_grid(dataset, schemes, p_values, epochs=epochs,
+                           backend=backend, seed=seed)

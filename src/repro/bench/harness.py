@@ -42,7 +42,7 @@ STANDARD_SCHEMES: Dict[str, Scheme] = {
 def run_single(dataset: GraphDataset, scheme: Scheme, n_ranks: int,
                epochs: int = 2, hidden: int = 16, n_layers: int = 3,
                learning_rate: float = 0.05, machine: str = "perlmutter-scaled",
-               seed: int = 0) -> Dict[str, object]:
+               backend: str = "sim", seed: int = 0) -> Dict[str, object]:
     """Run one configuration and flatten the result into a table row."""
     config = DistTrainConfig(
         n_ranks=n_ranks,
@@ -55,6 +55,7 @@ def run_single(dataset: GraphDataset, scheme: Scheme, n_ranks: int,
         epochs=epochs,
         learning_rate=learning_rate,
         machine=machine,
+        backend=backend,
         seed=seed,
     )
     result = train_distributed(dataset, config, eval_every=0)
@@ -63,6 +64,7 @@ def run_single(dataset: GraphDataset, scheme: Scheme, n_ranks: int,
         "dataset": dataset.name,
         "scheme": scheme.label,
         "algorithm": scheme.algorithm,
+        "backend": backend,
         "c": scheme.replication_factor,
         "p": n_ranks,
         "epoch_time_s": result.avg_epoch_time_s,

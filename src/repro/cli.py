@@ -26,6 +26,7 @@ import numpy as np
 
 from . import bench
 from .bench.reporting import format_kv, format_series, format_table
+from .comm.factory import available_backends
 from .comm.machine import PRESETS
 from .core import (DistTrainConfig, estimate_rank_memory, fits_in_memory,
                    spmm_cost_1d_oblivious, spmm_cost_1d_sparsity_aware,
@@ -81,14 +82,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--layers", type=int, default=3)
     p_train.add_argument("--machine", choices=sorted(PRESETS),
                          default="perlmutter-scaled")
+    p_train.add_argument("--backend", choices=available_backends(),
+                         default="sim",
+                         help="communicator backend (sim = deterministic "
+                              "simulation, threaded = real workers)")
 
     p_bench = sub.add_parser("bench", help="regenerate a paper table/figure")
-    p_bench.add_argument("experiment",
+    p_bench.add_argument("experiment", nargs="?", default=None,
                          choices=["table2", "table3", "fig3", "fig4", "fig5",
                                   "fig6", "fig7"])
     p_bench.add_argument("--scale", type=float, default=None)
     p_bench.add_argument("--epochs", type=int, default=None)
     p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--backend", choices=available_backends(),
+                         default=None,
+                         help="communicator backend for the timing runs")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI smoke mode: tiny scale, one epoch, small "
+                              "process counts (defaults to fig3 when no "
+                              "experiment is named)")
 
     p_cost = sub.add_parser("cost", help="cost-model prediction for one SpMM")
     add_dataset_args(p_cost)
@@ -146,6 +158,7 @@ def _cmd_train(args) -> int:
         n_layers=args.layers,
         epochs=args.epochs,
         machine=args.machine,
+        backend=args.backend,
         seed=args.seed,
     )
     result = train_distributed(dataset, config, eval_every=0)
@@ -153,6 +166,7 @@ def _cmd_train(args) -> int:
         "dataset": dataset.name,
         "scheme": config.scheme_label,
         "algorithm": config.algorithm,
+        "backend": config.backend,
         "ranks": config.n_ranks,
         "epochs": config.epochs,
         "avg_epoch_time_s": result.avg_epoch_time_s,
@@ -180,15 +194,43 @@ _BENCH_DISPATCH = {
 
 
 def _cmd_bench(args) -> int:
-    fn, title = _BENCH_DISPATCH[args.experiment]
+    experiment = args.experiment
+    if experiment is None:
+        if not args.quick:
+            raise ValueError(
+                "bench needs an experiment name (or --quick for the smoke run)")
+        experiment = "fig3"
+    fn, title = _BENCH_DISPATCH[experiment]
     kwargs = {"seed": args.seed}
+    timed = experiment not in ("table2", "table3")
+    if not timed and args.backend is not None:
+        raise ValueError(
+            f"--backend has no effect on {experiment} (a static analysis "
+            f"that runs no distributed training)")
     if args.scale is not None:
         kwargs["scale"] = args.scale
-    if args.epochs is not None and args.experiment not in ("table2", "table3"):
+    if args.epochs is not None and timed:
         kwargs["epochs"] = args.epochs
+    if args.backend is not None:
+        kwargs["backend"] = args.backend
+    if args.quick:
+        # CI smoke settings: tiny stand-ins, one epoch, small p sweeps.
+        kwargs.setdefault("scale", 0.05)
+        if timed:
+            kwargs.setdefault("epochs", 1)
+            if experiment in ("fig3", "fig4", "fig6"):
+                kwargs["p_values"] = (2, 4)
+                kwargs["datasets"] = ("reddit",)
+            elif experiment == "fig5":
+                kwargs["p"] = 4
+            elif experiment == "fig7":
+                kwargs["p_values"] = (4, 8)
+                kwargs["replication_factors"] = (2,)
+                kwargs["datasets"] = ("protein",)
+        title += " [quick smoke]"
     rows = fn(**kwargs)
     print(format_table(rows, title=title))
-    if args.experiment in ("fig3", "fig6", "fig7"):
+    if experiment in ("fig3", "fig6", "fig7"):
         print()
         print(format_series(rows, group_by="scheme", x="p", y="epoch_time_s",
                             title="epoch time per scheme"))

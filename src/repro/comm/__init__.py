@@ -1,22 +1,34 @@
-"""Simulated distributed communication substrate.
+"""Pluggable distributed communication substrate.
 
-This package replaces the paper's PyTorch + NCCL + Perlmutter stack with a
-deterministic simulator:
+This package replaces the paper's PyTorch + NCCL + Perlmutter stack with
+swappable communicator backends behind one abstract interface:
 
+* :mod:`repro.comm.base`        — the :class:`Communicator` ABC every
+  distributed algorithm in :mod:`repro.core` is written against,
+* :mod:`repro.comm.simulator`   — :class:`SimCommunicator`, deterministic
+  alpha-beta simulation (the reproduction's benchmark backend),
+* :mod:`repro.comm.threaded`    — :class:`ThreadedCommunicator`, real
+  shared-memory execution with one worker thread per rank,
+* :mod:`repro.comm.factory`     — :func:`make_communicator` /
+  :func:`register_backend`, the backend registry call sites go through,
 * :mod:`repro.comm.machine`     — alpha-beta machine models (Perlmutter preset),
 * :mod:`repro.comm.events`      — per-message event log,
 * :mod:`repro.comm.timeline`    — per-rank clocks and category attribution,
 * :mod:`repro.comm.collectives` — cost formulas for collectives,
-* :mod:`repro.comm.simulator`   — the :class:`SimCommunicator` used by all
-  distributed algorithms in :mod:`repro.core`,
 * :mod:`repro.comm.tracker`     — volume/timing statistics used by the
   benchmark harness.
+
+See ``docs/backends.md`` for how to pick a backend and how to add one.
 """
 
+from .base import Communicator, payload_nbytes, reduce_stack
 from .events import CommEvent, EventLog
+from .factory import (BACKENDS, available_backends, make_communicator,
+                      register_backend)
 from .machine import (MachineModel, PRESETS, get_machine, laptop, perlmutter,
                       perlmutter_scaled)
 from .simulator import SimCommunicator
+from .threaded import ThreadedCommunicator
 from .timeline import Timeline, WAIT_CATEGORY
 from .topology import (DragonflyTopology, FatTreeTopology, FlatTopology,
                        NetworkTopology, TOPOLOGIES, TopologyMachine,
@@ -26,6 +38,14 @@ from .trace import (OverlapReport, chrome_trace, overlap_analysis,
 from .tracker import CommStats, VolumeStats, volume_stats_from_send_bytes
 
 __all__ = [
+    "Communicator",
+    "payload_nbytes",
+    "reduce_stack",
+    "BACKENDS",
+    "available_backends",
+    "make_communicator",
+    "register_backend",
+    "ThreadedCommunicator",
     "CommEvent",
     "EventLog",
     "MachineModel",

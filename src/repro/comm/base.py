@@ -1,0 +1,359 @@
+"""Abstract communicator interface shared by every backend.
+
+:class:`Communicator` is the seam between the distributed algorithms in
+:mod:`repro.core` and whatever actually moves the data.  The paper's stack
+(PyTorch distributed + NCCL on Perlmutter) is one possible backend; this
+reproduction ships two:
+
+* :class:`~repro.comm.simulator.SimCommunicator` — deterministic
+  single-process simulation with alpha-beta timing (the original backend),
+* :class:`~repro.comm.threaded.ThreadedCommunicator` — real shared-memory
+  execution on one worker thread per rank.
+
+The interface has four parts:
+
+1. **Collectives** (abstract): :meth:`broadcast`, :meth:`allreduce`,
+   :meth:`allgather`, :meth:`reduce`, :meth:`alltoallv` and the batched
+   point-to-point :meth:`exchange`.  All of them use the *driver* calling
+   convention of the simulator: one call carries every rank's operand and
+   returns every rank's result, indexed by group position.  Backends are
+   free to execute the data movement however they like (simulated clocks,
+   worker threads, real processes) as long as the returned values are
+   bitwise identical — the integration tests assert exactly that.
+2. **Rank / group queries**: :attr:`nranks`, :meth:`ranks`,
+   :meth:`_resolve_ranks` (group validation shared by all backends).
+3. **Accounting hooks**: :meth:`charge_spmm`, :meth:`charge_gemm`,
+   :meth:`charge_elementwise`, :meth:`charge_seconds`.  Algorithms call
+   these to attribute local compute; simulation backends turn them into
+   simulated clock advances, real backends may ignore them (wall time
+   already elapsed) — the base implementation is a no-op.
+4. **Execution**: :meth:`parallel_for` runs one closure per rank.  The base
+   implementation executes sequentially in rank order (what the simulator
+   needs for determinism); real backends dispatch each closure to the
+   owning rank's worker so the SpMM compute genuinely runs in parallel.
+
+Every backend owns an :class:`~repro.comm.events.EventLog` (per-message
+volume ground truth) and a :class:`~repro.comm.timeline.Timeline` (per-rank
+clocks — simulated or wall), so the reporting surface (:attr:`stats`,
+:meth:`elapsed`, :meth:`breakdown`, :meth:`stats_summary`) is uniform
+across backends and the benchmark harness does not care which one ran.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .events import EventLog
+from .timeline import Timeline
+from .tracker import CommStats
+
+__all__ = ["Communicator", "payload_nbytes", "reduce_stack"]
+
+
+def payload_nbytes(value) -> int:
+    """Payload size of a message in bytes (0 for ``None``)."""
+    if value is None:
+        return 0
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if np.isscalar(value):
+        return int(np.asarray(value).nbytes)
+    # Fallback for small python objects (index lists etc.)
+    arr = np.asarray(value)
+    return int(arr.nbytes)
+
+
+def reduce_stack(arrays: Sequence[np.ndarray], op: str,
+                 force_float64: bool = False) -> np.ndarray:
+    """Element-wise reduction used by ``allreduce`` / ``reduce``.
+
+    Centralised so that every backend reduces in exactly the same order
+    with exactly the same dtype coercion — that is what makes results
+    bitwise identical across backends.
+    """
+    if force_float64:
+        stacked = np.stack([np.asarray(a, dtype=np.float64) for a in arrays])
+    else:
+        stacked = np.stack([np.asarray(a, dtype=np.float64)
+                            if np.asarray(a).dtype.kind != "f"
+                            else np.asarray(a) for a in arrays])
+    if op == "sum":
+        return stacked.sum(axis=0)
+    if op == "max":
+        return stacked.max(axis=0)
+    if op == "min":
+        return stacked.min(axis=0)
+    raise ValueError(f"unsupported reduction op {op!r}")
+
+
+class Communicator(abc.ABC):
+    """Abstract multi-rank communicator (see the module docstring)."""
+
+    #: Registry name of the backend ("sim", "threaded", ...); subclasses
+    #: override.  Used in reports and error messages only.
+    backend_name: str = "abstract"
+
+    def __init__(self, nranks: int) -> None:
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = nranks
+        self.events = EventLog()
+        self.timeline = Timeline(nranks)
+
+    # ------------------------------------------------------------------
+    # Rank / group queries
+    # ------------------------------------------------------------------
+    def ranks(self) -> range:
+        """All global rank ids of this communicator."""
+        return range(self.nranks)
+
+    def _resolve_ranks(self, ranks: Optional[Sequence[int]]) -> List[int]:
+        """Validate a rank group (default: all ranks)."""
+        if ranks is None:
+            return list(range(self.nranks))
+        ranks = list(ranks)
+        if len(set(ranks)) != len(ranks):
+            raise ValueError(f"duplicate ranks in group: {ranks}")
+        for r in ranks:
+            if not (0 <= r < self.nranks):
+                raise ValueError(f"rank {r} out of range [0, {self.nranks})")
+        return ranks
+
+    # ------------------------------------------------------------------
+    # Shared operand validation (identical across backends)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_alltoallv_send(send, group: Sequence[int]) -> None:
+        p = len(group)
+        if len(send) != p:
+            raise ValueError(f"send has {len(send)} rows for a group of {p}")
+        for i, row in enumerate(send):
+            if len(row) != p:
+                raise ValueError(
+                    f"send[{i}] has {len(row)} entries for a group of {p}")
+
+    @staticmethod
+    def _check_root(root: int, group: Sequence[int]) -> None:
+        if root not in group:
+            raise ValueError(f"root rank {root} not in group {list(group)}")
+
+    @staticmethod
+    def _check_allreduce_arrays(arrays, group: Sequence[int], op: str) -> None:
+        p = len(group)
+        if len(arrays) != p:
+            raise ValueError(f"{len(arrays)} arrays for a group of {p}")
+        shapes = {np.asarray(a).shape for a in arrays}
+        if len(shapes) != 1:
+            raise ValueError(
+                f"allreduce arrays must share a shape, got {shapes}")
+        if op not in ("sum", "max", "min"):
+            raise ValueError(f"unsupported allreduce op {op!r}")
+
+    @staticmethod
+    def _check_allgather_arrays(arrays, group: Sequence[int]) -> None:
+        if len(arrays) != len(group):
+            raise ValueError(
+                f"{len(arrays)} arrays for a group of {len(group)}")
+
+    @staticmethod
+    def _check_reduce_arrays(arrays, group: Sequence[int], op: str) -> None:
+        if len(arrays) != len(group):
+            raise ValueError(
+                f"{len(arrays)} arrays for a group of {len(group)}")
+        if op not in ("sum", "max"):
+            raise ValueError(f"unsupported reduce op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Shared volume accounting (identical event streams across backends,
+    # so Table-2 style statistics do not depend on the backend)
+    # ------------------------------------------------------------------
+    def _record_alltoallv_events(self, send, group: Sequence[int],
+                                 category: str) -> List[List[int]]:
+        """Log one message per off-diagonal payload; returns the byte matrix."""
+        p = len(group)
+        step = self.events.next_step()
+        send_bytes = [[payload_nbytes(send[i][j]) if i != j else 0
+                       for j in range(p)] for i in range(p)]
+        for i in range(p):
+            for j in range(p):
+                if i != j and send_bytes[i][j] > 0:
+                    self.events.record_message(
+                        "alltoallv", group[i], group[j],
+                        send_bytes[i][j], category, step)
+        return send_bytes
+
+    def _record_broadcast_events(self, nbytes: int, root: int,
+                                 group: Sequence[int], category: str) -> None:
+        step = self.events.next_step()
+        for r in group:
+            if r != root and nbytes > 0:
+                self.events.record_message("bcast", root, r, nbytes,
+                                           category, step)
+
+    def _record_allreduce_events(self, nbytes: int, group: Sequence[int],
+                                 category: str) -> None:
+        # Ring all-reduce: each rank sends ~2*(p-1)/p of the buffer; we log
+        # it as one message to each ring neighbour for volume accounting.
+        p = len(group)
+        step = self.events.next_step()
+        if p > 1 and nbytes > 0:
+            per_neighbor = int(round(nbytes * (p - 1) / p))
+            for idx, r in enumerate(group):
+                nxt = group[(idx + 1) % p]
+                self.events.record_message("allreduce", r, nxt,
+                                           2 * per_neighbor, category, step)
+
+    def _record_allgather_events(self, arrays, group: Sequence[int],
+                                 category: str) -> None:
+        step = self.events.next_step()
+        for i, r in enumerate(group):
+            nb = payload_nbytes(arrays[i])
+            for s in group:
+                if s != r and nb > 0:
+                    self.events.record_message("allgather", r, s, nb,
+                                               category, step)
+
+    def _record_reduce_events(self, nbytes: int, root: int,
+                              group: Sequence[int], category: str) -> None:
+        step = self.events.next_step()
+        for r in group:
+            if r != root and nbytes > 0:
+                self.events.record_message("reduce", r, root, nbytes,
+                                           category, step)
+
+    # ------------------------------------------------------------------
+    # Accounting hooks (no-ops by default; simulation backends override)
+    # ------------------------------------------------------------------
+    def charge_spmm(self, rank: int, flops: float,
+                    category: str = "local") -> float:
+        """Attribute a local sparse-dense multiply of ``flops`` to ``rank``."""
+        return 0.0
+
+    def charge_gemm(self, rank: int, flops: float,
+                    category: str = "local") -> float:
+        """Attribute a local dense GEMM of ``flops`` to ``rank``."""
+        return 0.0
+
+    def charge_elementwise(self, rank: int, nelements: float,
+                           category: str = "local") -> float:
+        """Attribute an element-wise kernel over ``nelements`` to ``rank``."""
+        return 0.0
+
+    def charge_seconds(self, rank: int, seconds: float,
+                       category: str = "local") -> float:
+        """Attribute a pre-computed number of seconds to ``rank``."""
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def parallel_for(self, tasks: Sequence[Callable[[], None]],
+                     ranks: Optional[Sequence[int]] = None,
+                     category: str = "local") -> None:
+        """Run ``tasks[k]`` as rank ``ranks[k]``'s local work.
+
+        The base implementation executes sequentially in group order —
+        correct for simulation backends, whose clocks are advanced by the
+        ``charge_*`` hooks the tasks call.  Real backends override this to
+        dispatch each task to the owning rank's worker.
+        """
+        group = self._resolve_ranks(ranks)
+        if len(tasks) != len(group):
+            raise ValueError(
+                f"{len(tasks)} tasks for a group of {len(group)} ranks")
+        for task in tasks:
+            task()
+
+    def barrier(self, ranks: Optional[Sequence[int]] = None) -> float:
+        """Synchronise a group of ranks; returns the synchronised time."""
+        return self.timeline.synchronize(self._resolve_ranks(ranks))
+
+    # ------------------------------------------------------------------
+    # Collectives (abstract)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def alltoallv(self,
+                  send: Sequence[Sequence[Optional[np.ndarray]]],
+                  ranks: Optional[Sequence[int]] = None,
+                  category: str = "alltoall",
+                  ) -> List[List[Optional[np.ndarray]]]:
+        """Personalised all-to-all: ``recv[i][j]`` is what member ``i``
+        received from member ``j`` (``send[j][i]``)."""
+
+    @abc.abstractmethod
+    def broadcast(self, value: np.ndarray, root: int,
+                  ranks: Optional[Sequence[int]] = None,
+                  category: str = "bcast") -> List[np.ndarray]:
+        """Broadcast ``value`` from global rank ``root`` to the group."""
+
+    @abc.abstractmethod
+    def allreduce(self, arrays: Sequence[np.ndarray],
+                  ranks: Optional[Sequence[int]] = None,
+                  op: str = "sum",
+                  category: str = "allreduce") -> List[np.ndarray]:
+        """Element-wise reduction delivered to every group member."""
+
+    @abc.abstractmethod
+    def allgather(self, arrays: Sequence[np.ndarray],
+                  ranks: Optional[Sequence[int]] = None,
+                  category: str = "allgather") -> List[List[np.ndarray]]:
+        """Every member receives every member's contribution."""
+
+    @abc.abstractmethod
+    def reduce(self, arrays: Sequence[np.ndarray], root: int,
+               ranks: Optional[Sequence[int]] = None,
+               op: str = "sum",
+               category: str = "reduce") -> List[Optional[np.ndarray]]:
+        """Rooted reduction; only the root's result slot is non-None."""
+
+    @abc.abstractmethod
+    def exchange(self,
+                 messages: Sequence[Tuple[int, int, np.ndarray]],
+                 category: str = "p2p",
+                 sync_ranks: Optional[Sequence[int]] = None,
+                 ) -> Dict[Tuple[int, int], np.ndarray]:
+        """Deliver a batch of ``(src, dst, payload)`` point-to-point
+        messages; returns a dict keyed by ``(src, dst)``."""
+
+    # ------------------------------------------------------------------
+    # Reporting (uniform across backends)
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CommStats:
+        """Aggregated statistics view over this communicator's history."""
+        return CommStats(self.nranks, self.events, self.timeline)
+
+    def stats_summary(self) -> Dict[str, float]:
+        """Flat summary dict (volume + timing) for benchmark rows."""
+        return self.stats.summary()
+
+    def elapsed(self) -> float:
+        """Makespan so far: the maximum rank clock (simulated or wall)."""
+        return self.timeline.elapsed()
+
+    def breakdown(self, reduce: str = "max",
+                  include_wait: bool = False) -> Dict[str, float]:
+        """Per-category time summary across ranks."""
+        return self.timeline.breakdown(reduce=reduce, include_wait=include_wait)
+
+    def reset(self) -> None:
+        """Clear clocks and the event log."""
+        self.events.clear()
+        self.timeline.reset()
+
+    def close(self) -> None:
+        """Release backend resources (worker threads etc.); idempotent."""
+
+    def __enter__(self) -> "Communicator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(nranks={self.nranks})"

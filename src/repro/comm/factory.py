@@ -1,0 +1,77 @@
+"""Communicator backend registry and factory.
+
+Call sites never instantiate a concrete communicator class; they ask the
+factory for one by name::
+
+    from repro.comm import make_communicator
+
+    comm = make_communicator(8)                       # sim backend
+    comm = make_communicator(8, backend="threaded")   # real worker threads
+
+New backends (process-based, MPI, GPU models, ...) plug in through
+:func:`register_backend` without touching any call site — this is the seam
+the ROADMAP's multi-backend scaling work builds on (see
+``docs/backends.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import Communicator
+from .simulator import SimCommunicator
+from .threaded import ThreadedCommunicator
+
+__all__ = ["BACKENDS", "available_backends", "make_communicator",
+           "register_backend"]
+
+#: name -> factory callable ``(nranks, **kwargs) -> Communicator``.
+BACKENDS: Dict[str, Callable[..., Communicator]] = {}
+
+
+def register_backend(name: str,
+                     factory: Callable[..., Communicator],
+                     overwrite: bool = False) -> None:
+    """Register a communicator backend under ``name``.
+
+    ``factory`` must accept ``nranks`` as its first positional argument and
+    tolerate a ``machine`` keyword (ignore it if meaningless for the
+    backend) so that configuration objects can be backend-agnostic.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    if name in BACKENDS and not overwrite:
+        raise ValueError(f"backend {name!r} is already registered")
+    BACKENDS[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Names of all registered communicator backends."""
+    return sorted(BACKENDS)
+
+
+def make_communicator(nranks: int, backend: str = "sim",
+                      **kwargs) -> Communicator:
+    """Build a communicator for ``nranks`` ranks on the named backend.
+
+    Parameters
+    ----------
+    nranks:
+        Number of ranks (simulated clocks or real workers).
+    backend:
+        Registered backend name; see :func:`available_backends`.
+    **kwargs:
+        Forwarded to the backend factory (e.g. ``machine="perlmutter"``
+        for the simulator; real backends ignore the machine model).
+    """
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown communicator backend {backend!r}; "
+            f"available: {available_backends()}") from None
+    return factory(nranks, **kwargs)
+
+
+register_backend("sim", SimCommunicator)
+register_backend("threaded", ThreadedCommunicator)

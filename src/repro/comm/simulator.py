@@ -1,11 +1,13 @@
 """Simulated multi-rank communicator.
 
-:class:`SimCommunicator` is the substitute for ``torch.distributed`` + NCCL
-on Perlmutter in the original paper.  It executes real data movement (NumPy
-arrays are physically handed from the sending rank's data structures to the
-receiving rank's), while charging simulated time to per-rank clocks using
-the machine's alpha-beta model.  The operations provided mirror exactly the
-ones the paper's algorithms need:
+:class:`SimCommunicator` is the simulation backend of the
+:class:`~repro.comm.base.Communicator` interface — the substitute for
+``torch.distributed`` + NCCL on Perlmutter in the original paper.  It
+executes real data movement (NumPy arrays are physically handed from the
+sending rank's data structures to the receiving rank's), while charging
+simulated time to per-rank clocks using the machine's alpha-beta model.
+The operations provided mirror exactly the ones the paper's algorithms
+need:
 
 * ``alltoallv``           — sparsity-aware 1D row exchange (Algorithm 1),
 * ``broadcast``           — sparsity-oblivious (CAGNET) block-row broadcast,
@@ -17,7 +19,8 @@ ones the paper's algorithms need:
 
 The communicator is *deterministic*: given the same inputs it produces the
 same data and the same simulated times, which makes the reproduction's
-benchmark tables stable.
+benchmark tables stable.  Construct it directly or via
+``repro.comm.make_communicator(nranks, backend="sim")``.
 """
 
 from __future__ import annotations
@@ -27,62 +30,21 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from . import collectives as coll
-from .events import EventLog
+from .base import Communicator, payload_nbytes as _nbytes, reduce_stack
 from .machine import MachineModel, get_machine
-from .timeline import Timeline
-from .tracker import CommStats
 
 __all__ = ["SimCommunicator"]
 
 
-def _nbytes(value) -> int:
-    """Payload size of a message in bytes."""
-    if value is None:
-        return 0
-    if isinstance(value, np.ndarray):
-        return int(value.nbytes)
-    if isinstance(value, (bytes, bytearray)):
-        return len(value)
-    if np.isscalar(value):
-        return int(np.asarray(value).nbytes)
-    # Fallback for small python objects (index lists etc.)
-    arr = np.asarray(value)
-    return int(arr.nbytes)
-
-
-class SimCommunicator:
+class SimCommunicator(Communicator):
     """Bulk-synchronous simulated communicator over ``nranks`` ranks."""
+
+    backend_name = "sim"
 
     def __init__(self, nranks: int,
                  machine: "str | MachineModel" = "perlmutter") -> None:
-        if nranks <= 0:
-            raise ValueError(f"nranks must be positive, got {nranks}")
-        self.nranks = nranks
+        super().__init__(nranks)
         self.machine = get_machine(machine)
-        self.events = EventLog()
-        self.timeline = Timeline(nranks)
-
-    # ------------------------------------------------------------------
-    @property
-    def stats(self) -> CommStats:
-        """Aggregated statistics view over this communicator's history."""
-        return CommStats(self.nranks, self.events, self.timeline)
-
-    def reset(self) -> None:
-        """Clear clocks and the event log (keeps the machine model)."""
-        self.events.clear()
-        self.timeline.reset()
-
-    def _resolve_ranks(self, ranks: Optional[Sequence[int]]) -> List[int]:
-        if ranks is None:
-            return list(range(self.nranks))
-        ranks = list(ranks)
-        if len(set(ranks)) != len(ranks):
-            raise ValueError(f"duplicate ranks in group: {ranks}")
-        for r in ranks:
-            if not (0 <= r < self.nranks):
-                raise ValueError(f"rank {r} out of range [0, {self.nranks})")
-        return ranks
 
     # ------------------------------------------------------------------
     # Local compute charging
@@ -112,10 +74,6 @@ class SimCommunicator:
         self.timeline.advance(rank, seconds, category)
         return seconds
 
-    def barrier(self, ranks: Optional[Sequence[int]] = None) -> float:
-        """Synchronise a group of ranks (time goes to the wait category)."""
-        return self.timeline.synchronize(self._resolve_ranks(ranks))
-
     # ------------------------------------------------------------------
     # Collectives
     # ------------------------------------------------------------------
@@ -133,22 +91,8 @@ class SimCommunicator:
         """
         group = self._resolve_ranks(ranks)
         p = len(group)
-        if len(send) != p:
-            raise ValueError(f"send has {len(send)} rows for a group of {p}")
-        for i, row in enumerate(send):
-            if len(row) != p:
-                raise ValueError(
-                    f"send[{i}] has {len(row)} entries for a group of {p}")
-
-        step = self.events.next_step()
-        send_bytes = [[_nbytes(send[i][j]) if i != j else 0 for j in range(p)]
-                      for i in range(p)]
-        for i in range(p):
-            for j in range(p):
-                if i != j and send_bytes[i][j] > 0:
-                    self.events.record_message(
-                        "alltoallv", group[i], group[j],
-                        send_bytes[i][j], category, step)
+        self._check_alltoallv_send(send, group)
+        send_bytes = self._record_alltoallv_events(send, group, category)
 
         times = coll.alltoallv_time_per_rank(self.machine, group, send_bytes)
         self.timeline.advance_all(times, category, ranks=group)
@@ -168,14 +112,9 @@ class SimCommunicator:
         separate buffers each process would own).
         """
         group = self._resolve_ranks(ranks)
-        if root not in group:
-            raise ValueError(f"root rank {root} not in group {group}")
+        self._check_root(root, group)
         nbytes = _nbytes(value)
-        step = self.events.next_step()
-        for r in group:
-            if r != root and nbytes > 0:
-                self.events.record_message("bcast", root, r, nbytes,
-                                           category, step)
+        self._record_broadcast_events(nbytes, root, group, category)
         t = coll.broadcast_time(self.machine, group, nbytes)
         self.timeline.advance_all([t] * len(group), category, ranks=group)
         self.timeline.synchronize(group)
@@ -199,34 +138,11 @@ class SimCommunicator:
         """
         group = self._resolve_ranks(ranks)
         p = len(group)
-        if len(arrays) != p:
-            raise ValueError(f"{len(arrays)} arrays for a group of {p}")
-        shapes = {np.asarray(a).shape for a in arrays}
-        if len(shapes) != 1:
-            raise ValueError(f"allreduce arrays must share a shape, got {shapes}")
-
-        stacked = np.stack([np.asarray(a, dtype=np.float64) if
-                            np.asarray(a).dtype.kind != "f"
-                            else np.asarray(a) for a in arrays])
-        if op == "sum":
-            result = stacked.sum(axis=0)
-        elif op == "max":
-            result = stacked.max(axis=0)
-        elif op == "min":
-            result = stacked.min(axis=0)
-        else:
-            raise ValueError(f"unsupported allreduce op {op!r}")
+        self._check_allreduce_arrays(arrays, group, op)
+        result = reduce_stack(arrays, op)
 
         nbytes = _nbytes(arrays[0])
-        step = self.events.next_step()
-        # Ring all-reduce: each rank sends ~2*(p-1)/p of the buffer; we log
-        # it as one message to each ring neighbour for volume accounting.
-        if p > 1 and nbytes > 0:
-            per_neighbor = int(round(nbytes * (p - 1) / p))
-            for idx, r in enumerate(group):
-                nxt = group[(idx + 1) % p]
-                self.events.record_message("allreduce", r, nxt,
-                                           2 * per_neighbor, category, step)
+        self._record_allreduce_events(nbytes, group, category)
         t = coll.allreduce_time(self.machine, group, nbytes)
         self.timeline.advance_all([t] * p, category, ranks=group)
         self.timeline.synchronize(group)
@@ -239,16 +155,9 @@ class SimCommunicator:
         """All-gather: every member receives every member's contribution."""
         group = self._resolve_ranks(ranks)
         p = len(arrays)
-        if p != len(group):
-            raise ValueError(f"{p} arrays for a group of {len(group)}")
+        self._check_allgather_arrays(arrays, group)
         max_nbytes = max((_nbytes(a) for a in arrays), default=0)
-        step = self.events.next_step()
-        for i, r in enumerate(group):
-            nb = _nbytes(arrays[i])
-            for s in group:
-                if s != r and nb > 0:
-                    self.events.record_message("allgather", r, s, nb,
-                                               category, step)
+        self._record_allgather_events(arrays, group, category)
         t = coll.allgather_time(self.machine, group, max_nbytes)
         self.timeline.advance_all([t] * len(group), category, ranks=group)
         self.timeline.synchronize(group)
@@ -262,24 +171,12 @@ class SimCommunicator:
                category: str = "reduce") -> List[Optional[np.ndarray]]:
         """Rooted reduction; only the root's slot of the result is non-None."""
         group = self._resolve_ranks(ranks)
-        if root not in group:
-            raise ValueError(f"root rank {root} not in group {group}")
         p = len(group)
-        if len(arrays) != p:
-            raise ValueError(f"{len(arrays)} arrays for a group of {p}")
-        stacked = np.stack([np.asarray(a, dtype=np.float64) for a in arrays])
-        if op == "sum":
-            result = stacked.sum(axis=0)
-        elif op == "max":
-            result = stacked.max(axis=0)
-        else:
-            raise ValueError(f"unsupported reduce op {op!r}")
+        self._check_root(root, group)
+        self._check_reduce_arrays(arrays, group, op)
+        result = reduce_stack(arrays, op, force_float64=True)
         nbytes = _nbytes(arrays[0])
-        step = self.events.next_step()
-        for r in group:
-            if r != root and nbytes > 0:
-                self.events.record_message("reduce", r, root, nbytes,
-                                           category, step)
+        self._record_reduce_events(nbytes, root, group, category)
         t = coll.reduce_time(self.machine, group, nbytes)
         self.timeline.advance_all([t] * p, category, ranks=group)
         self.timeline.synchronize(group)

@@ -1,0 +1,417 @@
+"""Real shared-memory communicator: one worker thread per rank.
+
+:class:`ThreadedCommunicator` is the first *real* (non-simulated) backend
+of the :class:`~repro.comm.base.Communicator` interface.  Each rank owns a
+persistent daemon worker thread with a task queue; collectives move NumPy
+arrays through per-rank mailbox queues and rendezvous on a genuine
+``threading.Barrier``, and :meth:`parallel_for` dispatches each rank's
+compute closure to the owning rank's worker — so the distributed SpMM
+algorithms in :mod:`repro.core` execute on actual parallel workers (NumPy
+releases the GIL inside its BLAS/sparse kernels) rather than only in
+simulation.
+
+Determinism / equivalence guarantees (asserted by the integration tests):
+
+* reductions use the shared :func:`~repro.comm.base.reduce_stack` helper,
+  summing contributions in group order — bitwise identical to the
+  simulator backend;
+* every rank's compute closure touches only that rank's output slots, so
+  concurrent execution cannot reorder arithmetic.
+
+Timing is **wall-clock**: collectives and ``parallel_for`` advance the
+shared :class:`~repro.comm.timeline.Timeline` by measured durations (the
+``charge_*`` hooks are no-ops here — the time they would model has really
+elapsed).  Volume accounting reuses the same
+:class:`~repro.comm.events.EventLog` as the simulator, so Table-2 style
+statistics remain available.
+
+Workers are started lazily on first use and torn down by :meth:`close`
+(also called by ``__del__`` and the context-manager protocol).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import Communicator, payload_nbytes as _nbytes, reduce_stack
+
+__all__ = ["ThreadedCommunicator"]
+
+#: Default safety net so a backend bug surfaces as an error instead of a
+#: hang.  Override per instance with ``ThreadedCommunicator(timeout_s=...)``
+#: when individual rank tasks legitimately run longer (large real graphs).
+DEFAULT_TIMEOUT_S = 600.0
+
+
+class _TaskResult:
+    """Completion handle for one task submitted to a rank worker."""
+
+    __slots__ = ("done", "error", "seconds")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.error: Optional[BaseException] = None
+        self.seconds = 0.0
+
+    def wait(self, timeout_s: float) -> float:
+        if not self.done.wait(timeout_s):
+            raise RuntimeError("rank worker did not finish within "
+                               f"{timeout_s}s (deadlock?)")
+        if self.error is not None:
+            raise self.error
+        return self.seconds
+
+
+class _RankWorker(threading.Thread):
+    """Persistent worker executing one rank's tasks in submission order."""
+
+    def __init__(self, rank: int) -> None:
+        super().__init__(name=f"comm-rank-{rank}", daemon=True)
+        self.rank = rank
+        self.tasks: "queue.Queue[Optional[Tuple[Callable[[], None], _TaskResult, Optional[threading.Barrier]]]]" = \
+            queue.Queue()
+
+    def submit(self, fn: Callable[[], None],
+               abort_gate: Optional[threading.Barrier] = None) -> _TaskResult:
+        result = _TaskResult()
+        self.tasks.put((fn, result, abort_gate))
+        return result
+
+    def run(self) -> None:
+        while True:
+            item = self.tasks.get()
+            if item is None:
+                return
+            fn, result, abort_gate = item
+            start = time.perf_counter()
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - reraised in driver
+                result.error = exc
+                if abort_gate is not None:
+                    # Fail fast: release siblings parked at this collective's
+                    # barrier instead of letting them run into the watchdog.
+                    abort_gate.abort()
+            finally:
+                result.seconds = time.perf_counter() - start
+                result.done.set()
+
+
+class ThreadedCommunicator(Communicator):
+    """Shared-memory backend: per-rank worker threads + mailbox queues."""
+
+    backend_name = "threaded"
+
+    def __init__(self, nranks: int, machine=None,
+                 timeout_s: float = DEFAULT_TIMEOUT_S) -> None:
+        # ``machine`` is accepted (and ignored) so the factory can pass the
+        # same keyword arguments to every backend; wall time needs no model.
+        super().__init__(nranks)
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        self.timeout_s = timeout_s
+        self._workers: Optional[List[_RankWorker]] = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Worker management
+    # ------------------------------------------------------------------
+    def _ensure_workers(self) -> List[_RankWorker]:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("communicator is closed")
+            if self._workers is None:
+                self._workers = [_RankWorker(r) for r in range(self.nranks)]
+                for w in self._workers:
+                    w.start()
+            return self._workers
+
+    def close(self) -> None:
+        with self._lock:
+            workers, self._workers = self._workers, None
+            self._closed = True
+        if workers:
+            for w in workers:
+                w.tasks.put(None)
+            for w in workers:
+                w.join(timeout=5.0)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # SPMD step execution
+    # ------------------------------------------------------------------
+    def _run_step(self, group: Sequence[int],
+                  fns: Sequence[Callable[[], None]],
+                  category: str, per_rank_time: bool = False,
+                  gate: Optional[threading.Barrier] = None) -> None:
+        """Run ``fns[k]`` on rank ``group[k]``'s worker and wait for all.
+
+        With ``per_rank_time`` each rank's clock advances by its own task
+        duration (local compute); otherwise all group clocks advance by the
+        wall duration of the whole step (bulk-synchronous collective).
+        ``gate`` is the collective's rendezvous barrier, if any: a task that
+        raises aborts it so sibling tasks fail promptly instead of stalling.
+        """
+        workers = self._ensure_workers()
+        start = time.perf_counter()
+        results = [workers[r].submit(fn, abort_gate=gate)
+                   for r, fn in zip(group, fns)]
+        errors: List[BaseException] = []
+        seconds: List[float] = []
+        for res in results:
+            try:
+                seconds.append(res.wait(self.timeout_s))
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+                seconds.append(0.0)
+        if errors:
+            # Prefer the root cause over the broken-barrier fallout it caused.
+            real = [e for e in errors
+                    if not isinstance(e, threading.BrokenBarrierError)]
+            raise (real or errors)[0]
+        if per_rank_time:
+            self.timeline.advance_all(seconds, category, ranks=group)
+        else:
+            dt = time.perf_counter() - start
+            self.timeline.advance_all([dt] * len(group), category, ranks=group)
+            self.timeline.synchronize(group)
+
+    def parallel_for(self, tasks: Sequence[Callable[[], None]],
+                     ranks: Optional[Sequence[int]] = None,
+                     category: str = "local") -> None:
+        """Dispatch each task to the owning rank's worker thread."""
+        group = self._resolve_ranks(ranks)
+        if len(tasks) != len(group):
+            raise ValueError(
+                f"{len(tasks)} tasks for a group of {len(group)} ranks")
+        self._run_step(group, tasks, category, per_rank_time=True)
+
+    def barrier(self, ranks: Optional[Sequence[int]] = None) -> float:
+        """Real rendezvous of the group's workers + clock synchronisation."""
+        group = self._resolve_ranks(ranks)
+        gate = threading.Barrier(len(group))
+        self._run_step(group, [lambda: gate.wait(self.timeout_s)
+                               for _ in group], "wait")
+        return self.timeline.synchronize(group)
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def alltoallv(self,
+                  send: Sequence[Sequence[Optional[np.ndarray]]],
+                  ranks: Optional[Sequence[int]] = None,
+                  category: str = "alltoall",
+                  ) -> List[List[Optional[np.ndarray]]]:
+        group = self._resolve_ranks(ranks)
+        p = len(group)
+        self._check_alltoallv_send(send, group)
+        self._record_alltoallv_events(send, group, category)
+
+        mailboxes = [queue.Queue() for _ in range(p)]
+        expected = [sum(1 for j in range(p)
+                        if j != i and send[j][i] is not None)
+                    for i in range(p)]
+        recv: List[List[Optional[np.ndarray]]] = [
+            [None] * p for _ in range(p)]
+        gate = threading.Barrier(p) if p else None
+
+        def make_member(i: int) -> Callable[[], None]:
+            def task() -> None:
+                for j in range(p):
+                    if j != i and send[i][j] is not None:
+                        mailboxes[j].put((i, send[i][j]))
+                recv[i][i] = send[i][i]
+                for _ in range(expected[i]):
+                    j, payload = mailboxes[i].get(timeout=self.timeout_s)
+                    recv[i][j] = payload
+                gate.wait(self.timeout_s)
+            return task
+
+        self._run_step(group, [make_member(i) for i in range(p)], category,
+                       gate=gate)
+        return recv
+
+    def broadcast(self, value: np.ndarray, root: int,
+                  ranks: Optional[Sequence[int]] = None,
+                  category: str = "bcast") -> List[np.ndarray]:
+        group = self._resolve_ranks(ranks)
+        self._check_root(root, group)
+        p = len(group)
+        self._record_broadcast_events(_nbytes(value), root, group, category)
+
+        mailboxes = {r: queue.Queue() for r in group if r != root}
+        out: List[Optional[np.ndarray]] = [None] * p
+        gate = threading.Barrier(p)
+
+        def make_member(pos: int, r: int) -> Callable[[], None]:
+            def task() -> None:
+                if r == root:
+                    for box in mailboxes.values():
+                        box.put(value)
+                    out[pos] = value
+                else:
+                    received = mailboxes[r].get(timeout=self.timeout_s)
+                    out[pos] = np.array(received, copy=True)
+                gate.wait(self.timeout_s)
+            return task
+
+        self._run_step(group, [make_member(pos, r)
+                               for pos, r in enumerate(group)], category,
+                       gate=gate)
+        return out  # type: ignore[return-value]
+
+    def allreduce(self, arrays: Sequence[np.ndarray],
+                  ranks: Optional[Sequence[int]] = None,
+                  op: str = "sum",
+                  category: str = "allreduce") -> List[np.ndarray]:
+        group = self._resolve_ranks(ranks)
+        p = len(group)
+        self._check_allreduce_arrays(arrays, group, op)
+        self._record_allreduce_events(_nbytes(arrays[0]), group, category)
+
+        inbox: "queue.Queue" = queue.Queue()
+        outboxes = [queue.Queue() for _ in range(p)]
+        out: List[Optional[np.ndarray]] = [None] * p
+        gate = threading.Barrier(p)
+
+        def make_member(pos: int) -> Callable[[], None]:
+            def task() -> None:
+                inbox.put((pos, arrays[pos]))
+                if pos == 0:
+                    contribs: List[Optional[np.ndarray]] = [None] * p
+                    for _ in range(p):
+                        k, a = inbox.get(timeout=self.timeout_s)
+                        contribs[k] = a
+                    result = reduce_stack(contribs, op)
+                    for other in range(1, p):
+                        outboxes[other].put(result)
+                    out[0] = result
+                else:
+                    result = outboxes[pos].get(timeout=self.timeout_s)
+                    out[pos] = result.copy()
+                gate.wait(self.timeout_s)
+            return task
+
+        self._run_step(group, [make_member(pos) for pos in range(p)], category,
+                       gate=gate)
+        return out  # type: ignore[return-value]
+
+    def allgather(self, arrays: Sequence[np.ndarray],
+                  ranks: Optional[Sequence[int]] = None,
+                  category: str = "allgather") -> List[List[np.ndarray]]:
+        group = self._resolve_ranks(ranks)
+        p = len(arrays)
+        self._check_allgather_arrays(arrays, group)
+        self._record_allgather_events(arrays, group, category)
+
+        mailboxes = [queue.Queue() for _ in range(p)]
+        out: List[List[Optional[np.ndarray]]] = [[None] * p for _ in range(p)]
+        gate = threading.Barrier(p)
+
+        def make_member(i: int) -> Callable[[], None]:
+            def task() -> None:
+                for j in range(p):
+                    if j != i:
+                        mailboxes[j].put((i, arrays[i]))
+                out[i][i] = arrays[i]
+                for _ in range(p - 1):
+                    j, a = mailboxes[i].get(timeout=self.timeout_s)
+                    out[i][j] = np.array(a, copy=True)
+                gate.wait(self.timeout_s)
+            return task
+
+        self._run_step(group, [make_member(i) for i in range(p)], category,
+                       gate=gate)
+        return out  # type: ignore[return-value]
+
+    def reduce(self, arrays: Sequence[np.ndarray], root: int,
+               ranks: Optional[Sequence[int]] = None,
+               op: str = "sum",
+               category: str = "reduce") -> List[Optional[np.ndarray]]:
+        group = self._resolve_ranks(ranks)
+        p = len(group)
+        self._check_root(root, group)
+        self._check_reduce_arrays(arrays, group, op)
+        self._record_reduce_events(_nbytes(arrays[0]), root, group, category)
+
+        inbox: "queue.Queue" = queue.Queue()
+        out: List[Optional[np.ndarray]] = [None] * p
+        gate = threading.Barrier(p)
+
+        def make_member(pos: int, r: int) -> Callable[[], None]:
+            def task() -> None:
+                inbox.put((pos, arrays[pos]))
+                if r == root:
+                    contribs: List[Optional[np.ndarray]] = [None] * p
+                    for _ in range(p):
+                        k, a = inbox.get(timeout=self.timeout_s)
+                        contribs[k] = a
+                    out[pos] = reduce_stack(contribs, op, force_float64=True)
+                gate.wait(self.timeout_s)
+            return task
+
+        self._run_step(group, [make_member(pos, r)
+                               for pos, r in enumerate(group)], category,
+                       gate=gate)
+        return out
+
+    # ------------------------------------------------------------------
+    # Point-to-point batches
+    # ------------------------------------------------------------------
+    def exchange(self,
+                 messages: Sequence[Tuple[int, int, np.ndarray]],
+                 category: str = "p2p",
+                 sync_ranks: Optional[Sequence[int]] = None,
+                 ) -> Dict[Tuple[int, int], np.ndarray]:
+        step = self.events.next_step()
+        involved = set()
+        outgoing: Dict[int, List[Tuple[int, int, np.ndarray]]] = {}
+        expected: Dict[int, int] = {}
+        delivered: Dict[Tuple[int, int], np.ndarray] = {}
+        for src, dst, payload in messages:
+            if not (0 <= src < self.nranks and 0 <= dst < self.nranks):
+                raise ValueError(f"message ranks ({src}, {dst}) out of range")
+            involved.add(src)
+            involved.add(dst)
+            if src == dst or _nbytes(payload) == 0:
+                delivered[(src, dst)] = payload
+                continue
+            self.events.record_message("p2p", src, dst, _nbytes(payload),
+                                       category, step)
+            outgoing.setdefault(src, []).append((src, dst, payload))
+            expected[dst] = expected.get(dst, 0) + 1
+
+        # Every sender and receiver must participate for delivery to
+        # complete, even when the caller names a narrower sync group.
+        group = sorted(involved) if sync_ranks is None \
+            else sorted(set(self._resolve_ranks(sync_ranks)) | involved)
+        if not group:
+            return delivered
+        mailboxes = {r: queue.Queue() for r in group}
+        gate = threading.Barrier(len(group))
+
+        def make_member(r: int) -> Callable[[], None]:
+            def task() -> None:
+                for src, dst, payload in outgoing.get(r, ()):
+                    mailboxes[dst].put((src, dst, payload))
+                for _ in range(expected.get(r, 0)):
+                    src, dst, payload = mailboxes[r].get(
+                        timeout=self.timeout_s)
+                    delivered[(src, dst)] = payload
+                gate.wait(self.timeout_s)
+            return task
+
+        self._run_step(group, [make_member(r) for r in group], category,
+                       gate=gate)
+        return delivered

@@ -12,6 +12,8 @@ from .costmodel import (CommCostBreakdown, best_replication_factor,
                         spmm_cost_1d_oblivious, spmm_cost_1d_sparsity_aware)
 from .dist_gcn import DistLayerCache, DistributedGCN
 from .dist_matrix import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
+from .engine import (SpmmEngine, SpmmReport, SpmmVariant,
+                     available_spmm_variants, get_spmm, register_spmm, spmm)
 from .memory import (MemoryEstimate, estimate_rank_memory,
                      feasible_process_counts, fits_in_memory)
 from .nnzcols import BlockColumnInfo, nnz_columns_per_block, split_block_row
@@ -32,6 +34,8 @@ __all__ = [
     "spmm_cost_15d_oblivious", "spmm_cost_15d_sparsity_aware",
     "DistLayerCache", "DistributedGCN",
     "BlockRowDistribution", "DistDenseMatrix", "DistSparseMatrix",
+    "SpmmEngine", "SpmmReport", "SpmmVariant", "available_spmm_variants",
+    "get_spmm", "register_spmm", "spmm",
     "MemoryEstimate", "estimate_rank_memory", "feasible_process_counts",
     "fits_in_memory",
     "BlockColumnInfo", "nnz_columns_per_block", "split_block_row",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from ..comm.factory import available_backends
 from ..comm.machine import MachineModel
 
 __all__ = ["Algorithm", "DistTrainConfig"]
@@ -46,7 +47,12 @@ class DistTrainConfig:
     epochs / learning_rate:
         Training loop hyper-parameters (paper: 100 epochs).
     machine:
-        Machine preset name or a :class:`~repro.comm.MachineModel`.
+        Machine preset name or a :class:`~repro.comm.MachineModel` (used by
+        simulation backends; real backends measure wall time and ignore it).
+    backend:
+        Communicator backend name from :func:`repro.comm.available_backends`
+        (``"sim"`` for the deterministic simulator, ``"threaded"`` for real
+        shared-memory workers).
     seed:
         Seed shared by weight init, partitioner tie-breaking and dataset
         generation helpers.
@@ -64,12 +70,17 @@ class DistTrainConfig:
     epochs: int = 100
     learning_rate: float = 0.05
     machine: Union[str, MachineModel] = "perlmutter"
+    backend: str = "sim"
     seed: int = 0
     normalize_adjacency: bool = True
 
     def __post_init__(self) -> None:
         if self.n_ranks <= 0:
             raise ValueError("n_ranks must be positive")
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"unknown communicator backend {self.backend!r}; "
+                f"available: {available_backends()}")
         if self.algorithm not in ALGORITHMS:
             raise ValueError(
                 f"algorithm must be one of {ALGORITHMS}, got {self.algorithm!r}")

@@ -1,9 +1,11 @@
-"""Distributed full-graph GCN training on the simulated runtime.
+"""Distributed full-graph GCN training on the pluggable comm runtime.
 
 :class:`DistributedGCN` performs exactly the arithmetic of the reference
 model in :mod:`repro.gcn` with the two SpMMs per layer (forward propagation
 and input-gradient computation) replaced by the distributed 1D / 1.5D,
-sparsity-oblivious / sparsity-aware algorithms of the paper.  Activations,
+sparsity-oblivious / sparsity-aware algorithms of the paper, dispatched
+through the :class:`~repro.core.engine.SpmmEngine` on any
+:class:`~repro.comm.base.Communicator` backend (simulated or real).  Activations,
 losses and weight updates are computed on the simulated ranks that own the
 corresponding block rows, with weight gradients combined by a small
 all-reduce (the lower-order term of the paper's analysis).
@@ -22,14 +24,14 @@ from typing import List, Optional, Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from ..comm.simulator import SimCommunicator
+from ..comm.base import Communicator
 from ..gcn.activations import get_activation
 from ..gcn.init import init_weights
 from ..gcn.loss import softmax
 from .config import Algorithm
 from .dist_matrix import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
-from .spmm_1d import spmm_1d_oblivious, spmm_1d_sparsity_aware
-from .spmm_15d import ProcessGrid, spmm_15d_oblivious, spmm_15d_sparsity_aware
+from .engine import SpmmEngine
+from .spmm_15d import ProcessGrid
 
 __all__ = ["DistLayerCache", "DistributedGCN"]
 
@@ -59,7 +61,8 @@ class DistributedGCN:
     layer_dims:
         ``[f_0, ..., f_L]`` layer widths.
     comm:
-        The simulated communicator (``P`` ranks).
+        Any :class:`~repro.comm.base.Communicator` backend (``P`` ranks)
+        from :func:`repro.comm.make_communicator`.
     algorithm / sparsity_aware / grid:
         Which distributed SpMM variant to run.
     seed:
@@ -73,7 +76,7 @@ class DistributedGCN:
                  labels: np.ndarray,
                  train_mask: np.ndarray,
                  layer_dims: Sequence[int],
-                 comm: SimCommunicator,
+                 comm: Communicator,
                  algorithm: str = Algorithm.ONE_D,
                  sparsity_aware: bool = True,
                  grid: Optional[ProcessGrid] = None,
@@ -105,6 +108,8 @@ class DistributedGCN:
         else:
             raise ValueError(f"unknown algorithm {algorithm!r}")
         self.grid = grid
+        self._engine = SpmmEngine(comm, algorithm=algorithm,
+                                  sparsity_aware=sparsity_aware, grid=grid)
 
         self.layer_dims = [int(d) for d in layer_dims]
         if self.layer_dims[0] != features_dist.width:
@@ -153,20 +158,31 @@ class DistributedGCN:
         lo, hi = self.dist.block_range(block)
         return slice(lo, hi)
 
+    def _parallel_over_blocks(self, make_task) -> None:
+        """Run one task per block row on the block's lead owner rank.
+
+        Under the simulator this executes sequentially (time comes from the
+        ``charge_*`` hooks inside the tasks, attributed to every replica);
+        real backends run the dense per-block math on the owning workers so
+        its wall time lands on the timeline.
+        """
+        leads = [self._owners_of_block(b)[0]
+                 for b in range(self.dist.nblocks)]
+        self.comm.parallel_for(
+            [make_task(b) for b in range(self.dist.nblocks)],
+            ranks=leads, category="local")
+
     # ------------------------------------------------------------------
     # distributed SpMM dispatch
     # ------------------------------------------------------------------
+    @property
+    def engine(self) -> SpmmEngine:
+        """The engine dispatching this model's distributed SpMMs."""
+        return self._engine
+
     def spmm(self, dense: DistDenseMatrix) -> DistDenseMatrix:
         """``A^T @ dense`` with the configured distributed algorithm."""
-        if self.algorithm == Algorithm.ONE_D:
-            if self.sparsity_aware:
-                return spmm_1d_sparsity_aware(self.adjacency, dense, self.comm)
-            return spmm_1d_oblivious(self.adjacency, dense, self.comm)
-        assert self.grid is not None
-        if self.sparsity_aware:
-            return spmm_15d_sparsity_aware(self.adjacency, dense, self.grid,
-                                           self.comm)
-        return spmm_15d_oblivious(self.adjacency, dense, self.grid, self.comm)
+        return self._engine.run(self.adjacency, dense)
 
     # ------------------------------------------------------------------
     # forward / backward
@@ -178,17 +194,23 @@ class DistributedGCN:
         for l, weight in enumerate(self.weights):
             act, _ = self._activations[l]
             propagated = self.spmm(h)                       # A H^{l-1}
-            z_blocks = []
-            h_blocks = []
-            for block in range(self.dist.nblocks):
-                rows = self.dist.block_size(block)
-                z_b = propagated.block(block) @ weight      # (A H) W
-                self._charge_blockwise_gemm(rows, weight.shape[0],
-                                            weight.shape[1], block)
-                h_b = act(z_b)
-                self._charge_blockwise_elementwise(z_b.size, block)
-                z_blocks.append(z_b)
-                h_blocks.append(h_b)
+            z_blocks: List[np.ndarray] = [None] * self.dist.nblocks
+            h_blocks: List[np.ndarray] = [None] * self.dist.nblocks
+
+            def make_task(block, weight=weight, act=act,
+                          propagated=propagated):
+                def task() -> None:
+                    rows = self.dist.block_size(block)
+                    z_b = propagated.block(block) @ weight  # (A H) W
+                    self._charge_blockwise_gemm(rows, weight.shape[0],
+                                                weight.shape[1], block)
+                    h_b = act(z_b)
+                    self._charge_blockwise_elementwise(z_b.size, block)
+                    z_blocks[block] = z_b
+                    h_blocks[block] = h_b
+                return task
+
+            self._parallel_over_blocks(make_task)
             z = DistDenseMatrix(z_blocks, self.dist)
             h_out = DistDenseMatrix(h_blocks, self.dist)
             caches.append(DistLayerCache(h_in=h, z=z, h_out=h_out))
@@ -202,27 +224,32 @@ class DistributedGCN:
         The scalar loss is combined with a tiny all-reduce (a lower-order
         term, as the paper notes for the ``f x f`` reductions).
         """
-        local_losses = []
-        grad_blocks = []
-        for block in range(self.dist.nblocks):
-            sl = self._block_slice(block)
-            z = logits.block(block)
-            labels = self.labels[sl]
-            mask = self.train_mask[sl]
-            probs = softmax(z)
-            grad = probs.copy()
-            idx = np.flatnonzero(mask)
-            if idx.size:
-                picked = probs[idx, labels[idx]]
-                local = float(-np.log(np.clip(picked, 1e-12, None)).sum())
-                grad[idx, labels[idx]] -= 1.0
-            else:
-                local = 0.0
-            grad[~mask] = 0.0
-            grad /= self.n_train
-            local_losses.append(np.array([local]))
-            grad_blocks.append(grad)
-            self._charge_blockwise_elementwise(z.size * 2, block)
+        local_losses: List[np.ndarray] = [None] * self.dist.nblocks
+        grad_blocks: List[np.ndarray] = [None] * self.dist.nblocks
+
+        def make_task(block):
+            def task() -> None:
+                sl = self._block_slice(block)
+                z = logits.block(block)
+                labels = self.labels[sl]
+                mask = self.train_mask[sl]
+                probs = softmax(z)
+                grad = probs.copy()
+                idx = np.flatnonzero(mask)
+                if idx.size:
+                    picked = probs[idx, labels[idx]]
+                    local = float(-np.log(np.clip(picked, 1e-12, None)).sum())
+                    grad[idx, labels[idx]] -= 1.0
+                else:
+                    local = 0.0
+                grad[~mask] = 0.0
+                grad /= self.n_train
+                local_losses[block] = np.array([local])
+                grad_blocks[block] = grad
+                self._charge_blockwise_elementwise(z.size * 2, block)
+            return task
+
+        self._parallel_over_blocks(make_task)
 
         # Scalar loss reduction across the owning ranks (replicas contribute
         # once by letting only the first owner of each block participate).
@@ -247,13 +274,18 @@ class DistributedGCN:
             s = self.spmm(grad_z)                           # A G^l
 
             # Local weight-gradient contributions: (H^{l-1}_b)^T S_b
-            local_contribs = []
-            for block in range(self.dist.nblocks):
-                rows = self.dist.block_size(block)
-                contrib = cache.h_in.block(block).T @ s.block(block)
-                self._charge_blockwise_gemm(rows, weight.shape[0],
-                                            weight.shape[1], block)
-                local_contribs.append(contrib)
+            local_contribs: List[np.ndarray] = [None] * self.dist.nblocks
+
+            def make_contrib_task(block, weight=weight, cache=cache, s=s):
+                def task() -> None:
+                    rows = self.dist.block_size(block)
+                    contrib = cache.h_in.block(block).T @ s.block(block)
+                    self._charge_blockwise_gemm(rows, weight.shape[0],
+                                                weight.shape[1], block)
+                    local_contribs[block] = contrib
+                return task
+
+            self._parallel_over_blocks(make_contrib_task)
 
             # All-reduce of the f_in x f_out gradient (lower-order term).
             contributions = [np.zeros_like(weight) for _ in range(self.comm.nranks)]
@@ -266,15 +298,21 @@ class DistributedGCN:
             if l > 0:
                 _, act_grad = self._activations[l - 1]
                 prev_z = caches[l - 1].z
-                next_blocks = []
-                for block in range(self.dist.nblocks):
-                    rows = self.dist.block_size(block)
-                    input_grad = s.block(block) @ weight.T     # A G^l (W^l)^T
-                    self._charge_blockwise_gemm(rows, weight.shape[1],
-                                                weight.shape[0], block)
-                    gz = input_grad * act_grad(prev_z.block(block))
-                    self._charge_blockwise_elementwise(gz.size, block)
-                    next_blocks.append(gz)
+                next_blocks: List[np.ndarray] = [None] * self.dist.nblocks
+
+                def make_grad_task(block, weight=weight, s=s,
+                                   act_grad=act_grad, prev_z=prev_z):
+                    def task() -> None:
+                        rows = self.dist.block_size(block)
+                        input_grad = s.block(block) @ weight.T  # A G^l (W^l)^T
+                        self._charge_blockwise_gemm(rows, weight.shape[1],
+                                                    weight.shape[0], block)
+                        gz = input_grad * act_grad(prev_z.block(block))
+                        self._charge_blockwise_elementwise(gz.size, block)
+                        next_blocks[block] = gz
+                    return task
+
+                self._parallel_over_blocks(make_grad_task)
                 grad_z = DistDenseMatrix(next_blocks, self.dist)
         return grads  # type: ignore[return-value]
 

@@ -1,0 +1,270 @@
+"""Unified distributed-SpMM engine: registry, checks, dispatch, capture.
+
+Before this module existed, every caller (the distributed GCN, the trainer,
+the benchmark harness, the CLI) hard-wired itself to individual functions
+in :mod:`~repro.core.spmm_1d` / :mod:`~repro.core.spmm_15d` /
+:mod:`~repro.core.spmm_2d` and to the concrete simulator class.  The
+engine collapses that duplication into one seam:
+
+* an **algorithm registry** keyed by
+  ``{"1d", "1.5d", "2d"} x {"oblivious", "sparsity_aware"}`` — the
+  algorithm modules self-register via :func:`register_spmm`, and future
+  variants (2.5D, 3D, ...) plug in the same way;
+* **common operand-compatibility checks** (:func:`check_block_operands`,
+  :func:`check_grid_operands`, :func:`check_grid2d_operands`) shared by
+  all algorithm implementations;
+* **dispatch** (:func:`spmm`, :class:`SpmmEngine`) that works with any
+  :class:`~repro.comm.base.Communicator` backend — simulated or real;
+* **common timing/volume capture** (:class:`SpmmReport`,
+  :meth:`SpmmEngine.run_with_report`) so benchmarks measure every variant
+  the same way.
+
+Typical use::
+
+    from repro.comm import make_communicator
+    from repro.core.engine import SpmmEngine
+
+    comm = make_communicator(p, backend="threaded")
+    engine = SpmmEngine(comm, algorithm="1d", sparsity_aware=True)
+    z = engine.run(matrix, dense)          # Z = M H
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..comm.base import Communicator
+
+__all__ = [
+    "MODES", "SpmmEngine", "SpmmReport", "SpmmVariant",
+    "available_spmm_variants", "check_block_operands", "check_grid_operands",
+    "check_grid2d_operands", "get_spmm", "mode_name", "register_spmm", "spmm",
+]
+
+#: The two communication modes the paper compares.
+MODES = ("oblivious", "sparsity_aware")
+
+#: The three distribution families with registered implementations.
+ALGORITHM_FAMILIES = ("1d", "1.5d", "2d")
+
+
+# ----------------------------------------------------------------------
+# Common operand-compatibility checks
+# ----------------------------------------------------------------------
+def check_block_operands(matrix, dense, comm: Communicator) -> None:
+    """1D: operands share a block-row distribution, one block per rank."""
+    if matrix.dist != dense.dist:
+        raise ValueError("sparse and dense operands use different distributions")
+    if matrix.nblocks != comm.nranks:
+        raise ValueError(
+            f"matrix has {matrix.nblocks} block rows but the communicator "
+            f"has {comm.nranks} ranks")
+
+
+def check_grid_operands(matrix, dense, grid, comm: Communicator) -> None:
+    """1.5D: block rows match the grid rows, ranks match the grid size."""
+    if matrix.dist != dense.dist:
+        raise ValueError("sparse and dense operands use different distributions")
+    if matrix.nblocks != grid.nrows:
+        raise ValueError(
+            f"matrix has {matrix.nblocks} block rows but the grid has "
+            f"{grid.nrows} rows")
+    if comm.nranks != grid.nranks:
+        raise ValueError(
+            f"communicator has {comm.nranks} ranks but the grid expects "
+            f"{grid.nranks}")
+
+
+def check_grid2d_operands(matrix, h, grid, comm: Communicator) -> None:
+    """2D: the block grid matches the process grid and the dense operand."""
+    if matrix.row_dist.nblocks != grid.nrows or \
+            matrix.col_dist.nblocks != grid.ncols:
+        raise ValueError("matrix block grid does not match the process grid")
+    if h.shape[0] != matrix.shape[1]:
+        raise ValueError(
+            f"dense operand has {h.shape[0]} rows, expected {matrix.shape[1]}")
+    if comm.nranks != grid.nranks:
+        raise ValueError(
+            f"communicator has {comm.nranks} ranks but the grid expects "
+            f"{grid.nranks}")
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpmmVariant:
+    """One registered (algorithm family, sparsity mode) implementation."""
+
+    algorithm: str
+    mode: str
+    fn: Callable
+    needs_grid: bool
+    description: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.algorithm, self.mode)
+
+
+_REGISTRY: Dict[Tuple[str, str], SpmmVariant] = {}
+
+
+def mode_name(sparsity_aware: bool) -> str:
+    """Registry mode key for a boolean sparsity flag."""
+    return "sparsity_aware" if sparsity_aware else "oblivious"
+
+
+def register_spmm(algorithm: str, mode: str, needs_grid: bool = False,
+                  description: str = "") -> Callable:
+    """Decorator: register an SpMM kernel under ``(algorithm, mode)``.
+
+    Kernels without a grid are called as ``fn(matrix, dense, comm, **kw)``;
+    grid kernels as ``fn(matrix, dense, grid, comm, **kw)``.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+
+    def decorate(fn: Callable) -> Callable:
+        key = (algorithm, mode)
+        if key in _REGISTRY:
+            raise ValueError(f"SpMM variant {key} is already registered")
+        _REGISTRY[key] = SpmmVariant(algorithm=algorithm, mode=mode, fn=fn,
+                                     needs_grid=needs_grid,
+                                     description=description or
+                                     (fn.__doc__ or "").strip().split("\n")[0])
+        return fn
+
+    return decorate
+
+
+def _ensure_algorithms_loaded() -> None:
+    """Import the built-in algorithm modules (they self-register)."""
+    from . import spmm_1d, spmm_15d, spmm_2d  # noqa: F401
+
+
+def available_spmm_variants() -> List[Tuple[str, str]]:
+    """All registered (algorithm, mode) keys, sorted."""
+    _ensure_algorithms_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_spmm(algorithm: str, sparsity_aware: bool = True,
+             mode: Optional[str] = None) -> SpmmVariant:
+    """Look up a registered variant (``mode`` overrides ``sparsity_aware``)."""
+    _ensure_algorithms_loaded()
+    key = (algorithm, mode if mode is not None else mode_name(sparsity_aware))
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"no SpMM variant registered for {key}; "
+            f"available: {sorted(_REGISTRY)}") from None
+
+
+# ----------------------------------------------------------------------
+# Dispatch + capture
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpmmReport:
+    """Timing/volume delta captured around one engine dispatch."""
+
+    algorithm: str
+    mode: str
+    backend: str
+    elapsed_s: float
+    comm_bytes: int
+    messages: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "mode": self.mode,
+            "backend": self.backend,
+            "elapsed_s": self.elapsed_s,
+            "comm_MB": self.comm_bytes / 1e6,
+            "messages": self.messages,
+        }
+
+
+def spmm(matrix, dense, comm: Communicator, algorithm: str = "1d",
+         sparsity_aware: bool = True, grid=None, **categories):
+    """Dispatch ``Z = M H`` to the registered (algorithm, mode) kernel.
+
+    ``matrix`` / ``dense`` are the family's operand types
+    (:class:`~repro.core.dist_matrix.DistSparseMatrix` +
+    :class:`~repro.core.dist_matrix.DistDenseMatrix` for 1D/1.5D;
+    :class:`~repro.core.spmm_2d.Dist2DSparseMatrix` + a NumPy array for
+    2D).  Grid algorithms require the matching ``grid`` object
+    (:class:`~repro.core.spmm_15d.ProcessGrid` or
+    :class:`~repro.core.spmm_2d.Grid2D`).
+    """
+    variant = get_spmm(algorithm, sparsity_aware=sparsity_aware)
+    if variant.needs_grid:
+        if grid is None:
+            raise ValueError(
+                f"the {variant.algorithm} algorithm requires a process grid")
+        return variant.fn(matrix, dense, grid, comm, **categories)
+    if grid is not None:
+        raise ValueError(
+            f"the {variant.algorithm} algorithm does not take a process grid")
+    return variant.fn(matrix, dense, comm, **categories)
+
+
+class SpmmEngine:
+    """A communicator-bound dispatcher for one (algorithm, mode) variant.
+
+    The engine is the object the distributed GCN, the trainer and the
+    benchmark harness hold instead of concrete kernel functions; swapping
+    the algorithm or the communicator backend never touches those layers.
+    """
+
+    def __init__(self, comm: Communicator, algorithm: str = "1d",
+                 sparsity_aware: bool = True, grid=None) -> None:
+        self.comm = comm
+        self.variant = get_spmm(algorithm, sparsity_aware=sparsity_aware)
+        if self.variant.needs_grid and grid is None:
+            raise ValueError(
+                f"the {algorithm} algorithm requires a process grid")
+        if not self.variant.needs_grid and grid is not None:
+            raise ValueError(
+                f"the {algorithm} algorithm does not take a process grid")
+        self.grid = grid
+        self.last_report: Optional[SpmmReport] = None
+
+    @property
+    def algorithm(self) -> str:
+        return self.variant.algorithm
+
+    @property
+    def mode(self) -> str:
+        return self.variant.mode
+
+    def run(self, matrix, dense, **categories):
+        """Execute ``Z = M H`` on this engine's communicator."""
+        if self.variant.needs_grid:
+            return self.variant.fn(matrix, dense, self.grid, self.comm,
+                                   **categories)
+        return self.variant.fn(matrix, dense, self.comm, **categories)
+
+    def run_with_report(self, matrix, dense, **categories):
+        """Like :meth:`run`, also capturing an :class:`SpmmReport` delta."""
+        t0 = self.comm.elapsed()
+        bytes0 = self.comm.events.total_bytes()
+        msgs0 = self.comm.events.message_count()
+        result = self.run(matrix, dense, **categories)
+        report = SpmmReport(
+            algorithm=self.algorithm,
+            mode=self.mode,
+            backend=self.comm.backend_name,
+            elapsed_s=self.comm.elapsed() - t0,
+            comm_bytes=self.comm.events.total_bytes() - bytes0,
+            messages=self.comm.events.message_count() - msgs0,
+        )
+        self.last_report = report
+        return result, report
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SpmmEngine(algorithm={self.algorithm!r}, mode={self.mode!r}, "
+                f"backend={self.comm.backend_name!r}, nranks={self.comm.nranks})")

@@ -11,17 +11,23 @@ The sparsity-oblivious variant moves entire ``H`` block rows between the
 processes of a grid *column* each stage (a column broadcast); the
 sparsity-aware variant (Algorithm 2 of the paper) sends only the rows
 selected by ``NnzCols`` with point-to-point messages.
+
+Both variants are registered with :mod:`repro.core.engine` under
+``("1.5d", "oblivious")`` / ``("1.5d", "sparsity_aware")`` and run against
+any :class:`~repro.comm.base.Communicator` backend; per-rank compute goes
+through :meth:`~repro.comm.base.Communicator.parallel_for`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..comm.simulator import SimCommunicator
+from ..comm.base import Communicator
 from .dist_matrix import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
+from .engine import check_grid_operands, register_spmm
 
 __all__ = ["ProcessGrid", "spmm_15d_oblivious", "spmm_15d_sparsity_aware"]
 
@@ -79,32 +85,20 @@ class ProcessGrid:
         return [self.rank(i, col) for i in range(self.nrows)]
 
 
-def _check_compatible(matrix: DistSparseMatrix, dense: DistDenseMatrix,
-                      grid: ProcessGrid, comm: SimCommunicator) -> None:
-    if matrix.dist != dense.dist:
-        raise ValueError("sparse and dense operands use different distributions")
-    if matrix.nblocks != grid.nrows:
-        raise ValueError(
-            f"matrix has {matrix.nblocks} block rows but the grid has "
-            f"{grid.nrows} rows")
-    if comm.nranks != grid.nranks:
-        raise ValueError(
-            f"communicator has {comm.nranks} ranks but the grid expects "
-            f"{grid.nranks}")
-
-
 def _stage_block(grid: ProcessGrid, col: int, stage: int) -> int:
     """Block row consumed by column ``col`` at ``stage`` (q = j*s + k)."""
     return col * grid.stages + stage
 
 
+@register_spmm("1.5d", "oblivious", needs_grid=True,
+               description="CAGNET 1.5D: staged column broadcasts")
 def spmm_15d_oblivious(matrix: DistSparseMatrix, dense: DistDenseMatrix,
-                       grid: ProcessGrid, comm: SimCommunicator,
+                       grid: ProcessGrid, comm: Communicator,
                        compute_category: str = "local",
                        comm_category: str = "bcast",
                        reduce_category: str = "allreduce") -> DistDenseMatrix:
     """Sparsity-oblivious 1.5D SpMM (CAGNET / Koanantakool baseline)."""
-    _check_compatible(matrix, dense, grid, comm)
+    check_grid_operands(matrix, dense, grid, comm)
     f = dense.width
     c = grid.replication
     partial: List[List[np.ndarray]] = [
@@ -118,21 +112,30 @@ def spmm_15d_oblivious(matrix: DistSparseMatrix, dense: DistDenseMatrix,
             root = grid.rank(q, col)
             copies = comm.broadcast(dense.block(q), root=root,
                                     ranks=group, category=comm_category)
-            for pos, rank in enumerate(group):
-                i, j = grid.coords(rank)
-                info = matrix.block(i, q)
-                if info.full.nnz == 0:
-                    continue
-                partial[i][j] += info.full @ copies[pos]
-                comm.charge_spmm(rank, 2.0 * info.full.nnz * f,
-                                 category=compute_category)
+
+            def make_task(pos: int, rank: int):
+                def task() -> None:
+                    i, j = grid.coords(rank)
+                    info = matrix.block(i, q)
+                    if info.full.nnz == 0:
+                        return
+                    partial[i][j] += info.full @ copies[pos]
+                    comm.charge_spmm(rank, 2.0 * info.full.nnz * f,
+                                     category=compute_category)
+                return task
+
+            comm.parallel_for([make_task(pos, rank)
+                               for pos, rank in enumerate(group)],
+                              ranks=group, category=compute_category)
 
     return _reduce_partials(matrix, dense, grid, comm, partial,
                             reduce_category)
 
 
+@register_spmm("1.5d", "sparsity_aware", needs_grid=True,
+               description="Algorithm 2: staged NnzCols point-to-point")
 def spmm_15d_sparsity_aware(matrix: DistSparseMatrix, dense: DistDenseMatrix,
-                            grid: ProcessGrid, comm: SimCommunicator,
+                            grid: ProcessGrid, comm: Communicator,
                             compute_category: str = "local",
                             comm_category: str = "alltoall",
                             reduce_category: str = "allreduce"
@@ -144,7 +147,7 @@ def spmm_15d_sparsity_aware(matrix: DistSparseMatrix, dense: DistDenseMatrix,
     (non-blocking sends / blocking receives in the paper; a batched
     point-to-point exchange here).
     """
-    _check_compatible(matrix, dense, grid, comm)
+    check_grid_operands(matrix, dense, grid, comm)
     f = dense.width
     c = grid.replication
     partial: List[List[np.ndarray]] = [
@@ -152,34 +155,51 @@ def spmm_15d_sparsity_aware(matrix: DistSparseMatrix, dense: DistDenseMatrix,
         for i in range(grid.nrows)]
 
     for stage in range(grid.stages):
-        messages = []
-        payload_index = {}
+        # Pack: each stage source rank (one per column) selects and packs
+        # the NnzCols rows for its grid column's consumers.
+        per_col_messages: List[List[Tuple[int, int, np.ndarray]]] = [
+            [] for _ in range(c)]
+        per_col_payloads: List[Dict[Tuple[int, int], np.ndarray]] = [
+            {} for _ in range(c)]
+
+        def make_pack_task(col: int):
+            def task() -> None:
+                q = _stage_block(grid, col, stage)
+                src = grid.rank(q, col)
+                h_q = dense.block(q)
+                for i in range(grid.nrows):
+                    dst = grid.rank(i, col)
+                    idx = matrix.nnz_cols(i, q)
+                    if i == q:
+                        continue  # the owner already holds its own rows
+                    if idx.size == 0:
+                        continue
+                    payload = h_q[idx]
+                    comm.charge_elementwise(src, idx.size * f,
+                                            category=compute_category)
+                    per_col_messages[col].append((src, dst, payload))
+                    per_col_payloads[col][(i, col)] = payload
+            return task
+
+        sources = [grid.rank(_stage_block(grid, col, stage), col)
+                   for col in range(c)]
+        comm.parallel_for([make_pack_task(col) for col in range(c)],
+                          ranks=sources, category=compute_category)
+        messages = [m for col in range(c) for m in per_col_messages[col]]
+        payload_index: Dict[Tuple[int, int], np.ndarray] = {}
         for col in range(c):
-            q = _stage_block(grid, col, stage)
-            src = grid.rank(q, col)
-            h_q = dense.block(q)
-            for i in range(grid.nrows):
-                dst = grid.rank(i, col)
-                idx = matrix.nnz_cols(i, q)
-                if i == q:
-                    continue  # the owner already holds its own rows
-                if idx.size == 0:
-                    continue
-                payload = h_q[idx]
-                comm.charge_elementwise(src, idx.size * f,
-                                        category=compute_category)
-                messages.append((src, dst, payload))
-                payload_index[(i, col)] = payload
+            payload_index.update(per_col_payloads[col])
+
         comm.exchange(messages, category=comm_category,
                       sync_ranks=range(comm.nranks))
 
-        for col in range(c):
-            q = _stage_block(grid, col, stage)
-            for i in range(grid.nrows):
-                rank = grid.rank(i, col)
+        def make_mult_task(rank: int):
+            def task() -> None:
+                i, col = grid.coords(rank)
+                q = _stage_block(grid, col, stage)
                 info = matrix.block(i, q)
                 if info.compact.nnz == 0:
-                    continue
+                    return
                 if i == q:
                     rows = dense.block(q)[info.nnz_cols_local]
                 else:
@@ -187,13 +207,18 @@ def spmm_15d_sparsity_aware(matrix: DistSparseMatrix, dense: DistDenseMatrix,
                 partial[i][col] += info.compact @ rows
                 comm.charge_spmm(rank, 2.0 * info.compact.nnz * f,
                                  category=compute_category)
+            return task
+
+        comm.parallel_for([make_mult_task(rank)
+                           for rank in range(comm.nranks)],
+                          category=compute_category)
 
     return _reduce_partials(matrix, dense, grid, comm, partial,
                             reduce_category)
 
 
 def _reduce_partials(matrix: DistSparseMatrix, dense: DistDenseMatrix,
-                     grid: ProcessGrid, comm: SimCommunicator,
+                     grid: ProcessGrid, comm: Communicator,
                      partial: List[List[np.ndarray]],
                      reduce_category: str) -> DistDenseMatrix:
     """All-reduce the per-replica partial sums over each grid row."""

@@ -13,8 +13,12 @@ distribution over ``P`` processes.
   only the rows of ``H`` selected by ``NnzCols(i, j)`` with a single
   all-to-allv, then multiplies the *compacted* blocks with the packed rows.
 
-The functions return both the result and nothing else; all communication
-volume and timing is recorded on the :class:`~repro.comm.SimCommunicator`.
+The functions return only the distributed result; all communication volume
+and timing is recorded on the :class:`~repro.comm.base.Communicator` they
+run on.  Both variants are registered with :mod:`repro.core.engine` under
+``("1d", "oblivious")`` and ``("1d", "sparsity_aware")``, and per-rank
+compute runs through :meth:`~repro.comm.base.Communicator.parallel_for` —
+sequential under the simulator, genuinely parallel under real backends.
 """
 
 from __future__ import annotations
@@ -23,24 +27,17 @@ from typing import List
 
 import numpy as np
 
-from ..comm.simulator import SimCommunicator
+from ..comm.base import Communicator
 from .dist_matrix import DistDenseMatrix, DistSparseMatrix
+from .engine import check_block_operands, register_spmm
 
 __all__ = ["spmm_1d_oblivious", "spmm_1d_sparsity_aware"]
 
 
-def _check_compatible(matrix: DistSparseMatrix, dense: DistDenseMatrix,
-                      comm: SimCommunicator) -> None:
-    if matrix.dist != dense.dist:
-        raise ValueError("sparse and dense operands use different distributions")
-    if matrix.nblocks != comm.nranks:
-        raise ValueError(
-            f"matrix has {matrix.nblocks} block rows but the communicator "
-            f"has {comm.nranks} ranks")
-
-
+@register_spmm("1d", "oblivious",
+               description="CAGNET 1D: block-row broadcasts")
 def spmm_1d_oblivious(matrix: DistSparseMatrix, dense: DistDenseMatrix,
-                      comm: SimCommunicator,
+                      comm: Communicator,
                       compute_category: str = "local",
                       comm_category: str = "bcast") -> DistDenseMatrix:
     """Sparsity-oblivious 1D SpMM (the CAGNET baseline).
@@ -49,7 +46,7 @@ def spmm_1d_oblivious(matrix: DistSparseMatrix, dense: DistDenseMatrix,
     their full-width local blocks against it.  Bandwidth therefore does not
     shrink with ``P`` — the behaviour Figure 3 shows for the CAGNET curves.
     """
-    _check_compatible(matrix, dense, comm)
+    check_block_operands(matrix, dense, comm)
     p = comm.nranks
     f = dense.width
     out_blocks: List[np.ndarray] = [
@@ -57,18 +54,26 @@ def spmm_1d_oblivious(matrix: DistSparseMatrix, dense: DistDenseMatrix,
 
     for j in range(p):
         copies = comm.broadcast(dense.block(j), root=j, category=comm_category)
-        for i in range(p):
-            info = matrix.block(i, j)
-            if info.full.nnz == 0:
-                continue
-            out_blocks[i] += info.full @ copies[i]
-            comm.charge_spmm(i, 2.0 * info.full.nnz * f,
-                             category=compute_category)
+
+        def make_task(i: int):
+            def task() -> None:
+                info = matrix.block(i, j)
+                if info.full.nnz == 0:
+                    return
+                out_blocks[i] += info.full @ copies[i]
+                comm.charge_spmm(i, 2.0 * info.full.nnz * f,
+                                 category=compute_category)
+            return task
+
+        comm.parallel_for([make_task(i) for i in range(p)],
+                          category=compute_category)
     return dense.like(out_blocks)
 
 
+@register_spmm("1d", "sparsity_aware",
+               description="Algorithm 1: NnzCols-packed all-to-allv")
 def spmm_1d_sparsity_aware(matrix: DistSparseMatrix, dense: DistDenseMatrix,
-                           comm: SimCommunicator,
+                           comm: Communicator,
                            compute_category: str = "local",
                            comm_category: str = "alltoall") -> DistDenseMatrix:
     """Sparsity-aware 1D SpMM (Algorithm 1 of the paper).
@@ -78,48 +83,62 @@ def spmm_1d_sparsity_aware(matrix: DistSparseMatrix, dense: DistDenseMatrix,
     packed segments; each receiver multiplies its compacted blocks against
     the packed rows it received.
     """
-    _check_compatible(matrix, dense, comm)
+    check_block_operands(matrix, dense, comm)
     p = comm.nranks
     f = dense.width
 
     # ------------------------------------------------------------------
-    # Pack: send[j][i] = H_j[NnzCols(i, j)]
+    # Pack: send[j][i] = H_j[NnzCols(i, j)]  (each rank packs its own row)
     # ------------------------------------------------------------------
     send: List[List[np.ndarray | None]] = [[None] * p for _ in range(p)]
-    for j in range(p):
-        h_j = dense.block(j)
-        for i in range(p):
-            if i == j:
-                continue
-            idx = matrix.nnz_cols(i, j)
-            if idx.size == 0:
-                continue
-            send[j][i] = h_j[idx]
-            # Packing the rows into the send buffer is part of the local
-            # work the paper's breakdown attributes to the SA schemes.
-            comm.charge_elementwise(j, idx.size * f, category=compute_category)
+
+    def make_pack_task(j: int):
+        def task() -> None:
+            h_j = dense.block(j)
+            for i in range(p):
+                if i == j:
+                    continue
+                idx = matrix.nnz_cols(i, j)
+                if idx.size == 0:
+                    continue
+                send[j][i] = h_j[idx]
+                # Packing the rows into the send buffer is part of the local
+                # work the paper's breakdown attributes to the SA schemes.
+                comm.charge_elementwise(j, idx.size * f,
+                                        category=compute_category)
+        return task
+
+    comm.parallel_for([make_pack_task(j) for j in range(p)],
+                      category=compute_category)
 
     recv = comm.alltoallv(send, category=comm_category)
 
     # ------------------------------------------------------------------
     # Multiply: Z_i = sum_j compact(A^T_ij) @ packed rows from j
     # ------------------------------------------------------------------
-    out_blocks: List[np.ndarray] = []
-    for i in range(p):
-        z_i = np.zeros((matrix.dist.block_size(i), f))
-        for j in range(p):
-            info = matrix.block(i, j)
-            if info.compact.nnz == 0:
-                continue
-            if i == j:
-                rows = dense.block(i)[info.nnz_cols_local]
-            else:
-                rows = recv[i][j]
-                if rows is None:
-                    raise RuntimeError(
-                        f"rank {i} expected rows from rank {j} but received none")
-            z_i += info.compact @ rows
-            comm.charge_spmm(i, 2.0 * info.compact.nnz * f,
-                             category=compute_category)
-        out_blocks.append(z_i)
+    out_blocks: List[np.ndarray | None] = [None] * p
+
+    def make_mult_task(i: int):
+        def task() -> None:
+            z_i = np.zeros((matrix.dist.block_size(i), f))
+            for j in range(p):
+                info = matrix.block(i, j)
+                if info.compact.nnz == 0:
+                    continue
+                if i == j:
+                    rows = dense.block(i)[info.nnz_cols_local]
+                else:
+                    rows = recv[i][j]
+                    if rows is None:
+                        raise RuntimeError(
+                            f"rank {i} expected rows from rank {j} "
+                            f"but received none")
+                z_i += info.compact @ rows
+                comm.charge_spmm(i, 2.0 * info.compact.nnz * f,
+                                 category=compute_category)
+            out_blocks[i] = z_i
+        return task
+
+    comm.parallel_for([make_mult_task(i) for i in range(p)],
+                      category=compute_category)
     return dense.like(out_blocks)

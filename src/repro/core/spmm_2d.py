@@ -20,10 +20,12 @@ ablation benchmarks can reproduce that comparison:
   its local block (``NnzCols(i, j)`` restricted to the peer's chunk).
 
 Both variants return the result in the same ``pr``-block-row layout as
-1D/1.5D results so they can be checked against ``A @ H`` directly.  They are
-provided as standalone kernels (plus communication-volume accounting) rather
-than being wired into the GCN trainer, mirroring the paper which evaluates
-2D only at the SpMM level.
+1D/1.5D results so they can be checked against ``A @ H`` directly.  They
+are registered with :mod:`repro.core.engine` under ``("2d", "oblivious")``
+/ ``("2d", "sparsity_aware")`` and run on any
+:class:`~repro.comm.base.Communicator` backend (the engine is how the
+ablation benchmarks reach them — the GCN trainer itself sticks to 1D/1.5D,
+mirroring the paper which evaluates 2D only at the SpMM level).
 """
 
 from __future__ import annotations
@@ -34,8 +36,9 @@ from typing import Dict, List, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from ..comm.simulator import SimCommunicator
+from ..comm.base import Communicator
 from .dist_matrix import BlockRowDistribution
+from .engine import check_grid2d_operands, register_spmm
 
 __all__ = ["Grid2D", "Dist2DSparseMatrix", "spmm_2d_oblivious",
            "spmm_2d_sparsity_aware"]
@@ -143,28 +146,16 @@ def _chunk_bounds(block_rows: int, row_chunks: int) -> np.ndarray:
     return BlockRowDistribution.uniform(block_rows, row_chunks).bounds
 
 
-def _check(matrix: Dist2DSparseMatrix, h: np.ndarray, grid: Grid2D,
-           comm: SimCommunicator) -> None:
-    if matrix.row_dist.nblocks != grid.nrows or \
-            matrix.col_dist.nblocks != grid.ncols:
-        raise ValueError("matrix block grid does not match the process grid")
-    if h.shape[0] != matrix.shape[1]:
-        raise ValueError(
-            f"dense operand has {h.shape[0]} rows, expected {matrix.shape[1]}")
-    if comm.nranks != grid.nranks:
-        raise ValueError(
-            f"communicator has {comm.nranks} ranks but the grid expects "
-            f"{grid.nranks}")
-
-
+@register_spmm("2d", "oblivious", needs_grid=True,
+               description="2D SUMMA: column all-gather + row all-reduce")
 def spmm_2d_oblivious(matrix: Dist2DSparseMatrix, h: np.ndarray, grid: Grid2D,
-                      comm: SimCommunicator,
+                      comm: Communicator,
                       compute_category: str = "local",
                       gather_category: str = "bcast",
                       reduce_category: str = "allreduce") -> np.ndarray:
     """Sparsity-oblivious 2D SpMM (column all-gather + row all-reduce)."""
     h = np.asarray(h, dtype=np.float64)
-    _check(matrix, h, grid, comm)
+    check_grid2d_operands(matrix, h, grid, comm)
     f = h.shape[1]
     chunks = _split_dense(h, matrix.col_dist, grid.nrows)
 
@@ -180,15 +171,21 @@ def spmm_2d_oblivious(matrix: Dist2DSparseMatrix, h: np.ndarray, grid: Grid2D,
     # Phase 2: local multiply and row-wise all-reduce.
     out = np.zeros((matrix.shape[0], f))
     for i in range(grid.nrows):
-        partials = []
-        for j in range(grid.ncols):
-            block = matrix.block(i, j)
-            partial = block @ gathered[j] if block.nnz else \
-                np.zeros((block.shape[0], f))
-            if block.nnz:
-                comm.charge_spmm(grid.rank(i, j), 2.0 * block.nnz * f,
-                                 category=compute_category)
-            partials.append(partial)
+        partials: List[np.ndarray | None] = [None] * grid.ncols
+
+        def make_task(i: int, j: int):
+            def task() -> None:
+                block = matrix.block(i, j)
+                if block.nnz:
+                    partials[j] = block @ gathered[j]
+                    comm.charge_spmm(grid.rank(i, j), 2.0 * block.nnz * f,
+                                     category=compute_category)
+                else:
+                    partials[j] = np.zeros((block.shape[0], f))
+            return task
+
+        comm.parallel_for([make_task(i, j) for j in range(grid.ncols)],
+                          ranks=grid.row_group(i), category=compute_category)
         reduced = comm.allreduce(partials, ranks=grid.row_group(i),
                                  category=reduce_category)
         lo, hi = matrix.row_dist.block_range(i)
@@ -196,14 +193,16 @@ def spmm_2d_oblivious(matrix: Dist2DSparseMatrix, h: np.ndarray, grid: Grid2D,
     return out
 
 
+@register_spmm("2d", "sparsity_aware", needs_grid=True,
+               description="2D SUMMA with NnzCols-restricted column exchange")
 def spmm_2d_sparsity_aware(matrix: Dist2DSparseMatrix, h: np.ndarray,
-                           grid: Grid2D, comm: SimCommunicator,
+                           grid: Grid2D, comm: Communicator,
                            compute_category: str = "local",
                            comm_category: str = "alltoall",
                            reduce_category: str = "allreduce") -> np.ndarray:
     """Sparsity-aware 2D SpMM: column peers exchange only needed rows."""
     h = np.asarray(h, dtype=np.float64)
-    _check(matrix, h, grid, comm)
+    check_grid2d_operands(matrix, h, grid, comm)
     f = h.shape[1]
     chunks = _split_dense(h, matrix.col_dist, grid.nrows)
 
@@ -236,23 +235,27 @@ def spmm_2d_sparsity_aware(matrix: Dist2DSparseMatrix, h: np.ndarray,
     # Phase 2: local multiply on compacted blocks, then row all-reduce.
     out = np.zeros((matrix.shape[0], f))
     for i in range(grid.nrows):
-        partials = []
-        for j in range(grid.ncols):
-            block = matrix.block(i, j)
-            needed = matrix.nnz_cols(i, j)
-            rows_i = block.shape[0]
-            if needed.size == 0 or block.nnz == 0:
-                partials.append(np.zeros((rows_i, f)))
-                continue
-            clo, chi = matrix.col_dist.block_range(j)
-            bounds = _chunk_bounds(chi - clo, grid.nrows)
-            packed = np.concatenate(
-                [received[(i, j)][r] for r in range(grid.nrows)
-                 if r in received[(i, j)]], axis=0)
-            compact = block[:, needed]
-            partials.append(compact @ packed)
-            comm.charge_spmm(grid.rank(i, j), 2.0 * compact.nnz * f,
-                             category=compute_category)
+        partials: List[np.ndarray | None] = [None] * grid.ncols
+
+        def make_task(i: int, j: int):
+            def task() -> None:
+                block = matrix.block(i, j)
+                needed = matrix.nnz_cols(i, j)
+                rows_i = block.shape[0]
+                if needed.size == 0 or block.nnz == 0:
+                    partials[j] = np.zeros((rows_i, f))
+                    return
+                packed = np.concatenate(
+                    [received[(i, j)][r] for r in range(grid.nrows)
+                     if r in received[(i, j)]], axis=0)
+                compact = block[:, needed]
+                partials[j] = compact @ packed
+                comm.charge_spmm(grid.rank(i, j), 2.0 * compact.nnz * f,
+                                 category=compute_category)
+            return task
+
+        comm.parallel_for([make_task(i, j) for j in range(grid.ncols)],
+                          ranks=grid.row_group(i), category=compute_category)
         reduced = comm.allreduce(partials, ranks=grid.row_group(i),
                                  category=reduce_category)
         lo, hi = matrix.row_dist.block_range(i)

@@ -3,10 +3,12 @@
 :func:`train_distributed` is the public API of the reproduction: it takes a
 :class:`~repro.graphs.GraphDataset` and a :class:`~repro.core.DistTrainConfig`,
 performs the preprocessing the paper describes (partition the graph, apply
-the symmetric permutation, distribute block rows), runs the simulated
-distributed training loop and returns timings, communication statistics and
-accuracy — everything the benchmark harness needs to regenerate the paper's
-tables and figures.
+the symmetric permutation, distribute block rows), runs the distributed
+training loop on the configured communicator backend (``backend="sim"``
+for deterministic simulation, ``"threaded"`` for real shared-memory
+workers — see ``docs/backends.md``) and returns timings, communication
+statistics and accuracy — everything the benchmark harness needs to
+regenerate the paper's tables and figures.
 """
 
 from __future__ import annotations
@@ -17,7 +19,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from ..comm.simulator import SimCommunicator
+from ..comm.base import Communicator
+from ..comm.factory import make_communicator
 from ..gcn.metrics import masked_accuracy
 from ..graphs.adjacency import gcn_normalize, permutation_from_parts
 from ..graphs.datasets import GraphDataset
@@ -68,7 +71,7 @@ class DistributedSetup:
     """The distributed state built by :func:`setup_distributed`."""
 
     model: DistributedGCN
-    comm: SimCommunicator
+    comm: Communicator
     node_data: NodeData            # in permuted vertex order
     partition: Optional[PartitionResult]
     distribution: BlockRowDistribution
@@ -109,7 +112,8 @@ def setup_distributed(dataset: GraphDataset, config: DistTrainConfig
     matrix = gcn_normalize(adjacency) if config.normalize_adjacency \
         else adjacency.tocsr().astype(np.float64)
 
-    comm = SimCommunicator(config.n_ranks, machine=config.machine)
+    comm = make_communicator(config.n_ranks, backend=config.backend,
+                             machine=config.machine)
     adjacency_dist = DistSparseMatrix(matrix, distribution)
     features_dist = DistDenseMatrix.from_global(
         node_data.features.astype(np.float64), distribution)
@@ -152,30 +156,36 @@ def train_distributed(dataset: GraphDataset, config: DistTrainConfig,
     model, comm, node_data = setup.model, setup.comm, setup.node_data
 
     history: List[DistEpochRecord] = []
-    for epoch in range(config.epochs):
-        start = comm.timeline.elapsed()
-        loss = model.train_epoch(config.learning_rate)
-        epoch_time = comm.timeline.elapsed() - start
+    try:
+        for epoch in range(config.epochs):
+            start = comm.elapsed()
+            loss = model.train_epoch(config.learning_rate)
+            epoch_time = comm.elapsed() - start
 
-        train_acc = val_acc = None
-        if eval_every and (epoch % eval_every == 0 or epoch == config.epochs - 1):
-            preds = model.predictions()
-            train_acc = masked_accuracy(preds, node_data.labels,
-                                        node_data.train_mask)
-            val_acc = masked_accuracy(preds, node_data.labels,
-                                      node_data.val_mask)
-        history.append(DistEpochRecord(epoch=epoch, loss=loss,
-                                       epoch_time_s=epoch_time,
-                                       train_accuracy=train_acc,
-                                       val_accuracy=val_acc))
+            train_acc = val_acc = None
+            if eval_every and (epoch % eval_every == 0
+                               or epoch == config.epochs - 1):
+                preds = model.predictions()
+                train_acc = masked_accuracy(preds, node_data.labels,
+                                            node_data.train_mask)
+                val_acc = masked_accuracy(preds, node_data.labels,
+                                          node_data.val_mask)
+            history.append(DistEpochRecord(epoch=epoch, loss=loss,
+                                           epoch_time_s=epoch_time,
+                                           train_accuracy=train_acc,
+                                           val_accuracy=val_acc))
+    finally:
+        # Release backend resources (worker threads for real backends); the
+        # returned model's host-side diagnostics keep working after this.
+        comm.close()
 
     preds = model.predictions()
     test_accuracy = masked_accuracy(preds, node_data.labels,
                                     node_data.test_mask)
 
-    total_time = comm.timeline.elapsed()
+    total_time = comm.elapsed()
     n_epochs = max(1, len(history))
-    breakdown = comm.timeline.breakdown(reduce="max")
+    breakdown = comm.breakdown(reduce="max")
     per_epoch_breakdown = {k: v / n_epochs for k, v in breakdown.items()}
     result = DistTrainResult(
         config=config,
@@ -184,7 +194,7 @@ def train_distributed(dataset: GraphDataset, config: DistTrainConfig,
         avg_epoch_time_s=total_time / n_epochs,
         total_time_s=total_time,
         breakdown=per_epoch_breakdown,
-        comm_summary=comm.stats.summary(),
+        comm_summary=comm.stats_summary(),
         partition_stats=dict(setup.partition.stats) if setup.partition else {},
         model=model,
     )

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.comm import SimCommunicator, laptop
+from repro.comm import Communicator, laptop, make_communicator
 from repro.core import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
 from repro.graphs import (gcn_normalize, load_dataset, make_node_data,
                           community_ring_graph, erdos_renyi_graph)
@@ -51,13 +51,13 @@ def medium_dataset():
 # Distributed containers
 # ----------------------------------------------------------------------
 @pytest.fixture()
-def comm4() -> SimCommunicator:
-    return SimCommunicator(4, machine="perlmutter")
+def comm4() -> Communicator:
+    return make_communicator(4, machine="perlmutter")
 
 
 @pytest.fixture()
-def comm8() -> SimCommunicator:
-    return SimCommunicator(8, machine="perlmutter")
+def comm8() -> Communicator:
+    return make_communicator(8, machine="perlmutter")
 
 
 @pytest.fixture()

@@ -20,6 +20,13 @@ class TestParser:
         assert args.ranks == 8
         assert args.algorithm == "1d"
         assert not args.oblivious
+        assert args.backend == "sim"
+
+    def test_backend_choices_follow_registry(self):
+        args = build_parser().parse_args(["train", "--backend", "threaded"])
+        assert args.backend == "threaded"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--backend", "nope"])
 
     def test_bench_choices(self):
         with pytest.raises(SystemExit):
@@ -95,6 +102,36 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert "Figure 3" in out
         assert "epoch time per scheme" in out
+
+    def test_quick_smoke_sim_backend(self, capsys):
+        """The CI smoke target: ``python -m repro bench --quick --backend sim``
+        (scripts/smoke.sh runs exactly this under a hard 60 s timeout)."""
+        code = main(["bench", "--quick", "--backend", "sim"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quick smoke" in out
+        assert "epoch time per scheme" in out
+        assert "sim" in out
+
+    def test_quick_smoke_named_experiment(self, capsys):
+        code = main(["bench", "fig5", "--quick"])
+        assert code == 0
+        assert "quick smoke" in capsys.readouterr().out
+
+    def test_bench_without_experiment_or_quick_errors(self, capsys):
+        code = main(["bench"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_backend_rejected_for_static_tables(self, capsys):
+        code = main(["bench", "table2", "--backend", "threaded"])
+        assert code == 2
+        assert "no effect" in capsys.readouterr().err
+
+    def test_quick_smoke_threaded_backend(self, capsys):
+        code = main(["bench", "--quick", "--backend", "threaded"])
+        assert code == 0
+        assert "threaded" in capsys.readouterr().out
 
 
 class TestCostCommand:

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.comm import (DragonflyTopology, FatTreeTopology, FlatTopology,
-                        SimCommunicator, TopologyMachine, Torus2DTopology,
-                        get_topology, make_topology_machine, perlmutter)
+                        TopologyMachine, Torus2DTopology, get_topology,
+                        make_communicator, make_topology_machine, perlmutter)
 from repro.core import (BlockRowDistribution, DistDenseMatrix, DistSparseMatrix,
                         spmm_1d_sparsity_aware)
 from repro.graphs import erdos_renyi_graph, gcn_normalize
@@ -176,7 +176,7 @@ class TestTopologyMachine:
             ("fat-tree", make_topology_machine("fat-tree", radix=2, levels=3,
                                                taper=2.0)),
         ]:
-            comm = SimCommunicator(8, machine=machine)
+            comm = make_communicator(8, machine=machine)
             out = spmm_1d_sparsity_aware(matrix, dense, comm)
             np.testing.assert_allclose(out.to_global(), graph @ h, atol=1e-8)
             results[name] = comm.timeline.elapsed()

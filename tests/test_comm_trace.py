@@ -5,7 +5,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.comm import (SimCommunicator, chrome_trace, overlap_analysis,
+from repro.comm import (chrome_trace, make_communicator, overlap_analysis,
                         save_chrome_trace)
 from repro.core import (BlockRowDistribution, DistDenseMatrix, DistSparseMatrix,
                         spmm_1d_oblivious, spmm_1d_sparsity_aware)
@@ -20,7 +20,7 @@ def run_sa():
     matrix = DistSparseMatrix(graph, dist)
     h = np.random.default_rng(0).normal(size=(32, 4))
     dense = DistDenseMatrix.from_global(h, dist)
-    comm = SimCommunicator(4, machine="perlmutter")
+    comm = make_communicator(4, machine="perlmutter")
     spmm_1d_sparsity_aware(matrix, dense, comm)
     return comm
 
@@ -60,7 +60,7 @@ class TestChromeTrace:
         assert len(payload["traceEvents"]) > 0
 
     def test_empty_run(self, tmp_path):
-        comm = SimCommunicator(2)
+        comm = make_communicator(2)
         events = chrome_trace(comm)
         assert all(e["ph"] == "M" for e in events)
 
@@ -83,14 +83,14 @@ class TestOverlapAnalysis:
         matrix = DistSparseMatrix(graph, dist)
         h = np.random.default_rng(1).normal(size=(48, 32))
         dense = DistDenseMatrix.from_global(h, dist)
-        comm = SimCommunicator(8, machine="perlmutter")
+        comm = make_communicator(8, machine="perlmutter")
         spmm_1d_oblivious(matrix, dense, comm)
         report = overlap_analysis(comm)
         assert report.communication_s > report.compute_s
         assert report.perfect_overlap_s >= report.communication_s * 0.99
 
     def test_no_communication_single_rank(self):
-        comm = SimCommunicator(1)
+        comm = make_communicator(1)
         comm.charge_spmm(0, 1e6)
         report = overlap_analysis(comm)
         assert report.communication_s == 0.0

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.comm import SimCommunicator
+from repro.comm import make_communicator
 from repro.comm.tracker import VolumeStats, volume_stats_from_send_bytes
 
 
@@ -32,7 +32,7 @@ class TestVolumeStats:
 
 class TestCommStats:
     def _comm_with_traffic(self):
-        comm = SimCommunicator(3)
+        comm = make_communicator(3)
         send = [[None if i == j else np.ones(4 * (i + 1)) for j in range(3)]
                 for i in range(3)]
         comm.alltoallv(send, category="alltoall")

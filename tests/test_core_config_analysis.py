@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.comm import SimCommunicator
+from repro.comm import make_communicator
 from repro.core import (Algorithm, BlockRowDistribution, DistDenseMatrix,
                         DistSparseMatrix, DistTrainConfig,
                         predicted_bytes_per_spmm, predicted_rows_oblivious_1d,
@@ -71,7 +71,7 @@ class TestPredictedVolumes:
 
     def test_oblivious_prediction_matches_measurement(self, problem):
         dm, dh = problem
-        comm = SimCommunicator(4)
+        comm = make_communicator(4)
         spmm_1d_oblivious(dm, dh, comm)
         predicted = predicted_bytes_per_spmm(dm, dh.width, sparsity_aware=False)
         measured = comm.events.bytes_sent_by_rank(4, category="bcast")
@@ -79,7 +79,7 @@ class TestPredictedVolumes:
 
     def test_sparsity_aware_prediction_matches_measurement(self, problem):
         dm, dh = problem
-        comm = SimCommunicator(4)
+        comm = make_communicator(4)
         spmm_1d_sparsity_aware(dm, dh, comm)
         predicted = predicted_bytes_per_spmm(dm, dh.width, sparsity_aware=True)
         measured = comm.events.bytes_sent_by_rank(4, category="alltoall")

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.comm import SimCommunicator, perlmutter
+from repro.comm import make_communicator, perlmutter
 from repro.core import (BlockRowDistribution, DistDenseMatrix, DistSparseMatrix,
                         DistTrainConfig, MemoryEstimate,
                         best_replication_factor, crossover_process_count,
@@ -121,7 +121,7 @@ class TestPredictedVsSimulated:
         dense = DistDenseMatrix.from_global(
             np.random.default_rng(0).normal(size=(graph.shape[0], f)),
             matrix.dist)
-        comm = SimCommunicator(p, machine="perlmutter")
+        comm = make_communicator(p, machine="perlmutter")
         spmm_1d_sparsity_aware(matrix, dense, comm)
         cut = matrix.needed_rows_matrix().max()
         bound = (p - 1) * cut * f * ELEMENT_BYTES

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.comm import SimCommunicator
+from repro.comm import make_communicator
 from repro.core import (Algorithm, BlockRowDistribution, DistDenseMatrix,
                         DistSparseMatrix, DistributedGCN, ProcessGrid)
 from repro.gcn import GCNModel
@@ -21,7 +21,7 @@ def build_model(ds, matrix, p=4, algorithm=Algorithm.ONE_D, c=1,
                 sparsity_aware=True, seed=0):
     nblocks = p // c if algorithm == Algorithm.ONE_POINT_FIVE_D else p
     dist = BlockRowDistribution.uniform(matrix.shape[0], nblocks)
-    comm = SimCommunicator(p)
+    comm = make_communicator(p)
     grid = ProcessGrid(p, c) if algorithm == Algorithm.ONE_POINT_FIVE_D else None
     model = DistributedGCN(
         adjacency_dist=DistSparseMatrix(matrix, dist),
@@ -51,7 +51,7 @@ class TestConstruction:
                 labels=ds.node_data.labels,
                 train_mask=ds.node_data.train_mask,
                 layer_dims=[ds.node_data.n_features, 8, ds.node_data.n_classes],
-                comm=SimCommunicator(4),
+                comm=make_communicator(4),
                 algorithm=Algorithm.ONE_POINT_FIVE_D,
                 grid=None,
             )
@@ -67,7 +67,7 @@ class TestConstruction:
                 labels=ds.node_data.labels,
                 train_mask=ds.node_data.train_mask,
                 layer_dims=[ds.node_data.n_features, 8, ds.node_data.n_classes],
-                comm=SimCommunicator(4),   # 4 ranks but only 2 block rows
+                comm=make_communicator(4),   # 4 ranks but only 2 block rows
                 algorithm=Algorithm.ONE_D,
             )
 
@@ -82,7 +82,7 @@ class TestConstruction:
                 labels=ds.node_data.labels,
                 train_mask=ds.node_data.train_mask,
                 layer_dims=[999, 8, ds.node_data.n_classes],
-                comm=SimCommunicator(2),
+                comm=make_communicator(2),
             )
 
     def test_rejects_empty_train_mask(self, problem):
@@ -96,7 +96,7 @@ class TestConstruction:
                 labels=ds.node_data.labels,
                 train_mask=np.zeros(matrix.shape[0], dtype=bool),
                 layer_dims=[ds.node_data.n_features, 8, ds.node_data.n_classes],
-                comm=SimCommunicator(2),
+                comm=make_communicator(2),
             )
 
     def test_unknown_algorithm(self, problem):
@@ -110,7 +110,7 @@ class TestConstruction:
                 labels=ds.node_data.labels,
                 train_mask=ds.node_data.train_mask,
                 layer_dims=[ds.node_data.n_features, 8, ds.node_data.n_classes],
-                comm=SimCommunicator(2),
+                comm=make_communicator(2),
                 algorithm="3d",
             )
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.comm import SimCommunicator
+from repro.comm import make_communicator
 from repro.core import (BlockRowDistribution, DistDenseMatrix, DistSparseMatrix,
                         ProcessGrid, spmm_15d_oblivious, spmm_15d_sparsity_aware,
                         spmm_1d_sparsity_aware)
@@ -65,7 +65,7 @@ class TestCorrectness:
     def test_oblivious_matches_serial(self, p, c):
         grid = ProcessGrid(nranks=p, replication=c)
         adj, dm, dh, h = make_problem(n=64, nblocks=grid.nrows, seed=1)
-        comm = SimCommunicator(p)
+        comm = make_communicator(p)
         result = spmm_15d_oblivious(dm, dh, grid, comm)
         np.testing.assert_allclose(result.to_global(), adj @ h, atol=1e-10)
 
@@ -73,7 +73,7 @@ class TestCorrectness:
     def test_sparsity_aware_matches_serial(self, p, c):
         grid = ProcessGrid(nranks=p, replication=c)
         adj, dm, dh, h = make_problem(n=64, nblocks=grid.nrows, seed=2)
-        comm = SimCommunicator(p)
+        comm = make_communicator(p)
         result = spmm_15d_sparsity_aware(dm, dh, grid, comm)
         np.testing.assert_allclose(result.to_global(), adj @ h, atol=1e-10)
 
@@ -83,29 +83,29 @@ class TestCorrectness:
         p = 4
         grid = ProcessGrid(nranks=p, replication=1)
         adj, dm, dh, h = make_problem(n=48, nblocks=p, seed=3)
-        a = spmm_15d_sparsity_aware(dm, dh, grid, SimCommunicator(p))
-        b = spmm_1d_sparsity_aware(dm, dh, SimCommunicator(p))
+        a = spmm_15d_sparsity_aware(dm, dh, grid, make_communicator(p))
+        b = spmm_1d_sparsity_aware(dm, dh, make_communicator(p))
         np.testing.assert_allclose(a.to_global(), b.to_global(), atol=1e-10)
 
     def test_grid_matrix_mismatch_rejected(self):
         grid = ProcessGrid(nranks=8, replication=2)   # 4 block rows
         adj, dm, dh, h = make_problem(n=64, nblocks=8, seed=0)
         with pytest.raises(ValueError):
-            spmm_15d_oblivious(dm, dh, grid, SimCommunicator(8))
+            spmm_15d_oblivious(dm, dh, grid, make_communicator(8))
 
     def test_comm_size_mismatch_rejected(self):
         grid = ProcessGrid(nranks=8, replication=2)
         adj, dm, dh, h = make_problem(n=64, nblocks=4, seed=0)
         with pytest.raises(ValueError):
-            spmm_15d_sparsity_aware(dm, dh, grid, SimCommunicator(4))
+            spmm_15d_sparsity_aware(dm, dh, grid, make_communicator(4))
 
 
 class TestCommunicationBehaviour:
     def test_sparsity_aware_sends_fewer_bytes_for_h(self):
         grid = ProcessGrid(nranks=8, replication=2)
         adj, dm, dh, _ = make_problem(n=96, nblocks=4, seed=4)
-        comm_ob = SimCommunicator(8)
-        comm_sa = SimCommunicator(8)
+        comm_ob = make_communicator(8)
+        comm_sa = make_communicator(8)
         spmm_15d_oblivious(dm, dh, grid, comm_ob)
         spmm_15d_sparsity_aware(dm, dh, grid, comm_sa)
         assert comm_sa.stats.total_bytes("alltoall") <= \
@@ -114,8 +114,8 @@ class TestCommunicationBehaviour:
     def test_allreduce_volume_identical_between_variants(self):
         grid = ProcessGrid(nranks=8, replication=2)
         adj, dm, dh, _ = make_problem(n=96, nblocks=4, seed=5)
-        comm_ob = SimCommunicator(8)
-        comm_sa = SimCommunicator(8)
+        comm_ob = make_communicator(8)
+        comm_sa = make_communicator(8)
         spmm_15d_oblivious(dm, dh, grid, comm_ob)
         spmm_15d_sparsity_aware(dm, dh, grid, comm_sa)
         assert comm_ob.stats.total_bytes("allreduce") == \
@@ -125,7 +125,7 @@ class TestCommunicationBehaviour:
     def test_no_allreduce_traffic_when_c_is_1(self):
         grid = ProcessGrid(nranks=4, replication=1)
         adj, dm, dh, _ = make_problem(n=48, nblocks=4, seed=6)
-        comm = SimCommunicator(4)
+        comm = make_communicator(4)
         spmm_15d_sparsity_aware(dm, dh, grid, comm)
         # A single-member group all-reduce moves no data.
         assert comm.stats.total_bytes("allreduce") == 0
@@ -142,7 +142,7 @@ class TestCommunicationBehaviour:
             dist = BlockRowDistribution.uniform(96, grid.nrows)
             dm = DistSparseMatrix(adj, dist)
             dh = DistDenseMatrix.from_global(h, dist)
-            comm = SimCommunicator(nranks)
+            comm = make_communicator(nranks)
             spmm_15d_oblivious(dm, dh, grid, comm)
             volumes[c] = comm.stats.total_bytes("bcast")
         assert volumes[2] < volumes[1]

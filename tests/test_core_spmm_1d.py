@@ -4,7 +4,7 @@ sparsity-aware)."""
 import numpy as np
 import pytest
 
-from repro.comm import SimCommunicator
+from repro.comm import make_communicator
 from repro.core import (BlockRowDistribution, DistDenseMatrix, DistSparseMatrix,
                         spmm_1d_oblivious, spmm_1d_sparsity_aware)
 from repro.graphs import gcn_normalize
@@ -25,21 +25,21 @@ class TestCorrectness:
     @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
     def test_oblivious_matches_serial(self, p):
         adj, dm, dh, h = make_problem(p=p)
-        comm = SimCommunicator(p)
+        comm = make_communicator(p)
         result = spmm_1d_oblivious(dm, dh, comm)
         np.testing.assert_allclose(result.to_global(), adj @ h, atol=1e-10)
 
     @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
     def test_sparsity_aware_matches_serial(self, p):
         adj, dm, dh, h = make_problem(p=p)
-        comm = SimCommunicator(p)
+        comm = make_communicator(p)
         result = spmm_1d_sparsity_aware(dm, dh, comm)
         np.testing.assert_allclose(result.to_global(), adj @ h, atol=1e-10)
 
     def test_both_algorithms_agree(self):
         adj, dm, dh, h = make_problem(p=5, seed=3)
-        a = spmm_1d_oblivious(dm, dh, SimCommunicator(5))
-        b = spmm_1d_sparsity_aware(dm, dh, SimCommunicator(5))
+        a = spmm_1d_oblivious(dm, dh, make_communicator(5))
+        b = spmm_1d_sparsity_aware(dm, dh, make_communicator(5))
         np.testing.assert_allclose(a.to_global(), b.to_global(), atol=1e-10)
 
     def test_variable_block_sizes(self):
@@ -50,33 +50,33 @@ class TestCorrectness:
         h = rng.normal(size=(n, f))
         dm = DistSparseMatrix(adj, dist)
         dh = DistDenseMatrix.from_global(h, dist)
-        result = spmm_1d_sparsity_aware(dm, dh, SimCommunicator(4))
+        result = spmm_1d_sparsity_aware(dm, dh, make_communicator(4))
         np.testing.assert_allclose(result.to_global(), adj @ h, atol=1e-10)
 
     def test_mismatched_communicator_rejected(self):
         adj, dm, dh, _ = make_problem(p=4)
         with pytest.raises(ValueError):
-            spmm_1d_sparsity_aware(dm, dh, SimCommunicator(3))
+            spmm_1d_sparsity_aware(dm, dh, make_communicator(3))
 
     def test_mismatched_distribution_rejected(self):
         adj, dm, _, h = make_problem(p=4)
         other = DistDenseMatrix.from_global(h, BlockRowDistribution.uniform(60, 3))
         with pytest.raises(ValueError):
-            spmm_1d_oblivious(dm, other, SimCommunicator(4))
+            spmm_1d_oblivious(dm, other, make_communicator(4))
 
 
 class TestCommunicationVolume:
     def test_sparsity_aware_sends_no_more_than_oblivious(self):
         adj, dm, dh, _ = make_problem(n=80, p=5, seed=2)
-        comm_ob = SimCommunicator(5)
-        comm_sa = SimCommunicator(5)
+        comm_ob = make_communicator(5)
+        comm_sa = make_communicator(5)
         spmm_1d_oblivious(dm, dh, comm_ob)
         spmm_1d_sparsity_aware(dm, dh, comm_sa)
         assert comm_sa.stats.total_bytes() <= comm_ob.stats.total_bytes()
 
     def test_sparsity_aware_volume_matches_nnzcols_prediction(self):
         adj, dm, dh, _ = make_problem(n=80, p=5, seed=4)
-        comm = SimCommunicator(5)
+        comm = make_communicator(5)
         spmm_1d_sparsity_aware(dm, dh, comm)
         f = dh.width
         predicted = dm.needed_rows_matrix().sum() * f * 8
@@ -84,7 +84,7 @@ class TestCommunicationVolume:
 
     def test_oblivious_volume_is_full_blocks(self):
         adj, dm, dh, _ = make_problem(n=80, p=4, seed=5)
-        comm = SimCommunicator(4)
+        comm = make_communicator(4)
         spmm_1d_oblivious(dm, dh, comm)
         f = dh.width
         n = 80
@@ -104,26 +104,26 @@ class TestCommunicationVolume:
         h = rng.normal(size=(60, 5))
         dm = DistSparseMatrix(adj, dist)
         dh = DistDenseMatrix.from_global(h, dist)
-        comm = SimCommunicator(3)
+        comm = make_communicator(3)
         result = spmm_1d_sparsity_aware(dm, dh, comm)
         np.testing.assert_allclose(result.to_global(), adj @ h, atol=1e-12)
         assert comm.stats.total_bytes("alltoall") == 0
         # The oblivious algorithm still pays the full price.
-        comm_ob = SimCommunicator(3)
+        comm_ob = make_communicator(3)
         spmm_1d_oblivious(dm, dh, comm_ob)
         assert comm_ob.stats.total_bytes("bcast") > 0
 
     def test_categories_are_disjoint(self):
         adj, dm, dh, _ = make_problem(p=4, seed=6)
-        comm = SimCommunicator(4)
+        comm = make_communicator(4)
         spmm_1d_sparsity_aware(dm, dh, comm)
         assert comm.stats.total_bytes("bcast") == 0
-        comm2 = SimCommunicator(4)
+        comm2 = make_communicator(4)
         spmm_1d_oblivious(dm, dh, comm2)
         assert comm2.stats.total_bytes("alltoall") == 0
 
     def test_compute_time_charged(self):
         adj, dm, dh, _ = make_problem(p=4, seed=7)
-        comm = SimCommunicator(4)
+        comm = make_communicator(4)
         spmm_1d_sparsity_aware(dm, dh, comm)
         assert comm.timeline.breakdown()["local"] > 0

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.comm import SimCommunicator
+from repro.comm import make_communicator
 from repro.core import (Dist2DSparseMatrix, Grid2D, spmm_2d_oblivious,
                         spmm_2d_sparsity_aware)
 from repro.graphs import erdos_renyi_graph, gcn_normalize
@@ -72,14 +72,14 @@ class TestCorrectness:
     def test_oblivious_matches_direct(self, graph, dense, pr, pc):
         grid = Grid2D(pr, pc)
         matrix = Dist2DSparseMatrix.uniform(graph, grid)
-        comm = SimCommunicator(grid.nranks, machine="perlmutter")
+        comm = make_communicator(grid.nranks, machine="perlmutter")
         out = spmm_2d_oblivious(matrix, dense, grid, comm)
         np.testing.assert_allclose(out, graph @ dense, atol=1e-9)
 
     def test_sparsity_aware_matches_direct(self, graph, dense, pr, pc):
         grid = Grid2D(pr, pc)
         matrix = Dist2DSparseMatrix.uniform(graph, grid)
-        comm = SimCommunicator(grid.nranks, machine="perlmutter")
+        comm = make_communicator(grid.nranks, machine="perlmutter")
         out = spmm_2d_sparsity_aware(matrix, dense, grid, comm)
         np.testing.assert_allclose(out, graph @ dense, atol=1e-9)
 
@@ -91,11 +91,11 @@ class TestCommunicationAccounting:
         grid = Grid2D(4, 2)
         matrix = Dist2DSparseMatrix.uniform(graph, grid)
 
-        comm_obl = SimCommunicator(grid.nranks, machine="perlmutter")
+        comm_obl = make_communicator(grid.nranks, machine="perlmutter")
         spmm_2d_oblivious(matrix, dense, grid, comm_obl)
         gather_bytes = comm_obl.events.total_bytes(category="bcast")
 
-        comm_sa = SimCommunicator(grid.nranks, machine="perlmutter")
+        comm_sa = make_communicator(grid.nranks, machine="perlmutter")
         spmm_2d_sparsity_aware(matrix, dense, grid, comm_sa)
         exchange_bytes = comm_sa.events.total_bytes(category="alltoall")
 
@@ -106,7 +106,7 @@ class TestCommunicationAccounting:
         matrix = Dist2DSparseMatrix.uniform(graph, grid)
         comms = []
         for fn in (spmm_2d_oblivious, spmm_2d_sparsity_aware):
-            comm = SimCommunicator(grid.nranks, machine="perlmutter")
+            comm = make_communicator(grid.nranks, machine="perlmutter")
             fn(matrix, dense, grid, comm)
             comms.append(comm.events.total_bytes(category="allreduce"))
         assert comms[0] == comms[1]
@@ -114,7 +114,7 @@ class TestCommunicationAccounting:
     def test_single_column_grid_has_no_row_reduction_traffic(self, graph, dense):
         grid = Grid2D(4, 1)
         matrix = Dist2DSparseMatrix.uniform(graph, grid)
-        comm = SimCommunicator(4, machine="perlmutter")
+        comm = make_communicator(4, machine="perlmutter")
         out = spmm_2d_sparsity_aware(matrix, dense, grid, comm)
         np.testing.assert_allclose(out, graph @ dense, atol=1e-9)
         assert comm.events.total_bytes(category="allreduce") == 0
@@ -123,7 +123,7 @@ class TestCommunicationAccounting:
 class TestValidation:
     def test_mismatched_grid(self, graph, dense):
         matrix = Dist2DSparseMatrix.uniform(graph, Grid2D(2, 2))
-        comm = SimCommunicator(4)
+        comm = make_communicator(4)
         with pytest.raises(ValueError):
             spmm_2d_oblivious(matrix, dense, Grid2D(4, 1), comm)
 
@@ -131,11 +131,11 @@ class TestValidation:
         grid = Grid2D(2, 2)
         matrix = Dist2DSparseMatrix.uniform(graph, grid)
         with pytest.raises(ValueError):
-            spmm_2d_sparsity_aware(matrix, dense, grid, SimCommunicator(3))
+            spmm_2d_sparsity_aware(matrix, dense, grid, make_communicator(3))
 
     def test_mismatched_dense(self, graph):
         grid = Grid2D(2, 2)
         matrix = Dist2DSparseMatrix.uniform(graph, grid)
-        comm = SimCommunicator(4)
+        comm = make_communicator(4)
         with pytest.raises(ValueError):
             spmm_2d_oblivious(matrix, np.ones((5, 2)), grid, comm)

@@ -7,15 +7,22 @@ errors" between the sparsity-oblivious and sparsity-aware implementations.
 We verify something stronger — every distributed variant (1D / 1.5D,
 oblivious / sparsity-aware, with and without partitioning) produces the
 same per-epoch losses and final accuracy as the reference GCN, up to
-floating-point rounding.
+floating-point rounding; and every registered (algorithm, sparsity-mode)
+SpMM variant produces **bitwise identical** ``Z = M H`` on the simulated
+and the real threaded communicator backend.
 """
 
 import numpy as np
 import pytest
 
-from repro.core import DistTrainConfig, train_distributed
+from repro.comm import make_communicator
+from repro.core import (BlockRowDistribution, DistDenseMatrix,
+                        DistSparseMatrix, Dist2DSparseMatrix, DistTrainConfig,
+                        Grid2D, ProcessGrid, available_spmm_variants, spmm,
+                        train_distributed)
 from repro.gcn import ReferenceTrainConfig, train_reference
-from repro.graphs import load_dataset
+from repro.graphs import gcn_normalize, load_dataset
+from repro.graphs.generators import erdos_renyi_graph
 
 EPOCHS = 8
 LR = 0.08
@@ -62,6 +69,12 @@ VARIANTS = [
                  id="15d-sa-gvb-c2-p8"),
     pytest.param(dict(n_ranks=16, algorithm="1.5d", replication_factor=4,
                       sparsity_aware=True, partitioner=None), id="15d-sa-c4"),
+    pytest.param(dict(n_ranks=4, algorithm="1d", sparsity_aware=True,
+                      partitioner="gvb", backend="threaded"),
+                 id="1d-sa-gvb-threaded"),
+    pytest.param(dict(n_ranks=4, algorithm="1.5d", replication_factor=2,
+                      sparsity_aware=True, partitioner=None,
+                      backend="threaded"), id="15d-sa-c2-threaded"),
 ]
 
 
@@ -93,6 +106,82 @@ def test_all_schemes_agree_with_each_other(dataset):
         losses[key] = run_variant(dataset, **variant).final_loss
     values = list(losses.values())
     assert max(values) - min(values) < 1e-8
+
+
+class TestSpmmEngineBackendMatrix:
+    """Every registered (algorithm, mode) variant, on every backend, equals
+    the dense NumPy reference — and the backends agree bit for bit."""
+
+    N, F, P = 48, 6, 4
+
+    @pytest.fixture(scope="class")
+    def problem(self):
+        adj = gcn_normalize(erdos_renyi_graph(self.N, avg_degree=6, seed=11))
+        rng = np.random.default_rng(11)
+        h = rng.normal(size=(self.N, self.F))
+        return adj, h, adj @ h
+
+    def _operands(self, algorithm, adj, h):
+        if algorithm == "2d":
+            grid = Grid2D(2, 2)
+            return Dist2DSparseMatrix.uniform(adj, grid), h, grid
+        if algorithm == "1.5d":
+            grid = ProcessGrid(self.P, 2)
+            nblocks = grid.nrows
+        else:
+            grid, nblocks = None, self.P
+        dist = BlockRowDistribution.uniform(self.N, nblocks)
+        return (DistSparseMatrix(adj, dist),
+                DistDenseMatrix.from_global(h, dist), grid)
+
+    def test_registry_is_complete(self):
+        assert available_spmm_variants() == [
+            ("1.5d", "oblivious"), ("1.5d", "sparsity_aware"),
+            ("1d", "oblivious"), ("1d", "sparsity_aware"),
+            ("2d", "oblivious"), ("2d", "sparsity_aware"),
+        ]
+
+    @pytest.mark.parametrize("algorithm,mode", [
+        ("1d", "oblivious"), ("1d", "sparsity_aware"),
+        ("1.5d", "oblivious"), ("1.5d", "sparsity_aware"),
+        ("2d", "oblivious"), ("2d", "sparsity_aware"),
+    ])
+    def test_variant_identical_across_backends(self, problem, algorithm, mode):
+        adj, h, reference = problem
+        matrix, dense, grid = self._operands(algorithm, adj, h)
+        results = {}
+        for backend in ("sim", "threaded"):
+            comm = make_communicator(self.P, backend=backend)
+            try:
+                z = spmm(matrix, dense, comm, algorithm=algorithm,
+                         sparsity_aware=(mode == "sparsity_aware"), grid=grid)
+            finally:
+                comm.close()
+            results[backend] = z if isinstance(z, np.ndarray) else z.to_global()
+            np.testing.assert_allclose(results[backend], reference, atol=1e-10)
+        np.testing.assert_array_equal(results["sim"], results["threaded"])
+
+    @pytest.mark.parametrize("backend", ["sim", "threaded"])
+    def test_engine_report_captures_timing_and_volume(self, problem, backend):
+        from repro.core import SpmmEngine
+        adj, h, reference = problem
+        matrix, dense, _ = self._operands("1d", adj, h)
+        comm = make_communicator(self.P, backend=backend)
+        try:
+            engine = SpmmEngine(comm, algorithm="1d", sparsity_aware=True)
+            z, report = engine.run_with_report(matrix, dense)
+        finally:
+            comm.close()
+        np.testing.assert_allclose(z.to_global(), reference, atol=1e-10)
+        assert report.algorithm == "1d"
+        assert report.mode == "sparsity_aware"
+        assert report.backend == backend
+        assert report.elapsed_s > 0.0
+        assert report.comm_bytes > 0
+        assert report.messages > 0
+        assert engine.last_report is report
+        d = report.as_dict()
+        assert d["comm_MB"] == report.comm_bytes / 1e6
 
 
 def test_accuracy_is_meaningful(dataset):

@@ -19,13 +19,13 @@ import scipy.sparse as sp
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.comm import SimCommunicator, perlmutter
+from repro.comm import make_communicator, perlmutter
 from repro.comm.collectives import allreduce_time, broadcast_time
 from repro.core import (BlockRowDistribution, DistDenseMatrix, DistSparseMatrix,
                         predicted_bytes_per_spmm, spmm_1d_oblivious,
                         spmm_1d_sparsity_aware)
 from repro.partition import communication_volumes_1d, edgecut
-from repro.partition.refine import edgecut_refine
+from repro.partition.refine import edgecut_refine, weighted_edgecut
 from repro.partition.volume_refine import VolumeState
 
 SETTINGS = dict(max_examples=25, deadline=None,
@@ -88,7 +88,7 @@ class TestSpMMProperties:
         h = rng.normal(size=(adj.shape[0], f))
         dm = DistSparseMatrix(adj, dist)
         dh = DistDenseMatrix.from_global(h, dist)
-        comm = SimCommunicator(dist.nblocks)
+        comm = make_communicator(dist.nblocks)
         out = spmm_1d_sparsity_aware(dm, dh, comm)
         np.testing.assert_allclose(out.to_global(), adj @ h, atol=1e-9)
 
@@ -101,8 +101,8 @@ class TestSpMMProperties:
         h = rng.normal(size=(adj.shape[0], f))
         dm = DistSparseMatrix(adj, dist)
         dh = DistDenseMatrix.from_global(h, dist)
-        comm_sa = SimCommunicator(dist.nblocks)
-        comm_ob = SimCommunicator(dist.nblocks)
+        comm_sa = make_communicator(dist.nblocks)
+        comm_ob = make_communicator(dist.nblocks)
         spmm_1d_sparsity_aware(dm, dh, comm_sa)
         spmm_1d_oblivious(dm, dh, comm_ob)
         assert comm_sa.stats.total_bytes() <= comm_ob.stats.total_bytes()
@@ -116,7 +116,7 @@ class TestSpMMProperties:
         h = rng.normal(size=(adj.shape[0], f))
         dm = DistSparseMatrix(adj, dist)
         dh = DistDenseMatrix.from_global(h, dist)
-        comm = SimCommunicator(dist.nblocks)
+        comm = make_communicator(dist.nblocks)
         spmm_1d_sparsity_aware(dm, dh, comm)
         predicted = predicted_bytes_per_spmm(dm, f, sparsity_aware=True)
         measured = comm.events.bytes_sent_by_rank(dist.nblocks,
@@ -144,11 +144,15 @@ class TestPartitionProperties:
     @given(problem=graph_with_partition())
     @settings(**SETTINGS)
     def test_refinement_never_increases_edgecut(self, problem):
+        # The refiner's move gain is computed on edge *weights*, so the
+        # invariant is on the weighted cut; the unweighted edge count can
+        # legitimately grow when a heavy edge is traded for several light
+        # ones (hypothesis found such a graph).
         adj, parts, nparts = problem
-        before = edgecut(adj, parts)
+        before = weighted_edgecut(adj, parts)
         refined, _ = edgecut_refine(adj, parts, nparts, balance_factor=1.5,
                                     max_passes=3, seed=0)
-        assert edgecut(adj, refined) <= before
+        assert weighted_edgecut(adj, refined) <= before + 1e-9
         # Still a valid partition vector.
         assert refined.shape == parts.shape
         assert refined.min() >= 0 and refined.max() < nparts
@@ -215,7 +219,7 @@ class TestSimulatorProperties:
         """Total bytes logged equal the bytes handed to the exchange, and
         every payload is delivered unchanged."""
         p = 2
-        comm = SimCommunicator(p)
+        comm = make_communicator(p)
         rng = np.random.default_rng(0)
         send = [[None, rng.normal(size=(sizes[0], f))],
                 [rng.normal(size=(sizes[1], f)), None]]
