@@ -10,7 +10,8 @@ paper, at toy scale.
 The distributed runtime is selected through the communicator backend
 factory (``repro.comm.make_communicator``): ``sim`` runs on the
 deterministic alpha-beta simulator, ``threaded`` on real shared-memory
-worker threads (one per rank).  See ``docs/backends.md``.
+worker threads (one per rank), ``process`` on one OS process per rank
+with shared-memory transport.  See ``docs/backends.md``.
 
 Run with::
 

@@ -1,21 +1,34 @@
 #!/usr/bin/env python
-"""Record the BENCH_spmm.json performance baseline.
+"""Record the BENCH_spmm*.json performance baselines.
 
 Runs the Figure-3 1D scaling sweep (the same entry point
-``benchmarks/bench_fig3_1d_scaling.py`` benchmarks) on the deterministic
-``sim`` backend and writes the per-configuration simulated epoch times and
-communication volumes to ``BENCH_spmm.json`` at the repository root.
-Because the simulator is deterministic, future PRs can diff their sweep
-against this file to see exactly which (dataset, scheme, p) cells moved.
+``benchmarks/bench_fig3_1d_scaling.py`` benchmarks) and writes the
+per-configuration epoch times and communication volumes to a JSON file at
+the repository root.
+
+Two baselines are tracked:
+
+* ``BENCH_spmm.json`` — the deterministic ``sim`` backend at the paper's
+  scaled-down grid.  Because the simulator is a pure function of its
+  inputs, future PRs can diff their sweep against this file to see
+  exactly which (dataset, scheme, p) cells moved
+  (``tests/test_bench_determinism.py`` guards that property).
+* ``BENCH_spmm_process.json`` — the real multi-process backend on a
+  smaller grid, so the perf trajectory also covers genuinely parallel
+  wall-clock execution.  These rows are hardware-dependent: compare
+  shapes and ratios, not absolute cells.
 
 Usage::
 
-    PYTHONPATH=src python scripts/record_baseline.py [output.json]
+    PYTHONPATH=src python scripts/record_baseline.py
+    PYTHONPATH=src python scripts/record_baseline.py \
+        --backend process --p-values 2 4 8 --output BENCH_spmm_process.json
 
 Environment overrides (same as the bench suite): ``REPRO_BENCH_SCALE``,
 ``REPRO_BENCH_EPOCHS``.
 """
 
+import argparse
 import json
 import pathlib
 import sys
@@ -36,29 +49,62 @@ KEEP_COLUMNS = (
 )
 
 
-def main() -> int:
-    out_path = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 \
-        else REPO_ROOT / "BENCH_spmm.json"
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="record a Figure-3 sweep as a BENCH baseline JSON")
+    parser.add_argument("output", nargs="?", default=None,
+                        help="output path (default: BENCH_spmm.json for the "
+                             "sim backend, BENCH_spmm_<backend>.json "
+                             "otherwise)")
+    parser.add_argument("--output", dest="output_flag", default=None,
+                        help="same as the positional output path")
+    parser.add_argument("--backend", default="sim",
+                        help="communicator backend for the sweep "
+                             "(default: sim)")
+    parser.add_argument("--p-values", type=int, nargs="+", default=None,
+                        help=f"process counts (default: {P_VALUES})")
+    parser.add_argument("--datasets", nargs="+", default=None,
+                        help=f"datasets (default: {DATASETS})")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    backend = args.backend
+    p_values = tuple(args.p_values) if args.p_values else P_VALUES
+    datasets = tuple(args.datasets) if args.datasets else DATASETS
+    out = args.output_flag or args.output
+    if out is None:
+        out = "BENCH_spmm.json" if backend == "sim" \
+            else f"BENCH_spmm_{backend}.json"
+    out_path = pathlib.Path(out)
+    if not out_path.is_absolute():
+        out_path = REPO_ROOT / out_path
+
     scale, epochs = bench_scale(), bench_epochs()
     start = time.time()
-    rows = figure3_1d_scaling(datasets=DATASETS, p_values=P_VALUES,
-                              scale=scale, epochs=epochs, backend="sim",
-                              seed=0)
+    rows = figure3_1d_scaling(datasets=datasets, p_values=p_values,
+                              scale=scale, epochs=epochs, backend=backend,
+                              seed=args.seed)
     wall_s = time.time() - start
     payload = {
         "benchmark": "fig3_1d_scaling",
         "source": "benchmarks/bench_fig3_1d_scaling.py",
-        "backend": "sim",
-        "config": {"datasets": list(DATASETS), "p_values": list(P_VALUES),
-                   "scale": scale, "epochs": epochs, "seed": 0},
+        "backend": backend,
+        # Wall-clock rows (threaded/process backends) are hardware
+        # dependent; sim rows are exactly reproducible.
+        "deterministic": backend == "sim",
+        "config": {"datasets": list(datasets), "p_values": list(p_values),
+                   "scale": scale, "epochs": epochs, "seed": args.seed},
         "recorder_wall_s": round(wall_s, 2),
         "rows": [
             {k: row[k] for k in KEEP_COLUMNS if k in row} for row in rows
         ],
     }
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
-    print(f"wrote {len(rows)} rows to {out_path} "
-          f"(scale={scale}, epochs={epochs}, {wall_s:.1f}s wall)")
+    print(f"wrote {len(rows)} rows to {out_path} (backend={backend}, "
+          f"scale={scale}, epochs={epochs}, {wall_s:.1f}s wall)")
     return 0
 
 

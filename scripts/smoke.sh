@@ -1,11 +1,22 @@
 #!/usr/bin/env bash
 # CI smoke target: exercise the end-to-end bench path (dataset generation,
-# partitioning, distributed training, reporting) on the sim backend at tiny
-# scale.  Hard 60 s budget — the run takes ~1 s; anything slower signals a
-# performance regression or a hang in the comm layer.
+# partitioning, distributed training, reporting) on every communicator
+# backend at tiny scale.  Hard 60 s budget for the whole matrix — each run
+# takes ~1 s; anything slower signals a performance regression or a hang
+# in the comm layer (worker threads for `threaded`, worker processes and
+# shared-memory arenas for `process`).
+#
+# The cross-backend conformance/property matrix runs separately with
+#     python -m pytest -m conformance
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-timeout 60 python -m repro bench --quick --backend sim
+timeout 60 bash -c '
+  set -euo pipefail
+  for backend in sim threaded process; do
+    echo "== repro bench --quick --backend ${backend} =="
+    python -m repro bench --quick --backend "${backend}"
+  done
+'

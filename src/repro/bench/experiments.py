@@ -12,7 +12,8 @@ variables let users trade fidelity for runtime without editing code:
   enough for the timing figures);
 * ``REPRO_BENCH_BACKEND`` — communicator backend (default ``"sim"``; any
   name from :func:`repro.comm.available_backends`, e.g. ``"threaded"``
-  for real shared-memory workers timed by wall clock).
+  for real shared-memory worker threads or ``"process"`` for one OS
+  process per rank, both timed by wall clock).
 """
 
 from __future__ import annotations

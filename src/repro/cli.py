@@ -85,7 +85,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--backend", choices=available_backends(),
                          default="sim",
                          help="communicator backend (sim = deterministic "
-                              "simulation, threaded = real workers)")
+                              "simulation, threaded = real worker threads, "
+                              "process = one OS process per rank)")
 
     p_bench = sub.add_parser("bench", help="regenerate a paper table/figure")
     p_bench.add_argument("experiment", nargs="?", default=None,

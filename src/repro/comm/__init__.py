@@ -9,6 +9,9 @@ swappable communicator backends behind one abstract interface:
   alpha-beta simulation (the reproduction's benchmark backend),
 * :mod:`repro.comm.threaded`    — :class:`ThreadedCommunicator`, real
   shared-memory execution with one worker thread per rank,
+* :mod:`repro.comm.process`     — :class:`ProcessPoolCommunicator`, one OS
+  process per rank with shared-memory transport (no shared interpreter
+  state between ranks),
 * :mod:`repro.comm.factory`     — :func:`make_communicator` /
   :func:`register_backend`, the backend registry call sites go through,
 * :mod:`repro.comm.machine`     — alpha-beta machine models (Perlmutter preset),
@@ -27,6 +30,7 @@ from .factory import (BACKENDS, available_backends, make_communicator,
                       register_backend)
 from .machine import (MachineModel, PRESETS, get_machine, laptop, perlmutter,
                       perlmutter_scaled)
+from .process import ProcessPoolCommunicator
 from .simulator import SimCommunicator
 from .threaded import ThreadedCommunicator
 from .timeline import Timeline, WAIT_CATEGORY
@@ -46,6 +50,7 @@ __all__ = [
     "make_communicator",
     "register_backend",
     "ThreadedCommunicator",
+    "ProcessPoolCommunicator",
     "CommEvent",
     "EventLog",
     "MachineModel",

@@ -3,12 +3,14 @@
 :class:`Communicator` is the seam between the distributed algorithms in
 :mod:`repro.core` and whatever actually moves the data.  The paper's stack
 (PyTorch distributed + NCCL on Perlmutter) is one possible backend; this
-reproduction ships two:
+reproduction ships three:
 
 * :class:`~repro.comm.simulator.SimCommunicator` — deterministic
   single-process simulation with alpha-beta timing (the original backend),
 * :class:`~repro.comm.threaded.ThreadedCommunicator` — real shared-memory
-  execution on one worker thread per rank.
+  execution on one worker thread per rank,
+* :class:`~repro.comm.process.ProcessPoolCommunicator` — one OS process
+  per rank with shared-memory transport (no shared interpreter state).
 
 The interface has four parts:
 
@@ -29,8 +31,13 @@ The interface has four parts:
    already elapsed) — the base implementation is a no-op.
 4. **Execution**: :meth:`parallel_for` runs one closure per rank.  The base
    implementation executes sequentially in rank order (what the simulator
-   needs for determinism); real backends dispatch each closure to the
-   owning rank's worker so the SpMM compute genuinely runs in parallel.
+   needs for determinism); real backends either dispatch each closure to
+   the owning rank's worker so the SpMM compute genuinely runs in parallel
+   (threaded — the closures share the driver's heap), or execute them in
+   the driver while attributing each rank's measured duration to its clock
+   (process — the closures mutate driver-side output slots that a foreign
+   address space could not reach, so ``elapsed()`` models the as-if-parallel
+   makespan there rather than summed wall time).
 
 Every backend owns an :class:`~repro.comm.events.EventLog` (per-message
 volume ground truth) and a :class:`~repro.comm.timeline.Timeline` (per-rank
@@ -98,12 +105,19 @@ class Communicator(abc.ABC):
     #: override.  Used in reports and error messages only.
     backend_name: str = "abstract"
 
+    #: Whether the backend refuses new work after :meth:`close` (backends
+    #: with real worker pools set this to True).  Reporting — ``elapsed``,
+    #: ``breakdown``, ``stats_summary`` — must keep working after close on
+    #: every backend; the conformance suite asserts both halves.
+    rejects_work_when_closed: bool = False
+
     def __init__(self, nranks: int) -> None:
         if nranks <= 0:
             raise ValueError(f"nranks must be positive, got {nranks}")
         self.nranks = nranks
         self.events = EventLog()
         self.timeline = Timeline(nranks)
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Rank / group queries
@@ -346,8 +360,21 @@ class Communicator(abc.ABC):
         self.events.clear()
         self.timeline.reset()
 
+    def _check_open(self) -> None:
+        """Raise if :meth:`close` has been called.
+
+        Backends with real worker pools (``rejects_work_when_closed``)
+        call this at the top of every work submission, *before* any event
+        or timeline mutation, so rejected work never records phantom
+        traffic.  The simulator keeps accepting work after close and never
+        calls it.
+        """
+        if self._closed:
+            raise RuntimeError("communicator is closed")
+
     def close(self) -> None:
         """Release backend resources (worker threads etc.); idempotent."""
+        self._closed = True
 
     def __enter__(self) -> "Communicator":
         return self

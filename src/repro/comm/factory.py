@@ -7,6 +7,7 @@ factory for one by name::
 
     comm = make_communicator(8)                       # sim backend
     comm = make_communicator(8, backend="threaded")   # real worker threads
+    comm = make_communicator(8, backend="process")    # one OS process/rank
 
 New backends (process-based, MPI, GPU models, ...) plug in through
 :func:`register_backend` without touching any call site — this is the seam
@@ -19,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from .base import Communicator
+from .process import ProcessPoolCommunicator
 from .simulator import SimCommunicator
 from .threaded import ThreadedCommunicator
 
@@ -75,3 +77,4 @@ def make_communicator(nranks: int, backend: str = "sim",
 
 register_backend("sim", SimCommunicator)
 register_backend("threaded", ThreadedCommunicator)
+register_backend("process", ProcessPoolCommunicator)

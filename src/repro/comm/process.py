@@ -1,0 +1,747 @@
+"""Process-pool communicator: one OS process per rank, shared-memory transport.
+
+:class:`ProcessPoolCommunicator` is the second *real* backend of the
+:class:`~repro.comm.base.Communicator` interface and the first one whose
+ranks share **no live Python interpreter state**: every rank is a separate
+OS process.  That property is what makes it valuable in the proof net —
+any hidden cross-rank aliasing an algorithm smuggles through the threaded
+backend (where every rank sees the same heap) is physically impossible
+here, because every payload a rank receives is reconstructed from raw
+bytes that crossed a process boundary.
+
+Architecture (driver calling convention, like every other backend: one
+call carries every rank's operand and returns every rank's result):
+
+* **data plane** — per-rank *send* and *recv* arenas backed by
+  :class:`multiprocessing.shared_memory.SharedMemory`.  The driver stages
+  each rank's outgoing payloads into that rank's send arena; the receiving
+  rank's worker process copies (or reduces) the bytes out of its peers'
+  send arenas into its own recv arena; the driver reads the results back.
+  Tensor payloads are never pickled — only raw bytes move, so round trips
+  are exact and reductions via the shared
+  :func:`~repro.comm.base.reduce_stack` stay bitwise identical to the
+  simulator.
+* **control plane** — small pickled command dicts (slab offsets, shapes,
+  dtypes, arena generations) on per-rank ``multiprocessing`` queues, plus
+  per-rank sync queues implementing a leader-based group barrier.
+* **workers** — one daemon process per rank, started lazily on the first
+  collective and torn down by :meth:`close` (idempotent; also invoked by
+  the context-manager protocol and ``__del__``).  A worker failure is
+  reported back with its traceback instead of hanging the driver; a
+  watchdog timeout (default 600 s) turns a lost worker into an error and
+  closes the communicator (a lost worker's late response could otherwise
+  be mismatched with a later collective's plan).
+
+Semantics notes:
+
+* Reductions are executed inside the worker processes (every member of an
+  ``allreduce`` computes the same group-ordered :func:`reduce_stack`, so
+  no result broadcast round is needed and results are bitwise identical
+  across ranks and across backends).
+* The copy contract matches the simulator: the root/owner slot of a
+  collective result is the caller's original object, every other slot is
+  a fresh buffer.
+* :meth:`parallel_for` executes the per-rank compute closures in the
+  driver process (they close over driver-side matrices and output slots,
+  which a foreign address space could not mutate) while charging each
+  rank's clock with its measured wall duration.  The *transport* is what
+  runs multi-process in this backend; see ``docs/backends.md`` for when
+  to prefer it over ``threaded``.
+
+Timing is wall-clock, like the threaded backend: collectives advance the
+whole group by the measured step duration and synchronise; the
+``charge_*`` hooks are no-ops.  Volume accounting uses the same
+:class:`~repro.comm.events.EventLog` records as the simulator, so the
+Table-2 statistics are backend-independent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+import traceback
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import Communicator, payload_nbytes as _nbytes, reduce_stack
+
+__all__ = ["ProcessPoolCommunicator"]
+
+#: Watchdog: a worker that does not answer within this many seconds is
+#: treated as lost and the collective raises instead of hanging.
+DEFAULT_TIMEOUT_S = 600.0
+
+#: Slab alignment inside the shared-memory arenas.
+_ALIGN = 64
+
+#: Process-global communicator counter: arena names must stay unique across
+#: every ProcessPoolCommunicator alive in this driver process.
+_UID_COUNTER = itertools.count()
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+# ----------------------------------------------------------------------
+# Worker side (runs in the per-rank child processes)
+# ----------------------------------------------------------------------
+def _attach_arena(name: str, unregister: bool) -> shared_memory.SharedMemory:
+    """Attach an existing shared-memory segment.
+
+    Under the ``spawn`` start method every child owns a private resource
+    tracker which registers the segment on attach and would unlink it when
+    the child exits — destroying it under the driver.  Unregister the
+    attachment in that case (the driver's own registration from creation
+    keeps crash cleanup working).  Under ``fork`` the tracker is shared
+    with the driver and must keep its single registration.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    if unregister:
+        try:  # pragma: no cover - spawn-only path
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return shm
+
+
+def _worker_barrier(rank: int, cmd: dict, sync_qs, pending: Dict[int, int]) -> None:
+    """Leader-based group barrier over the per-rank sync queues.
+
+    The leader (first group member) collects one token per peer, then
+    releases every peer.  Tokens are tagged with the barrier id so a fast
+    peer entering the *next* barrier early cannot be miscounted.
+    """
+    group, bid, timeout_s = cmd["group"], cmd["bid"], cmd["timeout_s"]
+    leader = group[0]
+    if rank == leader:
+        need = len(group) - 1
+        have = pending.pop(bid, 0)
+        while have < need:
+            got = sync_qs[leader].get(timeout=timeout_s)
+            if got == bid:
+                have += 1
+            else:
+                pending[got] = pending.get(got, 0) + 1
+        for r in group[1:]:
+            sync_qs[r].put(bid)
+    else:
+        sync_qs[leader].put(bid)
+        got = sync_qs[rank].get(timeout=timeout_s)
+        if got != bid:  # pragma: no cover - protocol violation guard
+            raise RuntimeError(f"barrier release mismatch: got {got}, "
+                               f"expected {bid}")
+
+
+def _worker_main(rank: int, cmd_q, out_q, sync_qs, unregister_shm: bool) -> None:
+    """Main loop of one rank's worker process.
+
+    Commands arrive as pickled dicts; payload bytes only ever move through
+    the shared-memory arenas.  Every command is answered with exactly one
+    ``("done", seconds)`` or ``("error", traceback)`` message, keeping the
+    driver and the worker in lockstep.
+    """
+    attached: Dict[Tuple[int, str], Tuple[int, shared_memory.SharedMemory]] = {}
+    pending_tokens: Dict[int, int] = {}
+
+    def arena(owner: int, kind: str) -> shared_memory.SharedMemory:
+        return attached[(owner, kind)][1]
+
+    while True:
+        cmd = cmd_q.get()
+        if cmd["op"] == "stop":
+            break
+        start = time.perf_counter()
+        try:
+            if cmd["op"] == "plan":
+                for owner, kind, name, gen in cmd["arenas"]:
+                    cur = attached.get((owner, kind))
+                    if cur is None or cur[0] != gen:
+                        if cur is not None:
+                            cur[1].close()
+                        attached[(owner, kind)] = (
+                            gen, _attach_arena(name, unregister_shm))
+                for src, src_off, nbytes, dst_off in cmd["copies"]:
+                    dst = arena(rank, "recv")
+                    dst.buf[dst_off:dst_off + nbytes] = \
+                        arena(src, "send").buf[src_off:src_off + nbytes]
+                for red in cmd["reduces"]:
+                    parts = [
+                        np.ndarray(shape, dtype=dtype,
+                                   buffer=arena(src, "send").buf, offset=off)
+                        for src, off, shape, dtype in red["sources"]]
+                    result = reduce_stack(parts, red["reduce_op"],
+                                          force_float64=red["force64"])
+                    out_dtype = np.dtype(red["out_dtype"])
+                    if result.dtype != out_dtype:  # pragma: no cover - guard
+                        raise RuntimeError(
+                            f"reduction produced dtype {result.dtype}, "
+                            f"driver expected {out_dtype}")
+                    view = np.ndarray(result.shape, dtype=out_dtype,
+                                      buffer=arena(rank, "recv").buf,
+                                      offset=red["dst_off"])
+                    view[...] = result
+            elif cmd["op"] == "barrier":
+                _worker_barrier(rank, cmd, sync_qs, pending_tokens)
+            else:  # pragma: no cover - protocol violation guard
+                raise RuntimeError(f"unknown worker op {cmd['op']!r}")
+        except BaseException:  # noqa: BLE001 - reported to the driver
+            out_q.put(("error", traceback.format_exc()))
+        else:
+            out_q.put(("done", time.perf_counter() - start))
+    for _, shm in attached.values():
+        shm.close()
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+class _Arena:
+    """One rank's send or recv shared-memory segment (driver bookkeeping)."""
+
+    __slots__ = ("shm", "size", "gen")
+
+    def __init__(self, shm: shared_memory.SharedMemory, size: int,
+                 gen: int) -> None:
+        self.shm = shm
+        self.size = size
+        self.gen = gen
+
+
+class _Slab:
+    """Placement of one staged payload inside an arena."""
+
+    __slots__ = ("offset", "shape", "dtype", "nbytes")
+
+    def __init__(self, offset: int, shape: Tuple[int, ...],
+                 dtype: np.dtype, nbytes: int) -> None:
+        self.offset = offset
+        self.shape = shape
+        self.dtype = dtype
+        self.nbytes = nbytes
+
+
+class ProcessPoolCommunicator(Communicator):
+    """Real multi-process backend: per-rank OS processes + shared memory."""
+
+    backend_name = "process"
+    rejects_work_when_closed = True
+
+    def __init__(self, nranks: int, machine=None,
+                 timeout_s: float = DEFAULT_TIMEOUT_S,
+                 start_method: Optional[str] = None) -> None:
+        # ``machine`` is accepted (and ignored) so the factory can pass the
+        # same keyword arguments to every backend; wall time needs no model.
+        super().__init__(nranks)
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        self.timeout_s = timeout_s
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() \
+                else "spawn"
+        self.start_method = start_method
+        self._ctx = mp.get_context(start_method)
+        self._procs: Optional[List] = None
+        self._cmd_qs = None
+        self._out_qs = None
+        self._sync_qs = None
+        self._arenas: Dict[Tuple[int, str], _Arena] = {}
+        self._gen = itertools.count()
+        self._bid = itertools.count()
+        self._uid = f"{os.getpid():x}x{next(_UID_COUNTER):x}"
+
+    # ------------------------------------------------------------------
+    # Worker / arena management
+    # ------------------------------------------------------------------
+    def _ensure_workers(self) -> None:
+        self._check_open()
+        if self._procs is not None:
+            return
+        ctx = self._ctx
+        self._cmd_qs = [ctx.Queue() for _ in range(self.nranks)]
+        self._out_qs = [ctx.Queue() for _ in range(self.nranks)]
+        self._sync_qs = [ctx.Queue() for _ in range(self.nranks)]
+        unregister = self.start_method != "fork"
+        self._procs = []
+        for r in range(self.nranks):
+            proc = ctx.Process(
+                target=_worker_main, name=f"comm-rank-{r}",
+                args=(r, self._cmd_qs[r], self._out_qs[r], self._sync_qs,
+                      unregister),
+                daemon=True)
+            proc.start()
+            self._procs.append(proc)
+
+    def _ensure_arena(self, rank: int, kind: str, nbytes: int) -> _Arena:
+        """Grow-only shared-memory arena for ``rank``'s ``kind`` buffer."""
+        key = (rank, kind)
+        arena = self._arenas.get(key)
+        if arena is not None and arena.size >= nbytes:
+            return arena
+        size = max(nbytes, 4096, 2 * arena.size if arena else 0)
+        gen = next(self._gen)
+        name = f"rpr{self._uid}{kind[0]}{rank}g{gen}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        if arena is not None:
+            # No collective is in flight when we get here (the driver is
+            # synchronous), so the old segment can be unlinked immediately:
+            # workers still mapping it stay valid and re-attach the new
+            # generation with their next command.
+            arena.shm.close()
+            arena.shm.unlink()
+        arena = _Arena(shm, size, gen)
+        self._arenas[key] = arena
+        return arena
+
+    def close(self) -> None:
+        """Join the worker processes and release all shared memory.
+
+        Idempotent; safe to call when the workers were never started or
+        after a collective raised.  Reporting (``elapsed`` / ``breakdown``
+        / ``stats_summary``) keeps working afterwards; submitting new work
+        raises ``RuntimeError``.
+        """
+        self._closed = True
+        procs, self._procs = self._procs, None
+        cmd_qs, self._cmd_qs = self._cmd_qs, None
+        out_qs, self._out_qs = self._out_qs, None
+        sync_qs, self._sync_qs = self._sync_qs, None
+        if procs:
+            for q in cmd_qs:
+                try:
+                    q.put({"op": "stop"})
+                except Exception:  # pragma: no cover - broken queue
+                    pass
+            for proc in procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+            for q in (*cmd_qs, *out_qs, *sync_qs):
+                q.close()
+                q.cancel_join_thread()
+        arenas, self._arenas = self._arenas, {}
+        for arena in arenas.values():
+            try:
+                arena.shm.close()
+                arena.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Plan staging and execution
+    # ------------------------------------------------------------------
+    def _stage_send(self, payloads: Dict[int, List[np.ndarray]]
+                    ) -> Dict[int, List[_Slab]]:
+        """Write each rank's outgoing arrays into its send arena."""
+        placed: Dict[int, List[_Slab]] = {}
+        for rank, arrays in payloads.items():
+            total = sum(_aligned(a.nbytes) for a in arrays)
+            arena = self._ensure_arena(rank, "send", total)
+            slabs, offset = [], 0
+            for arr in arrays:
+                view = np.ndarray(arr.shape, dtype=arr.dtype,
+                                  buffer=arena.shm.buf, offset=offset)
+                view[...] = arr
+                slabs.append(_Slab(offset, arr.shape, arr.dtype, arr.nbytes))
+                offset += _aligned(arr.nbytes)
+            placed[rank] = slabs
+        return placed
+
+    def _arena_ref(self, rank: int, kind: str) -> Tuple[int, str, str, int]:
+        arena = self._arenas[(rank, kind)]
+        return (rank, kind, arena.shm.name, arena.gen)
+
+    def _read_recv(self, rank: int, slab: _Slab) -> np.ndarray:
+        """Copy one result slab out of ``rank``'s recv arena."""
+        arena = self._arenas[(rank, "recv")]
+        view = np.ndarray(slab.shape, dtype=slab.dtype,
+                          buffer=arena.shm.buf, offset=slab.offset)
+        return np.array(view, copy=True)
+
+    def _run_step(self, group: Sequence[int], cmds: Sequence[dict],
+                  category: str) -> None:
+        """Dispatch one command per group member and wait for all of them.
+
+        Every member's response is drained even after an *error* on an
+        earlier member, so the per-rank out-queues stay in lockstep with
+        the command queues and a failed collective does not poison later
+        ones.  A *timeout* is different: the lost worker's answer can no
+        longer be matched to a command, so the communicator is closed
+        before raising — any further use fails loudly instead of pairing
+        stale responses with new plans.  All group clocks advance by the
+        wall duration of the whole step (bulk-synchronous semantics) and
+        are then synchronised.
+        """
+        self._ensure_workers()
+        start = time.perf_counter()
+        deadline = start + self.timeout_s
+        for r, cmd in zip(group, cmds):
+            self._cmd_qs[r].put(cmd)
+        errors: List[Tuple[int, str]] = []
+        lost: List[int] = []
+        for r in group:
+            try:
+                remaining = max(0.05, deadline - time.perf_counter())
+                msg = self._out_qs[r].get(timeout=remaining)
+            except queue_mod.Empty:
+                lost.append(r)
+                continue
+            if msg[0] == "error":
+                errors.append((r, msg[1]))
+        if lost:
+            self.close()
+            raise RuntimeError(
+                f"rank{'s' if len(lost) > 1 else ''} "
+                f"{', '.join(map(str, lost))} did not finish within "
+                f"{self.timeout_s}s (deadlock?); communicator closed")
+        if errors:
+            rank, tb = errors[0]
+            raise RuntimeError(f"rank {rank} worker failed:\n{tb}")
+        dt = time.perf_counter() - start
+        self.timeline.advance_all([dt] * len(group), category, ranks=group)
+        self.timeline.synchronize(group)
+
+
+    @staticmethod
+    def _plan(arenas: Sequence[Tuple[int, str, str, int]],
+              copies: Sequence[Tuple[int, int, int, int]] = (),
+              reduces: Sequence[dict] = ()) -> dict:
+        return {"op": "plan", "arenas": list(arenas),
+                "copies": list(copies), "reduces": list(reduces)}
+
+    # ------------------------------------------------------------------
+    # Execution / synchronisation
+    # ------------------------------------------------------------------
+    def parallel_for(self, tasks: Sequence[Callable[[], None]],
+                     ranks: Optional[Sequence[int]] = None,
+                     category: str = "local") -> None:
+        """Run the per-rank compute closures, timing each rank's share.
+
+        The closures mutate driver-side state (output blocks of the SpMM
+        operands), so they execute in the driver process; each rank's
+        clock advances by its task's measured wall duration.
+        """
+        if self._closed:
+            raise RuntimeError("communicator is closed")
+        group = self._resolve_ranks(ranks)
+        if len(tasks) != len(group):
+            raise ValueError(
+                f"{len(tasks)} tasks for a group of {len(group)} ranks")
+        seconds = []
+        for task in tasks:
+            t0 = time.perf_counter()
+            task()
+            seconds.append(time.perf_counter() - t0)
+        self.timeline.advance_all(seconds, category, ranks=group)
+
+    def barrier(self, ranks: Optional[Sequence[int]] = None) -> float:
+        """Real rendezvous of the group's worker processes."""
+        group = self._resolve_ranks(ranks)
+        if len(group) > 1:
+            bid = next(self._bid)
+            cmd = {"op": "barrier", "group": list(group), "bid": bid,
+                   "timeout_s": self.timeout_s}
+            self._run_step(group, [cmd] * len(group), "wait")
+        elif self._closed:
+            raise RuntimeError("communicator is closed")
+        return self.timeline.synchronize(group)
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def alltoallv(self,
+                  send: Sequence[Sequence[Optional[np.ndarray]]],
+                  ranks: Optional[Sequence[int]] = None,
+                  category: str = "alltoall",
+                  ) -> List[List[Optional[np.ndarray]]]:
+        self._check_open()
+        group = self._resolve_ranks(ranks)
+        p = len(group)
+        self._check_alltoallv_send(send, group)
+        self._record_alltoallv_events(send, group, category)
+
+        recv: List[List[Optional[np.ndarray]]] = [[None] * p for _ in range(p)]
+        outgoing: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+        for i in range(p):
+            recv[i][i] = send[i][i]
+            for j in range(p):
+                if j == i or send[i][j] is None:
+                    continue
+                arr = np.asarray(send[i][j])
+                if arr.nbytes == 0:
+                    recv[j][i] = np.array(arr, copy=True)
+                else:
+                    outgoing.setdefault(i, []).append((j, arr))
+
+        placed = self._stage_send(
+            {group[i]: [arr for _, arr in items]
+             for i, items in outgoing.items()})
+        # (sender pos, receiver pos) -> slab in the sender's send arena.
+        sent: Dict[Tuple[int, int], _Slab] = {}
+        for i, items in outgoing.items():
+            for (j, _), slab in zip(items, placed[group[i]]):
+                sent[(i, j)] = slab
+
+        incoming: Dict[int, List[int]] = {
+            j: [i for i in range(p) if (i, j) in sent] for j in range(p)}
+        got: Dict[Tuple[int, int], _Slab] = {}
+        for j in range(p):
+            total = sum(_aligned(sent[(i, j)].nbytes) for i in incoming[j])
+            if total:
+                self._ensure_arena(group[j], "recv", total)
+            offset = 0
+            for i in incoming[j]:
+                s = sent[(i, j)]
+                got[(i, j)] = _Slab(offset, s.shape, s.dtype, s.nbytes)
+                offset += _aligned(s.nbytes)
+
+        plans = []
+        for j in range(p):
+            arenas = [self._arena_ref(group[i], "send") for i in incoming[j]]
+            if incoming[j]:
+                arenas.append(self._arena_ref(group[j], "recv"))
+            copies = [(group[i], sent[(i, j)].offset, sent[(i, j)].nbytes,
+                       got[(i, j)].offset) for i in incoming[j]]
+            plans.append(self._plan(arenas, copies))
+        self._run_step(group, plans, category)
+
+        for (i, j), slab in got.items():
+            recv[j][i] = self._read_recv(group[j], slab)
+        return recv
+
+    def broadcast(self, value: np.ndarray, root: int,
+                  ranks: Optional[Sequence[int]] = None,
+                  category: str = "bcast") -> List[np.ndarray]:
+        self._check_open()
+        group = self._resolve_ranks(ranks)
+        self._check_root(root, group)
+        p = len(group)
+        self._record_broadcast_events(_nbytes(value), root, group, category)
+        arr = np.asarray(value)
+        root_pos = group.index(root)
+
+        if arr.nbytes == 0 or p == 1:
+            self._run_step(group, [self._plan(())] * p, category)
+            return [value if pos == root_pos else np.array(arr, copy=True)
+                    for pos in range(p)]
+
+        (slab,) = self._stage_send({root: [arr]})[root]
+        plans, received = [], {}
+        for pos, r in enumerate(group):
+            if pos == root_pos:
+                plans.append(self._plan(()))
+                continue
+            arena = self._ensure_arena(r, "recv", slab.nbytes)
+            received[pos] = _Slab(0, slab.shape, slab.dtype, slab.nbytes)
+            plans.append(self._plan(
+                [self._arena_ref(root, "send"), (r, "recv", arena.shm.name,
+                                                 arena.gen)],
+                [(root, slab.offset, slab.nbytes, 0)]))
+        self._run_step(group, plans, category)
+
+        return [value if pos == root_pos
+                else self._read_recv(group[pos], received[pos])
+                for pos in range(p)]
+
+    def allreduce(self, arrays: Sequence[np.ndarray],
+                  ranks: Optional[Sequence[int]] = None,
+                  op: str = "sum",
+                  category: str = "allreduce") -> List[np.ndarray]:
+        self._check_open()
+        group = self._resolve_ranks(ranks)
+        p = len(group)
+        self._check_allreduce_arrays(arrays, group, op)
+        self._record_allreduce_events(_nbytes(arrays[0]), group, category)
+        arrs = [np.asarray(a) for a in arrays]
+
+        if arrs[0].nbytes == 0 or p == 1:
+            result = reduce_stack(arrays, op)
+            self._run_step(group, [self._plan(())] * p, category)
+            return [result.copy() if i > 0 else result for i in range(p)]
+
+        placed = self._stage_send({group[i]: [arrs[i]] for i in range(p)})
+        sources = [(group[i], placed[group[i]][0].offset, arrs[i].shape,
+                    str(arrs[i].dtype)) for i in range(p)]
+        out_dtype = np.result_type(*(
+            a.dtype if a.dtype.kind == "f" else np.float64 for a in arrs))
+        out_slab = _Slab(0, arrs[0].shape, out_dtype,
+                         int(np.prod(arrs[0].shape)) * out_dtype.itemsize)
+
+        # Every member computes the identical group-ordered reduction from
+        # its peers' send arenas — deterministic, so the results agree
+        # bitwise without a second distribution round.
+        send_refs = [self._arena_ref(group[i], "send") for i in range(p)]
+        plans = []
+        for i in range(p):
+            arena = self._ensure_arena(group[i], "recv", out_slab.nbytes)
+            plans.append(self._plan(
+                send_refs + [(group[i], "recv", arena.shm.name, arena.gen)],
+                reduces=[{"sources": sources, "reduce_op": op,
+                          "force64": False, "dst_off": 0,
+                          "out_dtype": str(out_dtype)}]))
+        self._run_step(group, plans, category)
+
+        return [self._read_recv(group[i], out_slab) for i in range(p)]
+
+    def allgather(self, arrays: Sequence[np.ndarray],
+                  ranks: Optional[Sequence[int]] = None,
+                  category: str = "allgather") -> List[List[np.ndarray]]:
+        self._check_open()
+        group = self._resolve_ranks(ranks)
+        p = len(group)
+        self._check_allgather_arrays(arrays, group)
+        self._record_allgather_events(arrays, group, category)
+        arrs = [np.asarray(a) for a in arrays]
+
+        moving = [i for i in range(p) if arrs[i].nbytes > 0]
+        placed = self._stage_send({group[i]: [arrs[i]] for i in moving})
+        slabs = {i: placed[group[i]][0] for i in moving}
+
+        out: List[List[Optional[np.ndarray]]] = [[None] * p for _ in range(p)]
+        got: Dict[Tuple[int, int], _Slab] = {}
+        plans = []
+        for i in range(p):
+            peers = [j for j in moving if j != i]
+            total = sum(_aligned(slabs[j].nbytes) for j in peers)
+            if total:
+                self._ensure_arena(group[i], "recv", total)
+            copies, offset = [], 0
+            for j in peers:
+                s = slabs[j]
+                got[(i, j)] = _Slab(offset, s.shape, s.dtype, s.nbytes)
+                copies.append((group[j], s.offset, s.nbytes, offset))
+                offset += _aligned(s.nbytes)
+            arenas = [self._arena_ref(group[j], "send") for j in peers]
+            if peers:
+                arenas.append(self._arena_ref(group[i], "recv"))
+            plans.append(self._plan(arenas, copies))
+        self._run_step(group, plans, category)
+
+        for i in range(p):
+            for j in range(p):
+                if j == i:
+                    out[i][j] = arrays[i]
+                elif (i, j) in got:
+                    out[i][j] = self._read_recv(group[i], got[(i, j)])
+                else:
+                    out[i][j] = np.array(arrs[j], copy=True)
+        return out  # type: ignore[return-value]
+
+    def reduce(self, arrays: Sequence[np.ndarray], root: int,
+               ranks: Optional[Sequence[int]] = None,
+               op: str = "sum",
+               category: str = "reduce") -> List[Optional[np.ndarray]]:
+        self._check_open()
+        group = self._resolve_ranks(ranks)
+        p = len(group)
+        self._check_root(root, group)
+        self._check_reduce_arrays(arrays, group, op)
+        self._record_reduce_events(_nbytes(arrays[0]), root, group, category)
+        arrs = [np.asarray(a) for a in arrays]
+        root_pos = group.index(root)
+
+        if arrs[0].nbytes == 0 or p == 1:
+            result = reduce_stack(arrays, op, force_float64=True)
+            self._run_step(group, [self._plan(())] * p, category)
+            return [result if pos == root_pos else None for pos in range(p)]
+
+        placed = self._stage_send({group[i]: [arrs[i]] for i in range(p)})
+        sources = [(group[i], placed[group[i]][0].offset, arrs[i].shape,
+                    str(arrs[i].dtype)) for i in range(p)]
+        out_dtype = np.dtype(np.float64)  # reduce_stack forces float64
+        out_slab = _Slab(0, arrs[0].shape, out_dtype,
+                         int(np.prod(arrs[0].shape)) * out_dtype.itemsize)
+
+        plans = []
+        for pos, r in enumerate(group):
+            if pos != root_pos:
+                plans.append(self._plan(()))
+                continue
+            arena = self._ensure_arena(r, "recv", out_slab.nbytes)
+            plans.append(self._plan(
+                [self._arena_ref(group[i], "send") for i in range(p)] +
+                [(r, "recv", arena.shm.name, arena.gen)],
+                reduces=[{"sources": sources, "reduce_op": op,
+                          "force64": True, "dst_off": 0,
+                          "out_dtype": str(out_dtype)}]))
+        self._run_step(group, plans, category)
+
+        return [self._read_recv(root, out_slab) if pos == root_pos else None
+                for pos in range(p)]
+
+    # ------------------------------------------------------------------
+    # Point-to-point batches
+    # ------------------------------------------------------------------
+    def exchange(self,
+                 messages: Sequence[Tuple[int, int, np.ndarray]],
+                 category: str = "p2p",
+                 sync_ranks: Optional[Sequence[int]] = None,
+                 ) -> Dict[Tuple[int, int], np.ndarray]:
+        self._check_open()
+        step = self.events.next_step()
+        involved = set()
+        delivered: Dict[Tuple[int, int], np.ndarray] = {}
+        transport: List[Tuple[int, int, np.ndarray]] = []
+        for src, dst, payload in messages:
+            if not (0 <= src < self.nranks and 0 <= dst < self.nranks):
+                raise ValueError(f"message ranks ({src}, {dst}) out of range")
+            involved.add(src)
+            involved.add(dst)
+            if src == dst or _nbytes(payload) == 0:
+                delivered[(src, dst)] = payload
+                continue
+            arr = np.asarray(payload)
+            self.events.record_message("p2p", src, dst, arr.nbytes,
+                                       category, step)
+            transport.append((src, dst, arr))
+
+        group = sorted(involved) if sync_ranks is None \
+            else sorted(set(self._resolve_ranks(sync_ranks)) | involved)
+        if not group:
+            return delivered
+
+        by_src: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+        for src, dst, arr in transport:
+            by_src.setdefault(src, []).append((dst, arr))
+        placed = self._stage_send(
+            {src: [arr for _, arr in items] for src, items in by_src.items()})
+        inbound: Dict[int, List[Tuple[int, _Slab]]] = {}
+        for src, items in by_src.items():
+            for (dst, _), slab in zip(items, placed[src]):
+                inbound.setdefault(dst, []).append((src, slab))
+
+        got: Dict[Tuple[int, int], _Slab] = {}
+        plans = []
+        for r in group:
+            items = inbound.get(r, [])
+            total = sum(_aligned(s.nbytes) for _, s in items)
+            if total:
+                self._ensure_arena(r, "recv", total)
+            copies, offset = [], 0
+            for src, s in items:
+                got[(src, r)] = _Slab(offset, s.shape, s.dtype, s.nbytes)
+                copies.append((src, s.offset, s.nbytes, offset))
+                offset += _aligned(s.nbytes)
+            arenas = [self._arena_ref(src, "send")
+                      for src in {src for src, _ in items}]
+            if items:
+                arenas.append(self._arena_ref(r, "recv"))
+            plans.append(self._plan(arenas, copies))
+        self._run_step(group, plans, category)
+
+        for (src, dst), slab in got.items():
+            delivered[(src, dst)] = self._read_recv(dst, slab)
+        return delivered

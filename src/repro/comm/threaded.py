@@ -106,6 +106,7 @@ class ThreadedCommunicator(Communicator):
     """Shared-memory backend: per-rank worker threads + mailbox queues."""
 
     backend_name = "threaded"
+    rejects_work_when_closed = True
 
     def __init__(self, nranks: int, machine=None,
                  timeout_s: float = DEFAULT_TIMEOUT_S) -> None:
@@ -117,7 +118,6 @@ class ThreadedCommunicator(Communicator):
         self.timeout_s = timeout_s
         self._workers: Optional[List[_RankWorker]] = None
         self._lock = threading.Lock()
-        self._closed = False
 
     # ------------------------------------------------------------------
     # Worker management
@@ -191,6 +191,7 @@ class ThreadedCommunicator(Communicator):
                      ranks: Optional[Sequence[int]] = None,
                      category: str = "local") -> None:
         """Dispatch each task to the owning rank's worker thread."""
+        self._check_open()
         group = self._resolve_ranks(ranks)
         if len(tasks) != len(group):
             raise ValueError(
@@ -199,6 +200,7 @@ class ThreadedCommunicator(Communicator):
 
     def barrier(self, ranks: Optional[Sequence[int]] = None) -> float:
         """Real rendezvous of the group's workers + clock synchronisation."""
+        self._check_open()
         group = self._resolve_ranks(ranks)
         gate = threading.Barrier(len(group))
         self._run_step(group, [lambda: gate.wait(self.timeout_s)
@@ -213,6 +215,7 @@ class ThreadedCommunicator(Communicator):
                   ranks: Optional[Sequence[int]] = None,
                   category: str = "alltoall",
                   ) -> List[List[Optional[np.ndarray]]]:
+        self._check_open()
         group = self._resolve_ranks(ranks)
         p = len(group)
         self._check_alltoallv_send(send, group)
@@ -245,6 +248,7 @@ class ThreadedCommunicator(Communicator):
     def broadcast(self, value: np.ndarray, root: int,
                   ranks: Optional[Sequence[int]] = None,
                   category: str = "bcast") -> List[np.ndarray]:
+        self._check_open()
         group = self._resolve_ranks(ranks)
         self._check_root(root, group)
         p = len(group)
@@ -275,6 +279,7 @@ class ThreadedCommunicator(Communicator):
                   ranks: Optional[Sequence[int]] = None,
                   op: str = "sum",
                   category: str = "allreduce") -> List[np.ndarray]:
+        self._check_open()
         group = self._resolve_ranks(ranks)
         p = len(group)
         self._check_allreduce_arrays(arrays, group, op)
@@ -310,6 +315,7 @@ class ThreadedCommunicator(Communicator):
     def allgather(self, arrays: Sequence[np.ndarray],
                   ranks: Optional[Sequence[int]] = None,
                   category: str = "allgather") -> List[List[np.ndarray]]:
+        self._check_open()
         group = self._resolve_ranks(ranks)
         p = len(arrays)
         self._check_allgather_arrays(arrays, group)
@@ -339,6 +345,7 @@ class ThreadedCommunicator(Communicator):
                ranks: Optional[Sequence[int]] = None,
                op: str = "sum",
                category: str = "reduce") -> List[Optional[np.ndarray]]:
+        self._check_open()
         group = self._resolve_ranks(ranks)
         p = len(group)
         self._check_root(root, group)
@@ -374,6 +381,7 @@ class ThreadedCommunicator(Communicator):
                  category: str = "p2p",
                  sync_ranks: Optional[Sequence[int]] = None,
                  ) -> Dict[Tuple[int, int], np.ndarray]:
+        self._check_open()
         step = self.events.next_step()
         involved = set()
         outgoing: Dict[int, List[Tuple[int, int, np.ndarray]]] = {}

@@ -52,7 +52,8 @@ class DistTrainConfig:
     backend:
         Communicator backend name from :func:`repro.comm.available_backends`
         (``"sim"`` for the deterministic simulator, ``"threaded"`` for real
-        shared-memory workers).
+        shared-memory worker threads, ``"process"`` for one OS process per
+        rank with shared-memory transport).
     seed:
         Seed shared by weight init, partitioner tie-breaking and dataset
         generation helpers.

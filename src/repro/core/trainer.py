@@ -6,7 +6,8 @@ performs the preprocessing the paper describes (partition the graph, apply
 the symmetric permutation, distribute block rows), runs the distributed
 training loop on the configured communicator backend (``backend="sim"``
 for deterministic simulation, ``"threaded"`` for real shared-memory
-workers — see ``docs/backends.md``) and returns timings, communication
+worker threads, ``"process"`` for one OS process per rank — see
+``docs/backends.md``) and returns timings, communication
 statistics and accuracy — everything the benchmark harness needs to
 regenerate the paper's tables and figures.
 """
@@ -114,6 +115,21 @@ def setup_distributed(dataset: GraphDataset, config: DistTrainConfig
 
     comm = make_communicator(config.n_ranks, backend=config.backend,
                              machine=config.machine)
+    try:
+        return _build_setup(dataset, config, comm, node_data, matrix,
+                            partition, distribution)
+    except BaseException:
+        # Never leak worker threads/processes or shared memory when the
+        # distributed state cannot be built (bad grid, incompatible
+        # operands, ...): the communicator is ours until handed over.
+        comm.close()
+        raise
+
+
+def _build_setup(dataset: GraphDataset, config: DistTrainConfig,
+                 comm: Communicator, node_data: NodeData, matrix,
+                 partition: Optional[PartitionResult],
+                 distribution: BlockRowDistribution) -> DistributedSetup:
     adjacency_dist = DistSparseMatrix(matrix, distribution)
     features_dist = DistDenseMatrix.from_global(
         node_data.features.astype(np.float64), distribution)
@@ -156,7 +172,10 @@ def train_distributed(dataset: GraphDataset, config: DistTrainConfig,
     model, comm, node_data = setup.model, setup.comm, setup.node_data
 
     history: List[DistEpochRecord] = []
-    try:
+    # The context manager releases backend resources (worker threads /
+    # processes, shared memory) even when an SpMM variant raises mid-epoch;
+    # the returned model's host-side diagnostics keep working after close.
+    with comm:
         for epoch in range(config.epochs):
             start = comm.elapsed()
             loss = model.train_epoch(config.learning_rate)
@@ -174,10 +193,6 @@ def train_distributed(dataset: GraphDataset, config: DistTrainConfig,
                                            epoch_time_s=epoch_time,
                                            train_accuracy=train_acc,
                                            val_accuracy=val_acc))
-    finally:
-        # Release backend resources (worker threads for real backends); the
-        # returned model's host-side diagnostics keep working after this.
-        comm.close()
 
     preds = model.predictions()
     test_accuracy = masked_accuracy(preds, node_data.labels,

@@ -17,6 +17,13 @@ from repro.graphs import (gcn_normalize, load_dataset, make_node_data,
                           community_ring_graph, erdos_renyi_graph)
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "conformance: cross-backend communicator conformance/property "
+        "matrix (run standalone with `pytest -m conformance`)")
+
+
 # ----------------------------------------------------------------------
 # Graphs
 # ----------------------------------------------------------------------

@@ -1,0 +1,119 @@
+"""Seeded determinism of the benchmark pipeline on the sim backend.
+
+``scripts/record_baseline.py`` relies on the simulator being a pure
+function of (dataset seed, config): future PRs diff their Figure-3 sweep
+against ``BENCH_spmm.json`` cell by cell, so any nondeterminism in the
+pipeline (partitioner tie-breaking, dict ordering, RNG reuse) would show
+up as phantom perf regressions.  These tests pin that property: the same
+seed must reproduce the identical BENCH-style row structure — every
+simulated timing, volume and accuracy field — across repeated runs in one
+process (wall-clock-derived fields, which only exist on the real
+backends' rows and in the recorder's ``recorder_wall_s``, are exempt by
+construction: sim rows contain none).
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.bench import figure3_1d_scaling
+from repro.bench.harness import STANDARD_SCHEMES, run_single
+from repro.core import DistTrainConfig, train_distributed
+from repro.graphs import load_dataset
+
+QUICK = dict(datasets=("reddit",), p_values=(2, 4), scale=0.05, epochs=1,
+             backend="sim", seed=0)
+
+
+def _assert_rows_identical(rows_a, rows_b):
+    assert len(rows_a) == len(rows_b)
+    for a, b in zip(rows_a, rows_b):
+        assert set(a) == set(b), "row schemas must match"
+        for key in a:
+            va, vb = a[key], b[key]
+            if isinstance(va, float):
+                assert va == vb or (np.isnan(va) and np.isnan(vb)), \
+                    f"{key}: {va!r} != {vb!r}"
+            else:
+                assert va == vb, f"{key}: {va!r} != {vb!r}"
+
+
+class TestSimBackendDeterminism:
+    def test_figure3_rows_identical_across_runs(self):
+        first = figure3_1d_scaling(**QUICK)
+        second = figure3_1d_scaling(**QUICK)
+        assert len(first) >= 6  # 3 schemes x 2 process counts
+        _assert_rows_identical(first, second)
+
+    def test_rows_are_json_stable(self):
+        """The exact serialized BENCH payload is reproducible."""
+        dumps = [json.dumps(figure3_1d_scaling(**QUICK), sort_keys=True)
+                 for _ in range(2)]
+        assert dumps[0] == dumps[1]
+
+    def test_run_single_deterministic_across_seeds_only(self):
+        dataset = load_dataset("reddit", scale=0.05, seed=3)
+        row_a = run_single(dataset, STANDARD_SCHEMES["SA+GVB"], 4, epochs=2,
+                           seed=3)
+        row_b = run_single(dataset, STANDARD_SCHEMES["SA+GVB"], 4, epochs=2,
+                           seed=3)
+        _assert_rows_identical([row_a], [row_b])
+        # A different seed must actually change the (random) dataset run —
+        # guarding against a seed that is silently ignored.
+        other = run_single(load_dataset("reddit", scale=0.05, seed=4),
+                           STANDARD_SCHEMES["SA+GVB"], 4, epochs=2, seed=4)
+        assert other["final_loss"] != row_a["final_loss"]
+
+    def test_training_internals_deterministic(self):
+        """Timings, volumes and breakdowns — not just losses — repeat."""
+        dataset = load_dataset("protein", scale=0.05, n_features=10,
+                               n_classes=3, seed=1)
+        config = DistTrainConfig(n_ranks=4, epochs=3, seed=1,
+                                 partitioner="gvb", backend="sim")
+        res_a = train_distributed(dataset, config, eval_every=0)
+        res_b = train_distributed(dataset, config, eval_every=0)
+        assert [h.loss for h in res_a.history] == \
+            [h.loss for h in res_b.history]
+        assert [h.epoch_time_s for h in res_a.history] == \
+            [h.epoch_time_s for h in res_b.history]
+        assert res_a.breakdown == res_b.breakdown
+        assert res_a.comm_summary == res_b.comm_summary
+        assert res_a.total_time_s == res_b.total_time_s
+
+
+class TestBaselineRecorderContract:
+    """The checked-in baseline file stays consistent with the recorder."""
+
+    BASELINE = pathlib.Path(__file__).resolve().parents[1] / "BENCH_spmm.json"
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        if not self.BASELINE.exists():
+            pytest.skip("no BENCH_spmm.json baseline recorded")
+        return json.loads(self.BASELINE.read_text())
+
+    def test_baseline_schema(self, payload):
+        assert payload["benchmark"] == "fig3_1d_scaling"
+        assert payload["backend"] == "sim"
+        assert payload["rows"], "baseline must contain rows"
+        for row in payload["rows"]:
+            assert "recorder_wall_s" not in row, \
+                "wall-clock fields must stay out of the diffable rows"
+
+    def test_baseline_rows_reproducible(self, payload):
+        """Re-running one cell of the recorded sweep reproduces it exactly
+        (the recorder is deterministic, so cell-level diffs are real)."""
+        cfg = payload["config"]
+        rows = figure3_1d_scaling(datasets=(payload["rows"][0]["dataset"],),
+                                  p_values=(payload["rows"][0]["p"],),
+                                  scale=cfg["scale"], epochs=cfg["epochs"],
+                                  backend="sim", seed=cfg["seed"])
+        recorded = [r for r in payload["rows"]
+                    if r["dataset"] == payload["rows"][0]["dataset"]
+                    and r["p"] == payload["rows"][0]["p"]
+                    and r["scheme"] == rows[0]["scheme"]]
+        assert recorded, "recorded baseline missing the probed cell"
+        for key in ("epoch_time_s", "comm_total_MB_per_epoch", "final_loss"):
+            assert rows[0][key] == pytest.approx(recorded[0][key], rel=1e-12)

@@ -1,0 +1,276 @@
+"""Cross-backend conformance matrix: contract suite × property layer.
+
+Part 1 drives every check registered in :mod:`comm_conformance` against
+every backend in ``CONFORMANT_BACKENDS`` (sim, threaded, process) — the
+full collective/topology/accounting/lifecycle contract.
+
+Part 2 is the randomized equivalence net: Hypothesis generates sparse
+matrices (arbitrary sparsity patterns, including empty and dense-ish
+ones), feature widths, block counts and rank counts, and every registered
+(algorithm × sparsity-mode) SpMM variant must produce **bitwise
+identical** ``Z = M H`` on all three backends — plus a direct property
+asserting the collectives themselves return bit-identical payloads.
+
+Run standalone with ``pytest -m conformance``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import comm_conformance as cc
+from repro.comm import make_communicator
+from repro.comm.process import ProcessPoolCommunicator
+from repro.core import (BlockRowDistribution, DistDenseMatrix,
+                        DistSparseMatrix, Dist2DSparseMatrix, Grid2D,
+                        ProcessGrid, spmm)
+
+pytestmark = pytest.mark.conformance
+
+SETTINGS = dict(max_examples=8, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------------
+# Part 1: the contract suite, parametrized over (backend, check)
+# ----------------------------------------------------------------------
+@pytest.fixture(params=cc.CONFORMANT_BACKENDS)
+def backend(request):
+    return request.param
+
+
+@pytest.fixture()
+def make(backend):
+    """Factory for tracked communicators of the backend under test."""
+    created = []
+
+    def factory(nranks=4, **kwargs):
+        comm = make_communicator(nranks, backend=backend, **kwargs)
+        created.append(comm)
+        return comm
+
+    yield factory
+    for comm in created:
+        comm.close()
+
+
+@pytest.mark.parametrize("check", sorted(cc.CONTRACT_CHECKS))
+def test_contract(make, check):
+    cc.CONTRACT_CHECKS[check](make)
+
+
+def test_registry_covers_all_backends():
+    """Every factory-registered backend is in the proof net: registering a
+    new backend without adding it to CONFORMANT_BACKENDS fails here."""
+    from repro.comm import available_backends
+    assert set(available_backends()) == set(cc.CONFORMANT_BACKENDS)
+    assert len(cc.CONTRACT_CHECKS) >= 20
+
+
+class TestProcessBackendSpecifics:
+    """Properties only the multi-process backend guarantees."""
+
+    def test_workers_are_distinct_processes(self):
+        import os
+        with make_communicator(3, backend="process") as comm:
+            comm.broadcast(np.ones(4), root=0)
+            pids = {p.pid for p in comm._procs}
+            assert len(pids) == 3
+            assert os.getpid() not in pids
+
+    def test_delivered_payloads_are_reconstructed_from_bytes(self):
+        """No aliasing can survive a process boundary: received arrays own
+        fresh memory, so mutating them cannot corrupt the sender."""
+        with make_communicator(3, backend="process") as comm:
+            value = np.arange(6.0)
+            out = comm.broadcast(value, root=0)
+            out[1][:] = -1.0
+            assert value[0] == 0.0
+            assert out[1].base is None
+
+    def test_close_releases_shared_memory(self):
+        from multiprocessing import shared_memory
+        comm = make_communicator(3, backend="process")
+        comm.allreduce([np.ones(16)] * 3)
+        names = [a.shm.name for a in comm._arenas.values()]
+        assert names, "collective must have staged shared-memory arenas"
+        comm.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_close_joins_workers(self):
+        comm = make_communicator(2, backend="process")
+        comm.barrier()
+        procs = list(comm._procs)
+        comm.close()
+        assert all(not p.is_alive() for p in procs)
+        assert comm._procs is None
+
+    def test_worker_failure_reports_traceback_and_recovers(self):
+        with make_communicator(2, backend="process") as comm:
+            comm.allreduce([np.ones(4)] * 2)
+            # Sabotage: a plan referencing a nonexistent arena makes the
+            # worker raise; the traceback must surface in the driver and
+            # the worker must stay usable afterwards.
+            with pytest.raises(RuntimeError, match="worker failed"):
+                comm._run_step(
+                    [0, 1],
+                    [comm._plan([(0, "send", "rprnope", 10**9)]),
+                     comm._plan(())],
+                    "test")
+            out = comm.allreduce([np.ones(4)] * 2)
+            np.testing.assert_array_equal(out[0], np.full(4, 2.0))
+
+    def test_timeout_is_configurable(self):
+        with pytest.raises(ValueError):
+            ProcessPoolCommunicator(2, timeout_s=0.0)
+        comm = ProcessPoolCommunicator(2, timeout_s=123.0, machine="laptop")
+        try:
+            assert comm.timeout_s == 123.0
+        finally:
+            comm.close()
+
+    def test_lost_worker_closes_communicator(self):
+        """A watchdog timeout leaves no chance of pairing the lost
+        worker's late response with a later collective: the communicator
+        is closed and further use fails loudly."""
+        comm = ProcessPoolCommunicator(2, timeout_s=0.3)
+        # Dispatch a 2-member barrier to only one member: that worker
+        # waits ~1 s for its (never-arriving) peer, far past the driver's
+        # 0.3 s watchdog.
+        stuck = {"op": "barrier", "group": [0, 1], "bid": 0,
+                 "timeout_s": 1.0}
+        with pytest.raises(RuntimeError, match="did not finish"):
+            comm._run_step([0], [stuck], "wait")
+        with pytest.raises(RuntimeError, match="closed"):
+            comm.allreduce([np.ones(2)] * 2)
+        comm.close()  # still idempotent after the automatic close
+
+
+# ----------------------------------------------------------------------
+# Part 2: randomized SpMM equivalence properties
+# ----------------------------------------------------------------------
+@st.composite
+def spmm_problem(draw, min_n=8, max_n=36):
+    """A random symmetric sparse matrix and dense operand."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    density = draw(st.floats(min_value=0.0, max_value=0.35))
+    f = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    mat = sp.random(n, n, density=density, random_state=rng, format="csr")
+    mat = mat + mat.T
+    mat.setdiag(0)
+    mat.eliminate_zeros()
+    h = rng.normal(size=(n, f))
+    return mat.tocsr().astype(np.float64), h
+
+
+def _run_all_backends(matrix, dense, grid, algorithm, mode, p):
+    """Run one variant on every conformant backend; return {backend: Z}."""
+    results = {}
+    for backend in cc.CONFORMANT_BACKENDS:
+        comm = make_communicator(p, backend=backend)
+        try:
+            z = spmm(matrix, dense, comm, algorithm=algorithm,
+                     sparsity_aware=(mode == "sparsity_aware"), grid=grid)
+        finally:
+            comm.close()
+        results[backend] = z if isinstance(z, np.ndarray) else z.to_global()
+    return results
+
+
+def _assert_bit_identical(results, reference):
+    baseline = results["sim"]
+    np.testing.assert_allclose(baseline, reference, atol=1e-10)
+    for backend, z in results.items():
+        np.testing.assert_array_equal(
+            z, baseline,
+            err_msg=f"backend {backend!r} diverged from sim bitwise")
+
+
+class TestCrossBackendSpmmProperties:
+    @given(problem=spmm_problem(), p=st.integers(min_value=1, max_value=4),
+           mode=st.sampled_from(["oblivious", "sparsity_aware"]))
+    @settings(**SETTINGS)
+    def test_1d_bit_identical(self, problem, p, mode):
+        adj, h = problem
+        dist = BlockRowDistribution.uniform(adj.shape[0], p)
+        results = _run_all_backends(
+            DistSparseMatrix(adj, dist), DistDenseMatrix.from_global(h, dist),
+            None, "1d", mode, p)
+        _assert_bit_identical(results, adj @ h)
+
+    @given(problem=spmm_problem(), c=st.sampled_from([1, 2]),
+           mode=st.sampled_from(["oblivious", "sparsity_aware"]))
+    @settings(**SETTINGS)
+    def test_15d_bit_identical(self, problem, c, mode):
+        adj, h = problem
+        p = 4
+        grid = ProcessGrid(p, c)
+        dist = BlockRowDistribution.uniform(adj.shape[0], grid.nrows)
+        results = _run_all_backends(
+            DistSparseMatrix(adj, dist), DistDenseMatrix.from_global(h, dist),
+            grid, "1.5d", mode, p)
+        _assert_bit_identical(results, adj @ h)
+
+    @given(problem=spmm_problem(), mode=st.sampled_from(["oblivious",
+                                                         "sparsity_aware"]))
+    @settings(**SETTINGS)
+    def test_2d_bit_identical(self, problem, mode):
+        adj, h = problem
+        grid = Grid2D(2, 2)
+        results = _run_all_backends(
+            Dist2DSparseMatrix.uniform(adj, grid), h, grid, "2d", mode, 4)
+        _assert_bit_identical(results, adj @ h)
+
+
+class TestCrossBackendCollectiveProperties:
+    """The collectives themselves return bit-identical payloads."""
+
+    @given(p=st.integers(min_value=2, max_value=4),
+           shape=st.tuples(st.integers(1, 12), st.integers(1, 6)),
+           op=st.sampled_from(["sum", "max", "min"]),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_allreduce_bitwise_equal(self, p, shape, op, seed):
+        rng = np.random.default_rng(seed)
+        arrays = [rng.normal(size=shape) for _ in range(p)]
+        reference = None
+        for backend in cc.CONFORMANT_BACKENDS:
+            with make_communicator(p, backend=backend) as comm:
+                out = comm.allreduce([a.copy() for a in arrays], op=op)
+            if reference is None:
+                reference = out
+            else:
+                for got, want in zip(out, reference):
+                    np.testing.assert_array_equal(got, want)
+
+    @given(p=st.integers(min_value=2, max_value=4),
+           n=st.integers(min_value=0, max_value=40),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_alltoallv_bitwise_equal(self, p, n, seed):
+        rng = np.random.default_rng(seed)
+        send = [[rng.normal(size=rng.integers(0, n + 1)) if i != j else None
+                 for j in range(p)] for i in range(p)]
+        reference = None
+        for backend in cc.CONFORMANT_BACKENDS:
+            with make_communicator(p, backend=backend) as comm:
+                recv = comm.alltoallv([[None if a is None else a.copy()
+                                        for a in row] for row in send])
+            if reference is None:
+                reference = recv
+            else:
+                for i in range(p):
+                    for j in range(p):
+                        if i != j and send[j][i] is not None:
+                            np.testing.assert_array_equal(recv[i][j],
+                                                          reference[i][j])

@@ -8,8 +8,10 @@ We verify something stronger — every distributed variant (1D / 1.5D,
 oblivious / sparsity-aware, with and without partitioning) produces the
 same per-epoch losses and final accuracy as the reference GCN, up to
 floating-point rounding; and every registered (algorithm, sparsity-mode)
-SpMM variant produces **bitwise identical** ``Z = M H`` on the simulated
-and the real threaded communicator backend.
+SpMM variant produces **bitwise identical** ``Z = M H`` on the simulated,
+the real threaded and the real multi-process communicator backends.
+(The randomized cross-backend matrix lives in
+``tests/test_comm_conformance.py``.)
 """
 
 import numpy as np
@@ -75,6 +77,12 @@ VARIANTS = [
     pytest.param(dict(n_ranks=4, algorithm="1.5d", replication_factor=2,
                       sparsity_aware=True, partitioner=None,
                       backend="threaded"), id="15d-sa-c2-threaded"),
+    pytest.param(dict(n_ranks=4, algorithm="1d", sparsity_aware=True,
+                      partitioner="gvb", backend="process"),
+                 id="1d-sa-gvb-process"),
+    pytest.param(dict(n_ranks=4, algorithm="1.5d", replication_factor=2,
+                      sparsity_aware=True, partitioner=None,
+                      backend="process"), id="15d-sa-c2-process"),
 ]
 
 
@@ -150,18 +158,16 @@ class TestSpmmEngineBackendMatrix:
         adj, h, reference = problem
         matrix, dense, grid = self._operands(algorithm, adj, h)
         results = {}
-        for backend in ("sim", "threaded"):
-            comm = make_communicator(self.P, backend=backend)
-            try:
+        for backend in ("sim", "threaded", "process"):
+            with make_communicator(self.P, backend=backend) as comm:
                 z = spmm(matrix, dense, comm, algorithm=algorithm,
                          sparsity_aware=(mode == "sparsity_aware"), grid=grid)
-            finally:
-                comm.close()
             results[backend] = z if isinstance(z, np.ndarray) else z.to_global()
             np.testing.assert_allclose(results[backend], reference, atol=1e-10)
         np.testing.assert_array_equal(results["sim"], results["threaded"])
+        np.testing.assert_array_equal(results["sim"], results["process"])
 
-    @pytest.mark.parametrize("backend", ["sim", "threaded"])
+    @pytest.mark.parametrize("backend", ["sim", "threaded", "process"])
     def test_engine_report_captures_timing_and_volume(self, problem, backend):
         from repro.core import SpmmEngine
         adj, h, reference = problem
