@@ -18,11 +18,18 @@ Two baselines are tracked:
   wall-clock execution.  These rows are hardware-dependent: compare
   shapes and ratios, not absolute cells.
 
+``--plan auto`` records the *planner-chosen* configuration per
+(dataset, p) instead of the fixed Figure-3 schemes (one ``scheme="AUTO"``
+row each, with the planned algorithm/mode/partitioner columns), so future
+BENCH files can track what the autotuner picks as the code evolves; the
+default output for that mode is ``BENCH_spmm_plan.json``.
+
 Usage::
 
     PYTHONPATH=src python scripts/record_baseline.py
     PYTHONPATH=src python scripts/record_baseline.py \
         --backend process --p-values 2 4 8 --output BENCH_spmm_process.json
+    PYTHONPATH=src python scripts/record_baseline.py --plan auto
 
 Environment overrides (same as the bench suite): ``REPRO_BENCH_SCALE``,
 ``REPRO_BENCH_EPOCHS``.
@@ -37,7 +44,8 @@ import time
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.bench import bench_epochs, bench_scale, figure3_1d_scaling  # noqa: E402
+from repro.bench import (auto_plan_rows, bench_epochs, bench_machine,  # noqa: E402
+                         bench_scale, figure3_1d_scaling)
 
 P_VALUES = (4, 16, 32, 64)
 DATASETS = ("reddit", "amazon", "protein")
@@ -46,6 +54,7 @@ KEEP_COLUMNS = (
     "time_local_s", "time_alltoall_s", "time_bcast_s", "time_allreduce_s",
     "comm_total_MB_per_epoch", "comm_max_MB_per_rank_per_epoch",
     "comm_imbalance_pct", "final_loss", "test_accuracy", "skipped",
+    "planned_algorithm", "planned_mode", "planned_partitioner",
 )
 
 
@@ -65,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help=f"process counts (default: {P_VALUES})")
     parser.add_argument("--datasets", nargs="+", default=None,
                         help=f"datasets (default: {DATASETS})")
+    parser.add_argument("--plan", choices=("fixed", "auto"), default="fixed",
+                        help="'fixed' sweeps the Figure-3 schemes; 'auto' "
+                             "records the planner-chosen configuration per "
+                             "(dataset, p)")
+    parser.add_argument("--machine", default=None,
+                        help="machine-model preset (default: REPRO_MACHINE "
+                             "or perlmutter-scaled)")
     parser.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -76,27 +92,41 @@ def main(argv=None) -> int:
     datasets = tuple(args.datasets) if args.datasets else DATASETS
     out = args.output_flag or args.output
     if out is None:
-        out = "BENCH_spmm.json" if backend == "sim" \
-            else f"BENCH_spmm_{backend}.json"
+        if args.plan == "auto":
+            out = "BENCH_spmm_plan.json" if backend == "sim" \
+                else f"BENCH_spmm_plan_{backend}.json"
+        else:
+            out = "BENCH_spmm.json" if backend == "sim" \
+                else f"BENCH_spmm_{backend}.json"
     out_path = pathlib.Path(out)
     if not out_path.is_absolute():
         out_path = REPO_ROOT / out_path
 
     scale, epochs = bench_scale(), bench_epochs()
+    machine = args.machine if args.machine is not None else bench_machine()
     start = time.time()
-    rows = figure3_1d_scaling(datasets=datasets, p_values=p_values,
-                              scale=scale, epochs=epochs, backend=backend,
+    if args.plan == "auto":
+        rows = auto_plan_rows(datasets, p_values, scale=scale, epochs=epochs,
+                              backend=backend, machine=machine,
                               seed=args.seed)
+    else:
+        rows = figure3_1d_scaling(datasets=datasets, p_values=p_values,
+                                  scale=scale, epochs=epochs, backend=backend,
+                                  machine=machine, seed=args.seed)
     wall_s = time.time() - start
     payload = {
-        "benchmark": "fig3_1d_scaling",
-        "source": "benchmarks/bench_fig3_1d_scaling.py",
+        "benchmark": "fig3_1d_scaling" if args.plan == "fixed"
+        else "fig3_auto_plan",
+        "source": "benchmarks/bench_fig3_1d_scaling.py" if args.plan == "fixed"
+        else "repro.bench.auto_plan_rows",
+        "plan": args.plan,
         "backend": backend,
         # Wall-clock rows (threaded/process backends) are hardware
         # dependent; sim rows are exactly reproducible.
         "deterministic": backend == "sim",
         "config": {"datasets": list(datasets), "p_values": list(p_values),
-                   "scale": scale, "epochs": epochs, "seed": args.seed},
+                   "scale": scale, "epochs": epochs, "machine": machine,
+                   "seed": args.seed},
         "recorder_wall_s": round(wall_s, 2),
         "rows": [
             {k: row[k] for k in KEEP_COLUMNS if k in row} for row in rows

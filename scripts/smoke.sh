@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# CI smoke target: exercise the end-to-end bench path (dataset generation,
-# partitioning, distributed training, reporting) on every communicator
-# backend at tiny scale.  Hard 60 s budget for the whole matrix — each run
+# CI smoke target: exercise the autotuning planner (repro tune --quick,
+# against a throwaway plan cache) and the end-to-end bench path (dataset
+# generation, partitioning, distributed training, reporting) on every
+# communicator backend at tiny scale.  Hard 60 s budget for everything — each run
 # takes ~1 s; anything slower signals a performance regression or a hang
 # in the comm layer (worker threads for `threaded`, worker processes and
 # shared-memory arenas for `process`).
@@ -15,6 +16,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 timeout 60 bash -c '
   set -euo pipefail
+  echo "== repro tune --quick =="
+  REPRO_PLAN_CACHE="$(mktemp -d)/plan_cache.json" \
+    python -m repro tune --quick
   for backend in sim threaded process; do
     echo "== repro bench --quick --backend ${backend} =="
     python -m repro bench --quick --backend "${backend}"

@@ -22,6 +22,9 @@ The package is organised as:
 * :mod:`repro.gcn`       — the single-process reference GCN / GraphSAGE,
   optimisers, schedules and regularisation (the correctness baseline and
   accuracy-side extensions);
+* :mod:`repro.plan`      — the autotuning planner: cost-model ranking +
+  empirical probes over variants, backends, partitioners and replication
+  factors, with a persisted plan cache (``docs/tuning.md``);
 * :mod:`repro.bench`     — the experiment harness regenerating every table
   and figure of the paper plus the ablation studies;
 * :mod:`repro.cli`       — the ``python -m repro`` command-line interface.
@@ -47,6 +50,7 @@ from .core import (Algorithm, DistTrainConfig, DistTrainResult, DistributedGCN,
                    train_distributed)
 from .gcn import GCNModel, ReferenceTrainConfig, train_reference
 from .graphs import GraphDataset, load_dataset
+from .plan import ExecutionPlan, PlanCache, Planner, resolve_config
 from .partition import (BlockPartitioner, GVBPartitioner, MetisLikePartitioner,
                         RandomPartitioner, get_partitioner, partition_report)
 
@@ -62,6 +66,7 @@ __all__ = [
     "spmm_15d_oblivious", "spmm_15d_sparsity_aware", "train_distributed",
     "GCNModel", "ReferenceTrainConfig", "train_reference",
     "GraphDataset", "load_dataset",
+    "ExecutionPlan", "PlanCache", "Planner", "resolve_config",
     "BlockPartitioner", "GVBPartitioner", "MetisLikePartitioner",
     "RandomPartitioner", "get_partitioner", "partition_report",
     "__version__",

@@ -2,7 +2,9 @@
 plain-text reporting used by the ``benchmarks/`` scripts."""
 
 from .experiments import (ablation_balance_constraint, ablation_crossover,
-                          bench_backend, bench_epochs, bench_scale,
+                          auto_plan_rows,
+                          bench_backend, bench_epochs, bench_machine,
+                          bench_scale,
                           figure3_1d_scaling,
                           figure4_1d_breakdown, figure5_papers_breakdown,
                           figure6_partitioner_comparison, figure7_15d_scaling,
@@ -15,8 +17,8 @@ from .sweep import (feature_width_sweep, grid_points, partitioner_sweep,
                     replication_sweep, run_grid)
 
 __all__ = [
-    "ablation_balance_constraint", "ablation_crossover",
-    "bench_backend", "bench_epochs", "bench_scale",
+    "ablation_balance_constraint", "ablation_crossover", "auto_plan_rows",
+    "bench_backend", "bench_epochs", "bench_machine", "bench_scale",
     "figure3_1d_scaling", "figure4_1d_breakdown", "figure5_papers_breakdown",
     "figure6_partitioner_comparison", "figure7_15d_scaling",
     "table2_metis_comm_stats", "table3_dataset_stats",

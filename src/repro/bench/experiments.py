@@ -13,7 +13,10 @@ variables let users trade fidelity for runtime without editing code:
 * ``REPRO_BENCH_BACKEND`` — communicator backend (default ``"sim"``; any
   name from :func:`repro.comm.available_backends`, e.g. ``"threaded"``
   for real shared-memory worker threads or ``"process"`` for one OS
-  process per rank, both timed by wall clock).
+  process per rank, both timed by wall clock);
+* ``REPRO_MACHINE``       — machine-model preset for the simulated runs
+  (default ``"perlmutter-scaled"``; any name from
+  :data:`repro.comm.machine.PRESETS`).
 """
 
 from __future__ import annotations
@@ -23,14 +26,15 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.analysis import single_spmm_volume_table
 from ..graphs.datasets import dataset_summary, load_dataset
-from .harness import STANDARD_SCHEMES, Scheme, run_scheme_grid
+from .harness import STANDARD_SCHEMES, Scheme, run_scheme_grid, run_single
 
 __all__ = [
-    "bench_scale", "bench_epochs", "bench_backend",
+    "bench_scale", "bench_epochs", "bench_backend", "bench_machine",
     "table2_metis_comm_stats", "table3_dataset_stats",
     "figure3_1d_scaling", "figure4_1d_breakdown", "figure5_papers_breakdown",
     "figure6_partitioner_comparison", "figure7_15d_scaling",
     "ablation_balance_constraint", "ablation_crossover",
+    "auto_plan_rows",
 ]
 
 
@@ -47,6 +51,11 @@ def bench_epochs(default: int = 2) -> int:
 def bench_backend(default: str = "sim") -> str:
     """Communicator backend used by the benchmarks (env ``REPRO_BENCH_BACKEND``)."""
     return os.environ.get("REPRO_BENCH_BACKEND", default)
+
+
+def bench_machine(default: str = "perlmutter-scaled") -> str:
+    """Machine-model preset used by the benchmarks (env ``REPRO_MACHINE``)."""
+    return os.environ.get("REPRO_MACHINE", default)
 
 
 # ----------------------------------------------------------------------
@@ -99,18 +108,21 @@ def figure3_1d_scaling(datasets: Sequence[str] = ("reddit", "amazon", "protein")
                        scale: Optional[float] = None,
                        epochs: Optional[int] = None,
                        backend: Optional[str] = None,
+                       machine: Optional[str] = None,
                        seed: int = 0) -> List[Dict[str, object]]:
     """Figure 3: per-epoch time vs process count for CAGNET / SA / SA+GVB."""
     scale = bench_scale() if scale is None else scale
     epochs = bench_epochs() if epochs is None else epochs
     backend = bench_backend() if backend is None else backend
+    machine = bench_machine() if machine is None else machine
     schemes = [STANDARD_SCHEMES["CAGNET"], STANDARD_SCHEMES["SA"],
                STANDARD_SCHEMES["SA+GVB"]]
     rows: List[Dict[str, object]] = []
     for name in datasets:
         dataset = load_dataset(name, scale=scale, seed=seed)
         rows.extend(run_scheme_grid(dataset, schemes, p_values,
-                                    epochs=epochs, backend=backend, seed=seed))
+                                    epochs=epochs, backend=backend,
+                                    machine=machine, seed=seed))
     return rows
 
 
@@ -119,6 +131,7 @@ def figure4_1d_breakdown(datasets: Sequence[str] = ("reddit", "amazon", "protein
                          scale: Optional[float] = None,
                          epochs: Optional[int] = None,
                          backend: Optional[str] = None,
+                         machine: Optional[str] = None,
                          seed: int = 0) -> List[Dict[str, object]]:
     """Figure 4: per-epoch timing breakdown (local / alltoall / bcast).
 
@@ -128,7 +141,7 @@ def figure4_1d_breakdown(datasets: Sequence[str] = ("reddit", "amazon", "protein
     """
     return figure3_1d_scaling(datasets=datasets, p_values=p_values,
                               scale=scale, epochs=epochs, backend=backend,
-                              seed=seed)
+                              machine=machine, seed=seed)
 
 
 # ----------------------------------------------------------------------
@@ -138,6 +151,7 @@ def figure5_papers_breakdown(p: int = 16,
                              scale: Optional[float] = None,
                              epochs: Optional[int] = None,
                              backend: Optional[str] = None,
+                             machine: Optional[str] = None,
                              seed: int = 0) -> List[Dict[str, object]]:
     """Figure 5: Papers dataset at p = 16, all three schemes with breakdown.
 
@@ -147,11 +161,12 @@ def figure5_papers_breakdown(p: int = 16,
     scale = bench_scale() if scale is None else scale
     epochs = bench_epochs() if epochs is None else epochs
     backend = bench_backend() if backend is None else backend
+    machine = bench_machine() if machine is None else machine
     dataset = load_dataset("papers", scale=scale, seed=seed)
     schemes = [STANDARD_SCHEMES["CAGNET"], STANDARD_SCHEMES["SA"],
                STANDARD_SCHEMES["SA+GVB"]]
     return run_scheme_grid(dataset, schemes, [p], epochs=epochs,
-                           backend=backend, seed=seed)
+                           backend=backend, machine=machine, seed=seed)
 
 
 # ----------------------------------------------------------------------
@@ -162,6 +177,7 @@ def figure6_partitioner_comparison(datasets: Sequence[str] = ("amazon", "protein
                                    scale: Optional[float] = None,
                                    epochs: Optional[int] = None,
                                    backend: Optional[str] = None,
+                                   machine: Optional[str] = None,
                                    seed: int = 0) -> List[Dict[str, object]]:
     """Figure 6: SA+GVB vs SA+METIS per-epoch time.
 
@@ -172,12 +188,14 @@ def figure6_partitioner_comparison(datasets: Sequence[str] = ("amazon", "protein
     scale = bench_scale() if scale is None else scale
     epochs = bench_epochs() if epochs is None else epochs
     backend = bench_backend() if backend is None else backend
+    machine = bench_machine() if machine is None else machine
     schemes = [STANDARD_SCHEMES["SA+METIS"], STANDARD_SCHEMES["SA+GVB"]]
     rows: List[Dict[str, object]] = []
     for name in datasets:
         dataset = load_dataset(name, scale=scale, seed=seed)
         rows.extend(run_scheme_grid(dataset, schemes, p_values,
-                                    epochs=epochs, backend=backend, seed=seed))
+                                    epochs=epochs, backend=backend,
+                                    machine=machine, seed=seed))
     return rows
 
 
@@ -190,6 +208,7 @@ def figure7_15d_scaling(datasets: Sequence[str] = ("amazon", "protein"),
                         scale: Optional[float] = None,
                         epochs: Optional[int] = None,
                         backend: Optional[str] = None,
+                        machine: Optional[str] = None,
                         seed: int = 0) -> List[Dict[str, object]]:
     """Figure 7: 1.5D per-epoch time for c in {2, 4}.
 
@@ -201,6 +220,7 @@ def figure7_15d_scaling(datasets: Sequence[str] = ("amazon", "protein"),
     scale = bench_scale() if scale is None else scale
     epochs = bench_epochs() if epochs is None else epochs
     backend = bench_backend() if backend is None else backend
+    machine = bench_machine() if machine is None else machine
     rows: List[Dict[str, object]] = []
     for name in datasets:
         dataset = load_dataset(name, scale=scale, seed=seed)
@@ -217,7 +237,7 @@ def figure7_15d_scaling(datasets: Sequence[str] = ("amazon", "protein"),
                        if p % c == 0 and (p // c) % c == 0]
             rows.extend(run_scheme_grid(dataset, schemes, valid_p,
                                         epochs=epochs, backend=backend,
-                                        seed=seed))
+                                        machine=machine, seed=seed))
     return rows
 
 
@@ -246,6 +266,7 @@ def ablation_crossover(p_values: Sequence[int] = (2, 4, 8, 16, 32, 64),
                        scale: Optional[float] = None,
                        epochs: Optional[int] = None,
                        backend: Optional[str] = None,
+                       machine: Optional[str] = None,
                        seed: int = 0) -> List[Dict[str, object]]:
     """Where the SA all-to-allv overtakes the oblivious broadcast.
 
@@ -257,7 +278,64 @@ def ablation_crossover(p_values: Sequence[int] = (2, 4, 8, 16, 32, 64),
     scale = bench_scale() if scale is None else scale
     epochs = bench_epochs() if epochs is None else epochs
     backend = bench_backend() if backend is None else backend
+    machine = bench_machine() if machine is None else machine
     dataset = load_dataset("protein", scale=scale, seed=seed)
     schemes = [STANDARD_SCHEMES["CAGNET"], STANDARD_SCHEMES["SA"]]
     return run_scheme_grid(dataset, schemes, p_values, epochs=epochs,
-                           backend=backend, seed=seed)
+                           backend=backend, machine=machine, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Planner-chosen configurations (``--auto`` / ``--plan auto``)
+# ----------------------------------------------------------------------
+def auto_plan_rows(datasets: Sequence[str],
+                   p_values: Sequence[int],
+                   scale: Optional[float] = None,
+                   epochs: Optional[int] = None,
+                   backend: Optional[str] = None,
+                   machine: Optional[str] = None,
+                   seed: int = 0) -> List[Dict[str, object]]:
+    """One ``scheme="AUTO"`` row per (dataset, p): run the configuration the
+    autotuning planner picks (see :mod:`repro.plan`).
+
+    Plotted next to the fixed CAGNET / SA / SA+GVB lines this shows
+    whether the planner tracks the lower envelope of the figure.  The
+    planner is constrained to the sweep's ``backend`` so the rows stay
+    comparable; it runs analytically (no probes, no cache writes), which
+    keeps ``--auto`` sweeps deterministic and cheap.
+    """
+    from ..plan import Planner
+    scale = bench_scale() if scale is None else scale
+    epochs = bench_epochs() if epochs is None else epochs
+    backend = bench_backend() if backend is None else backend
+    machine = bench_machine() if machine is None else machine
+    rows: List[Dict[str, object]] = []
+    for name in datasets:
+        dataset = load_dataset(name, scale=scale, seed=seed)
+        planner = Planner(machine=machine, backends=[backend],
+                          probe=False, use_cache=False, seed=seed)
+        for p in p_values:
+            try:
+                report = planner.plan_for_dataset(dataset, p)
+                plan = report.plan
+                scheme = Scheme("AUTO", sparsity_aware=plan.sparsity_aware,
+                                partitioner=plan.partitioner,
+                                algorithm=plan.algorithm,
+                                replication_factor=plan.replication_factor)
+                # Reuse the planner's partitioning instead of repeating it.
+                partition = None
+                if report.matrix_cache is not None:
+                    partition = report.matrix_cache.partition_result(
+                        plan.partitioner, plan.n_block_rows)
+                row = run_single(dataset, scheme, p, epochs=epochs,
+                                 backend=backend, machine=machine, seed=seed,
+                                 partition=partition)
+                row["planned_algorithm"] = plan.algorithm
+                row["planned_mode"] = plan.mode
+                row["planned_partitioner"] = plan.partitioner or "none"
+                rows.append(row)
+            except ValueError as exc:
+                rows.append({"dataset": dataset.name, "scheme": "AUTO",
+                             "p": p, "epoch_time_s": float("nan"),
+                             "skipped": str(exc)})
+    return rows

@@ -42,8 +42,14 @@ STANDARD_SCHEMES: Dict[str, Scheme] = {
 def run_single(dataset: GraphDataset, scheme: Scheme, n_ranks: int,
                epochs: int = 2, hidden: int = 16, n_layers: int = 3,
                learning_rate: float = 0.05, machine: str = "perlmutter-scaled",
-               backend: str = "sim", seed: int = 0) -> Dict[str, object]:
-    """Run one configuration and flatten the result into a table row."""
+               backend: str = "sim", seed: int = 0,
+               partition=None) -> Dict[str, object]:
+    """Run one configuration and flatten the result into a table row.
+
+    ``partition`` forwards a precomputed
+    :class:`~repro.partition.base.PartitionResult` to the trainer (used by
+    the planner-driven AUTO rows to avoid partitioning twice).
+    """
     config = DistTrainConfig(
         n_ranks=n_ranks,
         algorithm=scheme.algorithm,
@@ -58,7 +64,8 @@ def run_single(dataset: GraphDataset, scheme: Scheme, n_ranks: int,
         backend=backend,
         seed=seed,
     )
-    result = train_distributed(dataset, config, eval_every=0)
+    result = train_distributed(dataset, config, eval_every=0,
+                               partition=partition)
     n_epochs = max(1, epochs)
     row: Dict[str, object] = {
         "dataset": dataset.name,

@@ -9,8 +9,14 @@ Python:
 * ``repro train``      — run simulated distributed training and print the
   timing / accuracy summary,
 * ``repro bench``      — regenerate one of the paper's tables/figures,
+* ``repro tune``       — autotune the distributed configuration (variant,
+  backend, partitioner, replication factor) for a dataset and machine,
 * ``repro cost``       — closed-form cost-model predictions,
 * ``repro memory``     — per-rank memory footprint / OOM check.
+
+``repro train``/``repro bench`` take ``--auto`` to run planner-chosen
+configurations; every simulated command takes ``--machine`` (defaulting
+to the ``REPRO_MACHINE`` environment variable when set).
 
 Every command prints plain text (the same formatting the benchmark suite
 uses) and returns a process exit code, so the CLI is scriptable.
@@ -19,6 +25,7 @@ uses) and returns a process exit code, so the CLI is scriptable.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import List, Optional, Sequence
 
@@ -28,16 +35,21 @@ from . import bench
 from .bench.reporting import format_kv, format_series, format_table
 from .comm.factory import available_backends
 from .comm.machine import PRESETS
-from .core import (DistTrainConfig, estimate_rank_memory, fits_in_memory,
-                   spmm_cost_1d_oblivious, spmm_cost_1d_sparsity_aware,
-                   train_distributed)
-from .core.dist_matrix import BlockRowDistribution, DistSparseMatrix
-from .graphs.adjacency import (gcn_normalize, permutation_from_parts,
-                               symmetric_permutation)
+from .core import (AUTO, DistTrainConfig, best_replication_factor,
+                   crossover_process_count, estimate_rank_memory,
+                   fits_in_memory, spmm_cost_1d_oblivious,
+                   spmm_cost_1d_sparsity_aware, train_distributed)
+from .graphs.adjacency import gcn_normalize
 from .graphs.datasets import DATASET_NAMES, dataset_summary, load_dataset
 from .partition import PARTITIONERS, get_partitioner, partition_report
 
 __all__ = ["main", "build_parser"]
+
+
+def _machine_default(fallback: str) -> str:
+    """Default machine preset: ``REPRO_MACHINE`` env var, else ``fallback``
+    (one resolution rule shared with the bench suite)."""
+    return bench.bench_machine(fallback)
 
 
 # ----------------------------------------------------------------------
@@ -81,12 +93,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--hidden", type=int, default=16)
     p_train.add_argument("--layers", type=int, default=3)
     p_train.add_argument("--machine", choices=sorted(PRESETS),
-                         default="perlmutter-scaled")
-    p_train.add_argument("--backend", choices=available_backends(),
+                         default=_machine_default("perlmutter-scaled"))
+    p_train.add_argument("--backend", choices=available_backends() + [AUTO],
                          default="sim",
                          help="communicator backend (sim = deterministic "
                               "simulation, threaded = real worker threads, "
-                              "process = one OS process per rank)")
+                              "process = one OS process per rank, auto = "
+                              "planner-chosen)")
+    p_train.add_argument("--auto", action="store_true",
+                         help="let the autotuning planner pick algorithm, "
+                              "sparsity mode, backend, partitioner and "
+                              "replication factor (overrides those flags)")
 
     p_bench = sub.add_parser("bench", help="regenerate a paper table/figure")
     p_bench.add_argument("experiment", nargs="?", default=None,
@@ -98,10 +115,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--backend", choices=available_backends(),
                          default=None,
                          help="communicator backend for the timing runs")
+    # Default None (not the env var): the REPRO_MACHINE fallback is applied
+    # by bench_machine() inside the timed experiments, so exporting the env
+    # var never counts as an explicit flag on static tables.
+    p_bench.add_argument("--machine", choices=sorted(PRESETS),
+                         default=None,
+                         help="machine-model preset for the timing runs "
+                              "(default: REPRO_MACHINE or perlmutter-scaled)")
+    p_bench.add_argument("--auto", action="store_true",
+                         help="append scheme=AUTO rows running the "
+                              "planner-chosen configuration per (dataset, p)")
     p_bench.add_argument("--quick", action="store_true",
                          help="CI smoke mode: tiny scale, one epoch, small "
                               "process counts (defaults to fig3 when no "
                               "experiment is named)")
+
+    p_tune = sub.add_parser(
+        "tune", help="autotune the distributed training configuration")
+    add_dataset_args(p_tune)
+    p_tune.add_argument("--nranks", type=int, nargs="+", default=[8],
+                        help="candidate rank counts the planner considers")
+    p_tune.add_argument("--machine", choices=sorted(PRESETS),
+                        default=_machine_default("perlmutter-scaled"))
+    p_tune.add_argument("--backend", choices=available_backends() + [AUTO],
+                        default=AUTO,
+                        help="pin the communicator backend (default: let "
+                             "the planner choose)")
+    p_tune.add_argument("--partitioner",
+                        choices=sorted(PARTITIONERS) + ["none", AUTO],
+                        default=AUTO,
+                        help="pin the partitioner (default: let the "
+                             "planner choose)")
+    p_tune.add_argument("--hidden", type=int, default=16)
+    p_tune.add_argument("--layers", type=int, default=3)
+    p_tune.add_argument("--topk", type=int, default=3,
+                        help="distinct candidates to probe empirically")
+    p_tune.add_argument("--no-probe", action="store_true",
+                        help="rank analytically only (no empirical probes)")
+    p_tune.add_argument("--probe-budget", type=float, default=10.0,
+                        help="wall-clock budget for the probe loop (seconds)")
+    p_tune.add_argument("--cache", default=None,
+                        help="plan cache path (default: REPRO_PLAN_CACHE or "
+                             "~/.cache/repro/plan_cache.json)")
+    p_tune.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the plan cache")
+    p_tune.add_argument("--limit", type=int, default=15,
+                        help="maximum ranked candidates to print")
+    p_tune.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: tiny scale, p=4, 2 probes")
 
     p_cost = sub.add_parser("cost", help="cost-model prediction for one SpMM")
     add_dataset_args(p_cost)
@@ -109,7 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cost.add_argument("--partitioner",
                         choices=sorted(PARTITIONERS) + ["none"], default="gvb")
     p_cost.add_argument("--machine", choices=sorted(PRESETS),
-                        default="perlmutter")
+                        default=_machine_default("perlmutter"))
 
     p_mem = sub.add_parser("memory", help="per-rank memory estimate")
     p_mem.add_argument("--vertices", type=int, required=True)
@@ -121,7 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_mem.add_argument("--hidden", type=int, default=16)
     p_mem.add_argument("--layers", type=int, default=3)
     p_mem.add_argument("--machine", choices=sorted(PRESETS),
-                       default="perlmutter")
+                       default=_machine_default("perlmutter"))
     return parser
 
 
@@ -151,23 +212,32 @@ def _cmd_train(args) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     config = DistTrainConfig(
         n_ranks=args.ranks,
-        algorithm=args.algorithm,
+        algorithm=AUTO if args.auto else args.algorithm,
         sparsity_aware=not args.oblivious,
-        partitioner=None if args.partitioner == "none" else args.partitioner,
+        partitioner=AUTO if args.auto else (
+            None if args.partitioner == "none" else args.partitioner),
         replication_factor=args.replication,
         hidden=args.hidden,
         n_layers=args.layers,
         epochs=args.epochs,
         machine=args.machine,
-        backend=args.backend,
+        backend=AUTO if args.auto else args.backend,
         seed=args.seed,
     )
     result = train_distributed(dataset, config, eval_every=0)
+    config = result.config      # planner-resolved when --auto / "auto"
+    if args.auto:
+        print(f"planner chose: algorithm={config.algorithm} "
+              f"mode={'sparsity_aware' if config.sparsity_aware else 'oblivious'} "
+              f"backend={config.backend} "
+              f"partitioner={config.partitioner or 'none'} "
+              f"c={config.replication_factor}\n")
     summary = {
         "dataset": dataset.name,
         "scheme": config.scheme_label,
         "algorithm": config.algorithm,
         "backend": config.backend,
+        "partitioner": config.partitioner or "none",
         "ranks": config.n_ranks,
         "epochs": config.epochs,
         "avg_epoch_time_s": result.avg_epoch_time_s,
@@ -194,6 +264,21 @@ _BENCH_DISPATCH = {
 }
 
 
+def _auto_sweep_defaults(fn) -> tuple:
+    """The (datasets, p_values) grid an experiment sweeps by default, read
+    from its keyword defaults so the ``--auto`` planner rows always align
+    with the experiment's own grid (``fig5`` hardcodes the Papers dataset
+    and exposes a single ``p``)."""
+    params = inspect.signature(fn).parameters
+    datasets = params["datasets"].default if "datasets" in params \
+        else ("papers",)
+    if "p_values" in params:
+        p_values = params["p_values"].default
+    else:
+        p_values = (params["p"].default,)
+    return datasets, p_values
+
+
 def _cmd_bench(args) -> int:
     experiment = args.experiment
     if experiment is None:
@@ -208,12 +293,19 @@ def _cmd_bench(args) -> int:
         raise ValueError(
             f"--backend has no effect on {experiment} (a static analysis "
             f"that runs no distributed training)")
+    if not timed and (args.machine is not None or args.auto):
+        flag = "--machine" if args.machine is not None else "--auto"
+        raise ValueError(
+            f"{flag} has no effect on {experiment} (a static analysis "
+            f"that runs no distributed training)")
     if args.scale is not None:
         kwargs["scale"] = args.scale
     if args.epochs is not None and timed:
         kwargs["epochs"] = args.epochs
     if args.backend is not None:
         kwargs["backend"] = args.backend
+    if args.machine is not None and timed:
+        kwargs["machine"] = args.machine
     if args.quick:
         # CI smoke settings: tiny stand-ins, one epoch, small p sweeps.
         kwargs.setdefault("scale", 0.05)
@@ -230,6 +322,16 @@ def _cmd_bench(args) -> int:
                 kwargs["datasets"] = ("protein",)
         title += " [quick smoke]"
     rows = fn(**kwargs)
+    if args.auto:
+        datasets, p_values = _auto_sweep_defaults(fn)
+        datasets = kwargs.get("datasets", datasets)
+        p_values = (kwargs["p"],) if "p" in kwargs \
+            else kwargs.get("p_values", p_values)
+        rows = rows + bench.auto_plan_rows(
+            datasets, p_values, scale=kwargs.get("scale"),
+            epochs=kwargs.get("epochs"), backend=kwargs.get("backend"),
+            machine=kwargs.get("machine"), seed=args.seed)
+        title += " + planner AUTO rows"
     print(format_table(rows, title=title))
     if experiment in ("fig3", "fig6", "fig7"):
         print()
@@ -239,17 +341,13 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_cost(args) -> int:
+    from .plan import PlanMatrixCache
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    adjacency = gcn_normalize(dataset.adjacency)
-    if args.partitioner != "none":
-        part = get_partitioner(args.partitioner, seed=args.seed).partition(
-            dataset.adjacency, args.ranks)
-        perm = permutation_from_parts(part.parts, args.ranks)
-        adjacency = symmetric_permutation(adjacency, perm)
-        dist = BlockRowDistribution.from_partition(part.part_sizes())
-    else:
-        dist = BlockRowDistribution.uniform(adjacency.shape[0], args.ranks)
-    matrix = DistSparseMatrix(adjacency, dist)
+    # The same partition -> permute -> distribute pipeline the planner
+    # scores with, shared across the replication factors probed below.
+    matrices = PlanMatrixCache(dataset.adjacency, seed=args.seed)
+    part_name = None if args.partitioner == "none" else args.partitioner
+    matrix = matrices.matrix(part_name, args.ranks)
     f = dataset.n_features
     aware = spmm_cost_1d_sparsity_aware(matrix, f, args.machine)
     oblivious = spmm_cost_1d_oblivious(matrix, f, args.machine)
@@ -260,6 +358,99 @@ def _cmd_cost(args) -> int:
     ratio = oblivious.communication_s / aware.communication_s \
         if aware.communication_s > 0 else float("inf")
     print(f"\npredicted communication speedup of sparsity-aware: {ratio:.2f}x")
+
+    # The two analytic answers the autotuning planner builds on, printed
+    # here so they are visible standalone (see docs/tuning.md).
+    n = dataset.n_vertices
+    p_values = [p for p in sorted({2, 4, 8, 16, 32, 64} | {args.ranks})
+                if p <= n]
+    xover = crossover_process_count(gcn_normalize(dataset.adjacency), f,
+                                    p_values, args.machine)
+    xover_str = str(xover) if xover is not None \
+        else f"never for p in {p_values}"
+    print(f"crossover_process_count (sparsity-aware 1D wins from, natural "
+          f"blocks): {xover_str}")
+
+    def matrix_for_replication(c: int):
+        return matrices.matrix(part_name, args.ranks // c)
+
+    try:
+        best_c = best_replication_factor(matrix_for_replication, f,
+                                         args.ranks, args.machine)
+        print(f"best_replication_factor (P={args.ranks}, c in (1, 2, 4)): "
+              f"{best_c}")
+    except ValueError as exc:
+        print(f"best_replication_factor (P={args.ranks}): n/a ({exc})")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .plan import PlanCache, Planner
+    scale = args.scale
+    nranks: List[int] = list(args.nranks)
+    topk, budget = args.topk, args.probe_budget
+    if args.quick:
+        scale = min(scale, 0.05)
+        nranks = [4]
+        topk, budget = 2, 2.0
+    dataset = load_dataset(args.dataset, scale=scale, seed=args.seed)
+
+    backends = None if args.backend == AUTO else [args.backend]
+    if args.partitioner == AUTO:
+        partitioners = None
+    else:
+        partitioners = [None if args.partitioner == "none"
+                        else args.partitioner]
+    cache = None if args.no_cache else PlanCache(args.cache)
+    planner = Planner(
+        machine=args.machine,
+        backends=backends,
+        partitioners=partitioners,
+        probe=not args.no_probe,
+        top_k=topk,
+        probe_budget_s=budget,
+        seed=args.seed,
+        cache=cache,
+        use_cache=not args.no_cache,
+    )
+    report = planner.plan_for_dataset(
+        dataset, nranks[0] if len(nranks) == 1 else nranks,
+        hidden=args.hidden, n_layers=args.layers)
+
+    shown = [{**row,
+              "partitioner": row.get("partitioner") or "none",
+              "probed_s": "-" if row.get("probed_s") is None
+              else row["probed_s"]}
+             for row in report.table[:max(1, args.limit)]]
+    title = (f"Autotuned plan space — {dataset.name} "
+             f"(machine={args.machine}, p={','.join(map(str, nranks))})")
+    if args.quick:
+        title += " [quick smoke]"
+    print(format_table(shown, title=title))
+    if len(report.table) > len(shown):
+        print(f"... ({len(report.table) - len(shown)} more candidates; "
+              f"--limit to show them)")
+
+    plan = report.plan
+    print()
+    print(format_kv({
+        "algorithm": plan.algorithm,
+        "mode": plan.mode,
+        "scheme": plan.scheme_label,
+        "backend": plan.backend,
+        "partitioner": plan.partitioner or "none",
+        "replication_factor": plan.replication_factor,
+        "n_ranks": plan.n_ranks,
+        "predicted_s": plan.predicted_s,
+        "probed_s": plan.probed_s if plan.probed_s is not None else "-",
+        "source": plan.source,
+        "machine": plan.machine,
+        "matrix_fingerprint": plan.fingerprint,
+    }, title="chosen plan"))
+    status = "HIT (0 probes)" if report.cache_hit \
+        else f"MISS ({report.probes_run} probes)"
+    location = report.cache_path or "disabled"
+    print(f"\nplan cache: {status} [{location}]")
     return 0
 
 
@@ -280,6 +471,7 @@ _DISPATCH = {
     "partition": _cmd_partition,
     "train": _cmd_train,
     "bench": _cmd_bench,
+    "tune": _cmd_tune,
     "cost": _cmd_cost,
     "memory": _cmd_memory,
 }

@@ -5,7 +5,7 @@ from .analysis import (ELEMENT_BYTES, VolumeTableRow, predicted_bytes_per_spmm,
                        predicted_rows_oblivious_1d,
                        predicted_rows_sparsity_aware_1d,
                        single_spmm_volume_table)
-from .config import Algorithm, DistTrainConfig
+from .config import AUTO, Algorithm, DistTrainConfig
 from .costmodel import (CommCostBreakdown, best_replication_factor,
                         crossover_process_count, epoch_cost,
                         spmm_cost_15d_oblivious, spmm_cost_15d_sparsity_aware,
@@ -28,7 +28,7 @@ __all__ = [
     "ELEMENT_BYTES", "VolumeTableRow", "predicted_bytes_per_spmm",
     "predicted_rows_oblivious_1d", "predicted_rows_sparsity_aware_1d",
     "single_spmm_volume_table",
-    "Algorithm", "DistTrainConfig",
+    "AUTO", "Algorithm", "DistTrainConfig",
     "CommCostBreakdown", "best_replication_factor", "crossover_process_count",
     "epoch_cost", "spmm_cost_1d_oblivious", "spmm_cost_1d_sparsity_aware",
     "spmm_cost_15d_oblivious", "spmm_cost_15d_sparsity_aware",

@@ -8,11 +8,17 @@ from typing import Optional, Union
 from ..comm.factory import available_backends
 from ..comm.machine import MachineModel
 
-__all__ = ["Algorithm", "DistTrainConfig"]
+__all__ = ["AUTO", "Algorithm", "DistTrainConfig", "scheme_label",
+           "training_layer_dims"]
 
 
 #: The two distributed SpMM families the paper evaluates.
 ALGORITHMS = ("1d", "1.5d")
+
+#: Sentinel value for fields the autotuning planner should choose
+#: (``algorithm`` — which also frees the sparsity mode and replication
+#: factor —, ``backend`` and ``partitioner``); see :mod:`repro.plan`.
+AUTO = "auto"
 
 
 class Algorithm:
@@ -20,6 +26,29 @@ class Algorithm:
 
     ONE_D = "1d"
     ONE_POINT_FIVE_D = "1.5d"
+
+
+def training_layer_dims(n_features: int, n_classes: int, hidden: int,
+                        n_layers: int) -> list:
+    """Layer widths ``[f_0, ..., f_L]`` of the GCN the trainer builds.
+
+    The single source of truth shared by the trainer and the autotuning
+    planner — the planner must score/probe exactly the architecture that
+    will be trained, or "auto" would silently optimise a different model.
+    """
+    if n_layers == 1:
+        return [n_features, n_classes]
+    return [n_features] + [hidden] * (n_layers - 1) + [n_classes]
+
+
+def scheme_label(sparsity_aware: bool, partitioner: Optional[str]) -> str:
+    """The paper-style scheme label (CAGNET / SA / SA+<PART>) of a
+    configuration; shared by configs, plan candidates and plans."""
+    if not sparsity_aware:
+        return "CAGNET"
+    if partitioner in (None, "block", "random"):
+        return "SA"
+    return f"SA+{partitioner.upper().replace('_LIKE', '')}"
 
 
 @dataclass(frozen=True)
@@ -31,14 +60,16 @@ class DistTrainConfig:
     n_ranks:
         Number of simulated processes (GPUs in the paper).
     algorithm:
-        ``"1d"`` or ``"1.5d"``.
+        ``"1d"``, ``"1.5d"``, or ``"auto"`` to let the planner pick the
+        variant (algorithm family, sparsity mode and replication factor).
     sparsity_aware:
         ``False`` reproduces the CAGNET sparsity-oblivious baselines;
         ``True`` enables the paper's sparsity-aware communication.
     partitioner:
         Registry name of the partitioner used to distribute the graph
         (``"block"``, ``"random"``, ``"metis_like"``, ``"gvb"``).  ``None``
-        means the natural block distribution (no reordering).
+        means the natural block distribution (no reordering); ``"auto"``
+        lets the planner pick.
     replication_factor:
         The 1.5D replication factor ``c`` (ignored for 1D; ``c = 1``
         degenerates to the 1D layout).
@@ -53,7 +84,8 @@ class DistTrainConfig:
         Communicator backend name from :func:`repro.comm.available_backends`
         (``"sim"`` for the deterministic simulator, ``"threaded"`` for real
         shared-memory worker threads, ``"process"`` for one OS process per
-        rank with shared-memory transport).
+        rank with shared-memory transport), or ``"auto"`` to let the
+        planner pick.
     seed:
         Seed shared by weight init, partitioner tie-breaking and dataset
         generation helpers.
@@ -78,13 +110,14 @@ class DistTrainConfig:
     def __post_init__(self) -> None:
         if self.n_ranks <= 0:
             raise ValueError("n_ranks must be positive")
-        if self.backend not in available_backends():
+        if self.backend != AUTO and self.backend not in available_backends():
             raise ValueError(
                 f"unknown communicator backend {self.backend!r}; "
-                f"available: {available_backends()}")
-        if self.algorithm not in ALGORITHMS:
+                f"available: {available_backends()} (or 'auto')")
+        if self.algorithm != AUTO and self.algorithm not in ALGORITHMS:
             raise ValueError(
-                f"algorithm must be one of {ALGORITHMS}, got {self.algorithm!r}")
+                f"algorithm must be one of {ALGORITHMS} or 'auto', "
+                f"got {self.algorithm!r}")
         if self.replication_factor <= 0:
             raise ValueError("replication_factor must be positive")
         if self.algorithm == Algorithm.ONE_POINT_FIVE_D:
@@ -104,8 +137,18 @@ class DistTrainConfig:
             raise ValueError("learning_rate must be positive")
 
     @property
+    def needs_planning(self) -> bool:
+        """Whether any field is ``"auto"`` and must be resolved by the
+        planner (:func:`repro.plan.resolve_config`) before training."""
+        return AUTO in (self.algorithm, self.backend, self.partitioner)
+
+    @property
     def n_block_rows(self) -> int:
         """Number of block rows of the data distribution (P for 1D, P/c for 1.5D)."""
+        if self.algorithm == AUTO:
+            raise ValueError(
+                "algorithm is 'auto'; resolve the plan first "
+                "(repro.plan.resolve_config)")
         if self.algorithm == Algorithm.ONE_POINT_FIVE_D:
             return self.n_ranks // self.replication_factor
         return self.n_ranks
@@ -113,8 +156,6 @@ class DistTrainConfig:
     @property
     def scheme_label(self) -> str:
         """Short label used in benchmark tables (CAGNET / SA / SA+<part>)."""
-        if not self.sparsity_aware:
-            return "CAGNET"
-        if self.partitioner in (None, "block", "random"):
-            return "SA"
-        return f"SA+{self.partitioner.upper().replace('_LIKE', '')}"
+        if self.needs_planning:
+            return "AUTO"
+        return scheme_label(self.sparsity_aware, self.partitioner)

@@ -28,7 +28,7 @@ from ..graphs.datasets import GraphDataset
 from ..graphs.features import NodeData
 from ..partition import get_partitioner
 from ..partition.base import PartitionResult
-from .config import Algorithm, DistTrainConfig
+from .config import Algorithm, DistTrainConfig, training_layer_dims
 from .dist_gcn import DistributedGCN
 from .dist_matrix import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
 from .spmm_15d import ProcessGrid
@@ -77,17 +77,44 @@ class DistributedSetup:
     partition: Optional[PartitionResult]
     distribution: BlockRowDistribution
     grid: Optional[ProcessGrid]
+    #: The fully concrete config the setup was built from.  Identical to
+    #: the caller's config unless that one had ``"auto"`` fields, in which
+    #: case this is the planner-resolved version (and ``plan`` records the
+    #: chosen :class:`~repro.plan.planner.ExecutionPlan`).
+    config: Optional[DistTrainConfig] = None
+    plan: Optional[object] = None
 
 
 def _layer_dims(n_features: int, n_classes: int, cfg: DistTrainConfig) -> List[int]:
-    if cfg.n_layers == 1:
-        return [n_features, n_classes]
-    return [n_features] + [cfg.hidden] * (cfg.n_layers - 1) + [n_classes]
+    return training_layer_dims(n_features, n_classes, cfg.hidden, cfg.n_layers)
 
 
-def setup_distributed(dataset: GraphDataset, config: DistTrainConfig
+def setup_distributed(dataset: GraphDataset, config: DistTrainConfig,
+                      partition: Optional[PartitionResult] = None
                       ) -> DistributedSetup:
-    """Partition, permute and distribute a dataset for simulated training."""
+    """Partition, permute and distribute a dataset for simulated training.
+
+    A config with ``"auto"`` fields (``algorithm`` / ``backend`` /
+    ``partitioner``) is first resolved by the autotuning planner; the
+    concrete configuration actually used is returned as ``setup.config``.
+    Training with an auto config is bit-identical to passing the resolved
+    values explicitly — the planner only selects, it never changes the
+    execution path.
+
+    ``partition`` lets a caller supply a precomputed
+    :class:`~repro.partition.base.PartitionResult` for ``config.partitioner``
+    over ``config.n_block_rows`` parts (e.g. the planner's own) instead of
+    partitioning again; partitioners are seed-deterministic, so supplying
+    the matching result is bit-identical to recomputation.
+    """
+    plan = None
+    plan_partition: Optional[PartitionResult] = partition
+    if config.needs_planning:
+        # Imported lazily: repro.plan depends on repro.core, not vice versa.
+        from ..plan import resolve_config
+        config, plan, plan_partition = resolve_config(dataset, config,
+                                                      return_partition=True)
+
     node_data = dataset.node_data
     node_data.validate()
     adjacency = dataset.adjacency
@@ -100,8 +127,21 @@ def setup_distributed(dataset: GraphDataset, config: DistTrainConfig
 
     partition: Optional[PartitionResult] = None
     if config.partitioner is not None:
-        partitioner = get_partitioner(config.partitioner, seed=config.seed)
-        partition = partitioner.partition(adjacency, nblocks)
+        if plan_partition is not None:
+            sizes = plan_partition.part_sizes()
+            if len(sizes) != nblocks or int(np.sum(sizes)) != \
+                    adjacency.shape[0]:
+                raise ValueError(
+                    f"supplied partition has {len(sizes)} parts over "
+                    f"{int(np.sum(sizes))} vertices; this configuration "
+                    f"needs {nblocks} parts over {adjacency.shape[0]}")
+            # Reuse the planner's partitioning (same partitioner, seed and
+            # block count — partitioners are seed-deterministic, so this is
+            # bit-identical to recomputing, just not paid for twice).
+            partition = plan_partition
+        else:
+            partitioner = get_partitioner(config.partitioner, seed=config.seed)
+            partition = partitioner.partition(adjacency, nblocks)
         perm = permutation_from_parts(partition.parts, nblocks)
         dataset = dataset.permuted(perm)
         node_data = dataset.node_data
@@ -116,8 +156,10 @@ def setup_distributed(dataset: GraphDataset, config: DistTrainConfig
     comm = make_communicator(config.n_ranks, backend=config.backend,
                              machine=config.machine)
     try:
-        return _build_setup(dataset, config, comm, node_data, matrix,
-                            partition, distribution)
+        setup = _build_setup(dataset, config, comm, node_data, matrix,
+                             partition, distribution)
+        setup.plan = plan
+        return setup
     except BaseException:
         # Never leak worker threads/processes or shared memory when the
         # distributed state cannot be built (bad grid, incompatible
@@ -154,11 +196,13 @@ def _build_setup(dataset: GraphDataset, config: DistTrainConfig,
     )
     return DistributedSetup(model=model, comm=comm, node_data=node_data,
                             partition=partition, distribution=distribution,
-                            grid=grid)
+                            grid=grid, config=config)
 
 
 def train_distributed(dataset: GraphDataset, config: DistTrainConfig,
-                      eval_every: int = 25) -> DistTrainResult:
+                      eval_every: int = 25,
+                      partition: Optional[PartitionResult] = None
+                      ) -> DistTrainResult:
     """Run simulated distributed full-graph GCN training end to end.
 
     Parameters
@@ -167,8 +211,13 @@ def train_distributed(dataset: GraphDataset, config: DistTrainConfig,
         Evaluate train/val accuracy every this many epochs (evaluation is a
         host-side diagnostic and does not contribute to simulated time).
         Set to 0 to skip intermediate evaluation entirely.
+    partition:
+        Optional precomputed partition, forwarded to
+        :func:`setup_distributed`.
     """
-    setup = setup_distributed(dataset, config)
+    setup = setup_distributed(dataset, config, partition=partition)
+    if setup.config is not None:
+        config = setup.config    # planner-resolved when the input was auto
     model, comm, node_data = setup.model, setup.comm, setup.node_data
 
     history: List[DistEpochRecord] = []

@@ -1,0 +1,49 @@
+"""Autotuning planner: pick the distributed-SpMM configuration automatically.
+
+The paper's central observation is that the best configuration — 1D vs
+1.5D, sparsity-aware vs oblivious, which partitioner, which replication
+factor — depends on the graph's sparsity structure, the machine and the
+process count.  This package closes that loop (see ``docs/tuning.md``):
+
+* :mod:`repro.plan.space`   — enumerate the plan space over the engine
+  registry x communicator backends x partitioners x replication factors
+  x rank counts;
+* :mod:`repro.plan.score`   — rank candidates with the closed-form
+  alpha-beta cost model on a chosen machine;
+* :mod:`repro.plan.probe`   — ground the top-k candidates with short real
+  ``SpmmEngine`` runs (``sim`` backend by default; budgeted, seeded,
+  deterministic order);
+* :mod:`repro.plan.cache`   — persist winning plans keyed by matrix +
+  machine + layer dims + plan-space fingerprints;
+* :mod:`repro.plan.planner` — the :class:`Planner` orchestrating all of
+  the above, the :class:`ExecutionPlan` the rest of the stack consumes,
+  and :func:`resolve_config`, which turns ``DistTrainConfig`` fields set
+  to ``"auto"`` into concrete values.
+
+Entry points: ``repro tune`` on the CLI, ``--auto`` on ``repro train`` /
+``repro bench``, or ``DistTrainConfig(algorithm="auto", backend="auto",
+partitioner="auto")`` in code.
+"""
+
+from .cache import (CACHE_ENV_VAR, PlanCache, default_cache_path,
+                    machine_fingerprint, matrix_fingerprint, plan_key)
+from .planner import (ExecutionPlan, Planner, PlanReport, plan_for_dataset,
+                      resolve_config)
+from .probe import ProbeResult, probe_candidate, probe_ranked
+from .score import (BACKEND_MESSAGE_OVERHEAD_S, PlanMatrixCache,
+                    ScoredCandidate, backend_overhead_s, score_candidates)
+from .space import (DEFAULT_PARTITIONERS, DEFAULT_REPLICATION_CANDIDATES,
+                    PlanCandidate, enumerate_candidates,
+                    valid_replication_factors)
+
+__all__ = [
+    "CACHE_ENV_VAR", "PlanCache", "default_cache_path",
+    "machine_fingerprint", "matrix_fingerprint", "plan_key",
+    "ExecutionPlan", "Planner", "PlanReport", "plan_for_dataset",
+    "resolve_config",
+    "ProbeResult", "probe_candidate", "probe_ranked",
+    "BACKEND_MESSAGE_OVERHEAD_S", "PlanMatrixCache", "ScoredCandidate",
+    "backend_overhead_s", "score_candidates",
+    "DEFAULT_PARTITIONERS", "DEFAULT_REPLICATION_CANDIDATES",
+    "PlanCandidate", "enumerate_candidates", "valid_replication_factors",
+]

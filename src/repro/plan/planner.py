@@ -1,0 +1,443 @@
+"""The autotuning planner: enumerate, score, probe, cache, decide.
+
+This is the module that closes the paper's loop: instead of the user
+hand-picking ``algorithm`` / ``sparsity_aware`` / ``backend`` /
+``partitioner`` / ``replication_factor``, :class:`Planner` searches that
+space for a concrete graph and machine —
+
+1. :func:`~repro.plan.space.enumerate_candidates` spans the engine
+   registry x communicator backends x partitioners x valid 1.5D
+   replication factors x candidate rank counts;
+2. :func:`~repro.plan.score.score_candidates` ranks the space with the
+   closed-form alpha-beta :func:`~repro.core.costmodel.epoch_cost`;
+3. :func:`~repro.plan.probe.probe_ranked` optionally grounds the top-k
+   candidates with short real :class:`~repro.core.engine.SpmmEngine`
+   runs (``sim`` backend by default — deterministic and comparable to
+   the predictions);
+4. the winning :class:`ExecutionPlan` plus the full ranked table are
+   persisted in the :class:`~repro.plan.cache.PlanCache`, so a repeat
+   run with the same matrix/machine/space skips probing entirely.
+
+:func:`resolve_config` is the bridge the trainer uses: it turns a
+:class:`~repro.core.config.DistTrainConfig` with ``"auto"`` fields into a
+fully concrete one (training with the resolved config is bit-identical to
+configuring those values by hand — the planner only *selects*, it never
+changes execution).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..comm.machine import MachineModel, get_machine
+from ..core.config import (AUTO, Algorithm, DistTrainConfig,
+                           training_layer_dims)
+from ..core.config import scheme_label as _scheme_label
+from ..core.engine import mode_name
+from ..graphs.datasets import GraphDataset
+from .cache import PlanCache, matrix_fingerprint, plan_key
+from .probe import ProbeResult, probe_ranked
+from .score import PlanMatrixCache, ScoredCandidate, score_candidates
+from .space import (DEFAULT_PARTITIONERS, DEFAULT_REPLICATION_CANDIDATES,
+                    PlanCandidate, enumerate_candidates)
+
+__all__ = ["ExecutionPlan", "PlanReport", "Planner", "plan_for_dataset",
+           "resolve_config"]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A fully concrete training configuration chosen by the planner."""
+
+    algorithm: str
+    sparsity_aware: bool
+    backend: str
+    partitioner: Optional[str]
+    replication_factor: int
+    n_ranks: int
+    predicted_s: float
+    probed_s: Optional[float]
+    source: str                  # "analytic" | "probed" | "cache"
+    machine: str
+    fingerprint: str
+
+    @property
+    def mode(self) -> str:
+        return mode_name(self.sparsity_aware)
+
+    @property
+    def n_block_rows(self) -> int:
+        """Block rows of the data distribution (P for 1D, P/c for 1.5D)."""
+        if self.algorithm == Algorithm.ONE_POINT_FIVE_D:
+            return self.n_ranks // self.replication_factor
+        return self.n_ranks
+
+    @property
+    def scheme_label(self) -> str:
+        return _scheme_label(self.sparsity_aware, self.partitioner)
+
+    def as_config_kwargs(self) -> Dict[str, object]:
+        """Keyword overrides for :func:`dataclasses.replace` on a
+        :class:`~repro.core.config.DistTrainConfig`."""
+        return {
+            "algorithm": self.algorithm,
+            "sparsity_aware": self.sparsity_aware,
+            "backend": self.backend,
+            "partitioner": self.partitioner,
+            "replication_factor": self.replication_factor,
+            "n_ranks": self.n_ranks,
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "sparsity_aware": self.sparsity_aware,
+            "backend": self.backend,
+            "partitioner": self.partitioner,
+            "replication_factor": self.replication_factor,
+            "n_ranks": self.n_ranks,
+            "predicted_s": self.predicted_s,
+            "probed_s": self.probed_s,
+            "source": self.source,
+            "machine": self.machine,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object],
+                  source: Optional[str] = None) -> "ExecutionPlan":
+        return cls(
+            algorithm=str(payload["algorithm"]),
+            sparsity_aware=bool(payload["sparsity_aware"]),
+            backend=str(payload["backend"]),
+            partitioner=(None if payload.get("partitioner") is None
+                         else str(payload["partitioner"])),
+            replication_factor=int(payload["replication_factor"]),
+            n_ranks=int(payload["n_ranks"]),
+            predicted_s=float(payload["predicted_s"]),
+            probed_s=(None if payload.get("probed_s") is None
+                      else float(payload["probed_s"])),
+            source=source if source is not None else str(payload["source"]),
+            machine=str(payload["machine"]),
+            fingerprint=str(payload["fingerprint"]),
+        )
+
+
+@dataclass
+class PlanReport:
+    """Outcome of one planner invocation (the ``repro tune`` payload)."""
+
+    plan: ExecutionPlan
+    table: List[Dict[str, object]]
+    probes_run: int
+    cache_hit: bool
+    key: str
+    cache_path: Optional[str] = None
+    #: The matrix/partition cache of a *fresh* planning run (``None`` on
+    #: cache hits); lets callers reuse the planner's partitioning work.
+    matrix_cache: Optional[PlanMatrixCache] = None
+
+
+
+
+class Planner:
+    """Searches the plan space for the cheapest training configuration.
+
+    Parameters
+    ----------
+    machine:
+        Machine preset name or :class:`~repro.comm.machine.MachineModel`
+        the analytic scorer (and the ``sim`` prober) run against.
+    backends / partitioners / algorithms / modes / replication_candidates:
+        Plan-space axes; ``None`` means the full default axis (every
+        registered backend, :data:`~repro.plan.space.DEFAULT_PARTITIONERS`,
+        every trainable engine variant).
+    probe:
+        Run empirical probes on the analytically top-ranked candidates.
+    top_k / probe_budget_s / probe_repeats / probe_backend:
+        Probing controls: how many distinct (algorithm, mode, partitioner,
+        c) groups to probe, the wall-clock budget (``None`` = unlimited,
+        making the probe count deterministic), repeats per probe, and the
+        backend probes execute on (``sim`` by default).
+    seed:
+        Shared by partitioner tie-breaking and the probe operand.
+    cache / use_cache / cache_read_only:
+        A :class:`~repro.plan.cache.PlanCache` (or ``None`` for the
+        default location), whether to consult/fill it, and whether this
+        planner may only read it (used by ``train --auto`` resolution so
+        training never writes plans, but still reuses ``repro tune``'s).
+    """
+
+    def __init__(self, machine: "str | MachineModel" = "perlmutter-scaled",
+                 *,
+                 backends: Optional[Sequence[str]] = None,
+                 partitioners: Optional[Sequence[Optional[str]]] = None,
+                 algorithms: Optional[Sequence[str]] = None,
+                 modes: Optional[Sequence[str]] = None,
+                 replication_candidates: Sequence[int]
+                 = DEFAULT_REPLICATION_CANDIDATES,
+                 probe: bool = True,
+                 top_k: int = 3,
+                 probe_budget_s: Optional[float] = 10.0,
+                 probe_repeats: int = 1,
+                 probe_backend: str = "sim",
+                 seed: int = 0,
+                 cache: Optional[PlanCache] = None,
+                 use_cache: bool = True,
+                 cache_read_only: bool = False) -> None:
+        self.machine = get_machine(machine)
+        self.backends = None if backends is None else tuple(backends)
+        self.partitioners = None if partitioners is None else tuple(partitioners)
+        self.algorithms = None if algorithms is None else tuple(algorithms)
+        self.modes = None if modes is None else tuple(modes)
+        self.replication_candidates = tuple(replication_candidates)
+        self.probe = probe
+        self.top_k = top_k
+        self.probe_budget_s = probe_budget_s
+        self.probe_repeats = probe_repeats
+        self.probe_backend = probe_backend
+        self.seed = seed
+        self.use_cache = use_cache
+        self.cache_read_only = cache_read_only
+        self.cache = cache if cache is not None else \
+            (PlanCache() if use_cache else None)
+
+    # ------------------------------------------------------------------
+    def _space_signature(self) -> Dict[str, object]:
+        """Everything (besides matrix/machine/dims/ranks) that changes the
+        *search space* — part of the cache key.  Defaulted axes are
+        expanded to their resolved contents (and the backend-overhead
+        constants are included) so registering a new backend/variant or
+        recalibrating the overhead table invalidates cached plans instead
+        of silently serving a space that never saw the change.  Probing
+        parameters are deliberately NOT part of the key: a probed and an
+        analytic run of the same space share an entry (compatibility is
+        checked record-side in :meth:`plan`), which is what lets ``train
+        --auto`` reuse the plan a ``repro tune`` run cached."""
+        from ..comm.factory import available_backends
+        from ..core.engine import available_spmm_variants
+        from .score import BACKEND_MESSAGE_OVERHEAD_S
+        return {
+            "backends": self.backends if self.backends is not None
+            else tuple(available_backends()),
+            "partitioners": self.partitioners if self.partitioners is not None
+            else DEFAULT_PARTITIONERS,
+            "algorithms": self.algorithms,
+            "modes": self.modes,
+            "variants": tuple(available_spmm_variants()),
+            "replications": self.replication_candidates,
+            "backend_overheads": tuple(sorted(
+                BACKEND_MESSAGE_OVERHEAD_S.items())),
+            "seed": self.seed,
+        }
+
+    # ------------------------------------------------------------------
+    def plan(self, adjacency, layer_dims: Sequence[int],
+             n_ranks: "int | Sequence[int]") -> PlanReport:
+        """Plan distributed training of a GCN with ``layer_dims`` over the
+        (raw, unnormalised) ``adjacency`` for the candidate ``n_ranks``."""
+        rank_counts = [n_ranks] if isinstance(n_ranks, int) else list(n_ranks)
+        fingerprint = matrix_fingerprint(adjacency)
+        key = plan_key(fingerprint, self.machine, layer_dims, rank_counts,
+                       self._space_signature())
+
+        if self.use_cache and self.cache is not None:
+            record = self.cache.get(key)
+            # A record is reusable when (a) it is not a budget-truncated
+            # probe run (complete=False records are host-speed artefacts,
+            # not deterministic planner output) and (b) it carries at
+            # least as much information as this planner would produce: a
+            # probing planner rejects analytic-only records, while an
+            # analytic planner happily reuses probed ones.
+            if record is not None and record.get("complete", True) and \
+                    (not self.probe or record.get("probed", False)):
+                plan = ExecutionPlan.from_dict(record["plan"], source="cache")
+                return PlanReport(plan=plan, table=list(record.get("table", [])),
+                                  probes_run=0, cache_hit=True, key=key,
+                                  cache_path=str(self.cache.path))
+
+        matrix_cache = PlanMatrixCache(adjacency, seed=self.seed)
+        candidates = enumerate_candidates(
+            rank_counts,
+            backends=self.backends,
+            partitioners=self.partitioners,
+            algorithms=self.algorithms,
+            modes=self.modes,
+            replication_candidates=self.replication_candidates,
+            n_vertices=matrix_cache.n_vertices,
+        )
+        ranked = score_candidates(candidates, matrix_cache, layer_dims,
+                                  self.machine)
+        if not ranked:
+            raise ValueError(
+                "the plan space is empty for this matrix/rank combination "
+                f"(n_ranks={rank_counts}, n_vertices={matrix_cache.n_vertices})")
+
+        probes: Dict[PlanCandidate, ProbeResult] = {}
+        if self.probe:
+            probes = probe_ranked(ranked, matrix_cache, layer_dims,
+                                  self.machine, top_k=self.top_k,
+                                  budget_s=self.probe_budget_s,
+                                  probe_backend=self.probe_backend,
+                                  repeats=self.probe_repeats,
+                                  seed=self.seed)
+
+        best = min(ranked, key=lambda s: self._final_key(s, probes))
+        best_probe = probes.get(best.candidate)
+        plan = ExecutionPlan(
+            algorithm=best.candidate.algorithm,
+            sparsity_aware=best.candidate.sparsity_aware,
+            backend=best.candidate.backend,
+            partitioner=best.candidate.partitioner,
+            replication_factor=best.candidate.replication_factor,
+            n_ranks=best.candidate.n_ranks,
+            predicted_s=best.predicted_s,
+            probed_s=best_probe.probed_s if best_probe else None,
+            source="probed" if best_probe else "analytic",
+            machine=self.machine.name,
+            fingerprint=fingerprint,
+        )
+        table = self._table(ranked, probes, plan)
+        probes_run = len({id(r) for r in probes.values()})
+        # Did the wall-clock budget cut the probe loop short of the top_k
+        # distinct groups actually present in the space?
+        n_groups = len({s.candidate.group_key() for s in ranked})
+        complete = (not self.probe) or \
+            probes_run >= min(max(0, self.top_k), n_groups)
+
+        if self.use_cache and self.cache is not None and \
+                not self.cache_read_only:
+            self.cache.put(key, {"plan": plan.as_dict(), "table": table,
+                                 "probes_run": probes_run,
+                                 # A record only counts as probed if probes
+                                 # actually ran (probe=True with top_k=0
+                                 # produces analytic-only data).
+                                 "probed": self.probe and probes_run > 0,
+                                 "complete": complete,
+                                 "layer_dims": [int(d) for d in layer_dims]})
+        return PlanReport(plan=plan, table=table, probes_run=probes_run,
+                          cache_hit=False, key=key,
+                          cache_path=str(self.cache.path) if self.cache else None,
+                          matrix_cache=matrix_cache)
+
+    def plan_for_dataset(self, dataset: GraphDataset,
+                         n_ranks: "int | Sequence[int]",
+                         hidden: int = 16, n_layers: int = 3) -> PlanReport:
+        """Plan for a :class:`~repro.graphs.datasets.GraphDataset` and the
+        GCN architecture the trainer would build on it."""
+        dims = training_layer_dims(dataset.node_data.n_features,
+                                   dataset.node_data.n_classes,
+                                   hidden, n_layers)
+        return self.plan(dataset.adjacency, dims, n_ranks)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _final_key(scored: ScoredCandidate,
+                   probes: Dict[PlanCandidate, ProbeResult]) -> Tuple:
+        """Selection order: probed time first (probed candidates always
+        beat unprobed ones), then analytic prediction, then the stable
+        candidate order."""
+        probe = probes.get(scored.candidate)
+        probed_rank = (0, probe.probed_s) if probe is not None \
+            else (1, 0.0)
+        return (probed_rank, scored.predicted_s, scored.candidate.sort_key())
+
+    def _table(self, ranked: Sequence[ScoredCandidate],
+               probes: Dict[PlanCandidate, ProbeResult],
+               plan: ExecutionPlan) -> List[Dict[str, object]]:
+        ordered = sorted(ranked, key=lambda s: self._final_key(s, probes))
+        rows: List[Dict[str, object]] = []
+        for rank, scored in enumerate(ordered, start=1):
+            probe = probes.get(scored.candidate)
+            row: Dict[str, object] = {"rank": rank}
+            row.update(scored.candidate.as_dict())
+            row["predicted_s"] = scored.predicted_s
+            row["probed_s"] = probe.probed_s if probe is not None else None
+            row["chosen"] = "*" if rank == 1 else ""
+            rows.append(row)
+        return rows
+
+
+def plan_for_dataset(dataset: GraphDataset, n_ranks: "int | Sequence[int]",
+                     machine: "str | MachineModel" = "perlmutter-scaled",
+                     hidden: int = 16, n_layers: int = 3,
+                     **planner_kwargs) -> PlanReport:
+    """Convenience wrapper: plan with a fresh :class:`Planner`."""
+    planner = Planner(machine=machine, **planner_kwargs)
+    return planner.plan_for_dataset(dataset, n_ranks, hidden=hidden,
+                                    n_layers=n_layers)
+
+
+def resolve_config(dataset: GraphDataset, config: DistTrainConfig,
+                   *,
+                   probe: bool = False,
+                   cache: Optional[PlanCache] = None,
+                   use_cache: bool = True,
+                   return_partition: bool = False,
+                   **planner_kwargs
+                   ) -> Tuple:
+    """Resolve ``"auto"`` fields of a training config into concrete values.
+
+    Fields the user pinned stay pinned — the planner only searches the
+    ``"auto"`` axes (``algorithm="auto"`` frees both the family and the
+    sparsity mode, plus the replication factor).  Configs without any
+    ``"auto"`` field are returned unchanged.
+
+    By default resolution first consults the plan cache **read-only** —
+    so ``train --auto`` after a ``repro tune`` of the same dataset,
+    machine and constraints trains exactly the plan tune reported — and
+    otherwise falls back to analytic-only planning (no probes, no cache
+    writes), keeping :func:`~repro.core.trainer.train_distributed` fast
+    and free of write side effects.  Pass ``probe=True`` for ``repro
+    tune`` semantics (probing planners also write the cache).
+
+    Returns ``(resolved_config, plan)`` — plus, with
+    ``return_partition=True``, the planner's memoized
+    :class:`~repro.partition.base.PartitionResult` for the chosen
+    partitioner (or ``None``), so the trainer can skip re-partitioning.
+    """
+    if not config.needs_planning:
+        return (config, None, None) if return_partition else (config, None)
+
+    algorithms = None
+    modes = None
+    replication_candidates: Sequence[int] = DEFAULT_REPLICATION_CANDIDATES
+    if config.algorithm != AUTO:
+        algorithms = [config.algorithm]
+        modes = [mode_name(config.sparsity_aware)]
+        if config.algorithm == Algorithm.ONE_POINT_FIVE_D:
+            replication_candidates = [config.replication_factor]
+        else:
+            replication_candidates = [1]
+    backends = None if config.backend == AUTO else [config.backend]
+    partitioners = None if config.partitioner == AUTO \
+        else [config.partitioner]
+
+    planner = Planner(
+        machine=config.machine,
+        backends=backends,
+        partitioners=partitioners,
+        algorithms=algorithms,
+        modes=modes,
+        replication_candidates=replication_candidates,
+        probe=probe,
+        seed=config.seed,
+        cache=cache,
+        use_cache=use_cache or cache is not None,
+        cache_read_only=not probe,
+        **planner_kwargs,
+    )
+    report = planner.plan_for_dataset(dataset, config.n_ranks,
+                                      hidden=config.hidden,
+                                      n_layers=config.n_layers)
+    plan = report.plan
+    resolved = dataclasses.replace(config, **plan.as_config_kwargs())
+    if not return_partition:
+        return resolved, plan
+    partition = None
+    if report.matrix_cache is not None:
+        partition = report.matrix_cache.partition_result(
+            plan.partitioner, resolved.n_block_rows)
+    return resolved, plan, partition

@@ -1,0 +1,192 @@
+"""Analytic scoring of plan candidates with the paper's alpha-beta model.
+
+The scorer evaluates :func:`repro.core.costmodel.epoch_cost` for every
+candidate on the chosen :class:`~repro.comm.machine.MachineModel` — the
+same closed-form formulas behind ``crossover_process_count`` and
+``best_replication_factor`` — plus a small per-message host-overhead term
+that differentiates the communicator backends (the alpha-beta model alone
+is backend-agnostic: it describes the modelled machine, not the runtime
+that executes the schedule).
+
+Building the distributed matrix dominates scoring time (each partitioner x
+block-row count pair needs a partition + permutation), so
+:class:`PlanMatrixCache` shares those matrices across all candidates that
+agree on them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..comm.machine import MachineModel, get_machine
+from ..core.config import Algorithm
+from ..core.costmodel import epoch_cost
+from ..core.dist_matrix import BlockRowDistribution, DistSparseMatrix
+from ..graphs.adjacency import (gcn_normalize, permutation_from_parts,
+                                symmetric_permutation)
+from ..partition import get_partitioner
+from .space import PlanCandidate
+
+__all__ = ["BACKEND_MESSAGE_OVERHEAD_S", "PlanMatrixCache", "ScoredCandidate",
+           "backend_overhead_s", "score_candidates"]
+
+#: Crude per-message *host* overhead of each communicator backend, added on
+#: top of the machine model's communication cost.  ``sim`` replays the
+#: schedule in-process (no runtime overhead beyond the model); ``threaded``
+#: pays queue/condition-variable handoffs; ``process`` pays IPC + shared
+#: memory arena bookkeeping per message.  These are deliberately coarse —
+#: measuring them per machine is a ROADMAP open item — but they give the
+#: planner a deterministic, sensibly ordered backend axis.  Consequence:
+#: with these defaults ``backend="auto"`` always resolves to ``sim``
+#: (zero overhead on an otherwise backend-independent cost); a real
+#: backend is only chosen when the user pins it or recalibrates this
+#: table.
+BACKEND_MESSAGE_OVERHEAD_S: Dict[str, float] = {
+    "sim": 0.0,
+    "threaded": 2.0e-5,
+    "process": 2.0e-4,
+}
+
+
+class PlanMatrixCache:
+    """Build-once cache of distributed matrices per (partitioner, nblocks).
+
+    The planner evaluates many candidates that share a data distribution;
+    partitioning is by far the most expensive part of scoring, so the
+    cache keys the permuted, normalised :class:`DistSparseMatrix` by the
+    ``(partitioner, nblocks)`` pair.
+    """
+
+    def __init__(self, adjacency, seed: int = 0,
+                 normalize: bool = True) -> None:
+        self._raw = adjacency.tocsr()
+        self._normalized = gcn_normalize(self._raw) if normalize \
+            else self._raw.astype(np.float64)
+        self.seed = seed
+        self._cache: Dict[Tuple[Optional[str], int], DistSparseMatrix] = {}
+        self._partitions: Dict[Tuple[str, int], object] = {}
+
+    @property
+    def n_vertices(self) -> int:
+        return self._raw.shape[0]
+
+    def matrix(self, partitioner: Optional[str],
+               nblocks: int) -> DistSparseMatrix:
+        """The normalised adjacency distributed over ``nblocks`` block rows
+        under ``partitioner`` (``None`` = natural block distribution)."""
+        if nblocks > self.n_vertices:
+            raise ValueError(
+                f"cannot distribute {self.n_vertices} vertices over "
+                f"{nblocks} block rows")
+        key = (partitioner, nblocks)
+        if key not in self._cache:
+            if partitioner is None:
+                matrix_csr = self._normalized
+                dist = BlockRowDistribution.uniform(self.n_vertices, nblocks)
+            else:
+                part = get_partitioner(partitioner, seed=self.seed).partition(
+                    self._raw, nblocks)
+                self._partitions[(partitioner, nblocks)] = part
+                perm = permutation_from_parts(part.parts, nblocks)
+                matrix_csr = symmetric_permutation(self._normalized, perm)
+                dist = BlockRowDistribution.from_partition(part.part_sizes())
+            self._cache[key] = DistSparseMatrix(matrix_csr, dist)
+        return self._cache[key]
+
+    def partition_result(self, partitioner: Optional[str], nblocks: int):
+        """The memoized :class:`~repro.partition.base.PartitionResult` for
+        a (partitioner, nblocks) pair this cache already partitioned, or
+        ``None`` — lets the trainer reuse the planner's partitioning work
+        instead of repeating it (partitioners are seed-deterministic, so
+        reuse is bit-identical to recomputation)."""
+        if partitioner is None:
+            return None
+        return self._partitions.get((partitioner, nblocks))
+
+
+def _estimated_messages_per_epoch(candidate: PlanCandidate,
+                                  n_layers: int) -> float:
+    """Rough per-epoch message count used to charge backend overhead.
+
+    1D runs an all-to-allv (p * (p-1) pairs) per SpMM; 1.5D runs
+    ``stages`` staged broadcasts across ``p`` ranks plus the replica
+    all-reduce.  Two SpMMs per layer, as in :func:`epoch_cost`.
+    """
+    p = candidate.n_ranks
+    if p <= 1:
+        return 0.0
+    if candidate.algorithm == Algorithm.ONE_POINT_FIVE_D:
+        c = candidate.replication_factor
+        stages = max(1, p // (c * c))
+        per_spmm = stages * p + (p * math.log2(c) if c > 1 else 0.0)
+    else:
+        per_spmm = p * (p - 1)
+    return 2.0 * n_layers * per_spmm
+
+
+def backend_overhead_s(candidate: PlanCandidate, n_layers: int) -> float:
+    """Predicted per-epoch host overhead of the candidate's backend."""
+    per_message = BACKEND_MESSAGE_OVERHEAD_S.get(candidate.backend, 1.0e-4)
+    return per_message * _estimated_messages_per_epoch(candidate, n_layers)
+
+
+@dataclass(frozen=True)
+class ScoredCandidate:
+    """A candidate with its analytic per-epoch prediction (seconds)."""
+
+    candidate: PlanCandidate
+    predicted_s: float
+    communication_s: float
+    compute_s: float
+    overhead_s: float
+
+    def as_dict(self) -> Dict[str, object]:
+        row = self.candidate.as_dict()
+        row["predicted_s"] = self.predicted_s
+        return row
+
+
+def score_candidates(candidates: Sequence[PlanCandidate],
+                     matrix_cache: PlanMatrixCache,
+                     layer_dims: Sequence[int],
+                     machine: "str | MachineModel") -> List[ScoredCandidate]:
+    """Rank candidates by predicted epoch cost, ascending.
+
+    Infeasible candidates (more block rows than vertices) are dropped.
+    Ties are broken by the candidate's deterministic sort key, so the
+    returned ranking is stable across runs.
+    """
+    machine = get_machine(machine)
+    n_layers = len(layer_dims) - 1
+    scored: List[ScoredCandidate] = []
+    # epoch_cost is backend-independent and O(nnz); share it across the
+    # candidates that differ only in backend.
+    cost_memo: Dict[Tuple, object] = {}
+    for candidate in candidates:
+        if candidate.n_block_rows > matrix_cache.n_vertices:
+            continue
+        group = candidate.group_key()
+        cost = cost_memo.get(group)
+        if cost is None:
+            matrix = matrix_cache.matrix(candidate.partitioner,
+                                         candidate.n_block_rows)
+            cost = epoch_cost(matrix, layer_dims, machine,
+                              algorithm=candidate.algorithm,
+                              sparsity_aware=candidate.sparsity_aware,
+                              nranks=candidate.n_ranks,
+                              replication=candidate.replication_factor)
+            cost_memo[group] = cost
+        overhead = backend_overhead_s(candidate, n_layers)
+        scored.append(ScoredCandidate(
+            candidate=candidate,
+            predicted_s=cost.total_s + overhead,
+            communication_s=cost.communication_s,
+            compute_s=cost.compute_s,
+            overhead_s=overhead,
+        ))
+    scored.sort(key=lambda s: (s.predicted_s, s.candidate.sort_key()))
+    return scored

@@ -1,0 +1,199 @@
+"""Plan-space enumeration for the autotuning planner.
+
+A *plan candidate* is one fully concrete way to run distributed training:
+an SpMM variant from the engine registry, a communicator backend from the
+factory, a partitioner from the partitioner registry, a 1.5D replication
+factor and a rank count.  :func:`enumerate_candidates` produces the cross
+product of those axes, pruned to configurations the trainer can actually
+execute (grid divisibility, block rows <= vertices), in a deterministic
+order so scoring, probing and caching are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..comm.factory import available_backends
+from ..core.config import ALGORITHMS, Algorithm
+from ..core.config import scheme_label as _scheme_label
+from ..core.engine import available_spmm_variants, mode_name
+from ..partition import PARTITIONERS
+
+__all__ = [
+    "DEFAULT_PARTITIONERS",
+    "DEFAULT_REPLICATION_CANDIDATES",
+    "PlanCandidate",
+    "enumerate_candidates",
+    "valid_replication_factors",
+]
+
+#: Partitioners the planner considers by default.  ``None`` is the natural
+#: block distribution (no reordering); the multilevel pair are the paper's
+#: METIS / Graph-VB stand-ins.  The full registry is allowed, this is just
+#: a sane default plan-space size.
+DEFAULT_PARTITIONERS: Tuple[Optional[str], ...] = (None, "metis_like", "gvb")
+
+#: 1.5D replication factors tried by default (Figure 7 uses c in {2, 4}).
+DEFAULT_REPLICATION_CANDIDATES: Tuple[int, ...] = (2, 4, 8)
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One point of the plan space: a runnable training configuration."""
+
+    algorithm: str
+    sparsity_aware: bool
+    backend: str
+    partitioner: Optional[str]
+    replication_factor: int
+    n_ranks: int
+
+    @property
+    def mode(self) -> str:
+        return mode_name(self.sparsity_aware)
+
+    @property
+    def n_block_rows(self) -> int:
+        """Block rows of the data distribution (P for 1D, P/c for 1.5D)."""
+        if self.algorithm == Algorithm.ONE_POINT_FIVE_D:
+            return self.n_ranks // self.replication_factor
+        return self.n_ranks
+
+    @property
+    def scheme_label(self) -> str:
+        """The paper-style scheme label (CAGNET / SA / SA+<PART>)."""
+        return _scheme_label(self.sparsity_aware, self.partitioner)
+
+    def sort_key(self) -> Tuple:
+        """Deterministic tie-break order (stable across runs)."""
+        return (self.algorithm, self.mode, self.partitioner or "",
+                self.backend, self.replication_factor, self.n_ranks)
+
+    def group_key(self) -> Tuple:
+        """Identity of the backend-independent execution: candidates with
+        the same group share one probe measurement and one analytic
+        epoch cost (the scorer, prober and planner all group by this)."""
+        return (self.algorithm, self.mode, self.partitioner,
+                self.replication_factor, self.n_ranks)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "mode": self.mode,
+            "scheme": self.scheme_label,
+            "partitioner": self.partitioner,
+            "backend": self.backend,
+            "c": self.replication_factor,
+            "p": self.n_ranks,
+        }
+
+
+def valid_replication_factors(n_ranks: int,
+                              candidates: Sequence[int]
+                              = DEFAULT_REPLICATION_CANDIDATES) -> List[int]:
+    """Replication factors among ``candidates`` satisfying the 1.5D grid
+    constraints (``c | P`` and ``c | P/c``) for ``n_ranks`` ranks.  The
+    defaults start at ``c = 2`` because ``c = 1`` degenerates to the 1D
+    layout (which the planner enumerates separately)."""
+    out = []
+    for c in sorted(set(candidates)):
+        if c < 1:
+            continue
+        if n_ranks % c == 0 and (n_ranks // c) % c == 0:
+            out.append(c)
+    return out
+
+
+def _trainable_variants(algorithms: Sequence[str],
+                        modes: Optional[Sequence[str]]) -> List[Tuple[str, str]]:
+    """(algorithm, mode) pairs from the engine registry the trainer can run."""
+    allowed = set(algorithms)
+    unknown = allowed - set(ALGORITHMS)
+    if unknown:
+        raise ValueError(
+            f"planner cannot train algorithms {sorted(unknown)}; "
+            f"trainable families: {ALGORITHMS}")
+    allowed_modes = None if modes is None else set(modes)
+    return [(alg, mode) for alg, mode in available_spmm_variants()
+            if alg in allowed
+            and (allowed_modes is None or mode in allowed_modes)]
+
+
+def enumerate_candidates(n_ranks: "int | Sequence[int]",
+                         backends: Optional[Sequence[str]] = None,
+                         partitioners: Optional[Sequence[Optional[str]]] = None,
+                         algorithms: Optional[Sequence[str]] = None,
+                         modes: Optional[Sequence[str]] = None,
+                         replication_candidates: Sequence[int]
+                         = DEFAULT_REPLICATION_CANDIDATES,
+                         n_vertices: Optional[int] = None
+                         ) -> List[PlanCandidate]:
+    """Enumerate the plan space in deterministic order.
+
+    Parameters
+    ----------
+    n_ranks:
+        One rank count or a sequence of candidate rank counts.
+    backends:
+        Communicator backend names (default: every registered backend).
+    partitioners:
+        Partitioner registry names, ``None`` meaning the natural block
+        distribution (default: :data:`DEFAULT_PARTITIONERS`).
+    algorithms:
+        Algorithm families to consider (default: every trainable family
+        with a registered engine variant).
+    modes:
+        Sparsity modes to consider (``"oblivious"`` / ``"sparsity_aware"``;
+        default: both).
+    replication_candidates:
+        1.5D replication factors to try; infeasible ones are pruned per
+        rank count.
+    n_vertices:
+        When given, candidates needing more block rows than vertices are
+        pruned (they could never be distributed).
+    """
+    rank_counts = [n_ranks] if isinstance(n_ranks, int) else list(n_ranks)
+    if not rank_counts or any(p <= 0 for p in rank_counts):
+        raise ValueError(f"rank counts must be positive, got {rank_counts}")
+
+    backends = list(available_backends()) if backends is None else list(backends)
+    unknown = set(backends) - set(available_backends())
+    if unknown:
+        raise ValueError(f"unknown backends {sorted(unknown)}; "
+                         f"available: {available_backends()}")
+
+    partitioners = DEFAULT_PARTITIONERS if partitioners is None \
+        else tuple(partitioners)
+    unknown = {p for p in partitioners if p is not None} - set(PARTITIONERS)
+    if unknown:
+        raise ValueError(f"unknown partitioners {sorted(unknown)}; "
+                         f"available: {sorted(PARTITIONERS)}")
+
+    variants = _trainable_variants(ALGORITHMS if algorithms is None
+                                   else algorithms, modes)
+
+    out: List[PlanCandidate] = []
+    for p in sorted(set(rank_counts)):
+        for algorithm, mode in variants:
+            if algorithm == Algorithm.ONE_POINT_FIVE_D:
+                factors = valid_replication_factors(p, replication_candidates)
+            else:
+                factors = [1]
+            for c in factors:
+                nblocks = p // c if algorithm == Algorithm.ONE_POINT_FIVE_D \
+                    else p
+                if n_vertices is not None and nblocks > n_vertices:
+                    continue
+                for partitioner in partitioners:
+                    for backend in backends:
+                        out.append(PlanCandidate(
+                            algorithm=algorithm,
+                            sparsity_aware=(mode == "sparsity_aware"),
+                            backend=backend,
+                            partitioner=partitioner,
+                            replication_factor=c,
+                            n_ranks=p,
+                        ))
+    out.sort(key=PlanCandidate.sort_key)
+    return out

@@ -24,6 +24,14 @@ def pytest_configure(config):
         "matrix (run standalone with `pytest -m conformance`)")
 
 
+@pytest.fixture(autouse=True)
+def _isolated_plan_cache(tmp_path, monkeypatch):
+    """Point the autotuning planner's default cache at a per-test file so
+    tests never read or write the developer's real ~/.cache plan cache
+    (auto-resolution consults it read-only by default)."""
+    monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path / "plan_cache.json"))
+
+
 # ----------------------------------------------------------------------
 # Graphs
 # ----------------------------------------------------------------------

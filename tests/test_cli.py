@@ -134,6 +134,98 @@ class TestBenchCommand:
         assert "threaded" in capsys.readouterr().out
 
 
+class TestTuneCommand:
+    def test_quick_prints_ranked_table_and_plan(self, capsys, tmp_path):
+        code = main(["tune", "--quick", "--dataset", "amazon",
+                     "--cache", str(tmp_path / "plans.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Autotuned plan space" in out
+        assert "predicted_s" in out and "probed_s" in out
+        assert "chosen plan" in out
+        assert "plan cache: MISS" in out
+
+    def test_second_run_hits_cache_with_zero_probes(self, capsys, tmp_path):
+        argv = ["tune", "--quick", "--dataset", "amazon",
+                "--cache", str(tmp_path / "plans.json")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "plan cache: HIT (0 probes)" in out
+
+    def test_nranks_and_no_probe(self, capsys, tmp_path):
+        code = main(["tune", "--dataset", "reddit", "--scale", "0.05",
+                     "--nranks", "4", "8", "--no-probe",
+                     "--cache", str(tmp_path / "plans.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MISS (0 probes)" in out
+        assert "source = analytic" in out
+
+    def test_no_cache_disables_persistence(self, capsys):
+        code = main(["tune", "--quick", "--dataset", "amazon", "--no-cache"])
+        assert code == 0
+        assert "[disabled]" in capsys.readouterr().out
+
+
+class TestAutoTrainFlag:
+    def test_train_auto_reports_planner_choice(self, capsys):
+        code = main(["train", "--dataset", "reddit", "--scale", "0.05",
+                     "--ranks", "4", "--epochs", "1", "--machine", "laptop",
+                     "--auto"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "planner chose:" in out
+        assert "AUTO" not in out.split("scheme = ")[1].splitlines()[0]
+
+    def test_bench_auto_appends_planner_rows(self, capsys):
+        code = main(["bench", "--quick", "--auto"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "planner AUTO rows" in out
+        assert "AUTO:" in out            # the series block has an AUTO line
+
+    def test_bench_auto_rejected_for_static_tables(self, capsys):
+        code = main(["bench", "table3", "--auto"])
+        assert code == 2
+        assert "no effect" in capsys.readouterr().err
+
+
+class TestMachineFlag:
+    def test_bench_machine_flag(self, capsys):
+        code = main(["bench", "--quick", "--machine", "laptop"])
+        assert code == 0
+        assert "quick smoke" in capsys.readouterr().out
+
+    def test_bench_machine_rejected_for_static_tables(self, capsys):
+        code = main(["bench", "table2", "--machine", "laptop"])
+        assert code == 2
+        assert "no effect" in capsys.readouterr().err
+
+    def test_repro_machine_env_sets_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MACHINE", "laptop")
+        assert build_parser().parse_args(["train"]).machine == "laptop"
+        assert build_parser().parse_args(["cost"]).machine == "laptop"
+        assert build_parser().parse_args(["tune"]).machine == "laptop"
+        # bench resolves the env var inside the timed experiments
+        # (bench_machine), keeping static tables usable with it set.
+        from repro.bench import bench_machine
+        assert build_parser().parse_args(["bench"]).machine is None
+        assert bench_machine() == "laptop"
+
+    def test_repro_machine_env_does_not_break_static_tables(self, capsys,
+                                                            monkeypatch):
+        monkeypatch.setenv("REPRO_MACHINE", "laptop")
+        assert main(["bench", "table3", "--scale", "0.05"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_flag_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MACHINE", "laptop")
+        args = build_parser().parse_args(["train", "--machine", "perlmutter"])
+        assert args.machine == "perlmutter"
+
+
 class TestCostCommand:
     def test_reports_speedup(self, capsys):
         code = main(["cost", "--dataset", "amazon", "--scale", "0.05",
@@ -142,6 +234,14 @@ class TestCostCommand:
         out = capsys.readouterr().out
         assert "sparsity-aware 1D SpMM cost" in out
         assert "speedup" in out
+
+    def test_reports_planner_analytics(self, capsys):
+        code = main(["cost", "--dataset", "amazon", "--scale", "0.05",
+                     "--ranks", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crossover_process_count" in out
+        assert "best_replication_factor" in out
 
     def test_block_distribution_without_partitioner(self, capsys):
         code = main(["cost", "--dataset", "reddit", "--scale", "0.05",

@@ -1,0 +1,406 @@
+"""Tests for the autotuning planner subsystem (repro.plan).
+
+Covers the ISSUE-3 acceptance criteria: deterministic ranking under a
+fixed seed, plan-cache round trip (a second planner run does zero
+probes), cache invalidation when the matrix fingerprint changes, and
+end-to-end bit-identity of ``"auto"`` training against the explicitly
+configured equivalent on every communicator backend.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import AUTO, DistTrainConfig, train_distributed
+from repro.core.trainer import setup_distributed
+from repro.graphs.datasets import load_dataset
+from repro.plan import (BACKEND_MESSAGE_OVERHEAD_S, PlanCache, PlanCandidate,
+                        PlanMatrixCache, Planner, enumerate_candidates,
+                        matrix_fingerprint, resolve_config, score_candidates,
+                        valid_replication_factors)
+from repro.plan.planner import ExecutionPlan
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("amazon", scale=0.05, seed=0)
+
+
+@pytest.fixture(scope="module")
+def other_dataset():
+    """Same name/scale, different seed: a different matrix fingerprint."""
+    return load_dataset("amazon", scale=0.05, seed=1)
+
+
+def make_planner(tmp_cache=None, **overrides):
+    """A small, fully deterministic planner (no wall-clock budget)."""
+    kwargs = dict(machine="perlmutter-scaled", probe=True, top_k=2,
+                  probe_budget_s=None, seed=0)
+    if tmp_cache is not None:
+        kwargs.update(cache=PlanCache(tmp_cache), use_cache=True)
+    else:
+        kwargs.update(use_cache=False)
+    kwargs.update(overrides)
+    return Planner(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Plan space
+# ----------------------------------------------------------------------
+class TestSpace:
+    def test_valid_replication_factors(self):
+        assert valid_replication_factors(16) == [2, 4]
+        assert valid_replication_factors(8) == [2]
+        assert valid_replication_factors(6) == []
+        assert valid_replication_factors(4, candidates=(1, 2)) == [1, 2]
+
+    def test_enumeration_is_deterministic(self):
+        a = enumerate_candidates(8)
+        b = enumerate_candidates(8)
+        assert a == b
+        assert a == sorted(a, key=PlanCandidate.sort_key)
+
+    def test_covers_all_axes(self):
+        cands = enumerate_candidates(16)
+        assert {c.algorithm for c in cands} == {"1d", "1.5d"}
+        assert {c.mode for c in cands} == {"oblivious", "sparsity_aware"}
+        assert {c.backend for c in cands} == {"process", "sim", "threaded"}
+        assert {c.partitioner for c in cands} == {None, "metis_like", "gvb"}
+        assert {c.replication_factor
+                for c in cands if c.algorithm == "1.5d"} == {2, 4}
+        assert all(c.replication_factor == 1
+                   for c in cands if c.algorithm == "1d")
+
+    def test_constrained_space(self):
+        cands = enumerate_candidates(
+            8, backends=["sim"], partitioners=[None], algorithms=["1d"],
+            modes=["sparsity_aware"])
+        assert len(cands) == 1
+        only = cands[0]
+        assert (only.algorithm, only.backend, only.partitioner) == \
+            ("1d", "sim", None)
+        assert only.sparsity_aware
+
+    def test_multiple_rank_counts(self):
+        cands = enumerate_candidates([4, 8], backends=["sim"],
+                                     partitioners=[None], algorithms=["1d"])
+        assert {c.n_ranks for c in cands} == {4, 8}
+
+    def test_rejects_unknown_axes(self):
+        with pytest.raises(ValueError, match="unknown backends"):
+            enumerate_candidates(4, backends=["nope"])
+        with pytest.raises(ValueError, match="unknown partitioners"):
+            enumerate_candidates(4, partitioners=["nope"])
+        with pytest.raises(ValueError, match="cannot train"):
+            enumerate_candidates(4, algorithms=["2d"])
+
+    def test_prunes_oversized_block_counts(self):
+        assert enumerate_candidates(64, n_vertices=3) == []
+        # 1.5D replication shrinks the block-row count, so high-c
+        # candidates can stay feasible where 1D is pruned.
+        survivors = enumerate_candidates(64, n_vertices=10)
+        assert survivors
+        assert all(c.n_block_rows <= 10 for c in survivors)
+        assert all(c.algorithm == "1.5d" for c in survivors)
+
+
+# ----------------------------------------------------------------------
+# Analytic scoring
+# ----------------------------------------------------------------------
+class TestScore:
+    def test_ranking_sorted_and_positive(self, dataset):
+        cache = PlanMatrixCache(dataset.adjacency, seed=0)
+        cands = enumerate_candidates(8, n_vertices=cache.n_vertices)
+        scored = score_candidates(cands, cache, [300, 16, 24],
+                                  "perlmutter-scaled")
+        assert len(scored) == len(cands)
+        predictions = [s.predicted_s for s in scored]
+        assert predictions == sorted(predictions)
+        assert all(p > 0 for p in predictions)
+
+    def test_backend_overhead_orders_backends(self, dataset):
+        cache = PlanMatrixCache(dataset.adjacency, seed=0)
+        cands = enumerate_candidates(
+            8, partitioners=[None], algorithms=["1d"],
+            modes=["sparsity_aware"])
+        scored = score_candidates(cands, cache, [300, 16, 24],
+                                  "perlmutter-scaled")
+        by_backend = {s.candidate.backend: s.predicted_s for s in scored}
+        assert by_backend["sim"] < by_backend["threaded"] \
+            < by_backend["process"]
+        assert BACKEND_MESSAGE_OVERHEAD_S["sim"] == 0.0
+
+    def test_matrix_cache_reuses_instances(self, dataset):
+        cache = PlanMatrixCache(dataset.adjacency, seed=0)
+        assert cache.matrix("gvb", 4) is cache.matrix("gvb", 4)
+        assert cache.matrix("gvb", 4) is not cache.matrix("gvb", 8)
+
+    def test_matrix_cache_rejects_oversized(self, dataset):
+        cache = PlanMatrixCache(dataset.adjacency, seed=0)
+        with pytest.raises(ValueError, match="cannot distribute"):
+            cache.matrix(None, cache.n_vertices + 1)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints and the JSON cache
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_fingerprint_stable_and_sensitive(self, dataset, other_dataset):
+        fp1 = matrix_fingerprint(dataset.adjacency)
+        assert fp1 == matrix_fingerprint(dataset.adjacency)
+        assert fp1 != matrix_fingerprint(other_dataset.adjacency)
+
+    def test_round_trip(self, tmp_path):
+        cache = PlanCache(tmp_path / "plans.json")
+        assert cache.get("k") is None
+        cache.put("k", {"answer": 42})
+        assert cache.get("k") == {"answer": 42}
+        assert len(cache) == 1
+        cache.clear()
+        assert cache.get("k") is None
+
+    def test_corrupt_file_is_treated_as_empty(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text("{not json")
+        cache = PlanCache(path)
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})          # overwrites the corrupt file
+        assert cache.get("k") == {"v": 1}
+        json.loads(path.read_text())      # now valid JSON again
+
+    def test_foreign_version_ignored(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text(json.dumps({"version": 999, "plans": {"k": {}}}))
+        assert PlanCache(path).get("k") is None
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+class TestPlanner:
+    def test_ranking_is_deterministic_under_fixed_seed(self, dataset):
+        rep1 = make_planner().plan_for_dataset(dataset, 8)
+        rep2 = make_planner().plan_for_dataset(dataset, 8)
+        assert rep1.table == rep2.table
+        assert rep1.plan == rep2.plan
+        assert rep1.probes_run == rep2.probes_run > 0
+
+    def test_table_is_ranked_and_marks_choice(self, dataset):
+        report = make_planner().plan_for_dataset(dataset, 8)
+        assert [row["rank"] for row in report.table] == \
+            list(range(1, len(report.table) + 1))
+        chosen = [row for row in report.table if row["chosen"] == "*"]
+        assert len(chosen) == 1 and chosen[0]["rank"] == 1
+        assert chosen[0]["algorithm"] == report.plan.algorithm
+        assert chosen[0]["backend"] == report.plan.backend
+        # The empirically probed candidates carry a probed_s column.
+        assert any(row["probed_s"] is not None for row in report.table)
+
+    def test_plan_cache_round_trip_skips_probes(self, dataset, tmp_path):
+        cache_path = tmp_path / "plans.json"
+        first = make_planner(cache_path).plan_for_dataset(dataset, 8)
+        assert not first.cache_hit and first.probes_run > 0
+
+        second = make_planner(cache_path).plan_for_dataset(dataset, 8)
+        assert second.cache_hit
+        assert second.probes_run == 0
+        assert second.plan.source == "cache"
+        assert second.plan.as_config_kwargs() == first.plan.as_config_kwargs()
+        assert second.table == first.table
+
+    def test_cache_invalidated_by_matrix_fingerprint(self, dataset,
+                                                     other_dataset, tmp_path):
+        cache_path = tmp_path / "plans.json"
+        first = make_planner(cache_path).plan_for_dataset(dataset, 8)
+        other = make_planner(cache_path).plan_for_dataset(other_dataset, 8)
+        assert not other.cache_hit          # different fingerprint -> re-plan
+        assert other.probes_run > 0
+        assert other.plan.fingerprint != first.plan.fingerprint
+        # ... and both entries now coexist in the cache.
+        assert make_planner(cache_path).plan_for_dataset(dataset, 8).cache_hit
+        assert make_planner(cache_path) \
+            .plan_for_dataset(other_dataset, 8).cache_hit
+
+    def test_analytic_resolution_reuses_probed_plans(self, dataset, tmp_path):
+        """The tune -> train --auto handoff: an analytic (read-only)
+        planner over the same space reuses a probed cache entry, while a
+        probing planner refuses to reuse an analytic-only one."""
+        cache_path = tmp_path / "plans.json"
+        probed = make_planner(cache_path).plan_for_dataset(dataset, 8)
+        analytic = Planner(machine="perlmutter-scaled", probe=False, seed=0,
+                           cache=PlanCache(cache_path), cache_read_only=True)
+        reused = analytic.plan_for_dataset(dataset, 8)
+        assert reused.cache_hit
+        assert reused.plan.as_config_kwargs() == \
+            probed.plan.as_config_kwargs()
+
+        other_path = tmp_path / "plans2.json"
+        Planner(machine="perlmutter-scaled", probe=False, seed=0,
+                cache=PlanCache(other_path)).plan_for_dataset(dataset, 8)
+        again = make_planner(other_path).plan_for_dataset(dataset, 8)
+        assert not again.cache_hit          # analytic record, probing run
+
+    def test_read_only_planner_never_writes(self, dataset, tmp_path):
+        cache_path = tmp_path / "plans.json"
+        planner = Planner(machine="perlmutter-scaled", probe=False, seed=0,
+                          cache=PlanCache(cache_path), cache_read_only=True)
+        planner.plan_for_dataset(dataset, 8)
+        assert not cache_path.exists()
+
+    def test_budget_truncated_records_are_not_served(self, dataset, tmp_path):
+        """A cache record marked complete=False (probe loop cut short by
+        the wall-clock budget) must be ignored, not returned as a hit."""
+        cache_path = tmp_path / "plans.json"
+        planner = make_planner(cache_path)
+        first = planner.plan_for_dataset(dataset, 8)
+        record = planner.cache.get(first.key)
+        assert record["complete"] is True
+        planner.cache.put(first.key, {**record, "complete": False})
+        again = make_planner(cache_path).plan_for_dataset(dataset, 8)
+        assert not again.cache_hit and again.probes_run > 0
+        # ... and the fresh, complete run overwrites the truncated record.
+        assert planner.cache.get(first.key)["complete"] is True
+
+    def test_cache_invalidated_when_backend_registry_grows(self, dataset,
+                                                           tmp_path,
+                                                           monkeypatch):
+        """Registering a new backend must invalidate cached default-space
+        plans (the resolved axes are part of the key)."""
+        from repro.comm import factory
+        cache_path = tmp_path / "plans.json"
+        first = make_planner(cache_path, probe=False) \
+            .plan_for_dataset(dataset, 8)
+        assert not first.cache_hit
+        monkeypatch.setitem(factory.BACKENDS, "zzz-fake",
+                            factory.BACKENDS["sim"])
+        report = make_planner(cache_path, probe=False) \
+            .plan_for_dataset(dataset, 8)
+        assert not report.cache_hit
+
+    def test_cache_key_separates_plan_spaces(self, dataset, tmp_path):
+        cache_path = tmp_path / "plans.json"
+        make_planner(cache_path).plan_for_dataset(dataset, 8)
+        constrained = make_planner(cache_path, backends=["threaded"])
+        report = constrained.plan_for_dataset(dataset, 8)
+        assert not report.cache_hit         # different space, different key
+        assert report.plan.backend == "threaded"
+
+    def test_probeless_planner_is_analytic(self, dataset):
+        report = make_planner(probe=False).plan_for_dataset(dataset, 8)
+        assert report.probes_run == 0
+        assert report.plan.source == "analytic"
+        assert report.plan.probed_s is None
+
+    def test_empty_space_raises(self, dataset):
+        tiny = load_dataset("reddit", scale=0.01, seed=0)
+        with pytest.raises(ValueError, match="plan space is empty"):
+            make_planner(probe=False).plan_for_dataset(tiny, 10 ** 6)
+
+    def test_execution_plan_dict_round_trip(self, dataset):
+        plan = make_planner(probe=False).plan_for_dataset(dataset, 8).plan
+        clone = ExecutionPlan.from_dict(json.loads(json.dumps(plan.as_dict())))
+        assert clone == plan
+
+
+# ----------------------------------------------------------------------
+# Config resolution + trainer integration
+# ----------------------------------------------------------------------
+class TestResolveConfig:
+    def test_concrete_config_passes_through(self, dataset):
+        config = DistTrainConfig(n_ranks=4, epochs=1)
+        resolved, plan = resolve_config(dataset, config)
+        assert resolved is config and plan is None
+
+    def test_auto_fields_are_resolved(self, dataset):
+        config = DistTrainConfig(n_ranks=4, algorithm=AUTO, backend=AUTO,
+                                 partitioner=AUTO, epochs=1,
+                                 machine="perlmutter-scaled")
+        assert config.needs_planning and config.scheme_label == "AUTO"
+        resolved, plan = resolve_config(dataset, config)
+        assert plan is not None
+        assert not resolved.needs_planning
+        assert resolved.algorithm in ("1d", "1.5d")
+        assert resolved.backend in ("sim", "threaded", "process")
+        assert resolved.n_ranks == 4 and resolved.epochs == 1
+
+    def test_pinned_fields_stay_pinned(self, dataset):
+        config = DistTrainConfig(n_ranks=4, algorithm="1d",
+                                 sparsity_aware=False, backend=AUTO,
+                                 partitioner="metis_like", epochs=1)
+        resolved, plan = resolve_config(dataset, config)
+        assert resolved.algorithm == "1d"
+        assert resolved.sparsity_aware is False
+        assert resolved.partitioner == "metis_like"
+        assert resolved.replication_factor == 1
+        assert resolved.backend in ("sim", "threaded", "process")
+
+    def test_auto_config_validation(self):
+        config = DistTrainConfig(algorithm=AUTO)
+        with pytest.raises(ValueError, match="resolve the plan"):
+            config.n_block_rows
+        with pytest.raises(ValueError, match="unknown communicator backend"):
+            DistTrainConfig(backend="autooo")
+
+    def test_resolve_config_returns_reusable_partition(self, dataset):
+        from repro.partition import get_partitioner
+        config = DistTrainConfig(n_ranks=4, algorithm=AUTO, backend="sim",
+                                 partitioner="gvb", epochs=1,
+                                 machine="perlmutter-scaled")
+        resolved, plan, partition = resolve_config(dataset, config,
+                                                   return_partition=True)
+        assert plan is not None and partition is not None
+        recomputed = get_partitioner("gvb", seed=resolved.seed).partition(
+            dataset.adjacency, resolved.n_block_rows)
+        assert np.array_equal(partition.parts, recomputed.parts)
+
+    def test_setup_rejects_mismatched_partition(self, dataset):
+        from repro.partition import get_partitioner
+        config = DistTrainConfig(n_ranks=4, partitioner="gvb", epochs=1,
+                                 machine="perlmutter-scaled")
+        wrong = get_partitioner("gvb", seed=0).partition(dataset.adjacency, 8)
+        with pytest.raises(ValueError, match="supplied partition"):
+            setup_distributed(dataset, config, partition=wrong)
+
+    def test_setup_distributed_resolves_auto(self, dataset):
+        config = DistTrainConfig(n_ranks=4, algorithm=AUTO, backend="sim",
+                                 partitioner=AUTO, epochs=1,
+                                 machine="perlmutter-scaled")
+        setup = setup_distributed(dataset, config)
+        with setup.comm:
+            assert setup.config is not None
+            assert not setup.config.needs_planning
+            assert setup.plan is not None
+            assert setup.plan.backend == "sim"
+
+
+class TestAutoTrainingBitIdentity:
+    """variant="auto" must train bit-identically to the explicit config."""
+
+    @pytest.mark.parametrize("backend", ["sim", "threaded", "process"])
+    def test_auto_matches_explicit(self, backend):
+        dataset = load_dataset("reddit", scale=0.04, seed=0)
+        auto_config = DistTrainConfig(
+            n_ranks=4, algorithm=AUTO, partitioner=AUTO, backend=backend,
+            epochs=2, machine="laptop", seed=0)
+        auto_result = train_distributed(dataset, auto_config, eval_every=0)
+        resolved = auto_result.config
+        assert not resolved.needs_planning
+        assert resolved.backend == backend
+
+        explicit = DistTrainConfig(
+            n_ranks=4,
+            algorithm=resolved.algorithm,
+            sparsity_aware=resolved.sparsity_aware,
+            partitioner=resolved.partitioner,
+            replication_factor=resolved.replication_factor,
+            backend=backend, epochs=2, machine="laptop", seed=0)
+        explicit_result = train_distributed(dataset, explicit, eval_every=0)
+
+        assert [h.loss for h in auto_result.history] == \
+            [h.loss for h in explicit_result.history]
+        assert np.array_equal(auto_result.model.predictions(),
+                              explicit_result.model.predictions())
