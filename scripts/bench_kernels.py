@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Record the BENCH_kernels.json microbenchmark baseline.
+
+Three measurements, all host wall-clock (best of ``--repeats`` timed
+runs after one warm-up):
+
+* **scatter-add vs segment-sum** — the local ``csr_spmm`` kernel (the
+  cuSPARSE ``csrmm2`` stand-in) implemented with ``np.add.at`` (the
+  pre-PR-4 formulation, reproduced inline here as the reference) against
+  the shipped ``np.add.reduceat`` segment-sum, same operands.  The
+  acceptance bar for the segment-sum rewrite is >= 1.5x.
+* **compiled vs uncompiled epoch** — one epoch's worth of distributed
+  1D sparsity-aware SpMMs through ``repro.core.engine``: per-call
+  compile-and-run dispatch against a persistent
+  :class:`~repro.core.engine.CompiledSpmm` plan, on the ``sim`` backend
+  (pure host-side cost; the simulated clocks are identical by
+  construction) and on the real ``process`` backend (where the plan
+  additionally exercises the shared-memory replay fast path).
+* **float32 vs float64** — the segment-sum ``csr_spmm`` at both
+  precisions (bandwidth-bound, so ~2x is the ceiling).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_kernels.py            # full -> BENCH_kernels.json
+    PYTHONPATH=src python scripts/bench_kernels.py --quick -o /tmp/k.json
+
+``--quick`` shrinks the operands so the whole script fits comfortably in
+the CI smoke budget (see ``scripts/smoke.sh``).  Wall-clock numbers are
+hardware dependent: compare the speedup ratios, not the absolute cells.
+See ``docs/performance.md`` for how to read this file.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.comm import make_communicator                       # noqa: E402
+from repro.core import (BlockRowDistribution, DistDenseMatrix,  # noqa: E402
+                        DistSparseMatrix)
+from repro.core.engine import DenseSpec, compile as compile_spmm, spmm  # noqa: E402
+from repro.graphs import gcn_normalize                          # noqa: E402
+from repro.graphs.generators import erdos_renyi_graph           # noqa: E402
+from repro.sparse import kernels                                # noqa: E402
+
+
+def best_of(fn, repeats: int) -> float:
+    fn()                                   # warm-up outside the timing
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def scatter_add_spmm(indptr, indices, data, dense):
+    """The pre-segment-sum formulation (np.add.at), kept as the baseline
+    this benchmark measures against."""
+    out = np.zeros((indptr.size - 1, dense.shape[1]), dtype=np.float64)
+    contrib = data[:, None] * dense[indices]
+    np.add.at(out, kernels.expand_indptr(indptr), contrib)
+    return out
+
+
+def bench_local_kernel(n: int, avg_degree: int, widths, repeats: int) -> dict:
+    """Per-width scatter-add vs segment-sum vs float32 cells.
+
+    The widths are the ones GCN training actually propagates at (class
+    counts and the hidden width); the narrower the operand, the more the
+    reduction primitive dominates over the shared contribution gather.
+    """
+    adj = gcn_normalize(erdos_renyi_graph(n, avg_degree=avg_degree, seed=0))
+    rng = np.random.default_rng(0)
+    indptr = adj.indptr.astype(np.int64)
+    indices = adj.indices.astype(np.int64)
+    data64 = adj.data
+    data32 = adj.data.astype(np.float32)
+
+    cells = []
+    for width in widths:
+        dense64 = rng.normal(size=(n, width))
+        dense32 = dense64.astype(np.float32)
+        t_scatter = best_of(
+            lambda: scatter_add_spmm(indptr, indices, data64, dense64),
+            repeats)
+        t_segment = best_of(
+            lambda: kernels.csr_spmm(indptr, indices, data64, dense64),
+            repeats)
+        t_segment32 = best_of(
+            lambda: kernels.csr_spmm(indptr, indices, data32, dense32,
+                                     dtype=np.float32), repeats)
+        cells.append({
+            "width": width,
+            "scatter_add_s": t_scatter,
+            "segment_sum_s": t_segment,
+            "segment_sum_float32_s": t_segment32,
+            "segment_vs_scatter_speedup": t_scatter / t_segment,
+            "float32_vs_float64_speedup": t_segment / t_segment32,
+        })
+    return {
+        "n": n, "nnz": int(adj.nnz),
+        "cells": cells,
+        "segment_vs_scatter_speedup": float(np.mean(
+            [c["segment_vs_scatter_speedup"] for c in cells])),
+        "float32_vs_float64_speedup": float(np.mean(
+            [c["float32_vs_float64_speedup"] for c in cells])),
+    }
+
+
+def bench_compiled_epoch(n: int, avg_degree: int, widths, p: int,
+                         backend: str, epochs: int, repeats: int) -> dict:
+    adj = gcn_normalize(erdos_renyi_graph(n, avg_degree=avg_degree, seed=1))
+    dist = BlockRowDistribution.uniform(n, p)
+    matrix = DistSparseMatrix(adj, dist)
+    rng = np.random.default_rng(1)
+    denses = {f: DistDenseMatrix.from_global(rng.normal(size=(n, f)), dist)
+              for f in sorted(set(widths))}
+
+    with make_communicator(p, backend=backend) as comm:
+        def uncompiled():
+            for _ in range(epochs):
+                for f in widths:
+                    spmm(matrix, denses[f], comm, algorithm="1d",
+                         sparsity_aware=True)
+        t_uncompiled = best_of(uncompiled, repeats)
+
+    with make_communicator(p, backend=backend) as comm:
+        ops = {f: compile_spmm(matrix, DenseSpec(width=f), comm,
+                               algorithm="1d", sparsity_aware=True)
+               for f in sorted(set(widths))}
+
+        def compiled():
+            for _ in range(epochs):
+                for f in widths:
+                    ops[f](denses[f])
+        t_compiled = best_of(compiled, repeats)
+
+    return {
+        "n": n, "nnz": int(adj.nnz), "widths": list(widths), "p": p,
+        "backend": backend, "epochs_per_run": epochs,
+        "uncompiled_s": t_uncompiled,
+        "compiled_s": t_compiled,
+        "compiled_speedup": t_uncompiled / t_compiled,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="record the kernel/compiled-epoch microbenchmarks")
+    parser.add_argument("--output", "-o", default=str(REPO_ROOT /
+                                                      "BENCH_kernels.json"))
+    parser.add_argument("--quick", action="store_true",
+                        help="small operands for the CI smoke budget")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed repetitions per cell (best-of)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    quick = args.quick
+    repeats = args.repeats if args.repeats is not None else (3 if quick else 5)
+
+    start = time.time()
+    kernel = bench_local_kernel(n=4000 if quick else 20000,
+                                avg_degree=12 if quick else 16,
+                                widths=(4, 8, 16), repeats=repeats)
+    # The trainer's per-epoch SpMM widths for the default 3-layer GCN at
+    # hidden=16 over a feature width of 32: forward f_0, 16, 16 and
+    # backward 16, 16, n_classes collapse onto these distinct widths.
+    widths = (32, 16, 16, 16, 16, 8)
+    epoch_sim = bench_compiled_epoch(
+        n=1500 if quick else 6000, avg_degree=10, widths=widths, p=4,
+        backend="sim", epochs=1 if quick else 2, repeats=repeats)
+    epoch_process = bench_compiled_epoch(
+        n=1000 if quick else 4000, avg_degree=10, widths=widths, p=2,
+        backend="process", epochs=1 if quick else 2,
+        repeats=min(repeats, 3))
+
+    payload = {
+        "benchmark": "kernel_microbench",
+        "source": "scripts/bench_kernels.py",
+        "quick": quick,
+        "repeats": repeats,
+        # Host wall-clock: hardware dependent, compare ratios not cells.
+        "deterministic": False,
+        "local_csr_spmm": kernel,
+        "compiled_epoch_sim": epoch_sim,
+        "compiled_epoch_process": epoch_process,
+        "recorder_wall_s": round(time.time() - start, 2),
+    }
+    out_path = pathlib.Path(args.output)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    print(f"  segment-sum vs scatter-add: "
+          f"{kernel['segment_vs_scatter_speedup']:.2f}x "
+          f"(float32 vs float64: {kernel['float32_vs_float64_speedup']:.2f}x)")
+    print(f"  compiled vs uncompiled epoch (sim):     "
+          f"{epoch_sim['compiled_speedup']:.2f}x")
+    print(f"  compiled vs uncompiled epoch (process): "
+          f"{epoch_process['compiled_speedup']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

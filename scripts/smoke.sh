@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # CI smoke target: exercise the autotuning planner (repro tune --quick,
-# against a throwaway plan cache) and the end-to-end bench path (dataset
+# against a throwaway plan cache), the end-to-end bench path (dataset
 # generation, partitioning, distributed training, reporting) on every
-# communicator backend at tiny scale.  Hard 60 s budget for everything — each run
-# takes ~1 s; anything slower signals a performance regression or a hang
-# in the comm layer (worker threads for `threaded`, worker processes and
-# shared-memory arenas for `process`).
+# communicator backend at tiny scale, and the kernel/compiled-epoch
+# microbenchmark (scripts/bench_kernels.py --quick, writing to a
+# throwaway path so CI never touches the checked-in BENCH_kernels.json).
+# Hard 60 s budget for everything — each run takes ~1 s; anything slower
+# signals a performance regression or a hang in the comm layer (worker
+# threads for `threaded`, worker processes and shared-memory arenas for
+# `process`).
 #
 # The cross-backend conformance/property matrix runs separately with
 #     python -m pytest -m conformance
@@ -23,4 +26,7 @@ timeout 60 bash -c '
     echo "== repro bench --quick --backend ${backend} =="
     python -m repro bench --quick --backend "${backend}"
   done
+  echo "== bench_kernels --quick =="
+  python scripts/bench_kernels.py --quick \
+    --output "$(mktemp -d)/BENCH_kernels.json"
 '

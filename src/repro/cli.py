@@ -104,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="let the autotuning planner pick algorithm, "
                               "sparsity mode, backend, partitioner and "
                               "replication factor (overrides those flags)")
+    p_train.add_argument("--dtype", choices=["float64", "float32"],
+                         default="float64",
+                         help="training precision (float32 halves the "
+                              "communication volume; see docs/performance.md)")
 
     p_bench = sub.add_parser("bench", help="regenerate a paper table/figure")
     p_bench.add_argument("experiment", nargs="?", default=None,
@@ -223,6 +227,7 @@ def _cmd_train(args) -> int:
         machine=args.machine,
         backend=AUTO if args.auto else args.backend,
         seed=args.seed,
+        dtype=args.dtype,
     )
     result = train_distributed(dataset, config, eval_every=0)
     config = result.config      # planner-resolved when --auto / "auto"

@@ -53,6 +53,20 @@ whole group by the measured step duration and synchronise; the
 ``charge_*`` hooks are no-ops.  Volume accounting uses the same
 :class:`~repro.comm.events.EventLog` records as the simulator, so the
 Table-2 statistics are backend-independent.
+
+**Repeated-exchange fast path.**  A training epoch issues the *same-shaped*
+collectives hundreds of times (the compiled SpMM operators reuse their
+pack buffers, so shapes are literally identical call to call).  The driver
+therefore caches, per (collective, group, payload-shape signature), the
+complete staging layout — slab placements, arena views, worker plan dicts
+and result-read views — and the workers cache the plan dict under a small
+plan id.  A repeated call then writes the payload bytes into the cached
+arena views and sends a tiny ``{"op": "replay", "pid": ...}`` command
+instead of re-deriving layouts and re-pickling plans.  Entries are
+invalidated whenever a referenced arena is regrown and the cache is LRU
+bounded (:data:`MAX_CACHED_PLANS`); a pid is only ever replayed after the
+full plan carrying that pid was delivered to the same group, so reused
+pids can never resolve to a stale worker-side plan.
 """
 
 from __future__ import annotations
@@ -63,6 +77,7 @@ import os
 import queue as queue_mod
 import time
 import traceback
+from collections import OrderedDict
 from multiprocessing import shared_memory
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -78,6 +93,15 @@ DEFAULT_TIMEOUT_S = 600.0
 
 #: Slab alignment inside the shared-memory arenas.
 _ALIGN = 64
+
+#: Upper bound on cached exchange plans (driver side; the worker-side plan
+#: tables are bounded by the same number because pids are slot-reused).
+#: Sized so a full training epoch's distinct collectives fit without LRU
+#: thrash: the oblivious 1D scheme alone issues one broadcast key per
+#: (rank, layer width) — e.g. 96 keys at p=16 with six distinct widths —
+#: and a cycling key set that exceeds the cap would never hit.  Entries
+#: are small (plan dicts + buffer views), so the bound is generous.
+MAX_CACHED_PLANS = 512
 
 #: Process-global communicator counter: arena names must stay unique across
 #: every ProcessPoolCommunicator alive in this driver process.
@@ -149,6 +173,7 @@ def _worker_main(rank: int, cmd_q, out_q, sync_qs, unregister_shm: bool) -> None
     """
     attached: Dict[Tuple[int, str], Tuple[int, shared_memory.SharedMemory]] = {}
     pending_tokens: Dict[int, int] = {}
+    plan_table: Dict[int, dict] = {}
 
     def arena(owner: int, kind: str) -> shared_memory.SharedMemory:
         return attached[(owner, kind)][1]
@@ -159,7 +184,14 @@ def _worker_main(rank: int, cmd_q, out_q, sync_qs, unregister_shm: bool) -> None
             break
         start = time.perf_counter()
         try:
+            if cmd["op"] == "replay":
+                # Re-execute a cached plan: the driver only replays a pid
+                # after the full plan carrying it reached this worker.
+                cmd = plan_table[cmd["pid"]]
             if cmd["op"] == "plan":
+                pid = cmd.get("pid")
+                if pid is not None:
+                    plan_table[pid] = cmd
                 for owner, kind, name, gen in cmd["arenas"]:
                     cur = attached.get((owner, kind))
                     if cur is None or cur[0] != gen:
@@ -227,6 +259,30 @@ class _Slab:
         self.nbytes = nbytes
 
 
+class _CachedStep:
+    """One cached exchange schedule (see the module docstring).
+
+    ``views`` are ndarray views into the send arenas, in the caller's flat
+    payload order — a repeated call only writes payload bytes through
+    them.  ``plans`` are the fully built per-rank worker commands (sent
+    once, then replayed by ``pid``); ``reads`` is collective-specific
+    result-read metadata; ``gens`` snapshots the (arena key, generation)
+    pairs the plan references, for invalidation on arena regrowth.
+    """
+
+    __slots__ = ("pid", "group", "plans", "views", "reads", "gens", "primed")
+
+    def __init__(self, pid: int, group: List[int], plans: List[dict],
+                 views: List[np.ndarray], reads, gens) -> None:
+        self.pid = pid
+        self.group = group
+        self.plans = plans
+        self.views = views
+        self.reads = reads
+        self.gens = gens
+        self.primed = False
+
+
 class ProcessPoolCommunicator(Communicator):
     """Real multi-process backend: per-rank OS processes + shared memory."""
 
@@ -255,6 +311,10 @@ class ProcessPoolCommunicator(Communicator):
         self._gen = itertools.count()
         self._bid = itertools.count()
         self._uid = f"{os.getpid():x}x{next(_UID_COUNTER):x}"
+        # Repeated same-shape exchange fast path (see module docstring).
+        self._plan_cache: "OrderedDict[tuple, _CachedStep]" = OrderedDict()
+        self._free_pids: List[int] = []
+        self._pid_counter = itertools.count()
 
     # ------------------------------------------------------------------
     # Worker / arena management
@@ -289,6 +349,10 @@ class ProcessPoolCommunicator(Communicator):
         name = f"rpr{self._uid}{kind[0]}{rank}g{gen}"
         shm = shared_memory.SharedMemory(name=name, create=True, size=size)
         if arena is not None:
+            # Cached plans referencing the outgoing segment hold exported
+            # buffer views and stale offsets; drop them before the close
+            # (releasing the views) so the segment can be unlinked.
+            self._purge_cached_plans(key)
             # No collective is in flight when we get here (the driver is
             # synchronous), so the old segment can be unlinked immediately:
             # workers still mapping it stay valid and re-attach the new
@@ -299,6 +363,81 @@ class ProcessPoolCommunicator(Communicator):
         self._arenas[key] = arena
         return arena
 
+    # ------------------------------------------------------------------
+    # Cached exchange schedules
+    # ------------------------------------------------------------------
+    def _purge_cached_plans(self, arena_key: Tuple[int, str]) -> None:
+        stale = [k for k, e in self._plan_cache.items()
+                 if any(ak == arena_key for ak, _ in e.gens)]
+        for k in stale:
+            entry = self._plan_cache.pop(k)
+            self._free_pids.append(entry.pid)
+            del entry
+
+    def _alloc_pid(self) -> int:
+        if self._free_pids:
+            return self._free_pids.pop()
+        if len(self._plan_cache) >= MAX_CACHED_PLANS:
+            _, evicted = self._plan_cache.popitem(last=False)
+            return evicted.pid
+        return next(self._pid_counter)
+
+    def _cached_entry(self, key: tuple, builder: Callable) -> _CachedStep:
+        """Look up (or build) the cached schedule for ``key``.
+
+        ``builder() -> (group, plans, views, reads, arena_keys)`` derives
+        the full layout; it runs only on a cache miss or after a
+        referenced arena was regrown.
+        """
+        entry = self._plan_cache.get(key)
+        if entry is not None:
+            ok = True
+            for ak, gen in entry.gens:
+                arena = self._arenas.get(ak)
+                if arena is None or arena.gen != gen:
+                    ok = False
+                    break
+            if ok:
+                self._plan_cache.move_to_end(key)
+                return entry
+            self._plan_cache.pop(key)
+            self._free_pids.append(entry.pid)
+        pid = self._alloc_pid()
+        group, plans, views, reads, arena_keys = builder()
+        for plan in plans:
+            plan["pid"] = pid
+        gens = tuple((ak, self._arenas[ak].gen) for ak in arena_keys)
+        entry = _CachedStep(pid, group, plans, views, reads, gens)
+        self._plan_cache[key] = entry
+        return entry
+
+    def _entry_cmds(self, entry: _CachedStep) -> List[dict]:
+        """Full plans on first dispatch, tiny replays afterwards."""
+        if not entry.primed:
+            entry.primed = True
+            return entry.plans
+        replay = {"op": "replay", "pid": entry.pid}
+        return [replay] * len(entry.group)
+
+    def _place_send(self, payloads: Dict[int, List[np.ndarray]]
+                    ) -> Tuple[Dict[int, List[_Slab]],
+                               Dict[int, List[np.ndarray]]]:
+        """Compute slab placements + arena views without writing bytes."""
+        placed: Dict[int, List[_Slab]] = {}
+        views: Dict[int, List[np.ndarray]] = {}
+        for rank, arrays in payloads.items():
+            total = sum(_aligned(a.nbytes) for a in arrays)
+            arena = self._ensure_arena(rank, "send", total)
+            slabs, vlist, offset = [], [], 0
+            for arr in arrays:
+                slabs.append(_Slab(offset, arr.shape, arr.dtype, arr.nbytes))
+                vlist.append(np.ndarray(arr.shape, dtype=arr.dtype,
+                                        buffer=arena.shm.buf, offset=offset))
+                offset += _aligned(arr.nbytes)
+            placed[rank] = slabs
+            views[rank] = vlist
+        return placed, views
+
     def close(self) -> None:
         """Join the worker processes and release all shared memory.
 
@@ -308,6 +447,10 @@ class ProcessPoolCommunicator(Communicator):
         raises ``RuntimeError``.
         """
         self._closed = True
+        # Cached plans hold exported views into the arenas; release them
+        # before the segments are closed/unlinked below.
+        self._plan_cache.clear()
+        self._free_pids.clear()
         procs, self._procs = self._procs, None
         cmd_qs, self._cmd_qs = self._cmd_qs, None
         out_qs, self._out_qs = self._out_qs, None
@@ -346,18 +489,10 @@ class ProcessPoolCommunicator(Communicator):
     def _stage_send(self, payloads: Dict[int, List[np.ndarray]]
                     ) -> Dict[int, List[_Slab]]:
         """Write each rank's outgoing arrays into its send arena."""
-        placed: Dict[int, List[_Slab]] = {}
+        placed, views = self._place_send(payloads)
         for rank, arrays in payloads.items():
-            total = sum(_aligned(a.nbytes) for a in arrays)
-            arena = self._ensure_arena(rank, "send", total)
-            slabs, offset = [], 0
-            for arr in arrays:
-                view = np.ndarray(arr.shape, dtype=arr.dtype,
-                                  buffer=arena.shm.buf, offset=offset)
+            for view, arr in zip(views[rank], arrays):
                 view[...] = arr
-                slabs.append(_Slab(offset, arr.shape, arr.dtype, arr.nbytes))
-                offset += _aligned(arr.nbytes)
-            placed[rank] = slabs
         return placed
 
     def _arena_ref(self, rank: int, kind: str) -> Tuple[int, str, str, int]:
@@ -474,7 +609,7 @@ class ProcessPoolCommunicator(Communicator):
         self._record_alltoallv_events(send, group, category)
 
         recv: List[List[Optional[np.ndarray]]] = [[None] * p for _ in range(p)]
-        outgoing: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+        outgoing: List[Tuple[int, int, np.ndarray]] = []
         for i in range(p):
             recv[i][i] = send[i][i]
             for j in range(p):
@@ -484,41 +619,66 @@ class ProcessPoolCommunicator(Communicator):
                 if arr.nbytes == 0:
                     recv[j][i] = np.array(arr, copy=True)
                 else:
-                    outgoing.setdefault(i, []).append((j, arr))
+                    outgoing.append((i, j, arr))
 
-        placed = self._stage_send(
-            {group[i]: [arr for _, arr in items]
-             for i, items in outgoing.items()})
-        # (sender pos, receiver pos) -> slab in the sender's send arena.
-        sent: Dict[Tuple[int, int], _Slab] = {}
-        for i, items in outgoing.items():
-            for (j, _), slab in zip(items, placed[group[i]]):
-                sent[(i, j)] = slab
+        if not outgoing:
+            self._run_step(group, [self._plan(())] * p, category)
+            return recv
 
-        incoming: Dict[int, List[int]] = {
-            j: [i for i in range(p) if (i, j) in sent] for j in range(p)}
-        got: Dict[Tuple[int, int], _Slab] = {}
-        for j in range(p):
-            total = sum(_aligned(sent[(i, j)].nbytes) for i in incoming[j])
-            if total:
-                self._ensure_arena(group[j], "recv", total)
-            offset = 0
-            for i in incoming[j]:
-                s = sent[(i, j)]
-                got[(i, j)] = _Slab(offset, s.shape, s.dtype, s.nbytes)
-                offset += _aligned(s.nbytes)
+        key = ("a2a", tuple(group),
+               tuple((i, j, arr.shape, arr.dtype.str)
+                     for i, j, arr in outgoing))
 
-        plans = []
-        for j in range(p):
-            arenas = [self._arena_ref(group[i], "send") for i in incoming[j]]
-            if incoming[j]:
-                arenas.append(self._arena_ref(group[j], "recv"))
-            copies = [(group[i], sent[(i, j)].offset, sent[(i, j)].nbytes,
-                       got[(i, j)].offset) for i in incoming[j]]
-            plans.append(self._plan(arenas, copies))
-        self._run_step(group, plans, category)
+        def build():
+            by_sender: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+            for i, j, arr in outgoing:
+                by_sender.setdefault(i, []).append((j, arr))
+            placed, sview = self._place_send(
+                {group[i]: [arr for _, arr in items]
+                 for i, items in by_sender.items()})
+            # (sender pos, receiver pos) -> slab in the sender's send arena.
+            sent: Dict[Tuple[int, int], _Slab] = {}
+            views: List[np.ndarray] = []
+            view_of = {}
+            for i, items in by_sender.items():
+                for (j, _), slab, view in zip(items, placed[group[i]],
+                                              sview[group[i]]):
+                    sent[(i, j)] = slab
+                    view_of[(i, j)] = view
+            views = [view_of[(i, j)] for i, j, _ in outgoing]
 
-        for (i, j), slab in got.items():
+            incoming: Dict[int, List[int]] = {
+                j: [i for i in range(p) if (i, j) in sent] for j in range(p)}
+            got: Dict[Tuple[int, int], _Slab] = {}
+            for j in range(p):
+                total = sum(_aligned(sent[(i, j)].nbytes)
+                            for i in incoming[j])
+                if total:
+                    self._ensure_arena(group[j], "recv", total)
+                offset = 0
+                for i in incoming[j]:
+                    s = sent[(i, j)]
+                    got[(i, j)] = _Slab(offset, s.shape, s.dtype, s.nbytes)
+                    offset += _aligned(s.nbytes)
+
+            plans, arena_keys = [], set()
+            for j in range(p):
+                arenas = [self._arena_ref(group[i], "send")
+                          for i in incoming[j]]
+                if incoming[j]:
+                    arenas.append(self._arena_ref(group[j], "recv"))
+                arena_keys.update((ref[0], ref[1]) for ref in arenas)
+                copies = [(group[i], sent[(i, j)].offset, sent[(i, j)].nbytes,
+                           got[(i, j)].offset) for i in incoming[j]]
+                plans.append(self._plan(arenas, copies))
+            return group, plans, views, got, sorted(arena_keys)
+
+        entry = self._cached_entry(key, build)
+        for view, (_, _, arr) in zip(entry.views, outgoing):
+            view[...] = arr
+        self._run_step(group, self._entry_cmds(entry), category)
+
+        for (i, j), slab in entry.reads.items():
             recv[j][i] = self._read_recv(group[j], slab)
         return recv
 
@@ -538,22 +698,31 @@ class ProcessPoolCommunicator(Communicator):
             return [value if pos == root_pos else np.array(arr, copy=True)
                     for pos in range(p)]
 
-        (slab,) = self._stage_send({root: [arr]})[root]
-        plans, received = [], {}
-        for pos, r in enumerate(group):
-            if pos == root_pos:
-                plans.append(self._plan(()))
-                continue
-            arena = self._ensure_arena(r, "recv", slab.nbytes)
-            received[pos] = _Slab(0, slab.shape, slab.dtype, slab.nbytes)
-            plans.append(self._plan(
-                [self._arena_ref(root, "send"), (r, "recv", arena.shm.name,
-                                                 arena.gen)],
-                [(root, slab.offset, slab.nbytes, 0)]))
-        self._run_step(group, plans, category)
+        key = ("bc", tuple(group), root, arr.shape, arr.dtype.str)
+
+        def build():
+            placed, views = self._place_send({root: [arr]})
+            (slab,) = placed[root]
+            plans, received, arena_keys = [], {}, {(root, "send")}
+            for pos, r in enumerate(group):
+                if pos == root_pos:
+                    plans.append(self._plan(()))
+                    continue
+                arena = self._ensure_arena(r, "recv", slab.nbytes)
+                arena_keys.add((r, "recv"))
+                received[pos] = _Slab(0, slab.shape, slab.dtype, slab.nbytes)
+                plans.append(self._plan(
+                    [self._arena_ref(root, "send"),
+                     (r, "recv", arena.shm.name, arena.gen)],
+                    [(root, slab.offset, slab.nbytes, 0)]))
+            return group, plans, views[root], received, sorted(arena_keys)
+
+        entry = self._cached_entry(key, build)
+        entry.views[0][...] = arr
+        self._run_step(group, self._entry_cmds(entry), category)
 
         return [value if pos == root_pos
-                else self._read_recv(group[pos], received[pos])
+                else self._read_recv(group[pos], entry.reads[pos])
                 for pos in range(p)]
 
     def allreduce(self, arrays: Sequence[np.ndarray],
@@ -572,29 +741,43 @@ class ProcessPoolCommunicator(Communicator):
             self._run_step(group, [self._plan(())] * p, category)
             return [result.copy() if i > 0 else result for i in range(p)]
 
-        placed = self._stage_send({group[i]: [arrs[i]] for i in range(p)})
-        sources = [(group[i], placed[group[i]][0].offset, arrs[i].shape,
-                    str(arrs[i].dtype)) for i in range(p)]
-        out_dtype = np.result_type(*(
-            a.dtype if a.dtype.kind == "f" else np.float64 for a in arrs))
-        out_slab = _Slab(0, arrs[0].shape, out_dtype,
-                         int(np.prod(arrs[0].shape)) * out_dtype.itemsize)
+        key = ("ar", tuple(group), op, arrs[0].shape,
+               tuple(a.dtype.str for a in arrs))
 
-        # Every member computes the identical group-ordered reduction from
-        # its peers' send arenas — deterministic, so the results agree
-        # bitwise without a second distribution round.
-        send_refs = [self._arena_ref(group[i], "send") for i in range(p)]
-        plans = []
-        for i in range(p):
-            arena = self._ensure_arena(group[i], "recv", out_slab.nbytes)
-            plans.append(self._plan(
-                send_refs + [(group[i], "recv", arena.shm.name, arena.gen)],
-                reduces=[{"sources": sources, "reduce_op": op,
-                          "force64": False, "dst_off": 0,
-                          "out_dtype": str(out_dtype)}]))
-        self._run_step(group, plans, category)
+        def build():
+            placed, sview = self._place_send(
+                {group[i]: [arrs[i]] for i in range(p)})
+            sources = [(group[i], placed[group[i]][0].offset, arrs[i].shape,
+                        str(arrs[i].dtype)) for i in range(p)]
+            out_dtype = np.result_type(*(
+                a.dtype if a.dtype.kind == "f" else np.float64 for a in arrs))
+            out_slab = _Slab(0, arrs[0].shape, out_dtype,
+                             int(np.prod(arrs[0].shape)) * out_dtype.itemsize)
 
-        return [self._read_recv(group[i], out_slab) for i in range(p)]
+            # Every member computes the identical group-ordered reduction
+            # from its peers' send arenas — deterministic, so the results
+            # agree bitwise without a second distribution round.
+            send_refs = [self._arena_ref(group[i], "send") for i in range(p)]
+            arena_keys = {(group[i], "send") for i in range(p)}
+            plans = []
+            for i in range(p):
+                arena = self._ensure_arena(group[i], "recv", out_slab.nbytes)
+                arena_keys.add((group[i], "recv"))
+                plans.append(self._plan(
+                    send_refs + [(group[i], "recv", arena.shm.name,
+                                  arena.gen)],
+                    reduces=[{"sources": sources, "reduce_op": op,
+                              "force64": False, "dst_off": 0,
+                              "out_dtype": str(out_dtype)}]))
+            views = [sview[group[i]][0] for i in range(p)]
+            return group, plans, views, out_slab, sorted(arena_keys)
+
+        entry = self._cached_entry(key, build)
+        for view, arr in zip(entry.views, arrs):
+            view[...] = arr
+        self._run_step(group, self._entry_cmds(entry), category)
+
+        return [self._read_recv(group[i], entry.reads) for i in range(p)]
 
     def allgather(self, arrays: Sequence[np.ndarray],
                   ranks: Optional[Sequence[int]] = None,
@@ -712,36 +895,55 @@ class ProcessPoolCommunicator(Communicator):
             else sorted(set(self._resolve_ranks(sync_ranks)) | involved)
         if not group:
             return delivered
+        if not transport:
+            self._run_step(group, [self._plan(())] * len(group), category)
+            return delivered
 
-        by_src: Dict[int, List[Tuple[int, np.ndarray]]] = {}
-        for src, dst, arr in transport:
-            by_src.setdefault(src, []).append((dst, arr))
-        placed = self._stage_send(
-            {src: [arr for _, arr in items] for src, items in by_src.items()})
-        inbound: Dict[int, List[Tuple[int, _Slab]]] = {}
-        for src, items in by_src.items():
-            for (dst, _), slab in zip(items, placed[src]):
-                inbound.setdefault(dst, []).append((src, slab))
+        key = ("p2p", tuple(group),
+               tuple((src, dst, arr.shape, arr.dtype.str)
+                     for src, dst, arr in transport))
 
-        got: Dict[Tuple[int, int], _Slab] = {}
-        plans = []
-        for r in group:
-            items = inbound.get(r, [])
-            total = sum(_aligned(s.nbytes) for _, s in items)
-            if total:
-                self._ensure_arena(r, "recv", total)
-            copies, offset = [], 0
-            for src, s in items:
-                got[(src, r)] = _Slab(offset, s.shape, s.dtype, s.nbytes)
-                copies.append((src, s.offset, s.nbytes, offset))
-                offset += _aligned(s.nbytes)
-            arenas = [self._arena_ref(src, "send")
-                      for src in {src for src, _ in items}]
-            if items:
-                arenas.append(self._arena_ref(r, "recv"))
-            plans.append(self._plan(arenas, copies))
-        self._run_step(group, plans, category)
+        def build():
+            by_src: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+            for src, dst, arr in transport:
+                by_src.setdefault(src, []).append((dst, arr))
+            placed, sview = self._place_send(
+                {src: [arr for _, arr in items]
+                 for src, items in by_src.items()})
+            inbound: Dict[int, List[Tuple[int, _Slab]]] = {}
+            view_of: Dict[Tuple[int, int], np.ndarray] = {}
+            for src, items in by_src.items():
+                for (dst, _), slab, view in zip(items, placed[src],
+                                                sview[src]):
+                    inbound.setdefault(dst, []).append((src, slab))
+                    view_of[(src, dst)] = view
+            views = [view_of[(src, dst)] for src, dst, _ in transport]
 
-        for (src, dst), slab in got.items():
+            got: Dict[Tuple[int, int], _Slab] = {}
+            plans, arena_keys = [], set()
+            for r in group:
+                items = inbound.get(r, [])
+                total = sum(_aligned(s.nbytes) for _, s in items)
+                if total:
+                    self._ensure_arena(r, "recv", total)
+                copies, offset = [], 0
+                for src, s in items:
+                    got[(src, r)] = _Slab(offset, s.shape, s.dtype, s.nbytes)
+                    copies.append((src, s.offset, s.nbytes, offset))
+                    offset += _aligned(s.nbytes)
+                arenas = [self._arena_ref(src, "send")
+                          for src in {src for src, _ in items}]
+                if items:
+                    arenas.append(self._arena_ref(r, "recv"))
+                arena_keys.update((ref[0], ref[1]) for ref in arenas)
+                plans.append(self._plan(arenas, copies))
+            return group, plans, views, got, sorted(arena_keys)
+
+        entry = self._cached_entry(key, build)
+        for view, (_, _, arr) in zip(entry.views, transport):
+            view[...] = arr
+        self._run_step(group, self._entry_cmds(entry), category)
+
+        for (src, dst), slab in entry.reads.items():
             delivered[(src, dst)] = self._read_recv(dst, slab)
         return delivered

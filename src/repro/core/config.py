@@ -91,6 +91,12 @@ class DistTrainConfig:
         generation helpers.
     normalize_adjacency:
         Apply the symmetric GCN normalisation before training.
+    dtype:
+        Training precision: ``"float64"`` (default, bit-compatible with
+        the reference model) or ``"float32"`` (half the communication
+        volume and activation memory; losses match to single-precision
+        tolerance).  Threaded through the adjacency, the features, the
+        weights and every exchanged payload — see ``docs/performance.md``.
     """
 
     n_ranks: int = 4
@@ -106,6 +112,7 @@ class DistTrainConfig:
     backend: str = "sim"
     seed: int = 0
     normalize_adjacency: bool = True
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.n_ranks <= 0:
@@ -135,6 +142,15 @@ class DistTrainConfig:
             raise ValueError("epochs must be non-negative")
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
+        if self.dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"dtype must be 'float64' or 'float32', got {self.dtype!r}")
+
+    @property
+    def np_dtype(self):
+        """The configured precision as a NumPy dtype."""
+        import numpy as np
+        return np.dtype(self.dtype)
 
     @property
     def needs_planning(self) -> bool:

@@ -30,7 +30,7 @@ from ..gcn.init import init_weights
 from ..gcn.loss import softmax
 from .config import Algorithm
 from .dist_matrix import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
-from .engine import SpmmEngine
+from .engine import CompiledSpmm, DenseSpec, SpmmEngine
 from .spmm_15d import ProcessGrid
 
 __all__ = ["DistLayerCache", "DistributedGCN"]
@@ -68,6 +68,17 @@ class DistributedGCN:
     seed:
         Weight initialisation seed (must match the reference model's for
         equivalence checks).
+    dtype:
+        Training precision (``float64`` default; ``float32`` halves every
+        exchanged payload and activation buffer).  Weights, features and
+        the adjacency should share it — the trainer threads one config
+        value through all three.
+
+    Every distributed SpMM the model issues runs through a **compiled
+    operator** (:meth:`repro.core.engine.SpmmEngine.compile`): the model
+    compiles one plan per distinct layer width at construction time —
+    i.e. once per training run — so the per-epoch forward/backward SpMMs
+    do no metadata work and reuse the plans' workspaces.
     """
 
     def __init__(self,
@@ -80,7 +91,8 @@ class DistributedGCN:
                  algorithm: str = Algorithm.ONE_D,
                  sparsity_aware: bool = True,
                  grid: Optional[ProcessGrid] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 dtype=np.float64) -> None:
         if adjacency_dist.dist != features_dist.dist:
             raise ValueError("adjacency and features use different distributions")
         self.adjacency = adjacency_dist
@@ -108,6 +120,7 @@ class DistributedGCN:
         else:
             raise ValueError(f"unknown algorithm {algorithm!r}")
         self.grid = grid
+        self.dtype = np.dtype(dtype)
         self._engine = SpmmEngine(comm, algorithm=algorithm,
                                   sparsity_aware=sparsity_aware, grid=grid)
 
@@ -119,10 +132,21 @@ class DistributedGCN:
         # Weight matrices are fully replicated; we store one canonical copy
         # and charge the replicated compute to every rank that owns it.
         self.weights: List[np.ndarray] = [
-            w.astype(np.float64) for w in init_weights(self.layer_dims, seed=seed)]
+            w.astype(self.dtype) for w in init_weights(self.layer_dims,
+                                                       seed=seed)]
         self._activations = [
             get_activation("identity" if l == len(self.weights) - 1 else "relu")
             for l in range(len(self.weights))]
+
+        # Compile one persistent SpMM plan per distinct layer width — the
+        # forward pass propagates at widths f_0..f_{L-1}, the backward pass
+        # at f_1..f_L, and the graph never changes, so these plans (packed
+        # gather indices, exchange schedules, reused workspaces) serve
+        # every epoch of the run.
+        self._compiled: dict[int, CompiledSpmm] = {
+            w: self._engine.compile(adjacency_dist,
+                                    DenseSpec(width=w, dtype=self.dtype))
+            for w in sorted(set(self.layer_dims))}
 
         # Number of training vertices (global) — needed for the mean in the
         # loss; known to every process after setup.
@@ -181,7 +205,15 @@ class DistributedGCN:
         return self._engine
 
     def spmm(self, dense: DistDenseMatrix) -> DistDenseMatrix:
-        """``A^T @ dense`` with the configured distributed algorithm."""
+        """``A^T @ dense`` with the configured distributed algorithm.
+
+        Widths compiled at construction run on their persistent plan
+        (metadata-free hot path); anything else — diagnostics with ad-hoc
+        widths or dtypes — falls back to compile-and-run-once dispatch.
+        """
+        op = self._compiled.get(dense.width)
+        if op is not None and dense.dtype == self.dtype:
+            return op(dense)
         return self._engine.run(self.adjacency, dense)
 
     # ------------------------------------------------------------------
@@ -211,8 +243,8 @@ class DistributedGCN:
                 return task
 
             self._parallel_over_blocks(make_task)
-            z = DistDenseMatrix(z_blocks, self.dist)
-            h_out = DistDenseMatrix(h_blocks, self.dist)
+            z = DistDenseMatrix(z_blocks, self.dist, dtype=self.dtype)
+            h_out = DistDenseMatrix(h_blocks, self.dist, dtype=self.dtype)
             caches.append(DistLayerCache(h_in=h, z=z, h_out=h_out))
             h = h_out
         return caches
@@ -261,7 +293,7 @@ class DistributedGCN:
             contributions[owner] = local_losses[block]
         reduced = self.comm.allreduce(contributions, category="allreduce")
         loss = float(reduced[0][0]) / self.n_train
-        return loss, DistDenseMatrix(grad_blocks, self.dist)
+        return loss, DistDenseMatrix(grad_blocks, self.dist, dtype=self.dtype)
 
     def backward(self, caches: List[DistLayerCache], grad_logits: DistDenseMatrix
                  ) -> List[np.ndarray]:
@@ -313,7 +345,7 @@ class DistributedGCN:
                     return task
 
                 self._parallel_over_blocks(make_grad_task)
-                grad_z = DistDenseMatrix(next_blocks, self.dist)
+                grad_z = DistDenseMatrix(next_blocks, self.dist, dtype=self.dtype)
         return grads  # type: ignore[return-value]
 
     def apply_gradients(self, grads: Sequence[np.ndarray], lr: float) -> None:

@@ -87,9 +87,15 @@ class BlockRowDistribution:
 
 
 class DistSparseMatrix:
-    """``A^T`` distributed by block rows with per-block NnzCols analysis."""
+    """``A^T`` distributed by block rows with per-block NnzCols analysis.
 
-    def __init__(self, matrix: sp.spmatrix, dist: BlockRowDistribution) -> None:
+    ``dtype`` selects the stored value precision (default ``float64``;
+    ``float32`` halves the adjacency footprint and lets the local SpMM
+    kernels run in single precision end to end).
+    """
+
+    def __init__(self, matrix: sp.spmatrix, dist: BlockRowDistribution,
+                 dtype=np.float64) -> None:
         matrix = matrix.tocsr()
         if matrix.shape[0] != matrix.shape[1]:
             raise ValueError(f"expected a square matrix, got {matrix.shape}")
@@ -99,6 +105,9 @@ class DistSparseMatrix:
                 f"covers {dist.n}")
         self.dist = dist
         self.shape = matrix.shape
+        self.dtype = np.dtype(dtype)
+        if matrix.dtype != self.dtype:
+            matrix = matrix.astype(self.dtype)
         #: block_rows[i]: CSR of the rows owned by block i (full width)
         self.block_rows: List[sp.csr_matrix] = []
         #: blocks[i][j]: BlockColumnInfo of A^T_{ij}
@@ -144,10 +153,15 @@ class DistSparseMatrix:
 
 
 class DistDenseMatrix:
-    """A tall-skinny dense matrix distributed by block rows."""
+    """A tall-skinny dense matrix distributed by block rows.
+
+    ``dtype`` selects the stored precision (default ``float64``); a
+    ``float32`` operand makes every exchanged payload half the volume,
+    which is the point of the end-to-end single-precision mode.
+    """
 
     def __init__(self, blocks: Sequence[np.ndarray],
-                 dist: BlockRowDistribution) -> None:
+                 dist: BlockRowDistribution, dtype=np.float64) -> None:
         if len(blocks) != dist.nblocks:
             raise ValueError(
                 f"{len(blocks)} blocks given for {dist.nblocks} owners")
@@ -160,15 +174,16 @@ class DistDenseMatrix:
                 raise ValueError(
                     f"block {i} has {b.shape[0]} rows, expected {expected}")
         self.dist = dist
-        self.blocks: List[np.ndarray] = [np.asarray(b, dtype=np.float64)
+        self.dtype = np.dtype(dtype)
+        self.blocks: List[np.ndarray] = [np.asarray(b, dtype=self.dtype)
                                          for b in blocks]
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_global(cls, matrix: np.ndarray, dist: BlockRowDistribution
-                    ) -> "DistDenseMatrix":
+    def from_global(cls, matrix: np.ndarray, dist: BlockRowDistribution,
+                    dtype=np.float64) -> "DistDenseMatrix":
         """Split a global ``(n, f)`` matrix into the distribution's blocks."""
-        matrix = np.asarray(matrix, dtype=np.float64)
+        matrix = np.asarray(matrix, dtype=dtype)
         if matrix.shape[0] != dist.n:
             raise ValueError(
                 f"matrix has {matrix.shape[0]} rows but the distribution "
@@ -177,7 +192,7 @@ class DistDenseMatrix:
         for i in range(dist.nblocks):
             lo, hi = dist.block_range(i)
             blocks.append(matrix[lo:hi].copy())
-        return cls(blocks, dist)
+        return cls(blocks, dist, dtype=dtype)
 
     @property
     def nblocks(self) -> int:
@@ -195,5 +210,5 @@ class DistDenseMatrix:
         return np.concatenate(self.blocks, axis=0)
 
     def like(self, blocks: Sequence[np.ndarray]) -> "DistDenseMatrix":
-        """A new distributed matrix over the same distribution."""
-        return DistDenseMatrix(list(blocks), self.dist)
+        """A new distributed matrix over the same distribution and dtype."""
+        return DistDenseMatrix(list(blocks), self.dist, dtype=self.dtype)

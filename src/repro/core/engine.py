@@ -15,6 +15,16 @@ engine collapses that duplication into one seam:
   all algorithm implementations;
 * **dispatch** (:func:`spmm`, :class:`SpmmEngine`) that works with any
   :class:`~repro.comm.base.Communicator` backend — simulated or real;
+* **compiled execution** (:func:`compile`, :class:`CompiledSpmm`): the
+  plan/execute split.  Compiling a variant against one matrix and one
+  dense operand shape precomputes every piece of per-call metadata the
+  sparsity-aware exchanges need (packed NnzCols gather indices, compacted
+  CSR blocks, broadcast / all-to-allv / replication-group schedules) and
+  preallocates dtype-aware workspaces (output accumulators, pack/unpack
+  staging buffers), so calling the compiled operator once per epoch does
+  no metadata derivation and no workspace allocation on the hot path.
+  GCN training is the motivating use: the graph is static, so one plan
+  per (matrix, layer shape) amortises over hundreds of epochs;
 * **common timing/volume capture** (:class:`SpmmReport`,
   :meth:`SpmmEngine.run_with_report`) so benchmarks measure every variant
   the same way.
@@ -22,24 +32,38 @@ engine collapses that duplication into one seam:
 Typical use::
 
     from repro.comm import make_communicator
-    from repro.core.engine import SpmmEngine
+    from repro.core.engine import DenseSpec, SpmmEngine
 
     comm = make_communicator(p, backend="threaded")
     engine = SpmmEngine(comm, algorithm="1d", sparsity_aware=True)
-    z = engine.run(matrix, dense)          # Z = M H
+    z = engine.run(matrix, dense)          # Z = M H (compile + run once)
+
+    op = engine.compile(matrix, DenseSpec(width=16))
+    for _ in range(epochs):
+        z = op(dense)                       # plan reuse, zero re-setup
+
+Compiled results are views into the operator's reused workspaces: they
+stay valid until the operator's next call (see ``docs/performance.md``
+for the lifetime rules).  The compiled path executes the exact same
+communication and accounting sequence as the uncompiled one, so results,
+event logs and simulated timings are bitwise identical — the conformance
+suite asserts this for every (variant x backend) pair.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..comm.base import Communicator
 
 __all__ = [
-    "MODES", "SpmmEngine", "SpmmReport", "SpmmVariant",
-    "available_spmm_variants", "check_block_operands", "check_grid_operands",
-    "check_grid2d_operands", "get_spmm", "mode_name", "register_spmm", "spmm",
+    "CompiledSpmm", "DenseSpec", "MODES", "SpmmEngine", "SpmmReport",
+    "SpmmVariant", "available_spmm_variants", "check_block_operands",
+    "check_grid_operands", "check_grid2d_operands", "compile", "get_spmm",
+    "mode_name", "register_spmm", "register_spmm_compiler", "spmm",
 ]
 
 #: The two communication modes the paper compares.
@@ -110,6 +134,10 @@ class SpmmVariant:
 
 _REGISTRY: Dict[Tuple[str, str], SpmmVariant] = {}
 
+#: Per-variant compiler callables: (algorithm, mode) ->
+#: ``fn(matrix, spec, comm, grid, **categories) -> CompiledSpmm``.
+_COMPILERS: Dict[Tuple[str, str], Callable] = {}
+
 
 def mode_name(sparsity_aware: bool) -> str:
     """Registry mode key for a boolean sparsity flag."""
@@ -161,6 +189,191 @@ def get_spmm(algorithm: str, sparsity_aware: bool = True,
         raise ValueError(
             f"no SpMM variant registered for {key}; "
             f"available: {sorted(_REGISTRY)}") from None
+
+
+def register_spmm_compiler(algorithm: str, mode: str) -> Callable:
+    """Decorator: register the compiler of an SpMM variant.
+
+    The decorated callable is invoked as
+    ``fn(variant, matrix, spec, comm, grid=..., **categories)`` and must
+    return a :class:`CompiledSpmm`.  Variants without a registered
+    compiler fall back to a generic (plan-free) wrapper in
+    :func:`compile`.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+
+    def decorate(fn: Callable) -> Callable:
+        key = (algorithm, mode)
+        if key in _COMPILERS:
+            raise ValueError(f"an SpMM compiler for {key} is already "
+                             f"registered")
+        _COMPILERS[key] = fn
+        return fn
+
+    return decorate
+
+
+# ----------------------------------------------------------------------
+# Compiled execution (plan once, run every epoch)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DenseSpec:
+    """Shape/precision contract of the dense operand a plan is built for.
+
+    ``width`` is the feature dimension ``f`` of ``H``; ``dtype`` the
+    element type every workspace and exchanged payload will use
+    (``float32`` halves the exchanged volume of bandwidth-bound runs).
+    """
+
+    width: int
+    dtype: "np.dtype" = field(default=np.dtype(np.float64))
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "width", int(self.width))
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+        if self.width < 0:
+            raise ValueError("dense width must be non-negative")
+        if self.dtype.kind != "f":
+            raise ValueError(
+                f"dense dtype must be a floating type, got {self.dtype}")
+
+    @classmethod
+    def like(cls, dense) -> "DenseSpec":
+        """The spec describing an existing dense operand (distributed or
+        plain ndarray)."""
+        if isinstance(dense, np.ndarray):
+            return cls(width=dense.shape[1], dtype=dense.dtype)
+        return cls(width=dense.width, dtype=getattr(dense, "dtype",
+                                                    np.dtype(np.float64)))
+
+
+class CompiledSpmm:
+    """A persistent execution plan for one (matrix, dense-spec, variant).
+
+    Subclasses (one per registered variant) precompute all exchange
+    metadata at construction and own the reused workspaces; ``__call__``
+    runs one SpMM with the same communication/accounting sequence as the
+    uncompiled kernel.
+
+    Workspace lifetime rule: the returned result aliases the operator's
+    output workspace and is only valid until the **next** call of the same
+    operator.  Callers that need to keep a result across calls must copy
+    it (`result.to_global()` / ``np.array(..., copy=True)``).
+    """
+
+    def __init__(self, variant: SpmmVariant, matrix, spec: DenseSpec,
+                 comm: Communicator, grid=None) -> None:
+        self.variant = variant
+        self.matrix = matrix
+        self.spec = spec
+        self.comm = comm
+        self.grid = grid
+        self.calls = 0
+
+    # Subclasses implement the hot path.
+    def _execute(self, dense):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check_dense(self, dense) -> None:
+        """Cheap per-call operand validation (no metadata derivation)."""
+        if isinstance(dense, np.ndarray):
+            if dense.ndim != 2 or dense.shape[1] != self.spec.width:
+                raise ValueError(
+                    f"compiled for width {self.spec.width}, got operand "
+                    f"shape {dense.shape}")
+            if dense.dtype != self.spec.dtype:
+                raise ValueError(
+                    f"compiled for dtype {self.spec.dtype}, got "
+                    f"{dense.dtype}")
+            return
+        if dense.width != self.spec.width:
+            raise ValueError(
+                f"compiled for width {self.spec.width}, got width "
+                f"{dense.width}")
+        if getattr(dense, "dtype", self.spec.dtype) != self.spec.dtype:
+            raise ValueError(
+                f"compiled for dtype {self.spec.dtype}, got {dense.dtype}")
+        dist = getattr(self.matrix, "dist", None)
+        if dist is not None and dense.dist is not dist \
+                and dense.dist != dist:
+            raise ValueError(
+                "dense operand uses a different distribution than the "
+                "compiled matrix")
+
+    def __call__(self, dense):
+        """Run ``Z = M H`` on the precomputed plan and reused workspaces."""
+        self._check_dense(dense)
+        self.calls += 1
+        return self._execute(dense)
+
+    @property
+    def algorithm(self) -> str:
+        return self.variant.algorithm
+
+    @property
+    def mode(self) -> str:
+        return self.variant.mode
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}(algorithm={self.algorithm!r}, "
+                f"mode={self.mode!r}, width={self.spec.width}, "
+                f"dtype={self.spec.dtype.name!r}, calls={self.calls})")
+
+
+class SpecOperandProbe:
+    """Distribution/width stand-in for a dense operand.
+
+    Lets the per-variant compilers reuse :func:`check_block_operands` /
+    :func:`check_grid_operands` at compile time, when only the
+    :class:`DenseSpec` — not an actual dense matrix — is available."""
+
+    def __init__(self, matrix, spec: DenseSpec) -> None:
+        self.dist = matrix.dist
+        self.width = spec.width
+
+
+class _FallbackCompiled(CompiledSpmm):
+    """Plan-free wrapper for variants without a registered compiler."""
+
+    def __init__(self, variant, matrix, spec, comm, grid=None,
+                 **categories) -> None:
+        super().__init__(variant, matrix, spec, comm, grid=grid)
+        self._categories = categories
+
+    def _execute(self, dense):
+        if self.variant.needs_grid:
+            return self.variant.fn(self.matrix, dense, self.grid, self.comm,
+                                   **self._categories)
+        return self.variant.fn(self.matrix, dense, self.comm,
+                               **self._categories)
+
+
+def compile(matrix, dense_spec, comm: Communicator, algorithm: str = "1d",
+            sparsity_aware: bool = True, mode: Optional[str] = None,
+            grid=None, **categories) -> CompiledSpmm:
+    """Build a persistent :class:`CompiledSpmm` for a registered variant.
+
+    ``dense_spec`` is a :class:`DenseSpec` (or a plain ``int`` width,
+    meaning float64).  All per-variant exchange metadata is derived here,
+    once; the returned operator's ``__call__`` only moves data.  The
+    ``**categories`` keyword overrides are fixed at compile time.
+    """
+    variant = get_spmm(algorithm, sparsity_aware=sparsity_aware, mode=mode)
+    if variant.needs_grid and grid is None:
+        raise ValueError(f"the {variant.algorithm} algorithm requires a "
+                         f"process grid")
+    if not variant.needs_grid and grid is not None:
+        raise ValueError(f"the {variant.algorithm} algorithm does not take "
+                         f"a process grid")
+    if isinstance(dense_spec, (int, np.integer)):
+        dense_spec = DenseSpec(width=int(dense_spec))
+    compiler = _COMPILERS.get(variant.key)
+    if compiler is None:
+        return _FallbackCompiled(variant, matrix, dense_spec, comm,
+                                 grid=grid, **categories)
+    return compiler(variant, matrix, dense_spec, comm, grid=grid,
+                    **categories)
 
 
 # ----------------------------------------------------------------------
@@ -247,6 +460,16 @@ class SpmmEngine:
             return self.variant.fn(matrix, dense, self.grid, self.comm,
                                    **categories)
         return self.variant.fn(matrix, dense, self.comm, **categories)
+
+    def compile(self, matrix, dense_spec, **categories) -> CompiledSpmm:
+        """Build a persistent plan for this engine's variant/communicator.
+
+        See :func:`compile`; the engine supplies the variant, grid and
+        communicator it was constructed with.
+        """
+        return compile(matrix, dense_spec, self.comm,
+                       algorithm=self.algorithm, mode=self.mode,
+                       grid=self.grid, **categories)
 
     def run_with_report(self, matrix, dense, **categories):
         """Like :meth:`run`, also capturing an :class:`SpmmReport` delta."""

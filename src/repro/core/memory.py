@@ -29,7 +29,8 @@ from .analysis import ELEMENT_BYTES
 from .config import Algorithm, DistTrainConfig
 
 __all__ = ["MemoryEstimate", "estimate_rank_memory", "fits_in_memory",
-           "feasible_process_counts", "CSR_INDEX_BYTES"]
+           "feasible_process_counts", "measure_dist_matrix_bytes",
+           "CSR_INDEX_BYTES"]
 
 #: bytes per CSR stored nonzero: one float64 value plus one int32 column index.
 CSR_INDEX_BYTES = 4
@@ -146,6 +147,50 @@ def estimate_rank_memory(n_vertices: int, n_edges_stored: int,
         framework_bytes=float(framework),
         replication_overhead_bytes=float(replication_overhead),
     )
+
+
+def _csr_nbytes(m: sp.csr_matrix) -> int:
+    return int(m.data.nbytes + m.indices.nbytes + m.indptr.nbytes)
+
+
+def measure_dist_matrix_bytes(matrix) -> Dict[str, int]:
+    """Actual (not modelled) byte footprint of a ``DistSparseMatrix``.
+
+    Separates the block-row CSRs, the NnzCols index arrays, the compacted
+    blocks, and the **lazily built** full-width blocks.  Because
+    :class:`~repro.core.nnzcols.BlockColumnInfo` only widens a block on
+    first ``.full`` access — and shares the value/indptr buffers with the
+    compacted form when it does — ``full_extra_bytes`` stays zero for
+    sparsity-aware runs and counts only the extra column-index array per
+    materialised block otherwise.  The memory-model tests assert exactly
+    that saving.
+    """
+    block_rows = sum(_csr_nbytes(b) for b in matrix.block_rows)
+    nnz_cols = compact = full_extra = 0
+    materialised = 0
+    for row in matrix.blocks:
+        for info in row:
+            nnz_cols += int(info.nnz_cols_global.nbytes +
+                            info.nnz_cols_local.nbytes)
+            compact += _csr_nbytes(info.compact)
+            if info.full_materialized:
+                materialised += 1
+                full = info.full
+                # Only count buffers the widened block does NOT share with
+                # the compacted one.
+                if full.data is not info.compact.data:
+                    full_extra += int(full.data.nbytes)
+                if full.indptr is not info.compact.indptr:
+                    full_extra += int(full.indptr.nbytes)
+                full_extra += int(full.indices.nbytes)
+    return {
+        "block_row_bytes": block_rows,
+        "nnz_cols_bytes": nnz_cols,
+        "compact_bytes": compact,
+        "full_extra_bytes": full_extra,
+        "full_blocks_materialized": materialised,
+        "total_bytes": block_rows + nnz_cols + compact + full_extra,
+    }
 
 
 def fits_in_memory(estimate: MemoryEstimate,

@@ -15,8 +15,7 @@ buffer first.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -24,7 +23,6 @@ import scipy.sparse as sp
 __all__ = ["BlockColumnInfo", "split_block_row", "nnz_columns_per_block"]
 
 
-@dataclass
 class BlockColumnInfo:
     """Sparsity summary of one ``A^T_{ij}`` block.
 
@@ -41,16 +39,51 @@ class BlockColumnInfo:
         The block with its columns restricted to ``nnz_cols_global`` and
         renumbered to ``0..len(nnz_cols_global)-1`` (CSR).  Multiplying
         ``compact @ H_j[nnz_cols_local]`` equals the block's contribution.
+    width:
+        Full column width of block ``j`` (the number of rows of ``H_j``).
     full:
         The block as a CSR matrix over the *full* width of block ``j``
-        (used by the sparsity-oblivious algorithms).
+        (used by the sparsity-oblivious algorithms).  Built **lazily** on
+        first access by widening ``compact`` — the sparsity-aware paths
+        never touch it, so they never pay its memory; the value buffer is
+        shared with ``compact`` either way.
     """
 
-    block: int
-    nnz_cols_global: np.ndarray
-    nnz_cols_local: np.ndarray
-    compact: sp.csr_matrix
-    full: sp.csr_matrix
+    __slots__ = ("block", "nnz_cols_global", "nnz_cols_local", "compact",
+                 "width", "_full")
+
+    def __init__(self, block: int, nnz_cols_global: np.ndarray,
+                 nnz_cols_local: np.ndarray, compact: sp.csr_matrix,
+                 width: int, full: Optional[sp.csr_matrix] = None) -> None:
+        self.block = block
+        self.nnz_cols_global = nnz_cols_global
+        self.nnz_cols_local = nnz_cols_local
+        self.compact = compact
+        self.width = int(width)
+        self._full = full
+
+    @property
+    def full(self) -> sp.csr_matrix:
+        if self._full is None:
+            # Widening is a pure column renumbering: map each compacted
+            # column index back through NnzCols.  ``nnz_cols_local`` is
+            # strictly increasing, so per-row sorted order is preserved and
+            # the result equals slicing the original block directly.  The
+            # indptr/data buffers are shared with ``compact``.
+            compact = self.compact
+            if self.nnz_cols_local.size:
+                indices = self.nnz_cols_local[compact.indices]
+            else:
+                indices = compact.indices
+            self._full = sp.csr_matrix(
+                (compact.data, indices, compact.indptr),
+                shape=(compact.shape[0], self.width))
+        return self._full
+
+    @property
+    def full_materialized(self) -> bool:
+        """Whether the full-width CSR has been built (memory accounting)."""
+        return self._full is not None
 
     @property
     def n_needed_rows(self) -> int:
@@ -100,7 +133,7 @@ def split_block_row(block_row: sp.spmatrix, bounds: Sequence[int]
             nnz_cols_global=(local_cols + lo).astype(np.int64),
             nnz_cols_local=local_cols.astype(np.int64),
             compact=compact,
-            full=sub.tocsr(),
+            width=hi - lo,
         ))
     return infos
 

@@ -12,24 +12,32 @@ processes of a grid *column* each stage (a column broadcast); the
 sparsity-aware variant (Algorithm 2 of the paper) sends only the rows
 selected by ``NnzCols`` with point-to-point messages.
 
-Both variants are registered with :mod:`repro.core.engine` under
-``("1.5d", "oblivious")`` / ``("1.5d", "sparsity_aware")`` and run against
-any :class:`~repro.comm.base.Communicator` backend; per-rank compute goes
+Both variants are implemented as **compiled operators**
+(:class:`~repro.core.engine.CompiledSpmm`): the staged broadcast /
+point-to-point schedules, gather index sets and flop charges are derived
+once at compile time, and the pack buffers plus per-replica partial-sum
+accumulators are reused across calls.  The registered functions
+(``("1.5d", "oblivious")`` / ``("1.5d", "sparsity_aware")``) are thin
+compile-and-run-once wrappers.  They run against any
+:class:`~repro.comm.base.Communicator` backend; per-rank compute goes
 through :meth:`~repro.comm.base.Communicator.parallel_for`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from ..comm.base import Communicator
 from .dist_matrix import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
-from .engine import check_grid_operands, register_spmm
+from .engine import (CompiledSpmm, DenseSpec, SpecOperandProbe,
+                     check_grid_operands, register_spmm,
+                     register_spmm_compiler)
 
-__all__ = ["ProcessGrid", "spmm_15d_oblivious", "spmm_15d_sparsity_aware"]
+__all__ = ["Compiled15DOblivious", "Compiled15DSparsityAware", "ProcessGrid",
+           "spmm_15d_oblivious", "spmm_15d_sparsity_aware"]
 
 
 @dataclass(frozen=True)
@@ -90,6 +98,233 @@ def _stage_block(grid: ProcessGrid, col: int, stage: int) -> int:
     return col * grid.stages + stage
 
 
+class _Compiled15DBase(CompiledSpmm):
+    """Shared 1.5D compile-time state: schedules and partial accumulators."""
+
+    def __init__(self, variant, matrix: DistSparseMatrix, spec: DenseSpec,
+                 comm: Communicator, grid: ProcessGrid,
+                 compute_category: str, comm_category: str,
+                 reduce_category: str) -> None:
+        super().__init__(variant, matrix, spec, comm, grid=grid)
+        check_grid_operands(matrix, SpecOperandProbe(matrix, spec), grid,
+                            comm)
+        self.compute_category = compute_category
+        self.comm_category = comm_category
+        self.reduce_category = reduce_category
+        f = spec.width
+        self._partial: List[List[np.ndarray]] = [
+            [np.zeros((matrix.dist.block_size(i), f), dtype=spec.dtype)
+             for _ in range(grid.replication)]
+            for i in range(grid.nrows)]
+        self._row_groups = [grid.row_group(i) for i in range(grid.nrows)]
+        self._dense: Optional[DistDenseMatrix] = None
+
+    def _zero_partials(self) -> None:
+        for row in self._partial:
+            for block in row:
+                block[...] = 0.0
+
+    def _reduce_partials(self, dense: DistDenseMatrix) -> DistDenseMatrix:
+        """All-reduce the per-replica partial sums over each grid row."""
+        out_blocks: List[np.ndarray] = []
+        for i in range(self.grid.nrows):
+            reduced = self.comm.allreduce(self._partial[i],
+                                          ranks=self._row_groups[i],
+                                          category=self.reduce_category)
+            # All replicas now hold the same block; keep one copy as the
+            # canonical block row of the result.
+            out_blocks.append(reduced[0])
+        return dense.like(out_blocks)
+
+
+class Compiled15DOblivious(_Compiled15DBase):
+    """Persistent plan for the CAGNET 1.5D staged-broadcast algorithm."""
+
+    def __init__(self, variant, matrix: DistSparseMatrix, spec: DenseSpec,
+                 comm: Communicator, grid: ProcessGrid = None,
+                 compute_category: str = "local",
+                 comm_category: str = "bcast",
+                 reduce_category: str = "allreduce") -> None:
+        super().__init__(variant, matrix, spec, comm, grid,
+                         compute_category, comm_category, reduce_category)
+        f = spec.width
+        # Per (stage, col): the broadcast root/group and, per group member,
+        # the (i, j, full_csr, flops) multiply or None for empty blocks.
+        self._schedule: List[List[tuple]] = []
+        for stage in range(grid.stages):
+            cols = []
+            for col in range(grid.replication):
+                q = _stage_block(grid, col, stage)
+                group = grid.col_group(col)
+                root = grid.rank(q, col)
+                terms: List[Optional[tuple]] = []
+                for rank in group:
+                    i, j = grid.coords(rank)
+                    info = matrix.block(i, q)
+                    terms.append((i, j, info.full, 2.0 * info.nnz * f, rank)
+                                 if info.nnz else None)
+                cols.append((q, group, root, terms))
+            self._schedule.append(cols)
+        self._col_tasks = [
+            [self._make_task(pos) for pos in range(grid.nrows)]
+            for _ in range(grid.replication)]
+        self._current: Optional[tuple] = None
+        self._copies: Optional[List[np.ndarray]] = None
+
+    def _make_task(self, pos: int):
+        def task() -> None:
+            entry = self._current[3][pos]
+            if entry is None:
+                return
+            i, j, full, flops, rank = entry
+            self._partial[i][j] += full @ self._copies[pos]
+            self.comm.charge_spmm(rank, flops,
+                                  category=self.compute_category)
+        return task
+
+    def _execute(self, dense: DistDenseMatrix) -> DistDenseMatrix:
+        comm = self.comm
+        grid = self.grid
+        self._zero_partials()
+        for stage in range(grid.stages):
+            for col in range(grid.replication):
+                current = self._schedule[stage][col]
+                q, group, root, _ = current
+                self._copies = comm.broadcast(dense.block(q), root=root,
+                                              ranks=group,
+                                              category=self.comm_category)
+                self._current = current
+                comm.parallel_for(self._col_tasks[col], ranks=group,
+                                  category=self.compute_category)
+        self._copies = None
+        self._current = None
+        return self._reduce_partials(dense)
+
+
+class Compiled15DSparsityAware(_Compiled15DBase):
+    """Persistent plan for Algorithm 2 (staged NnzCols point-to-point).
+
+    Compile-time work: per (stage, col) the packed gather index sets, the
+    reused pack buffers the point-to-point messages alias, the diagonal
+    gather buffers, and the flop/elementwise charges.
+    """
+
+    def __init__(self, variant, matrix: DistSparseMatrix, spec: DenseSpec,
+                 comm: Communicator, grid: ProcessGrid = None,
+                 compute_category: str = "local",
+                 comm_category: str = "alltoall",
+                 reduce_category: str = "allreduce") -> None:
+        super().__init__(variant, matrix, spec, comm, grid,
+                         compute_category, comm_category, reduce_category)
+        f = spec.width
+        dtype = spec.dtype
+        # Per stage: pack[col] = (q, src, [(idx, buf, nelem)]) in
+        # destination order; messages = [(src, dst, buf)] in the same
+        # col-major order the uncompiled kernel builds them; mult[rank] =
+        # (compact, rows_ref, flops) or None, where rows_ref is either a
+        # pack buffer or ("diag", q, idx, buf).
+        self._stages: List[dict] = []
+        for stage in range(grid.stages):
+            packs, messages = [], []
+            mult: List[Optional[tuple]] = [None] * comm.nranks
+            for col in range(grid.replication):
+                q = _stage_block(grid, col, stage)
+                src = grid.rank(q, col)
+                items = []
+                payload_of = {}
+                for i in range(grid.nrows):
+                    if i == q:
+                        continue
+                    idx = matrix.nnz_cols(i, q)
+                    if idx.size == 0:
+                        continue
+                    dst = grid.rank(i, col)
+                    buf = np.empty((idx.size, f), dtype=dtype)
+                    items.append((idx, buf, idx.size * f))
+                    messages.append((src, dst, buf))
+                    payload_of[i] = buf
+                packs.append((q, src, items))
+                for i in range(grid.nrows):
+                    rank = grid.rank(i, col)
+                    info = matrix.block(i, q)
+                    if info.compact.nnz == 0:
+                        continue
+                    if i == q:
+                        idx = info.nnz_cols_local
+                        rows_ref = ("diag", q, idx,
+                                    np.empty((idx.size, f), dtype=dtype))
+                    else:
+                        rows_ref = ("recv", payload_of[i])
+                    mult[rank] = (i, col, info.compact, rows_ref,
+                                  2.0 * info.compact.nnz * f)
+            sources = [grid.rank(_stage_block(grid, col, stage), col)
+                       for col in range(grid.replication)]
+            self._stages.append({"packs": packs, "messages": messages,
+                                 "mult": mult, "sources": sources})
+        self._pack_tasks = [self._make_pack_task(col)
+                            for col in range(grid.replication)]
+        self._mult_tasks = [self._make_mult_task(rank)
+                            for rank in range(comm.nranks)]
+        self._stage_state: Optional[dict] = None
+
+    def _make_pack_task(self, col: int):
+        def task() -> None:
+            q, src, items = self._stage_state["packs"][col]
+            h_q = self._dense.block(q)
+            for idx, buf, nelem in items:
+                np.take(h_q, idx, axis=0, out=buf)
+                self.comm.charge_elementwise(src, nelem,
+                                             category=self.compute_category)
+        return task
+
+    def _make_mult_task(self, rank: int):
+        def task() -> None:
+            entry = self._stage_state["mult"][rank]
+            if entry is None:
+                return
+            i, col, compact, rows_ref, flops = entry
+            if rows_ref[0] == "diag":
+                _, q, idx, buf = rows_ref
+                rows = np.take(self._dense.block(q), idx, axis=0, out=buf)
+            else:
+                rows = rows_ref[1]
+            self._partial[i][col] += compact @ rows
+            self.comm.charge_spmm(rank, flops,
+                                  category=self.compute_category)
+        return task
+
+    def _execute(self, dense: DistDenseMatrix) -> DistDenseMatrix:
+        comm = self.comm
+        self._dense = dense
+        self._zero_partials()
+        for stage_state in self._stages:
+            self._stage_state = stage_state
+            comm.parallel_for(self._pack_tasks, ranks=stage_state["sources"],
+                              category=self.compute_category)
+            comm.exchange(stage_state["messages"],
+                          category=self.comm_category,
+                          sync_ranks=range(comm.nranks))
+            comm.parallel_for(self._mult_tasks,
+                              category=self.compute_category)
+        self._stage_state = None
+        self._dense = None
+        return self._reduce_partials(dense)
+
+
+@register_spmm_compiler("1.5d", "oblivious")
+def compile_15d_oblivious(variant, matrix, spec, comm, grid=None,
+                          **categories) -> Compiled15DOblivious:
+    return Compiled15DOblivious(variant, matrix, spec, comm, grid=grid,
+                                **categories)
+
+
+@register_spmm_compiler("1.5d", "sparsity_aware")
+def compile_15d_sparsity_aware(variant, matrix, spec, comm, grid=None,
+                               **categories) -> Compiled15DSparsityAware:
+    return Compiled15DSparsityAware(variant, matrix, spec, comm, grid=grid,
+                                    **categories)
+
+
 @register_spmm("1.5d", "oblivious", needs_grid=True,
                description="CAGNET 1.5D: staged column broadcasts")
 def spmm_15d_oblivious(matrix: DistSparseMatrix, dense: DistDenseMatrix,
@@ -97,39 +332,16 @@ def spmm_15d_oblivious(matrix: DistSparseMatrix, dense: DistDenseMatrix,
                        compute_category: str = "local",
                        comm_category: str = "bcast",
                        reduce_category: str = "allreduce") -> DistDenseMatrix:
-    """Sparsity-oblivious 1.5D SpMM (CAGNET / Koanantakool baseline)."""
+    """Sparsity-oblivious 1.5D SpMM (CAGNET / Koanantakool baseline).
+
+    Compile-and-run-once wrapper around :class:`Compiled15DOblivious`.
+    """
     check_grid_operands(matrix, dense, grid, comm)
-    f = dense.width
-    c = grid.replication
-    partial: List[List[np.ndarray]] = [
-        [np.zeros((matrix.dist.block_size(i), f)) for j in range(c)]
-        for i in range(grid.nrows)]
-
-    for stage in range(grid.stages):
-        for col in range(c):
-            q = _stage_block(grid, col, stage)
-            group = grid.col_group(col)
-            root = grid.rank(q, col)
-            copies = comm.broadcast(dense.block(q), root=root,
-                                    ranks=group, category=comm_category)
-
-            def make_task(pos: int, rank: int):
-                def task() -> None:
-                    i, j = grid.coords(rank)
-                    info = matrix.block(i, q)
-                    if info.full.nnz == 0:
-                        return
-                    partial[i][j] += info.full @ copies[pos]
-                    comm.charge_spmm(rank, 2.0 * info.full.nnz * f,
-                                     category=compute_category)
-                return task
-
-            comm.parallel_for([make_task(pos, rank)
-                               for pos, rank in enumerate(group)],
-                              ranks=group, category=compute_category)
-
-    return _reduce_partials(matrix, dense, grid, comm, partial,
-                            reduce_category)
+    op = Compiled15DOblivious(None, matrix, DenseSpec.like(dense), comm,
+                              grid=grid, compute_category=compute_category,
+                              comm_category=comm_category,
+                              reduce_category=reduce_category)
+    return op(dense)
 
 
 @register_spmm("1.5d", "sparsity_aware", needs_grid=True,
@@ -146,88 +358,13 @@ def spmm_15d_sparsity_aware(matrix: DistSparseMatrix, dense: DistDenseMatrix,
     its grid column only the rows that process's ``NnzCols`` selects
     (non-blocking sends / blocking receives in the paper; a batched
     point-to-point exchange here).
+
+    Compile-and-run-once wrapper around :class:`Compiled15DSparsityAware`.
     """
     check_grid_operands(matrix, dense, grid, comm)
-    f = dense.width
-    c = grid.replication
-    partial: List[List[np.ndarray]] = [
-        [np.zeros((matrix.dist.block_size(i), f)) for j in range(c)]
-        for i in range(grid.nrows)]
-
-    for stage in range(grid.stages):
-        # Pack: each stage source rank (one per column) selects and packs
-        # the NnzCols rows for its grid column's consumers.
-        per_col_messages: List[List[Tuple[int, int, np.ndarray]]] = [
-            [] for _ in range(c)]
-        per_col_payloads: List[Dict[Tuple[int, int], np.ndarray]] = [
-            {} for _ in range(c)]
-
-        def make_pack_task(col: int):
-            def task() -> None:
-                q = _stage_block(grid, col, stage)
-                src = grid.rank(q, col)
-                h_q = dense.block(q)
-                for i in range(grid.nrows):
-                    dst = grid.rank(i, col)
-                    idx = matrix.nnz_cols(i, q)
-                    if i == q:
-                        continue  # the owner already holds its own rows
-                    if idx.size == 0:
-                        continue
-                    payload = h_q[idx]
-                    comm.charge_elementwise(src, idx.size * f,
-                                            category=compute_category)
-                    per_col_messages[col].append((src, dst, payload))
-                    per_col_payloads[col][(i, col)] = payload
-            return task
-
-        sources = [grid.rank(_stage_block(grid, col, stage), col)
-                   for col in range(c)]
-        comm.parallel_for([make_pack_task(col) for col in range(c)],
-                          ranks=sources, category=compute_category)
-        messages = [m for col in range(c) for m in per_col_messages[col]]
-        payload_index: Dict[Tuple[int, int], np.ndarray] = {}
-        for col in range(c):
-            payload_index.update(per_col_payloads[col])
-
-        comm.exchange(messages, category=comm_category,
-                      sync_ranks=range(comm.nranks))
-
-        def make_mult_task(rank: int):
-            def task() -> None:
-                i, col = grid.coords(rank)
-                q = _stage_block(grid, col, stage)
-                info = matrix.block(i, q)
-                if info.compact.nnz == 0:
-                    return
-                if i == q:
-                    rows = dense.block(q)[info.nnz_cols_local]
-                else:
-                    rows = payload_index[(i, col)]
-                partial[i][col] += info.compact @ rows
-                comm.charge_spmm(rank, 2.0 * info.compact.nnz * f,
-                                 category=compute_category)
-            return task
-
-        comm.parallel_for([make_mult_task(rank)
-                           for rank in range(comm.nranks)],
-                          category=compute_category)
-
-    return _reduce_partials(matrix, dense, grid, comm, partial,
-                            reduce_category)
-
-
-def _reduce_partials(matrix: DistSparseMatrix, dense: DistDenseMatrix,
-                     grid: ProcessGrid, comm: Communicator,
-                     partial: List[List[np.ndarray]],
-                     reduce_category: str) -> DistDenseMatrix:
-    """All-reduce the per-replica partial sums over each grid row."""
-    out_blocks: List[np.ndarray] = []
-    for i in range(grid.nrows):
-        group = grid.row_group(i)
-        reduced = comm.allreduce(partial[i], ranks=group,
-                                 category=reduce_category)
-        # All replicas now hold the same block; keep one copy as the
-        # canonical block row of the result.
-        out_blocks.append(reduced[0])
-    return dense.like(out_blocks)
+    op = Compiled15DSparsityAware(None, matrix, DenseSpec.like(dense), comm,
+                                  grid=grid,
+                                  compute_category=compute_category,
+                                  comm_category=comm_category,
+                                  reduce_category=reduce_category)
+    return op(dense)

@@ -19,11 +19,16 @@ ablation benchmarks can reproduce that comparison:
   its column peers only the ``H_j`` rows selected by the nonzero columns of
   its local block (``NnzCols(i, j)`` restricted to the peer's chunk).
 
-Both variants return the result in the same ``pr``-block-row layout as
-1D/1.5D results so they can be checked against ``A @ H`` directly.  They
-are registered with :mod:`repro.core.engine` under ``("2d", "oblivious")``
-/ ``("2d", "sparsity_aware")`` and run on any
-:class:`~repro.comm.base.Communicator` backend (the engine is how the
+Both variants are implemented as **compiled operators**
+(:class:`~repro.core.engine.CompiledSpmm`).  2D is where the plan/execute
+split pays the most: the uncompiled sparsity-aware kernel re-derived the
+per-peer gather index sets *and* re-sliced the column-compacted blocks
+``A^T_{ij}[:, NnzCols]`` on every call; compiled, both are built once and
+only ``np.take`` gathers, the exchange and the multiplies remain.  The
+registered functions (``("2d", "oblivious")`` / ``("2d",
+"sparsity_aware")``) are compile-and-run-once wrappers.  Both variants
+return the result in the same ``pr``-block-row layout as 1D/1.5D results
+so they can be checked against ``A @ H`` directly (the engine is how the
 ablation benchmarks reach them — the GCN trainer itself sticks to 1D/1.5D,
 mirroring the paper which evaluates 2D only at the SpMM level).
 """
@@ -31,16 +36,18 @@ mirroring the paper which evaluates 2D only at the SpMM level).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..comm.base import Communicator
 from .dist_matrix import BlockRowDistribution
-from .engine import check_grid2d_operands, register_spmm
+from .engine import (CompiledSpmm, DenseSpec, check_grid2d_operands,
+                     register_spmm, register_spmm_compiler)
 
-__all__ = ["Grid2D", "Dist2DSparseMatrix", "spmm_2d_oblivious",
+__all__ = ["Grid2D", "Dist2DSparseMatrix", "Compiled2DOblivious",
+           "Compiled2DSparsityAware", "spmm_2d_oblivious",
            "spmm_2d_sparsity_aware"]
 
 
@@ -86,7 +93,7 @@ class Dist2DSparseMatrix:
     """
 
     def __init__(self, matrix: sp.spmatrix, row_dist: BlockRowDistribution,
-                 col_dist: BlockRowDistribution) -> None:
+                 col_dist: BlockRowDistribution, dtype=np.float64) -> None:
         matrix = matrix.tocsr()
         if matrix.shape[0] != matrix.shape[1]:
             raise ValueError(f"expected a square matrix, got {matrix.shape}")
@@ -95,6 +102,9 @@ class Dist2DSparseMatrix:
         self.shape = matrix.shape
         self.row_dist = row_dist
         self.col_dist = col_dist
+        self.dtype = np.dtype(dtype)
+        if matrix.dtype != self.dtype:
+            matrix = matrix.astype(self.dtype)
         self._blocks: List[List[sp.csr_matrix]] = []
         self._nnz_cols: List[List[np.ndarray]] = []
         for i in range(row_dist.nblocks):
@@ -112,10 +122,11 @@ class Dist2DSparseMatrix:
             self._nnz_cols.append(cols_row)
 
     @classmethod
-    def uniform(cls, matrix: sp.spmatrix, grid: Grid2D) -> "Dist2DSparseMatrix":
+    def uniform(cls, matrix: sp.spmatrix, grid: Grid2D,
+                dtype=np.float64) -> "Dist2DSparseMatrix":
         n = matrix.shape[0]
         return cls(matrix, BlockRowDistribution.uniform(n, grid.nrows),
-                   BlockRowDistribution.uniform(n, grid.ncols))
+                   BlockRowDistribution.uniform(n, grid.ncols), dtype=dtype)
 
     def block(self, i: int, j: int) -> sp.csr_matrix:
         return self._blocks[i][j]
@@ -146,6 +157,232 @@ def _chunk_bounds(block_rows: int, row_chunks: int) -> np.ndarray:
     return BlockRowDistribution.uniform(block_rows, row_chunks).bounds
 
 
+class _Compiled2DBase(CompiledSpmm):
+    """Shared 2D compile-time state: grid groups and the output buffer."""
+
+    def __init__(self, variant, matrix: Dist2DSparseMatrix, spec: DenseSpec,
+                 comm: Communicator, grid: Grid2D,
+                 compute_category: str, reduce_category: str) -> None:
+        super().__init__(variant, matrix, spec, comm, grid=grid)
+        check_grid2d_operands(matrix, np.empty((matrix.shape[1], spec.width),
+                                               dtype=spec.dtype),
+                              grid, comm)
+        self.compute_category = compute_category
+        self.reduce_category = reduce_category
+        self._row_groups = [grid.row_group(i) for i in range(grid.nrows)]
+        self._col_groups = [grid.col_group(j) for j in range(grid.ncols)]
+        self._row_ranges = [matrix.row_dist.block_range(i)
+                            for i in range(grid.nrows)]
+        self._out = np.empty((matrix.shape[0], spec.width), dtype=spec.dtype)
+
+    def _check_dense(self, dense) -> None:
+        super()._check_dense(dense)
+        if dense.shape[0] != self.matrix.shape[1]:
+            raise ValueError(
+                f"dense operand has {dense.shape[0]} rows, expected "
+                f"{self.matrix.shape[1]}")
+
+
+class Compiled2DOblivious(_Compiled2DBase):
+    """Persistent plan for the sparsity-oblivious 2D SUMMA algorithm."""
+
+    def __init__(self, variant, matrix: Dist2DSparseMatrix, spec: DenseSpec,
+                 comm: Communicator, grid: Grid2D = None,
+                 compute_category: str = "local",
+                 gather_category: str = "bcast",
+                 reduce_category: str = "allreduce") -> None:
+        super().__init__(variant, matrix, spec, comm, grid,
+                         compute_category, reduce_category)
+        self.gather_category = gather_category
+        f = spec.width
+        dtype = spec.dtype
+        # Reused chunk staging buffers + their global row ranges, and the
+        # reused gathered block-row buffers.
+        self._chunks: List[List[np.ndarray]] = []
+        self._chunk_ranges: List[List[Tuple[int, int]]] = []
+        self._gathered: List[np.ndarray] = []
+        for j in range(grid.ncols):
+            lo, hi = matrix.col_dist.block_range(j)
+            bounds = _chunk_bounds(hi - lo, grid.nrows)
+            self._chunks.append([
+                np.empty((int(bounds[r + 1] - bounds[r]), f), dtype=dtype)
+                for r in range(grid.nrows)])
+            self._chunk_ranges.append([
+                (lo + int(bounds[r]), lo + int(bounds[r + 1]))
+                for r in range(grid.nrows)])
+            self._gathered.append(np.empty((hi - lo, f), dtype=dtype))
+        # mult[i][j] = (block, flops) or (zeros_buffer,) for empty blocks.
+        self._mult: List[List[tuple]] = []
+        for i in range(grid.nrows):
+            rows_i = matrix.row_dist.block_size(i)
+            terms = []
+            for j in range(grid.ncols):
+                block = matrix.block(i, j)
+                if block.nnz:
+                    terms.append((block, 2.0 * block.nnz * f))
+                else:
+                    terms.append((np.zeros((rows_i, f), dtype=dtype),))
+            self._mult.append(terms)
+        self._partials: List[Optional[np.ndarray]] = [None] * grid.ncols
+        self._row_tasks = [
+            [self._make_task(i, j) for j in range(grid.ncols)]
+            for i in range(grid.nrows)]
+
+    def _make_task(self, i: int, j: int):
+        def task() -> None:
+            entry = self._mult[i][j]
+            if len(entry) == 1:
+                self._partials[j] = entry[0]
+                return
+            block, flops = entry
+            self._partials[j] = block @ self._gathered[j]
+            self.comm.charge_spmm(self.grid.rank(i, j), flops,
+                                  category=self.compute_category)
+        return task
+
+    def _execute(self, h: np.ndarray) -> np.ndarray:
+        comm = self.comm
+        grid = self.grid
+
+        # Phase 1: all-gather H_j within every grid column.
+        for j in range(grid.ncols):
+            chunks = self._chunks[j]
+            for r, (lo, hi) in enumerate(self._chunk_ranges[j]):
+                chunks[r][...] = h[lo:hi]
+            parts = comm.allgather(chunks, ranks=self._col_groups[j],
+                                   category=self.gather_category)
+            # Every member of the column now holds the full block row H_j.
+            np.concatenate(parts[0], axis=0, out=self._gathered[j])
+
+        # Phase 2: local multiply and row-wise all-reduce.
+        out = self._out
+        for i in range(grid.nrows):
+            comm.parallel_for(self._row_tasks[i], ranks=self._row_groups[i],
+                              category=self.compute_category)
+            reduced = comm.allreduce(self._partials, ranks=self._row_groups[i],
+                                     category=self.reduce_category)
+            lo, hi = self._row_ranges[i]
+            out[lo:hi] = reduced[0]
+        return out
+
+
+class Compiled2DSparsityAware(_Compiled2DBase):
+    """Persistent plan for the sparsity-aware 2D SUMMA algorithm.
+
+    The expensive per-call metadata of the uncompiled kernel — the
+    per-peer restriction of ``NnzCols`` to chunk ranges and the column
+    compaction ``block[:, needed]`` — is all hoisted to compile time; the
+    per-peer payloads become views into one packed gather buffer per
+    block, filled by a single ``np.take``.
+    """
+
+    def __init__(self, variant, matrix: Dist2DSparseMatrix, spec: DenseSpec,
+                 comm: Communicator, grid: Grid2D = None,
+                 compute_category: str = "local",
+                 comm_category: str = "alltoall",
+                 reduce_category: str = "allreduce") -> None:
+        super().__init__(variant, matrix, spec, comm, grid,
+                         compute_category, reduce_category)
+        self.comm_category = comm_category
+        f = spec.width
+        dtype = spec.dtype
+        # Per (i, j): the packed gather (global H row indices + buffer) and
+        # the compacted block; the exchange messages alias segments of the
+        # packed buffers, in the same (j, i, r) order as the uncompiled
+        # kernel builds them.
+        self._packed: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        self._messages: List[Tuple[int, int, np.ndarray]] = []
+        self._pack_charges: List[Tuple[int, float]] = []
+        self._mult: List[List[tuple]] = [
+            [None] * grid.ncols for _ in range(grid.nrows)]
+        for j in range(grid.ncols):
+            clo, chi = matrix.col_dist.block_range(j)
+            bounds = _chunk_bounds(chi - clo, grid.nrows)
+            for i in range(grid.nrows):
+                dst = grid.rank(i, j)
+                needed = matrix.nnz_cols(i, j)
+                block = matrix.block(i, j)
+                rows_i = block.shape[0]
+                if needed.size == 0 or block.nnz == 0:
+                    self._mult[i][j] = (np.zeros((rows_i, f), dtype=dtype),)
+                    continue
+                buf = np.empty((needed.size, f), dtype=dtype)
+                self._packed[(i, j)] = (clo + needed, buf)
+                # The compacted block (column-renumbered to the packed
+                # rows) — previously re-sliced on every call.
+                compact = block[:, needed]
+                self._mult[i][j] = (compact, buf, 2.0 * compact.nnz * f)
+                # Segment the packed buffer by source chunk; off-diagonal
+                # segments travel as exchange messages.
+                for r in range(grid.nrows):
+                    lo, hi = int(bounds[r]), int(bounds[r + 1])
+                    seg = (needed >= lo) & (needed < hi)
+                    n_seg = int(np.count_nonzero(seg))
+                    if n_seg == 0:
+                        continue
+                    start = int(np.flatnonzero(seg)[0])
+                    src = grid.rank(r, j)
+                    if src != dst:
+                        self._pack_charges.append((src, n_seg * f))
+                        self._messages.append(
+                            (src, dst, buf[start:start + n_seg]))
+        self._partials: List[Optional[np.ndarray]] = [None] * grid.ncols
+        self._row_tasks = [
+            [self._make_task(i, j) for j in range(grid.ncols)]
+            for i in range(grid.nrows)]
+
+    def _make_task(self, i: int, j: int):
+        def task() -> None:
+            entry = self._mult[i][j]
+            if len(entry) == 1:
+                self._partials[j] = entry[0]
+                return
+            compact, buf, flops = entry
+            self._partials[j] = compact @ buf
+            self.comm.charge_spmm(self.grid.rank(i, j), flops,
+                                  category=self.compute_category)
+        return task
+
+    def _execute(self, h: np.ndarray) -> np.ndarray:
+        comm = self.comm
+        grid = self.grid
+
+        # Phase 1: fill every packed buffer with one gather, charge the
+        # packing work, move the off-diagonal segments point-to-point.
+        for (rows, buf) in self._packed.values():
+            np.take(h, rows, axis=0, out=buf)
+        for src, nelem in self._pack_charges:
+            comm.charge_elementwise(src, nelem,
+                                    category=self.compute_category)
+        comm.exchange(self._messages, category=self.comm_category,
+                      sync_ranks=range(comm.nranks))
+
+        # Phase 2: local multiply on compacted blocks, then row all-reduce.
+        out = self._out
+        for i in range(grid.nrows):
+            comm.parallel_for(self._row_tasks[i], ranks=self._row_groups[i],
+                              category=self.compute_category)
+            reduced = comm.allreduce(self._partials, ranks=self._row_groups[i],
+                                     category=self.reduce_category)
+            lo, hi = self._row_ranges[i]
+            out[lo:hi] = reduced[0]
+        return out
+
+
+@register_spmm_compiler("2d", "oblivious")
+def compile_2d_oblivious(variant, matrix, spec, comm, grid=None,
+                         **categories) -> Compiled2DOblivious:
+    return Compiled2DOblivious(variant, matrix, spec, comm, grid=grid,
+                               **categories)
+
+
+@register_spmm_compiler("2d", "sparsity_aware")
+def compile_2d_sparsity_aware(variant, matrix, spec, comm, grid=None,
+                              **categories) -> Compiled2DSparsityAware:
+    return Compiled2DSparsityAware(variant, matrix, spec, comm, grid=grid,
+                                   **categories)
+
+
 @register_spmm("2d", "oblivious", needs_grid=True,
                description="2D SUMMA: column all-gather + row all-reduce")
 def spmm_2d_oblivious(matrix: Dist2DSparseMatrix, h: np.ndarray, grid: Grid2D,
@@ -153,44 +390,16 @@ def spmm_2d_oblivious(matrix: Dist2DSparseMatrix, h: np.ndarray, grid: Grid2D,
                       compute_category: str = "local",
                       gather_category: str = "bcast",
                       reduce_category: str = "allreduce") -> np.ndarray:
-    """Sparsity-oblivious 2D SpMM (column all-gather + row all-reduce)."""
-    h = np.asarray(h, dtype=np.float64)
-    check_grid2d_operands(matrix, h, grid, comm)
-    f = h.shape[1]
-    chunks = _split_dense(h, matrix.col_dist, grid.nrows)
+    """Sparsity-oblivious 2D SpMM (column all-gather + row all-reduce).
 
-    # Phase 1: all-gather H_j within every grid column.
-    gathered: Dict[int, np.ndarray] = {}
-    for j in range(grid.ncols):
-        group = grid.col_group(j)
-        parts = comm.allgather([chunks[j][r] for r in range(grid.nrows)],
-                               ranks=group, category=gather_category)
-        # Every member of the column now holds the full block row H_j.
-        gathered[j] = np.concatenate(parts[0], axis=0)
-
-    # Phase 2: local multiply and row-wise all-reduce.
-    out = np.zeros((matrix.shape[0], f))
-    for i in range(grid.nrows):
-        partials: List[np.ndarray | None] = [None] * grid.ncols
-
-        def make_task(i: int, j: int):
-            def task() -> None:
-                block = matrix.block(i, j)
-                if block.nnz:
-                    partials[j] = block @ gathered[j]
-                    comm.charge_spmm(grid.rank(i, j), 2.0 * block.nnz * f,
-                                     category=compute_category)
-                else:
-                    partials[j] = np.zeros((block.shape[0], f))
-            return task
-
-        comm.parallel_for([make_task(i, j) for j in range(grid.ncols)],
-                          ranks=grid.row_group(i), category=compute_category)
-        reduced = comm.allreduce(partials, ranks=grid.row_group(i),
-                                 category=reduce_category)
-        lo, hi = matrix.row_dist.block_range(i)
-        out[lo:hi] = reduced[0]
-    return out
+    Compile-and-run-once wrapper around :class:`Compiled2DOblivious`.
+    """
+    h = _coerce_dense(h)
+    op = Compiled2DOblivious(None, matrix, DenseSpec.like(h), comm,
+                             grid=grid, compute_category=compute_category,
+                             gather_category=gather_category,
+                             reduce_category=reduce_category)
+    return op(h)
 
 
 @register_spmm("2d", "sparsity_aware", needs_grid=True,
@@ -200,64 +409,29 @@ def spmm_2d_sparsity_aware(matrix: Dist2DSparseMatrix, h: np.ndarray,
                            compute_category: str = "local",
                            comm_category: str = "alltoall",
                            reduce_category: str = "allreduce") -> np.ndarray:
-    """Sparsity-aware 2D SpMM: column peers exchange only needed rows."""
-    h = np.asarray(h, dtype=np.float64)
-    check_grid2d_operands(matrix, h, grid, comm)
-    f = h.shape[1]
-    chunks = _split_dense(h, matrix.col_dist, grid.nrows)
+    """Sparsity-aware 2D SpMM: column peers exchange only needed rows.
 
-    # Phase 1: per grid column, each process receives from every column peer
-    # only the peer-chunk rows its NnzCols selects.
-    received: Dict[Tuple[int, int], Dict[int, np.ndarray]] = {}
-    messages = []
-    for j in range(grid.ncols):
-        clo, chi = matrix.col_dist.block_range(j)
-        bounds = _chunk_bounds(chi - clo, grid.nrows)
-        for i in range(grid.nrows):
-            dst = grid.rank(i, j)
-            needed = matrix.nnz_cols(i, j)
-            received[(i, j)] = {}
-            for r in range(grid.nrows):
-                lo, hi = int(bounds[r]), int(bounds[r + 1])
-                local = needed[(needed >= lo) & (needed < hi)] - lo
-                if local.size == 0:
-                    continue
-                payload = chunks[j][r][local]
-                src = grid.rank(r, j)
-                if src != dst:
-                    comm.charge_elementwise(src, local.size * f,
-                                            category=compute_category)
-                    messages.append((src, dst, payload))
-                received[(i, j)][r] = payload
-    comm.exchange(messages, category=comm_category,
-                  sync_ranks=range(comm.nranks))
+    Compile-and-run-once wrapper around :class:`Compiled2DSparsityAware`.
+    """
+    h = _coerce_dense(h)
+    op = Compiled2DSparsityAware(None, matrix, DenseSpec.like(h), comm,
+                                 grid=grid,
+                                 compute_category=compute_category,
+                                 comm_category=comm_category,
+                                 reduce_category=reduce_category)
+    return op(h)
 
-    # Phase 2: local multiply on compacted blocks, then row all-reduce.
-    out = np.zeros((matrix.shape[0], f))
-    for i in range(grid.nrows):
-        partials: List[np.ndarray | None] = [None] * grid.ncols
 
-        def make_task(i: int, j: int):
-            def task() -> None:
-                block = matrix.block(i, j)
-                needed = matrix.nnz_cols(i, j)
-                rows_i = block.shape[0]
-                if needed.size == 0 or block.nnz == 0:
-                    partials[j] = np.zeros((rows_i, f))
-                    return
-                packed = np.concatenate(
-                    [received[(i, j)][r] for r in range(grid.nrows)
-                     if r in received[(i, j)]], axis=0)
-                compact = block[:, needed]
-                partials[j] = compact @ packed
-                comm.charge_spmm(grid.rank(i, j), 2.0 * compact.nnz * f,
-                                 category=compute_category)
-            return task
+def _coerce_dense(h: np.ndarray) -> np.ndarray:
+    """Coerce non-float inputs to float64.
 
-        comm.parallel_for([make_task(i, j) for j in range(grid.ncols)],
-                          ranks=grid.row_group(i), category=compute_category)
-        reduced = comm.allreduce(partials, ranks=grid.row_group(i),
-                                 category=reduce_category)
-        lo, hi = matrix.row_dist.block_range(i)
-        out[lo:hi] = reduced[0]
-    return out
+    Intentional contract change from the pre-compiled wrappers, which
+    upcast *everything* (including float32) to float64: a floating dtype
+    is now preserved so single-precision operands run single-precision
+    end to end (see ``docs/performance.md``); only integer/bool inputs
+    are promoted.
+    """
+    h = np.asarray(h)
+    if h.dtype.kind != "f":
+        h = h.astype(np.float64)
+    return h

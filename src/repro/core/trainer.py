@@ -151,7 +151,7 @@ def setup_distributed(dataset: GraphDataset, config: DistTrainConfig,
         distribution = BlockRowDistribution.uniform(adjacency.shape[0], nblocks)
 
     matrix = gcn_normalize(adjacency) if config.normalize_adjacency \
-        else adjacency.tocsr().astype(np.float64)
+        else adjacency.tocsr().astype(config.np_dtype)
 
     comm = make_communicator(config.n_ranks, backend=config.backend,
                              machine=config.machine)
@@ -172,9 +172,10 @@ def _build_setup(dataset: GraphDataset, config: DistTrainConfig,
                  comm: Communicator, node_data: NodeData, matrix,
                  partition: Optional[PartitionResult],
                  distribution: BlockRowDistribution) -> DistributedSetup:
-    adjacency_dist = DistSparseMatrix(matrix, distribution)
+    dtype = config.np_dtype
+    adjacency_dist = DistSparseMatrix(matrix, distribution, dtype=dtype)
     features_dist = DistDenseMatrix.from_global(
-        node_data.features.astype(np.float64), distribution)
+        node_data.features.astype(dtype), distribution, dtype=dtype)
 
     grid = None
     if config.algorithm == Algorithm.ONE_POINT_FIVE_D:
@@ -193,6 +194,7 @@ def _build_setup(dataset: GraphDataset, config: DistTrainConfig,
         sparsity_aware=config.sparsity_aware,
         grid=grid,
         seed=config.seed,
+        dtype=dtype,
     )
     return DistributedSetup(model=model, comm=comm, node_data=node_data,
                             partition=partition, distribution=distribution,

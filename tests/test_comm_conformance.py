@@ -28,6 +28,7 @@ from repro.comm.process import ProcessPoolCommunicator
 from repro.core import (BlockRowDistribution, DistDenseMatrix,
                         DistSparseMatrix, Dist2DSparseMatrix, Grid2D,
                         ProcessGrid, spmm)
+from repro.core.engine import DenseSpec, compile as compile_spmm
 
 pytestmark = pytest.mark.conformance
 
@@ -172,16 +173,36 @@ def spmm_problem(draw, min_n=8, max_n=36):
 
 
 def _run_all_backends(matrix, dense, grid, algorithm, mode, p):
-    """Run one variant on every conformant backend; return {backend: Z}."""
+    """Run one variant on every conformant backend; return {backend: Z}.
+
+    Each backend runs the uncompiled path *and* a compiled plan called
+    twice (fresh input both times) — the compiled results must be bitwise
+    identical to the uncompiled one on the same backend, which closes the
+    (variant x backend) compiled-equivalence matrix over randomized
+    inputs.
+    """
     results = {}
     for backend in cc.CONFORMANT_BACKENDS:
         comm = make_communicator(p, backend=backend)
         try:
             z = spmm(matrix, dense, comm, algorithm=algorithm,
                      sparsity_aware=(mode == "sparsity_aware"), grid=grid)
+            z_global = z if isinstance(z, np.ndarray) else z.to_global()
+            op = compile_spmm(matrix, DenseSpec.like(dense), comm,
+                              algorithm=algorithm,
+                              sparsity_aware=(mode == "sparsity_aware"),
+                              grid=grid)
+            for repeat in range(2):   # plan reuse must not leak state
+                zc = op(dense)
+                zc_global = np.array(zc) if isinstance(zc, np.ndarray) \
+                    else zc.to_global()
+                np.testing.assert_array_equal(
+                    zc_global, z_global,
+                    err_msg=f"compiled {algorithm}/{mode} call {repeat} "
+                            f"diverged from uncompiled on {backend!r}")
         finally:
             comm.close()
-        results[backend] = z if isinstance(z, np.ndarray) else z.to_global()
+        results[backend] = z_global
     return results
 
 

@@ -288,3 +288,102 @@ class TestDiagnostics:
         _, s_idx, s_data = kernels.sort_csr_indices(indptr, indices, data)
         assert s_idx.tolist() == [0, 1, 2]
         np.testing.assert_allclose(s_data, [1.0, 2.0, 3.0])
+
+
+# ----------------------------------------------------------------------
+# Segment-sum reduction (the np.add.at replacement)
+# ----------------------------------------------------------------------
+class TestSegmentSum:
+    def test_empty_rows_everywhere(self):
+        # Leading, interior and trailing empty rows must all be zero.
+        indptr = np.array([0, 0, 2, 2, 3, 3])
+        values = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        got = kernels.segment_sum(values, indptr)
+        np.testing.assert_array_equal(
+            got, [[0, 0], [4, 6], [0, 0], [5, 6], [0, 0]])
+
+    def test_empty_matrix(self):
+        got = kernels.segment_sum(np.empty((0, 3)), np.zeros(5, np.int64))
+        np.testing.assert_array_equal(got, np.zeros((4, 3)))
+
+    def test_one_dimensional_values(self):
+        got = kernels.segment_sum(np.array([1.0, 2.0, 4.0]),
+                                  np.array([0, 1, 3]))
+        np.testing.assert_array_equal(got, [1.0, 6.0])
+
+    def test_out_buffer_is_reused_and_zeroed(self):
+        out = np.full((2, 2), 7.0)
+        values = np.array([[1.0, 1.0]])
+        got = kernels.segment_sum(values, np.array([0, 1, 1]), out=out)
+        assert got is out
+        np.testing.assert_array_equal(out, [[1, 1], [0, 0]])
+
+    def test_out_shape_validated(self):
+        with pytest.raises(ValueError):
+            kernels.segment_sum(np.zeros((1, 2)), np.array([0, 1]),
+                                out=np.zeros((2, 2)))
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(ValueError):
+            kernels.segment_sum(np.zeros((3, 1)), np.array([0, 2, 1, 3]))
+
+    def test_rejects_inconsistent_indptr(self):
+        """An indptr not spanning exactly [0, len(values)] must fail
+        loudly (reduceat would silently drop leading values or fold the
+        tail into the last row)."""
+        with pytest.raises(ValueError, match="span"):
+            kernels.segment_sum(np.zeros((4, 2)), np.array([0, 1, 2]))
+        with pytest.raises(ValueError, match="span"):
+            kernels.segment_sum(np.array([10.0, 1.0]), np.array([1, 2]))
+        with pytest.raises(ValueError, match="span"):
+            kernels.csr_spmm(np.array([0, 1, 2]), np.zeros(4, np.int64),
+                             np.ones(4), np.zeros((2, 2)))
+
+    def test_matches_scatter_add_to_rounding(self):
+        """Segment sum equals the old np.add.at scatter-add up to
+        floating-point rounding (the accumulation order may differ)."""
+        rng = np.random.default_rng(0)
+        mat = random_csr(60, 40, 0.2, seed=1)
+        dense = rng.normal(size=(40, 5))
+        contrib = mat.data[:, None] * dense[mat.indices]
+        scatter = np.zeros((60, 5))
+        np.add.at(scatter, kernels.expand_indptr(mat.indptr), contrib)
+        got = kernels.csr_spmm(mat.indptr, mat.indices, mat.data, dense)
+        np.testing.assert_allclose(got, scatter, rtol=1e-13, atol=1e-13)
+
+
+class TestKernelDtypes:
+    def test_spmm_float32(self):
+        mat = random_csr(20, 16, 0.3, seed=2)
+        rng = np.random.default_rng(2)
+        dense = rng.normal(size=(16, 4))
+        got = kernels.csr_spmm(mat.indptr, mat.indices, mat.data, dense,
+                               dtype=np.float32)
+        assert got.dtype == np.float32
+        np.testing.assert_allclose(got, mat @ dense, rtol=1e-5, atol=1e-5)
+
+    def test_spmv_float32(self):
+        mat = random_csr(20, 16, 0.3, seed=3)
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=16)
+        got = kernels.csr_spmv(mat.indptr, mat.indices, mat.data, x,
+                               dtype=np.float32)
+        assert got.dtype == np.float32
+        np.testing.assert_allclose(got, mat @ x, rtol=1e-5, atol=1e-5)
+
+    def test_spmm_out_buffer(self):
+        mat = random_csr(10, 8, 0.4, seed=4)
+        rng = np.random.default_rng(4)
+        dense = rng.normal(size=(8, 3))
+        out = np.full((10, 3), -1.0)
+        got = kernels.csr_spmm(mat.indptr, mat.indices, mat.data, dense,
+                               out=out)
+        assert got is out
+        np.testing.assert_allclose(out, (mat @ dense), atol=1e-12)
+
+    def test_spmm_empty_with_out(self):
+        out = np.full((3, 2), 5.0)
+        got = kernels.csr_spmm(np.zeros(4, np.int64), np.empty(0, np.int64),
+                               np.empty(0), np.zeros((7, 2)), out=out)
+        assert got is out
+        np.testing.assert_array_equal(out, np.zeros((3, 2)))
