@@ -2,12 +2,16 @@
 # CI smoke target: exercise the autotuning planner (repro tune --quick,
 # against a throwaway plan cache), the end-to-end bench path (dataset
 # generation, partitioning, distributed training, reporting) on every
-# communicator backend at tiny scale, and the kernel/compiled-epoch
-# microbenchmark (scripts/bench_kernels.py --quick, writing to a
-# throwaway path so CI never touches the checked-in BENCH_kernels.json).
-# Hard 60 s budget for everything — each run takes ~1 s; anything slower
-# signals a performance regression or a hang in the comm layer (worker
-# threads for `threaded`, worker processes and shared-memory arenas for
+# communicator backend at tiny scale, a pipelined (--pipeline 2,
+# double-buffered nonblocking exchanges) training leg on every backend,
+# the per-host overhead calibration (repro calibrate --quick --dry-run,
+# never writing CI hosts' numbers anywhere), and the
+# kernel/compiled-epoch/overlap microbenchmark (scripts/bench_kernels.py
+# --quick, writing to a throwaway path so CI never touches the
+# checked-in BENCH_kernels.json).  Hard 60 s budget for everything —
+# each run takes ~1 s; anything slower signals a performance regression
+# or a hang in the comm layer (worker threads for `threaded`, worker
+# processes, shared-memory arenas and in-flight nonblocking handles for
 # `process`).
 #
 # The cross-backend conformance/property matrix runs separately with
@@ -26,6 +30,14 @@ timeout 60 bash -c '
     echo "== repro bench --quick --backend ${backend} =="
     python -m repro bench --quick --backend "${backend}"
   done
+  for backend in sim threaded process; do
+    echo "== repro train --pipeline 2 --backend ${backend} =="
+    python -m repro train --dataset reddit --scale 0.05 --ranks 4 \
+      --epochs 1 --oblivious --partitioner none --pipeline 2 \
+      --backend "${backend}"
+  done
+  echo "== repro calibrate --quick --dry-run =="
+  python -m repro calibrate --quick --dry-run
   echo "== bench_kernels --quick =="
   python scripts/bench_kernels.py --quick \
     --output "$(mktemp -d)/BENCH_kernels.json"

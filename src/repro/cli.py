@@ -10,8 +10,11 @@ Python:
   timing / accuracy summary,
 * ``repro bench``      — regenerate one of the paper's tables/figures,
 * ``repro tune``       — autotune the distributed configuration (variant,
-  backend, partitioner, replication factor) for a dataset and machine,
+  backend, partitioner, replication factor, pipeline depth) for a dataset
+  and machine,
 * ``repro cost``       — closed-form cost-model predictions,
+* ``repro calibrate``  — measure per-backend message overheads on this
+  host and persist them for the planner (see docs/tuning.md),
 * ``repro memory``     — per-rank memory footprint / OOM check.
 
 ``repro train``/``repro bench`` take ``--auto`` to run planner-chosen
@@ -108,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default="float64",
                          help="training precision (float32 halves the "
                               "communication volume; see docs/performance.md)")
+    p_train.add_argument("--pipeline", type=int, default=1, metavar="DEPTH",
+                         help="pipeline depth of the compiled SpMM stage "
+                              "schedules (1 = synchronous exchanges, 2 = "
+                              "double-buffered overlap; bit-identical "
+                              "results — see docs/performance.md)")
 
     p_bench = sub.add_parser("bench", help="regenerate a paper table/figure")
     p_bench.add_argument("experiment", nargs="?", default=None,
@@ -165,8 +173,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="do not read or write the plan cache")
     p_tune.add_argument("--limit", type=int, default=15,
                         help="maximum ranked candidates to print")
+    p_tune.add_argument("--pipeline-depths", type=int, nargs="+",
+                        default=[1], metavar="DEPTH",
+                        help="compiled-execution pipeline depths the "
+                             "planner enumerates (default: 1 = synchronous "
+                             "only; '1 2' weighs double-buffered overlap "
+                             "against it)")
     p_tune.add_argument("--quick", action="store_true",
                         help="CI smoke mode: tiny scale, p=4, 2 probes")
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="measure per-backend message overheads on this host")
+    p_cal.add_argument("--backends", nargs="+",
+                       choices=available_backends(), default=None,
+                       help="backends to measure (default: all registered)")
+    p_cal.add_argument("--nranks", type=int, default=2,
+                       help="ranks per measurement communicator")
+    p_cal.add_argument("--rounds", type=int, default=40,
+                       help="timed broadcast rounds per backend")
+    p_cal.add_argument("--payload-floats", type=int, default=128,
+                       help="float64 elements per broadcast payload")
+    p_cal.add_argument("--seed", type=int, default=0)
+    p_cal.add_argument("--output", default=None,
+                       help="calibration file path (default: "
+                            "REPRO_CALIBRATION or "
+                            "~/.cache/repro/calibration.json)")
+    p_cal.add_argument("--dry-run", action="store_true",
+                       help="measure and print, but do not write the file")
+    p_cal.add_argument("--quick", action="store_true",
+                       help="CI smoke mode: short bursts (noisier numbers, "
+                            "right order of magnitude)")
 
     p_cost = sub.add_parser("cost", help="cost-model prediction for one SpMM")
     add_dataset_args(p_cost)
@@ -228,6 +265,7 @@ def _cmd_train(args) -> int:
         backend=AUTO if args.auto else args.backend,
         seed=args.seed,
         dtype=args.dtype,
+        pipeline_depth=args.pipeline,
     )
     result = train_distributed(dataset, config, eval_every=0)
     config = result.config      # planner-resolved when --auto / "auto"
@@ -411,6 +449,7 @@ def _cmd_tune(args) -> int:
         machine=args.machine,
         backends=backends,
         partitioners=partitioners,
+        pipeline_depths=args.pipeline_depths,
         probe=not args.no_probe,
         top_k=topk,
         probe_budget_s=budget,
@@ -446,6 +485,7 @@ def _cmd_tune(args) -> int:
         "partitioner": plan.partitioner or "none",
         "replication_factor": plan.replication_factor,
         "n_ranks": plan.n_ranks,
+        "pipeline_depth": plan.pipeline_depth,
         "predicted_s": plan.predicted_s,
         "probed_s": plan.probed_s if plan.probed_s is not None else "-",
         "source": plan.source,
@@ -456,6 +496,33 @@ def _cmd_tune(args) -> int:
         else f"MISS ({report.probes_run} probes)"
     location = report.cache_path or "disabled"
     print(f"\nplan cache: {status} [{location}]")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from .plan import (calibration_path, effective_message_overheads,
+                       run_calibration, write_calibration)
+    payload = run_calibration(backends=args.backends, nranks=args.nranks,
+                              rounds=args.rounds,
+                              payload_floats=args.payload_floats,
+                              seed=args.seed, quick=args.quick)
+    rows = [detail for detail in payload["details"]]
+    title = f"measured per-message backend overheads (host={payload['host']})"
+    if args.quick:
+        title += " [quick smoke]"
+    print(format_table(rows, title=title))
+    if args.dry_run:
+        print("\ndry run: calibration not written "
+              f"(would go to {calibration_path(args.output)})")
+        return 0
+    target = write_calibration(payload, args.output)
+    print(f"\nwrote {target}")
+    effective = effective_message_overheads()
+    print("planner now scores with: " +
+          ", ".join(f"{b}={effective[b]:.3g}s/msg"
+                    for b in sorted(effective)))
+    print("(cached plans keyed on the old table are invalidated "
+          "automatically)")
     return 0
 
 
@@ -478,6 +545,7 @@ _DISPATCH = {
     "bench": _cmd_bench,
     "tune": _cmd_tune,
     "cost": _cmd_cost,
+    "calibrate": _cmd_calibrate,
     "memory": _cmd_memory,
 }
 

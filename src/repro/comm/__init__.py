@@ -24,7 +24,8 @@ swappable communicator backends behind one abstract interface:
 See ``docs/backends.md`` for how to pick a backend and how to add one.
 """
 
-from .base import Communicator, payload_nbytes, reduce_stack
+from .base import (CommHandle, CompletedCommHandle, Communicator,
+                   payload_nbytes, reduce_stack)
 from .events import CommEvent, EventLog
 from .factory import (BACKENDS, available_backends, make_communicator,
                       register_backend)
@@ -42,6 +43,8 @@ from .trace import (OverlapReport, chrome_trace, overlap_analysis,
 from .tracker import CommStats, VolumeStats, volume_stats_from_send_bytes
 
 __all__ = [
+    "CommHandle",
+    "CompletedCommHandle",
     "Communicator",
     "payload_nbytes",
     "reduce_stack",

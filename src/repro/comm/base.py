@@ -12,7 +12,7 @@ reproduction ships three:
 * :class:`~repro.comm.process.ProcessPoolCommunicator` — one OS process
   per rank with shared-memory transport (no shared interpreter state).
 
-The interface has four parts:
+The interface has five parts:
 
 1. **Collectives** (abstract): :meth:`broadcast`, :meth:`allreduce`,
    :meth:`allgather`, :meth:`reduce`, :meth:`alltoallv` and the batched
@@ -22,14 +22,21 @@ The interface has four parts:
    free to execute the data movement however they like (simulated clocks,
    worker threads, real processes) as long as the returned values are
    bitwise identical — the integration tests assert exactly that.
-2. **Rank / group queries**: :attr:`nranks`, :meth:`ranks`,
+2. **Nonblocking collectives**: :meth:`ibroadcast`, :meth:`ialltoallv`,
+   :meth:`iallreduce`, :meth:`iexchange`, each returning a
+   :class:`CommHandle` (``wait()`` / ``test()``).  The base class
+   defaults execute the blocking counterpart eagerly (always correct,
+   never overlapped); the shipped backends override them with genuinely
+   deferred delivery — the foundation of the compiled operators'
+   ``pipeline_depth`` double buffering.
+3. **Rank / group queries**: :attr:`nranks`, :meth:`ranks`,
    :meth:`_resolve_ranks` (group validation shared by all backends).
-3. **Accounting hooks**: :meth:`charge_spmm`, :meth:`charge_gemm`,
+4. **Accounting hooks**: :meth:`charge_spmm`, :meth:`charge_gemm`,
    :meth:`charge_elementwise`, :meth:`charge_seconds`.  Algorithms call
    these to attribute local compute; simulation backends turn them into
    simulated clock advances, real backends may ignore them (wall time
    already elapsed) — the base implementation is a no-op.
-4. **Execution**: :meth:`parallel_for` runs one closure per rank.  The base
+5. **Execution**: :meth:`parallel_for` runs one closure per rank.  The base
    implementation executes sequentially in rank order (what the simulator
    needs for determinism); real backends either dispatch each closure to
    the owning rank's worker so the SpMM compute genuinely runs in parallel
@@ -57,7 +64,89 @@ from .events import EventLog
 from .timeline import Timeline
 from .tracker import CommStats
 
-__all__ = ["Communicator", "payload_nbytes", "reduce_stack"]
+__all__ = ["CommHandle", "CompletedCommHandle", "Communicator",
+           "payload_nbytes", "reduce_stack"]
+
+
+class CommHandle:
+    """Completion handle of a nonblocking collective.
+
+    Returned by :meth:`Communicator.ibroadcast` /
+    :meth:`Communicator.ialltoallv` / :meth:`Communicator.iallreduce` /
+    :meth:`Communicator.iexchange`.  The contract, uniform across
+    backends:
+
+    * :meth:`wait` blocks until the collective completed and returns the
+      same value the blocking counterpart would have returned.  It is
+      idempotent — a second ``wait()`` returns the identical result object
+      and charges no further time or traffic.
+    * :meth:`test` is a non-blocking completion probe.  Once it returns
+      True, ``wait()`` returns immediately; after a successful ``wait()``
+      it always returns True.
+    * Between issue and ``wait()`` the caller must not mutate the operands
+      it passed in (backends may still be reading them) and must not read
+      the result (it does not exist yet) — the standard MPI nonblocking
+      contract.
+
+    Subclasses implement :meth:`_finish` (complete and build the result)
+    and optionally :meth:`_poll` (cheap completion probe; the default says
+    "would complete without blocking").  An error raised by ``_finish`` is
+    cached and re-raised by every later ``wait()``.
+    """
+
+    def __init__(self) -> None:
+        self._finalized = False
+        self._result = None
+        self._error: Optional[BaseException] = None
+
+    # Subclasses override.
+    def _finish(self):
+        return self._result
+
+    def _poll(self) -> bool:
+        return True
+
+    def wait(self):
+        """Block until completion; return the collective's result."""
+        if self._error is not None:
+            raise self._error
+        if not self._finalized:
+            try:
+                self._result = self._finish()
+            except BaseException as exc:  # noqa: BLE001 - cached + reraised
+                self._error = exc
+                raise
+            self._finalized = True
+        return self._result
+
+    def test(self) -> bool:
+        """Non-blocking completion probe (True once the result is ready)."""
+        if self._error is not None:
+            return True
+        if self._finalized:
+            return True
+        if self._poll():
+            self.wait()
+            return True
+        return False
+
+    @property
+    def done(self) -> bool:
+        """Whether :meth:`wait` has already completed (or failed)."""
+        return self._finalized or self._error is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.done else "in-flight"
+        return f"{type(self).__name__}({state})"
+
+
+class CompletedCommHandle(CommHandle):
+    """A handle over an already-computed result (eager backends)."""
+
+    def __init__(self, result) -> None:
+        super().__init__()
+        self._result = result
+        self._finalized = True
 
 
 def payload_nbytes(value) -> int:
@@ -333,6 +422,46 @@ class Communicator(abc.ABC):
                  ) -> Dict[Tuple[int, int], np.ndarray]:
         """Deliver a batch of ``(src, dst, payload)`` point-to-point
         messages; returns a dict keyed by ``(src, dst)``."""
+
+    # ------------------------------------------------------------------
+    # Nonblocking collectives (handle-based).  The defaults execute the
+    # blocking counterpart eagerly and return a completed handle — always
+    # correct, never overlapped — so third-party backends conform without
+    # changes.  The shipped backends override them: the simulator defers
+    # the time charge so an overlapped window costs max(comm, compute),
+    # the threaded backend delivers on background threads, the process
+    # backend posts the staged exchange plan and returns immediately.
+    # ------------------------------------------------------------------
+    def ibroadcast(self, value: np.ndarray, root: int,
+                   ranks: Optional[Sequence[int]] = None,
+                   category: str = "bcast") -> CommHandle:
+        """Nonblocking :meth:`broadcast`; returns a :class:`CommHandle`."""
+        return CompletedCommHandle(
+            self.broadcast(value, root, ranks=ranks, category=category))
+
+    def ialltoallv(self,
+                   send: Sequence[Sequence[Optional[np.ndarray]]],
+                   ranks: Optional[Sequence[int]] = None,
+                   category: str = "alltoall") -> CommHandle:
+        """Nonblocking :meth:`alltoallv`; returns a :class:`CommHandle`."""
+        return CompletedCommHandle(
+            self.alltoallv(send, ranks=ranks, category=category))
+
+    def iallreduce(self, arrays: Sequence[np.ndarray],
+                   ranks: Optional[Sequence[int]] = None,
+                   op: str = "sum",
+                   category: str = "allreduce") -> CommHandle:
+        """Nonblocking :meth:`allreduce`; returns a :class:`CommHandle`."""
+        return CompletedCommHandle(
+            self.allreduce(arrays, ranks=ranks, op=op, category=category))
+
+    def iexchange(self,
+                  messages: Sequence[Tuple[int, int, np.ndarray]],
+                  category: str = "p2p",
+                  sync_ranks: Optional[Sequence[int]] = None) -> CommHandle:
+        """Nonblocking :meth:`exchange`; returns a :class:`CommHandle`."""
+        return CompletedCommHandle(
+            self.exchange(messages, category=category, sync_ranks=sync_ranks))
 
     # ------------------------------------------------------------------
     # Reporting (uniform across backends)

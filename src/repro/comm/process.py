@@ -67,6 +67,25 @@ invalidated whenever a referenced arena is regrown and the cache is LRU
 bounded (:data:`MAX_CACHED_PLANS`); a pid is only ever replayed after the
 full plan carrying that pid was delivered to the same group, so reused
 pids can never resolve to a stale worker-side plan.
+
+**Nonblocking collectives.**  ``ibroadcast`` / ``ialltoallv`` /
+``iallreduce`` / ``iexchange`` post the staged exchange plan and return a
+:class:`~repro.comm.base.CommHandle` immediately; the workers stream the
+payload bytes while the driver computes (``parallel_for`` runs
+driver-side here, so the overlap is genuine).  Posted steps differ from
+blocking ones in three ways, all latency-motivated: they move through a
+dedicated, *alternating* pair of arena slots (kinds ``send0/recv0`` and
+``send1/recv1`` — the transport-level double buffer, so an in-flight
+payload can never be clobbered by the next step's staging); only members
+whose plan actually moves bytes receive a command (no bulk-synchronous
+no-op round trips — clocks synchronise driver-side at ``wait()``); and
+steps under :data:`NB_GROUPED_COPY_MAX_BYTES` use a grouped-copy
+protocol where one courier worker executes the whole copy/reduce fan-out
+in a single command.  Responses are drained strictly in posting order
+(the per-rank out-queues are FIFO), blocking steps drain every pending
+response first, and :meth:`close` finalises in-flight handles — reading
+their results out of the arenas — before anything is unlinked, so
+interrupted runs never leak shm segments.
 """
 
 from __future__ import annotations
@@ -83,7 +102,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .base import Communicator, payload_nbytes as _nbytes, reduce_stack
+from .base import (CommHandle, CompletedCommHandle, Communicator,
+                   payload_nbytes as _nbytes, reduce_stack)
 
 __all__ = ["ProcessPoolCommunicator"]
 
@@ -110,6 +130,23 @@ _UID_COUNTER = itertools.count()
 
 def _aligned(nbytes: int) -> int:
     return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _plan_is_active(plan: dict) -> bool:
+    """Whether a (full, non-replay) plan command does any work."""
+    return bool(plan["arenas"] or plan["copies"] or plan["reduces"])
+
+
+#: Grouped-copy protocol threshold for *nonblocking* collectives: when a
+#: posted step moves at most this many payload bytes in total, the whole
+#: copy/reduce fan-out is assigned to a single "courier" worker (one
+#: command + one response) instead of one command per member.  Small
+#: steps are control-plane-bound — per-command queue/semaphore round
+#: trips dwarf the memcpy — so fewer commands beat parallel copies; large
+#: steps keep the per-member plans and their parallel copy bandwidth.
+#: The same latency-vs-bandwidth protocol switch NCCL makes (LL vs
+#: Simple), applied to the shared-memory transport.
+NB_GROUPED_COPY_MAX_BYTES = 1 << 20
 
 
 # ----------------------------------------------------------------------
@@ -199,14 +236,24 @@ def _worker_main(rank: int, cmd_q, out_q, sync_qs, unregister_shm: bool) -> None
                             cur[1].close()
                         attached[(owner, kind)] = (
                             gen, _attach_arena(name, unregister_shm))
-                for src, src_off, nbytes, dst_off in cmd["copies"]:
-                    dst = arena(rank, "recv")
+                skind = cmd.get("skind", "send")
+                rkind = cmd.get("rkind", "recv")
+                for copy in cmd["copies"]:
+                    if len(copy) == 5:
+                        # Grouped-copy protocol: a courier worker writes
+                        # into another rank's recv arena (shared memory
+                        # is owner-agnostic; the driver reads it back).
+                        src, src_off, nbytes, dst_owner, dst_off = copy
+                    else:
+                        src, src_off, nbytes, dst_off = copy
+                        dst_owner = rank
+                    dst = arena(dst_owner, rkind)
                     dst.buf[dst_off:dst_off + nbytes] = \
-                        arena(src, "send").buf[src_off:src_off + nbytes]
+                        arena(src, skind).buf[src_off:src_off + nbytes]
                 for red in cmd["reduces"]:
                     parts = [
                         np.ndarray(shape, dtype=dtype,
-                                   buffer=arena(src, "send").buf, offset=off)
+                                   buffer=arena(src, skind).buf, offset=off)
                         for src, off, shape, dtype in red["sources"]]
                     result = reduce_stack(parts, red["reduce_op"],
                                           force_float64=red["force64"])
@@ -215,9 +262,10 @@ def _worker_main(rank: int, cmd_q, out_q, sync_qs, unregister_shm: bool) -> None
                         raise RuntimeError(
                             f"reduction produced dtype {result.dtype}, "
                             f"driver expected {out_dtype}")
-                    view = np.ndarray(result.shape, dtype=out_dtype,
-                                      buffer=arena(rank, "recv").buf,
-                                      offset=red["dst_off"])
+                    view = np.ndarray(
+                        result.shape, dtype=out_dtype,
+                        buffer=arena(red.get("dst_owner", rank), rkind).buf,
+                        offset=red["dst_off"])
                     view[...] = result
             elif cmd["op"] == "barrier":
                 _worker_barrier(rank, cmd, sync_qs, pending_tokens)
@@ -283,6 +331,57 @@ class _CachedStep:
         self.primed = False
 
 
+class _PendingStep:
+    """One posted-but-not-yet-drained nonblocking step (driver FIFO).
+
+    ``remaining`` holds the group ranks whose ``("done"|"error", ...)``
+    response has not been consumed yet.  Responses are drained strictly
+    in posting order (the per-rank out-queues are FIFO), so a response
+    read for a rank always belongs to the oldest pending step naming it.
+    """
+
+    __slots__ = ("group", "remaining", "category", "start", "slot", "error")
+
+    def __init__(self, group: List[int], category: str, start: float,
+                 slot: Optional[int]) -> None:
+        self.group = group
+        self.remaining = list(group)
+        self.category = category
+        self.start = start
+        self.slot = slot
+        self.error: Optional[BaseException] = None
+
+
+class _ProcessHandle(CommHandle):
+    """Handle over a posted exchange plan running in the worker pool.
+
+    The driver posted the per-rank plan commands and returned; the
+    workers stream the payload bytes through the nonblocking arena slot
+    while the driver computes.  :meth:`wait` drains the responses (in
+    posting order), charges only the time the driver actually spent
+    blocked, and reads the results out of the slot's recv arenas.
+    """
+
+    def __init__(self, comm: "ProcessPoolCommunicator", pending: _PendingStep,
+                 reader) -> None:
+        super().__init__()
+        self._comm = comm
+        self._pending = pending
+        self._reader = reader
+        self._slot = pending.slot
+
+    def _poll(self) -> bool:
+        return self._comm._try_drain_through(self._pending)
+
+    def _finish(self):
+        comm = self._comm
+        comm._drain_through(self._pending)
+        comm._forget_handle(self)
+        if self._pending.error is not None:
+            raise self._pending.error
+        return self._reader()
+
+
 class ProcessPoolCommunicator(Communicator):
     """Real multi-process backend: per-rank OS processes + shared memory."""
 
@@ -315,6 +414,15 @@ class ProcessPoolCommunicator(Communicator):
         self._plan_cache: "OrderedDict[tuple, _CachedStep]" = OrderedDict()
         self._free_pids: List[int] = []
         self._pid_counter = itertools.count()
+        # Nonblocking state: posted-step FIFO, live handles, and the
+        # double-buffered arena slot toggle (slot arenas use kinds
+        # "send0"/"recv0" and "send1"/"recv1", distinct from the blocking
+        # "send"/"recv" pair, so an in-flight collective's bytes can never
+        # be clobbered by the next blocking call).
+        self._pending: List[_PendingStep] = []
+        self._nb_handles: List[_ProcessHandle] = []
+        self._nb_slot = 0
+        self._draining = False
 
     # ------------------------------------------------------------------
     # Worker / arena management
@@ -419,7 +527,8 @@ class ProcessPoolCommunicator(Communicator):
         replay = {"op": "replay", "pid": entry.pid}
         return [replay] * len(entry.group)
 
-    def _place_send(self, payloads: Dict[int, List[np.ndarray]]
+    def _place_send(self, payloads: Dict[int, List[np.ndarray]],
+                    kind: str = "send"
                     ) -> Tuple[Dict[int, List[_Slab]],
                                Dict[int, List[np.ndarray]]]:
         """Compute slab placements + arena views without writing bytes."""
@@ -427,7 +536,7 @@ class ProcessPoolCommunicator(Communicator):
         views: Dict[int, List[np.ndarray]] = {}
         for rank, arrays in payloads.items():
             total = sum(_aligned(a.nbytes) for a in arrays)
-            arena = self._ensure_arena(rank, "send", total)
+            arena = self._ensure_arena(rank, kind, total)
             slabs, vlist, offset = [], [], 0
             for arr in arrays:
                 slabs.append(_Slab(offset, arr.shape, arr.dtype, arr.nbytes))
@@ -442,10 +551,29 @@ class ProcessPoolCommunicator(Communicator):
         """Join the worker processes and release all shared memory.
 
         Idempotent; safe to call when the workers were never started or
-        after a collective raised.  Reporting (``elapsed`` / ``breakdown``
-        / ``stats_summary``) keeps working afterwards; submitting new work
-        raises ``RuntimeError``.
+        after a collective raised.  In-flight nonblocking handles are
+        drained first: their responses are consumed (so no worker is
+        stopped mid-answer) and their results are read out of the shm
+        arenas *before* those are unlinked — interrupted runs neither
+        leak segments nor lose delivered data, and a later
+        ``handle.wait()`` still returns the result.  Reporting
+        (``elapsed`` / ``breakdown`` / ``stats_summary``) keeps working
+        afterwards; submitting new work raises ``RuntimeError``.
         """
+        if not self._draining and self._procs is not None \
+                and self._nb_handles:
+            self._draining = True
+            try:
+                for handle in list(self._nb_handles):
+                    try:
+                        handle.wait()
+                    except Exception:
+                        # Cached on the handle; re-raised at its wait().
+                        pass
+            finally:
+                self._draining = False
+        self._pending.clear()
+        self._nb_handles.clear()
         self._closed = True
         # Cached plans hold exported views into the arenas; release them
         # before the segments are closed/unlinked below.
@@ -499,12 +627,148 @@ class ProcessPoolCommunicator(Communicator):
         arena = self._arenas[(rank, kind)]
         return (rank, kind, arena.shm.name, arena.gen)
 
-    def _read_recv(self, rank: int, slab: _Slab) -> np.ndarray:
+    def _read_recv(self, rank: int, slab: _Slab,
+                   kind: str = "recv") -> np.ndarray:
         """Copy one result slab out of ``rank``'s recv arena."""
-        arena = self._arenas[(rank, "recv")]
+        arena = self._arenas[(rank, kind)]
         view = np.ndarray(slab.shape, dtype=slab.dtype,
                           buffer=arena.shm.buf, offset=slab.offset)
         return np.array(view, copy=True)
+
+    # ------------------------------------------------------------------
+    # Nonblocking posting / draining
+    # ------------------------------------------------------------------
+    def _nb_kinds(self) -> Tuple[int, str, str]:
+        """Claim the next nonblocking arena slot; returns (slot, send kind,
+        recv kind).
+
+        The two slots alternate, which is what makes the transport
+        double-buffered: stage *k*'s results can still sit in slot A's
+        recv arenas while stage *k+1* streams through slot B.  Claiming a
+        slot finalises the previous collective that used it (reading its
+        results out of the slot's arenas before they are reused), so at
+        most two nonblocking collectives are ever in flight.
+        """
+        slot = self._nb_slot
+        self._nb_slot = 1 - slot
+        for handle in list(self._nb_handles):
+            if handle._slot == slot and not handle.done:
+                try:
+                    handle.wait()
+                except Exception:
+                    # The error stays cached on that handle and re-raises
+                    # at its owner's wait(); this collective is unaffected.
+                    pass
+        return slot, f"send{slot}", f"recv{slot}"
+
+    def _post_handle(self, group: Sequence[int],
+                     active: Sequence[Tuple[int, dict]],
+                     category: str, reader, slot: int) -> _ProcessHandle:
+        """Post a nonblocking step's commands and return without waiting.
+
+        Unlike the bulk-synchronous :meth:`_run_step`, only the *active*
+        members — the ranks whose plan actually moves or reduces bytes —
+        receive a command (a broadcast root, for instance, has nothing to
+        do worker-side).  The no-op round trips the blocking path pays
+        for its step barrier are exactly the per-command IPC overhead the
+        overlapped path exists to avoid; group clocks still synchronise
+        driver-side when the handle is waited.
+        """
+        self._ensure_workers()
+        pending = _PendingStep(list(group), category, time.perf_counter(),
+                               slot)
+        pending.remaining = [r for r, _ in active]
+        for r, cmd in active:
+            self._cmd_qs[r].put(cmd)
+        self._pending.append(pending)
+        handle = _ProcessHandle(self, pending, reader)
+        self._nb_handles.append(handle)
+        return handle
+
+    def _forget_handle(self, handle: _ProcessHandle) -> None:
+        try:
+            self._nb_handles.remove(handle)
+        except ValueError:  # pragma: no cover - already finalised
+            pass
+
+    def _drain_step(self, pending: _PendingStep, block: bool = True) -> bool:
+        """Consume one pending step's responses; returns completion.
+
+        Worker errors are recorded on the step (re-raised by the owning
+        handle's ``wait``) so the out-queues stay in lockstep.  A lost
+        worker closes the communicator, exactly like :meth:`_run_step`.
+        On completion only the time this call spent *blocked* is charged
+        to the group clocks — the overlapped window's wall time already
+        belongs to whatever the driver did in it.
+        """
+        if not pending.remaining:
+            return True
+        if self._out_qs is None:
+            raise RuntimeError("communicator is closed")
+        start = time.perf_counter()
+        deadline = start + self.timeout_s
+        lost: List[int] = []
+        still: List[int] = []
+        for r in pending.remaining:
+            try:
+                if block:
+                    remaining = max(0.05, deadline - time.perf_counter())
+                    msg = self._out_qs[r].get(timeout=remaining)
+                else:
+                    msg = self._out_qs[r].get_nowait()
+            except queue_mod.Empty:
+                (lost if block else still).append(r)
+                continue
+            if msg[0] == "error" and pending.error is None:
+                pending.error = RuntimeError(
+                    f"rank {r} worker failed:\n{msg[1]}")
+        pending.remaining = still
+        if lost:
+            try:
+                self._pending.remove(pending)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            self.close()
+            raise RuntimeError(
+                f"rank{'s' if len(lost) > 1 else ''} "
+                f"{', '.join(map(str, lost))} did not finish within "
+                f"{self.timeout_s}s (deadlock?); communicator closed")
+        if still:
+            return False
+        blocked = time.perf_counter() - start if block else 0.0
+        self.timeline.advance_all([blocked] * len(pending.group),
+                                  pending.category, ranks=pending.group)
+        self.timeline.synchronize(pending.group)
+        try:
+            self._pending.remove(pending)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        return True
+
+    def _drain_through(self, target: _PendingStep) -> None:
+        """Drain posted steps in FIFO order up to and including ``target``."""
+        while target.remaining:
+            if not self._pending:  # pragma: no cover - defensive
+                return
+            self._drain_step(self._pending[0], block=True)
+
+    def _try_drain_through(self, target: _PendingStep) -> bool:
+        """Nonblocking best-effort drain; True when ``target`` completed."""
+        while target.remaining:
+            if not self._pending:  # pragma: no cover - defensive
+                return True
+            if not self._drain_step(self._pending[0], block=False):
+                return False
+        return True
+
+    def _drain_all_pending(self) -> None:
+        """Bring the out-queues back in lockstep before a blocking step.
+
+        Worker errors stay cached on their pending step (the owning
+        handle re-raises them); only a lost worker propagates from here.
+        """
+        while self._pending:
+            self._drain_step(self._pending[0], block=True)
 
     def _run_step(self, group: Sequence[int], cmds: Sequence[dict],
                   category: str) -> None:
@@ -521,6 +785,7 @@ class ProcessPoolCommunicator(Communicator):
         are then synchronised.
         """
         self._ensure_workers()
+        self._drain_all_pending()
         start = time.perf_counter()
         deadline = start + self.timeout_s
         for r, cmd in zip(group, cmds):
@@ -553,9 +818,11 @@ class ProcessPoolCommunicator(Communicator):
     @staticmethod
     def _plan(arenas: Sequence[Tuple[int, str, str, int]],
               copies: Sequence[Tuple[int, int, int, int]] = (),
-              reduces: Sequence[dict] = ()) -> dict:
+              reduces: Sequence[dict] = (),
+              skind: str = "send", rkind: str = "recv") -> dict:
         return {"op": "plan", "arenas": list(arenas),
-                "copies": list(copies), "reduces": list(reduces)}
+                "copies": list(copies), "reduces": list(reduces),
+                "skind": skind, "rkind": rkind}
 
     # ------------------------------------------------------------------
     # Execution / synchronisation
@@ -597,12 +864,9 @@ class ProcessPoolCommunicator(Communicator):
     # ------------------------------------------------------------------
     # Collectives
     # ------------------------------------------------------------------
-    def alltoallv(self,
-                  send: Sequence[Sequence[Optional[np.ndarray]]],
-                  ranks: Optional[Sequence[int]] = None,
-                  category: str = "alltoall",
-                  ) -> List[List[Optional[np.ndarray]]]:
-        self._check_open()
+    def _alltoallv_step(self, send, ranks, category, skind, rkind):
+        """Shared staging of a (non)blocking all-to-allv; returns
+        ``(group, cmds, reader)``."""
         group = self._resolve_ranks(ranks)
         p = len(group)
         self._check_alltoallv_send(send, group)
@@ -622,10 +886,9 @@ class ProcessPoolCommunicator(Communicator):
                     outgoing.append((i, j, arr))
 
         if not outgoing:
-            self._run_step(group, [self._plan(())] * p, category)
-            return recv
+            return group, [self._plan(())] * p, lambda: recv, []
 
-        key = ("a2a", tuple(group),
+        key = ("a2a", skind, tuple(group),
                tuple((i, j, arr.shape, arr.dtype.str)
                      for i, j, arr in outgoing))
 
@@ -635,7 +898,7 @@ class ProcessPoolCommunicator(Communicator):
                 by_sender.setdefault(i, []).append((j, arr))
             placed, sview = self._place_send(
                 {group[i]: [arr for _, arr in items]
-                 for i, items in by_sender.items()})
+                 for i, items in by_sender.items()}, kind=skind)
             # (sender pos, receiver pos) -> slab in the sender's send arena.
             sent: Dict[Tuple[int, int], _Slab] = {}
             views: List[np.ndarray] = []
@@ -654,7 +917,7 @@ class ProcessPoolCommunicator(Communicator):
                 total = sum(_aligned(sent[(i, j)].nbytes)
                             for i in incoming[j])
                 if total:
-                    self._ensure_arena(group[j], "recv", total)
+                    self._ensure_arena(group[j], rkind, total)
                 offset = 0
                 for i in incoming[j]:
                     s = sent[(i, j)]
@@ -663,29 +926,57 @@ class ProcessPoolCommunicator(Communicator):
 
             plans, arena_keys = [], set()
             for j in range(p):
-                arenas = [self._arena_ref(group[i], "send")
+                arenas = [self._arena_ref(group[i], skind)
                           for i in incoming[j]]
                 if incoming[j]:
-                    arenas.append(self._arena_ref(group[j], "recv"))
+                    arenas.append(self._arena_ref(group[j], rkind))
                 arena_keys.update((ref[0], ref[1]) for ref in arenas)
                 copies = [(group[i], sent[(i, j)].offset, sent[(i, j)].nbytes,
                            got[(i, j)].offset) for i in incoming[j]]
-                plans.append(self._plan(arenas, copies))
+                plans.append(self._plan(arenas, copies, skind=skind,
+                                         rkind=rkind))
             return group, plans, views, got, sorted(arena_keys)
 
         entry = self._cached_entry(key, build)
         for view, (_, _, arr) in zip(entry.views, outgoing):
             view[...] = arr
-        self._run_step(group, self._entry_cmds(entry), category)
 
-        for (i, j), slab in entry.reads.items():
-            recv[j][i] = self._read_recv(group[j], slab)
-        return recv
+        def reader():
+            for (i, j), slab in entry.reads.items():
+                recv[j][i] = self._read_recv(group[j], slab, kind=rkind)
+            return recv
 
-    def broadcast(self, value: np.ndarray, root: int,
+        cmds = self._entry_cmds(entry)
+        active = [(group[pos], cmds[pos]) for pos in range(p)
+                  if _plan_is_active(entry.plans[pos])]
+        return group, cmds, reader, active
+
+    def alltoallv(self,
+                  send: Sequence[Sequence[Optional[np.ndarray]]],
                   ranks: Optional[Sequence[int]] = None,
-                  category: str = "bcast") -> List[np.ndarray]:
+                  category: str = "alltoall",
+                  ) -> List[List[Optional[np.ndarray]]]:
         self._check_open()
+        group, cmds, reader, _ = self._alltoallv_step(
+            send, ranks, category, "send", "recv")
+        self._run_step(group, cmds, category)
+        return reader()
+
+    def ialltoallv(self,
+                   send: Sequence[Sequence[Optional[np.ndarray]]],
+                   ranks: Optional[Sequence[int]] = None,
+                   category: str = "alltoall") -> CommHandle:
+        """Nonblocking all-to-allv: the plan is posted, workers stream."""
+        self._check_open()
+        slot, skind, rkind = self._nb_kinds()
+        group, _, reader, active = self._alltoallv_step(send, ranks, category,
+                                                        skind, rkind)
+        if not active:
+            return CompletedCommHandle(reader())
+        return self._post_handle(group, active, category, reader, slot)
+
+    def _broadcast_step(self, value, root, ranks, category, skind, rkind,
+                        consolidate=False):
         group = self._resolve_ranks(ranks)
         self._check_root(root, group)
         p = len(group)
@@ -694,42 +985,91 @@ class ProcessPoolCommunicator(Communicator):
         root_pos = group.index(root)
 
         if arr.nbytes == 0 or p == 1:
-            self._run_step(group, [self._plan(())] * p, category)
-            return [value if pos == root_pos else np.array(arr, copy=True)
-                    for pos in range(p)]
+            result = [value if pos == root_pos else np.array(arr, copy=True)
+                      for pos in range(p)]
+            return group, [self._plan(())] * p, lambda: result, []
 
-        key = ("bc", tuple(group), root, arr.shape, arr.dtype.str)
+        key = ("bc", skind, tuple(group), root, arr.shape, arr.dtype.str)
 
         def build():
-            placed, views = self._place_send({root: [arr]})
+            placed, views = self._place_send({root: [arr]}, kind=skind)
             (slab,) = placed[root]
-            plans, received, arena_keys = [], {}, {(root, "send")}
+            grouped = consolidate and \
+                (p - 1) * slab.nbytes <= NB_GROUPED_COPY_MAX_BYTES
+            plans, received, arena_keys = [], {}, {(root, skind)}
+            if grouped:
+                # Latency protocol: one courier worker performs every
+                # receiver's copy (one command + one response per step).
+                courier = group[(root_pos + 1) % p]
+                arenas = [self._arena_ref(root, skind)]
+                copies = []
+                for pos, r in enumerate(group):
+                    if pos == root_pos:
+                        continue
+                    arena = self._ensure_arena(r, rkind, slab.nbytes)
+                    arena_keys.add((r, rkind))
+                    arenas.append((r, rkind, arena.shm.name, arena.gen))
+                    received[pos] = _Slab(0, slab.shape, slab.dtype,
+                                          slab.nbytes)
+                    copies.append((root, slab.offset, slab.nbytes, r, 0))
+                courier_plan = self._plan(arenas, copies, skind=skind,
+                                          rkind=rkind)
+                plans = [courier_plan if r == courier else self._plan(())
+                         for r in group]
+                return group, plans, views[root], received, \
+                    sorted(arena_keys)
             for pos, r in enumerate(group):
                 if pos == root_pos:
                     plans.append(self._plan(()))
                     continue
-                arena = self._ensure_arena(r, "recv", slab.nbytes)
-                arena_keys.add((r, "recv"))
+                arena = self._ensure_arena(r, rkind, slab.nbytes)
+                arena_keys.add((r, rkind))
                 received[pos] = _Slab(0, slab.shape, slab.dtype, slab.nbytes)
                 plans.append(self._plan(
-                    [self._arena_ref(root, "send"),
-                     (r, "recv", arena.shm.name, arena.gen)],
-                    [(root, slab.offset, slab.nbytes, 0)]))
+                    [self._arena_ref(root, skind),
+                     (r, rkind, arena.shm.name, arena.gen)],
+                    [(root, slab.offset, slab.nbytes, 0)],
+                    skind=skind, rkind=rkind))
             return group, plans, views[root], received, sorted(arena_keys)
 
         entry = self._cached_entry(key, build)
         entry.views[0][...] = arr
-        self._run_step(group, self._entry_cmds(entry), category)
 
-        return [value if pos == root_pos
-                else self._read_recv(group[pos], entry.reads[pos])
-                for pos in range(p)]
+        def reader():
+            return [value if pos == root_pos
+                    else self._read_recv(group[pos], entry.reads[pos],
+                                         kind=rkind)
+                    for pos in range(p)]
 
-    def allreduce(self, arrays: Sequence[np.ndarray],
+        cmds = self._entry_cmds(entry)
+        active = [(group[pos], cmds[pos]) for pos in range(p)
+                  if _plan_is_active(entry.plans[pos])]
+        return group, cmds, reader, active
+
+    def broadcast(self, value: np.ndarray, root: int,
                   ranks: Optional[Sequence[int]] = None,
-                  op: str = "sum",
-                  category: str = "allreduce") -> List[np.ndarray]:
+                  category: str = "bcast") -> List[np.ndarray]:
         self._check_open()
+        group, cmds, reader, _ = self._broadcast_step(
+            value, root, ranks, category, "send", "recv")
+        self._run_step(group, cmds, category)
+        return reader()
+
+    def ibroadcast(self, value: np.ndarray, root: int,
+                   ranks: Optional[Sequence[int]] = None,
+                   category: str = "bcast") -> CommHandle:
+        """Nonblocking broadcast: the plan is posted, workers stream the
+        payload into the nonblocking arena slot while the driver returns."""
+        self._check_open()
+        slot, skind, rkind = self._nb_kinds()
+        group, _, reader, active = self._broadcast_step(
+            value, root, ranks, category, skind, rkind, consolidate=True)
+        if not active:
+            return CompletedCommHandle(reader())
+        return self._post_handle(group, active, category, reader, slot)
+
+    def _allreduce_step(self, arrays, ranks, op, category, skind, rkind,
+                        consolidate=False):
         group = self._resolve_ranks(ranks)
         p = len(group)
         self._check_allreduce_arrays(arrays, group, op)
@@ -738,15 +1078,15 @@ class ProcessPoolCommunicator(Communicator):
 
         if arrs[0].nbytes == 0 or p == 1:
             result = reduce_stack(arrays, op)
-            self._run_step(group, [self._plan(())] * p, category)
-            return [result.copy() if i > 0 else result for i in range(p)]
+            results = [result.copy() if i > 0 else result for i in range(p)]
+            return group, [self._plan(())] * p, lambda: results, []
 
-        key = ("ar", tuple(group), op, arrs[0].shape,
+        key = ("ar", skind, tuple(group), op, arrs[0].shape,
                tuple(a.dtype.str for a in arrs))
 
         def build():
             placed, sview = self._place_send(
-                {group[i]: [arrs[i]] for i in range(p)})
+                {group[i]: [arrs[i]] for i in range(p)}, kind=skind)
             sources = [(group[i], placed[group[i]][0].offset, arrs[i].shape,
                         str(arrs[i].dtype)) for i in range(p)]
             out_dtype = np.result_type(*(
@@ -757,27 +1097,81 @@ class ProcessPoolCommunicator(Communicator):
             # Every member computes the identical group-ordered reduction
             # from its peers' send arenas — deterministic, so the results
             # agree bitwise without a second distribution round.
-            send_refs = [self._arena_ref(group[i], "send") for i in range(p)]
-            arena_keys = {(group[i], "send") for i in range(p)}
+            send_refs = [self._arena_ref(group[i], skind) for i in range(p)]
+            arena_keys = {(group[i], skind) for i in range(p)}
+            views = [sview[group[i]][0] for i in range(p)]
+            if consolidate and p * out_slab.nbytes <= \
+                    NB_GROUPED_COPY_MAX_BYTES:
+                # Latency protocol: one courier worker computes the (same
+                # deterministic group-ordered) reduction into every
+                # member's recv arena — one command instead of p.
+                arenas = list(send_refs)
+                reduces = []
+                for i in range(p):
+                    arena = self._ensure_arena(group[i], rkind,
+                                               out_slab.nbytes)
+                    arena_keys.add((group[i], rkind))
+                    arenas.append((group[i], rkind, arena.shm.name,
+                                   arena.gen))
+                    reduces.append({"sources": sources, "reduce_op": op,
+                                    "force64": False, "dst_off": 0,
+                                    "dst_owner": group[i],
+                                    "out_dtype": str(out_dtype)})
+                courier_plan = self._plan(arenas, reduces=reduces,
+                                          skind=skind, rkind=rkind)
+                plans = [courier_plan if i == 0 else self._plan(())
+                         for i in range(p)]
+                return group, plans, views, out_slab, sorted(arena_keys)
             plans = []
             for i in range(p):
-                arena = self._ensure_arena(group[i], "recv", out_slab.nbytes)
-                arena_keys.add((group[i], "recv"))
+                arena = self._ensure_arena(group[i], rkind, out_slab.nbytes)
+                arena_keys.add((group[i], rkind))
                 plans.append(self._plan(
-                    send_refs + [(group[i], "recv", arena.shm.name,
+                    send_refs + [(group[i], rkind, arena.shm.name,
                                   arena.gen)],
                     reduces=[{"sources": sources, "reduce_op": op,
                               "force64": False, "dst_off": 0,
-                              "out_dtype": str(out_dtype)}]))
-            views = [sview[group[i]][0] for i in range(p)]
+                              "out_dtype": str(out_dtype)}],
+                    skind=skind, rkind=rkind))
             return group, plans, views, out_slab, sorted(arena_keys)
 
         entry = self._cached_entry(key, build)
         for view, arr in zip(entry.views, arrs):
             view[...] = arr
-        self._run_step(group, self._entry_cmds(entry), category)
 
-        return [self._read_recv(group[i], entry.reads) for i in range(p)]
+        def reader():
+            return [self._read_recv(group[i], entry.reads, kind=rkind)
+                    for i in range(p)]
+
+        cmds = self._entry_cmds(entry)
+        active = [(group[pos], cmds[pos]) for pos in range(p)
+                  if _plan_is_active(entry.plans[pos])]
+        return group, cmds, reader, active
+
+    def allreduce(self, arrays: Sequence[np.ndarray],
+                  ranks: Optional[Sequence[int]] = None,
+                  op: str = "sum",
+                  category: str = "allreduce") -> List[np.ndarray]:
+        self._check_open()
+        group, cmds, reader, _ = self._allreduce_step(
+            arrays, ranks, op, category, "send", "recv")
+        self._run_step(group, cmds, category)
+        return reader()
+
+    def iallreduce(self, arrays: Sequence[np.ndarray],
+                   ranks: Optional[Sequence[int]] = None,
+                   op: str = "sum",
+                   category: str = "allreduce") -> CommHandle:
+        """Nonblocking all-reduce: operand bytes are staged eagerly (the
+        caller may rebind its slots afterwards), the reduction streams in
+        the workers."""
+        self._check_open()
+        slot, skind, rkind = self._nb_kinds()
+        group, _, reader, active = self._allreduce_step(
+            arrays, ranks, op, category, skind, rkind, consolidate=True)
+        if not active:
+            return CompletedCommHandle(reader())
+        return self._post_handle(group, active, category, reader, slot)
 
     def allgather(self, arrays: Sequence[np.ndarray],
                   ranks: Optional[Sequence[int]] = None,
@@ -868,12 +1262,8 @@ class ProcessPoolCommunicator(Communicator):
     # ------------------------------------------------------------------
     # Point-to-point batches
     # ------------------------------------------------------------------
-    def exchange(self,
-                 messages: Sequence[Tuple[int, int, np.ndarray]],
-                 category: str = "p2p",
-                 sync_ranks: Optional[Sequence[int]] = None,
-                 ) -> Dict[Tuple[int, int], np.ndarray]:
-        self._check_open()
+    def _exchange_step(self, messages, category, sync_ranks, skind, rkind,
+                       consolidate=False):
         step = self.events.next_step()
         involved = set()
         delivered: Dict[Tuple[int, int], np.ndarray] = {}
@@ -894,12 +1284,11 @@ class ProcessPoolCommunicator(Communicator):
         group = sorted(involved) if sync_ranks is None \
             else sorted(set(self._resolve_ranks(sync_ranks)) | involved)
         if not group:
-            return delivered
+            return group, [], lambda: delivered, []
         if not transport:
-            self._run_step(group, [self._plan(())] * len(group), category)
-            return delivered
+            return group, [self._plan(())] * len(group), lambda: delivered, []
 
-        key = ("p2p", tuple(group),
+        key = ("p2p", skind, tuple(group),
                tuple((src, dst, arr.shape, arr.dtype.str)
                      for src, dst, arr in transport))
 
@@ -909,7 +1298,7 @@ class ProcessPoolCommunicator(Communicator):
                 by_src.setdefault(src, []).append((dst, arr))
             placed, sview = self._place_send(
                 {src: [arr for _, arr in items]
-                 for src, items in by_src.items()})
+                 for src, items in by_src.items()}, kind=skind)
             inbound: Dict[int, List[Tuple[int, _Slab]]] = {}
             view_of: Dict[Tuple[int, int], np.ndarray] = {}
             for src, items in by_src.items():
@@ -920,30 +1309,92 @@ class ProcessPoolCommunicator(Communicator):
             views = [view_of[(src, dst)] for src, dst, _ in transport]
 
             got: Dict[Tuple[int, int], _Slab] = {}
+            total_bytes = sum(arr.nbytes for _, _, arr in transport)
+            if consolidate and total_bytes <= NB_GROUPED_COPY_MAX_BYTES:
+                # Latency protocol: one courier worker performs the whole
+                # batch's copies (one command instead of one per receiver).
+                arenas, copies, arena_keys = [], [], set()
+                seen_srcs = set()
+                for r in group:
+                    items = inbound.get(r, [])
+                    total = sum(_aligned(s.nbytes) for _, s in items)
+                    if total:
+                        arena = self._ensure_arena(r, rkind, total)
+                        arenas.append((r, rkind, arena.shm.name, arena.gen))
+                        arena_keys.add((r, rkind))
+                    offset = 0
+                    for src, s in items:
+                        got[(src, r)] = _Slab(offset, s.shape, s.dtype,
+                                              s.nbytes)
+                        copies.append((src, s.offset, s.nbytes, r, offset))
+                        offset += _aligned(s.nbytes)
+                        if src not in seen_srcs:
+                            seen_srcs.add(src)
+                            arenas.append(self._arena_ref(src, skind))
+                            arena_keys.add((src, skind))
+                courier = group[0]
+                courier_plan = self._plan(arenas, copies, skind=skind,
+                                          rkind=rkind)
+                plans = [courier_plan if r == courier else self._plan(())
+                         for r in group]
+                return group, plans, views, got, sorted(arena_keys)
             plans, arena_keys = [], set()
             for r in group:
                 items = inbound.get(r, [])
                 total = sum(_aligned(s.nbytes) for _, s in items)
                 if total:
-                    self._ensure_arena(r, "recv", total)
+                    self._ensure_arena(r, rkind, total)
                 copies, offset = [], 0
                 for src, s in items:
                     got[(src, r)] = _Slab(offset, s.shape, s.dtype, s.nbytes)
                     copies.append((src, s.offset, s.nbytes, offset))
                     offset += _aligned(s.nbytes)
-                arenas = [self._arena_ref(src, "send")
+                arenas = [self._arena_ref(src, skind)
                           for src in {src for src, _ in items}]
                 if items:
-                    arenas.append(self._arena_ref(r, "recv"))
+                    arenas.append(self._arena_ref(r, rkind))
                 arena_keys.update((ref[0], ref[1]) for ref in arenas)
-                plans.append(self._plan(arenas, copies))
+                plans.append(self._plan(arenas, copies, skind=skind,
+                                         rkind=rkind))
             return group, plans, views, got, sorted(arena_keys)
 
         entry = self._cached_entry(key, build)
         for view, (_, _, arr) in zip(entry.views, transport):
             view[...] = arr
-        self._run_step(group, self._entry_cmds(entry), category)
 
-        for (src, dst), slab in entry.reads.items():
-            delivered[(src, dst)] = self._read_recv(dst, slab)
-        return delivered
+        def reader():
+            for (src, dst), slab in entry.reads.items():
+                delivered[(src, dst)] = self._read_recv(dst, slab, kind=rkind)
+            return delivered
+
+        cmds = self._entry_cmds(entry)
+        active = [(group[pos], cmds[pos]) for pos in range(len(group))
+                  if _plan_is_active(entry.plans[pos])]
+        return group, cmds, reader, active
+
+    def exchange(self,
+                 messages: Sequence[Tuple[int, int, np.ndarray]],
+                 category: str = "p2p",
+                 sync_ranks: Optional[Sequence[int]] = None,
+                 ) -> Dict[Tuple[int, int], np.ndarray]:
+        self._check_open()
+        group, cmds, reader, _ = self._exchange_step(
+            messages, category, sync_ranks, "send", "recv")
+        if not group:
+            return reader()
+        self._run_step(group, cmds, category)
+        return reader()
+
+    def iexchange(self,
+                  messages: Sequence[Tuple[int, int, np.ndarray]],
+                  category: str = "p2p",
+                  sync_ranks: Optional[Sequence[int]] = None) -> CommHandle:
+        """Nonblocking batched point-to-point: the staged plan is posted
+        and the driver returns while workers stream the payload bytes."""
+        self._check_open()
+        slot, skind, rkind = self._nb_kinds()
+        group, _, reader, active = self._exchange_step(
+            messages, category, sync_ranks, skind, rkind, consolidate=True)
+        if not active:
+            return CompletedCommHandle(reader())
+        return self._post_handle(group, active, category, reader, slot)

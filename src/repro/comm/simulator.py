@@ -30,10 +30,53 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from . import collectives as coll
-from .base import Communicator, payload_nbytes as _nbytes, reduce_stack
+from .base import (CommHandle, Communicator, payload_nbytes as _nbytes,
+                   reduce_stack)
 from .machine import MachineModel, get_machine
 
 __all__ = ["SimCommunicator"]
+
+
+class _SimHandle(CommHandle):
+    """Deferred-charge handle: overlap accounting for the simulator.
+
+    The collective's *data* is produced eagerly at issue time (the
+    simulator is single-threaded), but the communication time is not
+    charged until :meth:`wait`.  Each participating rank records its
+    issue-time clock plus the collective's duration; at ``wait()`` the
+    rank is only charged the part of that window not already covered by
+    local compute it performed in between (via the ``charge_*`` hooks).
+    The charged cost of an overlapped window is therefore
+    ``max(comm, compute)`` — which keeps the simulated cost model honest
+    about what pipelining can and cannot hide.  An immediate
+    ``wait()`` after issue charges exactly what the blocking collective
+    would have, including the group synchronisation.
+    """
+
+    def __init__(self, comm: "SimCommunicator", ranks, per_rank_time,
+                 result, category: str) -> None:
+        super().__init__()
+        self._comm = comm
+        self._ranks = list(ranks)
+        self._category = category
+        self._result = result
+        timeline = comm.timeline
+        self._finish_at = [timeline.now(r) + float(t)
+                           for r, t in zip(self._ranks, per_rank_time)]
+
+    def _poll(self) -> bool:
+        timeline = self._comm.timeline
+        return all(timeline.now(r) >= fin - 1e-18
+                   for r, fin in zip(self._ranks, self._finish_at))
+
+    def _finish(self):
+        timeline = self._comm.timeline
+        for r, fin in zip(self._ranks, self._finish_at):
+            gap = fin - timeline.now(r)
+            if gap > 0:
+                timeline.advance(r, gap, self._category)
+        timeline.synchronize(self._ranks)
+        return self._result
 
 
 class SimCommunicator(Communicator):
@@ -181,6 +224,79 @@ class SimCommunicator(Communicator):
         self.timeline.advance_all([t] * p, category, ranks=group)
         self.timeline.synchronize(group)
         return [result if r == root else None for r in group]
+
+    # ------------------------------------------------------------------
+    # Nonblocking collectives (deferred charging; see _SimHandle)
+    # ------------------------------------------------------------------
+    def ibroadcast(self, value: np.ndarray, root: int,
+                   ranks: Optional[Sequence[int]] = None,
+                   category: str = "bcast") -> CommHandle:
+        """Nonblocking broadcast: data moves now, time is charged at wait."""
+        group = self._resolve_ranks(ranks)
+        self._check_root(root, group)
+        nbytes = _nbytes(value)
+        self._record_broadcast_events(nbytes, root, group, category)
+        t = coll.broadcast_time(self.machine, group, nbytes)
+        out = [value if r == root else np.array(value, copy=True)
+               for r in group]
+        return _SimHandle(self, group, [t] * len(group), out, category)
+
+    def ialltoallv(self,
+                   send: Sequence[Sequence[Optional[np.ndarray]]],
+                   ranks: Optional[Sequence[int]] = None,
+                   category: str = "alltoall") -> CommHandle:
+        """Nonblocking all-to-allv with deferred per-rank time charges."""
+        group = self._resolve_ranks(ranks)
+        p = len(group)
+        self._check_alltoallv_send(send, group)
+        send_bytes = self._record_alltoallv_events(send, group, category)
+        times = coll.alltoallv_time_per_rank(self.machine, group, send_bytes)
+        recv: List[List[Optional[np.ndarray]]] = [
+            [send[j][i] for j in range(p)] for i in range(p)]
+        return _SimHandle(self, group, times, recv, category)
+
+    def iallreduce(self, arrays: Sequence[np.ndarray],
+                   ranks: Optional[Sequence[int]] = None,
+                   op: str = "sum",
+                   category: str = "allreduce") -> CommHandle:
+        """Nonblocking all-reduce with a deferred time charge."""
+        group = self._resolve_ranks(ranks)
+        p = len(group)
+        self._check_allreduce_arrays(arrays, group, op)
+        result = reduce_stack(arrays, op)
+        nbytes = _nbytes(arrays[0])
+        self._record_allreduce_events(nbytes, group, category)
+        t = coll.allreduce_time(self.machine, group, nbytes)
+        out = [result.copy() if i > 0 else result for i in range(p)]
+        return _SimHandle(self, group, [t] * p, out, category)
+
+    def iexchange(self,
+                  messages: Sequence[Tuple[int, int, np.ndarray]],
+                  category: str = "p2p",
+                  sync_ranks: Optional[Sequence[int]] = None) -> CommHandle:
+        """Nonblocking batched point-to-point with deferred busy times."""
+        involved = set()
+        send_time = np.zeros(self.nranks)
+        recv_time = np.zeros(self.nranks)
+        step = self.events.next_step()
+        delivered: Dict[Tuple[int, int], np.ndarray] = {}
+        for src, dst, payload in messages:
+            if not (0 <= src < self.nranks and 0 <= dst < self.nranks):
+                raise ValueError(f"message ranks ({src}, {dst}) out of range")
+            involved.add(src)
+            involved.add(dst)
+            nb = _nbytes(payload)
+            if src != dst and nb > 0:
+                t = self.machine.p2p_time(src, dst, nb)
+                send_time[src] += t
+                recv_time[dst] += t
+                self.events.record_message("p2p", src, dst, nb, category, step)
+            delivered[(src, dst)] = payload
+        busy = np.maximum(send_time, recv_time)
+        ranks = sorted(involved) if sync_ranks is None \
+            else self._resolve_ranks(sync_ranks)
+        return _SimHandle(self, ranks, [float(busy[r]) for r in ranks],
+                          delivered, category)
 
     # ------------------------------------------------------------------
     # Point-to-point batches

@@ -38,7 +38,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .base import Communicator, payload_nbytes as _nbytes, reduce_stack
+from .base import (CommHandle, CompletedCommHandle, Communicator,
+                   payload_nbytes as _nbytes, reduce_stack)
 
 __all__ = ["ThreadedCommunicator"]
 
@@ -102,6 +103,50 @@ class _RankWorker(threading.Thread):
                 result.done.set()
 
 
+class _ThreadedHandle(CommHandle):
+    """Handle over a collective running on dedicated background threads.
+
+    The member closures run on their own daemon threads (not the per-rank
+    workers), so :meth:`~repro.comm.base.Communicator.parallel_for`
+    compute dispatched to the rank workers genuinely overlaps the
+    delivery.  Only the time the driver spends *blocked* inside
+    :meth:`wait` is charged to the group clocks (the overlapped window's
+    wall time is already covered by whatever the driver measured in it).
+    """
+
+    def __init__(self, comm: "ThreadedCommunicator", group, results,
+                 category: str, reader) -> None:
+        super().__init__()
+        self._comm = comm
+        self._group = list(group)
+        self._results = results
+        self._category = category
+        self._reader = reader
+
+    def _poll(self) -> bool:
+        return all(res.done.is_set() for res in self._results)
+
+    def _finish(self):
+        comm = self._comm
+        start = time.perf_counter()
+        errors: List[BaseException] = []
+        for res in self._results:
+            try:
+                res.wait(comm.timeout_s)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+        blocked = time.perf_counter() - start
+        comm.timeline.advance_all([blocked] * len(self._group),
+                                  self._category, ranks=self._group)
+        comm.timeline.synchronize(self._group)
+        comm._forget_handle(self)
+        if errors:
+            real = [e for e in errors
+                    if not isinstance(e, threading.BrokenBarrierError)]
+            raise (real or errors)[0]
+        return self._reader()
+
+
 class ThreadedCommunicator(Communicator):
     """Shared-memory backend: per-rank worker threads + mailbox queues."""
 
@@ -117,7 +162,13 @@ class ThreadedCommunicator(Communicator):
             raise ValueError(f"timeout_s must be positive, got {timeout_s}")
         self.timeout_s = timeout_s
         self._workers: Optional[List[_RankWorker]] = None
+        # Persistent per-rank *delivery* workers for nonblocking
+        # collectives, so the rank workers stay free for parallel_for
+        # compute while payloads move — and so issuing a prefetch on the
+        # hot pipelined path never pays thread start-up.
+        self._delivery: Optional[List[_RankWorker]] = None
         self._lock = threading.Lock()
+        self._inflight: List[_ThreadedHandle] = []
 
     # ------------------------------------------------------------------
     # Worker management
@@ -132,15 +183,38 @@ class ThreadedCommunicator(Communicator):
                     w.start()
             return self._workers
 
+    def _ensure_delivery(self) -> List[_RankWorker]:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("communicator is closed")
+            if self._delivery is None:
+                self._delivery = [_RankWorker(r) for r in range(self.nranks)]
+                for w in self._delivery:
+                    w.name = f"comm-delivery-{w.rank}"
+                    w.start()
+            return self._delivery
+
     def close(self) -> None:
+        # In-flight nonblocking collectives complete autonomously (every
+        # member already runs on its own background thread); finalise them
+        # so their results stay readable after close and no delivery
+        # thread outlives the communicator.  Errors are cached on the
+        # owning handle and re-raised by its wait().
+        for handle in list(self._inflight):
+            try:
+                handle.wait()
+            except Exception:
+                pass
         with self._lock:
             workers, self._workers = self._workers, None
+            delivery, self._delivery = self._delivery, None
             self._closed = True
-        if workers:
-            for w in workers:
-                w.tasks.put(None)
-            for w in workers:
-                w.join(timeout=5.0)
+        for pool in (workers, delivery):
+            if pool:
+                for w in pool:
+                    w.tasks.put(None)
+                for w in pool:
+                    w.join(timeout=5.0)
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
@@ -187,6 +261,34 @@ class ThreadedCommunicator(Communicator):
             self.timeline.advance_all([dt] * len(group), category, ranks=group)
             self.timeline.synchronize(group)
 
+    def _i_step(self, group: Sequence[int],
+                fns: Sequence[Callable[[], None]],
+                category: str, gate: Optional[threading.Barrier],
+                reader: Callable[[], object]) -> _ThreadedHandle:
+        """Run ``fns`` on the persistent delivery workers; return a handle.
+
+        Unlike :meth:`_run_step` this never touches the per-rank compute
+        workers, so compute dispatched through :meth:`parallel_for` while
+        the collective is in flight runs concurrently with the delivery.
+        Each member runs on its rank's dedicated delivery worker; members
+        of successive in-flight collectives therefore serialise per rank
+        in posting order (posting happens from the single driver thread,
+        so every delivery queue sees the same collective order — one
+        collective can never wait on a later one).
+        """
+        delivery = self._ensure_delivery()
+        results = [delivery[r].submit(fn, abort_gate=gate)
+                   for r, fn in zip(group, fns)]
+        handle = _ThreadedHandle(self, group, results, category, reader)
+        self._inflight.append(handle)
+        return handle
+
+    def _forget_handle(self, handle: _ThreadedHandle) -> None:
+        try:
+            self._inflight.remove(handle)
+        except ValueError:  # pragma: no cover - already finalised
+            pass
+
     def parallel_for(self, tasks: Sequence[Callable[[], None]],
                      ranks: Optional[Sequence[int]] = None,
                      category: str = "local") -> None:
@@ -208,14 +310,12 @@ class ThreadedCommunicator(Communicator):
         return self.timeline.synchronize(group)
 
     # ------------------------------------------------------------------
-    # Collectives
+    # Collectives.  Each is split into a "parts" builder (validation,
+    # event records, member closures, result slots) shared by the
+    # blocking path (_run_step on the rank workers) and the nonblocking
+    # path (_i_step on dedicated background threads).
     # ------------------------------------------------------------------
-    def alltoallv(self,
-                  send: Sequence[Sequence[Optional[np.ndarray]]],
-                  ranks: Optional[Sequence[int]] = None,
-                  category: str = "alltoall",
-                  ) -> List[List[Optional[np.ndarray]]]:
-        self._check_open()
+    def _alltoallv_parts(self, send, ranks, category):
         group = self._resolve_ranks(ranks)
         p = len(group)
         self._check_alltoallv_send(send, group)
@@ -241,14 +341,28 @@ class ThreadedCommunicator(Communicator):
                 gate.wait(self.timeout_s)
             return task
 
-        self._run_step(group, [make_member(i) for i in range(p)], category,
-                       gate=gate)
+        return group, [make_member(i) for i in range(p)], gate, recv
+
+    def alltoallv(self,
+                  send: Sequence[Sequence[Optional[np.ndarray]]],
+                  ranks: Optional[Sequence[int]] = None,
+                  category: str = "alltoall",
+                  ) -> List[List[Optional[np.ndarray]]]:
+        self._check_open()
+        group, fns, gate, recv = self._alltoallv_parts(send, ranks, category)
+        self._run_step(group, fns, category, gate=gate)
         return recv
 
-    def broadcast(self, value: np.ndarray, root: int,
-                  ranks: Optional[Sequence[int]] = None,
-                  category: str = "bcast") -> List[np.ndarray]:
+    def ialltoallv(self,
+                   send: Sequence[Sequence[Optional[np.ndarray]]],
+                   ranks: Optional[Sequence[int]] = None,
+                   category: str = "alltoall") -> CommHandle:
+        """Nonblocking all-to-allv on background delivery threads."""
         self._check_open()
+        group, fns, gate, recv = self._alltoallv_parts(send, ranks, category)
+        return self._i_step(group, fns, category, gate, lambda: recv)
+
+    def _broadcast_parts(self, value, root, ranks, category):
         group = self._resolve_ranks(ranks)
         self._check_root(root, group)
         p = len(group)
@@ -270,20 +384,37 @@ class ThreadedCommunicator(Communicator):
                 gate.wait(self.timeout_s)
             return task
 
-        self._run_step(group, [make_member(pos, r)
-                               for pos, r in enumerate(group)], category,
-                       gate=gate)
+        fns = [make_member(pos, r) for pos, r in enumerate(group)]
+        return group, fns, gate, out
+
+    def broadcast(self, value: np.ndarray, root: int,
+                  ranks: Optional[Sequence[int]] = None,
+                  category: str = "bcast") -> List[np.ndarray]:
+        self._check_open()
+        group, fns, gate, out = self._broadcast_parts(value, root, ranks,
+                                                      category)
+        self._run_step(group, fns, category, gate=gate)
         return out  # type: ignore[return-value]
 
-    def allreduce(self, arrays: Sequence[np.ndarray],
-                  ranks: Optional[Sequence[int]] = None,
-                  op: str = "sum",
-                  category: str = "allreduce") -> List[np.ndarray]:
+    def ibroadcast(self, value: np.ndarray, root: int,
+                   ranks: Optional[Sequence[int]] = None,
+                   category: str = "bcast") -> CommHandle:
+        """Nonblocking broadcast on background delivery threads."""
         self._check_open()
+        group, fns, gate, out = self._broadcast_parts(value, root, ranks,
+                                                      category)
+        return self._i_step(group, fns, category, gate, lambda: out)
+
+    def _allreduce_parts(self, arrays, ranks, op, category):
         group = self._resolve_ranks(ranks)
         p = len(group)
         self._check_allreduce_arrays(arrays, group, op)
         self._record_allreduce_events(_nbytes(arrays[0]), group, category)
+        # Snapshot the operand list: nonblocking callers may rebind their
+        # slots (e.g. the next pipeline stage's partials) while delivery
+        # is in flight; the arrays themselves must stay unmutated, as per
+        # the nonblocking contract.
+        arrays = list(arrays)
 
         inbox: "queue.Queue" = queue.Queue()
         outboxes = [queue.Queue() for _ in range(p)]
@@ -308,9 +439,27 @@ class ThreadedCommunicator(Communicator):
                 gate.wait(self.timeout_s)
             return task
 
-        self._run_step(group, [make_member(pos) for pos in range(p)], category,
-                       gate=gate)
+        return group, [make_member(pos) for pos in range(p)], gate, out
+
+    def allreduce(self, arrays: Sequence[np.ndarray],
+                  ranks: Optional[Sequence[int]] = None,
+                  op: str = "sum",
+                  category: str = "allreduce") -> List[np.ndarray]:
+        self._check_open()
+        group, fns, gate, out = self._allreduce_parts(arrays, ranks, op,
+                                                      category)
+        self._run_step(group, fns, category, gate=gate)
         return out  # type: ignore[return-value]
+
+    def iallreduce(self, arrays: Sequence[np.ndarray],
+                   ranks: Optional[Sequence[int]] = None,
+                   op: str = "sum",
+                   category: str = "allreduce") -> CommHandle:
+        """Nonblocking all-reduce on background delivery threads."""
+        self._check_open()
+        group, fns, gate, out = self._allreduce_parts(arrays, ranks, op,
+                                                      category)
+        return self._i_step(group, fns, category, gate, lambda: out)
 
     def allgather(self, arrays: Sequence[np.ndarray],
                   ranks: Optional[Sequence[int]] = None,
@@ -376,12 +525,7 @@ class ThreadedCommunicator(Communicator):
     # ------------------------------------------------------------------
     # Point-to-point batches
     # ------------------------------------------------------------------
-    def exchange(self,
-                 messages: Sequence[Tuple[int, int, np.ndarray]],
-                 category: str = "p2p",
-                 sync_ranks: Optional[Sequence[int]] = None,
-                 ) -> Dict[Tuple[int, int], np.ndarray]:
-        self._check_open()
+    def _exchange_parts(self, messages, category, sync_ranks):
         step = self.events.next_step()
         involved = set()
         outgoing: Dict[int, List[Tuple[int, int, np.ndarray]]] = {}
@@ -405,7 +549,7 @@ class ThreadedCommunicator(Communicator):
         group = sorted(involved) if sync_ranks is None \
             else sorted(set(self._resolve_ranks(sync_ranks)) | involved)
         if not group:
-            return delivered
+            return group, [], None, delivered
         mailboxes = {r: queue.Queue() for r in group}
         gate = threading.Barrier(len(group))
 
@@ -420,6 +564,29 @@ class ThreadedCommunicator(Communicator):
                 gate.wait(self.timeout_s)
             return task
 
-        self._run_step(group, [make_member(r) for r in group], category,
-                       gate=gate)
+        return group, [make_member(r) for r in group], gate, delivered
+
+    def exchange(self,
+                 messages: Sequence[Tuple[int, int, np.ndarray]],
+                 category: str = "p2p",
+                 sync_ranks: Optional[Sequence[int]] = None,
+                 ) -> Dict[Tuple[int, int], np.ndarray]:
+        self._check_open()
+        group, fns, gate, delivered = self._exchange_parts(messages, category,
+                                                           sync_ranks)
+        if not group:
+            return delivered
+        self._run_step(group, fns, category, gate=gate)
         return delivered
+
+    def iexchange(self,
+                  messages: Sequence[Tuple[int, int, np.ndarray]],
+                  category: str = "p2p",
+                  sync_ranks: Optional[Sequence[int]] = None) -> CommHandle:
+        """Nonblocking batched point-to-point on background threads."""
+        self._check_open()
+        group, fns, gate, delivered = self._exchange_parts(messages, category,
+                                                           sync_ranks)
+        if not group:
+            return CompletedCommHandle(delivered)
+        return self._i_step(group, fns, category, gate, lambda: delivered)

@@ -97,6 +97,13 @@ class DistTrainConfig:
         volume and activation memory; losses match to single-precision
         tolerance).  Threaded through the adjacency, the features, the
         weights and every exchanged payload — see ``docs/performance.md``.
+    pipeline_depth:
+        Double-buffering depth of the compiled SpMM stage schedules
+        (``1`` = fully synchronous exchanges, the default; ``2`` =
+        classic double buffering: the next stage's operand is prefetched
+        with nonblocking collectives while the current stage computes).
+        Results are bit-identical at any depth; see the "Overlap &
+        pipelining" section of ``docs/performance.md``.
     """
 
     n_ranks: int = 4
@@ -113,6 +120,7 @@ class DistTrainConfig:
     seed: int = 0
     normalize_adjacency: bool = True
     dtype: str = "float64"
+    pipeline_depth: int = 1
 
     def __post_init__(self) -> None:
         if self.n_ranks <= 0:
@@ -145,6 +153,11 @@ class DistTrainConfig:
         if self.dtype not in ("float64", "float32"):
             raise ValueError(
                 f"dtype must be 'float64' or 'float32', got {self.dtype!r}")
+        if not isinstance(self.pipeline_depth, int) \
+                or self.pipeline_depth < 1:
+            raise ValueError(
+                f"pipeline_depth must be a positive integer, got "
+                f"{self.pipeline_depth!r}")
 
     @property
     def np_dtype(self):

@@ -206,19 +206,49 @@ def _allreduce_cost(machine: MachineModel, nranks: int, c: int,
 # ----------------------------------------------------------------------
 # Epoch / training predictions
 # ----------------------------------------------------------------------
+def _overlap_windows(algorithm: str, sparsity_aware: bool,
+                     matrix: DistSparseMatrix,
+                     nranks: Optional[int], replication: int) -> int:
+    """Number of pipelined stage windows one SpMM of the variant has.
+
+    This is what double buffering amortises over: the chunked 1D
+    broadcast has one window per block row, the 1.5D schedules one per
+    (stage, replica-column) entry (oblivious) or per stage (sparsity
+    aware).  The sparsity-aware 1D algorithm issues a single un-staged
+    all-to-allv — nothing to overlap, so it reports zero windows.
+    """
+    if algorithm == "1d":
+        return 0 if sparsity_aware else matrix.nblocks
+    if algorithm == "1.5d":
+        stages = nranks // (replication * replication)
+        return stages if sparsity_aware else stages * replication
+    return 0
+
+
 def epoch_cost(matrix: DistSparseMatrix, layer_dims: Sequence[int],
                machine: "str | MachineModel",
                algorithm: str = "1d", sparsity_aware: bool = True,
                nranks: Optional[int] = None, replication: int = 1,
-               element_bytes: int = ELEMENT_BYTES) -> CommCostBreakdown:
+               element_bytes: int = ELEMENT_BYTES,
+               pipeline_depth: int = 1) -> CommCostBreakdown:
     """Predicted cost of one training epoch (2 distributed SpMMs per layer).
 
     ``layer_dims`` is ``[f_0, ..., f_L]``; the forward SpMM of layer ``l``
     moves ``f_{l-1}``-wide rows and the backward SpMM moves ``f_l``-wide
     rows, matching the trainer's actual traffic.
+
+    With ``pipeline_depth > 1`` (the compiled operators' double-buffered
+    execution) the bandwidth term of each staged SpMM overlaps its local
+    compute: up to ``min(bandwidth, compute) * (w - 1) / w`` is hidden,
+    where ``w`` is the variant's stage-window count — the first window's
+    exchange can never be hidden, and latency plus the replica reduction
+    stay on the critical path.  ``pipeline_depth=1`` reproduces the
+    synchronous model exactly.
     """
     if len(layer_dims) < 2:
         raise ValueError("layer_dims needs at least [in_features, classes]")
+    if pipeline_depth < 1:
+        raise ValueError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
     totals = dict(latency_s=0.0, bandwidth_s=0.0, reduction_s=0.0, compute_s=0.0)
     for l in range(1, len(layer_dims)):
         for f in (int(layer_dims[l - 1]), int(layer_dims[l])):
@@ -235,8 +265,16 @@ def epoch_cost(matrix: DistSparseMatrix, layer_dims: Sequence[int],
                           element_bytes)
             else:
                 raise ValueError(f"unknown algorithm {algorithm!r}")
+            bandwidth = cost.bandwidth_s
+            if pipeline_depth > 1:
+                windows = _overlap_windows(algorithm, sparsity_aware,
+                                           matrix, nranks, replication)
+                if windows > 1:
+                    hidden = min(bandwidth, cost.compute_s) \
+                        * (windows - 1) / windows
+                    bandwidth -= hidden
             totals["latency_s"] += cost.latency_s
-            totals["bandwidth_s"] += cost.bandwidth_s
+            totals["bandwidth_s"] += bandwidth
             totals["reduction_s"] += cost.reduction_s
             totals["compute_s"] += cost.compute_s
     return CommCostBreakdown(**totals)

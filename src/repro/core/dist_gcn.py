@@ -73,6 +73,11 @@ class DistributedGCN:
         exchanged payload and activation buffer).  Weights, features and
         the adjacency should share it — the trainer threads one config
         value through all three.
+    pipeline_depth:
+        Double-buffering depth passed to every compiled SpMM plan
+        (``1`` = synchronous exchanges; ``> 1`` overlaps staged exchanges
+        with local multiplies, bit-identically — see
+        ``docs/performance.md``).
 
     Every distributed SpMM the model issues runs through a **compiled
     operator** (:meth:`repro.core.engine.SpmmEngine.compile`): the model
@@ -92,7 +97,8 @@ class DistributedGCN:
                  sparsity_aware: bool = True,
                  grid: Optional[ProcessGrid] = None,
                  seed: int = 0,
-                 dtype=np.float64) -> None:
+                 dtype=np.float64,
+                 pipeline_depth: int = 1) -> None:
         if adjacency_dist.dist != features_dist.dist:
             raise ValueError("adjacency and features use different distributions")
         self.adjacency = adjacency_dist
@@ -143,9 +149,11 @@ class DistributedGCN:
         # at f_1..f_L, and the graph never changes, so these plans (packed
         # gather indices, exchange schedules, reused workspaces) serve
         # every epoch of the run.
+        self.pipeline_depth = int(pipeline_depth)
         self._compiled: dict[int, CompiledSpmm] = {
             w: self._engine.compile(adjacency_dist,
-                                    DenseSpec(width=w, dtype=self.dtype))
+                                    DenseSpec(width=w, dtype=self.dtype),
+                                    pipeline_depth=self.pipeline_depth)
             for w in sorted(set(self.layer_dims))}
 
         # Number of training vertices (global) — needed for the mean in the

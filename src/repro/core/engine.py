@@ -73,6 +73,14 @@ MODES = ("oblivious", "sparsity_aware")
 ALGORITHM_FAMILIES = ("1d", "1.5d", "2d")
 
 
+def _check_pipeline_depth(depth) -> int:
+    """Validate a pipeline depth (positive integer; 1 = synchronous)."""
+    depth = int(depth)
+    if depth < 1:
+        raise ValueError(f"pipeline_depth must be >= 1, got {depth}")
+    return depth
+
+
 # ----------------------------------------------------------------------
 # Common operand-compatibility checks
 # ----------------------------------------------------------------------
@@ -260,15 +268,26 @@ class CompiledSpmm:
     output workspace and is only valid until the **next** call of the same
     operator.  Callers that need to keep a result across calls must copy
     it (`result.to_global()` / ``np.array(..., copy=True)``).
+
+    ``pipeline_depth`` controls overlapped execution of staged variants:
+    ``1`` (the default) runs every exchange synchronously; ``d > 1``
+    double-buffers the stage schedule, prefetching up to ``d - 1`` stages'
+    operands with nonblocking collectives while the current stage's local
+    multiply runs.  Results are bit-identical to the synchronous path —
+    the stage order, reduction order and workspaces are unchanged; only
+    *when* the exchanges are waited on differs.  Variants with a single
+    un-staged exchange (1D sparsity-aware) accept the knob and ignore it.
     """
 
     def __init__(self, variant: SpmmVariant, matrix, spec: DenseSpec,
-                 comm: Communicator, grid=None) -> None:
+                 comm: Communicator, grid=None,
+                 pipeline_depth: int = 1) -> None:
         self.variant = variant
         self.matrix = matrix
         self.spec = spec
         self.comm = comm
         self.grid = grid
+        self.pipeline_depth = _check_pipeline_depth(pipeline_depth)
         self.calls = 0
 
     # Subclasses implement the hot path.
@@ -337,8 +356,11 @@ class _FallbackCompiled(CompiledSpmm):
     """Plan-free wrapper for variants without a registered compiler."""
 
     def __init__(self, variant, matrix, spec, comm, grid=None,
-                 **categories) -> None:
-        super().__init__(variant, matrix, spec, comm, grid=grid)
+                 pipeline_depth: int = 1, **categories) -> None:
+        # The fallback has no stage schedule to pipeline; the knob is
+        # validated and recorded, then ignored (synchronous execution).
+        super().__init__(variant, matrix, spec, comm, grid=grid,
+                         pipeline_depth=pipeline_depth)
         self._categories = categories
 
     def _execute(self, dense):
@@ -351,13 +373,19 @@ class _FallbackCompiled(CompiledSpmm):
 
 def compile(matrix, dense_spec, comm: Communicator, algorithm: str = "1d",
             sparsity_aware: bool = True, mode: Optional[str] = None,
-            grid=None, **categories) -> CompiledSpmm:
+            grid=None, pipeline_depth: int = 1,
+            **categories) -> CompiledSpmm:
     """Build a persistent :class:`CompiledSpmm` for a registered variant.
 
     ``dense_spec`` is a :class:`DenseSpec` (or a plain ``int`` width,
     meaning float64).  All per-variant exchange metadata is derived here,
     once; the returned operator's ``__call__`` only moves data.  The
     ``**categories`` keyword overrides are fixed at compile time.
+
+    ``pipeline_depth > 1`` enables double-buffered execution: staged
+    variants prefetch the next stage's operand with nonblocking
+    collectives while computing the current stage (bit-identical results;
+    see the :class:`CompiledSpmm` docstring and ``docs/performance.md``).
     """
     variant = get_spmm(algorithm, sparsity_aware=sparsity_aware, mode=mode)
     if variant.needs_grid and grid is None:
@@ -368,12 +396,14 @@ def compile(matrix, dense_spec, comm: Communicator, algorithm: str = "1d",
                          f"a process grid")
     if isinstance(dense_spec, (int, np.integer)):
         dense_spec = DenseSpec(width=int(dense_spec))
+    pipeline_depth = _check_pipeline_depth(pipeline_depth)
     compiler = _COMPILERS.get(variant.key)
     if compiler is None:
         return _FallbackCompiled(variant, matrix, dense_spec, comm,
-                                 grid=grid, **categories)
+                                 grid=grid, pipeline_depth=pipeline_depth,
+                                 **categories)
     return compiler(variant, matrix, dense_spec, comm, grid=grid,
-                    **categories)
+                    pipeline_depth=pipeline_depth, **categories)
 
 
 # ----------------------------------------------------------------------
@@ -461,7 +491,8 @@ class SpmmEngine:
                                    **categories)
         return self.variant.fn(matrix, dense, self.comm, **categories)
 
-    def compile(self, matrix, dense_spec, **categories) -> CompiledSpmm:
+    def compile(self, matrix, dense_spec, pipeline_depth: int = 1,
+                **categories) -> CompiledSpmm:
         """Build a persistent plan for this engine's variant/communicator.
 
         See :func:`compile`; the engine supplies the variant, grid and
@@ -469,7 +500,8 @@ class SpmmEngine:
         """
         return compile(matrix, dense_spec, self.comm,
                        algorithm=self.algorithm, mode=self.mode,
-                       grid=self.grid, **categories)
+                       grid=self.grid, pipeline_depth=pipeline_depth,
+                       **categories)
 
     def run_with_report(self, matrix, dense, **categories):
         """Like :meth:`run`, also capturing an :class:`SpmmReport` delta."""

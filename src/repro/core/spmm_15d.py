@@ -25,6 +25,7 @@ through :meth:`~repro.comm.base.Communicator.parallel_for`.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -104,8 +105,9 @@ class _Compiled15DBase(CompiledSpmm):
     def __init__(self, variant, matrix: DistSparseMatrix, spec: DenseSpec,
                  comm: Communicator, grid: ProcessGrid,
                  compute_category: str, comm_category: str,
-                 reduce_category: str) -> None:
-        super().__init__(variant, matrix, spec, comm, grid=grid)
+                 reduce_category: str, pipeline_depth: int = 1) -> None:
+        super().__init__(variant, matrix, spec, comm, grid=grid,
+                         pipeline_depth=pipeline_depth)
         check_grid_operands(matrix, SpecOperandProbe(matrix, spec), grid,
                             comm)
         self.compute_category = compute_category
@@ -144,9 +146,11 @@ class Compiled15DOblivious(_Compiled15DBase):
                  comm: Communicator, grid: ProcessGrid = None,
                  compute_category: str = "local",
                  comm_category: str = "bcast",
-                 reduce_category: str = "allreduce") -> None:
+                 reduce_category: str = "allreduce",
+                 pipeline_depth: int = 1) -> None:
         super().__init__(variant, matrix, spec, comm, grid,
-                         compute_category, comm_category, reduce_category)
+                         compute_category, comm_category, reduce_category,
+                         pipeline_depth=pipeline_depth)
         f = spec.width
         # Per (stage, col): the broadcast root/group and, per group member,
         # the (i, j, full_csr, flops) multiply or None for empty blocks.
@@ -186,19 +190,56 @@ class Compiled15DOblivious(_Compiled15DBase):
         comm = self.comm
         grid = self.grid
         self._zero_partials()
-        for stage in range(grid.stages):
-            for col in range(grid.replication):
-                current = self._schedule[stage][col]
-                q, group, root, _ = current
-                self._copies = comm.broadcast(dense.block(q), root=root,
-                                              ranks=group,
-                                              category=self.comm_category)
-                self._current = current
-                comm.parallel_for(self._col_tasks[col], ranks=group,
-                                  category=self.compute_category)
+        if self.pipeline_depth > 1 and grid.stages * grid.replication > 1:
+            self._run_pipelined(dense)
+        else:
+            for stage in range(grid.stages):
+                for col in range(grid.replication):
+                    current = self._schedule[stage][col]
+                    q, group, root, _ = current
+                    self._copies = comm.broadcast(dense.block(q), root=root,
+                                                  ranks=group,
+                                                  category=self.comm_category)
+                    self._current = current
+                    comm.parallel_for(self._col_tasks[col], ranks=group,
+                                      category=self.compute_category)
         self._copies = None
         self._current = None
         return self._reduce_partials(dense)
+
+    def _run_pipelined(self, dense: DistDenseMatrix) -> None:
+        """Double-buffer the flattened (stage, col) broadcast sequence:
+        while one column group multiplies, the next entries' block rows
+        are in flight as nonblocking broadcasts.  The multiply order —
+        and hence every partial-sum accumulation order — is unchanged.
+
+        The prefetch window is ``(depth - 1) * replication`` flattened
+        entries: the schedule interleaves the replica columns, so the
+        next entry of the *same* column — the one whose exchange a
+        column's multiply can actually hide — sits ``replication``
+        positions ahead.  ``pipeline_depth`` therefore keeps its natural
+        meaning of "stages in flight per column"."""
+        comm = self.comm
+        grid = self.grid
+        entries = [(col, self._schedule[stage][col])
+                   for stage in range(grid.stages)
+                   for col in range(grid.replication)]
+        ahead = (self.pipeline_depth - 1) * grid.replication
+        inflight: "deque" = deque()
+        issued = 0
+        n = len(entries)
+        for k in range(n):
+            while issued <= min(k + ahead, n - 1):
+                _, (q, group, root, _) = entries[issued]
+                inflight.append(comm.ibroadcast(
+                    dense.block(q), root=root, ranks=group,
+                    category=self.comm_category))
+                issued += 1
+            col, current = entries[k]
+            self._copies = inflight.popleft().wait()
+            self._current = current
+            comm.parallel_for(self._col_tasks[col], ranks=current[1],
+                              category=self.compute_category)
 
 
 class Compiled15DSparsityAware(_Compiled15DBase):
@@ -213,9 +254,11 @@ class Compiled15DSparsityAware(_Compiled15DBase):
                  comm: Communicator, grid: ProcessGrid = None,
                  compute_category: str = "local",
                  comm_category: str = "alltoall",
-                 reduce_category: str = "allreduce") -> None:
+                 reduce_category: str = "allreduce",
+                 pipeline_depth: int = 1) -> None:
         super().__init__(variant, matrix, spec, comm, grid,
-                         compute_category, comm_category, reduce_category)
+                         compute_category, comm_category, reduce_category,
+                         pipeline_depth=pipeline_depth)
         f = spec.width
         dtype = spec.dtype
         # Per stage: pack[col] = (q, src, [(idx, buf, nelem)]) in
@@ -297,18 +340,50 @@ class Compiled15DSparsityAware(_Compiled15DBase):
         comm = self.comm
         self._dense = dense
         self._zero_partials()
-        for stage_state in self._stages:
-            self._stage_state = stage_state
-            comm.parallel_for(self._pack_tasks, ranks=stage_state["sources"],
-                              category=self.compute_category)
-            comm.exchange(stage_state["messages"],
-                          category=self.comm_category,
-                          sync_ranks=range(comm.nranks))
-            comm.parallel_for(self._mult_tasks,
-                              category=self.compute_category)
+        if self.pipeline_depth > 1 and len(self._stages) > 1:
+            self._run_pipelined()
+        else:
+            for stage_state in self._stages:
+                self._stage_state = stage_state
+                comm.parallel_for(self._pack_tasks,
+                                  ranks=stage_state["sources"],
+                                  category=self.compute_category)
+                comm.exchange(stage_state["messages"],
+                              category=self.comm_category,
+                              sync_ranks=range(comm.nranks))
+                comm.parallel_for(self._mult_tasks,
+                                  category=self.compute_category)
         self._stage_state = None
         self._dense = None
         return self._reduce_partials(dense)
+
+    def _run_pipelined(self) -> None:
+        """Double-buffer the staged exchanges: pack and post stage
+        ``k + 1``'s point-to-point batch (its gather buffers are distinct
+        per stage, so packing early cannot clobber anything), then run
+        stage ``k``'s multiplies while the batch is in flight.  The
+        multiply and partial-accumulation order is identical to the
+        synchronous path, so results stay bit-identical."""
+        comm = self.comm
+        n = len(self._stages)
+        ahead = self.pipeline_depth - 1
+        inflight: "deque" = deque()
+        issued = 0
+        for k in range(n):
+            while issued <= min(k + ahead, n - 1):
+                stage_state = self._stages[issued]
+                self._stage_state = stage_state
+                comm.parallel_for(self._pack_tasks,
+                                  ranks=stage_state["sources"],
+                                  category=self.compute_category)
+                inflight.append(comm.iexchange(
+                    stage_state["messages"], category=self.comm_category,
+                    sync_ranks=range(comm.nranks)))
+                issued += 1
+            inflight.popleft().wait()
+            self._stage_state = self._stages[k]
+            comm.parallel_for(self._mult_tasks,
+                              category=self.compute_category)
 
 
 @register_spmm_compiler("1.5d", "oblivious")

@@ -35,6 +35,7 @@ mirroring the paper which evaluates 2D only at the SpMM level).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -162,8 +163,10 @@ class _Compiled2DBase(CompiledSpmm):
 
     def __init__(self, variant, matrix: Dist2DSparseMatrix, spec: DenseSpec,
                  comm: Communicator, grid: Grid2D,
-                 compute_category: str, reduce_category: str) -> None:
-        super().__init__(variant, matrix, spec, comm, grid=grid)
+                 compute_category: str, reduce_category: str,
+                 pipeline_depth: int = 1) -> None:
+        super().__init__(variant, matrix, spec, comm, grid=grid,
+                         pipeline_depth=pipeline_depth)
         check_grid2d_operands(matrix, np.empty((matrix.shape[1], spec.width),
                                                dtype=spec.dtype),
                               grid, comm)
@@ -182,6 +185,49 @@ class _Compiled2DBase(CompiledSpmm):
                 f"dense operand has {dense.shape[0]} rows, expected "
                 f"{self.matrix.shape[1]}")
 
+    def _reduce_rows(self, out: np.ndarray) -> None:
+        """Phase 2 shared by both 2D variants: per grid row, multiply the
+        local blocks and all-reduce the partial sums over the row group.
+
+        With ``pipeline_depth > 1`` the row loop is software-pipelined:
+        row ``i``'s all-reduce is posted nonblocking and row ``i + 1``'s
+        multiplies run while it is in flight (the partial-sum list is
+        snapshotted at post time, so the next row's task assignments
+        cannot disturb a reduction already in the air).  The reduction
+        operands and group order are unchanged — results are
+        bit-identical to the synchronous loop.
+        """
+        comm = self.comm
+        grid = self.grid
+        if self.pipeline_depth > 1 and grid.nrows > 1:
+            ahead = self.pipeline_depth - 1
+            inflight: "deque" = deque()
+            for i in range(grid.nrows):
+                comm.parallel_for(self._row_tasks[i],
+                                  ranks=self._row_groups[i],
+                                  category=self.compute_category)
+                inflight.append((i, comm.iallreduce(
+                    list(self._partials), ranks=self._row_groups[i],
+                    category=self.reduce_category)))
+                while len(inflight) > ahead:
+                    j, handle = inflight.popleft()
+                    lo, hi = self._row_ranges[j]
+                    out[lo:hi] = handle.wait()[0]
+            while inflight:
+                j, handle = inflight.popleft()
+                lo, hi = self._row_ranges[j]
+                out[lo:hi] = handle.wait()[0]
+        else:
+            for i in range(grid.nrows):
+                comm.parallel_for(self._row_tasks[i],
+                                  ranks=self._row_groups[i],
+                                  category=self.compute_category)
+                reduced = comm.allreduce(self._partials,
+                                         ranks=self._row_groups[i],
+                                         category=self.reduce_category)
+                lo, hi = self._row_ranges[i]
+                out[lo:hi] = reduced[0]
+
 
 class Compiled2DOblivious(_Compiled2DBase):
     """Persistent plan for the sparsity-oblivious 2D SUMMA algorithm."""
@@ -190,9 +236,11 @@ class Compiled2DOblivious(_Compiled2DBase):
                  comm: Communicator, grid: Grid2D = None,
                  compute_category: str = "local",
                  gather_category: str = "bcast",
-                 reduce_category: str = "allreduce") -> None:
+                 reduce_category: str = "allreduce",
+                 pipeline_depth: int = 1) -> None:
         super().__init__(variant, matrix, spec, comm, grid,
-                         compute_category, reduce_category)
+                         compute_category, reduce_category,
+                         pipeline_depth=pipeline_depth)
         self.gather_category = gather_category
         f = spec.width
         dtype = spec.dtype
@@ -254,15 +302,10 @@ class Compiled2DOblivious(_Compiled2DBase):
             # Every member of the column now holds the full block row H_j.
             np.concatenate(parts[0], axis=0, out=self._gathered[j])
 
-        # Phase 2: local multiply and row-wise all-reduce.
+        # Phase 2: local multiply and row-wise all-reduce (overlapped
+        # across rows when pipeline_depth > 1).
         out = self._out
-        for i in range(grid.nrows):
-            comm.parallel_for(self._row_tasks[i], ranks=self._row_groups[i],
-                              category=self.compute_category)
-            reduced = comm.allreduce(self._partials, ranks=self._row_groups[i],
-                                     category=self.reduce_category)
-            lo, hi = self._row_ranges[i]
-            out[lo:hi] = reduced[0]
+        self._reduce_rows(out)
         return out
 
 
@@ -280,9 +323,11 @@ class Compiled2DSparsityAware(_Compiled2DBase):
                  comm: Communicator, grid: Grid2D = None,
                  compute_category: str = "local",
                  comm_category: str = "alltoall",
-                 reduce_category: str = "allreduce") -> None:
+                 reduce_category: str = "allreduce",
+                 pipeline_depth: int = 1) -> None:
         super().__init__(variant, matrix, spec, comm, grid,
-                         compute_category, reduce_category)
+                         compute_category, reduce_category,
+                         pipeline_depth=pipeline_depth)
         self.comm_category = comm_category
         f = spec.width
         dtype = spec.dtype
@@ -345,7 +390,6 @@ class Compiled2DSparsityAware(_Compiled2DBase):
 
     def _execute(self, h: np.ndarray) -> np.ndarray:
         comm = self.comm
-        grid = self.grid
 
         # Phase 1: fill every packed buffer with one gather, charge the
         # packing work, move the off-diagonal segments point-to-point.
@@ -357,15 +401,10 @@ class Compiled2DSparsityAware(_Compiled2DBase):
         comm.exchange(self._messages, category=self.comm_category,
                       sync_ranks=range(comm.nranks))
 
-        # Phase 2: local multiply on compacted blocks, then row all-reduce.
+        # Phase 2: local multiply on compacted blocks, then row all-reduce
+        # (overlapped across rows when pipeline_depth > 1).
         out = self._out
-        for i in range(grid.nrows):
-            comm.parallel_for(self._row_tasks[i], ranks=self._row_groups[i],
-                              category=self.compute_category)
-            reduced = comm.allreduce(self._partials, ranks=self._row_groups[i],
-                                     category=self.reduce_category)
-            lo, hi = self._row_ranges[i]
-            out[lo:hi] = reduced[0]
+        self._reduce_rows(out)
         return out
 
 

@@ -195,6 +195,7 @@ def _build_setup(dataset: GraphDataset, config: DistTrainConfig,
         grid=grid,
         seed=config.seed,
         dtype=dtype,
+        pipeline_depth=config.pipeline_depth,
     )
     return DistributedSetup(model=model, comm=comm, node_data=node_data,
                             partition=partition, distribution=distribution,

@@ -15,6 +15,9 @@ process count.  This package closes that loop (see ``docs/tuning.md``):
   deterministic order);
 * :mod:`repro.plan.cache`   — persist winning plans keyed by matrix +
   machine + layer dims + plan-space fingerprints;
+* :mod:`repro.plan.calibrate` — measure the per-backend message-overhead
+  table on the current host (``repro calibrate``) so the scorer's
+  backend axis uses measured numbers instead of shipped guesses;
 * :mod:`repro.plan.planner` — the :class:`Planner` orchestrating all of
   the above, the :class:`ExecutionPlan` the rest of the stack consumes,
   and :func:`resolve_config`, which turns ``DistTrainConfig`` fields set
@@ -27,23 +30,32 @@ partitioner="auto")`` in code.
 
 from .cache import (CACHE_ENV_VAR, PlanCache, default_cache_path,
                     machine_fingerprint, matrix_fingerprint, plan_key)
+from .calibrate import (CalibrationResult, calibration_path,
+                        load_calibration, load_message_overheads,
+                        measure_message_overhead, run_calibration,
+                        write_calibration)
 from .planner import (ExecutionPlan, Planner, PlanReport, plan_for_dataset,
                       resolve_config)
 from .probe import ProbeResult, probe_candidate, probe_ranked
 from .score import (BACKEND_MESSAGE_OVERHEAD_S, PlanMatrixCache,
-                    ScoredCandidate, backend_overhead_s, score_candidates)
-from .space import (DEFAULT_PARTITIONERS, DEFAULT_REPLICATION_CANDIDATES,
-                    PlanCandidate, enumerate_candidates,
-                    valid_replication_factors)
+                    ScoredCandidate, backend_overhead_s,
+                    effective_message_overheads, score_candidates)
+from .space import (DEFAULT_PARTITIONERS, DEFAULT_PIPELINE_DEPTHS,
+                    DEFAULT_REPLICATION_CANDIDATES, PlanCandidate,
+                    enumerate_candidates, valid_replication_factors)
 
 __all__ = [
     "CACHE_ENV_VAR", "PlanCache", "default_cache_path",
     "machine_fingerprint", "matrix_fingerprint", "plan_key",
+    "CalibrationResult", "calibration_path", "load_calibration",
+    "load_message_overheads", "measure_message_overhead",
+    "run_calibration", "write_calibration",
     "ExecutionPlan", "Planner", "PlanReport", "plan_for_dataset",
     "resolve_config",
     "ProbeResult", "probe_candidate", "probe_ranked",
     "BACKEND_MESSAGE_OVERHEAD_S", "PlanMatrixCache", "ScoredCandidate",
-    "backend_overhead_s", "score_candidates",
-    "DEFAULT_PARTITIONERS", "DEFAULT_REPLICATION_CANDIDATES",
+    "backend_overhead_s", "effective_message_overheads", "score_candidates",
+    "DEFAULT_PARTITIONERS", "DEFAULT_PIPELINE_DEPTHS",
+    "DEFAULT_REPLICATION_CANDIDATES",
     "PlanCandidate", "enumerate_candidates", "valid_replication_factors",
 ]

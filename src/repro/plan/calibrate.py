@@ -1,0 +1,210 @@
+"""Measured per-backend message overheads (the planner's machine model leg).
+
+The analytic scorer differentiates communicator backends with a
+per-message *host* overhead table
+(:data:`~repro.plan.score.BACKEND_MESSAGE_OVERHEAD_S`).  The shipped
+defaults are deliberately coarse guesses; this module replaces them with
+**short real measurements on the current host** — the first concrete step
+of the ROADMAP's "measured machine models" open item.
+
+``repro calibrate`` (or :func:`run_calibration`) times a burst of small
+broadcasts on each real backend, divides the wall time by the number of
+logged messages, and writes a per-host JSON file.  The planner honours it
+automatically: :func:`load_message_overheads` is consulted by
+:func:`repro.plan.score.effective_message_overheads`, and the effective
+table is part of the plan-cache key, so recalibrating invalidates cached
+plans instead of silently serving rankings computed with stale overheads.
+
+File location: the ``REPRO_CALIBRATION`` environment variable, else
+``~/.cache/repro/calibration.json``.  The ``sim`` backend replays the
+machine model in-process and is pinned at zero overhead by definition.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CalibrationResult", "calibration_path", "load_calibration",
+           "load_message_overheads", "measure_message_overhead",
+           "run_calibration", "write_calibration"]
+
+#: Environment variable overriding the calibration file location.
+CALIBRATION_ENV = "REPRO_CALIBRATION"
+
+#: Current on-disk payload version.
+CALIBRATION_VERSION = 1
+
+# (path, mtime_ns, size) -> parsed overhead table; calibration files are
+# tiny and rarely change, so one cached parse per (planner run x file
+# state) is plenty.
+_CACHE: Dict[Tuple[str, int, int], Dict[str, float]] = {}
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """One backend's measured per-message host overhead."""
+
+    backend: str
+    per_message_s: float
+    messages: int
+    nranks: int
+    wall_s: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "per_message_s": self.per_message_s,
+            "messages": self.messages,
+            "nranks": self.nranks,
+            "wall_s": self.wall_s,
+        }
+
+
+def calibration_path(path: "str | os.PathLike | None" = None) -> pathlib.Path:
+    """Resolve the calibration file path (arg > env var > default)."""
+    if path is not None:
+        return pathlib.Path(path).expanduser()
+    env = os.environ.get(CALIBRATION_ENV)
+    if env:
+        return pathlib.Path(env).expanduser()
+    return pathlib.Path("~/.cache/repro/calibration.json").expanduser()
+
+
+def measure_message_overhead(backend: str, nranks: int = 2,
+                             rounds: int = 40,
+                             payload_floats: int = 128,
+                             seed: int = 0) -> CalibrationResult:
+    """Measure one backend's per-message host overhead with real traffic.
+
+    Runs ``rounds`` small broadcasts (after one warm-up round that also
+    absorbs worker/arena start-up) on a live communicator of the backend
+    and divides the measured wall time by the number of event-logged
+    messages.  Payloads are deliberately tiny so the measurement isolates
+    the *host* cost per message (queue handoffs, IPC, staging
+    bookkeeping) rather than bandwidth — exactly the quantity the
+    scorer's overhead term models on top of the alpha-beta machine.
+
+    ``sim`` is pinned at zero: the simulator replays the machine model
+    in-process, so its runtime overhead is not part of the modelled time.
+    """
+    from ..comm.factory import make_communicator
+
+    if nranks < 2:
+        raise ValueError("calibration needs at least 2 ranks")
+    if rounds < 1:
+        raise ValueError("rounds must be positive")
+    if backend == "sim":
+        return CalibrationResult(backend="sim", per_message_s=0.0,
+                                 messages=0, nranks=nranks, wall_s=0.0)
+
+    rng = np.random.default_rng(seed)
+    value = np.ascontiguousarray(rng.standard_normal(max(1, payload_floats)))
+    with make_communicator(nranks, backend=backend) as comm:
+        comm.broadcast(value, root=0)          # warm-up (workers, arenas)
+        messages0 = comm.events.message_count()
+        start = time.perf_counter()
+        for i in range(rounds):
+            comm.broadcast(value, root=i % nranks)
+        wall = time.perf_counter() - start
+        messages = comm.events.message_count() - messages0
+    if messages <= 0:  # pragma: no cover - defensive
+        raise RuntimeError(f"calibration run on {backend!r} logged no traffic")
+    return CalibrationResult(backend=backend,
+                             per_message_s=wall / messages,
+                             messages=messages, nranks=nranks, wall_s=wall)
+
+
+def run_calibration(backends: Optional[Sequence[str]] = None,
+                    nranks: int = 2, rounds: int = 40,
+                    payload_floats: int = 128, seed: int = 0,
+                    quick: bool = False) -> Dict[str, object]:
+    """Measure every requested backend; returns the JSON-ready payload.
+
+    ``quick`` shrinks the burst so the whole calibration fits in a CI
+    smoke budget (the measured numbers are noisier but the right order
+    of magnitude — enough for the planner's backend ranking).
+    """
+    from ..comm.factory import available_backends
+
+    if backends is None:
+        backends = available_backends()
+    if quick:
+        rounds = min(rounds, 10)
+    results: List[CalibrationResult] = [
+        measure_message_overhead(b, nranks=nranks, rounds=rounds,
+                                 payload_floats=payload_floats, seed=seed)
+        for b in backends]
+    return {
+        "version": CALIBRATION_VERSION,
+        "host": platform.node() or "unknown",
+        "nranks": nranks,
+        "rounds": rounds,
+        "quick": quick,
+        "overheads": {r.backend: r.per_message_s for r in results},
+        "details": [r.as_dict() for r in results],
+    }
+
+
+def write_calibration(payload: Dict[str, object],
+                      path: "str | os.PathLike | None" = None) -> pathlib.Path:
+    """Atomically write a calibration payload; returns the path used."""
+    target = calibration_path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, target)
+    _CACHE.clear()
+    return target
+
+
+def load_calibration(path: "str | os.PathLike | None" = None
+                     ) -> Optional[Dict[str, object]]:
+    """The full calibration payload, or ``None`` if absent/unreadable."""
+    target = calibration_path(path)
+    try:
+        payload = json.loads(target.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or \
+            not isinstance(payload.get("overheads"), dict):
+        return None
+    return payload
+
+
+def load_message_overheads(path: "str | os.PathLike | None" = None
+                           ) -> Dict[str, float]:
+    """The measured per-backend overhead table (empty when uncalibrated).
+
+    Parsed results are memoized per (path, mtime, size), so the planner
+    can consult this on every scoring pass without re-reading the file.
+    """
+    target = calibration_path(path)
+    try:
+        stat = target.stat()
+    except OSError:
+        return {}
+    key = (str(target), stat.st_mtime_ns, stat.st_size)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return dict(cached)
+    payload = load_calibration(target)
+    table: Dict[str, float] = {}
+    if payload is not None:
+        for backend, value in payload["overheads"].items():
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                continue
+            if value >= 0.0:
+                table[str(backend)] = value
+    _CACHE.clear()
+    _CACHE[key] = dict(table)
+    return table

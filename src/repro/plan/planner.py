@@ -40,8 +40,9 @@ from ..graphs.datasets import GraphDataset
 from .cache import PlanCache, matrix_fingerprint, plan_key
 from .probe import ProbeResult, probe_ranked
 from .score import PlanMatrixCache, ScoredCandidate, score_candidates
-from .space import (DEFAULT_PARTITIONERS, DEFAULT_REPLICATION_CANDIDATES,
-                    PlanCandidate, enumerate_candidates)
+from .space import (DEFAULT_PARTITIONERS, DEFAULT_PIPELINE_DEPTHS,
+                    DEFAULT_REPLICATION_CANDIDATES, PlanCandidate,
+                    enumerate_candidates)
 
 __all__ = ["ExecutionPlan", "PlanReport", "Planner", "plan_for_dataset",
            "resolve_config"]
@@ -62,6 +63,7 @@ class ExecutionPlan:
     source: str                  # "analytic" | "probed" | "cache"
     machine: str
     fingerprint: str
+    pipeline_depth: int = 1
 
     @property
     def mode(self) -> str:
@@ -88,6 +90,7 @@ class ExecutionPlan:
             "partitioner": self.partitioner,
             "replication_factor": self.replication_factor,
             "n_ranks": self.n_ranks,
+            "pipeline_depth": self.pipeline_depth,
         }
 
     def as_dict(self) -> Dict[str, object]:
@@ -98,6 +101,7 @@ class ExecutionPlan:
             "partitioner": self.partitioner,
             "replication_factor": self.replication_factor,
             "n_ranks": self.n_ranks,
+            "pipeline_depth": self.pipeline_depth,
             "predicted_s": self.predicted_s,
             "probed_s": self.probed_s,
             "source": self.source,
@@ -116,6 +120,9 @@ class ExecutionPlan:
                          else str(payload["partitioner"])),
             replication_factor=int(payload["replication_factor"]),
             n_ranks=int(payload["n_ranks"]),
+            # Records written before the overlap work carry no depth;
+            # they described synchronous execution.
+            pipeline_depth=int(payload.get("pipeline_depth", 1)),
             predicted_s=float(payload["predicted_s"]),
             probed_s=(None if payload.get("probed_s") is None
                       else float(payload["probed_s"])),
@@ -178,6 +185,7 @@ class Planner:
                  modes: Optional[Sequence[str]] = None,
                  replication_candidates: Sequence[int]
                  = DEFAULT_REPLICATION_CANDIDATES,
+                 pipeline_depths: Sequence[int] = DEFAULT_PIPELINE_DEPTHS,
                  probe: bool = True,
                  top_k: int = 3,
                  probe_budget_s: Optional[float] = 10.0,
@@ -193,6 +201,7 @@ class Planner:
         self.algorithms = None if algorithms is None else tuple(algorithms)
         self.modes = None if modes is None else tuple(modes)
         self.replication_candidates = tuple(replication_candidates)
+        self.pipeline_depths = tuple(pipeline_depths)
         self.probe = probe
         self.top_k = top_k
         self.probe_budget_s = probe_budget_s
@@ -218,7 +227,7 @@ class Planner:
         --auto`` reuse the plan a ``repro tune`` run cached."""
         from ..comm.factory import available_backends
         from ..core.engine import available_spmm_variants
-        from .score import BACKEND_MESSAGE_OVERHEAD_S
+        from .score import effective_message_overheads
         return {
             "backends": self.backends if self.backends is not None
             else tuple(available_backends()),
@@ -228,8 +237,12 @@ class Planner:
             "modes": self.modes,
             "variants": tuple(available_spmm_variants()),
             "replications": self.replication_candidates,
+            "pipeline_depths": self.pipeline_depths,
+            # The *effective* table (defaults overlaid with this host's
+            # measured calibration): running `repro calibrate` changes
+            # the scoring inputs, so it must invalidate cached plans.
             "backend_overheads": tuple(sorted(
-                BACKEND_MESSAGE_OVERHEAD_S.items())),
+                effective_message_overheads().items())),
             "seed": self.seed,
         }
 
@@ -267,6 +280,7 @@ class Planner:
             modes=self.modes,
             replication_candidates=self.replication_candidates,
             n_vertices=matrix_cache.n_vertices,
+            pipeline_depths=self.pipeline_depths,
         )
         ranked = score_candidates(candidates, matrix_cache, layer_dims,
                                   self.machine)
@@ -293,6 +307,7 @@ class Planner:
             partitioner=best.candidate.partitioner,
             replication_factor=best.candidate.replication_factor,
             n_ranks=best.candidate.n_ranks,
+            pipeline_depth=best.candidate.pipeline_depth,
             predicted_s=best.predicted_s,
             probed_s=best_probe.probed_s if best_probe else None,
             source="probed" if best_probe else "analytic",
@@ -422,6 +437,9 @@ def resolve_config(dataset: GraphDataset, config: DistTrainConfig,
         algorithms=algorithms,
         modes=modes,
         replication_candidates=replication_candidates,
+        # The pipeline depth is never "auto" on a config: the planner
+        # plans at exactly the depth the training run will execute.
+        pipeline_depths=[config.pipeline_depth],
         probe=probe,
         seed=config.seed,
         cache=cache,

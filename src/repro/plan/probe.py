@@ -98,9 +98,11 @@ def probe_candidate(candidate: PlanCandidate,
             for f in sorted(set(widths))}
         # Compile one persistent plan per distinct layer width, exactly as
         # the trainer does at setup time — probing measures the steady
-        # state an epoch actually runs at, and never re-pays plan setup
-        # inside the timed window.
-        ops = {f: engine.compile(matrix, DenseSpec(width=f))
+        # state an epoch actually runs at (including the candidate's
+        # pipelined schedule), and never re-pays plan setup inside the
+        # timed window.
+        ops = {f: engine.compile(matrix, DenseSpec(width=f),
+                                 pipeline_depth=candidate.pipeline_depth)
                for f in sorted(set(widths))}
         # Warm-up run outside the timed window (first-touch costs on the
         # real backends; a no-op for the simulator's clocks).

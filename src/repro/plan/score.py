@@ -29,27 +29,40 @@ from ..core.dist_matrix import BlockRowDistribution, DistSparseMatrix
 from ..graphs.adjacency import (gcn_normalize, permutation_from_parts,
                                 symmetric_permutation)
 from ..partition import get_partitioner
+from .calibrate import load_message_overheads
 from .space import PlanCandidate
 
 __all__ = ["BACKEND_MESSAGE_OVERHEAD_S", "PlanMatrixCache", "ScoredCandidate",
-           "backend_overhead_s", "score_candidates"]
+           "backend_overhead_s", "effective_message_overheads",
+           "score_candidates"]
 
 #: Crude per-message *host* overhead of each communicator backend, added on
 #: top of the machine model's communication cost.  ``sim`` replays the
 #: schedule in-process (no runtime overhead beyond the model); ``threaded``
 #: pays queue/condition-variable handoffs; ``process`` pays IPC + shared
-#: memory arena bookkeeping per message.  These are deliberately coarse —
-#: measuring them per machine is a ROADMAP open item — but they give the
-#: planner a deterministic, sensibly ordered backend axis.  Consequence:
-#: with these defaults ``backend="auto"`` always resolves to ``sim``
-#: (zero overhead on an otherwise backend-independent cost); a real
-#: backend is only chosen when the user pins it or recalibrates this
-#: table.
+#: memory arena bookkeeping per message.  These are the *fallback*
+#: guesses: ``repro calibrate`` measures the real numbers on the current
+#: host and :func:`effective_message_overheads` overlays them (see
+#: :mod:`repro.plan.calibrate`).  Consequence of the defaults: with no
+#: calibration file, ``backend="auto"`` always resolves to ``sim`` (zero
+#: overhead on an otherwise backend-independent cost); a real backend is
+#: only chosen when the user pins it or calibrates.
 BACKEND_MESSAGE_OVERHEAD_S: Dict[str, float] = {
     "sim": 0.0,
     "threaded": 2.0e-5,
     "process": 2.0e-4,
 }
+
+
+def effective_message_overheads() -> Dict[str, float]:
+    """The overhead table the planner actually uses: shipped defaults
+    overlaid with this host's measured calibration (``repro calibrate``).
+    ``sim`` stays pinned at zero — its runtime is not part of the
+    modelled schedule."""
+    table = dict(BACKEND_MESSAGE_OVERHEAD_S)
+    table.update(load_message_overheads())
+    table["sim"] = 0.0
+    return table
 
 
 class PlanMatrixCache:
@@ -128,9 +141,16 @@ def _estimated_messages_per_epoch(candidate: PlanCandidate,
     return 2.0 * n_layers * per_spmm
 
 
-def backend_overhead_s(candidate: PlanCandidate, n_layers: int) -> float:
-    """Predicted per-epoch host overhead of the candidate's backend."""
-    per_message = BACKEND_MESSAGE_OVERHEAD_S.get(candidate.backend, 1.0e-4)
+def backend_overhead_s(candidate: PlanCandidate, n_layers: int,
+                       overheads: Optional[Dict[str, float]] = None) -> float:
+    """Predicted per-epoch host overhead of the candidate's backend.
+
+    ``overheads`` defaults to :func:`effective_message_overheads` (the
+    calibrated table when this host has one).
+    """
+    if overheads is None:
+        overheads = effective_message_overheads()
+    per_message = overheads.get(candidate.backend, 1.0e-4)
     return per_message * _estimated_messages_per_epoch(candidate, n_layers)
 
 
@@ -162,6 +182,7 @@ def score_candidates(candidates: Sequence[PlanCandidate],
     """
     machine = get_machine(machine)
     n_layers = len(layer_dims) - 1
+    overheads = effective_message_overheads()
     scored: List[ScoredCandidate] = []
     # epoch_cost is backend-independent and O(nnz); share it across the
     # candidates that differ only in backend.
@@ -178,9 +199,11 @@ def score_candidates(candidates: Sequence[PlanCandidate],
                               algorithm=candidate.algorithm,
                               sparsity_aware=candidate.sparsity_aware,
                               nranks=candidate.n_ranks,
-                              replication=candidate.replication_factor)
+                              replication=candidate.replication_factor,
+                              pipeline_depth=candidate.pipeline_depth)
             cost_memo[group] = cost
-        overhead = backend_overhead_s(candidate, n_layers)
+        overhead = backend_overhead_s(candidate, n_layers,
+                                      overheads=overheads)
         scored.append(ScoredCandidate(
             candidate=candidate,
             predicted_s=cost.total_s + overhead,

@@ -22,6 +22,7 @@ from ..partition import PARTITIONERS
 
 __all__ = [
     "DEFAULT_PARTITIONERS",
+    "DEFAULT_PIPELINE_DEPTHS",
     "DEFAULT_REPLICATION_CANDIDATES",
     "PlanCandidate",
     "enumerate_candidates",
@@ -37,6 +38,16 @@ DEFAULT_PARTITIONERS: Tuple[Optional[str], ...] = (None, "metis_like", "gvb")
 #: 1.5D replication factors tried by default (Figure 7 uses c in {2, 4}).
 DEFAULT_REPLICATION_CANDIDATES: Tuple[int, ...] = (2, 4, 8)
 
+#: Pipeline depths tried by default.  The single-entry default keeps the
+#: enumerated plan space identical to the pre-overlap planner (every
+#: candidate synchronous); pass ``pipeline_depths=(1, 2)`` to let the
+#: planner weigh the double-buffered compiled schedules against the
+#: synchronous ones.  Note that cached plan *keys* still roll over once
+#: on upgrade — the depth axis joins the space signature, so pre-overlap
+#: cache records are re-planned (never silently served for a space they
+#: did not describe).
+DEFAULT_PIPELINE_DEPTHS: Tuple[int, ...] = (1,)
+
 
 @dataclass(frozen=True)
 class PlanCandidate:
@@ -48,6 +59,7 @@ class PlanCandidate:
     partitioner: Optional[str]
     replication_factor: int
     n_ranks: int
+    pipeline_depth: int = 1
 
     @property
     def mode(self) -> str:
@@ -68,14 +80,17 @@ class PlanCandidate:
     def sort_key(self) -> Tuple:
         """Deterministic tie-break order (stable across runs)."""
         return (self.algorithm, self.mode, self.partitioner or "",
-                self.backend, self.replication_factor, self.n_ranks)
+                self.backend, self.replication_factor, self.n_ranks,
+                self.pipeline_depth)
 
     def group_key(self) -> Tuple:
         """Identity of the backend-independent execution: candidates with
         the same group share one probe measurement and one analytic
-        epoch cost (the scorer, prober and planner all group by this)."""
+        epoch cost (the scorer, prober and planner all group by this).
+        ``pipeline_depth`` is part of the group — pipelined execution is
+        a genuinely different schedule, probed separately."""
         return (self.algorithm, self.mode, self.partitioner,
-                self.replication_factor, self.n_ranks)
+                self.replication_factor, self.n_ranks, self.pipeline_depth)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -86,6 +101,7 @@ class PlanCandidate:
             "backend": self.backend,
             "c": self.replication_factor,
             "p": self.n_ranks,
+            "depth": self.pipeline_depth,
         }
 
 
@@ -127,7 +143,9 @@ def enumerate_candidates(n_ranks: "int | Sequence[int]",
                          modes: Optional[Sequence[str]] = None,
                          replication_candidates: Sequence[int]
                          = DEFAULT_REPLICATION_CANDIDATES,
-                         n_vertices: Optional[int] = None
+                         n_vertices: Optional[int] = None,
+                         pipeline_depths: Sequence[int]
+                         = DEFAULT_PIPELINE_DEPTHS
                          ) -> List[PlanCandidate]:
     """Enumerate the plan space in deterministic order.
 
@@ -152,6 +170,12 @@ def enumerate_candidates(n_ranks: "int | Sequence[int]",
     n_vertices:
         When given, candidates needing more block rows than vertices are
         pruned (they could never be distributed).
+    pipeline_depths:
+        Compiled-execution pipeline depths to enumerate (default ``(1,)``
+        — the synchronous schedule only, keeping the default space
+        identical to the pre-overlap planner).  Depths above 1 are
+        pruned for the sparsity-aware 1D variant, whose single un-staged
+        all-to-allv has nothing to pipeline.
     """
     rank_counts = [n_ranks] if isinstance(n_ranks, int) else list(n_ranks)
     if not rank_counts or any(p <= 0 for p in rank_counts):
@@ -173,6 +197,11 @@ def enumerate_candidates(n_ranks: "int | Sequence[int]",
     variants = _trainable_variants(ALGORITHMS if algorithms is None
                                    else algorithms, modes)
 
+    depths = sorted(set(int(d) for d in pipeline_depths))
+    if not depths or any(d < 1 for d in depths):
+        raise ValueError(
+            f"pipeline depths must be positive, got {list(pipeline_depths)}")
+
     out: List[PlanCandidate] = []
     for p in sorted(set(rank_counts)):
         for algorithm, mode in variants:
@@ -187,13 +216,24 @@ def enumerate_candidates(n_ranks: "int | Sequence[int]",
                     continue
                 for partitioner in partitioners:
                     for backend in backends:
-                        out.append(PlanCandidate(
-                            algorithm=algorithm,
-                            sparsity_aware=(mode == "sparsity_aware"),
-                            backend=backend,
-                            partitioner=partitioner,
-                            replication_factor=c,
-                            n_ranks=p,
-                        ))
+                        for depth in depths:
+                            if depth != depths[0] \
+                                    and algorithm == Algorithm.ONE_D \
+                                    and mode == "sparsity_aware":
+                                # A single un-staged all-to-allv per call:
+                                # identical execution at every depth, so
+                                # only one (the smallest requested depth)
+                                # is enumerated — the rest would be
+                                # duplicates.
+                                continue
+                            out.append(PlanCandidate(
+                                algorithm=algorithm,
+                                sparsity_aware=(mode == "sparsity_aware"),
+                                backend=backend,
+                                partitioner=partitioner,
+                                replication_factor=c,
+                                n_ranks=p,
+                                pipeline_depth=depth,
+                            ))
     out.sort(key=PlanCandidate.sort_key)
     return out

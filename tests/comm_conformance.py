@@ -297,6 +297,159 @@ def check_exchange_validation(make):
 
 
 # ----------------------------------------------------------------------
+# Nonblocking collectives (handle-based)
+# ----------------------------------------------------------------------
+@contract_check
+def check_nonblocking_broadcast_delivery(make):
+    """ibroadcast delivers exactly what broadcast would, via wait()."""
+    comm = make(4)
+    value = np.arange(12.0).reshape(3, 4)
+    handle = comm.ibroadcast(value, root=1)
+    assert isinstance(handle.test(), bool), "test() is a nonblocking probe"
+    out = handle.wait()
+    assert len(out) == 4
+    assert out[1] is value, "root keeps its own object"
+    for i in (0, 2, 3):
+        np.testing.assert_array_equal(out[i], value)
+        assert out[i] is not value, "receivers get independent buffers"
+    assert handle.test() is True, "test() is True after a completed wait"
+
+
+@contract_check
+def check_nonblocking_allreduce_matches_blocking(make):
+    comm = make(4)
+    arrays = [_rng(i).normal(size=(6, 2)) for i in range(4)]
+    blocking = comm.allreduce([a.copy() for a in arrays])
+    handle = comm.iallreduce([a.copy() for a in arrays])
+    out = handle.wait()
+    for got, want in zip(out, blocking):
+        np.testing.assert_array_equal(
+            got, want,
+            err_msg="nonblocking reductions must be bitwise identical to "
+                    "the blocking collective")
+    out[0][0, 0] = 99.0
+    assert out[1][0, 0] != 99.0, "per-rank results independently mutable"
+
+
+@contract_check
+def check_nonblocking_alltoallv_transpose(make):
+    comm = make(3)
+    send = [[np.full((2,), 10.0 * i + j) if i != j else None
+             for j in range(3)] for i in range(3)]
+    recv = comm.ialltoallv(send).wait()
+    for i in range(3):
+        for j in range(3):
+            if i != j:
+                np.testing.assert_array_equal(
+                    recv[i][j], np.full((2,), 10.0 * j + i))
+
+
+@contract_check
+def check_nonblocking_exchange_delivery(make):
+    comm = make(4)
+    msgs = [(0, 1, np.ones(3)), (2, 3, np.full(5, 2.0)), (1, 1, np.ones(2))]
+    delivered = comm.iexchange(msgs).wait()
+    assert set(delivered) == {(0, 1), (2, 3), (1, 1)}
+    np.testing.assert_array_equal(delivered[(0, 1)], np.ones(3))
+    np.testing.assert_array_equal(delivered[(2, 3)], np.full(5, 2.0))
+
+
+@contract_check
+def check_nonblocking_overlap_with_local_compute(make):
+    """Local compute dispatched between issue and wait must neither
+    deadlock nor corrupt the in-flight collective — the contract the
+    pipelined compiled SpMMs rely on."""
+    comm = make(4)
+    value = np.arange(256.0).reshape(32, 8)
+    handle = comm.ibroadcast(value, root=0)
+    ran = [0] * 4
+
+    def task_for(i):
+        def task():
+            ran[i] += 1
+        return task
+
+    comm.parallel_for([task_for(i) for i in range(4)])
+    out = handle.wait()
+    assert ran == [1, 1, 1, 1], "overlapped compute ran exactly once"
+    for i in range(1, 4):
+        np.testing.assert_array_equal(out[i], value)
+    # The communicator is healthy afterwards: a blocking collective works.
+    after = comm.allreduce([np.ones(2)] * 4)
+    np.testing.assert_array_equal(after[0], np.full(2, 4.0))
+
+
+@contract_check
+def check_nonblocking_double_wait_idempotent(make):
+    """A second wait() returns the identical result and charges nothing."""
+    comm = make(3)
+    handle = comm.ibroadcast(np.ones((8, 4)), root=0)
+    out = handle.wait()
+    bytes_after = comm.events.total_bytes()
+    messages_after = comm.events.message_count()
+    elapsed_after = comm.elapsed()
+    again = handle.wait()
+    assert again is out, "wait() must be idempotent (same result object)"
+    assert comm.events.total_bytes() == bytes_after
+    assert comm.events.message_count() == messages_after
+    assert comm.elapsed() == elapsed_after, \
+        "a second wait must not charge more time"
+    assert handle.test() is True
+
+
+@contract_check
+def check_nonblocking_completion_before_wait(make):
+    """test() polling must converge to True and leave wait() trivial."""
+    comm = make(3)
+    handle = comm.iallreduce([np.full(4, float(i)) for i in range(3)])
+    deadline = time.time() + 30.0
+    while not handle.test():
+        # Simulated backends complete only as simulated compute/comm
+        # elapses; charging local time drives their clocks forward.
+        for r in comm.ranks():
+            comm.charge_seconds(r, 1.0)
+        assert time.time() < deadline, "test() never became True"
+    out = handle.wait()
+    np.testing.assert_array_equal(out[0], np.full(4, 3.0))
+
+
+@contract_check
+def check_nonblocking_rejected_when_closed(make):
+    comm = make(3)
+    comm.broadcast(np.ones(2), root=0)
+    comm.close()
+    if comm.rejects_work_when_closed:
+        events_before = comm.events.message_count()
+        with pytest.raises(RuntimeError):
+            comm.ibroadcast(np.ones(2), root=0)
+        with pytest.raises(RuntimeError):
+            comm.iallreduce([np.ones(2)] * 3)
+        with pytest.raises(RuntimeError):
+            comm.ialltoallv([[None] * 3] * 3)
+        with pytest.raises(RuntimeError):
+            comm.iexchange([(0, 1, np.ones(2))])
+        assert comm.events.message_count() == events_before, \
+            "rejected nonblocking work must not record phantom traffic"
+    else:
+        out = comm.ibroadcast(np.ones(2), root=0).wait()
+        np.testing.assert_array_equal(out[1], np.ones(2))
+
+
+@contract_check
+def check_close_drains_inflight_handles(make):
+    """close() with a collective in flight must complete it: the handle's
+    result stays readable afterwards and no resources leak (the process
+    backend's shm segments are asserted separately)."""
+    comm = make(3)
+    value = np.arange(16.0)
+    handle = comm.ibroadcast(value, root=0)
+    comm.close()
+    out = handle.wait()
+    np.testing.assert_array_equal(out[1], value)
+    np.testing.assert_array_equal(out[2], value)
+
+
+# ----------------------------------------------------------------------
 # Group topology
 # ----------------------------------------------------------------------
 @contract_check

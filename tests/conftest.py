@@ -32,6 +32,15 @@ def _isolated_plan_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path / "plan_cache.json"))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_calibration(tmp_path, monkeypatch):
+    """Point the planner's calibration file at a per-test path so tests
+    score with the shipped default overhead table, never the developer's
+    measured ~/.cache calibration (repro calibrate)."""
+    monkeypatch.setenv("REPRO_CALIBRATION",
+                       str(tmp_path / "calibration.json"))
+
+
 # ----------------------------------------------------------------------
 # Graphs
 # ----------------------------------------------------------------------

@@ -136,6 +136,45 @@ class TestProcessBackendSpecifics:
         finally:
             comm.close()
 
+    def test_close_with_inflight_handle_releases_shared_memory(self):
+        """Interrupting a run with a collective in flight must not leak
+        shm segments: close() drains the handle (its result stays
+        readable) and unlinks every arena, including the nonblocking
+        slot arenas."""
+        from multiprocessing import shared_memory
+        comm = make_communicator(3, backend="process")
+        value = np.arange(32.0)
+        handle = comm.ibroadcast(value, root=0)
+        names = [a.shm.name for a in comm._arenas.values()]
+        assert names, "the posted collective must have staged arenas"
+        comm.close()
+        out = handle.wait()
+        np.testing.assert_array_equal(out[2], value)
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_nonblocking_uses_second_arena_slot(self):
+        """Nonblocking collectives stream through dedicated slot arenas
+        (kinds 'send0'/'recv0'/'send1'/'recv1'), so an in-flight payload
+        can never be clobbered by the next blocking collective's staging."""
+        with make_communicator(2, backend="process") as comm:
+            handle = comm.ibroadcast(np.arange(8.0), root=0)
+            kinds = {kind for _, kind in comm._arenas}
+            assert {"send0", "recv0"} <= kinds
+            # A blocking collective while the handle is in flight stages
+            # into the separate blocking arenas and drains the handle's
+            # responses first (queue lockstep).
+            out = comm.allreduce([np.full(4, 1.0)] * 2)
+            np.testing.assert_array_equal(out[0], np.full(4, 2.0))
+            np.testing.assert_array_equal(handle.wait()[1], np.arange(8.0))
+            kinds = {kind for _, kind in comm._arenas}
+            assert {"send", "recv"} <= kinds
+            # The slots alternate: a second nonblocking op claims slot 1.
+            comm.ibroadcast(np.arange(8.0), root=1).wait()
+            kinds = {kind for _, kind in comm._arenas}
+            assert {"send1", "recv1"} <= kinds
+
     def test_lost_worker_closes_communicator(self):
         """A watchdog timeout leaves no chance of pairing the lost
         worker's late response with a later collective: the communicator
@@ -175,11 +214,13 @@ def spmm_problem(draw, min_n=8, max_n=36):
 def _run_all_backends(matrix, dense, grid, algorithm, mode, p):
     """Run one variant on every conformant backend; return {backend: Z}.
 
-    Each backend runs the uncompiled path *and* a compiled plan called
-    twice (fresh input both times) — the compiled results must be bitwise
-    identical to the uncompiled one on the same backend, which closes the
-    (variant x backend) compiled-equivalence matrix over randomized
-    inputs.
+    Each backend runs the uncompiled path, a compiled plan called twice
+    (fresh input both times), *and* a double-buffered compiled plan
+    (``pipeline_depth=2``: staged exchanges prefetched with nonblocking
+    collectives) — both compiled results must be bitwise identical to
+    the uncompiled one on the same backend, which closes the
+    (variant x backend x pipelining) compiled-equivalence matrix over
+    randomized inputs.
     """
     results = {}
     for backend in cc.CONFORMANT_BACKENDS:
@@ -200,6 +241,17 @@ def _run_all_backends(matrix, dense, grid, algorithm, mode, p):
                     zc_global, z_global,
                     err_msg=f"compiled {algorithm}/{mode} call {repeat} "
                             f"diverged from uncompiled on {backend!r}")
+            piped = compile_spmm(matrix, DenseSpec.like(dense), comm,
+                                 algorithm=algorithm,
+                                 sparsity_aware=(mode == "sparsity_aware"),
+                                 grid=grid, pipeline_depth=2)
+            zp = piped(dense)
+            zp_global = np.array(zp) if isinstance(zp, np.ndarray) \
+                else zp.to_global()
+            np.testing.assert_array_equal(
+                zp_global, z_global,
+                err_msg=f"pipelined {algorithm}/{mode} diverged from the "
+                        f"synchronous path on {backend!r}")
         finally:
             comm.close()
         results[backend] = z_global
