@@ -25,6 +25,16 @@ runs after one warm-up):
   piped, sync, ...) so host-speed drift cancels out of the ratio.  The
   acceptance bar for the overlap work is >= 1.2x on the process backend
   at p >= 4.
+* **wait-free vs synchronous backward** — full training epochs on the
+  ``sim`` backend with the gradient exchange overlapped + auto-bucketed
+  (``grad_overlap=True``) against blocking per-layer all-reduces, on a
+  deep multi-layer model.  Simulated clocks, so the cell is
+  deterministic; the acceptance bar for the wait-free backward pass is
+  >= 1.15x.
+* **bf16 vs f64 gradient volume** — wire megabytes per epoch of the
+  gradient exchange at ``grad_dtype="bfloat16"`` against the default
+  full-precision wire, from the trainer's own exchange accounting (the
+  compressed loss trajectory is validated in ``tests/test_gradsync.py``).
 
 Usage::
 
@@ -50,9 +60,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.comm import make_communicator                       # noqa: E402
 from repro.core import (BlockRowDistribution, DistDenseMatrix,  # noqa: E402
-                        DistSparseMatrix)
+                        DistSparseMatrix, DistTrainConfig, train_distributed)
 from repro.core.engine import DenseSpec, compile as compile_spmm, spmm  # noqa: E402
 from repro.graphs import gcn_normalize                          # noqa: E402
+from repro.graphs.datasets import load_dataset                  # noqa: E402
 from repro.graphs.generators import erdos_renyi_graph           # noqa: E402
 from repro.sparse import kernels                                # noqa: E402
 
@@ -223,6 +234,65 @@ def bench_overlapped_epoch(n: int, avg_degree: int, widths, p: int,
     }
 
 
+def bench_gradsync_epoch(scale: float, p: int, layers: int,
+                         hidden: int) -> dict:
+    """Wait-free (overlapped + auto-bucketed) vs synchronous backward.
+
+    Full training epochs on the ``sim`` backend: the cell compares
+    *simulated clocks*, so it is deterministic and isolates the modelled
+    overlap win (comm hidden behind the backward SpMMs) from host speed.
+    A deep model gives the exchange many small per-layer reductions to
+    fuse and many compute windows to hide behind.
+    """
+    dataset = load_dataset("amazon", scale=scale, seed=0)
+
+    def run(**overrides):
+        cfg = DistTrainConfig(n_ranks=p, partitioner=None, epochs=2,
+                              n_layers=layers, hidden=hidden, seed=0,
+                              **overrides)
+        return train_distributed(dataset, cfg, eval_every=0)
+
+    sync = run()
+    waitfree = run(grad_overlap=True)
+    assert [h.loss for h in sync.history] == \
+        [h.loss for h in waitfree.history], \
+        "wait-free backward must be bit-identical at full wire precision"
+    return {
+        "dataset": dataset.name, "n": dataset.n_vertices, "p": p,
+        "layers": layers, "hidden": hidden, "backend": "sim",
+        "simulated": True,
+        "synchronous_s": sync.avg_epoch_time_s,
+        "waitfree_s": waitfree.avg_epoch_time_s,
+        "bucket_bytes": waitfree.grad_summary["bucket_bytes"],
+        "waitfree_speedup": sync.avg_epoch_time_s /
+        waitfree.avg_epoch_time_s,
+    }
+
+
+def bench_grad_wire_volume(scale: float, p: int, layers: int,
+                           hidden: int) -> dict:
+    """Gradient-exchange wire megabytes per epoch: bf16 vs the f64 wire."""
+    dataset = load_dataset("amazon", scale=scale, seed=0)
+
+    def run(**overrides):
+        cfg = DistTrainConfig(n_ranks=p, partitioner=None, epochs=1,
+                              n_layers=layers, hidden=hidden, seed=0,
+                              **overrides)
+        return train_distributed(dataset, cfg, eval_every=0)
+
+    full = run()
+    bf16 = run(grad_overlap=True, grad_dtype="bfloat16")
+    full_mb = full.grad_summary["wire_MB_per_epoch"]
+    bf16_mb = bf16.grad_summary["wire_MB_per_epoch"]
+    return {
+        "dataset": dataset.name, "n": dataset.n_vertices, "p": p,
+        "layers": layers, "hidden": hidden,
+        "float64_wire_MB_per_epoch": full_mb,
+        "bfloat16_wire_MB_per_epoch": bf16_mb,
+        "volume_reduction": full_mb / bf16_mb,
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         description="record the kernel/compiled-epoch microbenchmarks")
@@ -261,6 +331,10 @@ def main(argv=None) -> int:
     overlap_process = bench_overlapped_epoch(
         n=1000 if quick else 2000, avg_degree=10, widths=widths, p=4,
         backend="process", repeats=4 if quick else 12)
+    gradsync_sim = bench_gradsync_epoch(
+        scale=0.05 if quick else 0.1, p=4, layers=4, hidden=16)
+    grad_volume = bench_grad_wire_volume(
+        scale=0.05 if quick else 0.1, p=4, layers=4, hidden=16)
 
     payload = {
         "benchmark": "kernel_microbench",
@@ -277,6 +351,11 @@ def main(argv=None) -> int:
         # prediction of the overlap win); the process cell is wall-clock.
         "overlapped_epoch_sim": overlap_sim,
         "overlapped_epoch_process": overlap_process,
+        # Wait-free (grad_overlap) vs synchronous backward pass, and the
+        # bf16-vs-f64 gradient wire volume; both deterministic (sim
+        # clocks / exact byte accounting).
+        "gradsync_waitfree_sim": gradsync_sim,
+        "gradsync_wire_volume": grad_volume,
         "recorder_wall_s": round(time.time() - start, 2),
     }
     out_path = pathlib.Path(args.output)
@@ -294,6 +373,10 @@ def main(argv=None) -> int:
     print(f"  overlapped vs synchronous epoch (process, p="
           f"{overlap_process['p']}): "
           f"{overlap_process['overlap_speedup']:.2f}x")
+    print(f"  wait-free vs synchronous backward (sim, simulated clock): "
+          f"{gradsync_sim['waitfree_speedup']:.2f}x")
+    print(f"  bf16 vs f64 gradient wire volume: "
+          f"{grad_volume['volume_reduction']:.2f}x smaller")
     return 0
 
 

@@ -4,6 +4,9 @@
 # generation, partitioning, distributed training, reporting) on every
 # communicator backend at tiny scale, a pipelined (--pipeline 2,
 # double-buffered nonblocking exchanges) training leg on every backend,
+# a wait-free-backward training leg (--grad-overlap --grad-dtype
+# bfloat16: overlapped bucketed gradient exchange on a compressed wire)
+# on every backend,
 # the per-host overhead calibration (repro calibrate --quick --dry-run,
 # never writing CI hosts' numbers anywhere), and the
 # kernel/compiled-epoch/overlap microbenchmark (scripts/bench_kernels.py
@@ -34,6 +37,12 @@ timeout 60 bash -c '
     echo "== repro train --pipeline 2 --backend ${backend} =="
     python -m repro train --dataset reddit --scale 0.05 --ranks 4 \
       --epochs 1 --oblivious --partitioner none --pipeline 2 \
+      --backend "${backend}"
+  done
+  for backend in sim threaded process; do
+    echo "== repro train --grad-overlap --grad-dtype bfloat16 --backend ${backend} =="
+    python -m repro train --dataset reddit --scale 0.05 --ranks 4 \
+      --epochs 1 --partitioner none --grad-overlap --grad-dtype bfloat16 \
       --backend "${backend}"
   done
   echo "== repro calibrate --quick --dry-run =="

@@ -38,10 +38,11 @@ from . import bench
 from .bench.reporting import format_kv, format_series, format_table
 from .comm.factory import available_backends
 from .comm.machine import PRESETS
-from .core import (AUTO, DistTrainConfig, best_replication_factor,
-                   crossover_process_count, estimate_rank_memory,
-                   fits_in_memory, spmm_cost_1d_oblivious,
-                   spmm_cost_1d_sparsity_aware, train_distributed)
+from .core import (AUTO, GRAD_DTYPES, DistTrainConfig,
+                   best_replication_factor, crossover_process_count,
+                   estimate_rank_memory, fits_in_memory,
+                   spmm_cost_1d_oblivious, spmm_cost_1d_sparsity_aware,
+                   train_distributed)
 from .graphs.adjacency import gcn_normalize
 from .graphs.datasets import DATASET_NAMES, dataset_summary, load_dataset
 from .partition import PARTITIONERS, get_partitioner, partition_report
@@ -116,6 +117,25 @@ def build_parser() -> argparse.ArgumentParser:
                               "schedules (1 = synchronous exchanges, 2 = "
                               "double-buffered overlap; bit-identical "
                               "results — see docs/performance.md)")
+    p_train.add_argument("--grad-overlap", action="store_true",
+                         help="wait-free backward pass: post each layer's "
+                              "weight-gradient all-reduce nonblocking and "
+                              "drain at the optimizer step (bit-identical "
+                              "results at full wire precision — see "
+                              "docs/performance.md)")
+    p_train.add_argument("--grad-dtype", choices=list(GRAD_DTYPES),
+                         default=None, metavar="DTYPE",
+                         help="wire precision of the gradient exchange "
+                              "(float32 / float16 / bfloat16; default: the "
+                              "training dtype; weights stay in the training "
+                              "dtype — see docs/performance.md)")
+    p_train.add_argument("--grad-bucket-bytes", type=int, default=None,
+                         metavar="BYTES",
+                         help="tensor-fusion bucket size for the gradient "
+                              "exchange (0 = one reduce per layer; default: "
+                              "sized from the backend's calibrated "
+                              "per-message overhead when overlap or a "
+                              "reduced wire dtype is on)")
 
     p_bench = sub.add_parser("bench", help="regenerate a paper table/figure")
     p_bench.add_argument("experiment", nargs="?", default=None,
@@ -179,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "planner enumerates (default: 1 = synchronous "
                              "only; '1 2' weighs double-buffered overlap "
                              "against it)")
+    p_tune.add_argument("--grad-overlap", action="store_true",
+                        help="add the wait-free backward pass to the plan "
+                             "space: the planner weighs overlapped bucketed "
+                             "gradient exchange against synchronous "
+                             "per-layer reduces")
     p_tune.add_argument("--quick", action="store_true",
                         help="CI smoke mode: tiny scale, p=4, 2 probes")
 
@@ -266,6 +291,9 @@ def _cmd_train(args) -> int:
         seed=args.seed,
         dtype=args.dtype,
         pipeline_depth=args.pipeline,
+        grad_overlap=args.grad_overlap,
+        grad_bucket_bytes=args.grad_bucket_bytes,
+        grad_dtype=args.grad_dtype,
     )
     result = train_distributed(dataset, config, eval_every=0)
     config = result.config      # planner-resolved when --auto / "auto"
@@ -293,6 +321,21 @@ def _cmd_train(args) -> int:
     summary.update({f"comm_{k}": v for k, v in result.comm_summary.items()
                     if k in ("total_MB", "max_MB_per_rank", "imbalance_pct")})
     print(format_kv(summary, title="simulated distributed training"))
+    if result.grad_summary:
+        gs = dict(result.grad_summary)
+        compute_s = result.breakdown.get("local", 0.0)
+        comm_s = sum(v for k, v in result.breakdown.items() if k != "local")
+        # The overlap window is the span the wait-free drain actually had
+        # available: everything not spent blocked at the drain point.
+        drain_s = float(gs.get("drain_wait_s_per_epoch", 0.0))
+        breakdown = {
+            "comm_s_per_epoch": comm_s,
+            "compute_s_per_epoch": compute_s,
+            "overlap_window_s_per_epoch": max(0.0, comm_s - drain_s),
+        }
+        breakdown.update(gs)
+        print()
+        print(format_kv(breakdown, title="gradient exchange (per epoch)"))
     return 0
 
 
@@ -450,6 +493,7 @@ def _cmd_tune(args) -> int:
         backends=backends,
         partitioners=partitioners,
         pipeline_depths=args.pipeline_depths,
+        grad_overlaps=(False, True) if args.grad_overlap else (False,),
         probe=not args.no_probe,
         top_k=topk,
         probe_budget_s=budget,
@@ -486,6 +530,7 @@ def _cmd_tune(args) -> int:
         "replication_factor": plan.replication_factor,
         "n_ranks": plan.n_ranks,
         "pipeline_depth": plan.pipeline_depth,
+        "grad_overlap": plan.grad_overlap,
         "predicted_s": plan.predicted_s,
         "probed_s": plan.probed_s if plan.probed_s is not None else "-",
         "source": plan.source,

@@ -8,12 +8,16 @@ from .analysis import (ELEMENT_BYTES, VolumeTableRow, predicted_bytes_per_spmm,
 from .config import AUTO, Algorithm, DistTrainConfig
 from .costmodel import (CommCostBreakdown, best_replication_factor,
                         crossover_process_count, epoch_cost,
+                        gradient_exchange_cost,
                         spmm_cost_15d_oblivious, spmm_cost_15d_sparsity_aware,
                         spmm_cost_1d_oblivious, spmm_cost_1d_sparsity_aware)
 from .dist_gcn import DistLayerCache, DistributedGCN
 from .dist_matrix import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
 from .engine import (SpmmEngine, SpmmReport, SpmmVariant,
                      available_spmm_variants, get_spmm, register_spmm, spmm)
+from .gradsync import (GRAD_DTYPES, DeferredScalar, GradientExchanger,
+                       PendingGradients, decode_bfloat16,
+                       default_bucket_bytes, encode_bfloat16)
 from .memory import (MemoryEstimate, estimate_rank_memory,
                      feasible_process_counts, fits_in_memory)
 from .nnzcols import BlockColumnInfo, nnz_columns_per_block, split_block_row
@@ -30,12 +34,15 @@ __all__ = [
     "single_spmm_volume_table",
     "AUTO", "Algorithm", "DistTrainConfig",
     "CommCostBreakdown", "best_replication_factor", "crossover_process_count",
-    "epoch_cost", "spmm_cost_1d_oblivious", "spmm_cost_1d_sparsity_aware",
+    "epoch_cost", "gradient_exchange_cost",
+    "spmm_cost_1d_oblivious", "spmm_cost_1d_sparsity_aware",
     "spmm_cost_15d_oblivious", "spmm_cost_15d_sparsity_aware",
     "DistLayerCache", "DistributedGCN",
     "BlockRowDistribution", "DistDenseMatrix", "DistSparseMatrix",
     "SpmmEngine", "SpmmReport", "SpmmVariant", "available_spmm_variants",
     "get_spmm", "register_spmm", "spmm",
+    "GRAD_DTYPES", "DeferredScalar", "GradientExchanger", "PendingGradients",
+    "decode_bfloat16", "default_bucket_bytes", "encode_bfloat16",
     "MemoryEstimate", "estimate_rank_memory", "feasible_process_counts",
     "fits_in_memory",
     "BlockColumnInfo", "nnz_columns_per_block", "split_block_row",

@@ -7,6 +7,7 @@ from typing import Optional, Union
 
 from ..comm.factory import available_backends
 from ..comm.machine import MachineModel
+from .gradsync import GRAD_DTYPES
 
 __all__ = ["AUTO", "Algorithm", "DistTrainConfig", "scheme_label",
            "training_layer_dims"]
@@ -104,6 +105,28 @@ class DistTrainConfig:
         with nonblocking collectives while the current stage computes).
         Results are bit-identical at any depth; see the "Overlap &
         pipelining" section of ``docs/performance.md``.
+    grad_overlap:
+        Wait-free backward pass: post each layer's weight-gradient
+        all-reduce nonblocking as soon as it is computed and drain the
+        handles in ``apply_gradients``, overlapping the reductions with
+        the remaining backward compute.  Bit-identical results at the
+        same wire precision; see the "Gradient exchange" section of
+        ``docs/performance.md``.
+    grad_bucket_bytes:
+        Tensor-fusion bucket size (wire bytes) for the gradient exchange:
+        consecutive small per-layer gradients are packed into one flat
+        fused buffer before reduction.  ``None`` (default) sizes buckets
+        from the calibrated per-message overhead of the active backend —
+        fusion engages only when ``grad_overlap`` or a reduced
+        ``grad_dtype`` is requested, keeping the default path identical
+        to the synchronous trainer.  ``0`` forces one reduction per
+        layer.
+    grad_dtype:
+        Wire precision of the gradient exchange: ``None`` (default, the
+        model dtype), ``"float32"``, ``"float16"`` or ``"bfloat16"``
+        (carried as a uint16 view — NumPy has no native bf16).  Gradients
+        are cast down for the wire, reduced, and applied to the
+        full-precision master weights (``dtype``).
     """
 
     n_ranks: int = 4
@@ -121,6 +144,9 @@ class DistTrainConfig:
     normalize_adjacency: bool = True
     dtype: str = "float64"
     pipeline_depth: int = 1
+    grad_overlap: bool = False
+    grad_bucket_bytes: Optional[int] = None
+    grad_dtype: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_ranks <= 0:
@@ -158,6 +184,16 @@ class DistTrainConfig:
             raise ValueError(
                 f"pipeline_depth must be a positive integer, got "
                 f"{self.pipeline_depth!r}")
+        if self.grad_bucket_bytes is not None and (
+                not isinstance(self.grad_bucket_bytes, int)
+                or self.grad_bucket_bytes < 0):
+            raise ValueError(
+                f"grad_bucket_bytes must be a non-negative integer or None "
+                f"(auto), got {self.grad_bucket_bytes!r}")
+        if self.grad_dtype is not None and self.grad_dtype not in GRAD_DTYPES:
+            raise ValueError(
+                f"grad_dtype must be one of {GRAD_DTYPES} or None (the "
+                f"model dtype), got {self.grad_dtype!r}")
 
     @property
     def np_dtype(self):

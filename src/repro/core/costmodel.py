@@ -45,6 +45,7 @@ __all__ = [
     "spmm_cost_15d_oblivious",
     "spmm_cost_15d_sparsity_aware",
     "epoch_cost",
+    "gradient_exchange_cost",
     "crossover_process_count",
     "best_replication_factor",
 ]
@@ -225,12 +226,65 @@ def _overlap_windows(algorithm: str, sparsity_aware: bool,
     return 0
 
 
+def gradient_exchange_cost(layer_dims: Sequence[int],
+                           machine: "str | MachineModel",
+                           nranks: int,
+                           element_bytes: int = ELEMENT_BYTES,
+                           grad_element_bytes: Optional[int] = None,
+                           bucket_bytes: int = 0,
+                           overlap: bool = False,
+                           compute_s: float = 0.0) -> float:
+    """Predicted per-epoch cost of the weight-gradient all-reduces.
+
+    Each layer contributes one ``f_in x f_out`` ring all-reduce at the
+    gradient wire width (``grad_element_bytes``, defaulting to the model
+    element width).  Fusion packs consecutive layers into buckets of
+    ``bucket_bytes`` — fewer messages, so the per-message latency term is
+    amortised.  With ``overlap`` the buckets post during the backward
+    pass: everything except the last bucket's share can hide behind the
+    remaining backward compute (``compute_s``), mirroring both the
+    simulator's ``max(comm, compute)`` accounting and the fusion/overlap
+    tension — one giant bucket flushes after the last layer and has
+    nothing left to hide behind.
+    """
+    machine = get_machine(machine)
+    p = int(nranks)
+    if p <= 1:
+        return 0.0
+    geb = element_bytes if grad_element_bytes is None else grad_element_bytes
+    sizes = [int(layer_dims[l - 1]) * int(layer_dims[l]) * geb
+             for l in range(1, len(layer_dims))]
+    buckets: List[float] = []
+    open_bytes = 0.0
+    for nbytes in sizes:
+        open_bytes += nbytes
+        if open_bytes >= bucket_bytes:
+            buckets.append(open_bytes)
+            open_bytes = 0.0
+    if open_bytes > 0.0:
+        buckets.append(open_bytes)
+    alpha, beta = machine.worst_link(p)
+    total = 0.0
+    for nbytes in buckets:
+        total += 2.0 * math.log2(p) * alpha \
+            + 2.0 * nbytes * beta * (p - 1) / p
+    if overlap and len(buckets) >= 1:
+        windows = len(buckets)
+        hidden = min(total, compute_s) * (windows - 1) / max(1, windows)
+        total -= hidden
+    return total
+
+
 def epoch_cost(matrix: DistSparseMatrix, layer_dims: Sequence[int],
                machine: "str | MachineModel",
                algorithm: str = "1d", sparsity_aware: bool = True,
                nranks: Optional[int] = None, replication: int = 1,
                element_bytes: int = ELEMENT_BYTES,
-               pipeline_depth: int = 1) -> CommCostBreakdown:
+               pipeline_depth: int = 1,
+               grad_exchange: bool = False,
+               grad_overlap: bool = False,
+               grad_bucket_bytes: int = 0,
+               grad_element_bytes: Optional[int] = None) -> CommCostBreakdown:
     """Predicted cost of one training epoch (2 distributed SpMMs per layer).
 
     ``layer_dims`` is ``[f_0, ..., f_L]``; the forward SpMM of layer ``l``
@@ -244,6 +298,12 @@ def epoch_cost(matrix: DistSparseMatrix, layer_dims: Sequence[int],
     exchange can never be hidden, and latency plus the replica reduction
     stay on the critical path.  ``pipeline_depth=1`` reproduces the
     synchronous model exactly.
+
+    With ``grad_exchange=True`` the model adds the per-layer
+    weight-gradient all-reduces (:func:`gradient_exchange_cost`) to the
+    reduction term, honouring the trainer's ``grad_overlap`` /
+    ``grad_bucket_bytes`` / wire-width settings; the default keeps the
+    historical SpMM-only prediction so existing tables are unchanged.
     """
     if len(layer_dims) < 2:
         raise ValueError("layer_dims needs at least [in_features, classes]")
@@ -277,6 +337,15 @@ def epoch_cost(matrix: DistSparseMatrix, layer_dims: Sequence[int],
             totals["bandwidth_s"] += bandwidth
             totals["reduction_s"] += cost.reduction_s
             totals["compute_s"] += cost.compute_s
+    if grad_exchange:
+        p = nranks if nranks is not None else matrix.nblocks
+        totals["reduction_s"] += gradient_exchange_cost(
+            layer_dims, machine, p,
+            element_bytes=element_bytes,
+            grad_element_bytes=grad_element_bytes,
+            bucket_bytes=grad_bucket_bytes,
+            overlap=grad_overlap,
+            compute_s=totals["compute_s"] / 2.0)
     return CommCostBreakdown(**totals)
 
 

@@ -31,6 +31,7 @@ from ..gcn.loss import softmax
 from .config import Algorithm
 from .dist_matrix import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
 from .engine import CompiledSpmm, DenseSpec, SpmmEngine
+from .gradsync import DeferredScalar, GradientExchanger, PendingGradients
 from .spmm_15d import ProcessGrid
 
 __all__ = ["DistLayerCache", "DistributedGCN"]
@@ -78,6 +79,14 @@ class DistributedGCN:
         (``1`` = synchronous exchanges; ``> 1`` overlaps staged exchanges
         with local multiplies, bit-identically — see
         ``docs/performance.md``).
+    grad_overlap / grad_bucket_bytes / grad_dtype:
+        Gradient-exchange policy (see :mod:`repro.core.gradsync`):
+        wait-free nonblocking weight-gradient reductions drained in
+        :meth:`apply_gradients`, tensor-fusion bucket size in wire
+        bytes, and the wire precision (``None`` = the model dtype;
+        reduced gradients always apply to the full-precision master
+        weights).  The defaults reproduce the synchronous trainer
+        bit- and clock-identically.
 
     Every distributed SpMM the model issues runs through a **compiled
     operator** (:meth:`repro.core.engine.SpmmEngine.compile`): the model
@@ -98,7 +107,10 @@ class DistributedGCN:
                  grid: Optional[ProcessGrid] = None,
                  seed: int = 0,
                  dtype=np.float64,
-                 pipeline_depth: int = 1) -> None:
+                 pipeline_depth: int = 1,
+                 grad_overlap: bool = False,
+                 grad_bucket_bytes: int = 0,
+                 grad_dtype: Optional[str] = None) -> None:
         if adjacency_dist.dist != features_dist.dist:
             raise ValueError("adjacency and features use different distributions")
         self.adjacency = adjacency_dist
@@ -161,6 +173,11 @@ class DistributedGCN:
         self.n_train = int(self.train_mask.sum())
         if self.n_train == 0:
             raise ValueError("the training mask selects no vertices")
+
+        self.gradsync = GradientExchanger(comm, model_dtype=self.dtype,
+                                          grad_dtype=grad_dtype,
+                                          overlap=grad_overlap,
+                                          bucket_bytes=grad_bucket_bytes)
 
     # ------------------------------------------------------------------
     # helpers
@@ -257,12 +274,18 @@ class DistributedGCN:
             h = h_out
         return caches
 
-    def loss_and_logits_grad(self, logits: DistDenseMatrix
+    def loss_and_logits_grad(self, logits: DistDenseMatrix,
+                             defer: bool = False
                              ) -> tuple[float, DistDenseMatrix]:
         """Masked softmax cross-entropy, computed block-locally.
 
         The scalar loss is combined with a tiny all-reduce (a lower-order
-        term, as the paper notes for the ``f x f`` reductions).
+        term, as the paper notes for the ``f x f`` reductions).  With
+        ``defer=True`` (and ``grad_overlap`` configured) the reduction is
+        posted nonblocking and the first element of the returned tuple is
+        a :class:`~repro.core.gradsync.DeferredScalar` — it resolves after
+        the backward pass, so the loss reduction hides behind the first
+        backward SpMM.
         """
         local_losses: List[np.ndarray] = [None] * self.dist.nblocks
         grad_blocks: List[np.ndarray] = [None] * self.dist.nblocks
@@ -299,14 +322,27 @@ class DistributedGCN:
         for block in range(self.dist.nblocks):
             owner = self._owners_of_block(block)[0]
             contributions[owner] = local_losses[block]
-        reduced = self.comm.allreduce(contributions, category="allreduce")
-        loss = float(reduced[0][0]) / self.n_train
+        if defer and self.gradsync.overlap:
+            loss = self.gradsync.reduce_scalar(contributions, self.n_train)
+        else:
+            reduced = self.comm.allreduce(contributions, category="allreduce")
+            loss = float(reduced[0][0]) / self.n_train
         return loss, DistDenseMatrix(grad_blocks, self.dist, dtype=self.dtype)
 
     def backward(self, caches: List[DistLayerCache], grad_logits: DistDenseMatrix
-                 ) -> List[np.ndarray]:
-        """Backward pass; returns the (already all-reduced) weight gradients."""
-        grads: List[Optional[np.ndarray]] = [None] * self.n_layers
+                 ) -> PendingGradients:
+        """Backward pass; returns the weight gradients as a
+        :class:`~repro.core.gradsync.PendingGradients` sequence.
+
+        Each layer's per-rank contributions are handed to the gradient
+        exchanger the moment they are computed — with ``grad_overlap``
+        the reduction is posted nonblocking and the input-gradient SpMM
+        of the next (earlier) layer proceeds immediately; the handles
+        drain in :meth:`apply_gradients` (or on first access to the
+        returned sequence).  Without overlap the exchanger issues the
+        same blocking per-layer all-reduce as always.
+        """
+        session = self.gradsync.open(self.n_layers)
         grad_z = grad_logits
         for l in range(self.n_layers - 1, -1, -1):
             weight = self.weights[l]
@@ -327,13 +363,13 @@ class DistributedGCN:
 
             self._parallel_over_blocks(make_contrib_task)
 
-            # All-reduce of the f_in x f_out gradient (lower-order term).
+            # All-reduce of the f_in x f_out gradient (lower-order term),
+            # via the gradient exchanger (wait-free when configured).
             contributions = [np.zeros_like(weight) for _ in range(self.comm.nranks)]
             for block in range(self.dist.nblocks):
                 owner = self._owners_of_block(block)[0]
                 contributions[owner] = contributions[owner] + local_contribs[block]
-            reduced = self.comm.allreduce(contributions, category="allreduce")
-            grads[l] = reduced[0]
+            session.post(l, contributions)
 
             if l > 0:
                 _, act_grad = self._activations[l - 1]
@@ -354,16 +390,21 @@ class DistributedGCN:
 
                 self._parallel_over_blocks(make_grad_task)
                 grad_z = DistDenseMatrix(next_blocks, self.dist, dtype=self.dtype)
-        return grads  # type: ignore[return-value]
+        session.close()
+        return PendingGradients(session)
 
     def apply_gradients(self, grads: Sequence[np.ndarray], lr: float) -> None:
-        """SGD step on the replicated weights (charged to every rank)."""
+        """SGD step on the replicated full-precision master weights
+        (charged to every rank); drains any in-flight gradient exchange
+        first — this is where the wait-free window ends."""
+        if isinstance(grads, PendingGradients):
+            grads = grads.wait()
         if len(grads) != self.n_layers:
             raise ValueError("gradient count does not match the layer count")
         for l, g in enumerate(grads):
             if g.shape != self.weights[l].shape:
                 raise ValueError("gradient shape mismatch")
-            self.weights[l] = self.weights[l] - lr * g
+            self.weights[l] = self.weights[l] - lr * np.asarray(g, dtype=self.dtype)
             for rank in range(self.comm.nranks):
                 self.comm.charge_elementwise(rank, g.size, category="local")
 
@@ -373,9 +414,12 @@ class DistributedGCN:
     def train_epoch(self, lr: float) -> float:
         """One full-graph training epoch; returns the training loss."""
         caches = self.forward()
-        loss, grad_logits = self.loss_and_logits_grad(caches[-1].h_out)
+        loss, grad_logits = self.loss_and_logits_grad(
+            caches[-1].h_out, defer=self.gradsync.overlap)
         grads = self.backward(caches, grad_logits)
         self.apply_gradients(grads, lr)
+        if isinstance(loss, DeferredScalar):
+            loss = loss.value()
         return loss
 
     def global_logits(self) -> np.ndarray:

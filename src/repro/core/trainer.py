@@ -61,6 +61,10 @@ class DistTrainResult:
     comm_summary: Dict[str, float]
     partition_stats: Dict[str, float]
     model: DistributedGCN
+    #: Per-epoch gradient-exchange accounting (wire precision, fusion
+    #: buckets, drain wait) from :class:`~repro.core.gradsync
+    #: .GradientExchanger`; empty for runs predating the field.
+    grad_summary: Dict[str, object] = field(default_factory=dict)
 
     @property
     def final_loss(self) -> float:
@@ -168,6 +172,26 @@ def setup_distributed(dataset: GraphDataset, config: DistTrainConfig,
         raise
 
 
+def _resolve_grad_bucket_bytes(config: DistTrainConfig,
+                               comm: Communicator) -> int:
+    """Concrete fusion bucket size for this run.
+
+    Explicit sizes pass through.  ``None`` (auto) sizes buckets from the
+    backend's calibrated per-message overhead — but only when the
+    gradient-exchange subsystem is engaged (overlap or a reduced wire
+    precision); otherwise auto resolves to 0 so the default configuration
+    keeps the synchronous trainer's exact per-layer schedule.
+    """
+    if config.grad_bucket_bytes is not None:
+        return config.grad_bucket_bytes
+    engaged = config.grad_overlap or (
+        config.grad_dtype is not None and config.grad_dtype != config.dtype)
+    if not engaged:
+        return 0
+    from .gradsync import default_bucket_bytes
+    return default_bucket_bytes(comm)
+
+
 def _build_setup(dataset: GraphDataset, config: DistTrainConfig,
                  comm: Communicator, node_data: NodeData, matrix,
                  partition: Optional[PartitionResult],
@@ -196,6 +220,9 @@ def _build_setup(dataset: GraphDataset, config: DistTrainConfig,
         seed=config.seed,
         dtype=dtype,
         pipeline_depth=config.pipeline_depth,
+        grad_overlap=config.grad_overlap,
+        grad_bucket_bytes=_resolve_grad_bucket_bytes(config, comm),
+        grad_dtype=config.grad_dtype,
     )
     return DistributedSetup(model=model, comm=comm, node_data=node_data,
                             partition=partition, distribution=distribution,
@@ -264,5 +291,6 @@ def train_distributed(dataset: GraphDataset, config: DistTrainConfig,
         comm_summary=comm.stats_summary(),
         partition_stats=dict(setup.partition.stats) if setup.partition else {},
         model=model,
+        grad_summary=model.gradsync.summary(n_epochs=len(history)),
     )
     return result

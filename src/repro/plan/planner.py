@@ -40,9 +40,9 @@ from ..graphs.datasets import GraphDataset
 from .cache import PlanCache, matrix_fingerprint, plan_key
 from .probe import ProbeResult, probe_ranked
 from .score import PlanMatrixCache, ScoredCandidate, score_candidates
-from .space import (DEFAULT_PARTITIONERS, DEFAULT_PIPELINE_DEPTHS,
-                    DEFAULT_REPLICATION_CANDIDATES, PlanCandidate,
-                    enumerate_candidates)
+from .space import (DEFAULT_GRAD_OVERLAPS, DEFAULT_PARTITIONERS,
+                    DEFAULT_PIPELINE_DEPTHS, DEFAULT_REPLICATION_CANDIDATES,
+                    PlanCandidate, enumerate_candidates)
 
 __all__ = ["ExecutionPlan", "PlanReport", "Planner", "plan_for_dataset",
            "resolve_config"]
@@ -64,6 +64,7 @@ class ExecutionPlan:
     machine: str
     fingerprint: str
     pipeline_depth: int = 1
+    grad_overlap: bool = False
 
     @property
     def mode(self) -> str:
@@ -91,6 +92,7 @@ class ExecutionPlan:
             "replication_factor": self.replication_factor,
             "n_ranks": self.n_ranks,
             "pipeline_depth": self.pipeline_depth,
+            "grad_overlap": self.grad_overlap,
         }
 
     def as_dict(self) -> Dict[str, object]:
@@ -102,6 +104,7 @@ class ExecutionPlan:
             "replication_factor": self.replication_factor,
             "n_ranks": self.n_ranks,
             "pipeline_depth": self.pipeline_depth,
+            "grad_overlap": self.grad_overlap,
             "predicted_s": self.predicted_s,
             "probed_s": self.probed_s,
             "source": self.source,
@@ -121,8 +124,11 @@ class ExecutionPlan:
             replication_factor=int(payload["replication_factor"]),
             n_ranks=int(payload["n_ranks"]),
             # Records written before the overlap work carry no depth;
-            # they described synchronous execution.
+            # they described synchronous execution.  Likewise records
+            # written before the wait-free backward pass carry no
+            # grad_overlap; they described blocking gradient reduces.
             pipeline_depth=int(payload.get("pipeline_depth", 1)),
+            grad_overlap=bool(payload.get("grad_overlap", False)),
             predicted_s=float(payload["predicted_s"]),
             probed_s=(None if payload.get("probed_s") is None
                       else float(payload["probed_s"])),
@@ -186,6 +192,7 @@ class Planner:
                  replication_candidates: Sequence[int]
                  = DEFAULT_REPLICATION_CANDIDATES,
                  pipeline_depths: Sequence[int] = DEFAULT_PIPELINE_DEPTHS,
+                 grad_overlaps: Sequence[bool] = DEFAULT_GRAD_OVERLAPS,
                  probe: bool = True,
                  top_k: int = 3,
                  probe_budget_s: Optional[float] = 10.0,
@@ -202,6 +209,7 @@ class Planner:
         self.modes = None if modes is None else tuple(modes)
         self.replication_candidates = tuple(replication_candidates)
         self.pipeline_depths = tuple(pipeline_depths)
+        self.grad_overlaps = tuple(grad_overlaps)
         self.probe = probe
         self.top_k = top_k
         self.probe_budget_s = probe_budget_s
@@ -238,6 +246,7 @@ class Planner:
             "variants": tuple(available_spmm_variants()),
             "replications": self.replication_candidates,
             "pipeline_depths": self.pipeline_depths,
+            "grad_overlaps": self.grad_overlaps,
             # The *effective* table (defaults overlaid with this host's
             # measured calibration): running `repro calibrate` changes
             # the scoring inputs, so it must invalidate cached plans.
@@ -281,6 +290,7 @@ class Planner:
             replication_candidates=self.replication_candidates,
             n_vertices=matrix_cache.n_vertices,
             pipeline_depths=self.pipeline_depths,
+            grad_overlaps=self.grad_overlaps,
         )
         ranked = score_candidates(candidates, matrix_cache, layer_dims,
                                   self.machine)
@@ -308,6 +318,7 @@ class Planner:
             replication_factor=best.candidate.replication_factor,
             n_ranks=best.candidate.n_ranks,
             pipeline_depth=best.candidate.pipeline_depth,
+            grad_overlap=best.candidate.grad_overlap,
             predicted_s=best.predicted_s,
             probed_s=best_probe.probed_s if best_probe else None,
             source="probed" if best_probe else "analytic",
@@ -439,7 +450,9 @@ def resolve_config(dataset: GraphDataset, config: DistTrainConfig,
         replication_candidates=replication_candidates,
         # The pipeline depth is never "auto" on a config: the planner
         # plans at exactly the depth the training run will execute.
+        # Same for the gradient-exchange overlap flag.
         pipeline_depths=[config.pipeline_depth],
+        grad_overlaps=[config.grad_overlap],
         probe=probe,
         seed=config.seed,
         cache=cache,

@@ -24,7 +24,8 @@ import numpy as np
 
 from ..comm.machine import MachineModel, get_machine
 from ..core.config import Algorithm
-from ..core.costmodel import epoch_cost
+from ..core.costmodel import epoch_cost, gradient_exchange_cost
+from ..core.gradsync import bucket_bytes_for_overhead
 from ..core.dist_matrix import BlockRowDistribution, DistSparseMatrix
 from ..graphs.adjacency import (gcn_normalize, permutation_from_parts,
                                 symmetric_permutation)
@@ -204,10 +205,24 @@ def score_candidates(candidates: Sequence[PlanCandidate],
             cost_memo[group] = cost
         overhead = backend_overhead_s(candidate, n_layers,
                                       overheads=overheads)
+        # Gradient-exchange term: backend-dependent (the wait-free
+        # trainer fuses into buckets sized from the backend's calibrated
+        # per-message overhead), so it lives outside the group memo.  A
+        # synchronous candidate reduces per layer with nothing hidden; an
+        # overlapped one fuses and hides all but the last bucket behind
+        # the backward-pass compute.
+        grad_bucket = bucket_bytes_for_overhead(
+            overheads.get(candidate.backend, 0.0)) \
+            if candidate.grad_overlap else 0
+        grad_s = gradient_exchange_cost(
+            layer_dims, machine, candidate.n_ranks,
+            bucket_bytes=grad_bucket,
+            overlap=candidate.grad_overlap,
+            compute_s=cost.compute_s / 2.0)
         scored.append(ScoredCandidate(
             candidate=candidate,
-            predicted_s=cost.total_s + overhead,
-            communication_s=cost.communication_s,
+            predicted_s=cost.total_s + grad_s + overhead,
+            communication_s=cost.communication_s + grad_s,
             compute_s=cost.compute_s,
             overhead_s=overhead,
         ))

@@ -21,6 +21,7 @@ from ..core.engine import available_spmm_variants, mode_name
 from ..partition import PARTITIONERS
 
 __all__ = [
+    "DEFAULT_GRAD_OVERLAPS",
     "DEFAULT_PARTITIONERS",
     "DEFAULT_PIPELINE_DEPTHS",
     "DEFAULT_REPLICATION_CANDIDATES",
@@ -48,6 +49,13 @@ DEFAULT_REPLICATION_CANDIDATES: Tuple[int, ...] = (2, 4, 8)
 #: did not describe).
 DEFAULT_PIPELINE_DEPTHS: Tuple[int, ...] = (1,)
 
+#: Gradient-exchange overlap settings tried by default.  Single-entry for
+#: the same reason as the pipeline depths: the default plan space stays
+#: identical to the synchronous planner; pass ``grad_overlaps=(False,
+#: True)`` (``repro tune --grad-overlap``) to let the planner weigh the
+#: wait-free backward pass against the synchronous one.
+DEFAULT_GRAD_OVERLAPS: Tuple[bool, ...] = (False,)
+
 
 @dataclass(frozen=True)
 class PlanCandidate:
@@ -60,6 +68,7 @@ class PlanCandidate:
     replication_factor: int
     n_ranks: int
     pipeline_depth: int = 1
+    grad_overlap: bool = False
 
     @property
     def mode(self) -> str:
@@ -81,14 +90,17 @@ class PlanCandidate:
         """Deterministic tie-break order (stable across runs)."""
         return (self.algorithm, self.mode, self.partitioner or "",
                 self.backend, self.replication_factor, self.n_ranks,
-                self.pipeline_depth)
+                self.pipeline_depth, self.grad_overlap)
 
     def group_key(self) -> Tuple:
         """Identity of the backend-independent execution: candidates with
         the same group share one probe measurement and one analytic
         epoch cost (the scorer, prober and planner all group by this).
         ``pipeline_depth`` is part of the group — pipelined execution is
-        a genuinely different schedule, probed separately."""
+        a genuinely different schedule, probed separately.
+        ``grad_overlap`` is *not*: probes time SpMM schedules, which the
+        gradient exchange does not change (the scorer adds its analytic
+        term per candidate)."""
         return (self.algorithm, self.mode, self.partitioner,
                 self.replication_factor, self.n_ranks, self.pipeline_depth)
 
@@ -102,6 +114,7 @@ class PlanCandidate:
             "c": self.replication_factor,
             "p": self.n_ranks,
             "depth": self.pipeline_depth,
+            "grad_overlap": self.grad_overlap,
         }
 
 
@@ -145,7 +158,9 @@ def enumerate_candidates(n_ranks: "int | Sequence[int]",
                          = DEFAULT_REPLICATION_CANDIDATES,
                          n_vertices: Optional[int] = None,
                          pipeline_depths: Sequence[int]
-                         = DEFAULT_PIPELINE_DEPTHS
+                         = DEFAULT_PIPELINE_DEPTHS,
+                         grad_overlaps: Sequence[bool]
+                         = DEFAULT_GRAD_OVERLAPS
                          ) -> List[PlanCandidate]:
     """Enumerate the plan space in deterministic order.
 
@@ -176,6 +191,10 @@ def enumerate_candidates(n_ranks: "int | Sequence[int]",
         identical to the pre-overlap planner).  Depths above 1 are
         pruned for the sparsity-aware 1D variant, whose single un-staged
         all-to-allv has nothing to pipeline.
+    grad_overlaps:
+        Gradient-exchange overlap settings to enumerate (default
+        ``(False,)`` — synchronous weight-gradient all-reduces only,
+        keeping the default space unchanged).
     """
     rank_counts = [n_ranks] if isinstance(n_ranks, int) else list(n_ranks)
     if not rank_counts or any(p <= 0 for p in rank_counts):
@@ -202,6 +221,10 @@ def enumerate_candidates(n_ranks: "int | Sequence[int]",
         raise ValueError(
             f"pipeline depths must be positive, got {list(pipeline_depths)}")
 
+    overlaps = sorted(set(bool(g) for g in grad_overlaps))
+    if not overlaps:
+        raise ValueError("grad_overlaps must not be empty")
+
     out: List[PlanCandidate] = []
     for p in sorted(set(rank_counts)):
         for algorithm, mode in variants:
@@ -226,14 +249,16 @@ def enumerate_candidates(n_ranks: "int | Sequence[int]",
                                 # is enumerated — the rest would be
                                 # duplicates.
                                 continue
-                            out.append(PlanCandidate(
-                                algorithm=algorithm,
-                                sparsity_aware=(mode == "sparsity_aware"),
-                                backend=backend,
-                                partitioner=partitioner,
-                                replication_factor=c,
-                                n_ranks=p,
-                                pipeline_depth=depth,
-                            ))
+                            for grad_overlap in overlaps:
+                                out.append(PlanCandidate(
+                                    algorithm=algorithm,
+                                    sparsity_aware=(mode == "sparsity_aware"),
+                                    backend=backend,
+                                    partitioner=partitioner,
+                                    replication_factor=c,
+                                    n_ranks=p,
+                                    pipeline_depth=depth,
+                                    grad_overlap=grad_overlap,
+                                ))
     out.sort(key=PlanCandidate.sort_key)
     return out
