@@ -7,6 +7,9 @@
 # a wait-free-backward training leg (--grad-overlap --grad-dtype
 # bfloat16: overlapped bucketed gradient exchange on a compressed wire)
 # on every backend,
+# a kill-and-resume fault-tolerance leg (SIGKILL a process-backend
+# worker mid-run, supervised restart restores the checkpoint, final
+# weights asserted bit-identical to the uninterrupted run),
 # the per-host overhead calibration (repro calibrate --quick --dry-run,
 # never writing CI hosts' numbers anywhere), and the
 # kernel/compiled-epoch/overlap microbenchmark (scripts/bench_kernels.py
@@ -45,6 +48,29 @@ timeout 60 bash -c '
       --epochs 1 --partitioner none --grad-overlap --grad-dtype bfloat16 \
       --backend "${backend}"
   done
+  echo "== kill-and-resume (process backend) =="
+  python - <<"PYEOF"
+import tempfile
+import numpy as np
+from repro.comm.faults import FaultPlan
+from repro.core import DistTrainConfig, train_distributed
+from repro.graphs import load_dataset
+
+dataset = load_dataset("reddit", scale=0.05, n_features=8, n_classes=3, seed=1)
+base = dict(n_ranks=2, epochs=3, backend="process", hidden=6, n_layers=2)
+reference = train_distributed(dataset, DistTrainConfig(**base), eval_every=0)
+with tempfile.TemporaryDirectory() as ckpt_dir:
+    cfg = DistTrainConfig(**base, checkpoint_dir=ckpt_dir,
+                          checkpoint_every=1, max_restarts=1)
+    result = train_distributed(dataset, cfg, eval_every=0,
+                               fault_plan=FaultPlan.kill(rank=1, epoch=1))
+assert result.restarts == 1 and result.resumed_from_epoch == 1, (
+    result.restarts, result.resumed_from_epoch)
+for got, want in zip(result.model.weight_state(),
+                     reference.model.weight_state()):
+    assert np.array_equal(got, want), "resume diverged from clean run"
+print("kill-and-resume: bit-identical after restart")
+PYEOF
   echo "== repro calibrate --quick --dry-run =="
   python -m repro calibrate --quick --dry-run
   echo "== bench_kernels --quick =="

@@ -136,6 +136,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "sized from the backend's calibrated "
                               "per-message overhead when overlap or a "
                               "reduced wire dtype is on)")
+    p_train.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                         help="directory for atomic training checkpoints "
+                              "(weights, optimizer/RNG state, epoch, plan "
+                              "fingerprint — see docs/backends.md)")
+    p_train.add_argument("--checkpoint-every", type=int, default=0,
+                         metavar="N",
+                         help="save a checkpoint every N epochs (requires "
+                              "--checkpoint-dir; 0 disables)")
+    p_train.add_argument("--resume", action="store_true",
+                         help="resume from the newest intact checkpoint in "
+                              "--checkpoint-dir (bit-identical to the "
+                              "uninterrupted run on the same plan)")
+    p_train.add_argument("--max-restarts", type=int, default=0, metavar="N",
+                         help="supervised retry budget on a detected rank "
+                              "loss (restores the last checkpoint when one "
+                              "exists; 0 propagates the failure)")
+    p_train.add_argument("--elastic", action="store_true",
+                         help="on restart after a rank loss, re-partition "
+                              "and re-plan at the surviving rank count "
+                              "instead of retrying the same configuration")
 
     p_bench = sub.add_parser("bench", help="regenerate a paper table/figure")
     p_bench.add_argument("experiment", nargs="?", default=None,
@@ -294,6 +314,11 @@ def _cmd_train(args) -> int:
         grad_overlap=args.grad_overlap,
         grad_bucket_bytes=args.grad_bucket_bytes,
         grad_dtype=args.grad_dtype,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        max_restarts=args.max_restarts,
+        elastic=args.elastic,
     )
     result = train_distributed(dataset, config, eval_every=0)
     config = result.config      # planner-resolved when --auto / "auto"
@@ -316,6 +341,11 @@ def _cmd_train(args) -> int:
         "final_loss": result.final_loss,
         "test_accuracy": result.test_accuracy,
     }
+    if result.restarts or result.resumed_from_epoch is not None:
+        summary["restarts"] = result.restarts
+        summary["resumed_from_epoch"] = (
+            "-" if result.resumed_from_epoch is None
+            else result.resumed_from_epoch)
     summary.update({f"time_{k}_s_per_epoch": v
                     for k, v in result.breakdown.items()})
     summary.update({f"comm_{k}": v for k, v in result.comm_summary.items()

@@ -14,6 +14,9 @@ swappable communicator backends behind one abstract interface:
   state between ranks),
 * :mod:`repro.comm.factory`     — :func:`make_communicator` /
   :func:`register_backend`, the backend registry call sites go through,
+* :mod:`repro.comm.faults`      — deterministic fault injection
+  (:class:`FaultPlan`) and the structured :class:`WorkerFailure` every
+  backend raises when a rank is lost,
 * :mod:`repro.comm.machine`     — alpha-beta machine models (Perlmutter preset),
 * :mod:`repro.comm.events`      — per-message event log,
 * :mod:`repro.comm.timeline`    — per-rank clocks and category attribution,
@@ -29,6 +32,7 @@ from .base import (CommHandle, CompletedCommHandle, Communicator,
 from .events import CommEvent, EventLog
 from .factory import (BACKENDS, available_backends, make_communicator,
                       register_backend)
+from .faults import FaultPlan, FaultSpec, WorkerFailure
 from .machine import (MachineModel, PRESETS, get_machine, laptop, perlmutter,
                       perlmutter_scaled)
 from .process import ProcessPoolCommunicator
@@ -52,6 +56,9 @@ __all__ = [
     "available_backends",
     "make_communicator",
     "register_backend",
+    "FaultPlan",
+    "FaultSpec",
+    "WorkerFailure",
     "ThreadedCommunicator",
     "ProcessPoolCommunicator",
     "CommEvent",

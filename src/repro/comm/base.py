@@ -61,6 +61,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .events import EventLog
+from .faults import FaultPlan
 from .timeline import Timeline
 from .tracker import CommStats
 
@@ -207,6 +208,7 @@ class Communicator(abc.ABC):
         self.events = EventLog()
         self.timeline = Timeline(nranks)
         self._closed = False
+        self._fault_plan: Optional[FaultPlan] = None
 
     # ------------------------------------------------------------------
     # Rank / group queries
@@ -272,6 +274,31 @@ class Communicator(abc.ABC):
             raise ValueError(f"unsupported reduce op {op!r}")
 
     # ------------------------------------------------------------------
+    # Fault injection (deterministic chaos testing; see comm/faults.py)
+    # ------------------------------------------------------------------
+    def inject_faults(self, plan: Optional[FaultPlan]) -> None:
+        """Arm a :class:`~repro.comm.faults.FaultPlan` on this communicator.
+
+        The plan's :meth:`~repro.comm.faults.FaultPlan.on_collective` hook
+        runs once per collective — at the top of the shared
+        volume-accounting helpers and :meth:`_begin_exchange` — so a fault
+        addressed as "epoch e, collective k" fires at the same logical
+        point on every backend, blocking and nonblocking alike.  Pass
+        ``None`` to disarm.
+        """
+        self._fault_plan = plan
+
+    def _fault_point(self) -> None:
+        """Tick the armed fault plan (no-op when none is armed)."""
+        if self._fault_plan is not None:
+            self._fault_plan.on_collective(self)
+
+    def _begin_exchange(self, category: str = "p2p") -> int:
+        """Fault-point + step allocation shared by the exchange paths."""
+        self._fault_point()
+        return self.events.next_step()
+
+    # ------------------------------------------------------------------
     # Shared volume accounting (identical event streams across backends,
     # so Table-2 style statistics do not depend on the backend)
     # ------------------------------------------------------------------
@@ -279,6 +306,7 @@ class Communicator(abc.ABC):
                                  category: str) -> List[List[int]]:
         """Log one message per off-diagonal payload; returns the byte matrix."""
         p = len(group)
+        self._fault_point()
         step = self.events.next_step()
         send_bytes = [[payload_nbytes(send[i][j]) if i != j else 0
                        for j in range(p)] for i in range(p)]
@@ -292,6 +320,7 @@ class Communicator(abc.ABC):
 
     def _record_broadcast_events(self, nbytes: int, root: int,
                                  group: Sequence[int], category: str) -> None:
+        self._fault_point()
         step = self.events.next_step()
         for r in group:
             if r != root and nbytes > 0:
@@ -303,6 +332,7 @@ class Communicator(abc.ABC):
         # Ring all-reduce: each rank sends ~2*(p-1)/p of the buffer; we log
         # it as one message to each ring neighbour for volume accounting.
         p = len(group)
+        self._fault_point()
         step = self.events.next_step()
         if p > 1 and nbytes > 0:
             per_neighbor = int(round(nbytes * (p - 1) / p))
@@ -313,6 +343,7 @@ class Communicator(abc.ABC):
 
     def _record_allgather_events(self, arrays, group: Sequence[int],
                                  category: str) -> None:
+        self._fault_point()
         step = self.events.next_step()
         for i, r in enumerate(group):
             nb = payload_nbytes(arrays[i])
@@ -323,6 +354,7 @@ class Communicator(abc.ABC):
 
     def _record_reduce_events(self, nbytes: int, root: int,
                               group: Sequence[int], category: str) -> None:
+        self._fault_point()
         step = self.events.next_step()
         for r in group:
             if r != root and nbytes > 0:

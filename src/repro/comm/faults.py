@@ -1,0 +1,182 @@
+"""Deterministic fault injection for the communicator backends.
+
+Production training has to survive a dead rank; testing that requires
+failures that are *reproducible fixtures*, not flakes.  This module
+provides the pieces:
+
+* :class:`WorkerFailure` — the structured error every backend raises when
+  a rank is lost (killed worker process, injected kill, ...).  It is a
+  ``RuntimeError`` subclass so existing "something went wrong in the comm
+  layer" handling keeps working, but carries ``rank`` / ``backend`` /
+  ``reason`` so the trainer's supervised retry loop can react
+  (checkpoint restore, elastic re-plan at the surviving rank count).
+* :class:`FaultSpec` — one scheduled fault: ``kill rank r at epoch e,
+  collective k`` or ``delay collective k by s seconds``.
+* :class:`FaultPlan` — an ordered set of specs, injected into any
+  backend via :meth:`Communicator.inject_faults`.  The base class calls
+  :meth:`FaultPlan.on_collective` from the shared volume-accounting
+  helpers, i.e. exactly once per collective on every backend (blocking
+  and nonblocking alike), so a plan fires at the same logical point in
+  the epoch no matter which runtime moves the data.
+
+Firing semantics:
+
+* ``kill``: on the process backend the worker process of ``rank`` is
+  SIGKILLed (``_kill_worker``) and the regular lost-worker detection
+  turns that into a :class:`WorkerFailure`; on in-process backends
+  (sim, threaded) there is no OS process to kill, so the failure is
+  raised directly from the fault point.  Either way the caller observes
+  the same structured error.
+* ``delay``: the simulator charges the seconds to the rank's simulated
+  clock; real backends sleep for them.
+
+Each spec fires **once** per plan instance — a supervised restart that
+re-injects the same plan does not re-kill the rank it already killed,
+which is what makes kill-and-recover tests deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .base import Communicator
+
+__all__ = ["FaultPlan", "FaultSpec", "WorkerFailure"]
+
+_ACTIONS = ("kill", "delay")
+
+
+class WorkerFailure(RuntimeError):
+    """A rank was lost (worker died or a fault plan killed it).
+
+    Attributes
+    ----------
+    rank:
+        The global rank that was lost.
+    backend:
+        Registry name of the backend that detected the loss.
+    reason:
+        Human-readable cause ("worker process died", "injected fault").
+    """
+
+    def __init__(self, rank: int, backend: str = "unknown",
+                 reason: str = "worker lost") -> None:
+        self.rank = int(rank)
+        self.backend = backend
+        self.reason = reason
+        super().__init__(
+            f"rank {self.rank} lost on backend {backend!r}: {reason}")
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault.
+
+    ``epoch`` and ``op_index`` address the firing point: the
+    ``op_index``-th collective (0-based, counted across all collective
+    kinds) after the most recent :meth:`FaultPlan.start_epoch` call with
+    that epoch number.  Code that never calls ``start_epoch`` (plain
+    comm-layer tests) implicitly runs at epoch 0.
+    """
+
+    action: str                    # "kill" | "delay"
+    rank: int = 0
+    epoch: int = 0
+    op_index: int = 0
+    seconds: float = 0.0           # delay only
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; expected {_ACTIONS}")
+        if self.rank < 0:
+            raise ValueError(f"rank must be non-negative, got {self.rank}")
+        if self.epoch < 0 or self.op_index < 0:
+            raise ValueError("epoch and op_index must be non-negative")
+        if self.action == "delay" and self.seconds < 0:
+            raise ValueError(f"delay seconds must be >= 0, got {self.seconds}")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults, injectable into any backend."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._epoch = 0
+        self._op = 0
+        self._fired: set = set()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def kill(cls, rank: int, epoch: int = 0, op_index: int = 0) -> "FaultPlan":
+        """Plan that kills ``rank`` at the given epoch/collective index."""
+        return cls([FaultSpec("kill", rank=rank, epoch=epoch,
+                              op_index=op_index)])
+
+    @classmethod
+    def delay(cls, seconds: float, rank: int = 0, epoch: int = 0,
+              op_index: int = 0) -> "FaultPlan":
+        """Plan that delays the addressed collective by ``seconds``."""
+        return cls([FaultSpec("delay", rank=rank, epoch=epoch,
+                              op_index=op_index, seconds=seconds)])
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        """Append another scheduled fault; returns self for chaining."""
+        self.specs.append(spec)
+        return self
+
+    # ------------------------------------------------------------------
+    # Runtime hooks (called by the trainer / the communicator base class)
+    # ------------------------------------------------------------------
+    def start_epoch(self, epoch: int) -> None:
+        """Reset the per-epoch collective counter (trainer calls this)."""
+        self._epoch = int(epoch)
+        self._op = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every scheduled fault has already fired."""
+        return len(self._fired) >= len(self.specs)
+
+    def on_collective(self, comm: "Communicator") -> None:
+        """Tick the collective counter and fire any due fault.
+
+        Called by :meth:`Communicator._fault_point` once per collective.
+        """
+        idx = self._op
+        self._op += 1
+        if self.exhausted:
+            return
+        for k, spec in enumerate(self.specs):
+            if k in self._fired:
+                continue
+            if spec.epoch == self._epoch and spec.op_index == idx:
+                self._fired.add(k)
+                self._fire(spec, comm)
+
+    # ------------------------------------------------------------------
+    def _fire(self, spec: FaultSpec, comm: "Communicator") -> None:
+        if spec.action == "delay":
+            charged = comm.charge_seconds(spec.rank, spec.seconds,
+                                          category="fault")
+            if charged == 0.0 and spec.seconds > 0:
+                # Real backend: the machine model is ignored, so make the
+                # delay physically happen instead.
+                time.sleep(spec.seconds)
+            return
+        # kill
+        killer = getattr(comm, "_kill_worker", None)
+        if killer is not None:
+            # Process backend: genuinely SIGKILL the worker; the regular
+            # lost-worker detection raises the structured failure.
+            killer(spec.rank)
+            return
+        raise WorkerFailure(spec.rank, backend=comm.backend_name,
+                            reason="injected fault (kill)")

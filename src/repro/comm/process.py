@@ -104,6 +104,7 @@ import numpy as np
 
 from .base import (CommHandle, CompletedCommHandle, Communicator,
                    payload_nbytes as _nbytes, reduce_stack)
+from .faults import WorkerFailure
 
 __all__ = ["ProcessPoolCommunicator"]
 
@@ -331,6 +332,21 @@ class _CachedStep:
         self.primed = False
 
 
+class _WorkerLost(Exception):
+    """Internal: rank's response will never arrive.
+
+    ``died`` distinguishes a dead worker process (raised to callers as a
+    structured :class:`~repro.comm.faults.WorkerFailure`) from a live but
+    unresponsive one (watchdog timeout; raised as ``RuntimeError`` like
+    before).
+    """
+
+    def __init__(self, rank: int, died: bool) -> None:
+        super().__init__(rank, died)
+        self.rank = rank
+        self.died = died
+
+
 class _PendingStep:
     """One posted-but-not-yet-drained nonblocking step (driver FIFO).
 
@@ -423,6 +439,11 @@ class ProcessPoolCommunicator(Communicator):
         self._nb_handles: List[_ProcessHandle] = []
         self._nb_slot = 0
         self._draining = False
+        # Set when a worker was lost (died or timed out): close() then
+        # joins with short grace timeouts and terminates stragglers
+        # instead of waiting out peers stuck in a barrier with the dead
+        # rank.
+        self._failed = False
 
     # ------------------------------------------------------------------
     # Worker / arena management
@@ -445,6 +466,23 @@ class ProcessPoolCommunicator(Communicator):
                 daemon=True)
             proc.start()
             self._procs.append(proc)
+
+    def _kill_worker(self, rank: int) -> None:
+        """Fault injection (``FaultPlan`` "kill"): SIGKILL ``rank``'s worker.
+
+        The next response wait notices the dead process within a fraction
+        of a second and raises the structured :class:`WorkerFailure`.
+        Chaos tests use this to make worker death a deterministic fixture
+        instead of racing a real crash.
+        """
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        self._ensure_workers()
+        proc = self._procs[rank]
+        proc.kill()
+        # Join so the death is observable (``is_alive()`` False) by the
+        # time the collective that triggered the fault starts waiting.
+        proc.join(timeout=5.0)
 
     def _ensure_arena(self, rank: int, kind: str, nbytes: int) -> _Arena:
         """Grow-only shared-memory arena for ``rank``'s ``kind`` buffer."""
@@ -550,16 +588,23 @@ class ProcessPoolCommunicator(Communicator):
     def close(self) -> None:
         """Join the worker processes and release all shared memory.
 
-        Idempotent; safe to call when the workers were never started or
-        after a collective raised.  In-flight nonblocking handles are
-        drained first: their responses are consumed (so no worker is
-        stopped mid-answer) and their results are read out of the shm
-        arenas *before* those are unlinked — interrupted runs neither
-        leak segments nor lose delivered data, and a later
-        ``handle.wait()`` still returns the result.  Reporting
-        (``elapsed`` / ``breakdown`` / ``stats_summary``) keeps working
-        afterwards; submitting new work raises ``RuntimeError``.
+        Idempotent; safe to call when the workers were never started,
+        after a collective raised, or when worker processes already died
+        (joins tolerate dead pids and, once a worker was lost, use short
+        grace timeouts before terminating peers that may be stuck in a
+        group barrier with the dead rank — close never hangs on the sync
+        queues).  In-flight nonblocking handles are drained first: their
+        responses are consumed (so no worker is stopped mid-answer) and
+        their results are read out of the shm arenas *before* those are
+        unlinked — interrupted runs neither leak segments nor lose
+        delivered data, and a later ``handle.wait()`` still returns the
+        result (or re-raises the failure).  Reporting (``elapsed`` /
+        ``breakdown`` / ``stats_summary``) keeps working afterwards;
+        submitting new work raises ``RuntimeError``.
         """
+        if self._procs is not None and not self._failed \
+                and any(not proc.is_alive() for proc in self._procs):
+            self._failed = True
         if not self._draining and self._procs is not None \
                 and self._nb_handles:
             self._draining = True
@@ -589,9 +634,15 @@ class ProcessPoolCommunicator(Communicator):
                     q.put({"op": "stop"})
                 except Exception:  # pragma: no cover - broken queue
                     pass
+            # After a lost worker its peers may be stuck in a group
+            # barrier (blocked on a sync queue) and will never see the
+            # stop command — use a short grace join and terminate them
+            # instead of paying the full join timeout per rank.
+            join_s = 0.2 if self._failed else 5.0
             for proc in procs:
-                proc.join(timeout=5.0)
-                if proc.is_alive():  # pragma: no cover - stuck worker
+                if proc.is_alive():
+                    proc.join(timeout=join_s)
+                if proc.is_alive():
                     proc.terminate()
                     proc.join(timeout=1.0)
             for q in (*cmd_qs, *out_qs, *sync_qs):
@@ -691,6 +742,57 @@ class ProcessPoolCommunicator(Communicator):
         except ValueError:  # pragma: no cover - already finalised
             pass
 
+    def _await_response(self, r: int, deadline: float):
+        """Read rank ``r``'s next response, watching the worker's liveness.
+
+        Polls with short get timeouts so a worker that *died* is noticed
+        within a fraction of a second instead of after the full watchdog
+        window.  Raises :class:`_WorkerLost` when the response can never
+        arrive (dead process) or the watchdog ``deadline`` expired.
+        """
+        while True:
+            timeout = min(0.2, max(0.01, deadline - time.perf_counter()))
+            try:
+                return self._out_qs[r].get(timeout=timeout)
+            except queue_mod.Empty:
+                proc = self._procs[r] if self._procs else None
+                if proc is not None and not proc.is_alive():
+                    # One grace re-read: the worker may have posted its
+                    # answer right before dying (the queue feeder thread's
+                    # flush races process exit).
+                    try:
+                        return self._out_qs[r].get(timeout=0.2)
+                    except queue_mod.Empty:
+                        raise _WorkerLost(r, died=True) from None
+                if time.perf_counter() >= deadline:
+                    raise _WorkerLost(r, died=False) from None
+
+    def _fail_lost(self, lost: Sequence[_WorkerLost]) -> None:
+        """Close (fast) and raise for lost workers.
+
+        A dead worker process becomes a structured :class:`WorkerFailure`
+        (the trainer's supervised retry loop catches it); a live but
+        unresponsive worker keeps the historical watchdog ``RuntimeError``.
+        Either way the communicator is closed first — shm segments are
+        unlinked and the remaining workers are torn down — because a lost
+        worker's late response could otherwise be paired with a later
+        collective's plan.
+        """
+        self._failed = True
+        if not self._draining:
+            self.close()
+        dead = [e.rank for e in lost if e.died]
+        if dead:
+            raise WorkerFailure(
+                dead[0], backend=self.backend_name,
+                reason="worker process died mid-collective; "
+                       "communicator closed")
+        ranks = [e.rank for e in lost]
+        raise RuntimeError(
+            f"rank{'s' if len(ranks) > 1 else ''} "
+            f"{', '.join(map(str, ranks))} did not finish within "
+            f"{self.timeout_s}s (deadlock?); communicator closed")
+
     def _drain_step(self, pending: _PendingStep, block: bool = True) -> bool:
         """Consume one pending step's responses; returns completion.
 
@@ -707,17 +809,24 @@ class ProcessPoolCommunicator(Communicator):
             raise RuntimeError("communicator is closed")
         start = time.perf_counter()
         deadline = start + self.timeout_s
-        lost: List[int] = []
+        lost: List[_WorkerLost] = []
         still: List[int] = []
         for r in pending.remaining:
             try:
                 if block:
-                    remaining = max(0.05, deadline - time.perf_counter())
-                    msg = self._out_qs[r].get(timeout=remaining)
+                    msg = self._await_response(r, deadline)
                 else:
                     msg = self._out_qs[r].get_nowait()
             except queue_mod.Empty:
-                (lost if block else still).append(r)
+                still.append(r)
+                continue
+            except _WorkerLost as exc:
+                lost.append(exc)
+                if exc.died:
+                    # Peers may be blocked in a group barrier with the
+                    # dead rank; close() terminates them instead of
+                    # spending a watchdog window on each.
+                    break
                 continue
             if msg[0] == "error" and pending.error is None:
                 pending.error = RuntimeError(
@@ -728,11 +837,7 @@ class ProcessPoolCommunicator(Communicator):
                 self._pending.remove(pending)
             except ValueError:  # pragma: no cover - defensive
                 pass
-            self.close()
-            raise RuntimeError(
-                f"rank{'s' if len(lost) > 1 else ''} "
-                f"{', '.join(map(str, lost))} did not finish within "
-                f"{self.timeout_s}s (deadlock?); communicator closed")
+            self._fail_lost(lost)
         if still:
             return False
         blocked = time.perf_counter() - start if block else 0.0
@@ -791,22 +896,21 @@ class ProcessPoolCommunicator(Communicator):
         for r, cmd in zip(group, cmds):
             self._cmd_qs[r].put(cmd)
         errors: List[Tuple[int, str]] = []
-        lost: List[int] = []
+        lost: List[_WorkerLost] = []
         for r in group:
             try:
-                remaining = max(0.05, deadline - time.perf_counter())
-                msg = self._out_qs[r].get(timeout=remaining)
-            except queue_mod.Empty:
-                lost.append(r)
+                msg = self._await_response(r, deadline)
+            except _WorkerLost as exc:
+                lost.append(exc)
+                if exc.died:
+                    # Don't wait out the watchdog on peers stuck in a
+                    # barrier with the dead rank; close() tears them down.
+                    break
                 continue
             if msg[0] == "error":
                 errors.append((r, msg[1]))
         if lost:
-            self.close()
-            raise RuntimeError(
-                f"rank{'s' if len(lost) > 1 else ''} "
-                f"{', '.join(map(str, lost))} did not finish within "
-                f"{self.timeout_s}s (deadlock?); communicator closed")
+            self._fail_lost(lost)
         if errors:
             rank, tb = errors[0]
             raise RuntimeError(f"rank {rank} worker failed:\n{tb}")
@@ -1264,7 +1368,7 @@ class ProcessPoolCommunicator(Communicator):
     # ------------------------------------------------------------------
     def _exchange_step(self, messages, category, sync_ranks, skind, rkind,
                        consolidate=False):
-        step = self.events.next_step()
+        step = self._begin_exchange(category)
         involved = set()
         delivered: Dict[Tuple[int, int], np.ndarray] = {}
         transport: List[Tuple[int, int, np.ndarray]] = []

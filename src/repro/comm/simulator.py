@@ -278,7 +278,7 @@ class SimCommunicator(Communicator):
         involved = set()
         send_time = np.zeros(self.nranks)
         recv_time = np.zeros(self.nranks)
-        step = self.events.next_step()
+        step = self._begin_exchange(category)
         delivered: Dict[Tuple[int, int], np.ndarray] = {}
         for src, dst, payload in messages:
             if not (0 <= src < self.nranks and 0 <= dst < self.nranks):
@@ -320,7 +320,7 @@ class SimCommunicator(Communicator):
         involved = set()
         send_time = np.zeros(self.nranks)
         recv_time = np.zeros(self.nranks)
-        step = self.events.next_step()
+        step = self._begin_exchange(category)
         delivered: Dict[Tuple[int, int], np.ndarray] = {}
         for src, dst, payload in messages:
             if not (0 <= src < self.nranks and 0 <= dst < self.nranks):

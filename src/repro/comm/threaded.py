@@ -526,7 +526,7 @@ class ThreadedCommunicator(Communicator):
     # Point-to-point batches
     # ------------------------------------------------------------------
     def _exchange_parts(self, messages, category, sync_ranks):
-        step = self.events.next_step()
+        step = self._begin_exchange(category)
         involved = set()
         outgoing: Dict[int, List[Tuple[int, int, np.ndarray]]] = {}
         expected: Dict[int, int] = {}

@@ -11,6 +11,9 @@ from .costmodel import (CommCostBreakdown, best_replication_factor,
                         gradient_exchange_cost,
                         spmm_cost_15d_oblivious, spmm_cost_15d_sparsity_aware,
                         spmm_cost_1d_oblivious, spmm_cost_1d_sparsity_aware)
+from .checkpoint import (CheckpointError, CheckpointManager,
+                         TrainingCheckpoint, config_fingerprint,
+                         read_checkpoint, write_checkpoint)
 from .dist_gcn import DistLayerCache, DistributedGCN
 from .dist_matrix import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
 from .engine import (SpmmEngine, SpmmReport, SpmmVariant,
@@ -33,6 +36,8 @@ __all__ = [
     "predicted_rows_oblivious_1d", "predicted_rows_sparsity_aware_1d",
     "single_spmm_volume_table",
     "AUTO", "Algorithm", "DistTrainConfig",
+    "CheckpointError", "CheckpointManager", "TrainingCheckpoint",
+    "config_fingerprint", "read_checkpoint", "write_checkpoint",
     "CommCostBreakdown", "best_replication_factor", "crossover_process_count",
     "epoch_cost", "gradient_exchange_cost",
     "spmm_cost_1d_oblivious", "spmm_cost_1d_sparsity_aware",

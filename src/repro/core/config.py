@@ -127,6 +127,29 @@ class DistTrainConfig:
         (carried as a uint16 view — NumPy has no native bf16).  Gradients
         are cast down for the wire, reduced, and applied to the
         full-precision master weights (``dtype``).
+    checkpoint_dir:
+        Directory for atomic training checkpoints (weights, optimizer
+        state, RNG state, epoch counter, plan fingerprint — see
+        :mod:`repro.core.checkpoint`).  ``None`` (default) disables
+        checkpointing.
+    checkpoint_every:
+        Save a checkpoint every N completed epochs (requires
+        ``checkpoint_dir``; ``0`` disables periodic saves).
+    resume:
+        Resume from the newest intact checkpoint in ``checkpoint_dir``
+        instead of starting at epoch 0.  Resuming is bit-identical to
+        the uninterrupted run on the same plan; a checkpoint written for
+        an incompatible plan is rejected with a clear error.
+    max_restarts:
+        Supervised retry budget: on a detected rank loss
+        (:class:`~repro.comm.faults.WorkerFailure`) the trainer restarts
+        up to this many times, restoring the last checkpoint when one
+        exists.  ``0`` (default) propagates the failure.
+    elastic:
+        On restart after a rank loss, re-partition and re-plan at the
+        surviving rank count (``n_ranks - 1``) instead of retrying the
+        same configuration; the dead configuration is recorded in the
+        plan cache so it is never served again.
     """
 
     n_ranks: int = 4
@@ -147,6 +170,11 @@ class DistTrainConfig:
     grad_overlap: bool = False
     grad_bucket_bytes: Optional[int] = None
     grad_dtype: Optional[str] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 0
+    resume: bool = False
+    max_restarts: int = 0
+    elastic: bool = False
 
     def __post_init__(self) -> None:
         if self.n_ranks <= 0:
@@ -194,6 +222,20 @@ class DistTrainConfig:
             raise ValueError(
                 f"grad_dtype must be one of {GRAD_DTYPES} or None (the "
                 f"model dtype), got {self.grad_dtype!r}")
+        if not isinstance(self.checkpoint_every, int) \
+                or self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be a non-negative integer, got "
+                f"{self.checkpoint_every!r}")
+        if self.checkpoint_every > 0 and not self.checkpoint_dir:
+            raise ValueError(
+                "checkpoint_every requires checkpoint_dir to be set")
+        if self.resume and not self.checkpoint_dir:
+            raise ValueError("resume requires checkpoint_dir to be set")
+        if not isinstance(self.max_restarts, int) or self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be a non-negative integer, got "
+                f"{self.max_restarts!r}")
 
     @property
     def np_dtype(self):

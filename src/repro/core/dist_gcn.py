@@ -409,6 +409,36 @@ class DistributedGCN:
                 self.comm.charge_elementwise(rank, g.size, category="local")
 
     # ------------------------------------------------------------------
+    # checkpoint state (weights are replicated — every rank holds the
+    # full set — so this state is rank-count independent and an elastic
+    # restore at a different p is a plain load)
+    # ------------------------------------------------------------------
+    def weight_state(self) -> List[np.ndarray]:
+        """Independent copies of the replicated weight matrices."""
+        return [w.copy() for w in self.weights]
+
+    def load_weight_state(self, weights: Sequence[np.ndarray]) -> None:
+        """Restore weights from a checkpoint (exact, no dtype change)."""
+        if len(weights) != self.n_layers:
+            raise ValueError(
+                f"checkpoint has {len(weights)} weight matrices, model has "
+                f"{self.n_layers} layers")
+        restored = []
+        for l, w in enumerate(weights):
+            arr = np.asarray(w)
+            if arr.shape != self.weights[l].shape:
+                raise ValueError(
+                    f"checkpoint weight {l} has shape {arr.shape}, model "
+                    f"expects {self.weights[l].shape}")
+            if arr.dtype != self.dtype:
+                raise ValueError(
+                    f"checkpoint weight {l} has dtype {arr.dtype}, model "
+                    f"trains in {np.dtype(self.dtype)} — a cast would break "
+                    "bit-identical resume")
+            restored.append(arr.copy())
+        self.weights = restored
+
+    # ------------------------------------------------------------------
     # training / evaluation entry points
     # ------------------------------------------------------------------
     def train_epoch(self, lr: float) -> float:

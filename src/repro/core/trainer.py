@@ -10,10 +10,23 @@ worker threads, ``"process"`` for one OS process per rank — see
 ``docs/backends.md``) and returns timings, communication
 statistics and accuracy — everything the benchmark harness needs to
 regenerate the paper's tables and figures.
+
+Fault tolerance: when ``config.checkpoint_dir`` is set the loop saves
+atomic checkpoints (:mod:`repro.core.checkpoint`) every
+``checkpoint_every`` epochs, and ``config.resume`` continues from the
+newest intact one — bit-identically to the uninterrupted run on the same
+plan.  A detected rank loss (:class:`~repro.comm.faults.WorkerFailure`)
+is retried by a supervised loop up to ``config.max_restarts`` times,
+restoring the last checkpoint; with ``config.elastic`` the retry
+re-partitions and re-plans at the surviving rank count (the dead
+configuration is recorded in the plan cache so it is never served
+again).  Deterministic failures for tests come from
+:class:`~repro.comm.faults.FaultPlan` via the ``fault_plan`` argument.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -22,12 +35,15 @@ import scipy.sparse as sp
 
 from ..comm.base import Communicator
 from ..comm.factory import make_communicator
+from ..comm.faults import FaultPlan, WorkerFailure
 from ..gcn.metrics import masked_accuracy
 from ..graphs.adjacency import gcn_normalize, permutation_from_parts
 from ..graphs.datasets import GraphDataset
 from ..graphs.features import NodeData
 from ..partition import get_partitioner
 from ..partition.base import PartitionResult
+from .checkpoint import (CheckpointManager, TrainingCheckpoint,
+                         config_fingerprint)
 from .config import Algorithm, DistTrainConfig, training_layer_dims
 from .dist_gcn import DistributedGCN
 from .dist_matrix import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
@@ -65,6 +81,11 @@ class DistTrainResult:
     #: buckets, drain wait) from :class:`~repro.core.gradsync
     #: .GradientExchanger`; empty for runs predating the field.
     grad_summary: Dict[str, object] = field(default_factory=dict)
+    #: Number of supervised restarts it took to finish (0 = no rank loss).
+    restarts: int = 0
+    #: Completed-epoch count of the checkpoint the final attempt resumed
+    #: from, or ``None`` when it started at epoch 0.
+    resumed_from_epoch: Optional[int] = None
 
     @property
     def final_loss(self) -> float:
@@ -229,9 +250,72 @@ def _build_setup(dataset: GraphDataset, config: DistTrainConfig,
                             grid=grid, config=config)
 
 
+def _build_checkpoint(model: DistributedGCN, epoch: int,
+                      history: List[DistEpochRecord], fingerprint: str,
+                      config: DistTrainConfig) -> TrainingCheckpoint:
+    """Snapshot the resumable state after ``epoch`` completed epochs."""
+    return TrainingCheckpoint(
+        epoch=epoch,
+        weights=model.weight_state(),
+        optimizer_state={"name": "sgd",
+                         "learning_rate": config.learning_rate},
+        rng_state=np.random.get_state(),
+        plan_fingerprint=fingerprint,
+        history=[dataclasses.asdict(rec) for rec in history],
+        meta={"n_ranks": config.n_ranks, "backend": config.backend,
+              "dtype": config.dtype},
+    )
+
+
+def _recover_config(dataset: GraphDataset, config: DistTrainConfig,
+                    failure: WorkerFailure
+                    ) -> Tuple[DistTrainConfig, Optional[PartitionResult]]:
+    """The configuration the supervised retry should run with.
+
+    Non-elastic: retry the same configuration (the failed worker pool is
+    simply rebuilt), which keeps the restart bit-identical to the
+    uninterrupted run.  Elastic: record the dead ``(backend, n_ranks)``
+    in the plan cache (so it is never served again for this matrix) and
+    re-plan at the surviving rank count — the planner's candidate space
+    already covers every p, so this is a lookup, not new machinery.  The
+    partition is recomputed by :func:`setup_distributed` either way.
+    """
+    if not config.elastic or config.n_ranks <= 1:
+        return config, None
+    # Imported lazily: repro.plan depends on repro.core, not vice versa.
+    from ..plan import PlanCache, Planner, matrix_fingerprint
+    from ..plan.space import DEFAULT_REPLICATION_CANDIDATES
+    from .engine import mode_name
+
+    cache = PlanCache()
+    fingerprint = matrix_fingerprint(dataset.adjacency)
+    cache.mark_dead(fingerprint, config.backend, config.n_ranks)
+
+    survivors = config.n_ranks - 1
+    planner = Planner(
+        machine=config.machine,
+        backends=[config.backend],
+        partitioners=[config.partitioner],
+        algorithms=[config.algorithm],
+        modes=[mode_name(config.sparsity_aware)],
+        replication_candidates=DEFAULT_REPLICATION_CANDIDATES,
+        pipeline_depths=[config.pipeline_depth],
+        grad_overlaps=[config.grad_overlap],
+        probe=False,
+        seed=config.seed,
+        cache=cache,
+        cache_read_only=True,
+    )
+    dims = _layer_dims(dataset.node_data.n_features,
+                       dataset.node_data.n_classes, config)
+    report = planner.plan(dataset.adjacency, dims, survivors)
+    return dataclasses.replace(config, **report.plan.as_config_kwargs()), None
+
+
 def train_distributed(dataset: GraphDataset, config: DistTrainConfig,
                       eval_every: int = 25,
-                      partition: Optional[PartitionResult] = None
+                      partition: Optional[PartitionResult] = None,
+                      fault_plan: Optional[FaultPlan] = None
                       ) -> DistTrainResult:
     """Run simulated distributed full-graph GCN training end to end.
 
@@ -244,18 +328,79 @@ def train_distributed(dataset: GraphDataset, config: DistTrainConfig,
     partition:
         Optional precomputed partition, forwarded to
         :func:`setup_distributed`.
+    fault_plan:
+        Optional :class:`~repro.comm.faults.FaultPlan` injected into the
+        communicator of every attempt (chaos testing: each scheduled
+        fault fires exactly once across the whole supervised run).
+
+    A :class:`~repro.comm.faults.WorkerFailure` (rank loss) is retried up
+    to ``config.max_restarts`` times, resuming from the newest checkpoint
+    when ``config.checkpoint_dir`` has one; see the module docstring.
     """
+    attempt = 0
+    current_config = config
+    current_partition = partition
+    resume = config.resume
+    while True:
+        try:
+            return _train_attempt(dataset, current_config, eval_every,
+                                  current_partition, fault_plan,
+                                  resume=resume, restarts=attempt)
+        except WorkerFailure as failure:
+            attempt += 1
+            if attempt > config.max_restarts:
+                raise
+            current_config, current_partition = _recover_config(
+                dataset, current_config, failure)
+            # Restart from the newest checkpoint when there is one;
+            # _train_attempt starts from scratch when the dir is empty.
+            resume = current_config.checkpoint_dir is not None
+
+
+def _train_attempt(dataset: GraphDataset, config: DistTrainConfig,
+                   eval_every: int,
+                   partition: Optional[PartitionResult],
+                   fault_plan: Optional[FaultPlan],
+                   resume: bool, restarts: int) -> DistTrainResult:
+    """One supervised attempt of the training loop (may raise
+    :class:`WorkerFailure`; the supervisor in :func:`train_distributed`
+    decides whether to retry)."""
     setup = setup_distributed(dataset, config, partition=partition)
     if setup.config is not None:
         config = setup.config    # planner-resolved when the input was auto
     model, comm, node_data = setup.model, setup.comm, setup.node_data
 
+    manager: Optional[CheckpointManager] = None
+    if config.checkpoint_dir:
+        manager = CheckpointManager(config.checkpoint_dir)
+    fingerprint = config_fingerprint(config)
+
     history: List[DistEpochRecord] = []
+    start_epoch = 0
+    resumed_from: Optional[int] = None
     # The context manager releases backend resources (worker threads /
     # processes, shared memory) even when an SpMM variant raises mid-epoch;
     # the returned model's host-side diagnostics keep working after close.
     with comm:
-        for epoch in range(config.epochs):
+        if resume and manager is not None:
+            # A first-attempt resume must land on the exact same plan
+            # (bit-identical continuation); a supervised restart may
+            # legitimately have changed the rank count (elastic), and the
+            # replicated weights are rank-count independent.
+            ckpt = manager.load_latest(
+                expect_fingerprint=fingerprint if restarts == 0 else None)
+            if ckpt is not None:
+                model.load_weight_state(ckpt.weights)
+                if ckpt.rng_state is not None:
+                    np.random.set_state(ckpt.rng_state)
+                start_epoch = ckpt.epoch
+                resumed_from = ckpt.epoch
+                history = [DistEpochRecord(**rec) for rec in ckpt.history]
+        if fault_plan is not None:
+            comm.inject_faults(fault_plan)
+        for epoch in range(start_epoch, config.epochs):
+            if fault_plan is not None:
+                fault_plan.start_epoch(epoch)
             start = comm.elapsed()
             loss = model.train_epoch(config.learning_rate)
             epoch_time = comm.elapsed() - start
@@ -272,13 +417,19 @@ def train_distributed(dataset: GraphDataset, config: DistTrainConfig,
                                            epoch_time_s=epoch_time,
                                            train_accuracy=train_acc,
                                            val_accuracy=val_acc))
+            if manager is not None and config.checkpoint_every \
+                    and (epoch + 1) % config.checkpoint_every == 0:
+                manager.save(_build_checkpoint(model, epoch + 1, history,
+                                               fingerprint, config))
 
     preds = model.predictions()
     test_accuracy = masked_accuracy(preds, node_data.labels,
                                     node_data.test_mask)
 
     total_time = comm.elapsed()
-    n_epochs = max(1, len(history))
+    # Averages cover the epochs *this attempt* actually ran — restored
+    # history rows carry times charged to a previous communicator's clocks.
+    n_epochs = max(1, len(history) - start_epoch)
     breakdown = comm.breakdown(reduce="max")
     per_epoch_breakdown = {k: v / n_epochs for k, v in breakdown.items()}
     result = DistTrainResult(
@@ -291,6 +442,9 @@ def train_distributed(dataset: GraphDataset, config: DistTrainConfig,
         comm_summary=comm.stats_summary(),
         partition_stats=dict(setup.partition.stats) if setup.partition else {},
         model=model,
-        grad_summary=model.gradsync.summary(n_epochs=len(history)),
+        grad_summary=model.gradsync.summary(
+            n_epochs=max(0, len(history) - start_epoch)),
+        restarts=restarts,
+        resumed_from_epoch=resumed_from,
     )
     return result

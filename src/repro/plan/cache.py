@@ -100,7 +100,7 @@ class PlanCache:
             else default_cache_path()
 
     # ------------------------------------------------------------------
-    def _load(self) -> Dict[str, dict]:
+    def _load_payload(self) -> Dict[str, dict]:
         try:
             payload = json.loads(self.path.read_text())
         except (OSError, ValueError):
@@ -108,12 +108,24 @@ class PlanCache:
         if not isinstance(payload, dict) or \
                 payload.get("version") != CACHE_FORMAT_VERSION:
             return {}
-        entries = payload.get("plans")
+        return payload
+
+    def _load(self) -> Dict[str, dict]:
+        entries = self._load_payload().get("plans")
         return entries if isinstance(entries, dict) else {}
 
-    def _store(self, entries: Dict[str, dict]) -> None:
+    def _load_dead(self) -> Dict[str, list]:
+        dead = self._load_payload().get("dead")
+        return dead if isinstance(dead, dict) else {}
+
+    def _store(self, entries: Dict[str, dict],
+               dead: "Dict[str, list] | None" = None) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        if dead is None:
+            dead = self._load_dead()
         payload = {"version": CACHE_FORMAT_VERSION, "plans": entries}
+        if dead:
+            payload["dead"] = dead
         fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
                                    prefix=self.path.name, suffix=".tmp")
         try:
@@ -145,9 +157,38 @@ class PlanCache:
         entries[key] = record
         self._store(entries)
 
+    # ------------------------------------------------------------------
+    # Dead configurations (fault tolerance / elastic restart)
+    # ------------------------------------------------------------------
+    def mark_dead(self, fingerprint: str, backend: str, n_ranks: int) -> None:
+        """Record that ``(backend, n_ranks)`` lost a rank on this matrix.
+
+        The planner treats cached records whose winning plan matches a
+        dead configuration as cache *misses* and excludes matching
+        candidates from ranking, so a configuration that already killed a
+        run is never served again for that matrix (elastic restart marks
+        the failed configuration before re-planning at the surviving
+        rank count).
+        """
+        dead = self._load_dead()
+        entry = [str(backend), int(n_ranks)]
+        configs = dead.setdefault(str(fingerprint), [])
+        if entry not in configs:
+            configs.append(entry)
+            self._store(self._load(), dead)
+
+    def dead_configs(self, fingerprint: str) -> set:
+        """The ``{(backend, n_ranks), ...}`` marked dead for a matrix."""
+        return {(str(b), int(p))
+                for b, p in self._load_dead().get(str(fingerprint), [])}
+
+    def is_dead(self, fingerprint: str, backend: str, n_ranks: int) -> bool:
+        """Whether ``(backend, n_ranks)`` was marked dead for this matrix."""
+        return (str(backend), int(n_ranks)) in self.dead_configs(fingerprint)
+
     def clear(self) -> None:
-        """Drop every cached plan (keeps the file, now empty)."""
-        self._store({})
+        """Drop every cached plan and dead-config record (keeps the file)."""
+        self._store({}, dead={})
 
     def __len__(self) -> int:
         return len(self._load())

@@ -264,21 +264,29 @@ class Planner:
         fingerprint = matrix_fingerprint(adjacency)
         key = plan_key(fingerprint, self.machine, layer_dims, rank_counts,
                        self._space_signature())
+        dead: set = set()
+        if self.cache is not None:
+            dead = self.cache.dead_configs(fingerprint)
 
         if self.use_cache and self.cache is not None:
             record = self.cache.get(key)
             # A record is reusable when (a) it is not a budget-truncated
             # probe run (complete=False records are host-speed artefacts,
-            # not deterministic planner output) and (b) it carries at
+            # not deterministic planner output), (b) it carries at
             # least as much information as this planner would produce: a
             # probing planner rejects analytic-only records, while an
-            # analytic planner happily reuses probed ones.
+            # analytic planner happily reuses probed ones, and (c) its
+            # winning configuration was not marked dead since (a rank
+            # loss on that (backend, n_ranks) — elastic restart records
+            # it; the stale winner must be re-planned, not served).
             if record is not None and record.get("complete", True) and \
                     (not self.probe or record.get("probed", False)):
                 plan = ExecutionPlan.from_dict(record["plan"], source="cache")
-                return PlanReport(plan=plan, table=list(record.get("table", [])),
-                                  probes_run=0, cache_hit=True, key=key,
-                                  cache_path=str(self.cache.path))
+                if (plan.backend, plan.n_ranks) not in dead:
+                    return PlanReport(plan=plan,
+                                      table=list(record.get("table", [])),
+                                      probes_run=0, cache_hit=True, key=key,
+                                      cache_path=str(self.cache.path))
 
         matrix_cache = PlanMatrixCache(adjacency, seed=self.seed)
         candidates = enumerate_candidates(
@@ -292,12 +300,16 @@ class Planner:
             pipeline_depths=self.pipeline_depths,
             grad_overlaps=self.grad_overlaps,
         )
+        if dead:
+            candidates = [c for c in candidates
+                          if (c.backend, c.n_ranks) not in dead]
         ranked = score_candidates(candidates, matrix_cache, layer_dims,
                                   self.machine)
         if not ranked:
             raise ValueError(
                 "the plan space is empty for this matrix/rank combination "
-                f"(n_ranks={rank_counts}, n_vertices={matrix_cache.n_vertices})")
+                f"(n_ranks={rank_counts}, n_vertices={matrix_cache.n_vertices}"
+                f"{', after excluding dead configurations' if dead else ''})")
 
         probes: Dict[PlanCandidate, ProbeResult] = {}
         if self.probe:

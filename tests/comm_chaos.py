@@ -1,0 +1,202 @@
+"""Chaos-conformance harness: fault injection and failure semantics.
+
+The fault-tolerance claims (supervised restart, checkpoint resume,
+elastic re-plan) rest on every backend surfacing a lost rank the same
+way: a structured :class:`~repro.comm.faults.WorkerFailure` carrying the
+rank, followed by a communicator that is *cleanly closed* — idempotent
+``close()``, reporting still readable, no leaked resources.  This module
+centralises that contract as a registry of *chaos checks*, mirroring
+``comm_conformance.py``: each check is a callable ``check(make)`` where
+``make(nranks, **kw)`` returns a live communicator of the backend under
+test, and ``tests/test_comm_chaos.py`` drives the registry over every
+backend in :data:`CHAOS_BACKENDS` (plus process-backend-specific shm
+leak checks layered on top).
+
+Checks assert behaviour all backends must share:
+
+* an injected ``kill`` surfaces as :class:`WorkerFailure` with the
+  correct ``rank``/``backend`` attributes;
+* faults fire **once** per plan — a plan re-injected into a fresh
+  communicator (the supervised-restart pattern) does not re-fire;
+* epoch/op addressing — a fault scheduled for epoch 1 leaves epoch 0
+  untouched;
+* ``delay`` faults charge simulated time on the simulator and wall time
+  on real backends;
+* after a failure the communicator is safe: ``close()`` is idempotent
+  and reporting (events, elapsed, breakdown) survives.
+
+Process-only properties (SIGKILLed OS worker, shm unlink guarantees,
+bounded teardown latency with already-dead pids) live in the driver —
+they cannot be phrased against in-process backends.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+import numpy as np
+import pytest
+
+from repro.comm.faults import FaultPlan, FaultSpec, WorkerFailure
+
+__all__ = ["CHAOS_BACKENDS", "CHAOS_CHECKS", "chaos_check"]
+
+#: Every backend that must pass the chaos suite.
+CHAOS_BACKENDS = ("sim", "threaded", "process")
+
+#: name -> check callable ``(make) -> None``.
+CHAOS_CHECKS: Dict[str, Callable] = {}
+
+
+def chaos_check(fn: Callable) -> Callable:
+    """Register ``fn`` as a named chaos check."""
+    name = fn.__name__
+    if name.startswith("check_"):
+        name = name[len("check_"):]
+    CHAOS_CHECKS[name] = fn
+    return fn
+
+
+# ----------------------------------------------------------------------
+# Injected kill -> structured WorkerFailure
+# ----------------------------------------------------------------------
+@chaos_check
+def check_injected_kill_raises_worker_failure(make):
+    """A kill fault surfaces as WorkerFailure with the lost rank, on the
+    collective it addresses — not before, not silently."""
+    comm = make(4)
+    comm.inject_faults(FaultPlan.kill(rank=2, op_index=1))
+    # op 0 is unaffected.
+    out = comm.allreduce([np.ones(3)] * 4)
+    np.testing.assert_array_equal(out[0], np.full(3, 4.0))
+    with pytest.raises(WorkerFailure) as excinfo:
+        comm.broadcast(np.ones(8), root=0)      # op 1: boom
+    assert excinfo.value.rank == 2
+    assert excinfo.value.backend == comm.backend_name
+    assert "rank 2" in str(excinfo.value)
+
+
+@chaos_check
+def check_kill_mid_exchange(make):
+    """The fault point also covers the batched point-to-point path the
+    sparsity-aware SpMMs use."""
+    comm = make(3)
+    comm.inject_faults(FaultPlan.kill(rank=1))
+    with pytest.raises(WorkerFailure) as excinfo:
+        comm.exchange([(0, 1, np.ones(4)), (2, 0, np.ones(2))])
+    assert excinfo.value.rank == 1
+
+
+@chaos_check
+def check_kill_fires_once_across_restart(make):
+    """Re-injecting the same plan into a fresh communicator (supervised
+    restart) must not re-kill: each spec fires once per plan instance."""
+    plan = FaultPlan.kill(rank=0, op_index=0)
+    comm = make(3)
+    comm.inject_faults(plan)
+    with pytest.raises(WorkerFailure):
+        comm.allreduce([np.ones(2)] * 3)
+    assert plan.exhausted
+    comm.close()
+
+    retry = make(3)
+    retry.inject_faults(plan)               # same, already-fired plan
+    out = retry.allreduce([np.ones(2)] * 3)
+    np.testing.assert_array_equal(out[0], np.full(2, 3.0))
+
+
+@chaos_check
+def check_epoch_addressing(make):
+    """A fault scheduled for epoch 1 leaves epoch 0 untouched and fires
+    at the addressed collective of epoch 1."""
+    plan = FaultPlan.kill(rank=1, epoch=1, op_index=0)
+    comm = make(3)
+    comm.inject_faults(plan)
+    plan.start_epoch(0)
+    for _ in range(3):                       # a whole epoch of collectives
+        comm.allreduce([np.ones(2)] * 3)
+    assert not plan.exhausted
+    plan.start_epoch(1)
+    with pytest.raises(WorkerFailure):
+        comm.allreduce([np.ones(2)] * 3)
+
+
+@chaos_check
+def check_multi_fault_plan(make):
+    """Plans compose: a delay and a kill in one plan fire independently
+    at their own addresses."""
+    plan = FaultPlan.delay(0.0, rank=0, op_index=0).add(
+        FaultSpec("kill", rank=2, op_index=2))
+    comm = make(4)
+    comm.inject_faults(plan)
+    comm.broadcast(np.ones(2), root=0)       # op 0: zero-delay fires
+    comm.broadcast(np.ones(2), root=1)       # op 1: nothing
+    with pytest.raises(WorkerFailure) as excinfo:
+        comm.allreduce([np.ones(2)] * 4)     # op 2: kill
+    assert excinfo.value.rank == 2
+    assert plan.exhausted
+
+
+# ----------------------------------------------------------------------
+# Delay faults
+# ----------------------------------------------------------------------
+@chaos_check
+def check_delay_fault_charges_time(make):
+    """Delays are real: simulated seconds on the simulator, wall seconds
+    on backends that move actual bytes."""
+    comm = make(2)
+    if comm.backend_name == "sim":
+        comm.inject_faults(FaultPlan.delay(1.5, rank=1))
+        before = comm.elapsed()
+        comm.broadcast(np.ones(2), root=0)
+        assert comm.elapsed() - before >= 1.5, \
+            "simulator must charge the delay to the simulated clock"
+    else:
+        comm.inject_faults(FaultPlan.delay(0.15, rank=1))
+        start = time.monotonic()
+        comm.broadcast(np.ones(2), root=0)
+        assert time.monotonic() - start >= 0.14, \
+            "real backends must physically sleep the delay"
+
+
+# ----------------------------------------------------------------------
+# Post-failure communicator state
+# ----------------------------------------------------------------------
+@chaos_check
+def check_close_idempotent_after_failure(make):
+    """After a WorkerFailure the communicator closes cleanly: repeated
+    close() calls are no-ops and reporting survives."""
+    comm = make(3)
+    comm.broadcast(np.ones((4, 2)), root=0)   # some traffic first
+    bytes_before = comm.events.total_bytes()
+    comm.inject_faults(FaultPlan.kill(rank=0))
+    with pytest.raises(WorkerFailure):
+        comm.allreduce([np.ones(2)] * 3)
+    comm.close()
+    comm.close()
+    assert comm.events.total_bytes() >= bytes_before
+    comm.elapsed()
+    comm.breakdown()
+    comm.stats_summary()
+
+
+@chaos_check
+def check_context_manager_propagates_failure(make):
+    """The with-statement pattern the trainer uses: the failure escapes
+    the block and close() has already run (no hang, no leak)."""
+    with pytest.raises(WorkerFailure):
+        with make(3) as comm:
+            comm.inject_faults(FaultPlan.kill(rank=1))
+            comm.allreduce([np.ones(2)] * 3)
+    comm.close()                              # idempotent after __exit__
+
+
+@chaos_check
+def check_no_fault_plan_is_free(make):
+    """Injecting None (or never injecting) leaves collectives untouched —
+    the hook must be invisible when unused."""
+    comm = make(3)
+    comm.inject_faults(None)
+    out = comm.allreduce([np.ones(2)] * 3)
+    np.testing.assert_array_equal(out[0], np.full(2, 3.0))
