@@ -10,6 +10,9 @@
 # a kill-and-resume fault-tolerance leg (SIGKILL a process-backend
 # worker mid-run, supervised restart restores the checkpoint, final
 # weights asserted bit-identical to the uninterrupted run),
+# an observability leg (repro train --trace on the process backend:
+# the emitted Chrome/Perfetto JSON must parse, carry >= 1 slice per
+# rank track, and contain gradsync + checkpoint spans),
 # the per-host overhead calibration (repro calibrate --quick --dry-run,
 # never writing CI hosts' numbers anywhere), and the
 # kernel/compiled-epoch/overlap microbenchmark (scripts/bench_kernels.py
@@ -70,6 +73,31 @@ for got, want in zip(result.model.weight_state(),
                      reference.model.weight_state()):
     assert np.array_equal(got, want), "resume diverged from clean run"
 print("kill-and-resume: bit-identical after restart")
+PYEOF
+  echo "== repro train --trace (process backend) =="
+  trace_dir="$(mktemp -d)"
+  python -m repro train --dataset reddit --scale 0.05 --ranks 4 \
+    --epochs 1 --partitioner none --grad-overlap --backend process \
+    --checkpoint-dir "${trace_dir}/ckpt" --checkpoint-every 1 \
+    --trace "${trace_dir}/trace.json" --metrics "${trace_dir}/run.prom"
+  TRACE_JSON="${trace_dir}/trace.json" python - <<"PYEOF"
+import json, os
+
+with open(os.environ["TRACE_JSON"]) as fh:
+    payload = json.load(fh)
+events = payload["traceEvents"]
+tracks = {e["args"]["name"]: e["tid"] for e in events
+          if e.get("ph") == "M" and e.get("name") == "thread_name"}
+missing = {f"rank{r}" for r in range(4)} - set(tracks)
+assert not missing, f"missing rank tracks: {missing}"
+slices = [e for e in events if e.get("ph") == "X"]
+for rank in range(4):
+    tid = tracks[f"rank{rank}"]
+    assert any(s["tid"] == tid for s in slices), f"no slices on rank{rank}"
+names = {s["name"] for s in slices}
+for want in ("gradsync.post", "gradsync.drain", "checkpoint.save"):
+    assert want in names, f"missing span {want}: {sorted(names)}"
+print(f"trace: {len(slices)} slices over {len(tracks)} tracks")
 PYEOF
   echo "== repro calibrate --quick --dry-run =="
   python -m repro calibrate --quick --dry-run

@@ -15,7 +15,9 @@ Python:
 * ``repro cost``       — closed-form cost-model predictions,
 * ``repro calibrate``  — measure per-backend message overheads on this
   host and persist them for the planner (see docs/tuning.md),
-* ``repro memory``     — per-rank memory footprint / OOM check.
+* ``repro memory``     — per-rank memory footprint / OOM check,
+* ``repro trace``      — summarize a recorded Chrome/Perfetto trace
+  (written by ``repro train/bench --trace``; see docs/observability.md).
 
 ``repro train``/``repro bench`` take ``--auto`` to run planner-chosen
 configurations; every simulated command takes ``--machine`` (defaulting
@@ -45,6 +47,8 @@ from .core import (AUTO, GRAD_DTYPES, DistTrainConfig,
                    train_distributed)
 from .graphs.adjacency import gcn_normalize
 from .graphs.datasets import DATASET_NAMES, dataset_summary, load_dataset
+from .obs import (TRACE, metrics_from_spans, prometheus_text, save_trace,
+                  trace_summary)
 from .partition import PARTITIONERS, get_partitioner, partition_report
 
 __all__ = ["main", "build_parser"]
@@ -156,6 +160,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="on restart after a rank loss, re-partition "
                               "and re-plan at the surviving rank count "
                               "instead of retrying the same configuration")
+    p_train.add_argument("--trace", default=None, metavar="PATH",
+                         help="record runtime spans and write a "
+                              "Chrome/Perfetto trace JSON (open at "
+                              "ui.perfetto.dev; see docs/observability.md)")
+    p_train.add_argument("--metrics", default=None, metavar="PATH",
+                         help="write run metrics (Prometheus text "
+                              "exposition; see docs/observability.md)")
 
     p_bench = sub.add_parser("bench", help="regenerate a paper table/figure")
     p_bench.add_argument("experiment", nargs="?", default=None,
@@ -181,6 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CI smoke mode: tiny scale, one epoch, small "
                               "process counts (defaults to fig3 when no "
                               "experiment is named)")
+    p_bench.add_argument("--trace", default=None, metavar="PATH",
+                         help="record runtime spans across the experiment's "
+                              "runs and write a Chrome/Perfetto trace JSON")
+    p_bench.add_argument("--metrics", default=None, metavar="PATH",
+                         help="write span-derived metrics (Prometheus text "
+                              "exposition)")
 
     p_tune = sub.add_parser(
         "tune", help="autotune the distributed training configuration")
@@ -258,6 +275,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_cost.add_argument("--machine", choices=sorted(PRESETS),
                         default=_machine_default("perlmutter"))
 
+    p_trace = sub.add_parser("trace",
+                             help="inspect a recorded Chrome/Perfetto trace")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_view = trace_sub.add_parser(
+        "view", help="summarize a trace: top slices by self-time, "
+                     "per-rank balance")
+    p_view.add_argument("path", help="trace JSON written by --trace")
+    p_view.add_argument("--top", type=int, default=12,
+                        help="slice rows to show (default 12)")
+
     p_mem = sub.add_parser("memory", help="per-rank memory estimate")
     p_mem.add_argument("--vertices", type=int, required=True)
     p_mem.add_argument("--edges", type=int, required=True,
@@ -320,6 +347,8 @@ def _cmd_train(args) -> int:
         max_restarts=args.max_restarts,
         elastic=args.elastic,
     )
+    if args.trace:
+        TRACE.enable()
     result = train_distributed(dataset, config, eval_every=0)
     config = result.config      # planner-resolved when --auto / "auto"
     if args.auto:
@@ -352,20 +381,28 @@ def _cmd_train(args) -> int:
                     if k in ("total_MB", "max_MB_per_rank", "imbalance_pct")})
     print(format_kv(summary, title="simulated distributed training"))
     if result.grad_summary:
-        gs = dict(result.grad_summary)
-        compute_s = result.breakdown.get("local", 0.0)
-        comm_s = sum(v for k, v in result.breakdown.items() if k != "local")
-        # The overlap window is the span the wait-free drain actually had
-        # available: everything not spent blocked at the drain point.
-        drain_s = float(gs.get("drain_wait_s_per_epoch", 0.0))
+        # Every number below comes from result.metrics (the trainer's
+        # metrics registry) — the same source the --metrics export
+        # serializes, so the two can never disagree.
+        m = result.metrics
         breakdown = {
-            "comm_s_per_epoch": comm_s,
-            "compute_s_per_epoch": compute_s,
-            "overlap_window_s_per_epoch": max(0.0, comm_s - drain_s),
+            "comm_s_per_epoch": m.get("gradsync_comm_s_per_epoch", 0.0),
+            "compute_s_per_epoch":
+                m.get("gradsync_compute_s_per_epoch", 0.0),
+            "overlap_window_s_per_epoch":
+                m.get("overlap_hidden_s_per_epoch", 0.0),
         }
-        breakdown.update(gs)
+        for key, value in result.grad_summary.items():
+            breakdown[key] = m.get(f"gradsync_{key}", value)
         print()
         print(format_kv(breakdown, title="gradient exchange (per epoch)"))
+    if args.trace:
+        save_trace(result, args.trace)
+        print(f"\nwrote trace: {args.trace} ({len(TRACE)} spans)")
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            fh.write(prometheus_text(result.metrics))
+        print(f"wrote metrics: {args.metrics}")
     return 0
 
 
@@ -402,6 +439,9 @@ def _cmd_bench(args) -> int:
             raise ValueError(
                 "bench needs an experiment name (or --quick for the smoke run)")
         experiment = "fig3"
+    if args.trace or args.metrics:
+        # Bench metrics are span-derived, so --metrics needs tracing too.
+        TRACE.enable()
     fn, title = _BENCH_DISPATCH[experiment]
     kwargs = {"seed": args.seed}
     timed = experiment not in ("table2", "table3")
@@ -453,6 +493,13 @@ def _cmd_bench(args) -> int:
         print()
         print(format_series(rows, group_by="scheme", x="p", y="epoch_time_s",
                             title="epoch time per scheme"))
+    if args.trace:
+        save_trace(None, args.trace)
+        print(f"\nwrote trace: {args.trace} ({len(TRACE)} spans)")
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            fh.write(prometheus_text(metrics_from_spans().as_dict()))
+        print(f"wrote metrics: {args.metrics}")
     return 0
 
 
@@ -601,6 +648,26 @@ def _cmd_calibrate(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import json
+    with open(args.path, encoding="utf-8") as fh:
+        trace = json.load(fh)
+    summary = trace_summary(trace, top=args.top)
+    if not summary["tracks"]:
+        print(f"{args.path}: no slices found (is this a Chrome trace?)")
+        return 1
+    rows = [{**row, "self_ms": f"{row['self_ms']:.3f}"}
+            for row in summary["slices"]]
+    print(format_table(rows, title=f"top slices by self time — {args.path}"))
+    print()
+    tracks = [{**row, "busy_ms": f"{row['busy_ms']:.3f}"}
+              for row in summary["tracks"]]
+    print(format_table(tracks, title="per-track busy time"))
+    print(f"\nbusy-time imbalance across tracks (max/mean - 1): "
+          f"{summary['imbalance']:.1%}")
+    return 0
+
+
 def _cmd_memory(args) -> int:
     config = DistTrainConfig(n_ranks=args.ranks, hidden=args.hidden,
                              n_layers=args.layers, epochs=1)
@@ -622,6 +689,7 @@ _DISPATCH = {
     "cost": _cmd_cost,
     "calibrate": _cmd_calibrate,
     "memory": _cmd_memory,
+    "trace": _cmd_trace,
 }
 
 

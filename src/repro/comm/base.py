@@ -56,10 +56,12 @@ across backends and the benchmark harness does not care which one ran.
 from __future__ import annotations
 
 import abc
+import functools
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.tracer import NULL_SPAN, TRACE
 from .events import EventLog
 from .faults import FaultPlan
 from .timeline import Timeline
@@ -67,6 +69,73 @@ from .tracker import CommStats
 
 __all__ = ["CommHandle", "CompletedCommHandle", "Communicator",
            "payload_nbytes", "reduce_stack"]
+
+# ---------------------------------------------------------------------------
+# Span instrumentation (repro.obs).  Every public collective entry point —
+# blocking, nonblocking post, and handle drain — is bracketed with a span so
+# overlap windows show up as separate post/drain slices in the trace.  The
+# wrapping happens once per class at definition time (``__init_subclass__``),
+# so backends and third-party subclasses are instrumented automatically and
+# the per-call cost while tracing is disabled is a single attribute check.
+# ---------------------------------------------------------------------------
+
+#: Public blocking entry points → default trace category.
+_TRACED_COLLECTIVES = {
+    "alltoallv": "alltoall",
+    "broadcast": "bcast",
+    "allreduce": "allreduce",
+    "allgather": "allgather",
+    "reduce": "reduce",
+    "exchange": "p2p",
+    "barrier": "wait",
+}
+
+#: Nonblocking posts → default trace category.
+_TRACED_POSTS = {
+    "ibroadcast": "bcast",
+    "ialltoallv": "alltoall",
+    "iallreduce": "allreduce",
+    "iexchange": "p2p",
+}
+
+
+def _traced_collective(op: str, default_cat: str, fn):
+    if getattr(fn, "_obs_traced", False):
+        return fn
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        tr = TRACE
+        if not tr.enabled:
+            return fn(self, *args, **kwargs)
+        with tr.span("comm." + op, cat=kwargs.get("category", default_cat),
+                     args={"backend": self.backend_name}):
+            return fn(self, *args, **kwargs)
+
+    wrapper._obs_traced = True
+    return wrapper
+
+
+def _traced_post(op: str, default_cat: str, fn):
+    if getattr(fn, "_obs_traced", False):
+        return fn
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        tr = TRACE
+        if not tr.enabled:
+            return fn(self, *args, **kwargs)
+        cat = kwargs.get("category", default_cat)
+        with tr.span("comm." + op + ".post", cat=cat,
+                     args={"backend": self.backend_name}):
+            handle = fn(self, *args, **kwargs)
+        if isinstance(handle, CommHandle):
+            handle._trace_op = "comm." + op
+            handle._trace_cat = cat
+        return handle
+
+    wrapper._obs_traced = True
+    return wrapper
 
 
 class CommHandle:
@@ -95,6 +164,11 @@ class CommHandle:
     cached and re-raised by every later ``wait()``.
     """
 
+    #: Trace identity stamped by the nonblocking post wrappers so the
+    #: drain shows up as a "<op>.drain" slice (None → no drain span).
+    _trace_op: Optional[str] = None
+    _trace_cat: str = ""
+
     def __init__(self) -> None:
         self._finalized = False
         self._result = None
@@ -112,12 +186,17 @@ class CommHandle:
         if self._error is not None:
             raise self._error
         if not self._finalized:
-            try:
-                self._result = self._finish()
-            except BaseException as exc:  # noqa: BLE001 - cached + reraised
-                self._error = exc
-                raise
-            self._finalized = True
+            tr = TRACE
+            span = (tr.span(self._trace_op + ".drain", cat=self._trace_cat)
+                    if tr.enabled and self._trace_op is not None
+                    else NULL_SPAN)
+            with span:
+                try:
+                    self._result = self._finish()
+                except BaseException as exc:  # noqa: BLE001 - cached + reraised
+                    self._error = exc
+                    raise
+                self._finalized = True
         return self._result
 
     def test(self) -> bool:
@@ -209,6 +288,20 @@ class Communicator(abc.ABC):
         self.timeline = Timeline(nranks)
         self._closed = False
         self._fault_plan: Optional[FaultPlan] = None
+        self._epoch: Optional[int] = None
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        for op, cat in _TRACED_COLLECTIVES.items():
+            fn = cls.__dict__.get(op)
+            if (callable(fn)
+                    and not getattr(fn, "__isabstractmethod__", False)):
+                setattr(cls, op, _traced_collective(op, cat, fn))
+        for op, cat in _TRACED_POSTS.items():
+            fn = cls.__dict__.get(op)
+            if (callable(fn)
+                    and not getattr(fn, "__isabstractmethod__", False)):
+                setattr(cls, op, _traced_post(op, cat, fn))
 
     # ------------------------------------------------------------------
     # Rank / group queries
@@ -296,7 +389,10 @@ class Communicator(abc.ABC):
     def _begin_exchange(self, category: str = "p2p") -> int:
         """Fault-point + step allocation shared by the exchange paths."""
         self._fault_point()
-        return self.events.next_step()
+        step = self.events.next_step()
+        if TRACE.enabled:
+            TRACE.annotate(step=step)
+        return step
 
     # ------------------------------------------------------------------
     # Shared volume accounting (identical event streams across backends,
@@ -316,6 +412,9 @@ class Communicator(abc.ABC):
                     self.events.record_message(
                         "alltoallv", group[i], group[j],
                         send_bytes[i][j], category, step)
+        if TRACE.enabled:
+            TRACE.annotate(step=step,
+                           bytes=sum(map(sum, send_bytes)))
         return send_bytes
 
     def _record_broadcast_events(self, nbytes: int, root: int,
@@ -326,6 +425,8 @@ class Communicator(abc.ABC):
             if r != root and nbytes > 0:
                 self.events.record_message("bcast", root, r, nbytes,
                                            category, step)
+        if TRACE.enabled:
+            TRACE.annotate(step=step, bytes=nbytes * (len(group) - 1))
 
     def _record_allreduce_events(self, nbytes: int, group: Sequence[int],
                                  category: str) -> None:
@@ -340,17 +441,23 @@ class Communicator(abc.ABC):
                 nxt = group[(idx + 1) % p]
                 self.events.record_message("allreduce", r, nxt,
                                            2 * per_neighbor, category, step)
+        if TRACE.enabled:
+            TRACE.annotate(step=step, bytes=nbytes)
 
     def _record_allgather_events(self, arrays, group: Sequence[int],
                                  category: str) -> None:
         self._fault_point()
         step = self.events.next_step()
+        total = 0
         for i, r in enumerate(group):
             nb = payload_nbytes(arrays[i])
             for s in group:
                 if s != r and nb > 0:
                     self.events.record_message("allgather", r, s, nb,
                                                category, step)
+                    total += nb
+        if TRACE.enabled:
+            TRACE.annotate(step=step, bytes=total)
 
     def _record_reduce_events(self, nbytes: int, root: int,
                               group: Sequence[int], category: str) -> None:
@@ -360,6 +467,8 @@ class Communicator(abc.ABC):
             if r != root and nbytes > 0:
                 self.events.record_message("reduce", r, root, nbytes,
                                            category, step)
+        if TRACE.enabled:
+            TRACE.annotate(step=step, bytes=nbytes * (len(group) - 1))
 
     # ------------------------------------------------------------------
     # Accounting hooks (no-ops by default; simulation backends override)
@@ -516,6 +625,26 @@ class Communicator(abc.ABC):
         """Per-category time summary across ranks."""
         return self.timeline.breakdown(reduce=reduce, include_wait=include_wait)
 
+    def note_epoch(self, epoch: Optional[int]) -> None:
+        """Record the trainer's current epoch for diagnostics.
+
+        The process backend stamps it onto its per-rank "last completed
+        op" bookkeeping so watchdog/`WorkerFailure` messages can say
+        *where* a rank was lost.
+        """
+        self._epoch = epoch
+
+    def collect_trace_spans(self) -> None:
+        """Ship worker-recorded spans into the driver's tracer.
+
+        No-op for single-process backends (sim, threaded), whose spans
+        are all recorded driver-side.  The process backend overrides
+        this to fetch each worker's local span buffer over the control
+        plane; the trainer calls it at epoch boundaries and ``close()``
+        calls it one final time, so the driver merges one coherent
+        timeline.
+        """
+
     def reset(self) -> None:
         """Clear clocks and the event log."""
         self.events.clear()
@@ -545,3 +674,17 @@ class Communicator(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(nranks={self.nranks})"
+
+
+# ``__init_subclass__`` instruments subclasses; the base class's own
+# concrete entry points (barrier + the eager nonblocking defaults) are
+# wrapped here so third-party backends that inherit them still trace.
+for _op, _cat in _TRACED_COLLECTIVES.items():
+    _fn = Communicator.__dict__.get(_op)
+    if callable(_fn) and not getattr(_fn, "__isabstractmethod__", False):
+        setattr(Communicator, _op, _traced_collective(_op, _cat, _fn))
+for _op, _cat in _TRACED_POSTS.items():
+    _fn = Communicator.__dict__.get(_op)
+    if callable(_fn) and not getattr(_fn, "__isabstractmethod__", False):
+        setattr(Communicator, _op, _traced_post(_op, _cat, _fn))
+del _op, _cat, _fn

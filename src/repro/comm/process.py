@@ -102,6 +102,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.tracer import TRACE
 from .base import (CommHandle, CompletedCommHandle, Communicator,
                    payload_nbytes as _nbytes, reduce_stack)
 from .faults import WorkerFailure
@@ -201,17 +202,24 @@ def _worker_barrier(rank: int, cmd: dict, sync_qs, pending: Dict[int, int]) -> N
                                f"expected {bid}")
 
 
-def _worker_main(rank: int, cmd_q, out_q, sync_qs, unregister_shm: bool) -> None:
+def _worker_main(rank: int, cmd_q, out_q, sync_qs, unregister_shm: bool,
+                 trace: bool = False) -> None:
     """Main loop of one rank's worker process.
 
     Commands arrive as pickled dicts; payload bytes only ever move through
     the shared-memory arenas.  Every command is answered with exactly one
     ``("done", seconds)`` or ``("error", traceback)`` message, keeping the
-    driver and the worker in lockstep.
+    driver and the worker in lockstep.  With ``trace`` on, every handled
+    command is also recorded as a local span ``(name, cat, t0, t1, args)``
+    (raw ``perf_counter`` stamps — comparable with the driver's on one
+    host); the ``"spans"`` control op returns-and-clears the buffer, which
+    is how the driver merges worker timelines at epoch boundaries and at
+    ``close()``.
     """
     attached: Dict[Tuple[int, str], Tuple[int, shared_memory.SharedMemory]] = {}
     pending_tokens: Dict[int, int] = {}
     plan_table: Dict[int, dict] = {}
+    spans: List[tuple] = []
 
     def arena(owner: int, kind: str) -> shared_memory.SharedMemory:
         return attached[(owner, kind)][1]
@@ -220,6 +228,11 @@ def _worker_main(rank: int, cmd_q, out_q, sync_qs, unregister_shm: bool) -> None
         cmd = cmd_q.get()
         if cmd["op"] == "stop":
             break
+        if cmd["op"] == "spans":
+            out_q.put(("spans", spans))
+            spans = []
+            continue
+        op = cmd["op"]
         start = time.perf_counter()
         try:
             if cmd["op"] == "replay":
@@ -275,7 +288,14 @@ def _worker_main(rank: int, cmd_q, out_q, sync_qs, unregister_shm: bool) -> None
         except BaseException:  # noqa: BLE001 - reported to the driver
             out_q.put(("error", traceback.format_exc()))
         else:
-            out_q.put(("done", time.perf_counter() - start))
+            end = time.perf_counter()
+            if trace:
+                args = {}
+                if cmd["op"] == "plan":
+                    args = {"copies": len(cmd["copies"]),
+                            "reduces": len(cmd["reduces"])}
+                spans.append((f"worker.{op}", "worker", start, end, args))
+            out_q.put(("done", end - start))
     for _, shm in attached.values():
         shm.close()
 
@@ -356,7 +376,8 @@ class _PendingStep:
     read for a rank always belongs to the oldest pending step naming it.
     """
 
-    __slots__ = ("group", "remaining", "category", "start", "slot", "error")
+    __slots__ = ("group", "remaining", "category", "start", "slot", "error",
+                 "op_index")
 
     def __init__(self, group: List[int], category: str, start: float,
                  slot: Optional[int]) -> None:
@@ -366,6 +387,7 @@ class _PendingStep:
         self.start = start
         self.slot = slot
         self.error: Optional[BaseException] = None
+        self.op_index: int = 0
 
 
 class _ProcessHandle(CommHandle):
@@ -444,6 +466,11 @@ class ProcessPoolCommunicator(Communicator):
         # instead of waiting out peers stuck in a barrier with the dead
         # rank.
         self._failed = False
+        # Watchdog diagnostics: per-rank (category, epoch, op_index) of
+        # the last collective whose response was consumed, so a lost
+        # worker's error message can say where the run was when it died.
+        self._op_seq = 0
+        self._last_done: Dict[int, Tuple[str, Optional[int], int]] = {}
 
     # ------------------------------------------------------------------
     # Worker / arena management
@@ -462,7 +489,7 @@ class ProcessPoolCommunicator(Communicator):
             proc = ctx.Process(
                 target=_worker_main, name=f"comm-rank-{r}",
                 args=(r, self._cmd_qs[r], self._out_qs[r], self._sync_qs,
-                      unregister),
+                      unregister, TRACE.enabled),
                 daemon=True)
             proc.start()
             self._procs.append(proc)
@@ -585,6 +612,39 @@ class ProcessPoolCommunicator(Communicator):
             views[rank] = vlist
         return placed, views
 
+    def collect_trace_spans(self) -> None:
+        """Ship each worker's local span buffer into the driver tracer.
+
+        Sends the ``"spans"`` control op to every rank and merges the
+        returned ``(name, cat, t0, t1, args)`` tuples under a
+        ``"rank{r}"`` track.  Pending nonblocking steps are drained first
+        so the out-queues stay in lockstep (every command still gets
+        exactly one response).  A lost worker propagates exactly like a
+        collective would — the spans round trip is a control-plane
+        operation like any other.
+        """
+        if self._procs is None or self._failed or self._draining \
+                or not TRACE.enabled:
+            return
+        self._drain_all_pending()
+        for r in range(self.nranks):
+            self._cmd_qs[r].put({"op": "spans"})
+        lost: List[_WorkerLost] = []
+        for r in range(self.nranks):
+            try:
+                msg = self._await_response(
+                    r, time.perf_counter() + self.timeout_s)
+            except _WorkerLost as exc:
+                lost.append(exc)
+                if exc.died:
+                    break
+                continue
+            if msg[0] == "spans":
+                for name, cat, t0, t1, args in msg[1]:
+                    TRACE.add_span(f"rank{r}", name, cat, t0, t1, args)
+        if lost:
+            self._fail_lost(lost)
+
     def close(self) -> None:
         """Join the worker processes and release all shared memory.
 
@@ -617,6 +677,13 @@ class ProcessPoolCommunicator(Communicator):
                         pass
             finally:
                 self._draining = False
+        if TRACE.enabled:
+            # Final worker-span harvest (best-effort: close must finish
+            # even if a worker can no longer answer).
+            try:
+                self.collect_trace_spans()
+            except Exception:
+                pass
         self._pending.clear()
         self._nb_handles.clear()
         self._closed = True
@@ -728,6 +795,8 @@ class ProcessPoolCommunicator(Communicator):
         self._ensure_workers()
         pending = _PendingStep(list(group), category, time.perf_counter(),
                                slot)
+        self._op_seq += 1
+        pending.op_index = self._op_seq
         pending.remaining = [r for r, _ in active]
         for r, cmd in active:
             self._cmd_qs[r].put(cmd)
@@ -785,13 +854,27 @@ class ProcessPoolCommunicator(Communicator):
         if dead:
             raise WorkerFailure(
                 dead[0], backend=self.backend_name,
-                reason="worker process died mid-collective; "
+                reason="worker process died mid-collective "
+                       f"({self._last_done_desc(dead[0])}); "
                        "communicator closed")
         ranks = [e.rank for e in lost]
+        detail = "; ".join(self._last_done_desc(r) for r in ranks)
         raise RuntimeError(
             f"rank{'s' if len(ranks) > 1 else ''} "
             f"{', '.join(map(str, ranks))} did not finish within "
-            f"{self.timeout_s}s (deadlock?); communicator closed")
+            f"{self.timeout_s}s (deadlock?); {detail}; "
+            "communicator closed")
+
+    def _last_done_desc(self, rank: int) -> str:
+        """Human-readable "where was this rank" watchdog diagnostic."""
+        info = self._last_done.get(rank)
+        if info is None:
+            return f"rank {rank} completed no collective yet"
+        category, epoch, idx = info
+        where = f"{category} op #{idx}"
+        if epoch is not None:
+            where += f" of epoch {epoch}"
+        return f"rank {rank} last completed {where}"
 
     def _drain_step(self, pending: _PendingStep, block: bool = True) -> bool:
         """Consume one pending step's responses; returns completion.
@@ -828,6 +911,8 @@ class ProcessPoolCommunicator(Communicator):
                     # spending a watchdog window on each.
                     break
                 continue
+            self._last_done[r] = (pending.category, self._epoch,
+                                  pending.op_index)
             if msg[0] == "error" and pending.error is None:
                 pending.error = RuntimeError(
                     f"rank {r} worker failed:\n{msg[1]}")
@@ -891,6 +976,8 @@ class ProcessPoolCommunicator(Communicator):
         """
         self._ensure_workers()
         self._drain_all_pending()
+        self._op_seq += 1
+        op_index = self._op_seq
         start = time.perf_counter()
         deadline = start + self.timeout_s
         for r, cmd in zip(group, cmds):
@@ -907,6 +994,7 @@ class ProcessPoolCommunicator(Communicator):
                     # barrier with the dead rank; close() tears them down.
                     break
                 continue
+            self._last_done[r] = (category, self._epoch, op_index)
             if msg[0] == "error":
                 errors.append((r, msg[1]))
         if lost:

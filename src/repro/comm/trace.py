@@ -1,5 +1,14 @@
 """Export simulated runs as Chrome-trace timelines and overlap analysis.
 
+This module is **sim-only**: its timestamps are synthesized from the
+alpha-beta machine model's event log, not measured from a clock, so it
+cannot describe a ``threaded`` or ``process`` run.  Wall-clock traces
+for *any* backend come from the runtime span tracer —
+:func:`repro.obs.save_trace` is the unified entry point (it falls back
+to :func:`chrome_trace` here when no spans were recorded and the run is
+a :class:`~repro.comm.simulator.SimCommunicator`); see
+``docs/observability.md``.
+
 Two small post-processing utilities over the simulator's event log and
 per-rank clocks:
 

@@ -44,6 +44,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..obs.tracer import TRACE
+
 __all__ = ["CHECKPOINT_MAGIC", "CHECKPOINT_VERSION", "CheckpointError",
            "CheckpointManager", "TrainingCheckpoint", "config_fingerprint",
            "read_checkpoint", "write_checkpoint"]
@@ -122,6 +124,12 @@ class TrainingCheckpoint:
 
 def write_checkpoint(path: os.PathLike, ckpt: TrainingCheckpoint) -> Path:
     """Atomically write ``ckpt`` to ``path`` (versioned header + CRC)."""
+    with TRACE.span("checkpoint.save", cat="checkpoint",
+                    args={"epoch": ckpt.epoch}):
+        return _write_checkpoint(path, ckpt)
+
+
+def _write_checkpoint(path: os.PathLike, ckpt: TrainingCheckpoint) -> Path:
     path = Path(path)
     blob = pickle.dumps(ckpt.payload(), protocol=pickle.HIGHEST_PROTOCOL)
     header = _HEADER.pack(CHECKPOINT_MAGIC, CHECKPOINT_VERSION, len(blob),
@@ -152,6 +160,12 @@ def read_checkpoint(path: os.PathLike) -> TrainingCheckpoint:
     failure) — never returns partially-validated state.
     """
     path = Path(path)
+    with TRACE.span("checkpoint.restore", cat="checkpoint",
+                    args={"path": str(path)}):
+        return _read_checkpoint(path)
+
+
+def _read_checkpoint(path: Path) -> TrainingCheckpoint:
     try:
         raw = path.read_bytes()
     except OSError as exc:
@@ -209,11 +223,15 @@ class CheckpointManager:
     def save(self, ckpt: TrainingCheckpoint) -> Path:
         """Write ``ckpt`` atomically; prune beyond the ``keep`` newest."""
         path = write_checkpoint(self.path_for(ckpt.epoch), ckpt)
-        for stale in self.paths()[:-self.keep]:
-            try:
-                stale.unlink()
-            except OSError:  # pragma: no cover - concurrent cleanup
-                pass
+        stale_paths = self.paths()[:-self.keep]
+        if stale_paths:
+            with TRACE.span("checkpoint.prune", cat="checkpoint",
+                            args={"pruned": len(stale_paths)}):
+                for stale in stale_paths:
+                    try:
+                        stale.unlink()
+                    except OSError:  # pragma: no cover - concurrent cleanup
+                        pass
         return path
 
     def load_latest(self, expect_fingerprint: Optional[str] = None

@@ -26,6 +26,7 @@ import scipy.sparse as sp
 
 from ..comm.base import Communicator
 from ..gcn.activations import get_activation
+from ..obs.tracer import TRACE
 from ..gcn.init import init_weights
 from ..gcn.loss import softmax
 from .config import Algorithm
@@ -443,13 +444,18 @@ class DistributedGCN:
     # ------------------------------------------------------------------
     def train_epoch(self, lr: float) -> float:
         """One full-graph training epoch; returns the training loss."""
-        caches = self.forward()
-        loss, grad_logits = self.loss_and_logits_grad(
-            caches[-1].h_out, defer=self.gradsync.overlap)
-        grads = self.backward(caches, grad_logits)
-        self.apply_gradients(grads, lr)
-        if isinstance(loss, DeferredScalar):
-            loss = loss.value()
+        tr = TRACE
+        with tr.span("forward", cat="train"):
+            caches = self.forward()
+        with tr.span("loss", cat="train"):
+            loss, grad_logits = self.loss_and_logits_grad(
+                caches[-1].h_out, defer=self.gradsync.overlap)
+        with tr.span("backward", cat="train"):
+            grads = self.backward(caches, grad_logits)
+        with tr.span("optimizer", cat="train"):
+            self.apply_gradients(grads, lr)
+            if isinstance(loss, DeferredScalar):
+                loss = loss.value()
         return loss
 
     def global_logits(self) -> np.ndarray:

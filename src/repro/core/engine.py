@@ -58,6 +58,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..comm.base import Communicator
+from ..obs.tracer import TRACE
 
 __all__ = [
     "CompiledSpmm", "DenseSpec", "MODES", "SpmmEngine", "SpmmReport",
@@ -324,7 +325,15 @@ class CompiledSpmm:
         """Run ``Z = M H`` on the precomputed plan and reused workspaces."""
         self._check_dense(dense)
         self.calls += 1
-        return self._execute(dense)
+        tr = TRACE
+        if not tr.enabled:
+            return self._execute(dense)
+        with tr.span("spmm", cat="spmm",
+                     args={"algorithm": self.algorithm, "mode": self.mode,
+                           "width": self.spec.width,
+                           "pipeline_depth": self.pipeline_depth,
+                           "call": self.calls}):
+            return self._execute(dense)
 
     @property
     def algorithm(self) -> str:

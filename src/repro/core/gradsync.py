@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..comm.base import CommHandle, Communicator, reduce_stack
+from ..obs.tracer import TRACE
 
 __all__ = [
     "GRAD_DTYPES",
@@ -268,11 +269,13 @@ class GradExchangeSession:
                 f"session posted {self._posted} of {self.n_items} gradients")
         t0 = self._x.comm.elapsed()
         by_index: Dict[int, np.ndarray] = {}
-        for bucket in self._issued:
-            flat = self._x._finish(bucket)
-            for slot in bucket.slots:
-                part = flat[slot.offset:slot.offset + slot.size]
-                by_index[slot.index] = part.reshape(slot.shape)
+        with TRACE.span("gradsync.drain", cat="gradsync",
+                        args={"buckets": len(self._issued)}):
+            for bucket in self._issued:
+                flat = self._x._finish(bucket)
+                for slot in bucket.slots:
+                    part = flat[slot.offset:slot.offset + slot.size]
+                    by_index[slot.index] = part.reshape(slot.shape)
         self._x.stats["drain_wait_s"] += self._x.comm.elapsed() - t0
         self._results = [by_index[i] for i in range(self.n_items)]
         return self._results
@@ -373,6 +376,16 @@ class GradientExchanger:
         self.stats["posts"] += len(bucket.slots)
         self.stats["buckets"] += 1
         self.stats["wire_bytes"] += bucket.size * self.wire_dtype.itemsize
+        tr = TRACE
+        if not tr.enabled:
+            return self._issue_bucket(bucket, flats)
+        with tr.span("gradsync.post", cat="gradsync",
+                     args={"slots": len(bucket.slots),
+                           "wire_bytes": bucket.size
+                           * self.wire_dtype.itemsize}):
+            self._issue_bucket(bucket, flats)
+
+    def _issue_bucket(self, bucket: _Bucket, flats: List[np.ndarray]) -> None:
         if self.is_bfloat16:
             self._issue_bf16(bucket, flats)
         elif self.overlap:

@@ -31,7 +31,10 @@ from typing import List, Optional
 
 import numpy as np
 
+from time import perf_counter
+
 from ..comm.base import Communicator
+from ..obs.tracer import TRACE
 from .dist_matrix import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
 from .engine import (CompiledSpmm, DenseSpec, SpecOperandProbe,
                      check_grid_operands, register_spmm,
@@ -193,8 +196,10 @@ class Compiled15DOblivious(_Compiled15DBase):
         if self.pipeline_depth > 1 and grid.stages * grid.replication > 1:
             self._run_pipelined(dense)
         else:
+            tr = TRACE
             for stage in range(grid.stages):
                 for col in range(grid.replication):
+                    t0 = perf_counter() if tr.enabled else 0.0
                     current = self._schedule[stage][col]
                     q, group, root, _ = current
                     self._copies = comm.broadcast(dense.block(q), root=root,
@@ -203,6 +208,11 @@ class Compiled15DOblivious(_Compiled15DBase):
                     self._current = current
                     comm.parallel_for(self._col_tasks[col], ranks=group,
                                       category=self.compute_category)
+                    if tr.enabled:
+                        tr.add_span("driver", "spmm.stage", "spmm", t0,
+                                    perf_counter(),
+                                    {"stage": stage, "col": col,
+                                     "peer": root})
         self._copies = None
         self._current = None
         return self._reduce_partials(dense)
@@ -236,10 +246,17 @@ class Compiled15DOblivious(_Compiled15DBase):
                     category=self.comm_category))
                 issued += 1
             col, current = entries[k]
+            tr = TRACE
+            t0 = perf_counter() if tr.enabled else 0.0
             self._copies = inflight.popleft().wait()
             self._current = current
             comm.parallel_for(self._col_tasks[col], ranks=current[1],
                               category=self.compute_category)
+            if tr.enabled:
+                tr.add_span("driver", "spmm.stage", "spmm", t0,
+                            perf_counter(),
+                            {"stage": k // grid.replication, "col": col,
+                             "peer": current[2], "pipelined": True})
 
 
 class Compiled15DSparsityAware(_Compiled15DBase):
@@ -343,7 +360,9 @@ class Compiled15DSparsityAware(_Compiled15DBase):
         if self.pipeline_depth > 1 and len(self._stages) > 1:
             self._run_pipelined()
         else:
-            for stage_state in self._stages:
+            tr = TRACE
+            for stage, stage_state in enumerate(self._stages):
+                t0 = perf_counter() if tr.enabled else 0.0
                 self._stage_state = stage_state
                 comm.parallel_for(self._pack_tasks,
                                   ranks=stage_state["sources"],
@@ -353,6 +372,11 @@ class Compiled15DSparsityAware(_Compiled15DBase):
                               sync_ranks=range(comm.nranks))
                 comm.parallel_for(self._mult_tasks,
                                   category=self.compute_category)
+                if tr.enabled:
+                    tr.add_span("driver", "spmm.stage", "spmm", t0,
+                                perf_counter(),
+                                {"stage": stage,
+                                 "messages": len(stage_state["messages"])})
         self._stage_state = None
         self._dense = None
         return self._reduce_partials(dense)
@@ -380,10 +404,15 @@ class Compiled15DSparsityAware(_Compiled15DBase):
                     stage_state["messages"], category=self.comm_category,
                     sync_ranks=range(comm.nranks)))
                 issued += 1
+            tr = TRACE
+            t0 = perf_counter() if tr.enabled else 0.0
             inflight.popleft().wait()
             self._stage_state = self._stages[k]
             comm.parallel_for(self._mult_tasks,
                               category=self.compute_category)
+            if tr.enabled:
+                tr.add_span("driver", "spmm.stage", "spmm", t0,
+                            perf_counter(), {"stage": k, "pipelined": True})
 
 
 @register_spmm_compiler("1.5d", "oblivious")

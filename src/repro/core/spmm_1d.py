@@ -31,11 +31,13 @@ sequential under the simulator, genuinely parallel under real backends.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import List, Optional
 
 import numpy as np
 
 from ..comm.base import Communicator
+from ..obs.tracer import TRACE
 from .dist_matrix import DistDenseMatrix, DistSparseMatrix
 from .engine import (CompiledSpmm, DenseSpec, SpecOperandProbe,
                      check_block_operands, register_spmm,
@@ -108,12 +110,17 @@ class Compiled1DOblivious(CompiledSpmm):
         if self.pipeline_depth > 1 and p > 1:
             self._run_pipelined(dense)
         else:
+            tr = TRACE
             for j in range(p):
+                t0 = perf_counter() if tr.enabled else 0.0
                 self._copies = comm.broadcast(dense.block(j), root=j,
                                               category=self.comm_category)
                 self._step = j
                 comm.parallel_for(self._tasks,
                                   category=self.compute_category)
+                if tr.enabled:
+                    tr.add_span("driver", "spmm.stage", "spmm", t0,
+                                perf_counter(), {"stage": j, "peer": j})
         self._copies = None
         return dense.like(self._out)
 
@@ -126,7 +133,9 @@ class Compiled1DOblivious(CompiledSpmm):
         ahead = self.pipeline_depth - 1
         inflight: "deque" = deque()
         issued = 0
+        tr = TRACE
         for j in range(p):
+            t0 = perf_counter() if tr.enabled else 0.0
             while issued <= min(j + ahead, p - 1):
                 inflight.append(comm.ibroadcast(
                     dense.block(issued), root=issued,
@@ -135,6 +144,10 @@ class Compiled1DOblivious(CompiledSpmm):
             self._copies = inflight.popleft().wait()
             self._step = j
             comm.parallel_for(self._tasks, category=self.compute_category)
+            if tr.enabled:
+                tr.add_span("driver", "spmm.stage", "spmm", t0,
+                            perf_counter(),
+                            {"stage": j, "peer": j, "pipelined": True})
 
 
 class Compiled1DSparsityAware(CompiledSpmm):
@@ -238,9 +251,24 @@ class Compiled1DSparsityAware(CompiledSpmm):
     def _execute(self, dense: DistDenseMatrix) -> DistDenseMatrix:
         comm = self.comm
         self._dense = dense
+        tr = TRACE
+        t0 = perf_counter() if tr.enabled else 0.0
         comm.parallel_for(self._pack_tasks, category=self.compute_category)
+        if tr.enabled:
+            t1 = perf_counter()
+            tr.add_span("driver", "spmm.stage", "spmm", t0, t1,
+                        {"phase": "pack"})
+            t0 = t1
         self._recv = comm.alltoallv(self._send, category=self.comm_category)
+        if tr.enabled:
+            t1 = perf_counter()
+            tr.add_span("driver", "spmm.stage", "spmm", t0, t1,
+                        {"phase": "exchange"})
+            t0 = t1
         comm.parallel_for(self._mult_tasks, category=self.compute_category)
+        if tr.enabled:
+            tr.add_span("driver", "spmm.stage", "spmm", t0, perf_counter(),
+                        {"phase": "mult"})
         self._dense = None
         self._recv = None
         return dense.like(self._out)

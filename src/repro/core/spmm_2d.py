@@ -42,7 +42,10 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from time import perf_counter
+
 from ..comm.base import Communicator
+from ..obs.tracer import TRACE
 from .dist_matrix import BlockRowDistribution
 from .engine import (CompiledSpmm, DenseSpec, check_grid2d_operands,
                      register_spmm, register_spmm_compiler)
@@ -293,7 +296,9 @@ class Compiled2DOblivious(_Compiled2DBase):
         grid = self.grid
 
         # Phase 1: all-gather H_j within every grid column.
+        tr = TRACE
         for j in range(grid.ncols):
+            t0 = perf_counter() if tr.enabled else 0.0
             chunks = self._chunks[j]
             for r, (lo, hi) in enumerate(self._chunk_ranges[j]):
                 chunks[r][...] = h[lo:hi]
@@ -301,11 +306,18 @@ class Compiled2DOblivious(_Compiled2DBase):
                                    category=self.gather_category)
             # Every member of the column now holds the full block row H_j.
             np.concatenate(parts[0], axis=0, out=self._gathered[j])
+            if tr.enabled:
+                tr.add_span("driver", "spmm.stage", "spmm", t0,
+                            perf_counter(), {"phase": "gather", "col": j})
 
         # Phase 2: local multiply and row-wise all-reduce (overlapped
         # across rows when pipeline_depth > 1).
+        t0 = perf_counter() if tr.enabled else 0.0
         out = self._out
         self._reduce_rows(out)
+        if tr.enabled:
+            tr.add_span("driver", "spmm.stage", "spmm", t0,
+                        perf_counter(), {"phase": "reduce"})
         return out
 
 
@@ -393,6 +405,8 @@ class Compiled2DSparsityAware(_Compiled2DBase):
 
         # Phase 1: fill every packed buffer with one gather, charge the
         # packing work, move the off-diagonal segments point-to-point.
+        tr = TRACE
+        t0 = perf_counter() if tr.enabled else 0.0
         for (rows, buf) in self._packed.values():
             np.take(h, rows, axis=0, out=buf)
         for src, nelem in self._pack_charges:
@@ -400,11 +414,19 @@ class Compiled2DSparsityAware(_Compiled2DBase):
                                     category=self.compute_category)
         comm.exchange(self._messages, category=self.comm_category,
                       sync_ranks=range(comm.nranks))
+        if tr.enabled:
+            tr.add_span("driver", "spmm.stage", "spmm", t0, perf_counter(),
+                        {"phase": "exchange",
+                         "messages": len(self._messages)})
 
         # Phase 2: local multiply on compacted blocks, then row all-reduce
         # (overlapped across rows when pipeline_depth > 1).
+        t0 = perf_counter() if tr.enabled else 0.0
         out = self._out
         self._reduce_rows(out)
+        if tr.enabled:
+            tr.add_span("driver", "spmm.stage", "spmm", t0, perf_counter(),
+                        {"phase": "reduce"})
         return out
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -40,6 +41,8 @@ from ..gcn.metrics import masked_accuracy
 from ..graphs.adjacency import gcn_normalize, permutation_from_parts
 from ..graphs.datasets import GraphDataset
 from ..graphs.features import NodeData
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import TRACE
 from ..partition import get_partitioner
 from ..partition.base import PartitionResult
 from .checkpoint import (CheckpointManager, TrainingCheckpoint,
@@ -86,6 +89,12 @@ class DistTrainResult:
     #: Completed-epoch count of the checkpoint the final attempt resumed
     #: from, or ``None`` when it started at epoch 0.
     resumed_from_epoch: Optional[int] = None
+    #: Flat metrics-registry snapshot (``repro.obs.metrics``) of this
+    #: run: per-category time and byte totals, gradient-exchange
+    #: accounting, checkpoint-save histograms, restart counters.  The
+    #: same numbers ``repro train --metrics`` exports — the CLI reads
+    #: this field, so the two can never disagree.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def final_loss(self) -> float:
@@ -267,6 +276,39 @@ def _build_checkpoint(model: DistributedGCN, epoch: int,
     )
 
 
+def _build_metrics(comm: Communicator,
+                   per_epoch_breakdown: Dict[str, float],
+                   grad_summary: Dict[str, object],
+                   ckpt_saves_s: List[float],
+                   restarts: int) -> Dict[str, object]:
+    """Flat metrics snapshot of one finished run (``repro.obs.metrics``).
+
+    This is the single source of the derived comm/compute/overlap
+    numbers: the CLI's per-epoch breakdown print and the ``--metrics``
+    Prometheus export both read the returned dict.
+    """
+    reg = MetricsRegistry()
+    for cat, sec in per_epoch_breakdown.items():
+        reg.gauge("time_s_per_epoch", sec, category=cat)
+    for event in comm.events:
+        reg.counter("comm_bytes_total", event.nbytes, category=event.category)
+        reg.counter("comm_messages_total", 1, category=event.category)
+    compute_s = per_epoch_breakdown.get("local", 0.0)
+    comm_s = sum(v for k, v in per_epoch_breakdown.items() if k != "local")
+    reg.gauge("gradsync_comm_s_per_epoch", comm_s)
+    reg.gauge("gradsync_compute_s_per_epoch", compute_s)
+    # The overlap window is the span the wait-free drain actually had
+    # available: everything not spent blocked at the drain point.
+    drain_s = float(grad_summary.get("drain_wait_s_per_epoch", 0.0) or 0.0)
+    reg.gauge("overlap_hidden_s_per_epoch", max(0.0, comm_s - drain_s))
+    for key, value in grad_summary.items():
+        reg.gauge(f"gradsync_{key}", value)
+    for duration in ckpt_saves_s:
+        reg.observe("checkpoint_save_seconds", duration)
+    reg.counter("restarts_total", restarts)
+    return reg.as_dict()
+
+
 def _recover_config(dataset: GraphDataset, config: DistTrainConfig,
                     failure: WorkerFailure
                     ) -> Tuple[DistTrainConfig, Optional[PartitionResult]]:
@@ -398,11 +440,21 @@ def _train_attempt(dataset: GraphDataset, config: DistTrainConfig,
                 history = [DistEpochRecord(**rec) for rec in ckpt.history]
         if fault_plan is not None:
             comm.inject_faults(fault_plan)
+        ckpt_saves_s: List[float] = []
         for epoch in range(start_epoch, config.epochs):
             if fault_plan is not None:
                 fault_plan.start_epoch(epoch)
+            comm.note_epoch(epoch)
             start = comm.elapsed()
-            loss = model.train_epoch(config.learning_rate)
+            if TRACE.enabled:
+                with TRACE.span("epoch", cat="train",
+                                args={"epoch": epoch}):
+                    loss = model.train_epoch(config.learning_rate)
+                # Ship worker-side spans at every epoch boundary so a
+                # killed run still has a trace up to its last epoch.
+                comm.collect_trace_spans()
+            else:
+                loss = model.train_epoch(config.learning_rate)
             epoch_time = comm.elapsed() - start
 
             train_acc = val_acc = None
@@ -419,8 +471,10 @@ def _train_attempt(dataset: GraphDataset, config: DistTrainConfig,
                                            val_accuracy=val_acc))
             if manager is not None and config.checkpoint_every \
                     and (epoch + 1) % config.checkpoint_every == 0:
+                save_start = perf_counter()
                 manager.save(_build_checkpoint(model, epoch + 1, history,
                                                fingerprint, config))
+                ckpt_saves_s.append(perf_counter() - save_start)
 
     preds = model.predictions()
     test_accuracy = masked_accuracy(preds, node_data.labels,
@@ -432,6 +486,8 @@ def _train_attempt(dataset: GraphDataset, config: DistTrainConfig,
     n_epochs = max(1, len(history) - start_epoch)
     breakdown = comm.breakdown(reduce="max")
     per_epoch_breakdown = {k: v / n_epochs for k, v in breakdown.items()}
+    grad_summary = model.gradsync.summary(
+        n_epochs=max(0, len(history) - start_epoch))
     result = DistTrainResult(
         config=config,
         history=history,
@@ -442,9 +498,10 @@ def _train_attempt(dataset: GraphDataset, config: DistTrainConfig,
         comm_summary=comm.stats_summary(),
         partition_stats=dict(setup.partition.stats) if setup.partition else {},
         model=model,
-        grad_summary=model.gradsync.summary(
-            n_epochs=max(0, len(history) - start_epoch)),
+        grad_summary=grad_summary,
         restarts=restarts,
         resumed_from_epoch=resumed_from,
+        metrics=_build_metrics(comm, per_epoch_breakdown, grad_summary,
+                               ckpt_saves_s, restarts),
     )
     return result

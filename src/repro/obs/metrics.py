@@ -1,0 +1,128 @@
+"""Metrics registry: counters, gauges, histograms.
+
+Naming follows the Prometheus conventions (see docs/observability.md
+for the full catalogue): snake_case metric names, ``_total`` suffix for
+counters, ``_seconds`` / ``_bytes`` unit suffixes, labels for
+categorical axes (``comm_bytes_total{category="alltoall"}``).
+
+The registry renders three ways:
+
+* :meth:`MetricsRegistry.as_dict` — a flat ``{key: value}`` mapping
+  whose keys already carry the labels in Prometheus sample syntax.
+  Histograms expand into ``_count`` / ``_sum`` / ``_min`` / ``_max`` /
+  ``_mean`` / ``_p50`` / ``_p95`` summary samples.  This is what
+  ``DistTrainResult.metrics`` stores (plain JSON-able dict, picklable).
+* :meth:`MetricsRegistry.to_json` — the same dict as a JSON document.
+* :func:`prometheus_text` — Prometheus text exposition rendered from a
+  flat dict, so a snapshot that travelled through a result object can
+  still be exported without the registry that produced it.  String
+  values render as info-style samples (``name{value="..."} 1``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Mapping, Tuple
+
+__all__ = ["MetricsRegistry", "prometheus_text"]
+
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> _Key:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _fmt(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample list."""
+    if not sorted_values:
+        return math.nan
+    idx = min(len(sorted_values) - 1,
+              max(0, math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[idx]
+
+
+class MetricsRegistry:
+    """Process-local metrics store (not thread-safe; driver-side only)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[_Key, float] = {}
+        self._gauges: Dict[_Key, Any] = {}
+        self._hists: Dict[_Key, List[float]] = {}
+
+    # -- recording -----------------------------------------------------
+    def counter(self, name: str, value: float = 1.0, **labels) -> None:
+        """Increment a monotonically-growing counter."""
+        k = _key(name, labels)
+        self._counters[k] = self._counters.get(k, 0.0) + float(value)
+
+    def gauge(self, name: str, value: Any, **labels) -> None:
+        """Set a point-in-time value (numbers, or strings for info)."""
+        self._gauges[_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Add one observation to a histogram."""
+        self._hists.setdefault(_key(name, labels), []).append(float(value))
+
+    # -- rendering -----------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat snapshot with Prometheus-style keys (sorted)."""
+        flat: Dict[str, Any] = {}
+        for (name, labels), v in self._counters.items():
+            flat[_fmt(name, labels)] = v
+        for (name, labels), v in self._gauges.items():
+            flat[_fmt(name, labels)] = v
+        for (name, labels), values in self._hists.items():
+            ordered = sorted(values)
+            flat[_fmt(name + "_count", labels)] = float(len(ordered))
+            flat[_fmt(name + "_sum", labels)] = float(sum(ordered))
+            flat[_fmt(name + "_min", labels)] = ordered[0]
+            flat[_fmt(name + "_max", labels)] = ordered[-1]
+            flat[_fmt(name + "_mean", labels)] = sum(ordered) / len(ordered)
+            flat[_fmt(name + "_p50", labels)] = _percentile(ordered, 0.50)
+            flat[_fmt(name + "_p95", labels)] = _percentile(ordered, 0.95)
+        return dict(sorted(flat.items()))
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def prometheus(self) -> str:
+        return prometheus_text(self.as_dict())
+
+    def merge_flat(self, flat: Mapping[str, Any]) -> None:
+        """Absorb a flat snapshot (keys become gauges verbatim)."""
+        for k, v in flat.items():
+            self._gauges[(k, ())] = v
+
+
+def prometheus_text(flat: Mapping[str, Any]) -> str:
+    """Render a flat metrics dict as Prometheus text exposition.
+
+    Keys are assumed to already be in sample syntax
+    (``name{label="v"}`` or bare names); booleans render as 0/1 and
+    strings as info-style samples with a ``value`` label.
+    """
+    lines = []
+    for key in sorted(flat):
+        v = flat[key]
+        if isinstance(v, bool):
+            v = int(v)
+        if isinstance(v, (int, float)):
+            if isinstance(v, float) and math.isnan(v):
+                v = "NaN"
+            lines.append(f"{key} {v}")
+        else:
+            label = f'value="{v}"'
+            if key.endswith("}"):
+                lines.append(f"{key[:-1]},{label}}} 1")
+            else:
+                lines.append(f"{key}{{{label}}} 1")
+    return "\n".join(lines) + ("\n" if lines else "")

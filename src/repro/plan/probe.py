@@ -25,6 +25,7 @@ import numpy as np
 
 from ..comm.factory import make_communicator
 from ..comm.machine import MachineModel, get_machine
+from ..obs.tracer import TRACE
 from ..core.config import Algorithm
 from ..core.dist_matrix import DistDenseMatrix
 from ..core.engine import DenseSpec, SpmmEngine
@@ -85,11 +86,18 @@ def probe_candidate(candidate: PlanCandidate,
     comm = make_communicator(candidate.n_ranks, backend=probe_backend,
                              machine=machine)
     simulated = probe_backend == "sim"
+    span = TRACE.span("plan.probe", cat="plan",
+                      args={"algorithm": candidate.algorithm,
+                            "partitioner": candidate.partitioner,
+                            "replication": candidate.replication_factor,
+                            "n_ranks": candidate.n_ranks,
+                            "pipeline_depth": candidate.pipeline_depth,
+                            "probe_backend": probe_backend})
     grid = None
     if candidate.algorithm == Algorithm.ONE_POINT_FIVE_D:
         grid = ProcessGrid(nranks=candidate.n_ranks,
                            replication=candidate.replication_factor)
-    with comm:
+    with span, comm:
         engine = SpmmEngine(comm, algorithm=candidate.algorithm,
                             sparsity_aware=candidate.sparsity_aware,
                             grid=grid)

@@ -1,0 +1,348 @@
+"""Observability layer: tracer, metrics registry, exporters, contracts.
+
+The load-bearing guarantees tested here:
+
+* **Zero overhead when disabled** — with tracing off (the default) the
+  tracer records nothing, hands out a shared no-op span, and a training
+  run produces *bit-identical* results and sim event streams to a traced
+  run (so the ``BENCH_spmm.json`` determinism guard keeps holding).
+* **Tracing never changes numbers** — enabling spans on any backend
+  yields the same losses/accuracy as the untraced run.
+* **Traces are valid Chrome/Perfetto JSON** with per-rank tracks on the
+  process backend, and the sim event-log fallback still works through
+  the unified :func:`repro.obs.save_trace` API.
+* **Diagnostics** — a lost process-backend worker names the last
+  collective it completed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.comm import make_communicator
+from repro.comm.faults import FaultPlan, WorkerFailure
+from repro.core import DistTrainConfig, train_distributed
+from repro.obs import (NULL_SPAN, TRACE, MetricsRegistry, metrics_from_spans,
+                       prometheus_text, save_trace, trace_events,
+                       trace_summary)
+
+
+@pytest.fixture(autouse=True)
+def _reset_trace():
+    """Tests must never leak tracer state into each other (or into the
+    rest of the suite, which asserts tracing-off behaviour)."""
+    TRACE.disable()
+    TRACE.clear()
+    yield
+    TRACE.disable()
+    TRACE.clear()
+
+
+# ----------------------------------------------------------------------
+# Tracer core
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_disabled_hands_out_shared_noop_span(self):
+        span = TRACE.span("anything", cat="x", args={"a": 1})
+        assert span is NULL_SPAN
+        with span as s:
+            s.set(b=2)                      # must be a silent no-op
+        TRACE.add_span("rank0", "w", "worker", 0.0, 1.0)
+        TRACE.annotate(c=3)
+        TRACE.instant("marker")
+        assert len(TRACE) == 0
+
+    def test_nested_spans_record_in_exit_order(self):
+        TRACE.enable()
+        with TRACE.span("outer", cat="train"):
+            with TRACE.span("inner", cat="train"):
+                TRACE.annotate(step=7)
+        spans = TRACE.spans()
+        assert [s[1] for s in spans] == ["inner", "outer"]
+        track, name, cat, t0, t1, args = spans[0]
+        assert track == "driver" and cat == "train"
+        assert args == {"step": 7}
+        assert t0 <= t1
+        outer = spans[1]
+        assert outer[3] <= t0 and t1 <= outer[4]   # containment
+
+    def test_add_span_records_foreign_tracks(self):
+        TRACE.enable()
+        TRACE.add_span("rank3", "worker.bcast", "worker", 1.0, 2.0,
+                       {"op": "bcast"})
+        (track, name, cat, t0, t1, args), = TRACE.spans()
+        assert (track, name, t1 - t0) == ("rank3", "worker.bcast", 1.0)
+
+    def test_disable_then_enable_is_clean(self):
+        TRACE.enable()
+        with TRACE.span("a"):
+            pass
+        TRACE.disable()
+        with TRACE.span("b"):
+            pass
+        assert [s[1] for s in TRACE.spans()] == ["a"]
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_accumulates_and_labels_are_order_insensitive(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes_total", 10, category="bcast", rank=0)
+        reg.counter("bytes_total", 5, rank=0, category="bcast")
+        flat = reg.as_dict()
+        assert flat['bytes_total{category="bcast",rank="0"}'] == 15.0
+
+    def test_gauge_overwrites_and_may_hold_strings(self):
+        reg = MetricsRegistry()
+        reg.gauge("lr", 0.1)
+        reg.gauge("lr", 0.2)
+        reg.gauge("wire_dtype", "bfloat16")
+        flat = reg.as_dict()
+        assert flat["lr"] == 0.2
+        assert flat["wire_dtype"] == "bfloat16"
+
+    def test_histogram_expands_to_summary_stats(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            reg.observe("latency_seconds", v, op="bcast")
+        flat = reg.as_dict()
+        base = 'latency_seconds'
+        assert flat[f'{base}_count{{op="bcast"}}'] == 4
+        assert flat[f'{base}_sum{{op="bcast"}}'] == 10.0
+        assert flat[f'{base}_min{{op="bcast"}}'] == 1.0
+        assert flat[f'{base}_max{{op="bcast"}}'] == 4.0
+        assert flat[f'{base}_mean{{op="bcast"}}'] == 2.5
+        assert f'{base}_p50{{op="bcast"}}' in flat
+        assert f'{base}_p95{{op="bcast"}}' in flat
+
+    def test_prometheus_text_renders_numbers_bools_and_strings(self):
+        text = prometheus_text({
+            "runs_total": 3.0,
+            'bytes{category="bcast"}': 12,
+            "overlap": True,
+            "wire_dtype": "float32",
+        })
+        lines = text.splitlines()
+        assert "runs_total 3.0" in lines
+        assert 'bytes{category="bcast"} 12' in lines
+        assert "overlap 1" in lines
+        assert 'wire_dtype{value="float32"} 1' in lines
+        assert text.endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+class TestExport:
+    def test_no_spans_yields_no_events(self):
+        assert trace_events() == []
+
+    def test_events_have_metadata_and_slices(self):
+        TRACE.enable()
+        with TRACE.span("work", cat="train", args={"epoch": 0}):
+            pass
+        TRACE.add_span("rank0", "worker.bcast", "worker", 0.0, 1e-3)
+        events = trace_events()
+        json.dumps(events)                   # must be serializable
+        names = {e["args"]["name"] for e in events
+                 if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert names == {"driver", "rank0"}
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {s["name"] for s in slices} == {"work", "worker.bcast"}
+        assert all(s["ts"] >= 0.0 and s["dur"] >= 0.0 for s in slices)
+
+    def test_save_trace_writes_span_trace(self, tmp_path):
+        TRACE.enable()
+        with TRACE.span("work"):
+            pass
+        out = tmp_path / "t.json"
+        save_trace(None, str(out))
+        payload = json.loads(out.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+
+    def test_save_trace_falls_back_to_sim_event_log(self, tmp_path):
+        comm = make_communicator(2)
+        comm.broadcast([np.ones(4), np.ones(4)][0], root=0)
+        out = tmp_path / "sim.json"
+        save_trace(comm, str(out))           # no spans recorded
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+
+    def test_save_trace_without_spans_or_sim_comm_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no spans recorded"):
+            save_trace(None, str(tmp_path / "x.json"))
+
+    def test_trace_summary_self_time_excludes_children(self):
+        events = [
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": 0,
+             "args": {"name": "driver"}},
+            {"name": "parent", "ph": "X", "pid": 0, "tid": 0,
+             "ts": 0.0, "dur": 10.0, "args": {}},
+            {"name": "child", "ph": "X", "pid": 0, "tid": 0,
+             "ts": 2.0, "dur": 4.0, "args": {}},
+        ]
+        summary = trace_summary(events)
+        by_name = {row["name"]: row for row in summary["slices"]}
+        assert by_name["parent"]["self_ms"] == pytest.approx(6.0 / 1e3)
+        assert by_name["child"]["self_ms"] == pytest.approx(4.0 / 1e3)
+        (track,) = summary["tracks"]
+        assert track["track"] == "driver" and track["slices"] == 2
+        assert summary["imbalance"] == pytest.approx(0.0)
+
+    def test_metrics_from_spans_builds_latency_histograms(self):
+        TRACE.enable()
+        TRACE.add_span("driver", "comm.broadcast", "bcast", 0.0, 0.5)
+        TRACE.add_span("driver", "comm.broadcast", "bcast", 0.0, 1.5)
+        TRACE.add_span("rank0", "worker.bcast", "worker", 0.0, 0.1)
+        flat = metrics_from_spans().as_dict()
+        assert flat['collective_seconds_count{op="broadcast"}'] == 2
+        assert flat['collective_seconds_sum{op="broadcast"}'] == 2.0
+        assert flat['spans_total{track="driver"}'] == 2
+        assert flat['spans_total{track="rank0"}'] == 1
+
+
+# ----------------------------------------------------------------------
+# Zero-overhead + numerical-invariance contracts (satellite 3)
+# ----------------------------------------------------------------------
+def _tiny_config(backend: str, tmp_path=None, **kw) -> DistTrainConfig:
+    kwargs = dict(n_ranks=2, epochs=2, hidden=8, n_layers=2, seed=0,
+                  backend=backend)
+    if tmp_path is not None:
+        kwargs.update(checkpoint_dir=str(tmp_path / "ck"),
+                      checkpoint_every=1)
+    kwargs.update(kw)
+    return DistTrainConfig(**kwargs)
+
+
+class TestContracts:
+    def test_sim_run_is_byte_identical_disabled_vs_enabled(self, tiny_dataset):
+        cfg = _tiny_config("sim")
+        r_off = train_distributed(tiny_dataset, cfg, eval_every=0)
+        assert len(TRACE) == 0               # disabled run recorded nothing
+        TRACE.enable()
+        r_on = train_distributed(tiny_dataset, cfg, eval_every=0)
+        assert len(TRACE) > 0
+        assert [rec.loss for rec in r_off.history] == \
+               [rec.loss for rec in r_on.history]
+        # Simulated clocks and the event stream must be unaffected too —
+        # this is what keeps the seed BENCH_spmm.json rows byte-identical.
+        assert [rec.epoch_time_s for rec in r_off.history] == \
+               [rec.epoch_time_s for rec in r_on.history]
+        assert r_off.total_time_s == r_on.total_time_s
+        assert list(r_off.model.comm.events) == list(r_on.model.comm.events)
+        assert r_off.test_accuracy == r_on.test_accuracy
+
+    @pytest.mark.parametrize("backend", ["threaded", "process"])
+    def test_real_backends_numerics_unchanged_by_tracing(self, tiny_dataset,
+                                                         backend):
+        cfg = _tiny_config(backend)
+        r_off = train_distributed(tiny_dataset, cfg, eval_every=0)
+        TRACE.enable()
+        r_on = train_distributed(tiny_dataset, cfg, eval_every=0)
+        assert [rec.loss for rec in r_off.history] == \
+               [rec.loss for rec in r_on.history]
+        assert r_off.test_accuracy == r_on.test_accuracy
+
+    def test_traced_sim_run_emits_expected_span_families(self, tiny_dataset,
+                                                         tmp_path):
+        TRACE.enable()
+        cfg = _tiny_config("sim", tmp_path, grad_overlap=True)
+        train_distributed(tiny_dataset, cfg, eval_every=0)
+        names = {s[1] for s in TRACE.spans()}
+        for expected in ("epoch", "forward", "backward", "optimizer",
+                         "spmm", "spmm.stage", "gradsync.post",
+                         "gradsync.drain", "checkpoint.save"):
+            assert expected in names, f"missing span {expected}: {names}"
+        assert any(n.startswith("comm.") for n in names)
+
+    def test_process_trace_has_per_rank_worker_tracks(self, tiny_dataset,
+                                                      tmp_path):
+        TRACE.enable()
+        cfg = _tiny_config("process", tmp_path, epochs=1)
+        result = train_distributed(tiny_dataset, cfg, eval_every=0)
+        out = tmp_path / "proc.json"
+        save_trace(result, str(out))
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        tracks = {e["args"]["name"]: e["tid"] for e in events
+                  if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert {"driver", "rank0", "rank1"} <= set(tracks)
+        for rank in ("rank0", "rank1"):
+            tid = tracks[rank]
+            rank_slices = [e for e in events
+                           if e.get("ph") == "X" and e["tid"] == tid]
+            assert rank_slices, f"no slices on {rank}"
+            assert all(e["name"].startswith("worker.") for e in rank_slices)
+
+    def test_result_metrics_registry_snapshot(self, tiny_dataset, tmp_path):
+        cfg = _tiny_config("sim", tmp_path, grad_overlap=True)
+        result = train_distributed(tiny_dataset, cfg, eval_every=0)
+        m = result.metrics
+        assert m["restarts_total"] == 0
+        assert 'time_s_per_epoch{category="local"}' in m
+        assert any(k.startswith("comm_bytes_total{") for k in m)
+        assert m["checkpoint_save_seconds_count"] == cfg.epochs
+        # The derived trio the CLI prints comes from this same dict.
+        assert m["gradsync_comm_s_per_epoch"] >= 0.0
+        assert m["gradsync_compute_s_per_epoch"] >= 0.0
+        assert m["overlap_hidden_s_per_epoch"] <= \
+               m["gradsync_comm_s_per_epoch"]
+        prometheus_text(m)                   # must serialize cleanly
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_train_trace_and_metrics_flags(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        prom_path = tmp_path / "m.prom"
+        rc = main(["train", "--dataset", "reddit", "--scale", "0.05",
+                   "--ranks", "2", "--epochs", "1",
+                   "--trace", str(trace_path), "--metrics", str(prom_path)])
+        assert rc == 0
+        payload = json.loads(trace_path.read_text())
+        assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+        prom = prom_path.read_text()
+        assert "restarts_total 0" in prom
+        out = capsys.readouterr().out
+        assert "wrote trace" in out and "wrote metrics" in out
+
+        rc = main(["trace", "view", str(trace_path), "--top", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "top slices by self time" in out
+        assert "imbalance" in out
+
+    def test_trace_view_rejects_non_trace_json(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"traceEvents": []}))
+        assert main(["trace", "view", str(bogus)]) == 1
+
+
+# ----------------------------------------------------------------------
+# Failure diagnostics (satellite 2)
+# ----------------------------------------------------------------------
+class TestFailureDiagnostics:
+    def test_lost_worker_names_last_completed_collective(self):
+        comm = make_communicator(2, backend="process")
+        try:
+            comm.inject_faults(FaultPlan.kill(rank=1, op_index=1))
+            comm.note_epoch(0)
+            out = comm.allreduce([np.ones(2)] * 2)   # op 0 completes
+            np.testing.assert_array_equal(out[0], np.full(2, 2.0))
+            with pytest.raises(WorkerFailure) as excinfo:
+                comm.broadcast(np.ones(4), root=0)   # op 1: rank 1 dies
+            msg = str(excinfo.value)
+            assert "rank 1" in msg
+            assert "last completed" in msg
+            assert "epoch 0" in msg
+        finally:
+            comm.close()
