@@ -13,11 +13,17 @@
 # an observability leg (repro train --trace on the process backend:
 # the emitted Chrome/Perfetto JSON must parse, carry >= 1 slice per
 # rank track, and contain gradsync + checkpoint spans),
+# an inference-serving leg (repro serve --bench --quick on the sim and
+# process backends: train a throwaway checkpoint, sweep the closed-loop
+# load generator batched vs --no-batch, and assert the emitted
+# BENCH_serve.json payload parses with batched output bit-identical to
+# sequential),
 # the per-host overhead calibration (repro calibrate --quick --dry-run,
 # never writing CI hosts' numbers anywhere), and the
 # kernel/compiled-epoch/overlap microbenchmark (scripts/bench_kernels.py
 # --quick, writing to a throwaway path so CI never touches the
-# checked-in BENCH_kernels.json).  Hard 60 s budget for everything —
+# checked-in BENCH_serve.json / BENCH_kernels.json).  Hard 60 s budget
+# for everything —
 # each run takes ~1 s; anything slower signals a performance regression
 # or a hang in the comm layer (worker threads for `threaded`, worker
 # processes, shared-memory arenas and in-flight nonblocking handles for
@@ -99,6 +105,26 @@ for want in ("gradsync.post", "gradsync.drain", "checkpoint.save"):
     assert want in names, f"missing span {want}: {sorted(names)}"
 print(f"trace: {len(slices)} slices over {len(tracks)} tracks")
 PYEOF
+  for backend in sim process; do
+    echo "== repro serve --bench --quick --backend ${backend} =="
+    serve_out="$(mktemp -d)/BENCH_serve.json"
+    python -m repro serve --dataset reddit --bench --quick \
+      --backend "${backend}" --ranks 2 --duration 0.8 \
+      --output "${serve_out}"
+    SERVE_JSON="${serve_out}" python - <<"PYEOF"
+import json, os
+
+with open(os.environ["SERVE_JSON"]) as fh:
+    payload = json.load(fh)
+assert payload["identity"]["bit_identical"] is True, payload["identity"]
+modes = {row["mode"] for row in payload["rows"]}
+assert modes == {"batched", "no_batch"}, modes
+assert payload["identity"]["batched_max_batch_size"] > 1, (
+    "batching never coalesced", payload["identity"])
+n_rows = len(payload["rows"])
+print(f"serve bench: {n_rows} rows, batched == sequential bit-identical")
+PYEOF
+  done
   echo "== repro calibrate --quick --dry-run =="
   python -m repro calibrate --quick --dry-run
   echo "== bench_kernels --quick =="

@@ -17,7 +17,11 @@ Python:
   host and persist them for the planner (see docs/tuning.md),
 * ``repro memory``     — per-rank memory footprint / OOM check,
 * ``repro trace``      — summarize a recorded Chrome/Perfetto trace
-  (written by ``repro train/bench --trace``; see docs/observability.md).
+  (written by ``repro train/bench --trace``; see docs/observability.md),
+* ``repro serve``      — serve inference from a trained checkpoint with
+  warm compiled plans and dynamic micro-batching; ``--bench`` runs the
+  closed-loop offered-QPS sweep behind ``BENCH_serve.json``
+  (see docs/serving.md).
 
 ``repro train``/``repro bench`` take ``--auto`` to run planner-chosen
 configurations; every simulated command takes ``--machine`` (defaulting
@@ -47,8 +51,8 @@ from .core import (AUTO, GRAD_DTYPES, DistTrainConfig,
                    train_distributed)
 from .graphs.adjacency import gcn_normalize
 from .graphs.datasets import DATASET_NAMES, dataset_summary, load_dataset
-from .obs import (TRACE, metrics_from_spans, prometheus_text, save_trace,
-                  trace_summary)
+from .obs import (TRACE, metrics_from_spans, percentile, prometheus_text,
+                  save_trace, trace_summary)
 from .partition import PARTITIONERS, get_partitioner, partition_report
 
 __all__ = ["main", "build_parser"]
@@ -284,6 +288,79 @@ def build_parser() -> argparse.ArgumentParser:
     p_view.add_argument("path", help="trace JSON written by --trace")
     p_view.add_argument("--top", type=int, default=12,
                         help="slice rows to show (default 12)")
+
+    p_serve = sub.add_parser(
+        "serve", help="serve inference from a trained checkpoint "
+                      "(dynamic micro-batching; see docs/serving.md)")
+    add_dataset_args(p_serve)
+    p_serve.add_argument("--ranks", type=int, default=4)
+    p_serve.add_argument("--algorithm", choices=["1d", "1.5d"], default="1d")
+    p_serve.add_argument("--replication", type=int, default=1)
+    p_serve.add_argument("--oblivious", action="store_true",
+                         help="serve with the sparsity-oblivious variant")
+    p_serve.add_argument("--partitioner",
+                         choices=sorted(PARTITIONERS) + ["none"],
+                         default="gvb")
+    p_serve.add_argument("--hidden", type=int, default=16)
+    p_serve.add_argument("--layers", type=int, default=3)
+    p_serve.add_argument("--machine", choices=sorted(PRESETS),
+                         default=_machine_default("perlmutter-scaled"))
+    p_serve.add_argument("--backend", choices=available_backends(),
+                         default="process",
+                         help="communicator backend kept warm across "
+                              "requests (default: process)")
+    p_serve.add_argument("--dtype", choices=["float64", "float32"],
+                         default="float64")
+    p_serve.add_argument("--pipeline", type=int, default=1, metavar="DEPTH")
+    p_serve.add_argument("--checkpoint", default=None, metavar="PATH",
+                         help="trained checkpoint: a .ckpt file or a "
+                              "--checkpoint-dir directory (newest intact "
+                              "wins); default: train --train-epochs epochs "
+                              "in-process first and serve that")
+    p_serve.add_argument("--train-epochs", type=int, default=3, metavar="N",
+                         help="epochs of the in-process warmup training "
+                              "used when --checkpoint is not given")
+    p_serve.add_argument("--max-batch-width", type=int, default=None,
+                         metavar="COLS",
+                         help="column budget of one coalesced forward "
+                              "(default: input width x max(2, --clients))")
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                         help="batching window after the first queued "
+                              "request (already-queued requests never wait)")
+    p_serve.add_argument("--queue-depth", type=int, default=256,
+                         help="admission bound; beyond it requests are "
+                              "rejected with a structured error")
+    p_serve.add_argument("--no-batch", action="store_true",
+                         help="serve one request per forward (the baseline "
+                              "--bench compares against)")
+    p_serve.add_argument("--requests", type=int, default=24, metavar="N",
+                         help="concurrent demo requests (ignored with "
+                              "--bench)")
+    p_serve.add_argument("--tenants", type=int, default=2,
+                         help="distinct tenants requests are spread over")
+    p_serve.add_argument("--bench", action="store_true",
+                         help="closed-loop load sweep: offered QPS -> "
+                              "p50/p99 latency + achieved throughput, "
+                              "batched vs no-batch")
+    p_serve.add_argument("--clients", type=int, default=8,
+                         help="--bench: concurrent closed-loop clients")
+    p_serve.add_argument("--qps", type=float, nargs="+", default=None,
+                         metavar="QPS",
+                         help="--bench: offered-QPS steps (0 = unpaced, "
+                              "finds saturation; default: 50 100 200 0)")
+    p_serve.add_argument("--duration", type=float, default=3.0,
+                         help="--bench: seconds per offered-QPS step")
+    p_serve.add_argument("--output", default=None, metavar="PATH",
+                         help="--bench: write the sweep as JSON "
+                              "(BENCH_serve.json format payload)")
+    p_serve.add_argument("--quick", action="store_true",
+                         help="CI smoke mode: tiny scale, short steps")
+    p_serve.add_argument("--trace", default=None, metavar="PATH",
+                         help="record serve.request/serve.batch spans and "
+                              "write a Chrome/Perfetto trace JSON")
+    p_serve.add_argument("--metrics", default=None, metavar="PATH",
+                         help="write serving metrics (Prometheus text "
+                              "exposition)")
 
     p_mem = sub.add_parser("memory", help="per-rank memory estimate")
     p_mem.add_argument("--vertices", type=int, required=True)
@@ -680,6 +757,176 @@ def _cmd_memory(args) -> int:
     return 0 if fits else 1
 
 
+def _cmd_serve(args) -> int:
+    import contextlib
+    import json
+    import tempfile
+
+    from .serve import (RequestRejected, ServeOptions, ServingEngine,
+                        prepare_checkpoint, run_serve_bench)
+
+    scale = args.scale
+    duration = args.duration
+    clients = args.clients
+    requests = args.requests
+    train_epochs = max(1, args.train_epochs)
+    qps_steps = (tuple(None if q <= 0 else float(q) for q in args.qps)
+                 if args.qps else (50.0, 100.0, 200.0, None))
+    if args.quick:
+        # Keep the whole command (training warmup included) in a smoke
+        # budget: tiny graph, short steps, one paced + one unpaced leg.
+        scale = min(scale, 0.05)
+        duration = min(duration, 1.2)
+        clients = min(clients, 6)
+        requests = min(requests, 12)
+        train_epochs = min(train_epochs, 2)
+        if not args.qps:
+            qps_steps = (60.0, None)
+    tenants = tuple(f"tenant-{i}" for i in range(max(1, args.tenants)))
+
+    dataset = load_dataset(args.dataset, scale=scale, seed=args.seed)
+    config = DistTrainConfig(
+        n_ranks=args.ranks,
+        algorithm=args.algorithm,
+        sparsity_aware=not args.oblivious,
+        partitioner=None if args.partitioner == "none" else args.partitioner,
+        replication_factor=args.replication,
+        hidden=args.hidden,
+        n_layers=args.layers,
+        epochs=train_epochs,
+        machine=args.machine,
+        backend=args.backend,
+        seed=args.seed,
+        dtype=args.dtype,
+        pipeline_depth=args.pipeline,
+    )
+    if args.trace:
+        TRACE.enable()
+
+    with contextlib.ExitStack() as stack:
+        checkpoint = args.checkpoint
+        if checkpoint is None:
+            tmpdir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-serve-"))
+            checkpoint = f"{tmpdir}/serve.ckpt"
+            prepare_checkpoint(dataset, config, checkpoint,
+                               epochs=train_epochs)
+            print(f"no --checkpoint given: trained {train_epochs} warmup "
+                  f"epoch(s) on sim -> {checkpoint}\n")
+
+        if args.bench:
+            payload = run_serve_bench(
+                dataset, config, checkpoint,
+                qps_steps=qps_steps, duration_s=duration, clients=clients,
+                tenants=tenants, max_batch_width=args.max_batch_width,
+                max_wait_ms=args.max_wait_ms, queue_depth=args.queue_depth,
+                seed=args.seed)
+            rows = [{
+                "mode": row["mode"],
+                "offered_qps": ("unpaced" if row["offered_qps"] is None
+                                else f"{row['offered_qps']:.0f}"),
+                "achieved_qps": f"{row['achieved_qps']:.1f}",
+                "p50_ms": f"{row['p50_ms']:.2f}",
+                "p99_ms": f"{row['p99_ms']:.2f}",
+                "completed": row["completed"],
+                "rejected": row["rejected"],
+            } for row in payload["rows"]]
+            print(format_table(
+                rows, title=f"serve bench — {dataset.name} "
+                            f"({config.backend}, p={config.n_ranks})"))
+            sat = payload["saturation"]
+            identity = payload["identity"]
+            print()
+            print(format_kv({
+                "batched_saturation_qps": sat["batched_qps"],
+                "no_batch_saturation_qps": sat["no_batch_qps"],
+                "speedup": sat["speedup"],
+                "bit_identical": identity["bit_identical"],
+                "identity_requests": identity["requests"],
+                "batched_max_batch_size": identity["batched_max_batch_size"],
+            }, title="saturation (batched vs no-batch)"))
+            if args.output:
+                with open(args.output, "w", encoding="utf-8") as fh:
+                    fh.write(json.dumps(payload, indent=2) + "\n")
+                print(f"\nwrote bench payload: {args.output}")
+            if args.metrics:
+                merged = dict(payload.get("serve_stats", {}))
+                merged.update(payload.get("tenant_stats", {}))
+                with open(args.metrics, "w", encoding="utf-8") as fh:
+                    fh.write(prometheus_text(merged))
+                print(f"wrote metrics: {args.metrics}")
+            if not identity["bit_identical"]:
+                print("error: batched serving is NOT bit-identical to "
+                      "sequential", file=sys.stderr)
+                return 1
+        else:
+            width = dataset.n_features
+            options = ServeOptions(
+                max_batch_width=(args.max_batch_width
+                                 if args.max_batch_width is not None
+                                 else width * max(2, min(requests, 16))),
+                max_wait_ms=args.max_wait_ms,
+                queue_depth=args.queue_depth,
+                batching=not args.no_batch)
+            engine = ServingEngine.from_checkpoint(dataset, config,
+                                                   checkpoint,
+                                                   options=options)
+            rng = np.random.default_rng(args.seed)
+            rejected = 0
+            with engine:
+                futures = []
+                for i in range(requests):
+                    features = rng.standard_normal((dataset.n_vertices,
+                                                    width))
+                    try:
+                        futures.append(engine.submit(
+                            features, tenant=tenants[i % len(tenants)]))
+                    except RequestRejected:
+                        rejected += 1
+                results = [future.result(timeout=300.0)
+                           for future in futures]
+                stats = engine.stats()
+            latencies = [r.latency_s for r in results]
+            print(format_kv({
+                "dataset": dataset.name,
+                "backend": config.backend,
+                "ranks": config.n_ranks,
+                "checkpoint_epoch": engine.checkpoint_epoch,
+                "batching": not args.no_batch,
+                "requests_completed": len(results),
+                "requests_rejected": rejected,
+                "batches": stats.get("serve_batches_total", 0),
+                "max_batch_size": stats.get("serve_batch_size_max", 1.0),
+                "mean_batch_size": stats.get("serve_batch_size_mean", 1.0),
+                "p50_latency_ms": percentile(latencies, 0.50) * 1e3,
+                "p99_latency_ms": percentile(latencies, 0.99) * 1e3,
+                "plans_retained": stats.get("serve_plans_retained", 0),
+                "plan_hits": stats.get("serve_plan_hits", 0),
+                "plan_misses": stats.get("serve_plan_misses", 0),
+            }, title="serving demo"))
+            tenant_rows = []
+            for tenant in tenants:
+                label = f'{{tenant="{tenant}"}}'
+                tenant_rows.append({
+                    "tenant": tenant,
+                    "requests": stats.get(
+                        f"serve_requests_total{label}", 0),
+                    "comm_MB": f"{stats.get(f'tenant_comm_bytes_total{label}', 0.0) / 1e6:.3f}",
+                    "messages": f"{stats.get(f'tenant_comm_messages_total{label}', 0.0):.1f}",
+                })
+            print()
+            print(format_table(tenant_rows, title="per-tenant accounting"))
+            if args.metrics:
+                with open(args.metrics, "w", encoding="utf-8") as fh:
+                    fh.write(prometheus_text(stats))
+                print(f"\nwrote metrics: {args.metrics}")
+
+    if args.trace:
+        save_trace(None, args.trace)
+        print(f"\nwrote trace: {args.trace} ({len(TRACE)} spans)")
+    return 0
+
+
 _DISPATCH = {
     "datasets": _cmd_datasets,
     "partition": _cmd_partition,
@@ -689,6 +936,7 @@ _DISPATCH = {
     "cost": _cmd_cost,
     "calibrate": _cmd_calibrate,
     "memory": _cmd_memory,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
 }
 

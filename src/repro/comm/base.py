@@ -625,6 +625,15 @@ class Communicator(abc.ABC):
         """Per-category time summary across ranks."""
         return self.timeline.breakdown(reduce=reduce, include_wait=include_wait)
 
+    def cache_stats(self) -> Dict[str, int]:
+        """Backend-internal cache counters, empty when the backend keeps
+        no caches.  The process backend reports its exchange-plan LRU
+        (hits / misses / evictions / size / capacity); the trainer and
+        the serving engine fold a non-empty dict into the metrics
+        registry as ``comm_plan_cache_*`` counters.
+        """
+        return {}
+
     def note_epoch(self, epoch: Optional[int]) -> None:
         """Record the trainer's current epoch for diagnostics.
 

@@ -125,6 +125,31 @@ _ALIGN = 64
 #: are small (plan dicts + buffer views), so the bound is generous.
 MAX_CACHED_PLANS = 512
 
+
+def _plan_cache_capacity() -> int:
+    """Resolve the exchange-plan LRU bound, honouring
+    ``REPRO_PROC_PLAN_CACHE``.
+
+    Training's key population is known and comfortably inside the
+    default; serving workloads cycle through more shapes (one key set
+    per distinct micro-batch width), so the bound is overridable without
+    a code change.  Read at communicator construction, so each engine
+    honours the environment it was started in.
+    """
+    raw = os.environ.get("REPRO_PROC_PLAN_CACHE")
+    if raw is None or not raw.strip():
+        return MAX_CACHED_PLANS
+    try:
+        capacity = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_PROC_PLAN_CACHE must be an integer, got {raw!r}") \
+            from None
+    if capacity < 1:
+        raise ValueError(
+            f"REPRO_PROC_PLAN_CACHE must be >= 1, got {capacity}")
+    return capacity
+
 #: Process-global communicator counter: arena names must stay unique across
 #: every ProcessPoolCommunicator alive in this driver process.
 _UID_COUNTER = itertools.count()
@@ -452,6 +477,10 @@ class ProcessPoolCommunicator(Communicator):
         self._plan_cache: "OrderedDict[tuple, _CachedStep]" = OrderedDict()
         self._free_pids: List[int] = []
         self._pid_counter = itertools.count()
+        self.plan_cache_capacity = _plan_cache_capacity()
+        self._plan_hits = 0
+        self._plan_misses = 0
+        self._plan_evictions = 0
         # Nonblocking state: posted-step FIFO, live handles, and the
         # double-buffered arena slot toggle (slot arenas use kinds
         # "send0"/"recv0" and "send1"/"recv1", distinct from the blocking
@@ -550,8 +579,9 @@ class ProcessPoolCommunicator(Communicator):
     def _alloc_pid(self) -> int:
         if self._free_pids:
             return self._free_pids.pop()
-        if len(self._plan_cache) >= MAX_CACHED_PLANS:
+        if len(self._plan_cache) >= self.plan_cache_capacity:
             _, evicted = self._plan_cache.popitem(last=False)
+            self._plan_evictions += 1
             return evicted.pid
         return next(self._pid_counter)
 
@@ -571,10 +601,12 @@ class ProcessPoolCommunicator(Communicator):
                     ok = False
                     break
             if ok:
+                self._plan_hits += 1
                 self._plan_cache.move_to_end(key)
                 return entry
             self._plan_cache.pop(key)
             self._free_pids.append(entry.pid)
+        self._plan_misses += 1
         pid = self._alloc_pid()
         group, plans, views, reads, arena_keys = builder()
         for plan in plans:
@@ -583,6 +615,19 @@ class ProcessPoolCommunicator(Communicator):
         entry = _CachedStep(pid, group, plans, views, reads, gens)
         self._plan_cache[key] = entry
         return entry
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Exchange-plan LRU counters (exported into the metrics registry
+        as ``comm_plan_cache_*``).  Hits are replayed schedules; misses
+        include both first-sight keys and entries invalidated by an arena
+        regrow; evictions are capacity-driven LRU drops."""
+        return {
+            "hits": self._plan_hits,
+            "misses": self._plan_misses,
+            "evictions": self._plan_evictions,
+            "size": len(self._plan_cache),
+            "capacity": self.plan_cache_capacity,
+        }
 
     def _entry_cmds(self, entry: _CachedStep) -> List[dict]:
         """Full plans on first dispatch, tiny replays afterwards."""

@@ -48,7 +48,7 @@ from ..obs.tracer import TRACE
 
 __all__ = ["CHECKPOINT_MAGIC", "CHECKPOINT_VERSION", "CheckpointError",
            "CheckpointManager", "TrainingCheckpoint", "config_fingerprint",
-           "read_checkpoint", "write_checkpoint"]
+           "read_checkpoint", "resolve_checkpoint", "write_checkpoint"]
 
 CHECKPOINT_MAGIC = b"RPRCKPT1"
 CHECKPOINT_VERSION = 1
@@ -201,6 +201,39 @@ def _read_checkpoint(path: Path) -> TrainingCheckpoint:
             f"checkpoint {path} payload has type {type(payload).__name__}, "
             "expected dict")
     return TrainingCheckpoint.from_payload(payload)
+
+
+def resolve_checkpoint(path: os.PathLike,
+                       expect_fingerprint: Optional[str] = None
+                       ) -> TrainingCheckpoint:
+    """Load a checkpoint from a ``.ckpt`` file *or* a checkpoint directory.
+
+    This is the serving entry point: ``repro serve --checkpoint`` accepts
+    either an exact file or the directory a training run published into
+    (the newest intact checkpoint wins, with the same corrupt-file
+    fallback as :meth:`CheckpointManager.load_latest`).  Unlike training
+    resume, serving has nothing to fall back to, so an empty directory is
+    an error rather than a fresh start.
+    """
+    path = Path(path)
+    if path.is_dir():
+        ckpt = CheckpointManager(path).load_latest(
+            expect_fingerprint=expect_fingerprint)
+        if ckpt is None:
+            raise CheckpointError(
+                f"checkpoint directory {path} contains no checkpoints "
+                "(expected ckpt-*.ckpt files from a training run with "
+                "--checkpoint-dir)")
+        return ckpt
+    ckpt = read_checkpoint(path)
+    if expect_fingerprint is not None \
+            and ckpt.plan_fingerprint != expect_fingerprint:
+        raise CheckpointError(
+            f"checkpoint {path} was written for plan fingerprint "
+            f"{ckpt.plan_fingerprint} but this configuration resolves to "
+            f"{expect_fingerprint}; the serving model would not match the "
+            "trained weights")
+    return ckpt
 
 
 class CheckpointManager:

@@ -31,7 +31,7 @@ from ..gcn.init import init_weights
 from ..gcn.loss import softmax
 from .config import Algorithm
 from .dist_matrix import BlockRowDistribution, DistDenseMatrix, DistSparseMatrix
-from .engine import CompiledSpmm, DenseSpec, SpmmEngine
+from .engine import CompiledOpCache, CompiledSpmm, SpmmEngine
 from .gradsync import DeferredScalar, GradientExchanger, PendingGradients
 from .spmm_15d import ProcessGrid
 
@@ -161,13 +161,14 @@ class DistributedGCN:
         # forward pass propagates at widths f_0..f_{L-1}, the backward pass
         # at f_1..f_L, and the graph never changes, so these plans (packed
         # gather indices, exchange schedules, reused workspaces) serve
-        # every epoch of the run.
+        # every epoch of the run.  The cache also compiles lazily for
+        # widths first seen at runtime — the serving path's coalesced
+        # micro-batches propagate at ``streams * f`` columns.
         self.pipeline_depth = int(pipeline_depth)
-        self._compiled: dict[int, CompiledSpmm] = {
-            w: self._engine.compile(adjacency_dist,
-                                    DenseSpec(width=w, dtype=self.dtype),
-                                    pipeline_depth=self.pipeline_depth)
-            for w in sorted(set(self.layer_dims))}
+        self._compiled = CompiledOpCache(self._engine, adjacency_dist,
+                                         dtype=self.dtype,
+                                         pipeline_depth=self.pipeline_depth)
+        self._compiled.warm(sorted(set(self.layer_dims)))
 
         # Number of training vertices (global) — needed for the mean in the
         # loss; known to every process after setup.
@@ -237,16 +238,55 @@ class DistributedGCN:
         (metadata-free hot path); anything else — diagnostics with ad-hoc
         widths or dtypes — falls back to compile-and-run-once dispatch.
         """
-        op = self._compiled.get(dense.width)
+        op = self._compiled.peek(dense.width)
         if op is not None and dense.dtype == self.dtype:
             return op(dense)
         return self._engine.run(self.adjacency, dense)
 
+    def compiled_op(self, width: int) -> CompiledSpmm:
+        """The retained compiled plan for ``width`` (model dtype),
+        compiling and retaining it on first use.  This is the serving
+        hot path: a micro-batch of ``k`` coalesced requests propagates
+        at ``k * f`` columns, and each distinct batch width pays its
+        compile exactly once per engine lifetime."""
+        return self._compiled.get(width)
+
+    def plan_stats(self) -> dict:
+        """Hit/miss/retention counters of the compiled-plan cache."""
+        return self._compiled.stats()
+
     # ------------------------------------------------------------------
     # forward / backward
     # ------------------------------------------------------------------
-    def forward(self) -> List[DistLayerCache]:
-        """Forward pass; returns the per-layer distributed caches."""
+    def forward(self, features: Optional[DistDenseMatrix] = None, *,
+                streams: int = 1):
+        """Forward pass.
+
+        With no arguments this is the **training** forward: propagate the
+        model's own feature matrix and return the per-layer
+        :class:`DistLayerCache` list the backward pass consumes.
+
+        With ``features`` given this is the **inference-only** forward:
+        propagate the supplied feature matrix and return just the logits
+        (:class:`DistDenseMatrix`) — no ``z``/``h`` activation caches are
+        built or retained, which is the memory and time win on the serve
+        path.  ``streams > 1`` declares that ``features`` is ``k``
+        column-concatenated feature matrices of width ``f_0`` each (one
+        per coalesced request): the SpMMs run once at the combined width
+        on a lazily-compiled retained plan, while the per-layer GEMM
+        applies the weight to each column group independently.  Because
+        the distributed SpMM is column-separable (segment-sum reductions
+        act per element along sparse rows, independently across columns)
+        and each per-stream GEMM sees bitwise the same operand block it
+        would see alone, the split results are **bit-identical** to
+        running each request through ``forward(features_i)`` sequentially
+        — the serving tests assert this on every backend.
+        """
+        if features is not None:
+            return self._forward_inference(features, streams=streams)
+        if streams != 1:
+            raise ValueError("streams > 1 requires an explicit features "
+                             "operand (inference-only path)")
         h = self.features
         caches: List[DistLayerCache] = []
         for l, weight in enumerate(self.weights):
@@ -274,6 +314,64 @@ class DistributedGCN:
             caches.append(DistLayerCache(h_in=h, z=z, h_out=h_out))
             h = h_out
         return caches
+
+    def _forward_inference(self, features: DistDenseMatrix,
+                           streams: int = 1) -> DistDenseMatrix:
+        """Cache-free forward of ``streams`` column-concatenated feature
+        matrices; returns the concatenated logits (width
+        ``streams * f_L``).  See :meth:`forward`."""
+        streams = int(streams)
+        if streams < 1:
+            raise ValueError(f"streams must be >= 1, got {streams}")
+        if features.dist != self.dist:
+            raise ValueError(
+                "features use a different distribution than the model")
+        if features.dtype != self.dtype:
+            raise ValueError(
+                f"features dtype {features.dtype} does not match the model "
+                f"dtype {np.dtype(self.dtype)} — a cast would break "
+                "bit-identity with the training forward")
+        f0 = self.layer_dims[0]
+        if features.width != streams * f0:
+            raise ValueError(
+                f"features width {features.width} is not streams ({streams}) "
+                f"x input width ({f0})")
+
+        h = features
+        for l, weight in enumerate(self.weights):
+            act, _ = self._activations[l]
+            # One SpMM at the combined width amortises the exchange's
+            # alpha term across every coalesced request.
+            propagated = self.compiled_op(h.width)(h)
+            f_in, f_out = weight.shape
+            h_blocks: List[np.ndarray] = [None] * self.dist.nblocks
+
+            def make_task(block, weight=weight, act=act, f_in=f_in,
+                          f_out=f_out, propagated=propagated):
+                def task() -> None:
+                    rows = self.dist.block_size(block)
+                    p_b = propagated.block(block)
+                    if streams == 1:
+                        z_b = p_b @ weight
+                    else:
+                        # Per-stream GEMM: each request's column group is
+                        # multiplied by W on its own, so every stream sees
+                        # exactly the operand it would see when served
+                        # alone (bit-identity across batch compositions).
+                        z_b = np.empty((p_b.shape[0], streams * f_out),
+                                       dtype=self.dtype)
+                        for i in range(streams):
+                            z_b[:, i * f_out:(i + 1) * f_out] = \
+                                p_b[:, i * f_in:(i + 1) * f_in] @ weight
+                    for _ in range(streams):
+                        self._charge_blockwise_gemm(rows, f_in, f_out, block)
+                    h_blocks[block] = act(z_b)
+                    self._charge_blockwise_elementwise(z_b.size, block)
+                return task
+
+            self._parallel_over_blocks(make_task)
+            h = DistDenseMatrix(h_blocks, self.dist, dtype=self.dtype)
+        return h
 
     def loss_and_logits_grad(self, logits: DistDenseMatrix,
                              defer: bool = False

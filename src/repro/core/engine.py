@@ -61,10 +61,11 @@ from ..comm.base import Communicator
 from ..obs.tracer import TRACE
 
 __all__ = [
-    "CompiledSpmm", "DenseSpec", "MODES", "SpmmEngine", "SpmmReport",
-    "SpmmVariant", "available_spmm_variants", "check_block_operands",
-    "check_grid_operands", "check_grid2d_operands", "compile", "get_spmm",
-    "mode_name", "register_spmm", "register_spmm_compiler", "spmm",
+    "CompiledOpCache", "CompiledSpmm", "DenseSpec", "MODES", "SpmmEngine",
+    "SpmmReport", "SpmmVariant", "available_spmm_variants",
+    "check_block_operands", "check_grid_operands", "check_grid2d_operands",
+    "compile", "get_spmm", "mode_name", "register_spmm",
+    "register_spmm_compiler", "spmm",
 ]
 
 #: The two communication modes the paper compares.
@@ -413,6 +414,87 @@ def compile(matrix, dense_spec, comm: Communicator, algorithm: str = "1d",
                                  **categories)
     return compiler(variant, matrix, dense_spec, comm, grid=grid,
                     pipeline_depth=pipeline_depth, **categories)
+
+
+class CompiledOpCache:
+    """Width-keyed retention of compiled plans for one static matrix.
+
+    Training knows every operand width up front (the layer dims) and
+    pre-warms; serving additionally discovers widths at runtime — a
+    micro-batch of ``k`` coalesced requests propagates at ``k * f``
+    columns — so the cache compiles lazily on first sight of a width and
+    retains the plan for the lifetime of the model.  Hits/misses/compiles
+    are counted for the obs metrics registry (pre-warming via
+    :meth:`warm` is deliberately not counted: the counters describe
+    request-driven behaviour).
+
+    The cache is dict-like over widths (``iter`` / ``len`` / ``in`` /
+    ``items``) so callers can introspect the retained plans.
+    """
+
+    def __init__(self, engine: "SpmmEngine", matrix,
+                 dtype=np.float64, pipeline_depth: int = 1) -> None:
+        self._engine = engine
+        self._matrix = matrix
+        self.dtype = np.dtype(dtype)
+        self.pipeline_depth = _check_pipeline_depth(pipeline_depth)
+        self._plans: Dict[int, CompiledSpmm] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _compile(self, width: int) -> CompiledSpmm:
+        op = self._engine.compile(
+            self._matrix, DenseSpec(width=width, dtype=self.dtype),
+            pipeline_depth=self.pipeline_depth)
+        self._plans[width] = op
+        return op
+
+    def get(self, width: int) -> CompiledSpmm:
+        """The retained plan for ``width``, compiling it on first use."""
+        width = int(width)
+        op = self._plans.get(width)
+        if op is not None:
+            self.hits += 1
+            return op
+        self.misses += 1
+        return self._compile(width)
+
+    def peek(self, width: int) -> Optional[CompiledSpmm]:
+        """The retained plan for ``width`` or ``None`` — never compiles,
+        never counts."""
+        return self._plans.get(int(width))
+
+    def warm(self, widths) -> None:
+        """Compile (uncounted) plans for any widths not yet retained."""
+        for width in widths:
+            width = int(width)
+            if width not in self._plans:
+                self._compile(width)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters in the shape the serve metrics registry exports."""
+        return {"plan_hits": self.hits, "plan_misses": self.misses,
+                "plans_retained": len(self._plans)}
+
+    def widths(self) -> List[int]:
+        return sorted(self._plans)
+
+    def items(self):
+        return self._plans.items()
+
+    def __iter__(self):
+        return iter(self._plans)
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, width) -> bool:
+        return int(width) in self._plans
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CompiledOpCache(widths={self.widths()}, "
+                f"dtype={self.dtype.name!r}, hits={self.hits}, "
+                f"misses={self.misses})")
 
 
 # ----------------------------------------------------------------------

@@ -306,6 +306,8 @@ def _build_metrics(comm: Communicator,
     for duration in ckpt_saves_s:
         reg.observe("checkpoint_save_seconds", duration)
     reg.counter("restarts_total", restarts)
+    for key, value in comm.cache_stats().items():
+        reg.counter(f"comm_plan_cache_{key}", value)
     return reg.as_dict()
 
 

@@ -18,7 +18,7 @@ The package has three layers (see docs/observability.md):
 """
 
 from .tracer import NULL_SPAN, TRACE, Tracer, disable, enable, is_enabled
-from .metrics import MetricsRegistry, prometheus_text
+from .metrics import MetricsRegistry, percentile, prometheus_text
 from .export import (metrics_from_spans, save_trace, trace_events,
                      trace_summary)
 
@@ -31,6 +31,7 @@ __all__ = [
     "enable",
     "is_enabled",
     "metrics_from_spans",
+    "percentile",
     "prometheus_text",
     "save_trace",
     "trace_events",

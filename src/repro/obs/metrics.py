@@ -10,7 +10,7 @@ The registry renders three ways:
 * :meth:`MetricsRegistry.as_dict` — a flat ``{key: value}`` mapping
   whose keys already carry the labels in Prometheus sample syntax.
   Histograms expand into ``_count`` / ``_sum`` / ``_min`` / ``_max`` /
-  ``_mean`` / ``_p50`` / ``_p95`` summary samples.  This is what
+  ``_mean`` / ``_p50`` / ``_p95`` / ``_p99`` summary samples.  This is what
   ``DistTrainResult.metrics`` stores (plain JSON-able dict, picklable).
 * :meth:`MetricsRegistry.to_json` — the same dict as a JSON document.
 * :func:`prometheus_text` — Prometheus text exposition rendered from a
@@ -25,7 +25,7 @@ import json
 import math
 from typing import Any, Dict, List, Mapping, Tuple
 
-__all__ = ["MetricsRegistry", "prometheus_text"]
+__all__ = ["MetricsRegistry", "percentile", "prometheus_text"]
 
 _Key = Tuple[str, Tuple[Tuple[str, str], ...]]
 
@@ -48,6 +48,17 @@ def _percentile(sorted_values: List[float], q: float) -> float:
     idx = min(len(sorted_values) - 1,
               max(0, math.ceil(q * len(sorted_values)) - 1))
     return sorted_values[idx]
+
+
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile of an arbitrary sample sequence.
+
+    The same estimator the histogram expansion uses (``NaN`` on an empty
+    sample, the single value at ``n = 1`` for every ``q``); exposed so
+    the serving load generator reports latencies with identical
+    semantics to the registry's ``_p50``/``_p95``/``_p99`` samples.
+    """
+    return _percentile(sorted(float(v) for v in values), q)
 
 
 class MetricsRegistry:
@@ -89,6 +100,7 @@ class MetricsRegistry:
             flat[_fmt(name + "_mean", labels)] = sum(ordered) / len(ordered)
             flat[_fmt(name + "_p50", labels)] = _percentile(ordered, 0.50)
             flat[_fmt(name + "_p95", labels)] = _percentile(ordered, 0.95)
+            flat[_fmt(name + "_p99", labels)] = _percentile(ordered, 0.99)
         return dict(sorted(flat.items()))
 
     def to_json(self, indent: int = 2) -> str:

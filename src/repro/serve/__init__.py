@@ -1,0 +1,47 @@
+"""High-throughput inference serving for trained distributed GCNs.
+
+Training amortises setup (partitioning, plan compilation, communicator
+spin-up) over hundreds of epochs; naive inference would pay all of it
+per call.  This package keeps the expensive state **resident** — a
+loaded :class:`~repro.core.dist_gcn.DistributedGCN`, its per-width
+compiled SpMM plans and a warm communicator — and turns the hot path
+into a queue drain:
+
+* :class:`~repro.serve.engine.ServingEngine` — loads a checkpoint,
+  owns the model + communicator on one dedicated serving thread, and
+  serves feature-matrix requests submitted from any thread;
+* :class:`~repro.serve.batcher.MicroBatcher` — dynamic micro-batching:
+  concurrent requests are coalesced (up to ``max_batch_width`` columns
+  or ``max_wait_ms``) into **one** forward pass whose distributed SpMMs
+  run once at the combined width, amortising the alpha-dominated
+  exchange latency across every member; results are split back
+  per-request, bit-identical to sequential execution (the SpMM is
+  column-separable — see :meth:`repro.core.dist_gcn.DistributedGCN
+  .forward`);
+* :class:`~repro.serve.admission.AdmissionController` — bounded request
+  queue with structured rejection (:class:`~repro.serve.admission
+  .RequestRejected`) instead of unbounded latency collapse;
+* :mod:`~repro.serve.loadgen` — closed-loop load generator sweeping
+  offered QPS into p50/p99 latency + achieved throughput
+  (``repro serve --bench`` → ``BENCH_serve.json``).
+
+See ``docs/serving.md`` for the lifecycle, knobs and benchmark format.
+"""
+
+from .admission import AdmissionController, RequestRejected
+from .batcher import MicroBatcher
+from .engine import ServeOptions, ServeResult, ServingEngine
+from .loadgen import LoadStep, prepare_checkpoint, run_load, run_serve_bench
+
+__all__ = [
+    "AdmissionController",
+    "LoadStep",
+    "MicroBatcher",
+    "RequestRejected",
+    "ServeOptions",
+    "ServeResult",
+    "ServingEngine",
+    "prepare_checkpoint",
+    "run_load",
+    "run_serve_bench",
+]

@@ -1,0 +1,373 @@
+"""The serving engine: warm compiled plans + a dedicated drain thread.
+
+Threading model
+---------------
+Every communicator backend is driver-thread driven (one driver call
+carries every rank's operand), so the engine gives the model and its
+communicator to **one dedicated serving thread** that drains the request
+queue; client threads only touch the bounded admission queue and their
+future.  That makes the engine safe to call from any number of threads
+without a single lock on the hot path.
+
+Batching semantics
+------------------
+A request is one feature matrix of shape ``(n, f_0)`` (the model's
+graph, the model's input width).  The serving thread coalesces up to
+``max_batch_width`` columns' worth of concurrent requests into one
+column-concatenated operand and runs **one** forward pass at the
+combined width (``DistributedGCN.forward(features, streams=k)``), then
+splits the logits back per request.  The distributed SpMM is
+column-separable and the per-stream GEMM sees exactly the operand block
+it would see alone, so the split results are **bit-identical** to
+serving each request by itself — the tests assert this on every
+backend, and the load generator re-checks it per benchmark run.
+
+Warm state retained across requests: the loaded weights, the
+communicator (worker pool, shared-memory arenas, exchange-plan LRU) and
+one compiled SpMM plan per distinct batch width ever seen
+(:class:`~repro.core.engine.CompiledOpCache` — each width compiles once
+per engine lifetime).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.checkpoint import config_fingerprint, resolve_checkpoint
+from ..core.dist_matrix import DistDenseMatrix
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import TRACE
+from .admission import AdmissionController, RequestRejected
+from .batcher import SHUTDOWN, MicroBatcher
+
+__all__ = ["ServeOptions", "ServeResult", "ServingEngine"]
+
+#: Tracer track name for serving spans.
+SERVE_TRACK = "serve"
+
+
+@dataclass(frozen=True)
+class ServeOptions:
+    """Knobs of one serving engine (see ``docs/serving.md``).
+
+    ``max_batch_width`` is a **column** budget, not a request count:
+    with input width ``f_0`` it admits up to
+    ``max_batch_width // f_0`` requests per coalesced forward.
+    """
+
+    max_batch_width: int = 4096
+    max_wait_ms: float = 2.0
+    queue_depth: int = 256
+    batching: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch_width < 1:
+            raise ValueError(
+                f"max_batch_width must be >= 1, got {self.max_batch_width}")
+        if self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {self.queue_depth}")
+
+
+@dataclass
+class ServeResult:
+    """What a fulfilled request resolves to."""
+
+    logits: np.ndarray          # (n, f_L) — owned by the caller
+    request_id: int
+    tenant: str
+    latency_s: float            # submit -> fulfil, queue wait included
+    batch_size: int             # requests coalesced into the serving batch
+    batch_width: int            # columns of the coalesced SpMM operand
+
+
+class ServeFuture:
+    """Thread-safe one-shot result slot for a submitted request."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Optional[ServeResult] = None
+        self._exc: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ServeResult:
+        """Block until fulfilled; re-raises a serving-side failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("serve request not fulfilled within "
+                               f"{timeout}s")
+        if self._exc is not None:
+            raise self._exc
+        assert self._result is not None
+        return self._result
+
+    def _fulfill(self, result: ServeResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._exc = exc
+        self._event.set()
+
+
+class _ServeRequest:
+    """Internal queue entry (the batcher only reads ``width``)."""
+
+    __slots__ = ("request_id", "tenant", "features", "width", "t_submit",
+                 "future")
+
+    def __init__(self, request_id: int, tenant: str,
+                 features: np.ndarray) -> None:
+        self.request_id = request_id
+        self.tenant = tenant
+        self.features = features
+        self.width = int(features.shape[1])
+        self.t_submit = perf_counter()
+        self.future = ServeFuture()
+
+
+class ServingEngine:
+    """Serve inference requests against a resident trained model.
+
+    Build one with :meth:`from_checkpoint` (the production path: load
+    trained weights, spin up the configured backend, fail loudly on a
+    config/checkpoint fingerprint mismatch) or directly from a
+    :class:`~repro.core.dist_gcn.DistributedGCN` you already hold (the
+    test path).  Then::
+
+        engine = ServingEngine.from_checkpoint(dataset, config, path)
+        with engine:                       # start() ... close()
+            future = engine.submit(features, tenant="acme")
+            logits = future.result().logits
+
+    ``submit`` is thread-safe and non-blocking: it either admits the
+    request into the bounded queue or raises
+    :class:`~repro.serve.admission.RequestRejected`.  Submissions made
+    while the drain thread is stopped stay queued and are served in one
+    coalesced batch at the next :meth:`start` — the deterministic way to
+    force a specific batch composition in tests.
+    """
+
+    def __init__(self, model, comm=None,
+                 options: Optional[ServeOptions] = None,
+                 owns_comm: bool = False,
+                 checkpoint_epoch: Optional[int] = None) -> None:
+        self.model = model
+        self.comm = comm if comm is not None else model.comm
+        self.options = options or ServeOptions()
+        self.owns_comm = owns_comm
+        self.checkpoint_epoch = checkpoint_epoch
+        self.input_width = int(model.layer_dims[0])
+        self.output_width = int(model.layer_dims[-1])
+        self.metrics = MetricsRegistry()
+        self.admission = AdmissionController(self.options.queue_depth)
+        self.batcher = MicroBatcher(
+            self.admission.queue,
+            max_batch_width=max(self.options.max_batch_width,
+                                self.input_width),
+            max_wait_s=self.options.max_wait_ms / 1000.0,
+            max_requests=None if self.options.batching else 1)
+        self._ids = itertools.count()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # construction from a checkpoint
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(cls, dataset, config, checkpoint,
+                        options: Optional[ServeOptions] = None
+                        ) -> "ServingEngine":
+        """Load trained weights and build a warm engine around them.
+
+        ``checkpoint`` is a ``.ckpt`` file or a checkpoint directory
+        (newest intact wins).  The checkpoint's plan fingerprint must
+        match the *resolved* serving configuration — backend and epoch
+        count are legitimately free (a model trained on ``sim`` serves
+        on ``process``), but architecture/precision axes are not, and a
+        mismatch raises instead of serving garbage logits.
+        """
+        from ..core.trainer import setup_distributed
+        setup = setup_distributed(dataset, config)
+        try:
+            resolved = setup.config if setup.config is not None else config
+            ckpt = resolve_checkpoint(
+                checkpoint, expect_fingerprint=config_fingerprint(resolved))
+            setup.model.load_weight_state(ckpt.weights)
+        except BaseException:
+            setup.comm.close()
+            raise
+        return cls(setup.model, comm=setup.comm, options=options,
+                   owns_comm=True, checkpoint_epoch=ckpt.epoch)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingEngine":
+        """Start (or restart) the serving thread."""
+        if self._closed:
+            raise RuntimeError("serving engine is closed")
+        if self._thread is not None:
+            raise RuntimeError("serving engine is already running")
+        self.batcher.reset()
+        self._thread = threading.Thread(target=self._serve_loop,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain everything already admitted, then stop the thread.
+
+        The engine can :meth:`start` again afterwards; warm state (model,
+        communicator, compiled plans) is untouched.
+        """
+        if self._thread is None:
+            return
+        self.admission.post_control(SHUTDOWN)
+        self._thread.join()
+        self._thread = None
+
+    def close(self) -> None:
+        """Stop serving and release the communicator (if owned)."""
+        if self._closed:
+            return
+        self.stop()
+        self._closed = True
+        if self.owns_comm:
+            self.comm.close()
+
+    def __enter__(self) -> "ServingEngine":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def submit(self, features: np.ndarray,
+               tenant: str = "default") -> ServeFuture:
+        """Admit one inference request; returns its future.
+
+        ``features`` must be ``(n, f_0)`` over the model's (permuted)
+        vertex set; any float dtype is accepted and cast to the model
+        precision here, in the caller's thread, so the serving thread
+        only ever moves bits.
+        """
+        if self._closed:
+            raise RuntimeError("serving engine is closed")
+        features = np.asarray(features)
+        if features.ndim != 2 or features.shape[0] != self.model.dist.n \
+                or features.shape[1] != self.input_width:
+            raise ValueError(
+                f"request features must have shape ({self.model.dist.n}, "
+                f"{self.input_width}), got {features.shape}")
+        features = np.ascontiguousarray(features, dtype=self.model.dtype)
+        request = _ServeRequest(next(self._ids), str(tenant), features)
+        try:
+            self.admission.offer(request, tenant=request.tenant)
+        except RequestRejected:
+            self.metrics.counter("serve_rejected_total", 1,
+                                 tenant=request.tenant)
+            raise
+        return request.future
+
+    # ------------------------------------------------------------------
+    # serving thread
+    # ------------------------------------------------------------------
+    def _serve_loop(self) -> None:
+        while True:
+            batch = self.batcher.next_batch()
+            if batch is None:
+                return
+            try:
+                self._execute(batch)
+            except BaseException as exc:
+                for request in batch:
+                    request.future._fail(exc)
+
+    def _execute(self, batch: List[_ServeRequest]) -> None:
+        k = len(batch)
+        width = sum(r.width for r in batch)
+        self.metrics.observe("serve_queue_depth", self.admission.depth())
+        bytes0 = self.comm.events.total_bytes()
+        msgs0 = self.comm.events.message_count()
+        t0 = perf_counter()
+
+        if k == 1:
+            operand = batch[0].features
+        else:
+            operand = np.concatenate([r.features for r in batch], axis=1)
+        dist_operand = DistDenseMatrix.from_global(
+            operand, self.model.dist, dtype=self.model.dtype)
+        with TRACE.span("serve.batch", cat="serve", track=SERVE_TRACK,
+                        args={"requests": k, "width": width}):
+            logits = self.model.forward(dist_operand, streams=k).to_global()
+
+        t1 = perf_counter()
+        batch_s = t1 - t0
+        d_bytes = self.comm.events.total_bytes() - bytes0
+        d_msgs = self.comm.events.message_count() - msgs0
+
+        self.metrics.counter("serve_batches_total", 1)
+        self.metrics.observe("serve_batch_width", float(width))
+        self.metrics.observe("serve_batch_size", float(k))
+        self.metrics.observe("serve_batch_seconds", batch_s)
+
+        f_out = self.output_width
+        for i, request in enumerate(batch):
+            out = np.ascontiguousarray(
+                logits[:, i * f_out:(i + 1) * f_out])
+            latency = t1 - request.t_submit
+            # Per-tenant accounting rides the communicator's volume
+            # hooks: the batch's exchanged bytes/messages are shared
+            # evenly by its members (they travelled in one coalesced
+            # payload — an even split is the only composition-stable
+            # attribution).
+            self.metrics.counter("serve_requests_total", 1,
+                                 tenant=request.tenant)
+            self.metrics.counter("tenant_comm_bytes_total", d_bytes / k,
+                                 tenant=request.tenant)
+            self.metrics.counter("tenant_comm_messages_total", d_msgs / k,
+                                 tenant=request.tenant)
+            self.metrics.observe("serve_request_seconds", latency)
+            TRACE.add_span(SERVE_TRACK, "serve.request", "serve",
+                           request.t_submit, t1,
+                           {"tenant": request.tenant,
+                            "id": request.request_id,
+                            "batch_size": k})
+            request.future._fulfill(ServeResult(
+                logits=out, request_id=request.request_id,
+                tenant=request.tenant, latency_s=latency,
+                batch_size=k, batch_width=width))
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Flat metrics snapshot: request/batch/latency series plus the
+        warm-state counters (compiled-plan cache, backend exchange-plan
+        LRU, admission totals)."""
+        self.metrics.gauge("serve_queue_limit", self.admission.queue_depth)
+        self.metrics.gauge("serve_accepted_total", self.admission.accepted)
+        for key, value in self.model.plan_stats().items():
+            self.metrics.gauge(f"serve_{key}", value)
+        for key, value in self.comm.cache_stats().items():
+            self.metrics.gauge(f"comm_plan_cache_{key}", value)
+        return self.metrics.as_dict()

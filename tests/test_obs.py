@@ -18,6 +18,7 @@ The load-bearing guarantees tested here:
 from __future__ import annotations
 
 import json
+import math
 
 import numpy as np
 import pytest
@@ -27,7 +28,7 @@ from repro.comm import make_communicator
 from repro.comm.faults import FaultPlan, WorkerFailure
 from repro.core import DistTrainConfig, train_distributed
 from repro.obs import (NULL_SPAN, TRACE, MetricsRegistry, metrics_from_spans,
-                       prometheus_text, save_trace, trace_events,
+                       percentile, prometheus_text, save_trace, trace_events,
                        trace_summary)
 
 
@@ -346,3 +347,61 @@ class TestFailureDiagnostics:
             assert "epoch 0" in msg
         finally:
             comm.close()
+
+
+# ----------------------------------------------------------------------
+# Summarizer edge cases: empty and single-span runs, n=1 histograms
+# ----------------------------------------------------------------------
+class TestSummaryEdgeCases:
+    """The serve/trace tooling feeds tiny runs (one request, one span)
+    through the same summarizers as full training runs — the degenerate
+    shapes must not divide by zero or index past the end."""
+
+    def test_trace_summary_of_empty_trace(self):
+        summary = trace_summary({"traceEvents": []})
+        assert summary == {"slices": [], "tracks": [], "imbalance": 0.0}
+
+    def test_trace_summary_of_single_span_run(self):
+        TRACE.enable()
+        TRACE.add_span("driver", "serve.batch", "serve", 1.0, 1.5,
+                       {"requests": 1})
+        summary = trace_summary(trace_events())
+        assert [s["name"] for s in summary["slices"]] == ["serve.batch"]
+        assert summary["slices"][0]["count"] == 1
+        assert summary["slices"][0]["self_ms"] == pytest.approx(500.0)
+        (track,) = summary["tracks"]
+        assert track["track"] == "driver" and track["slices"] == 1
+        # One track is trivially balanced: max/mean - 1 == 0.
+        assert summary["imbalance"] == 0.0
+
+    def test_metrics_from_spans_on_empty_tracer(self):
+        assert metrics_from_spans().as_dict() == {}
+
+    def test_metrics_from_spans_on_single_span(self):
+        TRACE.enable()
+        TRACE.add_span("rank0", "comm.bcast", "worker", 0.0, 0.25)
+        flat = metrics_from_spans().as_dict()
+        assert flat['spans_total{track="rank0"}'] == 1.0
+        assert flat['collective_seconds_count{op="bcast"}'] == 1.0
+        assert flat['collective_seconds_p99{op="bcast"}'] == 0.25
+
+    def test_histogram_percentiles_collapse_at_n_1(self):
+        reg = MetricsRegistry()
+        reg.observe("latency_seconds", 0.125)
+        flat = reg.as_dict()
+        # With one sample every summary statistic is that sample.
+        for stat in ("min", "max", "mean", "p50", "p95", "p99"):
+            assert flat[f"latency_seconds_{stat}"] == 0.125
+        assert flat["latency_seconds_count"] == 1.0
+        assert flat["latency_seconds_sum"] == 0.125
+
+    def test_percentile_helper_matches_histogram_expansion(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        reg = MetricsRegistry()
+        for v in values:
+            reg.observe("x", v)
+        flat = reg.as_dict()
+        assert percentile(values, 0.50) == flat["x_p50"]
+        assert percentile(values, 0.99) == flat["x_p99"]
+        assert percentile([7.5], 0.99) == 7.5
+        assert math.isnan(percentile([], 0.5))
