@@ -18,6 +18,10 @@
 # load generator batched vs --no-batch, and assert the emitted
 # BENCH_serve.json payload parses with batched output bit-identical to
 # sequential),
+# a kill-mid-serve leg (SIGKILL a process-backend worker mid-batch:
+# exactly the in-flight request fails with a structured retryable
+# ServeError, the engine restarts within its budget, and post-restart
+# logits are bit-identical to the pre-fault run),
 # the per-host overhead calibration (repro calibrate --quick --dry-run,
 # never writing CI hosts' numbers anywhere), and the
 # kernel/compiled-epoch/overlap microbenchmark (scripts/bench_kernels.py
@@ -125,6 +129,46 @@ n_rows = len(payload["rows"])
 print(f"serve bench: {n_rows} rows, batched == sequential bit-identical")
 PYEOF
   done
+  echo "== kill-mid-serve (process backend) =="
+  python - <<"PYEOF"
+import tempfile, time
+import numpy as np
+from repro.comm.faults import FaultPlan, WorkerFailure
+from repro.core import DistTrainConfig
+from repro.graphs import load_dataset
+from repro.serve import (ServeError, ServeOptions, ServingEngine,
+                         prepare_checkpoint)
+
+dataset = load_dataset("reddit", scale=0.05, n_features=6, n_classes=3,
+                       seed=2)
+config = DistTrainConfig(n_ranks=2, partitioner=None, epochs=2, hidden=8,
+                         n_layers=2, backend="process", seed=0)
+rng = np.random.default_rng(0)
+feats = rng.standard_normal((dataset.n_vertices, dataset.n_features))
+with tempfile.TemporaryDirectory() as tmp:
+    ckpt = prepare_checkpoint(dataset, config, f"{tmp}/serve.ckpt", epochs=2)
+    engine = ServingEngine.from_checkpoint(
+        dataset, config, ckpt,
+        options=ServeOptions(batching=False, max_restarts=1))
+    try:
+        engine.start()
+        ref = engine.submit(feats).result(timeout=30.0).logits.copy()
+        engine.inject_faults(FaultPlan.kill(rank=1, op_index=0))
+        t0 = time.monotonic()
+        try:
+            engine.submit(feats).result(timeout=30.0)
+            raise SystemExit("expected the in-flight batch to fail")
+        except ServeError as exc:
+            assert exc.retryable and isinstance(exc.cause, WorkerFailure), exc
+        out = engine.submit(feats).result(timeout=30.0).logits
+        recover_s = time.monotonic() - t0
+        assert np.array_equal(out, ref), "post-restart logits diverged"
+        assert engine.restarts == 1, engine.restarts
+        assert engine.health()["status"] == "ready", engine.health()
+    finally:
+        engine.close()
+print(f"kill-mid-serve: restart in {recover_s:.2f}s, logits bit-identical")
+PYEOF
   echo "== repro calibrate --quick --dry-run =="
   python -m repro calibrate --quick --dry-run
   echo "== bench_kernels --quick =="

@@ -330,6 +330,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--queue-depth", type=int, default=256,
                          help="admission bound; beyond it requests are "
                               "rejected with a structured error")
+    p_serve.add_argument("--max-restarts", type=int, default=1, metavar="N",
+                         help="supervised-recovery budget: worker losses "
+                              "tolerated (warm state rebuilt in place) "
+                              "before the engine fails permanently")
+    p_serve.add_argument("--deadline-ms", type=float, default=None,
+                         metavar="MS",
+                         help="per-request deadline; requests still queued "
+                              "past it are shed before any SpMM work")
+    p_serve.add_argument("--health", action="store_true",
+                         help="print the engine health snapshot "
+                              "(ready/degraded/failed, restarts, last "
+                              "failure) after the run")
     p_serve.add_argument("--no-batch", action="store_true",
                          help="serve one request per forward (the baseline "
                               "--bench compares against)")
@@ -762,8 +774,9 @@ def _cmd_serve(args) -> int:
     import json
     import tempfile
 
-    from .serve import (RequestRejected, ServeOptions, ServingEngine,
-                        prepare_checkpoint, run_serve_bench)
+    from .serve import (RequestExpired, RequestRejected, ServeError,
+                        ServeOptions, ServingEngine, prepare_checkpoint,
+                        run_serve_bench)
 
     scale = args.scale
     duration = args.duration
@@ -820,7 +833,7 @@ def _cmd_serve(args) -> int:
                 qps_steps=qps_steps, duration_s=duration, clients=clients,
                 tenants=tenants, max_batch_width=args.max_batch_width,
                 max_wait_ms=args.max_wait_ms, queue_depth=args.queue_depth,
-                seed=args.seed)
+                max_restarts=args.max_restarts, seed=args.seed)
             rows = [{
                 "mode": row["mode"],
                 "offered_qps": ("unpaced" if row["offered_qps"] is None
@@ -830,6 +843,7 @@ def _cmd_serve(args) -> int:
                 "p99_ms": f"{row['p99_ms']:.2f}",
                 "completed": row["completed"],
                 "rejected": row["rejected"],
+                "failed": row.get("failed", 0),
             } for row in payload["rows"]]
             print(format_table(
                 rows, title=f"serve bench — {dataset.name} "
@@ -845,6 +859,10 @@ def _cmd_serve(args) -> int:
                 "identity_requests": identity["requests"],
                 "batched_max_batch_size": identity["batched_max_batch_size"],
             }, title="saturation (batched vs no-batch)"))
+            if args.health and "health" in payload:
+                print()
+                print(format_kv(payload["health"],
+                                title="engine health (batched sweep)"))
             if args.output:
                 with open(args.output, "w", encoding="utf-8") as fh:
                     fh.write(json.dumps(payload, indent=2) + "\n")
@@ -867,12 +885,15 @@ def _cmd_serve(args) -> int:
                                  else width * max(2, min(requests, 16))),
                 max_wait_ms=args.max_wait_ms,
                 queue_depth=args.queue_depth,
-                batching=not args.no_batch)
+                batching=not args.no_batch,
+                max_restarts=args.max_restarts,
+                default_deadline_ms=args.deadline_ms)
             engine = ServingEngine.from_checkpoint(dataset, config,
                                                    checkpoint,
                                                    options=options)
             rng = np.random.default_rng(args.seed)
             rejected = 0
+            failed = 0
             with engine:
                 futures = []
                 for i in range(requests):
@@ -883,9 +904,14 @@ def _cmd_serve(args) -> int:
                             features, tenant=tenants[i % len(tenants)]))
                     except RequestRejected:
                         rejected += 1
-                results = [future.result(timeout=300.0)
-                           for future in futures]
+                results = []
+                for future in futures:
+                    try:
+                        results.append(future.result(timeout=120.0))
+                    except (ServeError, RequestExpired):
+                        failed += 1
                 stats = engine.stats()
+                health = engine.health()
             latencies = [r.latency_s for r in results]
             print(format_kv({
                 "dataset": dataset.name,
@@ -895,6 +921,7 @@ def _cmd_serve(args) -> int:
                 "batching": not args.no_batch,
                 "requests_completed": len(results),
                 "requests_rejected": rejected,
+                "requests_failed": failed,
                 "batches": stats.get("serve_batches_total", 0),
                 "max_batch_size": stats.get("serve_batch_size_max", 1.0),
                 "mean_batch_size": stats.get("serve_batch_size_mean", 1.0),
@@ -916,6 +943,9 @@ def _cmd_serve(args) -> int:
                 })
             print()
             print(format_table(tenant_rows, title="per-tenant accounting"))
+            if args.health:
+                print()
+                print(format_kv(health, title="engine health"))
             if args.metrics:
                 with open(args.metrics, "w", encoding="utf-8") as fh:
                     fh.write(prometheus_text(stats))

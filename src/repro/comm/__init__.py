@@ -32,7 +32,8 @@ from .base import (CommHandle, CompletedCommHandle, Communicator,
 from .events import CommEvent, EventLog
 from .factory import (BACKENDS, available_backends, make_communicator,
                       register_backend)
-from .faults import FaultPlan, FaultSpec, WorkerFailure
+from .faults import (FaultPlan, FaultSpec, WatchdogTimeout,
+                     WorkerFailure)
 from .machine import (MachineModel, PRESETS, get_machine, laptop, perlmutter,
                       perlmutter_scaled)
 from .process import ProcessPoolCommunicator
@@ -58,6 +59,7 @@ __all__ = [
     "register_backend",
     "FaultPlan",
     "FaultSpec",
+    "WatchdogTimeout",
     "WorkerFailure",
     "ThreadedCommunicator",
     "ProcessPoolCommunicator",

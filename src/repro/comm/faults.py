@@ -44,7 +44,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .base import Communicator
 
-__all__ = ["FaultPlan", "FaultSpec", "WorkerFailure"]
+__all__ = ["FaultPlan", "FaultSpec", "WatchdogTimeout", "WorkerFailure"]
 
 _ACTIONS = ("kill", "delay")
 
@@ -69,6 +69,25 @@ class WorkerFailure(RuntimeError):
         self.reason = reason
         super().__init__(
             f"rank {self.rank} lost on backend {backend!r}: {reason}")
+
+
+class WatchdogTimeout(WorkerFailure):
+    """A worker stayed alive but unresponsive past the watchdog budget.
+
+    Subclass of :class:`WorkerFailure` so supervised recovery loops (the
+    trainer's restart supervisor, the serving engine's in-place rebuild)
+    treat a wedged worker exactly like a dead one — the communicator has
+    already closed itself either way, and the only safe continuation is
+    a rebuilt worker pool.  The message keeps the historical
+    ``did not finish within ...s (deadlock?)`` wording.
+    """
+
+    def __init__(self, rank: int, backend: str = "unknown",
+                 timeout_s: float = 0.0, detail: str = "") -> None:
+        self.timeout_s = float(timeout_s)
+        reason = (f"did not finish within {timeout_s}s (deadlock?)"
+                  + (f"; {detail}" if detail else ""))
+        super().__init__(rank, backend=backend, reason=reason)
 
 
 @dataclass

@@ -105,7 +105,7 @@ import numpy as np
 from ..obs.tracer import TRACE
 from .base import (CommHandle, CompletedCommHandle, Communicator,
                    payload_nbytes as _nbytes, reduce_stack)
-from .faults import WorkerFailure
+from .faults import WatchdogTimeout, WorkerFailure
 
 __all__ = ["ProcessPoolCommunicator"]
 
@@ -904,11 +904,11 @@ class ProcessPoolCommunicator(Communicator):
                        "communicator closed")
         ranks = [e.rank for e in lost]
         detail = "; ".join(self._last_done_desc(r) for r in ranks)
-        raise RuntimeError(
-            f"rank{'s' if len(ranks) > 1 else ''} "
-            f"{', '.join(map(str, ranks))} did not finish within "
-            f"{self.timeout_s}s (deadlock?); {detail}; "
-            "communicator closed")
+        raise WatchdogTimeout(
+            ranks[0], backend=self.backend_name, timeout_s=self.timeout_s,
+            detail=f"unresponsive rank{'s' if len(ranks) > 1 else ''} "
+                   f"{', '.join(map(str, ranks))}; {detail}; "
+                   "communicator closed")
 
     def _last_done_desc(self, rank: int) -> str:
         """Human-readable "where was this rank" watchdog diagnostic."""

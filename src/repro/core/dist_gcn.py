@@ -255,6 +255,15 @@ class DistributedGCN:
         """Hit/miss/retention counters of the compiled-plan cache."""
         return self._compiled.stats()
 
+    def compiled_widths(self) -> List[int]:
+        """Widths with a retained compiled plan (serving recovery uses
+        this to re-warm a rebuilt engine to the same compiled state)."""
+        return self._compiled.widths()
+
+    def warm_widths(self, widths: Sequence[int]) -> None:
+        """Compile (uncounted) plans for any not-yet-retained widths."""
+        self._compiled.warm(widths)
+
     # ------------------------------------------------------------------
     # forward / backward
     # ------------------------------------------------------------------

@@ -21,27 +21,49 @@ into a queue drain:
 * :class:`~repro.serve.admission.AdmissionController` — bounded request
   queue with structured rejection (:class:`~repro.serve.admission
   .RequestRejected`) instead of unbounded latency collapse;
+* :class:`~repro.serve.admission.OverloadPolicy` — EWMA backpressure:
+  under sustained pressure the engine sheds lowest-priority tenants
+  first and shrinks the batching window (graceful degradation);
 * :mod:`~repro.serve.loadgen` — closed-loop load generator sweeping
   offered QPS into p50/p99 latency + achieved throughput
-  (``repro serve --bench`` → ``BENCH_serve.json``).
+  (``repro serve --bench`` → ``BENCH_serve.json``), plus
+  :func:`~repro.serve.loadgen.submit_with_retries` — the client-side
+  backoff+jitter retry loop for retryable serving failures.
 
-See ``docs/serving.md`` for the lifecycle, knobs and benchmark format.
+The engine is **supervised**: a worker lost mid-batch fails only the
+in-flight batch (each member's future raises a structured, retryable
+:class:`~repro.serve.engine.ServeError`), then warm state is rebuilt in
+place — bounded by ``ServeOptions.max_restarts`` — while queued
+requests survive.  Requests carry optional deadlines
+(``submit(..., deadline_ms=...)``) and expire with
+:class:`~repro.serve.engine.RequestExpired` *before* any SpMM work.
+
+See ``docs/serving.md`` for the lifecycle, knobs, failure semantics and
+benchmark format.
 """
 
-from .admission import AdmissionController, RequestRejected
+from .admission import AdmissionController, OverloadPolicy, RequestRejected
 from .batcher import MicroBatcher
-from .engine import ServeOptions, ServeResult, ServingEngine
-from .loadgen import LoadStep, prepare_checkpoint, run_load, run_serve_bench
+from .engine import (RequestExpired, ServeError, ServeOptions, ServeResult,
+                     ServingEngine)
+from .loadgen import (LoadStep, prepare_checkpoint, run_load,
+                      run_serve_bench, submit_with_retries,
+                      verify_batched_identity)
 
 __all__ = [
     "AdmissionController",
     "LoadStep",
     "MicroBatcher",
+    "OverloadPolicy",
+    "RequestExpired",
     "RequestRejected",
+    "ServeError",
     "ServeOptions",
     "ServeResult",
     "ServingEngine",
     "prepare_checkpoint",
     "run_load",
     "run_serve_bench",
+    "submit_with_retries",
+    "verify_batched_identity",
 ]

@@ -1,4 +1,4 @@
-"""Admission control: a bounded request queue with structured rejection.
+"""Admission control: bounded queue, structured rejection, backpressure.
 
 An unbounded queue turns overload into unbounded latency (every request
 is admitted and waits forever); a bounded one turns it into fast,
@@ -7,23 +7,32 @@ shed).  :class:`AdmissionController` wraps a ``queue.Queue(maxsize)`` so
 admission is race-free — ``put_nowait`` either claims a slot atomically
 or raises — and counts accepted/rejected totals for the serving
 engine's metrics registry.
+
+:class:`OverloadPolicy` is the *graceful degradation* layer on top of
+the hard bound: it watches EWMA queue depth and batch latency, and when
+sustained pressure crosses the high watermark it (a) sheds the
+lowest-priority tenants first (``ServeOptions.tenant_priorities``) and
+(b) shrinks the batching window toward zero so in-queue requests drain
+at full cadence — the engine keeps serving its important traffic
+instead of timing every request out.
 """
 
 from __future__ import annotations
 
 import queue
-from typing import Optional
+from typing import Mapping, Optional
 
-__all__ = ["AdmissionController", "RequestRejected"]
+__all__ = ["AdmissionController", "OverloadPolicy", "RequestRejected"]
 
 
 class RequestRejected(RuntimeError):
-    """A request was refused admission (the bounded queue is full).
+    """A request was refused admission.
 
     Carries the structured fields a client needs to react — the
-    rejection ``reason``, the queue ``depth`` and ``limit`` at rejection
-    time, and the ``tenant`` that was refused — in addition to the
-    formatted message.
+    rejection ``reason`` (``"queue_full"`` for the hard bound,
+    ``"overload_shed"`` for priority-based backpressure shedding), the
+    queue ``depth`` and ``limit`` at rejection time, and the ``tenant``
+    that was refused — in addition to the formatted message.
     """
 
     def __init__(self, reason: str, depth: int, limit: int,
@@ -77,3 +86,109 @@ class AdmissionController:
     def depth(self) -> int:
         """Instantaneous queue depth (approximate under concurrency)."""
         return self.queue.qsize()
+
+
+class OverloadPolicy:
+    """EWMA backpressure: shed lowest-priority tenants, shrink the window.
+
+    The policy tracks two exponentially-weighted moving averages — the
+    admission queue depth (sampled at every submit and every batch
+    completion) and the coalesced-batch latency — and derives a
+    *pressure* in ``[0, 1]`` (depth EWMA over the queue limit).  It
+    enters the **degraded** state when pressure crosses
+    ``enter_pressure`` and leaves it below ``exit_pressure``
+    (hysteresis, so the state does not flap at the boundary).
+
+    While degraded:
+
+    * :meth:`should_shed` refuses the lowest-priority tenants first.
+      Tenants map to integer priorities via ``tenant_priorities``
+      (higher = more important; unlisted tenants get
+      ``default_priority``).  As pressure climbs from the enter
+      watermark toward 1.0, progressively higher priority tiers are
+      shed; the *top* tier is never shed by the policy (the hard queue
+      bound still protects the engine).  With a single tier there is
+      nothing lower-priority to sacrifice, so shedding stays off and
+      degradation acts through the window alone.
+    * :meth:`window_scale` shrinks the batching window toward
+      ``min_window_scale`` so queued requests drain at full cadence —
+      trading coalescing opportunity for latency exactly when latency
+      is the scarce resource.
+    """
+
+    def __init__(self, queue_limit: int,
+                 tenant_priorities: Optional[Mapping[str, int]] = None,
+                 default_priority: int = 0,
+                 alpha: float = 0.3,
+                 enter_pressure: float = 0.75,
+                 exit_pressure: float = 0.40,
+                 min_window_scale: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if not 0.0 < exit_pressure < enter_pressure <= 1.0:
+            raise ValueError(
+                "need 0 < exit_pressure < enter_pressure <= 1, got "
+                f"exit={exit_pressure}, enter={enter_pressure}")
+        self.queue_limit = max(1, int(queue_limit))
+        self.priorities = dict(tenant_priorities or {})
+        self.default_priority = int(default_priority)
+        self.alpha = float(alpha)
+        self.enter_pressure = float(enter_pressure)
+        self.exit_pressure = float(exit_pressure)
+        self.min_window_scale = float(min_window_scale)
+        self.depth_ewma = 0.0
+        self.batch_s_ewma = 0.0
+        self.degraded = False
+        self.shed_total = 0
+        levels = set(self.priorities.values())
+        levels.add(self.default_priority)
+        self._levels = sorted(levels)
+
+    def observe(self, queue_depth: int,
+                batch_seconds: Optional[float] = None) -> None:
+        """Feed one sample; updates the EWMAs and the degraded state."""
+        a = self.alpha
+        self.depth_ewma += a * (float(queue_depth) - self.depth_ewma)
+        if batch_seconds is not None:
+            self.batch_s_ewma += a * (float(batch_seconds)
+                                      - self.batch_s_ewma)
+        p = self.pressure()
+        if self.degraded:
+            if p <= self.exit_pressure:
+                self.degraded = False
+        elif p >= self.enter_pressure:
+            self.degraded = True
+
+    def pressure(self) -> float:
+        """Sustained load in ``[0, 1]``: depth EWMA over the queue limit."""
+        return min(1.0, self.depth_ewma / self.queue_limit)
+
+    def priority_of(self, tenant: str) -> int:
+        return self.priorities.get(tenant, self.default_priority)
+
+    def shed_cutoff(self) -> Optional[int]:
+        """Priorities strictly below this value are shed; ``None`` = no
+        shedding (healthy, or only one priority tier exists)."""
+        if not self.degraded or len(self._levels) < 2:
+            return None
+        span = max(1e-9, 1.0 - self.enter_pressure)
+        frac = min(1.0, max(0.0, (self.pressure() - self.enter_pressure)
+                            / span))
+        n_tiers = len(self._levels)
+        n_shed = min(n_tiers - 1, 1 + int(frac * (n_tiers - 1)))
+        return self._levels[n_shed]
+
+    def should_shed(self, tenant: str) -> bool:
+        """Whether a request from ``tenant`` should be refused right now."""
+        cutoff = self.shed_cutoff()
+        shed = cutoff is not None and self.priority_of(tenant) < cutoff
+        if shed:
+            self.shed_total += 1
+        return shed
+
+    def window_scale(self) -> float:
+        """Multiplier for the batching window (1.0 healthy, smaller under
+        pressure, never below ``min_window_scale``)."""
+        if not self.degraded:
+            return 1.0
+        return max(self.min_window_scale, 1.0 - self.pressure())

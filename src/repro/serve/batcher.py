@@ -16,9 +16,17 @@ The batcher is the serving thread's only source of work.  Its contract:
   :meth:`~repro.serve.admission.AdmissionController.post_control`)
   flushes the in-progress batch first; ``next_batch`` returns ``None``
   only once everything admitted before shutdown has been handed out.
+* A request whose ``deadline`` (a ``monotonic()`` timestamp) has passed
+  at dequeue time is **shed before any SpMM work**: it is handed to the
+  ``on_expired`` callback instead of joining a batch, so an expired
+  request never contributes a column to the coalesced operand.
+* ``window_scale`` (set by the engine's overload policy) multiplies the
+  batching window: under sustained pressure the window shrinks so
+  queued requests drain at full cadence instead of timing out.
 
 Requests only need a ``width`` attribute (columns they contribute to
-the coalesced operand); the batcher is otherwise payload-agnostic.
+the coalesced operand); ``deadline`` is optional and the batcher is
+otherwise payload-agnostic.
 """
 
 from __future__ import annotations
@@ -49,10 +57,15 @@ class MicroBatcher:
     max_requests:
         Upper bound on requests per batch; ``1`` disables coalescing
         entirely (the ``--no-batch`` baseline) and skips the window.
+    on_expired:
+        Callback invoked (in the serving thread) with each request shed
+        because its ``deadline`` had passed at dequeue.  ``None``
+        disables deadline shedding entirely.
     """
 
     def __init__(self, source: "_queue.Queue", max_batch_width: int,
-                 max_wait_s: float, max_requests: Optional[int] = None) -> None:
+                 max_wait_s: float, max_requests: Optional[int] = None,
+                 on_expired=None) -> None:
         max_batch_width = int(max_batch_width)
         if max_batch_width < 1:
             raise ValueError(
@@ -66,6 +79,10 @@ class MicroBatcher:
         self.max_batch_width = max_batch_width
         self.max_wait_s = float(max_wait_s)
         self.max_requests = None if max_requests is None else int(max_requests)
+        self.on_expired = on_expired
+        #: Overload-policy multiplier for the batching window (clamped to
+        #: [0, 1] at use; the engine updates it after every batch).
+        self.window_scale = 1.0
         self._carry = None
         self._stopping = False
 
@@ -73,13 +90,36 @@ class MicroBatcher:
         """Re-arm after a shutdown (the serving engine is restartable)."""
         self._stopping = False
 
+    def take_carry(self):
+        """Remove and return the carried-over request (``None`` if none).
+
+        A permanently-failing engine must drain *everything* pending —
+        the carry-over slot included, since a carried request lives in
+        neither the queue nor any batch."""
+        item, self._carry = self._carry, None
+        return item
+
+    def _shed_expired(self, item) -> bool:
+        """Hand an expired request to ``on_expired``; True if shed."""
+        if self.on_expired is None:
+            return False
+        deadline = getattr(item, "deadline", None)
+        if deadline is None or monotonic() < deadline:
+            return False
+        self.on_expired(item)
+        return True
+
     def _first(self):
         """The request leading the next batch (carry-over wins), or
-        ``SHUTDOWN``."""
-        if self._carry is not None:
-            first, self._carry = self._carry, None
-            return first
-        return self.source.get()
+        ``SHUTDOWN``.  Expired requests are shed here, before they can
+        lead a batch."""
+        while True:
+            if self._carry is not None:
+                first, self._carry = self._carry, None
+            else:
+                first = self.source.get()
+            if first is SHUTDOWN or not self._shed_expired(first):
+                return first
 
     def next_batch(self) -> Optional[List]:
         """The next non-empty batch, or ``None`` after shutdown."""
@@ -93,7 +133,8 @@ class MicroBatcher:
         width = first.width
         if self.max_requests == 1:
             return batch
-        deadline = monotonic() + self.max_wait_s
+        window = self.max_wait_s * max(0.0, min(1.0, self.window_scale))
+        deadline = monotonic() + window
         while self.max_requests is None or len(batch) < self.max_requests:
             try:
                 item = self.source.get_nowait()
@@ -109,6 +150,8 @@ class MicroBatcher:
                 # Flush what we have; the next call observes the stop.
                 self._stopping = True
                 break
+            if self._shed_expired(item):
+                continue
             if width + item.width > self.max_batch_width:
                 self._carry = item
                 break

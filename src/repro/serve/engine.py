@@ -27,6 +27,21 @@ communicator (worker pool, shared-memory arenas, exchange-plan LRU) and
 one compiled SpMM plan per distinct batch width ever seen
 (:class:`~repro.core.engine.CompiledOpCache` — each width compiles once
 per engine lifetime).
+
+Failure semantics
+-----------------
+A lost rank mid-batch (:class:`~repro.comm.faults.WorkerFailure`, or
+the process backend's :class:`~repro.comm.faults.WatchdogTimeout`)
+fails **only the in-flight batch**: every member's future raises its
+own :class:`ServeError` (structured, retryable, carrying the request id
+and the batch composition).  The serving thread then rebuilds warm
+state in place — close the dead communicator, spin up a fresh one,
+reload the retained weights, recompile every batch width the dead
+engine had retained — bounded by ``ServeOptions.max_restarts``.
+Queued requests survive the restart untouched.  Requests may carry a
+deadline (``submit(..., deadline_ms=...)``); expired ones are shed at
+dequeue with :class:`RequestExpired` before any SpMM work.  See
+``docs/serving.md`` ("Failure semantics") for the full lifecycle.
 """
 
 from __future__ import annotations
@@ -34,22 +49,75 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass
-from time import perf_counter
-from typing import List, Optional
+from time import monotonic, perf_counter
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from ..comm.faults import WorkerFailure
 from ..core.checkpoint import config_fingerprint, resolve_checkpoint
 from ..core.dist_matrix import DistDenseMatrix
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import TRACE
-from .admission import AdmissionController, RequestRejected
+from .admission import AdmissionController, OverloadPolicy, RequestRejected
 from .batcher import SHUTDOWN, MicroBatcher
 
-__all__ = ["ServeOptions", "ServeResult", "ServingEngine"]
+__all__ = ["RequestExpired", "ServeError", "ServeOptions", "ServeResult",
+           "ServingEngine"]
 
 #: Tracer track name for serving spans.
 SERVE_TRACK = "serve"
+
+
+class ServeError(RuntimeError):
+    """A serving-side failure of one request (structured, retryable).
+
+    Every member of a failed batch gets its **own** instance — a shared
+    exception object would cross-contaminate tracebacks between client
+    threads — carrying the ``request_id``, the ``batch`` composition
+    (the request ids that shared the coalesced forward), the underlying
+    ``cause`` and whether a retry against this engine can succeed
+    (``retryable``: the engine restarts after a worker loss, so
+    transient failures are; permanent failures — restart budget
+    exhausted, no rebuild path — are not).
+    """
+
+    def __init__(self, request_id: int, batch: Sequence[int],
+                 cause: BaseException, tenant: Optional[str] = None,
+                 retryable: bool = True) -> None:
+        self.request_id = int(request_id)
+        self.batch = tuple(int(b) for b in batch)
+        self.cause = cause
+        self.tenant = tenant
+        self.retryable = bool(retryable)
+        verdict = "retry may succeed" if retryable else "not retryable"
+        super().__init__(
+            f"request {self.request_id} failed serving batch "
+            f"{list(self.batch)}: {type(cause).__name__}: {cause} "
+            f"({verdict})")
+        self.__cause__ = cause
+
+
+class RequestExpired(RuntimeError):
+    """A request's deadline passed before it reached the forward pass.
+
+    Shed at dequeue — before any SpMM work — so an overloaded engine
+    spends its cycles only on requests whose answer somebody still
+    wants.  Not a ``TimeoutError``: the client's wait did not time out,
+    the *request* did, and resubmitting with the same deadline would
+    expire again under the same load (``retryable`` is False).
+    """
+
+    retryable = False
+
+    def __init__(self, request_id: int, tenant: str,
+                 waited_s: float) -> None:
+        self.request_id = int(request_id)
+        self.tenant = tenant
+        self.waited_s = float(waited_s)
+        super().__init__(
+            f"request {self.request_id} (tenant {tenant!r}) expired after "
+            f"{waited_s * 1e3:.1f}ms in queue; shed before execution")
 
 
 @dataclass(frozen=True)
@@ -65,6 +133,18 @@ class ServeOptions:
     max_wait_ms: float = 2.0
     queue_depth: int = 256
     batching: bool = True
+    #: Supervised-recovery budget: worker losses tolerated (engine
+    #: rebuilt in place) before the engine fails permanently.
+    max_restarts: int = 1
+    #: Deadline stamped on requests that do not pass their own
+    #: ``deadline_ms`` to ``submit`` (``None`` = no deadline).
+    default_deadline_ms: Optional[float] = None
+    #: tenant -> integer priority (higher = more important) for
+    #: overload shedding; unlisted tenants get priority 0.
+    tenant_priorities: Optional[Mapping[str, int]] = None
+    #: ``stop()``/``close()`` join grace before escalating to the
+    #: backend's dead-worker teardown.
+    stop_grace_s: float = 10.0
 
     def __post_init__(self) -> None:
         if self.max_batch_width < 1:
@@ -76,6 +156,16 @@ class ServeOptions:
         if self.queue_depth < 1:
             raise ValueError(
                 f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts}")
+        if self.default_deadline_ms is not None \
+                and self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive, got "
+                             f"{self.default_deadline_ms}")
+        if self.stop_grace_s <= 0:
+            raise ValueError(
+                f"stop_grace_s must be positive, got {self.stop_grace_s}")
 
 
 @dataclass
@@ -91,9 +181,16 @@ class ServeResult:
 
 
 class ServeFuture:
-    """Thread-safe one-shot result slot for a submitted request."""
+    """Thread-safe one-shot result slot for a submitted request.
+
+    Resolution is first-writer-wins: once fulfilled or failed, later
+    ``_fulfill``/``_fail`` calls are no-ops (the guard that makes the
+    close/stop/recovery races safe — whichever side resolves first
+    defines the outcome the client observes).
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._event = threading.Event()
         self._result: Optional[ServeResult] = None
         self._exc: Optional[BaseException] = None
@@ -112,27 +209,34 @@ class ServeFuture:
         return self._result
 
     def _fulfill(self, result: ServeResult) -> None:
-        self._result = result
-        self._event.set()
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._result = result
+            self._event.set()
 
     def _fail(self, exc: BaseException) -> None:
-        self._exc = exc
-        self._event.set()
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._exc = exc
+            self._event.set()
 
 
 class _ServeRequest:
-    """Internal queue entry (the batcher only reads ``width``)."""
+    """Internal queue entry (the batcher reads ``width``/``deadline``)."""
 
     __slots__ = ("request_id", "tenant", "features", "width", "t_submit",
-                 "future")
+                 "deadline", "future")
 
-    def __init__(self, request_id: int, tenant: str,
-                 features: np.ndarray) -> None:
+    def __init__(self, request_id: int, tenant: str, features: np.ndarray,
+                 deadline: Optional[float] = None) -> None:
         self.request_id = request_id
         self.tenant = tenant
         self.features = features
         self.width = int(features.shape[1])
         self.t_submit = perf_counter()
+        self.deadline = deadline            # monotonic() timestamp or None
         self.future = ServeFuture()
 
 
@@ -156,12 +260,19 @@ class ServingEngine:
     while the drain thread is stopped stay queued and are served in one
     coalesced batch at the next :meth:`start` — the deterministic way to
     force a specific batch composition in tests.
+
+    ``rebuild`` (set automatically by :meth:`from_checkpoint`) is the
+    recovery factory: a zero-argument callable returning a fresh
+    ``(model, comm)`` pair.  With it, a worker loss mid-batch triggers
+    an in-place supervised restart (see the module docstring); without
+    it the engine fails permanently on the first loss.
     """
 
     def __init__(self, model, comm=None,
                  options: Optional[ServeOptions] = None,
                  owns_comm: bool = False,
-                 checkpoint_epoch: Optional[int] = None) -> None:
+                 checkpoint_epoch: Optional[int] = None,
+                 rebuild=None) -> None:
         self.model = model
         self.comm = comm if comm is not None else model.comm
         self.options = options or ServeOptions()
@@ -171,15 +282,37 @@ class ServingEngine:
         self.output_width = int(model.layer_dims[-1])
         self.metrics = MetricsRegistry()
         self.admission = AdmissionController(self.options.queue_depth)
+        self.overload = OverloadPolicy(
+            queue_limit=self.options.queue_depth,
+            tenant_priorities=self.options.tenant_priorities)
         self.batcher = MicroBatcher(
             self.admission.queue,
             max_batch_width=max(self.options.max_batch_width,
                                 self.input_width),
             max_wait_s=self.options.max_wait_ms / 1000.0,
-            max_requests=None if self.options.batching else 1)
+            max_requests=None if self.options.batching else 1,
+            on_expired=self._expire_request)
         self._ids = itertools.count()
         self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()       # guards _closed vs submit/offer
         self._closed = False
+        self._rebuild = rebuild
+        # The recovery path reloads these exact arrays into the rebuilt
+        # model — the serving twin of the trainer's checkpoint restore.
+        self._retained_weights = [np.array(w, copy=True)
+                                  for w in model.weight_state()]
+        self._fault_plan = None
+        self.restarts = 0
+        self._failed = False
+        self._stop_requested = False
+        self._last_failure: Optional[str] = None
+        # Incident counters exist from the start (a dashboard that only
+        # learns about `serve_batch_failures_total` once a batch has
+        # already failed is not observability).
+        self.metrics.counter("serve_restarts_total", 0)
+        self.metrics.counter("serve_batch_failures_total", 0)
+        for reason in ("deadline", "overload"):
+            self.metrics.counter("serve_shed_total", 0, reason=reason)
 
     # ------------------------------------------------------------------
     # construction from a checkpoint
@@ -196,6 +329,11 @@ class ServingEngine:
         count are legitimately free (a model trained on ``sim`` serves
         on ``process``), but architecture/precision axes are not, and a
         mismatch raises instead of serving garbage logits.
+
+        The engine built here is **recoverable**: it retains the
+        checkpoint's weight state and a rebuild factory over
+        ``(dataset, config)``, so a worker loss triggers a supervised
+        in-place restart instead of a permanent failure.
         """
         from ..core.trainer import setup_distributed
         setup = setup_distributed(dataset, config)
@@ -207,8 +345,14 @@ class ServingEngine:
         except BaseException:
             setup.comm.close()
             raise
+
+        def rebuild():
+            fresh = setup_distributed(dataset, config)
+            return fresh.model, fresh.comm
+
         return cls(setup.model, comm=setup.comm, options=options,
-                   owns_comm=True, checkpoint_epoch=ckpt.epoch)
+                   owns_comm=True, checkpoint_epoch=ckpt.epoch,
+                   rebuild=rebuild)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -217,32 +361,73 @@ class ServingEngine:
         """Start (or restart) the serving thread."""
         if self._closed:
             raise RuntimeError("serving engine is closed")
+        if self._failed:
+            raise RuntimeError(
+                "serving engine has failed permanently "
+                f"({self._last_failure}); build a new engine")
         if self._thread is not None:
             raise RuntimeError("serving engine is already running")
         self.batcher.reset()
+        self._stop_requested = False
         self._thread = threading.Thread(target=self._serve_loop,
                                         name="repro-serve", daemon=True)
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self, grace_s: Optional[float] = None) -> None:
         """Drain everything already admitted, then stop the thread.
 
-        The engine can :meth:`start` again afterwards; warm state (model,
+        The join is **bounded**: after ``grace_s`` (default
+        ``ServeOptions.stop_grace_s``) the engine escalates to the
+        backend's dead-worker teardown — killing the worker pool so the
+        0.2 s liveness poll turns the stuck collective into a
+        :class:`WorkerFailure` the serving thread can exit on — instead
+        of hanging behind the 600 s watchdog.  The engine can
+        :meth:`start` again after a clean stop; warm state (model,
         communicator, compiled plans) is untouched.
         """
-        if self._thread is None:
+        thread = self._thread
+        if thread is None:
             return
+        grace = self.options.stop_grace_s if grace_s is None else grace_s
+        self._stop_requested = True
         self.admission.post_control(SHUTDOWN)
-        self._thread.join()
+        thread.join(grace)
+        if thread.is_alive():
+            # The serving thread is wedged mid-collective (dead or stuck
+            # worker).  Tear the worker pool down; the liveness path
+            # raises WorkerFailure and _stop_requested suppresses
+            # recovery, so the thread exits.
+            self._escalate_teardown()
+            thread.join(grace)
+            if thread.is_alive():
+                self._failed = True
+                self._last_failure = ("serving thread did not stop within "
+                                      f"2x{grace}s grace")
         self._thread = None
+        if not self._failed:
+            self._stop_requested = False
+
+    def _escalate_teardown(self) -> None:
+        """Kill the backend's worker pool to unwedge the serving thread.
+
+        Process backend only (in-process backends cannot wedge behind a
+        foreign OS process): SIGKILL every live worker so the serving
+        thread's collective fails within the 0.2 s liveness poll instead
+        of the watchdog timeout.
+        """
+        procs = getattr(self.comm, "_procs", None)
+        for proc in procs or []:
+            if proc.is_alive():
+                proc.kill()
 
     def close(self) -> None:
         """Stop serving and release the communicator (if owned)."""
-        if self._closed:
-            return
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         self.stop()
-        self._closed = True
         if self.owns_comm:
             self.comm.close()
 
@@ -258,34 +443,108 @@ class ServingEngine:
     def running(self) -> bool:
         return self._thread is not None
 
+    def inject_faults(self, plan) -> None:
+        """Arm a :class:`~repro.comm.FaultPlan` on the serving path.
+
+        The plan rides the communicator's per-collective fault points
+        (every SpMM exchange of a coalesced forward ticks it) and is
+        re-injected into the rebuilt communicator after a supervised
+        restart — specs fire once per plan instance, so a recovered
+        engine is not re-killed by the fault that took it down.
+        """
+        self._fault_plan = plan
+        self.comm.inject_faults(plan)
+
+    def health(self) -> dict:
+        """Liveness/readiness snapshot (``repro serve --health``).
+
+        ``status`` is ``ready`` (serving, healthy), ``degraded``
+        (overload policy active: shedding and/or shrunken batching
+        window), ``failed`` (recovery exhausted — every queued request
+        was failed and the engine will not serve again) or ``stopped``
+        (closed).  ``last_failure`` names the most recent worker
+        loss/batch failure, surviving recovery (a restarted engine
+        reports ready *and* what it recovered from).
+        """
+        if self._failed:
+            status = "failed"
+        elif self._closed:
+            status = "stopped"
+        elif self.overload.degraded:
+            status = "degraded"
+        else:
+            status = "ready"
+        thread = self._thread
+        return {
+            "status": status,
+            "live": bool(thread is not None and thread.is_alive()),
+            "ready": status in ("ready", "degraded"),
+            "degraded": self.overload.degraded,
+            "restarts": self.restarts,
+            "max_restarts": self.options.max_restarts,
+            "last_failure": self._last_failure,
+            "queue_depth": self.admission.depth(),
+            "pressure": round(self.overload.pressure(), 4),
+            "window_scale": round(self.overload.window_scale(), 4),
+        }
+
     # ------------------------------------------------------------------
     # client side
     # ------------------------------------------------------------------
-    def submit(self, features: np.ndarray,
-               tenant: str = "default") -> ServeFuture:
+    def submit(self, features: np.ndarray, tenant: str = "default",
+               deadline_ms: Optional[float] = None) -> ServeFuture:
         """Admit one inference request; returns its future.
 
         ``features`` must be ``(n, f_0)`` over the model's (permuted)
         vertex set; any float dtype is accepted and cast to the model
         precision here, in the caller's thread, so the serving thread
         only ever moves bits.
+
+        ``deadline_ms`` bounds the request's total queue wait: a request
+        still queued when its deadline passes is shed before any SpMM
+        work and its future raises :class:`RequestExpired`.  ``None``
+        falls back to ``ServeOptions.default_deadline_ms``.
         """
-        if self._closed:
-            raise RuntimeError("serving engine is closed")
+        if self._failed:
+            raise RuntimeError(
+                "serving engine has failed permanently "
+                f"({self._last_failure}); build a new engine")
         features = np.asarray(features)
         if features.ndim != 2 or features.shape[0] != self.model.dist.n \
                 or features.shape[1] != self.input_width:
             raise ValueError(
                 f"request features must have shape ({self.model.dist.n}, "
                 f"{self.input_width}), got {features.shape}")
+        if deadline_ms is None:
+            deadline_ms = self.options.default_deadline_ms
+        elif deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be positive, got {deadline_ms}")
+        deadline = None if deadline_ms is None \
+            else monotonic() + deadline_ms / 1000.0
         features = np.ascontiguousarray(features, dtype=self.model.dtype)
-        request = _ServeRequest(next(self._ids), str(tenant), features)
-        try:
-            self.admission.offer(request, tenant=request.tenant)
-        except RequestRejected:
-            self.metrics.counter("serve_rejected_total", 1,
-                                 tenant=request.tenant)
-            raise
+        tenant = str(tenant)
+        self.overload.observe(self.admission.depth())
+        if self.overload.should_shed(tenant):
+            self.metrics.counter("serve_shed_total", 1, reason="overload")
+            self.metrics.counter("serve_rejected_total", 1, tenant=tenant)
+            raise RequestRejected(
+                "overload_shed", depth=self.admission.depth(),
+                limit=self.admission.queue_depth, tenant=tenant)
+        request = _ServeRequest(next(self._ids), tenant, features,
+                                deadline=deadline)
+        # The closed check and the queue offer share one critical section
+        # with close(): a submit that passes the check is fully admitted
+        # before close() flips the flag, so stop()'s drain serves it.
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("serving engine is closed")
+            try:
+                self.admission.offer(request, tenant=request.tenant)
+            except RequestRejected:
+                self.metrics.counter("serve_rejected_total", 1,
+                                     tenant=request.tenant)
+                raise
         return request.future
 
     # ------------------------------------------------------------------
@@ -299,8 +558,101 @@ class ServingEngine:
             try:
                 self._execute(batch)
             except BaseException as exc:
-                for request in batch:
-                    request.future._fail(exc)
+                self._fail_batch(batch, exc)
+                if isinstance(exc, WorkerFailure):
+                    if not self._recover(exc):
+                        return
+
+    def _expire_request(self, request: _ServeRequest) -> None:
+        """Batcher callback: fail a deadline-expired request (serving
+        thread; the request never joins a batch, so no SpMM runs)."""
+        waited = perf_counter() - request.t_submit
+        self.metrics.counter("serve_shed_total", 1, reason="deadline")
+        request.future._fail(RequestExpired(
+            request.request_id, request.tenant, waited_s=waited))
+
+    def _fail_batch(self, batch: List[_ServeRequest],
+                    exc: BaseException) -> None:
+        """Fail every member with its own structured, retryable error."""
+        self._last_failure = f"{type(exc).__name__}: {exc}"
+        ids = tuple(r.request_id for r in batch)
+        retryable = isinstance(exc, WorkerFailure) and self._can_recover()
+        self.metrics.counter("serve_batch_failures_total", 1)
+        for request in batch:
+            request.future._fail(ServeError(
+                request.request_id, ids, exc, tenant=request.tenant,
+                retryable=retryable))
+
+    def _can_recover(self) -> bool:
+        return (self._rebuild is not None and not self._stop_requested
+                and self.restarts < self.options.max_restarts)
+
+    def _recover(self, cause: WorkerFailure) -> bool:
+        """Rebuild warm state in place after a worker loss.
+
+        Returns True when the serving loop should continue (queued
+        requests survive and are served by the rebuilt engine); False
+        when recovery is impossible — the queue is drained with
+        non-retryable failures and the engine is marked failed.
+        """
+        if not self._can_recover():
+            self._fail_permanently(cause)
+            return False
+        self.restarts += 1
+        self.metrics.counter("serve_restarts_total", 1)
+        with TRACE.span("serve.restart", cat="serve", track=SERVE_TRACK,
+                        args={"restart": self.restarts,
+                              "cause": type(cause).__name__,
+                              "rank": getattr(cause, "rank", None)}):
+            old_widths = self.model.compiled_widths()
+            try:
+                # A WorkerFailure from the process backend has already
+                # closed the communicator; in-process injected kills have
+                # not.  Either way close() is idempotent.
+                self.comm.close()
+            except BaseException:
+                pass
+            try:
+                model, comm = self._rebuild()
+                model.load_weight_state(self._retained_weights)
+                # Recompile every batch width the dead engine had
+                # retained, so the first post-restart request of a known
+                # width pays no compile.
+                model.warm_widths(old_widths)
+            except BaseException as exc:
+                self._fail_permanently(exc)
+                return False
+        self.model = model
+        self.comm = comm
+        self.owns_comm = True
+        if self._fault_plan is not None:
+            # Re-arm: specs fire once per plan instance, so the fault
+            # that killed the old communicator does not re-fire here.
+            comm.inject_faults(self._fault_plan)
+        return True
+
+    def _fail_permanently(self, cause: BaseException) -> None:
+        """Mark the engine failed and drain the queue with structured,
+        non-retryable errors (nothing may hang on a dead engine)."""
+        self._failed = True
+        self._last_failure = f"{type(cause).__name__}: {cause}"
+        import queue as _queue
+
+        def abort(item) -> None:
+            item.future._fail(ServeError(
+                item.request_id, (item.request_id,), cause,
+                tenant=item.tenant, retryable=False))
+
+        carry = self.batcher.take_carry()
+        if carry is not None:
+            abort(carry)
+        while True:
+            try:
+                item = self.admission.queue.get_nowait()
+            except _queue.Empty:
+                break
+            if item is not SHUTDOWN:
+                abort(item)
 
     def _execute(self, batch: List[_ServeRequest]) -> None:
         k = len(batch)
@@ -329,6 +681,10 @@ class ServingEngine:
         self.metrics.observe("serve_batch_width", float(width))
         self.metrics.observe("serve_batch_size", float(k))
         self.metrics.observe("serve_batch_seconds", batch_s)
+        # Backpressure feedback: the policy sees the post-batch queue
+        # depth and latency, and its verdict resizes the next window.
+        self.overload.observe(self.admission.depth(), batch_s)
+        self.batcher.window_scale = self.overload.window_scale()
 
         f_out = self.output_width
         for i, request in enumerate(batch):
@@ -363,9 +719,13 @@ class ServingEngine:
     def stats(self) -> dict:
         """Flat metrics snapshot: request/batch/latency series plus the
         warm-state counters (compiled-plan cache, backend exchange-plan
-        LRU, admission totals)."""
+        LRU, admission totals) and the resilience series (restart,
+        batch-failure and shed counters, overload pressure)."""
         self.metrics.gauge("serve_queue_limit", self.admission.queue_depth)
         self.metrics.gauge("serve_accepted_total", self.admission.accepted)
+        self.metrics.gauge("serve_pressure", self.overload.pressure())
+        self.metrics.gauge("serve_degraded",
+                           1.0 if self.overload.degraded else 0.0)
         for key, value in self.model.plan_stats().items():
             self.metrics.gauge(f"serve_{key}", value)
         for key, value in self.comm.cache_stats().items():

@@ -17,6 +17,7 @@ per-step p50/p99 + achieved throughput and the saturation speedup.
 from __future__ import annotations
 
 import dataclasses
+import random
 import threading
 from dataclasses import dataclass
 from time import monotonic, perf_counter, sleep
@@ -26,10 +27,64 @@ import numpy as np
 
 from ..obs.metrics import percentile
 from .admission import RequestRejected
-from .engine import ServeOptions, ServingEngine
+from .engine import (RequestExpired, ServeError, ServeOptions, ServeResult,
+                     ServingEngine)
 
 __all__ = ["LoadStep", "prepare_checkpoint", "run_load", "run_serve_bench",
-           "verify_batched_identity"]
+           "submit_with_retries", "verify_batched_identity"]
+
+
+def submit_with_retries(engine: ServingEngine, features: np.ndarray,
+                        tenant: str = "default", *,
+                        deadline_ms: Optional[float] = None,
+                        attempts: int = 4,
+                        backoff_s: float = 0.05,
+                        backoff_cap_s: float = 2.0,
+                        timeout_s: float = 120.0,
+                        retry_rejected: bool = False,
+                        rng: Optional[random.Random] = None) -> ServeResult:
+    """Submit-and-wait with exponential backoff + jitter on retryables.
+
+    The client-side half of the serving failure contract: a
+    :class:`~repro.serve.engine.ServeError` marked ``retryable`` means
+    the engine is restarting behind the failure (supervised recovery),
+    so the right client move is to back off and resubmit — the delay
+    doubles up to ``backoff_cap_s`` per attempt, and each sleep is
+    jittered by a uniform factor in ``[0.5, 1.5)`` so a fleet of
+    retrying clients does not stampede the freshly rebuilt engine.
+
+    Non-retryable failures (recovery exhausted, expired deadline),
+    result-wait timeouts and — unless ``retry_rejected`` —
+    :class:`~repro.serve.admission.RequestRejected` propagate
+    immediately; after ``attempts`` tries the last retryable error is
+    re-raised.  ``rng`` pins the jitter for deterministic tests.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    if rng is None:
+        rng = random.Random()
+    delay = float(backoff_s)
+    last: Optional[BaseException] = None
+    for attempt in range(int(attempts)):
+        if attempt:
+            sleep(min(float(backoff_cap_s), delay) * (0.5 + rng.random()))
+            delay *= 2.0
+        try:
+            future = engine.submit(features, tenant=tenant,
+                                   deadline_ms=deadline_ms)
+        except RequestRejected as exc:
+            if not retry_rejected:
+                raise
+            last = exc
+            continue
+        try:
+            return future.result(timeout=timeout_s)
+        except ServeError as exc:
+            if not exc.retryable:
+                raise
+            last = exc
+    assert last is not None
+    raise last
 
 
 @dataclass
@@ -44,6 +99,10 @@ class LoadStep:
     p50_ms: float
     p99_ms: float
     mean_ms: float
+    #: Requests that exhausted their serving-side retries (failed batch
+    #: with recovery unavailable, or expired deadline).  Zero on every
+    #: fault-free run.
+    failed: int = 0
 
     def as_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -53,13 +112,22 @@ def run_load(engine: ServingEngine,
              make_features: Callable[[int], np.ndarray],
              offered_qps: Optional[float], duration_s: float,
              clients: int = 8,
-             tenants: Sequence[str] = ("default",)) -> LoadStep:
+             tenants: Sequence[str] = ("default",),
+             deadline_ms: Optional[float] = None,
+             retry_attempts: int = 3) -> LoadStep:
     """Drive ``engine`` with closed-loop clients for ``duration_s``.
 
     ``make_features(i)`` supplies the i-th request's feature matrix
     (deterministic factories keep benchmark runs reproducible).  Tenants
     are assigned round-robin across requests.  The engine must already
     be started.
+
+    Clients ride :func:`submit_with_retries` (``retry_attempts`` tries
+    with backoff+jitter), so a supervised engine restart mid-run costs
+    latency, not correctness; requests that still fail — recovery
+    exhausted, or an expired ``deadline_ms`` — land in ``failed``.
+    A retried request's latency covers every attempt, backoff included:
+    that *is* the latency the client experienced.
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
@@ -68,6 +136,7 @@ def run_load(engine: ServingEngine,
     period = None if offered_qps is None else clients / float(offered_qps)
     latencies: List[float] = []
     rejected = [0]
+    failed = [0]
     lock = threading.Lock()
     t_start = monotonic()
     t_end = t_start + duration_s
@@ -76,6 +145,8 @@ def run_load(engine: ServingEngine,
         i = 0
         local: List[float] = []
         local_rejected = 0
+        local_failed = 0
+        jitter_rng = random.Random(c)
         while True:
             if period is not None:
                 target = t_start + (c / clients + i) * period
@@ -89,17 +160,25 @@ def run_load(engine: ServingEngine,
             tenant = tenants[seq % len(tenants)]
             t0 = perf_counter()
             try:
-                future = engine.submit(features, tenant=tenant)
+                submit_with_retries(engine, features, tenant=tenant,
+                                    deadline_ms=deadline_ms,
+                                    attempts=retry_attempts,
+                                    timeout_s=duration_s + 60.0,
+                                    rng=jitter_rng)
             except RequestRejected:
                 local_rejected += 1
                 i += 1
                 continue
-            future.result(timeout=duration_s + 60.0)
+            except (ServeError, RequestExpired):
+                local_failed += 1
+                i += 1
+                continue
             local.append(perf_counter() - t0)
             i += 1
         with lock:
             latencies.extend(local)
             rejected[0] += local_rejected
+            failed[0] += local_failed
 
     threads = [threading.Thread(target=client, args=(c,), daemon=True)
                for c in range(clients)]
@@ -118,6 +197,7 @@ def run_load(engine: ServingEngine,
         p99_ms=percentile(latencies, 0.99) * 1e3 if latencies else float("nan"),
         mean_ms=(sum(latencies) / len(latencies)) * 1e3
         if latencies else float("nan"),
+        failed=failed[0],
     )
 
 
@@ -135,12 +215,16 @@ def verify_batched_identity(engine: ServingEngine,
     was_running = engine.running
     if not was_running:
         engine.start()
-    sequential = [engine.submit(f).result(timeout=300.0)
+    # Bounded waits + retry on transient failures: an engine restart
+    # mid-verification re-serves the request instead of sinking the
+    # whole identity check behind an unbounded wait.
+    sequential = [submit_with_retries(engine, f, timeout_s=120.0,
+                                      rng=random.Random(0))
                   for f in features_list]
     engine.stop()
     futures = [engine.submit(f) for f in features_list]
     engine.start()
-    batched = [future.result(timeout=300.0) for future in futures]
+    batched = [future.result(timeout=120.0) for future in futures]
     if not was_running:
         engine.stop()
     identical = all(
@@ -212,6 +296,7 @@ def run_serve_bench(dataset, config, checkpoint,
                     max_batch_width: Optional[int] = None,
                     max_wait_ms: float = 2.0,
                     queue_depth: int = 256,
+                    max_restarts: int = 1,
                     verify_requests: int = 6,
                     seed: int = 0) -> dict:
     """The full ``repro serve --bench`` measurement (one backend).
@@ -232,7 +317,8 @@ def run_serve_bench(dataset, config, checkpoint,
             else max(width, width * max(2, clients)),
             max_wait_ms=max_wait_ms,
             queue_depth=queue_depth,
-            batching=batching)
+            batching=batching,
+            max_restarts=max_restarts)
         return ServingEngine.from_checkpoint(dataset, config, checkpoint,
                                              options=options)
 
@@ -266,6 +352,7 @@ def run_serve_bench(dataset, config, checkpoint,
                 results["tenant_stats"] = {
                     k: v for k, v in engine.stats().items()
                     if k.startswith("tenant_")}
+                results["health"] = engine.health()
         finally:
             engine.close()
 

@@ -27,10 +27,12 @@ from repro.core import DistTrainConfig, setup_distributed
 from repro.core.checkpoint import (CheckpointError, CheckpointManager,
                                    read_checkpoint, resolve_checkpoint)
 from repro.obs import TRACE
-from repro.serve import (AdmissionController, MicroBatcher, RequestRejected,
+from repro.serve import (AdmissionController, MicroBatcher, OverloadPolicy,
+                         RequestExpired, RequestRejected, ServeError,
                          ServeOptions, ServingEngine, prepare_checkpoint,
-                         run_load)
+                         run_load, submit_with_retries)
 from repro.serve.batcher import SHUTDOWN
+from repro.serve.engine import ServeFuture, ServeResult
 from repro.serve.loadgen import verify_batched_identity
 
 BACKENDS = ("sim", "threaded", "process")
@@ -546,3 +548,309 @@ class TestServeCommand:
         assert args.queue_depth == 256
         assert args.max_wait_ms == 2.0
         assert not args.no_batch and not args.bench
+
+
+# ----------------------------------------------------------------------
+# ServeFuture error paths + the submit/close race
+# ----------------------------------------------------------------------
+class TestServeFuture:
+    def _result(self, request_id=0):
+        return ServeResult(logits=np.zeros((2, 2)), request_id=request_id,
+                           tenant="t", latency_s=0.0, batch_size=1,
+                           batch_width=2)
+
+    def test_result_reraises_the_structured_failure(self):
+        future = ServeFuture()
+        err = ServeError(7, (7, 8), RuntimeError("boom"), tenant="acme")
+        future._fail(err)
+        with pytest.raises(ServeError) as excinfo:
+            future.result(timeout=1.0)
+        assert excinfo.value is err
+        assert excinfo.value.request_id == 7
+        assert excinfo.value.batch == (7, 8)
+        assert excinfo.value.tenant == "acme"
+        assert excinfo.value.retryable
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_unfulfilled_wait_times_out(self):
+        with pytest.raises(TimeoutError, match="not fulfilled"):
+            ServeFuture().result(timeout=0.01)
+
+    def test_first_resolution_wins_fulfil_then_fail(self):
+        future = ServeFuture()
+        future._fulfill(self._result(1))
+        future._fail(RuntimeError("late failure must be a no-op"))
+        assert future.result(timeout=1.0).request_id == 1
+
+    def test_first_resolution_wins_fail_then_fulfil(self):
+        future = ServeFuture()
+        err = ServeError(2, (2,), RuntimeError("boom"))
+        future._fail(err)
+        future._fulfill(self._result(2))
+        with pytest.raises(ServeError):
+            future.result(timeout=1.0)
+
+    def test_submit_racing_close_never_strands_a_future(self, dataset,
+                                                        config):
+        """Every submit that wins the race against close() is fully
+        admitted and served by the drain; every loser raises the closed
+        error.  No future may hang in between."""
+        import threading as _threading
+        engine = make_engine(dataset, config)
+        engine.start()
+        features = request_features(dataset, 1, seed=9)[0]
+        futures, errors = [], []
+        lock = _threading.Lock()
+
+        def hammer():
+            while True:
+                try:
+                    future = engine.submit(features)
+                except RequestRejected:
+                    continue                  # queue full: not the race
+                except RuntimeError as exc:
+                    with lock:
+                        errors.append(exc)
+                    return
+                with lock:
+                    futures.append(future)
+
+        threads = [_threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        import time as _time
+        _time.sleep(0.15)
+        engine.close()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads)
+        assert errors and all("closed" in str(e) for e in errors)
+        for future in futures:
+            assert future.result(timeout=30.0).logits.shape[1] == \
+                dataset.n_classes
+
+
+# ----------------------------------------------------------------------
+# Request deadlines: shed at dequeue, before any SpMM work
+# ----------------------------------------------------------------------
+class TestRequestDeadlines:
+    def test_expired_request_is_shed_before_any_spmm(self, dataset, config):
+        engine = make_engine(dataset, config)
+        TRACE.enable()
+        features = request_features(dataset, 2, seed=10)
+        expired = engine.submit(features[0], tenant="late", deadline_ms=20.0)
+        live = engine.submit(features[1])
+        import time as _time
+        _time.sleep(0.06)                     # deadline passes in-queue
+        messages_before = engine.comm.events.message_count()
+        try:
+            engine.start()
+            with pytest.raises(RequestExpired) as excinfo:
+                expired.result(timeout=60.0)
+            assert excinfo.value.request_id == 0
+            assert excinfo.value.tenant == "late"
+            assert excinfo.value.waited_s >= 0.02
+            assert not excinfo.value.retryable
+            result = live.result(timeout=60.0)
+            assert result.batch_size == 1     # expired never joined a batch
+            stats = engine.stats()
+        finally:
+            engine.close()
+        assert stats['serve_shed_total{reason="deadline"}'] == 1.0
+        # Exactly one batch ran (the live request); the expired request
+        # triggered no serving span and no communication.
+        batch_spans = [s for s in TRACE.spans() if s[1] == "serve.batch"]
+        assert len(batch_spans) == 1
+        assert batch_spans[0][5]["requests"] == 1
+        assert engine.stats()["serve_batches_total"] == 1.0
+
+    def test_unexpired_deadline_serves_normally(self, dataset, config):
+        engine = make_engine(dataset, config)
+        try:
+            engine.start()
+            features = request_features(dataset, 1, seed=11)[0]
+            result = engine.submit(features,
+                                   deadline_ms=60_000.0).result(timeout=60.0)
+            assert result.logits.shape == (dataset.n_vertices,
+                                           dataset.n_classes)
+            assert engine.stats()[
+                'serve_shed_total{reason="deadline"}'] == 0.0
+        finally:
+            engine.close()
+
+    def test_default_deadline_comes_from_options(self, dataset, config):
+        engine = make_engine(dataset, config, default_deadline_ms=15.0)
+        features = request_features(dataset, 1, seed=12)[0]
+        future = engine.submit(features)
+        import time as _time
+        _time.sleep(0.05)
+        try:
+            engine.start()
+            with pytest.raises(RequestExpired):
+                future.result(timeout=60.0)
+        finally:
+            engine.close()
+
+    def test_nonpositive_deadline_rejected_at_submit(self, dataset, config):
+        engine = make_engine(dataset, config)
+        features = request_features(dataset, 1, seed=13)[0]
+        try:
+            with pytest.raises(ValueError, match="deadline_ms"):
+                engine.submit(features, deadline_ms=0.0)
+        finally:
+            engine.close()
+
+    def test_options_validate_resilience_knobs(self):
+        with pytest.raises(ValueError, match="max_restarts"):
+            ServeOptions(max_restarts=-1)
+        with pytest.raises(ValueError, match="default_deadline_ms"):
+            ServeOptions(default_deadline_ms=-5.0)
+        with pytest.raises(ValueError, match="stop_grace_s"):
+            ServeOptions(stop_grace_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# Overload policy: hysteresis, priority shedding, window shrinking
+# ----------------------------------------------------------------------
+class TestOverloadPolicy:
+    def test_hysteresis_enters_high_and_exits_low(self):
+        policy = OverloadPolicy(queue_limit=10)
+        for _ in range(30):
+            policy.observe(10)
+        assert policy.degraded and policy.pressure() > 0.9
+        policy.observe(8)                     # still above exit watermark
+        assert policy.degraded
+        for _ in range(30):
+            policy.observe(0)
+        assert not policy.degraded
+
+    def test_sheds_lowest_priority_first_never_the_top_tier(self):
+        policy = OverloadPolicy(queue_limit=10,
+                                tenant_priorities={"gold": 2, "free": 0})
+        assert policy.shed_cutoff() is None   # healthy: no shedding
+        for _ in range(30):
+            policy.observe(10)                # saturate: pressure -> 1.0
+        assert policy.should_shed("free")
+        assert not policy.should_shed("gold")
+        assert policy.shed_total == 1
+
+    def test_single_tier_degrades_through_the_window_only(self):
+        policy = OverloadPolicy(queue_limit=10)
+        for _ in range(30):
+            policy.observe(10)
+        assert policy.degraded
+        assert policy.shed_cutoff() is None   # nothing lower to sacrifice
+        assert not policy.should_shed("anyone")
+        assert policy.window_scale() < 1.0
+
+    def test_window_scale_is_one_when_healthy_and_floored_under_load(self):
+        policy = OverloadPolicy(queue_limit=10, min_window_scale=0.25)
+        assert policy.window_scale() == 1.0
+        for _ in range(30):
+            policy.observe(10)
+        assert policy.window_scale() == 0.25
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError, match="alpha"):
+            OverloadPolicy(queue_limit=4, alpha=0.0)
+        with pytest.raises(ValueError, match="enter"):
+            OverloadPolicy(queue_limit=4, enter_pressure=0.3,
+                           exit_pressure=0.5)
+
+    def test_engine_sheds_low_priority_under_pressure(self, dataset,
+                                                      config):
+        engine = make_engine(dataset, config, queue_depth=4,
+                             tenant_priorities={"gold": 1, "free": 0})
+        features = request_features(dataset, 1, seed=14)[0]
+        try:
+            # Simulate sustained pressure directly on the policy (the
+            # engine feeds it the live queue depth at every submit).
+            engine.overload.depth_ewma = 40.0
+            engine.overload.degraded = True
+            with pytest.raises(RequestRejected) as excinfo:
+                engine.submit(features, tenant="free")
+            assert excinfo.value.reason == "overload_shed"
+            assert excinfo.value.tenant == "free"
+            future = engine.submit(features, tenant="gold")
+            stats = engine.stats()
+            assert stats['serve_shed_total{reason="overload"}'] == 1.0
+            assert stats["serve_degraded"] == 1.0
+            assert engine.health()["status"] == "degraded"
+            engine.start()
+            assert future.result(timeout=60.0).tenant == "gold"
+        finally:
+            engine.close()
+
+
+# ----------------------------------------------------------------------
+# Client-side retry helper (backoff + jitter)
+# ----------------------------------------------------------------------
+class _ScriptedEngine:
+    """A fake engine whose submit() resolves from a script of outcomes:
+    "ok", "retryable", "fatal", "rejected"."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = 0
+
+    def submit(self, features, tenant="default", deadline_ms=None):
+        outcome = self.script[min(self.calls, len(self.script) - 1)]
+        self.calls += 1
+        future = ServeFuture()
+        if outcome == "rejected":
+            raise RequestRejected("queue_full", depth=1, limit=1,
+                                  tenant=tenant)
+        if outcome == "ok":
+            future._fulfill(ServeResult(
+                logits=np.ones((2, 2)), request_id=self.calls,
+                tenant=tenant, latency_s=0.0, batch_size=1, batch_width=2))
+        elif outcome == "retryable":
+            future._fail(ServeError(self.calls, (self.calls,),
+                                    RuntimeError("transient"),
+                                    retryable=True))
+        else:
+            future._fail(ServeError(self.calls, (self.calls,),
+                                    RuntimeError("permanent"),
+                                    retryable=False))
+        return future
+
+
+class TestSubmitWithRetries:
+    def test_retries_transient_failures_until_success(self):
+        import random as _random
+        engine = _ScriptedEngine(["retryable", "retryable", "ok"])
+        result = submit_with_retries(engine, None, attempts=4,
+                                     backoff_s=0.001,
+                                     rng=_random.Random(0))
+        assert result.request_id == 3
+        assert engine.calls == 3
+
+    def test_exhausted_attempts_reraise_the_last_error(self):
+        import random as _random
+        engine = _ScriptedEngine(["retryable"])
+        with pytest.raises(ServeError, match="transient"):
+            submit_with_retries(engine, None, attempts=3, backoff_s=0.001,
+                                rng=_random.Random(0))
+        assert engine.calls == 3
+
+    def test_non_retryable_failure_propagates_immediately(self):
+        engine = _ScriptedEngine(["fatal"])
+        with pytest.raises(ServeError, match="permanent"):
+            submit_with_retries(engine, None, attempts=5, backoff_s=0.001)
+        assert engine.calls == 1
+
+    def test_rejection_propagates_unless_opted_in(self):
+        import random as _random
+        engine = _ScriptedEngine(["rejected", "ok"])
+        with pytest.raises(RequestRejected):
+            submit_with_retries(engine, None, attempts=3, backoff_s=0.001)
+        assert engine.calls == 1
+        engine = _ScriptedEngine(["rejected", "ok"])
+        result = submit_with_retries(engine, None, attempts=3,
+                                     backoff_s=0.001, retry_rejected=True,
+                                     rng=_random.Random(0))
+        assert result.request_id == 2
+
+    def test_validates_attempts(self):
+        with pytest.raises(ValueError, match="attempts"):
+            submit_with_retries(_ScriptedEngine(["ok"]), None, attempts=0)
